@@ -1,0 +1,49 @@
+//! HDL front-end throughput: lexing + declaration parsing of the three
+//! case-study sources (one per language).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dovado::casestudies::{corundum, cv32e40p, neorv32};
+use dovado_hdl::{parse_source, Language};
+
+fn bench_parsing(c: &mut Criterion) {
+    let cases = [
+        ("systemverilog_fifo", Language::SystemVerilog, cv32e40p::FIFO_SV),
+        ("verilog_queue_manager", Language::Verilog, corundum::CPL_QUEUE_MANAGER_V),
+        ("vhdl_neorv32_top", Language::Vhdl, neorv32::NEORV32_TOP_VHD),
+    ];
+    let mut group = c.benchmark_group("hdl_parsing");
+    for (name, lang, src) in cases {
+        group.throughput(Throughput::Bytes(src.len() as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let (file, diags) = parse_source(lang, black_box(src)).unwrap();
+                assert!(!diags.has_errors());
+                black_box(file.modules.len())
+            })
+        });
+    }
+    group.finish();
+
+    // A large synthetic file: 100 modules.
+    let big: String = (0..100)
+        .map(|i| {
+            format!(
+                "module m{i} #(parameter W = {i} + 1)(input wire clk, \
+                 input wire [W-1:0] d, output reg [W-1:0] q);\n\
+                 always @(posedge clk) q <= d;\nendmodule\n"
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("hdl_parsing_large");
+    group.throughput(Throughput::Bytes(big.len() as u64));
+    group.bench_function("verilog_100_modules", |b| {
+        b.iter(|| {
+            let (file, _) = parse_source(Language::Verilog, black_box(&big)).unwrap();
+            assert_eq!(file.modules.len(), 100);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parsing);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Surrogate micro-benchmarks: Nadaraya-Watson prediction vs dataset size,
+//! LOO-CV bandwidth selection, and control-model decisions — the costs
+//! the paper calls "cheap computational cost" of the NWM.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dovado_surrogate::{
+    select_bandwidth, Bounds, Dataset, Kernel, NadarayaWatson, SurrogateController,
+    ThresholdPolicy,
+};
+
+fn dataset(n: usize) -> Dataset {
+    let mut d = Dataset::new(Bounds::new(vec![(0, 10_000), (0, 64)]), 3);
+    for i in 0..n {
+        let x = (i * 9973 % 10_000) as i64;
+        let y = (i * 31 % 64) as i64;
+        let xf = x as f64 / 10_000.0;
+        d.insert(vec![x, y], vec![xf * 100.0, (1.0 - xf) * 50.0, y as f64]);
+    }
+    d
+}
+
+fn bench_surrogate(c: &mut Criterion) {
+    let nw = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.08 };
+
+    let mut group = c.benchmark_group("nw_predict");
+    for n in [50usize, 200, 1000] {
+        let d = dataset(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| nw.predict(black_box(&d), &[4321, 17]).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("loocv_select_bandwidth");
+    for n in [25usize, 100] {
+        let d = dataset(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| select_bandwidth(black_box(&d), Kernel::Gaussian, &[]))
+        });
+    }
+    group.finish();
+
+    c.bench_function("controller_decide_100pt_dataset", |b| {
+        let mut ctl =
+            SurrogateController::new(Bounds::new(vec![(0, 10_000), (0, 64)]), 3, ThresholdPolicy::paper_default());
+        let d = dataset(100);
+        ctl.pretrain(
+            d.raw_points()
+                .iter()
+                .cloned()
+                .zip(d.outputs().iter().cloned())
+                .collect(),
+        );
+        b.iter(|| black_box(ctl.peek(&[5000, 30])))
+    });
+}
+
+criterion_group!(benches, bench_surrogate);
+criterion_main!(benches);

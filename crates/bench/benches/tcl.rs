@@ -1,0 +1,37 @@
+//! TCL engine micro-benchmarks: script parsing, substitution-heavy
+//! evaluation, and `expr`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dovado_eda::tcl::expr::eval_expr;
+use dovado_eda::tcl::interp::{Interp, NoContext};
+use dovado_eda::tcl::parse_script;
+
+fn bench_tcl(c: &mut Criterion) {
+    let script = r#"
+set period 1.0
+set wns -4.0
+set fmax [expr {1000.0 / ($period - $wns)}]
+if {$fmax > 100} { set class fast } else { set class slow }
+foreach p {8 16 32 64 128} { set last $p }
+puts "done $class $last"
+"#;
+
+    c.bench_function("tcl_parse_script", |b| {
+        b.iter(|| parse_script(black_box(script)).unwrap().len())
+    });
+
+    c.bench_function("tcl_eval_script", |b| {
+        b.iter(|| {
+            let mut i = Interp::new();
+            i.eval(&mut NoContext, black_box(script)).unwrap();
+            i.output.len()
+        })
+    });
+
+    c.bench_function("tcl_expr_eval", |b| {
+        b.iter(|| eval_expr(black_box("1000.0 / (1.0 - (-4.0)) + max(3, 2 ** 8) % 7")).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_tcl);
+criterion_main!(benches);

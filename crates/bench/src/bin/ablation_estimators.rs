@@ -1,0 +1,93 @@
+//! Ablation: statistical model choice (the paper's §V future work —
+//! "explore different statistical models … to amortize the expensive
+//! synthetic dataset generation").
+//!
+//! Runs the Fig. 3 accuracy protocol with the paper's Nadaraya-Watson
+//! model against inverse-distance weighting and k-NN baselines, at two
+//! dataset sizes.
+
+use dovado::casestudies::cv32e40p;
+use dovado::csv::CsvWriter;
+use dovado_bench::{banner, write_csv};
+use dovado_surrogate::{Estimator, Kernel, NadarayaWatson, ProbeSet};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    banner(
+        "Ablation — statistical model choice (NW vs IDW vs k-NN)",
+        "probe MSE (normalized, summed over FF/LUT/Fmax) at 20 and 80 samples",
+    );
+
+    let cs = cv32e40p::case_study();
+    let tool = cs.dovado().expect("case study builds");
+    let space = cs.space.clone();
+    let metrics = cs.metrics.clone();
+    let truth = |idx: i64| {
+        let p = space.decode(&[idx]).expect("in range");
+        metrics.extract(&tool.evaluate_point(&p).expect("evaluates"))
+    };
+
+    let probe_pairs: Vec<(Vec<i64>, Vec<f64>)> =
+        (0..50).map(|i| (vec![i * 10 + 3], truth(i * 10 + 3))).collect();
+    let probes = ProbeSet::new(probe_pairs.clone());
+    let m = metrics.len();
+    let mut lo = vec![f64::INFINITY; m];
+    let mut hi = vec![f64::NEG_INFINITY; m];
+    for (_, v) in &probe_pairs {
+        for i in 0..m {
+            lo[i] = lo[i].min(v[i]);
+            hi[i] = hi[i].max(v[i]);
+        }
+    }
+    let scales: Vec<f64> = lo.iter().zip(&hi).map(|(l, h)| (h - l).max(1e-9)).collect();
+
+    let mut indices: Vec<i64> = (0..500).collect();
+    indices.shuffle(&mut StdRng::seed_from_u64(17));
+
+    let estimators = vec![
+        Estimator::Nw(NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.1 }),
+        Estimator::InverseDistance { power: 2.0 },
+        Estimator::InverseDistance { power: 4.0 },
+        Estimator::KNearest { k: 1 },
+        Estimator::KNearest { k: 3 },
+        Estimator::KNearest { k: 7 },
+    ];
+
+    let mut csv = CsvWriter::new();
+    csv.header(&["estimator", "samples", "total_mse"]);
+    println!("{:<16} {:>10} {:>14}", "estimator", "samples", "total MSE");
+
+    for &n_samples in &[20usize, 80] {
+        // Build the dataset once per size.
+        let mut ds = dovado_surrogate::Dataset::new(space.index_bounds(), m);
+        for &i in indices.iter().take(n_samples) {
+            ds.insert(vec![i], truth(i));
+        }
+        for est in &estimators {
+            let mut est = *est;
+            est.retrain(&ds);
+            // Probe MSE by hand (the estimator trait predicts per point).
+            let mut total = 0.0f64;
+            for (p, t) in &probes.pairs {
+                let pred = est.predict(&ds, p).expect("non-empty dataset");
+                for i in 0..m {
+                    let e = (pred[i] - t[i]) / scales[i];
+                    total += e * e;
+                }
+            }
+            total /= (probes.len() * m) as f64;
+            println!("{:<16} {:>10} {:>14.6}", est.name(), n_samples, total);
+            csv.row(&[est.name(), n_samples.to_string(), format!("{total:.6}")]);
+        }
+        println!();
+    }
+    let path = write_csv("ablation_estimators.csv", csv);
+    println!("wrote {}", path.display());
+    println!(
+        "reading: on smooth metric surfaces all local averagers are close; the \
+         NW kernel wins as the dataset grows because LOO-CV shrinks its \
+         bandwidth, while 1-NN plateaus at the sample-spacing error."
+    );
+}

@@ -1,0 +1,111 @@
+//! Ablation: the estimate-or-evaluate threshold policy.
+//!
+//! The paper motivates the *adaptive* Γ ("the threshold setting is a
+//! non-trivial problem that depends on run-time information") over fixed
+//! thresholds. This ablation runs the same exploration under several
+//! policies and reports the tool-call savings against the estimation error
+//! each policy accepted.
+
+use dovado::casestudies::cv32e40p;
+use dovado::csv::CsvWriter;
+use dovado::{DseConfig, SurrogateConfig};
+use dovado_bench::{banner, write_csv};
+use dovado_moo::{Nsga2Config, Termination};
+use dovado_surrogate::ThresholdPolicy;
+
+fn main() {
+    banner(
+        "Ablation — threshold policy (adaptive Γ vs fixed vs never)",
+        "same exploration; columns: tool runs, estimates, estimate error sample",
+    );
+
+    let cs = cv32e40p::case_study();
+    let algorithm = Nsga2Config { pop_size: 14, seed: 33, ..Default::default() };
+    let termination = Termination::Generations(10);
+
+    // Ground truth for spot-checking estimate quality at a fixed point.
+    let probe_idx = 251i64;
+    let truth = {
+        let tool = cs.dovado().unwrap();
+        let p = cs.space.decode(&[probe_idx]).unwrap();
+        cs.metrics.extract(&tool.evaluate_point(&p).unwrap())
+    };
+
+    let policies: Vec<(&str, ThresholdPolicy)> = vec![
+        ("adaptive(1.0) [paper]", ThresholdPolicy::Adaptive { scale: 1.0 }),
+        ("adaptive(0.5)", ThresholdPolicy::Adaptive { scale: 0.5 }),
+        ("adaptive(2.0)", ThresholdPolicy::Adaptive { scale: 2.0 }),
+        ("fixed(0.005)", ThresholdPolicy::Fixed(0.005)),
+        ("fixed(0.05)", ThresholdPolicy::Fixed(0.05)),
+        ("never (tool only)", ThresholdPolicy::Never),
+    ];
+
+    let mut csv = CsvWriter::new();
+    csv.header(&["policy", "tool_runs", "cached", "estimates", "probe_rel_err_pct"]);
+    println!(
+        "{:<22} {:>10} {:>8} {:>10} {:>18}",
+        "policy", "tool runs", "cached", "estimates", "probe rel.err [%]"
+    );
+
+    for (name, policy) in policies {
+        let tool = cs.dovado().unwrap();
+        let report = tool
+            .explore(&DseConfig {
+                algorithm: algorithm.clone(),
+                termination: termination.clone(),
+                metrics: cs.metrics.clone(),
+                surrogate: Some(SurrogateConfig {
+                    policy,
+                    pretrain_samples: 50,
+                    ..Default::default()
+                }),
+                parallel: false,
+                explorer: Default::default(),
+            })
+            .expect("exploration runs");
+
+        // Estimate quality probe: rebuild a pre-training-only controller and
+        // ask it to predict the ground-truth point. The model itself is
+        // policy-independent (same 50 samples, same LOO-CV bandwidth) — the
+        // constant error column demonstrates precisely that the policy only
+        // changes *when* the model is trusted, not how good it is.
+        let problem = dovado::DseProblem::new(
+            tool.evaluator().clone(),
+            cs.space.clone(),
+            cs.metrics.clone(),
+            Some(&SurrogateConfig { policy, pretrain_samples: 50, ..Default::default() }),
+        )
+        .unwrap();
+        let rel_err = match problem.surrogate().and_then(|s| s.predict(&[probe_idx])) {
+            Some(est) => {
+                100.0
+                    * est
+                        .iter()
+                        .zip(&truth)
+                        .map(|(e, t)| ((e - t) / t).abs())
+                        .fold(0.0f64, f64::max)
+            }
+            None => f64::NAN,
+        };
+
+        println!(
+            "{:<22} {:>10} {:>8} {:>10} {:>18.2}",
+            name, report.tool_runs, report.cached_runs, report.estimates, rel_err
+        );
+        csv.row(&[
+            name.to_string(),
+            report.tool_runs.to_string(),
+            report.cached_runs.to_string(),
+            report.estimates.to_string(),
+            format!("{rel_err:.2}"),
+        ]);
+    }
+    let path = write_csv("ablation_threshold.csv", csv);
+    println!("wrote {}", path.display());
+    println!();
+    println!(
+        "reading: larger Γ saves more tool runs but trusts the estimator further \
+         from its data; the adaptive policy tracks dataset density instead of \
+         requiring a hand-tuned constant."
+    );
+}

@@ -1,0 +1,36 @@
+//! Figure 6 + Table II (top): TiReX exploration on the Zynq UltraScale+
+//! ZU3EG (16 nm). The paper reports 4 non-dominated configurations with
+//! frequencies around 550 MHz.
+
+use dovado_bench::{banner, run_tirex};
+
+fn main() {
+    banner(
+        "Figure 6 / Table II (top) — TiReX DSE on XCZU3EG (16 nm)",
+        "objectives: LUT, FF, BRAM, Fmax",
+    );
+    let report = run_tirex("xczu3eg-sbva484-1-e", "Figure 6", "fig6_tirex_zu3eg.csv");
+
+    println!();
+    println!("shape checks against the paper:");
+    let fmax: Vec<f64> = report.pareto.iter().map(|e| e.values[3]).collect();
+    let best = fmax.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "  best frequency in the ~550 MHz region: {} ({best:.1} MHz)",
+        if (400.0..750.0).contains(&best) { "✓" } else { "✗" }
+    );
+    println!(
+        "  front size: {} (paper reports 4 configurations on the ZU3EG)",
+        report.pareto.len()
+    );
+    let ncluster_one = report
+        .pareto
+        .iter()
+        .filter(|e| e.point.get("NCLUSTER") == Some(1))
+        .count();
+    println!(
+        "  NCLUSTER=1 dominates the front (as in Table II): {} ({ncluster_one}/{})",
+        if ncluster_one * 2 >= report.pareto.len() { "✓" } else { "✗" },
+        report.pareto.len()
+    );
+}

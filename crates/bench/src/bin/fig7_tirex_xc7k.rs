@@ -1,0 +1,30 @@
+//! Figure 7 + Table II (bottom): TiReX exploration on the Kintex-7
+//! XC7K70T (28 nm). The paper reports 8 non-dominated configurations with
+//! frequencies around 190 MHz — the technology comparison against Fig. 6.
+
+use dovado_bench::{banner, run_tirex};
+
+fn main() {
+    banner(
+        "Figure 7 / Table II (bottom) — TiReX DSE on XC7K70T (28 nm)",
+        "objectives: LUT, FF, BRAM, Fmax",
+    );
+    let report = run_tirex("xc7k70tfbv676-1", "Figure 7", "fig7_tirex_xc7k.csv");
+
+    println!();
+    println!("shape checks against the paper:");
+    let fmax: Vec<f64> = report.pareto.iter().map(|e| e.values[3]).collect();
+    let best = fmax.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "  best frequency in the ~190 MHz region: {} ({best:.1} MHz)",
+        if (140.0..300.0).contains(&best) { "✓" } else { "✗" }
+    );
+    println!(
+        "  front size: {} (paper reports 8 configurations on the XC7K70T)",
+        report.pareto.len()
+    );
+    println!(
+        "  28 nm device is ~2.5-3x slower than the 16 nm ZU3EG at similar \
+         configurations (run fig6_tirex_zu3eg to compare)"
+    );
+}

@@ -1,0 +1,104 @@
+//! Shared helpers for the Dovado benchmark harness.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure from the
+//! paper (see DESIGN.md's per-experiment index). Binaries print the series
+//! to stdout and also write CSV files under `results/`.
+
+use dovado::csv::CsvWriter;
+use std::fs;
+use std::path::PathBuf;
+
+/// Where result CSVs land (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes a CSV file under `results/`, returning its path.
+pub fn write_csv(name: &str, writer: CsvWriter) -> PathBuf {
+    let path = results_dir().join(name);
+    if let Err(e) = fs::write(&path, writer.finish()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    path
+}
+
+/// Prints a banner for an experiment.
+pub fn banner(experiment: &str, description: &str) {
+    println!("==============================================================");
+    println!("{experiment}");
+    println!("{description}");
+    println!("==============================================================");
+}
+
+/// Formats a float series compactly.
+pub fn fmt_series(values: &[f64]) -> String {
+    values.iter().map(|v| format!("{v:.4}")).collect::<Vec<_>>().join(", ")
+}
+
+/// Shared driver for the two TiReX experiments (Figs. 6–7 / Table II):
+/// the same exploration on two devices. Returns the report so callers can
+/// add device-specific checks.
+pub fn run_tirex(part: &str, figure: &str, csv_name: &str) -> dovado::DseReport {
+    use dovado::casestudies::tirex;
+    use dovado::{point_label, DseConfig};
+    use dovado_moo::{Nsga2Config, Termination};
+
+    let cs = tirex::case_study();
+    let tool = cs.dovado_on(part).expect("case study builds");
+    let cfg = DseConfig {
+        explorer: Default::default(),
+        algorithm: Nsga2Config { pop_size: 20, seed: 0x71EE, ..Default::default() },
+        termination: Termination::Generations(12),
+        metrics: cs.metrics.clone(),
+        surrogate: None,
+        parallel: true,
+    };
+    let report = tool.explore(&cfg).expect("exploration succeeds");
+
+    println!("{}", report.summary());
+    println!();
+    println!("Table II ({part}) — non-dominated configurations:");
+    println!("{}", report.configuration_table());
+    println!("{figure} — solution metrics:");
+    println!("{}", report.metric_table());
+
+    let mut csv = CsvWriter::new();
+    csv.header(&[
+        "label", "NCLUSTER", "STACK_SIZE", "IMEM_SIZE", "DMEM_SIZE", "LUT", "FF", "BRAM",
+        "Fmax_MHz",
+    ]);
+    for (i, e) in report.pareto.iter().enumerate() {
+        csv.row(&[
+            point_label(i),
+            e.point.get("NCLUSTER").unwrap().to_string(),
+            e.point.get("STACK_SIZE").unwrap().to_string(),
+            e.point.get("IMEM_SIZE").unwrap().to_string(),
+            e.point.get("DMEM_SIZE").unwrap().to_string(),
+            format!("{:.0}", e.values[0]),
+            format!("{:.0}", e.values[1]),
+            format!("{:.0}", e.values[2]),
+            format!("{:.2}", e.values[3]),
+        ]);
+    }
+    let path = write_csv(csv_name, csv);
+    println!("wrote {}", path.display());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_series_compact() {
+        assert_eq!(fmt_series(&[1.0, 2.25]), "1.0000, 2.2500");
+    }
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        let d = results_dir();
+        assert!(d.exists());
+    }
+}

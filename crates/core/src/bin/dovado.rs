@@ -1,0 +1,10 @@
+//! The `dovado` command-line tool. All logic lives in [`dovado::cli`];
+//! this binary only bridges process arguments and stdout.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    let code = dovado::cli::run(&args, &mut out);
+    print!("{out}");
+    std::process::exit(code);
+}

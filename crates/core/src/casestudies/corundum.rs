@@ -1,0 +1,223 @@
+//! Corundum case study (§IV-B): the Verilog completion-queue manager of
+//! the open-source 100 Gbps NIC.
+//!
+//! The paper explores "the number of outstanding operations, the number of
+//! queues, and the pipeline stages" on the same Kintex-7, with the
+//! approximation model disabled, reporting LUTs, registers and BRAM
+//! occupation together with the maximum achievable frequency (~200 MHz).
+
+use super::CaseStudy;
+use crate::flow::HdlSource;
+use crate::metrics::MetricSet;
+use crate::space::{Domain, ParameterSpace};
+use dovado_hdl::Language;
+
+/// The completion-queue-manager source (interface-faithful to Corundum).
+pub const CPL_QUEUE_MANAGER_V: &str = r#"/*
+ * Completion queue manager (Corundum-style interface).
+ */
+module cpl_queue_manager #
+(
+    // Base address width
+    parameter ADDR_WIDTH = 64,
+    // Number of outstanding operations
+    parameter OP_TABLE_SIZE = 16,
+    // Operation tag field width
+    parameter OP_TAG_WIDTH = 8,
+    // Number of queues (log2)
+    parameter QUEUE_INDEX_WIDTH = 8,
+    // Queue element pointer width
+    parameter QUEUE_PTR_WIDTH = 16,
+    // Pipeline stages
+    parameter PIPELINE = 2,
+    // Width of AXI lite data bus in bits
+    parameter AXIL_DATA_WIDTH = 32,
+    // Width of AXI lite address bus in bits
+    parameter AXIL_ADDR_WIDTH = 16
+)
+(
+    input  wire                          clk,
+    input  wire                          rst,
+
+    /*
+     * Enqueue request input
+     */
+    input  wire [QUEUE_INDEX_WIDTH-1:0]  s_axis_enqueue_req_queue,
+    input  wire [OP_TAG_WIDTH-1:0]       s_axis_enqueue_req_tag,
+    input  wire                          s_axis_enqueue_req_valid,
+    output wire                          s_axis_enqueue_req_ready,
+
+    /*
+     * Enqueue response output
+     */
+    output wire [QUEUE_PTR_WIDTH-1:0]    m_axis_enqueue_resp_ptr,
+    output wire [ADDR_WIDTH-1:0]         m_axis_enqueue_resp_addr,
+    output wire [OP_TAG_WIDTH-1:0]       m_axis_enqueue_resp_tag,
+    output wire                          m_axis_enqueue_resp_valid,
+    input  wire                          m_axis_enqueue_resp_ready,
+
+    /*
+     * Enqueue commit input
+     */
+    input  wire [OP_TAG_WIDTH-1:0]       s_axis_enqueue_commit_tag,
+    input  wire                          s_axis_enqueue_commit_valid,
+    output wire                          s_axis_enqueue_commit_ready,
+
+    /*
+     * Event output
+     */
+    output wire [QUEUE_INDEX_WIDTH-1:0]  m_axis_event,
+    output wire                          m_axis_event_valid,
+
+    /*
+     * AXI-Lite slave interface
+     */
+    input  wire [AXIL_ADDR_WIDTH-1:0]    s_axil_awaddr,
+    input  wire                          s_axil_awvalid,
+    output wire                          s_axil_awready,
+    input  wire [AXIL_DATA_WIDTH-1:0]    s_axil_wdata,
+    input  wire                          s_axil_wvalid,
+    output wire                          s_axil_wready,
+
+    /*
+     * Configuration
+     */
+    input  wire                          enable
+);
+
+parameter CL_OP_TABLE_SIZE = $clog2(OP_TABLE_SIZE);
+parameter QUEUE_COUNT = 2**QUEUE_INDEX_WIDTH;
+
+reg [QUEUE_INDEX_WIDTH-1:0] op_table_queue [OP_TABLE_SIZE-1:0];
+reg [OP_TABLE_SIZE-1:0] op_table_active;
+reg [OP_TABLE_SIZE-1:0] op_table_commit;
+reg [CL_OP_TABLE_SIZE-1:0] op_table_start_ptr_reg;
+
+reg [QUEUE_INDEX_WIDTH-1:0] queue_ram_addr_pipeline_reg [PIPELINE-1:0];
+reg [AXIL_DATA_WIDTH-1:0] write_data_pipeline_reg [PIPELINE-1:0];
+
+integer i;
+
+always @(posedge clk) begin
+    if (rst) begin
+        op_table_active <= 0;
+        op_table_commit <= 0;
+        op_table_start_ptr_reg <= 0;
+    end else begin
+        if (s_axis_enqueue_req_valid && s_axis_enqueue_req_ready) begin
+            op_table_queue[op_table_start_ptr_reg] <= s_axis_enqueue_req_queue;
+            op_table_active[op_table_start_ptr_reg] <= 1'b1;
+            op_table_start_ptr_reg <= op_table_start_ptr_reg + 1;
+        end
+        for (i = 0; i < PIPELINE-1; i = i + 1) begin
+            queue_ram_addr_pipeline_reg[i+1] <= queue_ram_addr_pipeline_reg[i];
+            write_data_pipeline_reg[i+1] <= write_data_pipeline_reg[i];
+        end
+    end
+end
+
+endmodule
+"#;
+
+/// The packaged case study on the Kintex-7.
+pub fn case_study() -> CaseStudy {
+    CaseStudy {
+        name: "corundum-cpl-queue-manager",
+        sources: vec![HdlSource::new(
+            "cpl_queue_manager.v",
+            Language::Verilog,
+            CPL_QUEUE_MANAGER_V,
+        )],
+        top: "cpl_queue_manager",
+        // Ranges covering Table I's reported configurations:
+        // ops outstanding 8..35, queues (log2) 4..7, pipeline 2..5.
+        space: ParameterSpace::new()
+            .with("OP_TABLE_SIZE", Domain::range(8, 64))
+            .with("QUEUE_INDEX_WIDTH", Domain::range(4, 10))
+            .with("PIPELINE", Domain::range(1, 6)),
+        part: "xc7k70tfbv676-1",
+        metrics: MetricSet::area_frequency(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::DesignPoint;
+    use dovado_fpga::ResourceKind;
+
+    #[test]
+    fn source_parses_with_expected_interface() {
+        let (f, d) = dovado_hdl::parse_source(Language::Verilog, CPL_QUEUE_MANAGER_V).unwrap();
+        assert!(!d.has_errors(), "{:?}", d.iter().collect::<Vec<_>>());
+        let m = f.module("cpl_queue_manager").unwrap();
+        // 8 header parameters + 2 body parameters.
+        assert_eq!(m.parameters.len(), 10);
+        assert!(m.parameter("PIPELINE").is_some());
+        assert_eq!(m.clock_port().unwrap().name, "clk");
+        assert!(m.ports.len() >= 20);
+        // Stays plain Verilog (no SV constructs).
+        assert_eq!(m.language, Language::Verilog);
+    }
+
+    #[test]
+    fn space_covers_table1_configurations() {
+        let cs = case_study();
+        // Every Table I configuration must be encodable.
+        let table1 = [
+            (8, 5, 2),
+            (8, 4, 2),
+            (10, 4, 2),
+            (13, 4, 3),
+            (27, 4, 3),
+            (35, 4, 2),
+            (10, 4, 3),
+            (12, 4, 2),
+            (10, 7, 3),
+            (14, 4, 3),
+            (19, 4, 5),
+            (17, 4, 3),
+            (15, 4, 4),
+        ];
+        for (o, q, p) in table1 {
+            let point = DesignPoint::from_pairs(&[
+                ("OP_TABLE_SIZE", o),
+                ("QUEUE_INDEX_WIDTH", q),
+                ("PIPELINE", p),
+            ]);
+            assert!(cs.space.encode(&point).is_ok(), "({o},{q},{p}) not in space");
+        }
+    }
+
+    #[test]
+    fn bram_constant_frequency_near_200mhz() {
+        let cs = case_study();
+        let d = cs.dovado().unwrap();
+        let a = d
+            .evaluate_point(&DesignPoint::from_pairs(&[
+                ("OP_TABLE_SIZE", 8),
+                ("QUEUE_INDEX_WIDTH", 4),
+                ("PIPELINE", 2),
+            ]))
+            .unwrap();
+        let b = d
+            .evaluate_point(&DesignPoint::from_pairs(&[
+                ("OP_TABLE_SIZE", 35),
+                ("QUEUE_INDEX_WIDTH", 7),
+                ("PIPELINE", 5),
+            ]))
+            .unwrap();
+        assert_eq!(
+            a.utilization.get(ResourceKind::Bram),
+            b.utilization.get(ResourceKind::Bram),
+            "BRAM must be constant over the explored range"
+        );
+        for e in [&a, &b] {
+            assert!(
+                e.fmax_mhz > 120.0 && e.fmax_mhz < 320.0,
+                "frequency {} outside the ~200 MHz region",
+                e.fmax_mhz
+            );
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! cv32e40p case study (§IV-A): the SystemVerilog FIFO submodule used to
+//! assess the approximation model's accuracy.
+//!
+//! "We test the DSE on a SystemVerilog FIFO submodule exploring the depth
+//! parameter … The parameter range comprised 500 possible values, and the
+//! estimation model was pre-trained on 100 samples", targeting the
+//! XC7K70TFBV676-1 with FF, LUT, and frequency as the reported metrics.
+
+use super::CaseStudy;
+use crate::flow::HdlSource;
+use crate::metrics::{Metric, MetricSet};
+use crate::space::{Domain, ParameterSpace};
+use dovado_fpga::ResourceKind;
+use dovado_hdl::Language;
+
+/// The FIFO source, modelled on the cv32e40p `fifo_v3` interface.
+pub const FIFO_SV: &str = r#"// fifo_v3: synchronous FIFO in the cv32e40p style (interface-faithful).
+module fifo_v3 #(
+    parameter bit          FALL_THROUGH = 1'b0,  // first word fall-through
+    parameter int unsigned DATA_WIDTH   = 32,    // data width when dtype unused
+    parameter int unsigned DEPTH        = 8,     // can be arbitrary, tool maps pointers
+    // Derived: do not override.
+    localparam int unsigned ADDR_DEPTH  = (DEPTH > 1) ? $clog2(DEPTH) : 1
+) (
+    input  logic                  clk_i,      // clock
+    input  logic                  rst_ni,     // asynchronous reset, active low
+    input  logic                  flush_i,    // flush the queue
+    input  logic                  testmode_i, // test mode to bypass clock gating
+    // status
+    output logic                  full_o,
+    output logic                  empty_o,
+    output logic [ADDR_DEPTH-1:0] usage_o,
+    // input port
+    input  logic [DATA_WIDTH-1:0] data_i,
+    input  logic                  push_i,
+    // output port
+    output logic [DATA_WIDTH-1:0] data_o,
+    input  logic                  pop_i
+);
+  // Storage and pointers (register-based implementation).
+  logic [DATA_WIDTH-1:0] mem_q [DEPTH];
+  logic [ADDR_DEPTH-1:0] read_pointer_q, write_pointer_q;
+  logic [ADDR_DEPTH:0]   status_cnt_q;
+
+  assign full_o  = (status_cnt_q == DEPTH[ADDR_DEPTH:0]);
+  assign empty_o = (status_cnt_q == '0) && !(FALL_THROUGH && push_i);
+  assign usage_o = status_cnt_q[ADDR_DEPTH-1:0];
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      read_pointer_q  <= '0;
+      write_pointer_q <= '0;
+      status_cnt_q    <= '0;
+    end else if (flush_i) begin
+      read_pointer_q  <= '0;
+      write_pointer_q <= '0;
+      status_cnt_q    <= '0;
+    end else begin
+      if (push_i && !full_o) begin
+        mem_q[write_pointer_q] <= data_i;
+        write_pointer_q <= write_pointer_q + 1;
+        status_cnt_q <= status_cnt_q + 1;
+      end
+      if (pop_i && !empty_o) begin
+        read_pointer_q <= read_pointer_q + 1;
+        status_cnt_q <= status_cnt_q - 1;
+      end
+    end
+  end
+
+  assign data_o = mem_q[read_pointer_q];
+endmodule : fifo_v3
+"#;
+
+/// The packaged case study: depth over 500 possible values on the K7.
+pub fn case_study() -> CaseStudy {
+    CaseStudy {
+        name: "cv32e40p-fifo",
+        sources: vec![HdlSource::new("fifo_v3.sv", Language::SystemVerilog, FIFO_SV)],
+        top: "fifo_v3",
+        // 500 possible values, as in the paper.
+        space: ParameterSpace::new().with("DEPTH", Domain::Range { lo: 2, hi: 1000, step: 2 }),
+        part: "xc7k70tfbv676-1",
+        metrics: MetricSet::new(vec![
+            Metric::Utilization(ResourceKind::Register),
+            Metric::Utilization(ResourceKind::Lut),
+            Metric::Fmax,
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::DesignPoint;
+
+    #[test]
+    fn source_parses_with_expected_interface() {
+        let (f, d) = dovado_hdl::parse_source(Language::SystemVerilog, FIFO_SV).unwrap();
+        assert!(!d.has_errors());
+        let m = f.module("fifo_v3").unwrap();
+        assert_eq!(m.free_parameters().count(), 3);
+        assert!(m.parameter("ADDR_DEPTH").unwrap().local);
+        assert_eq!(m.ports.len(), 11);
+        assert_eq!(m.clock_port().unwrap().name, "clk_i");
+    }
+
+    #[test]
+    fn space_has_500_points() {
+        let cs = case_study();
+        assert_eq!(cs.space.volume(), 500);
+    }
+
+    #[test]
+    fn evaluation_runs_end_to_end() {
+        let cs = case_study();
+        let d = cs.dovado().unwrap();
+        let e = d.evaluate_point(&DesignPoint::from_pairs(&[("DEPTH", 128)])).unwrap();
+        assert!(e.utilization.get(ResourceKind::Register) > 4000);
+        assert!(e.fmax_mhz > 100.0 && e.fmax_mhz < 600.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! The paper's four case studies (§IV), packaged as ready-to-run
+//! definitions: embedded HDL interface sources in the right language,
+//! the explored parameter space, the target device, and the metric set.
+//!
+//! | Case study | Language | Paper section |
+//! |---|---|---|
+//! | [`cv32e40p`] FIFO | SystemVerilog | IV-A (surrogate accuracy, Fig. 3) |
+//! | [`corundum`] completion-queue manager | Verilog | IV-B (Fig. 4, Table I) |
+//! | [`neorv32`] core | VHDL | IV-C (Fig. 5) |
+//! | [`tirex`] regex architecture | VHDL | IV-D (Figs. 6–7, Table II) |
+
+pub mod corundum;
+pub mod cv32e40p;
+pub mod neorv32;
+pub mod tirex;
+
+use crate::dse::Dovado;
+use crate::error::DovadoResult;
+use crate::flow::{EvalConfig, HdlSource};
+use crate::metrics::MetricSet;
+use crate::space::ParameterSpace;
+
+/// A packaged case study.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// HDL sources.
+    pub sources: Vec<HdlSource>,
+    /// The module under exploration.
+    pub top: &'static str,
+    /// The explored space.
+    pub space: ParameterSpace,
+    /// Default target part.
+    pub part: &'static str,
+    /// Metrics the paper reports for it.
+    pub metrics: MetricSet,
+}
+
+impl CaseStudy {
+    /// Builds a [`Dovado`] instance targeting the default part.
+    pub fn dovado(&self) -> DovadoResult<Dovado> {
+        self.dovado_on(self.part)
+    }
+
+    /// Builds a [`Dovado`] instance targeting another part (TiReX runs on
+    /// both the ZU3EG and the XC7K70T).
+    pub fn dovado_on(&self, part: &str) -> DovadoResult<Dovado> {
+        let config = EvalConfig { part: part.to_string(), ..EvalConfig::default() };
+        self.dovado_with(config)
+    }
+
+    /// Builds a [`Dovado`] instance with a custom evaluation config.
+    pub fn dovado_with(&self, config: EvalConfig) -> DovadoResult<Dovado> {
+        Dovado::new(self.sources.clone(), self.top, self.space.clone(), config)
+    }
+}
+
+/// All case studies.
+pub fn all() -> Vec<CaseStudy> {
+    vec![cv32e40p::case_study(), corundum::case_study(), neorv32::case_study(), tirex::case_study()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_case_study_constructs() {
+        for cs in all() {
+            let d = cs.dovado().unwrap_or_else(|e| panic!("{}: {e}", cs.name));
+            assert!(d.space().dim() >= 1, "{}", cs.name);
+        }
+    }
+
+    #[test]
+    fn languages_cover_the_paper_matrix() {
+        use dovado_hdl::Language;
+        let studies = all();
+        let langs: Vec<Language> =
+            studies.iter().map(|c| c.sources[0].language).collect();
+        assert!(langs.contains(&Language::SystemVerilog));
+        assert!(langs.contains(&Language::Verilog));
+        assert!(langs.contains(&Language::Vhdl));
+    }
+
+    #[test]
+    fn default_parts_resolve() {
+        let catalog = dovado_fpga::Catalog::builtin();
+        for cs in all() {
+            assert!(catalog.resolve(cs.part).is_some(), "{}: part {}", cs.name, cs.part);
+        }
+    }
+}

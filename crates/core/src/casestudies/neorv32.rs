@@ -1,0 +1,151 @@
+//! Neorv32 case study (§IV-C): the VHDL in-order 4-stage RISC-V core.
+//!
+//! "We tested the top module and explore as module parameters the
+//! instruction and data memory sizes. We decided to constrain the
+//! exploration only to the power of twos to explore a larger parameter
+//! space without considering meaningless parameter assignments", on the
+//! same Kintex-7 without the approximation model.
+
+use super::CaseStudy;
+use crate::flow::HdlSource;
+use crate::metrics::MetricSet;
+use crate::space::{Domain, ParameterSpace};
+use dovado_hdl::Language;
+
+/// The Neorv32 top source (interface-faithful subset).
+pub const NEORV32_TOP_VHD: &str = r#"-- neorv32_top: processor top entity (interface-faithful subset).
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+library neorv32;
+use neorv32.neorv32_package.all;
+
+entity neorv32_top is
+  generic (
+    -- General --
+    CLOCK_FREQUENCY            : natural := 100000000;
+    HW_THREAD_ID               : natural := 0;
+    -- RISC-V CPU Extensions --
+    CPU_EXTENSION_RISCV_C      : boolean := true;
+    CPU_EXTENSION_RISCV_M      : boolean := true;
+    -- Internal Instruction memory --
+    MEM_INT_IMEM_EN            : boolean := true;
+    MEM_INT_IMEM_SIZE          : natural := 16384; -- size in bytes
+    -- Internal Data memory --
+    MEM_INT_DMEM_EN            : boolean := true;
+    MEM_INT_DMEM_SIZE          : natural := 8192; -- size in bytes
+    -- Processor peripherals --
+    IO_GPIO_EN                 : boolean := true;
+    IO_UART0_EN                : boolean := true
+  );
+  port (
+    -- Global control --
+    clk_i       : in  std_logic;
+    rstn_i      : in  std_logic;
+    -- GPIO --
+    gpio_o      : out std_logic_vector(63 downto 0);
+    gpio_i      : in  std_logic_vector(63 downto 0);
+    -- UART0 --
+    uart0_txd_o : out std_logic;
+    uart0_rxd_i : in  std_logic
+  );
+end entity neorv32_top;
+
+architecture neorv32_top_rtl of neorv32_top is
+  signal cpu_sleep : std_logic;
+  signal imem_addr : std_logic_vector(31 downto 0);
+begin
+  -- The real top wires up the CPU, memories and peripherals; the interface
+  -- above is everything Dovado touches.
+  sanity_check: process (clk_i)
+  begin
+    if rising_edge(clk_i) then
+      cpu_sleep <= not cpu_sleep;
+    end if;
+  end process sanity_check;
+end architecture neorv32_top_rtl;
+"#;
+
+/// The packaged case study: memory sizes restricted to powers of two.
+pub fn case_study() -> CaseStudy {
+    CaseStudy {
+        name: "neorv32",
+        sources: vec![HdlSource::new("neorv32_top.vhd", Language::Vhdl, NEORV32_TOP_VHD)],
+        top: "neorv32_top",
+        space: ParameterSpace::new()
+            .with("MEM_INT_IMEM_SIZE", Domain::PowerOfTwo { min_exp: 10, max_exp: 16 })
+            .with("MEM_INT_DMEM_SIZE", Domain::PowerOfTwo { min_exp: 10, max_exp: 16 }),
+        part: "xc7k70tfbv676-1",
+        metrics: MetricSet::area_frequency(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::DesignPoint;
+    use dovado_fpga::ResourceKind;
+
+    #[test]
+    fn source_parses_with_expected_interface() {
+        let (f, d) = dovado_hdl::parse_source(Language::Vhdl, NEORV32_TOP_VHD).unwrap();
+        assert!(!d.has_errors(), "{:?}", d.iter().collect::<Vec<_>>());
+        let m = f.module("neorv32_top").unwrap();
+        assert_eq!(m.parameters.len(), 10);
+        assert_eq!(m.parameter("MEM_INT_IMEM_SIZE").unwrap().const_default(), Some(16384));
+        // Booleans read as integers (paper §III-B1).
+        assert_eq!(m.parameter("CPU_EXTENSION_RISCV_M").unwrap().const_default(), Some(1));
+        assert_eq!(m.clock_port().unwrap().name, "clk_i");
+        assert_eq!(f.libraries(), vec!["ieee".to_string(), "neorv32".to_string()]);
+    }
+
+    #[test]
+    fn power_of_two_space() {
+        let cs = case_study();
+        assert_eq!(cs.space.volume(), 7 * 7);
+        // 2^15 must be admissible (the paper's headline configuration)…
+        assert!(cs
+            .space
+            .encode(&DesignPoint::from_pairs(&[
+                ("MEM_INT_IMEM_SIZE", 32768),
+                ("MEM_INT_DMEM_SIZE", 32768),
+            ]))
+            .is_ok());
+        // …and non-powers must not be.
+        assert!(cs
+            .space
+            .encode(&DesignPoint::from_pairs(&[
+                ("MEM_INT_IMEM_SIZE", 33000),
+                ("MEM_INT_DMEM_SIZE", 32768),
+            ]))
+            .is_err());
+    }
+
+    #[test]
+    fn bram_steps_between_2p14_and_2p15() {
+        let cs = case_study();
+        let d = cs.dovado().unwrap();
+        let small = d
+            .evaluate_point(&DesignPoint::from_pairs(&[
+                ("MEM_INT_IMEM_SIZE", 16384),
+                ("MEM_INT_DMEM_SIZE", 8192),
+            ]))
+            .unwrap();
+        let big = d
+            .evaluate_point(&DesignPoint::from_pairs(&[
+                ("MEM_INT_IMEM_SIZE", 32768),
+                ("MEM_INT_DMEM_SIZE", 32768),
+            ]))
+            .unwrap();
+        // Fig. 5: sensible BRAM change, other metrics almost unchanged.
+        assert!(big.utilization.get(ResourceKind::Bram) >= 2 * small.utilization.get(ResourceKind::Bram));
+        let lut_rel = (big.utilization.get(ResourceKind::Lut) as f64
+            - small.utilization.get(ResourceKind::Lut) as f64)
+            .abs()
+            / small.utilization.get(ResourceKind::Lut) as f64;
+        assert!(lut_rel < 0.05, "LUTs moved {lut_rel}");
+        let f_rel = (big.fmax_mhz - small.fmax_mhz).abs() / small.fmax_mhz;
+        assert!(f_rel < 0.1, "frequency moved {f_rel}");
+    }
+}

@@ -1,0 +1,141 @@
+//! TiReX case study (§IV-D): the VHDL domain-specific architecture for
+//! regular-expression matching.
+//!
+//! Explored parameters: the merged datapath parallelism `NCLUSTER` ("two
+//! datapath parameters … that we constrain to be a unique parallelism
+//! parameter"), the control unit's `STACK_SIZE`, and the instruction/data
+//! memory sizes — all powers of two. The paper runs the same exploration
+//! on a 16 nm ZU3EG and a 28 nm XC7K70T to expose technology impact
+//! (~550 vs ~190 MHz).
+
+use super::CaseStudy;
+use crate::flow::HdlSource;
+use crate::metrics::MetricSet;
+use crate::space::{Domain, ParameterSpace};
+use dovado_hdl::Language;
+
+/// TiReX top source (interface-faithful subset).
+pub const TIREX_TOP_VHD: &str = r#"-- tirex_top: tiled regular expression matching architecture.
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity tirex_top is
+  generic (
+    -- Unified datapath parallelism (core count x instruction width).
+    NCLUSTER   : natural := 1;
+    -- Context-switch stack depth of the control unit.
+    STACK_SIZE : natural := 16;
+    -- Instruction memory size (units of 512 x 64-bit entries).
+    IMEM_SIZE  : natural := 8;
+    -- Data memory size (units of 512 x 64-bit entries).
+    DMEM_SIZE  : natural := 8
+  );
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    -- Input character stream.
+    char_i     : in  std_logic_vector(7 downto 0);
+    char_vld_i : in  std_logic;
+    -- Instruction load interface.
+    instr_i    : in  std_logic_vector(63 downto 0);
+    instr_we_i : in  std_logic;
+    -- Match result.
+    match_o    : out std_logic;
+    match_id_o : out std_logic_vector(15 downto 0)
+  );
+end entity tirex_top;
+
+architecture rtl of tirex_top is
+  signal dispatch_valid : std_logic;
+  signal active_set     : std_logic_vector(NCLUSTER-1 downto 0);
+begin
+  dispatch: process (clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        dispatch_valid <= '0';
+      else
+        dispatch_valid <= char_vld_i;
+      end if;
+    end if;
+  end process dispatch;
+end architecture rtl;
+"#;
+
+/// The packaged case study (default part: the paper's ZU3EG target).
+pub fn case_study() -> CaseStudy {
+    CaseStudy {
+        name: "tirex",
+        sources: vec![HdlSource::new("tirex_top.vhd", Language::Vhdl, TIREX_TOP_VHD)],
+        top: "tirex_top",
+        space: ParameterSpace::new()
+            .with("NCLUSTER", Domain::PowerOfTwo { min_exp: 0, max_exp: 3 })
+            .with("STACK_SIZE", Domain::PowerOfTwo { min_exp: 0, max_exp: 8 })
+            .with("IMEM_SIZE", Domain::PowerOfTwo { min_exp: 3, max_exp: 6 })
+            .with("DMEM_SIZE", Domain::PowerOfTwo { min_exp: 3, max_exp: 6 }),
+        part: "xczu3eg-sbva484-1-e",
+        metrics: MetricSet::area_frequency(),
+    }
+}
+
+/// The Kintex-7 part used for the paper's second TiReX run (Fig. 7).
+pub const XC7K_PART: &str = "xc7k70tfbv676-1";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::DesignPoint;
+
+    #[test]
+    fn source_parses_with_expected_interface() {
+        let (f, d) = dovado_hdl::parse_source(Language::Vhdl, TIREX_TOP_VHD).unwrap();
+        assert!(!d.has_errors(), "{:?}", d.iter().collect::<Vec<_>>());
+        let m = f.module("tirex_top").unwrap();
+        assert_eq!(m.parameters.len(), 4);
+        assert_eq!(m.ports.len(), 8);
+        assert_eq!(m.clock_port().unwrap().name, "clk");
+    }
+
+    #[test]
+    fn table2_configurations_encodable() {
+        let cs = case_study();
+        // ZU3EG rows of Table II.
+        for (n, s, i, d) in [(1, 16, 8, 16), (1, 4, 8, 8), (1, 256, 8, 8), (1, 2, 8, 8)] {
+            let p = DesignPoint::from_pairs(&[
+                ("NCLUSTER", n),
+                ("STACK_SIZE", s),
+                ("IMEM_SIZE", i),
+                ("DMEM_SIZE", d),
+            ]);
+            assert!(cs.space.encode(&p).is_ok(), "({n},{s},{i},{d})");
+        }
+    }
+
+    #[test]
+    fn technology_gap_between_devices() {
+        let cs = case_study();
+        let p = DesignPoint::from_pairs(&[
+            ("NCLUSTER", 1),
+            ("STACK_SIZE", 16),
+            ("IMEM_SIZE", 8),
+            ("DMEM_SIZE", 8),
+        ]);
+        let zu = cs.dovado().unwrap().evaluate_point(&p).unwrap();
+        let k7 = cs.dovado_on(XC7K_PART).unwrap().evaluate_point(&p).unwrap();
+        // §IV-D: "the achievable frequencies are so different, e.g. 550
+        // against 190 MHz, even though configurations are quite similar".
+        assert!(
+            zu.fmax_mhz > 400.0 && zu.fmax_mhz < 750.0,
+            "ZU3EG fmax {}",
+            zu.fmax_mhz
+        );
+        assert!(
+            k7.fmax_mhz > 140.0 && k7.fmax_mhz < 280.0,
+            "XC7K70T fmax {}",
+            k7.fmax_mhz
+        );
+        let ratio = zu.fmax_mhz / k7.fmax_mhz;
+        assert!(ratio > 2.0 && ratio < 4.0, "technology ratio {ratio}");
+    }
+}

@@ -1,0 +1,662 @@
+//! The `dovado` command-line interface.
+//!
+//! The original Dovado ships as a CLI ("available as a python package");
+//! this module is the Rust equivalent, hand-rolled (no argument-parsing
+//! dependency) and fully testable: [`run`] takes the argument vector and a
+//! writer, so tests drive it without a process boundary.
+//!
+//! Subcommands:
+//!
+//! * `parse <file>…` — print the extracted module interfaces.
+//! * `parts` — list the built-in device catalog.
+//! * `evaluate` — single design-point evaluation (design automation).
+//! * `explore` — design space exploration (NSGA-II, optional surrogate).
+//! * `demo <case>` — run a packaged paper case study.
+
+use crate::casestudies;
+use crate::dse::{Dovado, DseConfig, SurrogateConfig};
+use crate::flow::{EvalConfig, FlowStep, HdlSource};
+use crate::metrics::{Metric, MetricSet};
+use crate::point::DesignPoint;
+use crate::space::{Domain, ParameterSpace};
+use dovado_fpga::{Catalog, ResourceKind};
+use dovado_hdl::Language;
+use dovado_moo::{Nsga2Config, Termination};
+use std::fmt::Write as _;
+
+/// CLI entry point: executes `args` (without the program name), writing
+/// human output to `out`. Returns the process exit code.
+pub fn run(args: &[String], out: &mut String) -> i32 {
+    match run_inner(args, out) {
+        Ok(()) => 0,
+        Err(msg) => {
+            let _ = writeln!(out, "error: {msg}");
+            let _ = writeln!(out, "run `dovado help` for usage");
+            1
+        }
+    }
+}
+
+fn run_inner(args: &[String], out: &mut String) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            let _ = write!(out, "{}", usage());
+            Ok(())
+        }
+        Some("parts") => cmd_parts(out),
+        Some("parse") => cmd_parse(&args[1..], out),
+        Some("evaluate") => cmd_evaluate(&args[1..], out),
+        Some("explore") => cmd_explore(&args[1..], out),
+        Some("demo") => cmd_demo(&args[1..], out),
+        Some(other) => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "\
+dovado — design automation and design space exploration for RTL modules
+
+USAGE:
+  dovado parse <file>...
+  dovado parts
+  dovado evaluate --source <file>... --top <module> [--part <part>]
+                  [--set NAME=VALUE]... [--period <ns>] [--step synth|impl]
+                  [--synth-directive <d>] [--impl-directive <d>]
+  dovado explore  --source <file>... --top <module> [--part <part>]
+                  --param NAME=<spec>... [--metric <m>,<m>,...]
+                  [--generations <n>] [--pop <n>] [--seed <n>]
+                  [--surrogate <M>] [--deadline <simulated-s>] [--plot]
+                  [--algorithm nsga2|random|weighted-sum|exhaustive]
+                  [--csv <file>]
+  dovado demo <cv32e40p|corundum|neorv32|tirex>
+
+PARAM SPECS:
+  lo:hi          integer range            (e.g. DEPTH=2:1000)
+  lo:hi:step     stepped range            (e.g. DEPTH=2:1000:2)
+  pow2:a:b       powers of two 2^a..2^b   (e.g. SIZE=pow2:10:16)
+  bool           {0, 1}
+  v1,v2,...      explicit list            (e.g. WIDTH=8,16,32)
+
+METRICS: lut, ff, bram, uram, dsp, carry, io, bufg, fmax, power
+"
+    .to_string()
+}
+
+fn cmd_parts(out: &mut String) -> Result<(), String> {
+    let catalog = Catalog::builtin();
+    let _ = writeln!(
+        out,
+        "{:<26} {:<22} {:>9} {:>9} {:>6} {:>6} {:>6}",
+        "part", "family", "LUT", "FF", "BRAM", "URAM", "DSP"
+    );
+    for p in catalog.parts() {
+        let _ = writeln!(
+            out,
+            "{:<26} {:<22} {:>9} {:>9} {:>6} {:>6} {:>6}",
+            p.name,
+            p.family.to_string(),
+            p.capacity.get(ResourceKind::Lut),
+            p.capacity.get(ResourceKind::Register),
+            p.capacity.get(ResourceKind::Bram),
+            p.capacity.get(ResourceKind::Uram),
+            p.capacity.get(ResourceKind::Dsp),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_parse(files: &[String], out: &mut String) -> Result<(), String> {
+    if files.is_empty() {
+        return Err("parse: no files given".into());
+    }
+    for path in files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let lang = language_of(path)?;
+        let (file, diags) = dovado_hdl::parse_source(lang, &text)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let _ = writeln!(out, "{path} ({lang}):");
+        for d in diags.iter() {
+            let _ = writeln!(out, "  {d}");
+        }
+        for m in &file.modules {
+            let _ = writeln!(out, "  module {} [{}]", m.name, m.language);
+            for p in &m.parameters {
+                let kind = if p.local { "localparam" } else { "parameter" };
+                let default = p
+                    .default
+                    .as_ref()
+                    .map(|d| format!(" = {d}"))
+                    .unwrap_or_default();
+                let _ = writeln!(out, "    {kind} {}{default}", p.name);
+            }
+            for port in &m.ports {
+                let _ = writeln!(out, "    port {} : {} {}", port.name, port.direction, port.ty);
+            }
+            if let Some(clk) = m.clock_port() {
+                let _ = writeln!(out, "    clock candidate: {}", clk.name);
+            }
+        }
+        for pkg in &file.packages {
+            let _ = writeln!(out, "  package {}", pkg.name);
+        }
+    }
+    Ok(())
+}
+
+/// Shared flags of evaluate/explore.
+struct CommonArgs {
+    sources: Vec<HdlSource>,
+    top: String,
+    eval: EvalConfig,
+}
+
+fn parse_common(args: &[String]) -> Result<(CommonArgs, Vec<(String, String)>), String> {
+    let mut sources = Vec::new();
+    let mut top = None;
+    let mut eval = EvalConfig::default();
+    let mut rest: Vec<(String, String)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{flag}: missing value"))
+        };
+        match flag {
+            "--source" => {
+                let path = value(i)?;
+                let text =
+                    std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                let lang = language_of(&path)?;
+                let name = path.rsplit('/').next().unwrap_or(&path).to_string();
+                sources.push(HdlSource::new(name, lang, text));
+                i += 2;
+            }
+            "--top" => {
+                top = Some(value(i)?);
+                i += 2;
+            }
+            "--part" => {
+                eval.part = value(i)?;
+                i += 2;
+            }
+            "--period" => {
+                eval.target_period_ns = value(i)?
+                    .parse()
+                    .map_err(|_| "--period: not a number".to_string())?;
+                i += 2;
+            }
+            "--step" => {
+                eval.step = match value(i)?.as_str() {
+                    "synth" | "synthesis" => FlowStep::Synthesis,
+                    "impl" | "implementation" => FlowStep::Implementation,
+                    other => return Err(format!("--step: unknown step `{other}`")),
+                };
+                i += 2;
+            }
+            "--synth-directive" => {
+                eval.synth_directive = value(i)?;
+                i += 2;
+            }
+            "--impl-directive" => {
+                eval.impl_directive = value(i)?;
+                i += 2;
+            }
+            "--no-incremental" => {
+                eval.incremental = false;
+                i += 1;
+            }
+            _ => {
+                // Deferred to the subcommand (may take a value).
+                if flag.starts_with("--") {
+                    let v = args.get(i + 1).cloned().unwrap_or_default();
+                    let takes_value = !v.starts_with("--") && !v.is_empty();
+                    rest.push((
+                        flag.to_string(),
+                        if takes_value { v } else { String::new() },
+                    ));
+                    i += if takes_value { 2 } else { 1 };
+                } else {
+                    return Err(format!("unexpected argument `{flag}`"));
+                }
+            }
+        }
+    }
+    if sources.is_empty() {
+        return Err("missing --source".into());
+    }
+    let top = top.ok_or_else(|| "missing --top".to_string())?;
+    Ok((CommonArgs { sources, top, eval }, rest))
+}
+
+fn cmd_evaluate(args: &[String], out: &mut String) -> Result<(), String> {
+    let (common, rest) = parse_common(args)?;
+    let mut assignments: Vec<(String, i64)> = Vec::new();
+    for (flag, value) in &rest {
+        match flag.as_str() {
+            "--set" => {
+                let (k, v) = value
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set: want NAME=VALUE, got `{value}`"))?;
+                let vi: i64 =
+                    v.parse().map_err(|_| format!("--set: non-integer value `{v}`"))?;
+                assignments.push((k.to_string(), vi));
+            }
+            other => return Err(format!("evaluate: unknown flag `{other}`")),
+        }
+    }
+
+    let evaluator = crate::flow::Evaluator::new(common.sources, &common.top, common.eval)
+        .map_err(|e| e.to_string())?;
+    let pairs: Vec<(&str, i64)> =
+        assignments.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let point = DesignPoint::from_pairs(&pairs);
+    let eval = evaluator.evaluate(&point).map_err(|e| e.to_string())?;
+
+    let _ = writeln!(out, "design point : {point}");
+    for kind in ResourceKind::ALL {
+        let v = eval.utilization.get(kind);
+        if v > 0 {
+            let _ = writeln!(out, "{:<13}: {v}", kind.to_string());
+        }
+    }
+    let _ = writeln!(out, "{:<13}: {:.3} ns (target {:.3} ns)", "WNS", eval.wns_ns, eval.period_ns);
+    let _ = writeln!(out, "{:<13}: {:.2} MHz", "Fmax", eval.fmax_mhz);
+    let _ = writeln!(out, "{:<13}: {:.0} simulated s", "tool time", eval.tool_time_s);
+    Ok(())
+}
+
+fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
+    let (common, rest) = parse_common(args)?;
+    let mut space = ParameterSpace::new();
+    let mut metrics: Option<MetricSet> = None;
+    let mut generations = 15u32;
+    let mut pop = 20usize;
+    let mut seed = 0u64;
+    let mut surrogate: Option<usize> = None;
+    let mut deadline: Option<f64> = None;
+    let mut plot = false;
+    let mut explorer = crate::dse::Explorer::Nsga2;
+    let mut csv_path: Option<String> = None;
+
+    for (flag, value) in &rest {
+        match flag.as_str() {
+            "--param" => {
+                let (name, spec) = value
+                    .split_once('=')
+                    .ok_or_else(|| format!("--param: want NAME=SPEC, got `{value}`"))?;
+                space = space.with(name, parse_domain(spec)?);
+            }
+            "--metric" => metrics = Some(parse_metrics(value)?),
+            "--generations" => {
+                generations =
+                    value.parse().map_err(|_| "--generations: not a number".to_string())?
+            }
+            "--pop" => pop = value.parse().map_err(|_| "--pop: not a number".to_string())?,
+            "--seed" => seed = value.parse().map_err(|_| "--seed: not a number".to_string())?,
+            "--surrogate" => {
+                surrogate =
+                    Some(value.parse().map_err(|_| "--surrogate: not a number".to_string())?)
+            }
+            "--deadline" => {
+                deadline =
+                    Some(value.parse().map_err(|_| "--deadline: not a number".to_string())?)
+            }
+            "--plot" => plot = true,
+            "--csv" => csv_path = Some(value.clone()),
+            "--algorithm" => {
+                explorer = match value.as_str() {
+                    "nsga2" => crate::dse::Explorer::Nsga2,
+                    "random" => crate::dse::Explorer::RandomSearch,
+                    "weighted-sum" | "ws" => crate::dse::Explorer::WeightedSum(None),
+                    "exhaustive" => crate::dse::Explorer::Exhaustive { limit: 100_000 },
+                    other => return Err(format!("--algorithm: unknown explorer `{other}`")),
+                }
+            }
+            other => return Err(format!("explore: unknown flag `{other}`")),
+        }
+    }
+    if space.dim() == 0 {
+        return Err("explore: at least one --param is required".into());
+    }
+    let metrics = metrics.unwrap_or_else(MetricSet::area_frequency);
+
+    let tool = Dovado::new(common.sources, &common.top, space, common.eval)
+        .map_err(|e| e.to_string())?;
+    let termination = match deadline {
+        Some(d) => Termination::Any(vec![
+            Termination::Generations(generations),
+            Termination::SoftDeadline(d),
+        ]),
+        None => Termination::Generations(generations),
+    };
+    let report = tool
+        .explore(&DseConfig {
+            explorer,
+            algorithm: Nsga2Config { pop_size: pop, seed, ..Default::default() },
+            termination,
+            metrics,
+            surrogate: surrogate.map(|m| SurrogateConfig {
+                pretrain_samples: m,
+                ..Default::default()
+            }),
+            parallel: true,
+        })
+        .map_err(|e| e.to_string())?;
+
+    let _ = writeln!(out, "{}", report.summary());
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", report.configuration_table());
+    let _ = writeln!(out, "{}", report.metric_table());
+    if plot && report.metrics.len() >= 2 {
+        let _ = writeln!(out, "{}", report.scatter(0, report.metrics.len() - 1, 56, 14));
+    }
+    if let Some(path) = csv_path {
+        let mut w = crate::csv::CsvWriter::new();
+        let mut header: Vec<String> = vec!["label".into()];
+        if let Some(first) = report.pareto.first() {
+            header.extend(first.point.names().iter().cloned());
+        }
+        header.extend(report.metrics.metrics().iter().map(|m| m.label()));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        w.header(&header_refs);
+        for (i, e) in report.pareto.iter().enumerate() {
+            let mut row: Vec<String> = vec![crate::results::point_label(i)];
+            row.extend(e.point.values().iter().map(|v| v.to_string()));
+            row.extend(e.values.iter().map(|v| format!("{v:.3}")));
+            w.row(&row);
+        }
+        std::fs::write(&path, w.finish()).map_err(|e| format!("{path}: {e}"))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_demo(args: &[String], out: &mut String) -> Result<(), String> {
+    let name = args.first().ok_or_else(|| "demo: missing case-study name".to_string())?;
+    let cs = match name.as_str() {
+        "cv32e40p" | "fifo" => casestudies::cv32e40p::case_study(),
+        "corundum" => casestudies::corundum::case_study(),
+        "neorv32" => casestudies::neorv32::case_study(),
+        "tirex" => casestudies::tirex::case_study(),
+        other => return Err(format!("demo: unknown case study `{other}`")),
+    };
+    let _ = writeln!(out, "case study: {} (top {}, part {})", cs.name, cs.top, cs.part);
+    let _ = writeln!(out, "space     : {}", cs.space);
+    let tool = cs.dovado().map_err(|e| e.to_string())?;
+    let report = tool
+        .explore(&DseConfig {
+            algorithm: Nsga2Config { pop_size: 14, seed: 1, ..Default::default() },
+            termination: Termination::Generations(8),
+            metrics: cs.metrics.clone(),
+            surrogate: None,
+            parallel: true,
+            ..Default::default()
+        })
+        .map_err(|e| e.to_string())?;
+    let _ = writeln!(out, "{}", report.summary());
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", report.configuration_table());
+    let _ = writeln!(out, "{}", report.metric_table());
+    Ok(())
+}
+
+fn language_of(path: &str) -> Result<Language, String> {
+    path.rsplit('.')
+        .next()
+        .and_then(Language::from_extension)
+        .ok_or_else(|| format!("{path}: unknown HDL extension (want .vhd/.vhdl/.v/.sv)"))
+}
+
+/// Parses a `--param` domain spec (see [`usage`]).
+pub fn parse_domain(spec: &str) -> Result<Domain, String> {
+    if spec == "bool" {
+        return Ok(Domain::Bool);
+    }
+    if let Some(rest) = spec.strip_prefix("pow2:") {
+        let (a, b) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("pow2 spec wants pow2:a:b, got `{spec}`"))?;
+        let min_exp: u32 = a.parse().map_err(|_| format!("bad exponent `{a}`"))?;
+        let max_exp: u32 = b.parse().map_err(|_| format!("bad exponent `{b}`"))?;
+        let d = Domain::PowerOfTwo { min_exp, max_exp };
+        d.validate().map_err(|e| e.to_string())?;
+        return Ok(d);
+    }
+    if spec.contains(':') {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let lo: i64 = parts[0].parse().map_err(|_| format!("bad bound `{}`", parts[0]))?;
+        let hi: i64 = parts[1].parse().map_err(|_| format!("bad bound `{}`", parts[1]))?;
+        let step: i64 = match parts.len() {
+            2 => 1,
+            3 => parts[2].parse().map_err(|_| format!("bad step `{}`", parts[2]))?,
+            _ => return Err(format!("range spec wants lo:hi[:step], got `{spec}`")),
+        };
+        let d = Domain::Range { lo: lo.min(hi), hi: hi.max(lo), step };
+        d.validate().map_err(|e| e.to_string())?;
+        return Ok(d);
+    }
+    if spec.contains(',') {
+        let mut values = Vec::new();
+        for v in spec.split(',') {
+            values.push(v.trim().parse::<i64>().map_err(|_| format!("bad value `{v}`"))?);
+        }
+        values.sort_unstable();
+        values.dedup();
+        let d = Domain::Explicit(values);
+        d.validate().map_err(|e| e.to_string())?;
+        return Ok(d);
+    }
+    // A single value: a degenerate range.
+    let v: i64 = spec.parse().map_err(|_| format!("unrecognized domain spec `{spec}`"))?;
+    Ok(Domain::Range { lo: v, hi: v, step: 1 })
+}
+
+/// Parses a `--metric` list such as `lut,ff,fmax`.
+pub fn parse_metrics(spec: &str) -> Result<MetricSet, String> {
+    let mut metrics = Vec::new();
+    for item in spec.split(',') {
+        let m = match item.trim().to_ascii_lowercase().as_str() {
+            "lut" | "luts" => Metric::Utilization(ResourceKind::Lut),
+            "ff" | "register" | "registers" | "reg" => {
+                Metric::Utilization(ResourceKind::Register)
+            }
+            "bram" | "brams" => Metric::Utilization(ResourceKind::Bram),
+            "uram" | "urams" => Metric::Utilization(ResourceKind::Uram),
+            "dsp" | "dsps" => Metric::Utilization(ResourceKind::Dsp),
+            "carry" => Metric::Utilization(ResourceKind::Carry),
+            "io" => Metric::Utilization(ResourceKind::Io),
+            "bufg" => Metric::Utilization(ResourceKind::Bufg),
+            "fmax" | "freq" | "frequency" => Metric::Fmax,
+            "power" | "pwr" => Metric::Power,
+            other => return Err(format!("unknown metric `{other}`")),
+        };
+        if metrics.contains(&m) {
+            return Err(format!("duplicate metric `{item}`"));
+        }
+        metrics.push(m);
+    }
+    if metrics.is_empty() {
+        return Err("empty metric list".into());
+    }
+    Ok(MetricSet::new(metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("dovado-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const FIFO: &str = "module fifo_v3 #(parameter DEPTH = 8, parameter DATA_WIDTH = 32)\
+                        (input logic clk_i); endmodule";
+
+    #[test]
+    fn help_prints_usage() {
+        let mut out = String::new();
+        assert_eq!(run(&args(&["help"]), &mut out), 0);
+        assert!(out.contains("USAGE"));
+        let mut out2 = String::new();
+        assert_eq!(run(&[], &mut out2), 0);
+        assert!(out2.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        let mut out = String::new();
+        assert_eq!(run(&args(&["frobnicate"]), &mut out), 1);
+        assert!(out.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn parts_lists_catalog() {
+        let mut out = String::new();
+        assert_eq!(run(&args(&["parts"]), &mut out), 0);
+        assert!(out.contains("xc7k70tfbv676-1"));
+        assert!(out.contains("xczu3eg"));
+    }
+
+    #[test]
+    fn parse_prints_interface() {
+        let path = write_temp("p.sv", FIFO);
+        let mut out = String::new();
+        assert_eq!(run(&args(&["parse", &path]), &mut out), 0);
+        assert!(out.contains("module fifo_v3"));
+        assert!(out.contains("parameter DEPTH"));
+        assert!(out.contains("clock candidate: clk_i"));
+    }
+
+    #[test]
+    fn parse_missing_file_errors() {
+        let mut out = String::new();
+        assert_eq!(run(&args(&["parse", "/nope/ghost.sv"]), &mut out), 1);
+    }
+
+    #[test]
+    fn evaluate_end_to_end() {
+        let path = write_temp("e.sv", FIFO);
+        let mut out = String::new();
+        let code = run(
+            &args(&[
+                "evaluate",
+                "--source",
+                &path,
+                "--top",
+                "fifo_v3",
+                "--set",
+                "DEPTH=64",
+                "--part",
+                "xc7k70t",
+            ]),
+            &mut out,
+        );
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("Fmax"));
+        assert!(out.contains("WNS"));
+        assert!(out.contains("DEPTH=64"));
+    }
+
+    #[test]
+    fn evaluate_requires_top() {
+        let path = write_temp("t.sv", FIFO);
+        let mut out = String::new();
+        assert_eq!(run(&args(&["evaluate", "--source", &path]), &mut out), 1);
+        assert!(out.contains("missing --top"));
+    }
+
+    #[test]
+    fn explore_end_to_end_with_plot() {
+        let path = write_temp("x.sv", FIFO);
+        let mut out = String::new();
+        let code = run(
+            &args(&[
+                "explore",
+                "--source",
+                &path,
+                "--top",
+                "fifo_v3",
+                "--param",
+                "DEPTH=2:128:2",
+                "--metric",
+                "lut,ff,fmax",
+                "--generations",
+                "4",
+                "--pop",
+                "8",
+                "--plot",
+            ]),
+            &mut out,
+        );
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("non-dominated"));
+        assert!(out.contains("Design Point"));
+        assert!(out.contains("Fmax[MHz] (y)"), "plot missing:\n{out}");
+    }
+
+    #[test]
+    fn explore_requires_params() {
+        let path = write_temp("y.sv", FIFO);
+        let mut out = String::new();
+        assert_eq!(
+            run(&args(&["explore", "--source", &path, "--top", "fifo_v3"]), &mut out),
+            1
+        );
+        assert!(out.contains("--param"));
+    }
+
+    #[test]
+    fn domain_specs() {
+        assert_eq!(parse_domain("2:1000").unwrap(), Domain::Range { lo: 2, hi: 1000, step: 1 });
+        assert_eq!(
+            parse_domain("2:1000:2").unwrap(),
+            Domain::Range { lo: 2, hi: 1000, step: 2 }
+        );
+        assert_eq!(
+            parse_domain("pow2:10:16").unwrap(),
+            Domain::PowerOfTwo { min_exp: 10, max_exp: 16 }
+        );
+        assert_eq!(parse_domain("bool").unwrap(), Domain::Bool);
+        assert_eq!(parse_domain("8,32,16").unwrap(), Domain::Explicit(vec![8, 16, 32]));
+        assert_eq!(parse_domain("7").unwrap(), Domain::Range { lo: 7, hi: 7, step: 1 });
+        assert!(parse_domain("pow2:9").is_err());
+        assert!(parse_domain("a:b").is_err());
+        assert!(parse_domain("").is_err());
+    }
+
+    #[test]
+    fn metric_specs() {
+        let ms = parse_metrics("lut,ff,fmax").unwrap();
+        assert_eq!(ms.len(), 3);
+        assert!(parse_metrics("lut,lut").is_err());
+        assert!(parse_metrics("warp-cores").is_err());
+        assert!(parse_metrics("").is_err());
+    }
+
+    #[test]
+    fn demo_runs_a_case_study() {
+        let mut out = String::new();
+        let code = run(&args(&["demo", "neorv32"]), &mut out);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("neorv32"));
+        assert!(out.contains("non-dominated"));
+    }
+
+    #[test]
+    fn demo_unknown_case() {
+        let mut out = String::new();
+        assert_eq!(run(&args(&["demo", "warpdrive"]), &mut out), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! A minimal CSV writer (no external dependency) for persisting
+//! exploration results and experiment series.
+
+use std::fmt::Write as _;
+
+/// Builds CSV text row by row with RFC-4180 quoting.
+#[derive(Debug, Default, Clone)]
+pub struct CsvWriter {
+    buf: String,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Creates an empty writer.
+    pub fn new() -> CsvWriter {
+        CsvWriter::default()
+    }
+
+    /// Writes the header row; fixes the column count.
+    pub fn header(&mut self, columns: &[&str]) -> &mut Self {
+        self.columns = columns.len();
+        self.raw_row(columns.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Writes one row of stringifiable fields. Panics when the column
+    /// count does not match the header (a bug in the caller).
+    pub fn row<T: ToString>(&mut self, fields: &[T]) -> &mut Self {
+        let fields: Vec<String> = fields.iter().map(T::to_string).collect();
+        if self.columns != 0 {
+            assert_eq!(fields.len(), self.columns, "row width mismatch");
+        }
+        self.raw_row(fields);
+        self
+    }
+
+    fn raw_row(&mut self, fields: Vec<String>) {
+        for (i, f) in fields.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{}", escape(f));
+        }
+        self.buf.push('\n');
+    }
+
+    /// The accumulated CSV text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    /// Borrowed view of the text so far.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+}
+
+/// Quotes a field when needed (commas, quotes, newlines).
+pub fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Parses simple CSV text back into rows (used by tests and by benches
+/// that post-process their own output; supports quoted fields).
+pub fn parse(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => in_quotes = false,
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => row.push(std::mem::take(&mut field)),
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                '\r' => {}
+                other => field.push(other),
+            }
+        }
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_rows() {
+        let mut w = CsvWriter::new();
+        w.header(&["a", "b"]).row(&[1, 2]).row(&[3, 4]);
+        assert_eq!(w.finish(), "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn quoting() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn roundtrip_with_quotes() {
+        let mut w = CsvWriter::new();
+        w.header(&["name", "value"]);
+        w.row(&["x,y".to_string(), "he said \"no\"".to_string()]);
+        let parsed = parse(w.as_str());
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1][0], "x,y");
+        assert_eq!(parsed[1][1], "he said \"no\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut w = CsvWriter::new();
+        w.header(&["a", "b"]).row(&[1]);
+    }
+
+    #[test]
+    fn mixed_types_via_tostring() {
+        let mut w = CsvWriter::new();
+        w.header(&["m"]).row(&[1.5]);
+        assert!(w.as_str().contains("1.5"));
+    }
+
+    #[test]
+    fn parse_handles_trailing_row_without_newline() {
+        let rows = parse("a,b\n1,2");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["1", "2"]);
+    }
+}

@@ -1,0 +1,435 @@
+//! The Dovado front door: design automation (evaluate given points) and
+//! design space exploration (NSGA-II over a parameter space).
+
+use crate::error::DovadoResult;
+use crate::fitness::{DseProblem, FitnessStats};
+use crate::flow::{EvalConfig, Evaluator, HdlSource};
+use crate::metrics::{Evaluation, MetricSet};
+use crate::point::DesignPoint;
+use crate::results::{DseReport, ParetoEntry, PointResult};
+use crate::space::ParameterSpace;
+use dovado_moo::{
+    exhaustive_search, nsga2, random_search, weighted_sum_ga, Nsga2Config, OptResult,
+    Termination,
+};
+use dovado_surrogate::{Kernel, ThresholdPolicy};
+
+/// Which exploration strategy drives the search.
+///
+/// The paper uses NSGA-II and surveys alternatives via Panerati et al.
+/// [12], planning "an investigation on a run-time choice among various
+/// algorithms" (§V) — this knob is that choice point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Explorer {
+    /// NSGA-II (the paper's solver; uses [`DseConfig::algorithm`]).
+    Nsga2,
+    /// Uniform random sampling, keeping the non-dominated archive.
+    RandomSearch,
+    /// Single-objective GA on a weighted sum of the (minimization-space)
+    /// objectives; `None` = equal weights.
+    WeightedSum(Option<Vec<f64>>),
+    /// Exact exploration of the whole space (refused when the volume
+    /// exceeds the given limit).
+    Exhaustive {
+        /// Maximum space volume to accept.
+        limit: u64,
+    },
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer::Nsga2
+    }
+}
+
+/// Configuration of the fitness-approximation model.
+#[derive(Debug, Clone)]
+pub struct SurrogateConfig {
+    /// Threshold policy (paper default: adaptive Γ).
+    pub policy: ThresholdPolicy,
+    /// Synthetic-dataset size M: distinct random tool calls made before
+    /// exploration (paper default 100, user-definable).
+    pub pretrain_samples: usize,
+    /// Kernel (paper: Gaussian).
+    pub kernel: Kernel,
+    /// Sampling seed for the synthetic dataset.
+    pub seed: u64,
+}
+
+impl Default for SurrogateConfig {
+    fn default() -> Self {
+        SurrogateConfig {
+            policy: ThresholdPolicy::paper_default(),
+            pretrain_samples: 100,
+            kernel: Kernel::Gaussian,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Configuration of one exploration run.
+#[derive(Debug, Clone)]
+pub struct DseConfig {
+    /// Exploration strategy.
+    pub explorer: Explorer,
+    /// Genetic-algorithm settings (used by [`Explorer::Nsga2`]; population
+    /// size doubles as the batch size for random search and the weighted-
+    /// sum GA).
+    pub algorithm: Nsga2Config,
+    /// Stop condition.
+    pub termination: Termination,
+    /// Metrics to optimize.
+    pub metrics: MetricSet,
+    /// Fitness approximation (None = always call the tool, as the paper's
+    /// Corundum/Neorv32/TiReX runs do).
+    pub surrogate: Option<SurrogateConfig>,
+    /// Evaluate tool-only generations in parallel.
+    pub parallel: bool,
+}
+
+impl Default for DseConfig {
+    fn default() -> Self {
+        DseConfig {
+            explorer: Explorer::Nsga2,
+            algorithm: Nsga2Config::default(),
+            termination: Termination::Generations(20),
+            metrics: MetricSet::area_frequency(),
+            surrogate: None,
+            parallel: false,
+        }
+    }
+}
+
+/// A configured Dovado instance for one module.
+pub struct Dovado {
+    evaluator: Evaluator,
+    space: ParameterSpace,
+}
+
+impl Dovado {
+    /// Parses sources and prepares the evaluator.
+    pub fn new(
+        sources: Vec<HdlSource>,
+        top_module: &str,
+        space: ParameterSpace,
+        eval_config: EvalConfig,
+    ) -> DovadoResult<Dovado> {
+        let evaluator = Evaluator::new(sources, top_module, eval_config)?;
+        // Sanity: every space parameter must exist on the module.
+        for p in space.params() {
+            if evaluator.module().parameter(&p.name).is_none() {
+                return Err(crate::error::DovadoError::Space(format!(
+                    "module `{}` has no parameter `{}`",
+                    evaluator.module().name,
+                    p.name
+                )));
+            }
+        }
+        Ok(Dovado { evaluator, space })
+    }
+
+    /// The parameter space.
+    pub fn space(&self) -> &ParameterSpace {
+        &self.space
+    }
+
+    /// The underlying evaluator (single-point design automation).
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// Design automation: evaluates one explicit design point.
+    pub fn evaluate_point(&self, point: &DesignPoint) -> DovadoResult<Evaluation> {
+        self.evaluator.evaluate(point)
+    }
+
+    /// Design automation: evaluates a set of points (optionally in
+    /// parallel), pairing each with its result.
+    pub fn evaluate_points(
+        &self,
+        points: &[DesignPoint],
+        parallel: bool,
+    ) -> Vec<PointResult> {
+        self.evaluator
+            .evaluate_many(points, parallel)
+            .into_iter()
+            .zip(points)
+            .map(|(result, point)| PointResult { point: point.clone(), result })
+            .collect()
+    }
+
+    /// Exact exploration: evaluates *every* point in the space (refuses
+    /// when the volume exceeds `limit`).
+    pub fn evaluate_exhaustive(&self, limit: u64, parallel: bool) -> Option<Vec<PointResult>> {
+        let points = self.space.enumerate(limit)?;
+        Some(self.evaluate_points(&points, parallel))
+    }
+
+    /// Design space exploration: runs the configured explorer (with or
+    /// without the approximation model) and returns the non-dominated set.
+    pub fn explore(&self, cfg: &DseConfig) -> DovadoResult<DseReport> {
+        let mut problem = DseProblem::new(
+            self.evaluator.clone(),
+            self.space.clone(),
+            cfg.metrics.clone(),
+            cfg.surrogate.as_ref(),
+        )?;
+        problem.parallel = cfg.parallel;
+
+        let result: OptResult = match &cfg.explorer {
+            Explorer::Nsga2 => nsga2(&mut problem, &cfg.algorithm, &cfg.termination),
+            Explorer::RandomSearch => random_search(
+                &mut problem,
+                &cfg.termination,
+                cfg.algorithm.pop_size,
+                cfg.algorithm.seed,
+            ),
+            Explorer::WeightedSum(weights) => {
+                let n = cfg.metrics.len();
+                let w = match weights {
+                    Some(w) => {
+                        if w.len() != n {
+                            return Err(crate::error::DovadoError::Config(format!(
+                                "weighted-sum wants {n} weights, got {}",
+                                w.len()
+                            )));
+                        }
+                        w.clone()
+                    }
+                    None => vec![1.0 / n as f64; n],
+                };
+                weighted_sum_ga(
+                    &mut problem,
+                    &w,
+                    &cfg.termination,
+                    cfg.algorithm.pop_size,
+                    cfg.algorithm.seed,
+                )
+            }
+            Explorer::Exhaustive { limit } => exhaustive_search(&mut problem, *limit)
+                .ok_or_else(|| {
+                    crate::error::DovadoError::Config(format!(
+                        "space volume {} exceeds the exhaustive limit {limit}",
+                        self.space.volume()
+                    ))
+                })?,
+        };
+
+        let mut pareto = Vec::with_capacity(result.pareto.len());
+        for ind in result.sorted_pareto() {
+            let point = problem.decode(&ind.genome)?;
+            pareto.push(ParetoEntry { point, values: ind.raw.clone() });
+        }
+        let stats: FitnessStats = problem.stats;
+        Ok(DseReport {
+            pareto,
+            metrics: cfg.metrics.clone(),
+            generations: result.generations,
+            evaluations: result.evaluations,
+            tool_runs: stats.tool_runs,
+            cached_runs: stats.cached_runs,
+            estimates: stats.estimates,
+            failures: stats.failures,
+            tool_time_s: self.evaluator.total_tool_time(),
+            history: result.history,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metric;
+    use crate::space::Domain;
+    use dovado_fpga::ResourceKind;
+    use dovado_hdl::Language;
+
+    const FIFO_SV: &str = r#"
+module fifo_v3 #(
+    parameter DEPTH = 8,
+    parameter DATA_WIDTH = 32
+)(input logic clk_i, input logic [DATA_WIDTH-1:0] data_i);
+endmodule"#;
+
+    fn dovado() -> Dovado {
+        Dovado::new(
+            vec![HdlSource::new("fifo.sv", Language::SystemVerilog, FIFO_SV)],
+            "fifo_v3",
+            ParameterSpace::new().with("DEPTH", Domain::Range { lo: 2, hi: 256, step: 2 }),
+            EvalConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn metrics() -> MetricSet {
+        MetricSet::new(vec![
+            Metric::Utilization(ResourceKind::Lut),
+            Metric::Utilization(ResourceKind::Register),
+            Metric::Fmax,
+        ])
+    }
+
+    #[test]
+    fn space_parameter_validation() {
+        let r = Dovado::new(
+            vec![HdlSource::new("fifo.sv", Language::SystemVerilog, FIFO_SV)],
+            "fifo_v3",
+            ParameterSpace::new().with("GHOST", Domain::Bool),
+            EvalConfig::default(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn point_set_evaluation() {
+        let d = dovado();
+        let points = vec![
+            DesignPoint::from_pairs(&[("DEPTH", 8)]),
+            DesignPoint::from_pairs(&[("DEPTH", 64)]),
+        ];
+        let results = d.evaluate_points(&points, false);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.result.is_ok()));
+    }
+
+    #[test]
+    fn exhaustive_refuses_big_spaces() {
+        let d = dovado();
+        assert!(d.evaluate_exhaustive(10, false).is_none());
+    }
+
+    #[test]
+    fn dse_finds_tradeoff_front() {
+        let d = dovado();
+        let cfg = DseConfig {
+            algorithm: Nsga2Config { pop_size: 12, seed: 3, ..Default::default() },
+            termination: Termination::Generations(6),
+            metrics: metrics(),
+            surrogate: None,
+            parallel: false,
+            explorer: Default::default(),
+        };
+        let report = d.explore(&cfg).unwrap();
+        assert!(!report.pareto.is_empty());
+        assert_eq!(report.generations, 6);
+        assert!(report.tool_runs > 0);
+        assert_eq!(report.estimates, 0);
+        // Front entries must each carry all metric values.
+        assert!(report.pareto.iter().all(|e| e.values.len() == 3));
+        // Smallest depth should appear: it minimizes both area metrics and
+        // maximizes frequency → single-point front is acceptable too.
+        assert!(report.tool_time_s > 0.0);
+    }
+
+    #[test]
+    fn dse_with_surrogate_saves_tool_runs() {
+        let d = dovado();
+        let base_cfg = DseConfig {
+            algorithm: Nsga2Config { pop_size: 10, seed: 5, ..Default::default() },
+            termination: Termination::Generations(8),
+            metrics: metrics(),
+            surrogate: None,
+            parallel: false,
+            explorer: Default::default(),
+        };
+        let plain = d.explore(&base_cfg).unwrap();
+
+        let d2 = dovado();
+        let sur_cfg = DseConfig {
+            surrogate: Some(SurrogateConfig { pretrain_samples: 30, ..Default::default() }),
+            ..base_cfg
+        };
+        let with = d2.explore(&sur_cfg).unwrap();
+        assert!(with.estimates > 0, "surrogate never used: {with:?}");
+        // Tool runs during exploration (excluding pretraining) shrink.
+        let explore_runs_with = with.tool_runs.saturating_sub(30);
+        assert!(
+            explore_runs_with < plain.tool_runs,
+            "with={explore_runs_with} plain={}",
+            plain.tool_runs
+        );
+    }
+
+    #[test]
+    fn power_metric_explorable() {
+        use crate::metrics::Metric;
+        let d = dovado();
+        let report = d
+            .explore(&DseConfig {
+                algorithm: Nsga2Config { pop_size: 8, seed: 4, ..Default::default() },
+                termination: Termination::Generations(4),
+                metrics: MetricSet::new(vec![
+                    Metric::Power,
+                    Metric::Fmax,
+                ]),
+                surrogate: None,
+                parallel: true,
+                ..Default::default()
+            })
+            .unwrap();
+        assert!(!report.pareto.is_empty());
+        // Power values are real (positive mW) on every front point.
+        assert!(report.pareto.iter().all(|e| e.values[0] > 0.0));
+        assert!(report.metric_table().contains("Power[mW]"));
+    }
+
+    #[test]
+    fn alternative_explorers_run() {
+        let d = dovado();
+        let base = DseConfig {
+            algorithm: Nsga2Config { pop_size: 10, seed: 2, ..Default::default() },
+            termination: Termination::Evaluations(30),
+            metrics: metrics(),
+            surrogate: None,
+            parallel: true,
+            ..Default::default()
+        };
+        // Random search.
+        let r = d
+            .explore(&DseConfig { explorer: Explorer::RandomSearch, ..base.clone() })
+            .unwrap();
+        assert!(!r.pareto.is_empty());
+        assert!(r.evaluations >= 30);
+        // Weighted sum (equal weights).
+        let w = d
+            .explore(&DseConfig { explorer: Explorer::WeightedSum(None), ..base.clone() })
+            .unwrap();
+        assert!(!w.pareto.is_empty());
+        // Weighted sum with wrong arity is rejected.
+        assert!(d
+            .explore(&DseConfig {
+                explorer: Explorer::WeightedSum(Some(vec![1.0])),
+                ..base.clone()
+            })
+            .is_err());
+        // Exhaustive over the 128-point space.
+        let e = d
+            .explore(&DseConfig {
+                explorer: Explorer::Exhaustive { limit: 200 },
+                ..base.clone()
+            })
+            .unwrap();
+        assert_eq!(e.evaluations, 128);
+        // Exhaustive refuses when the limit is too small.
+        assert!(d
+            .explore(&DseConfig { explorer: Explorer::Exhaustive { limit: 10 }, ..base })
+            .is_err());
+    }
+
+    #[test]
+    fn soft_deadline_stops_early() {
+        let d = dovado();
+        let cfg = DseConfig {
+            algorithm: Nsga2Config { pop_size: 8, seed: 1, ..Default::default() },
+            // A budget two evaluation-batches big (in simulated seconds).
+            termination: Termination::SoftDeadline(3000.0),
+            metrics: metrics(),
+            surrogate: None,
+            parallel: false,
+            explorer: Default::default(),
+        };
+        let report = d.explore(&cfg).unwrap();
+        assert!(report.generations < 50, "deadline ignored: {report:?}");
+        assert!(report.tool_time_s >= 3000.0, "stopped before the budget was used");
+    }
+}

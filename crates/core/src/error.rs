@@ -1,0 +1,65 @@
+//! Error type for the Dovado framework.
+
+use dovado_eda::EdaError;
+use std::fmt;
+
+/// Framework-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DovadoError {
+    /// The underlying EDA tool failed.
+    Eda(EdaError),
+    /// HDL parsing failed.
+    Parse(String),
+    /// The requested module was not found in the sources.
+    UnknownModule(String),
+    /// A parameter-space definition problem.
+    Space(String),
+    /// The module has no usable clock port for the box.
+    NoClock(String),
+    /// Configuration error.
+    Config(String),
+}
+
+impl fmt::Display for DovadoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DovadoError::Eda(e) => write!(f, "EDA tool error: {e}"),
+            DovadoError::Parse(m) => write!(f, "parse error: {m}"),
+            DovadoError::UnknownModule(m) => write!(f, "unknown module `{m}`"),
+            DovadoError::Space(m) => write!(f, "parameter space error: {m}"),
+            DovadoError::NoClock(m) => write!(f, "no clock port found on `{m}`"),
+            DovadoError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DovadoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DovadoError::Eda(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EdaError> for DovadoError {
+    fn from(e: EdaError) -> Self {
+        DovadoError::Eda(e)
+    }
+}
+
+/// Convenience alias.
+pub type DovadoResult<T> = Result<T, DovadoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_wraps() {
+        let e: DovadoError = EdaError::UnknownPart("x".into()).into();
+        assert!(e.to_string().contains("unknown part"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&DovadoError::Space("s".into())).is_none());
+    }
+}

@@ -1,0 +1,202 @@
+//! TCL script frames.
+//!
+//! "We also built general frames for TCL scripts that Dovado customizes at
+//! run-time for module specifications and user-selected directives"
+//! (§III-A3). Frames are templates with `__PLACEHOLDER__` slots filled by
+//! [`fill`]; [`read_sources_script`] generates the per-file `read_*` lines
+//! with the paper's ordering/naming rules (SV packages first, one library
+//! per VHDL `-library` flag).
+
+use crate::error::{DovadoError, DovadoResult};
+use dovado_hdl::Language;
+
+/// Frame for project setup + source loading + synthesis + reports.
+pub const SYNTH_FRAME: &str = "\
+create_project __PROJECT__ -part __PART__
+__READ_SOURCES__
+set_property top __TOP__ [current_fileset]
+__INCREMENTAL__
+synth_design -top __TOP__ -part __PART__ -directive __SYNTH_DIRECTIVE__
+create_clock -period __PERIOD__ -name dovado_clk [get_ports __CLOCK__]
+report_utilization -file __UTIL_RPT__
+report_timing_summary -file __TIMING_RPT__
+report_power -file __POWER_RPT__
+write_checkpoint -force __SYNTH_DCP__
+";
+
+/// Frame continuing a synthesized design through implementation.
+pub const IMPL_FRAME: &str = "\
+opt_design
+place_design
+route_design -directive __IMPL_DIRECTIVE__
+report_utilization -file __UTIL_RPT__
+report_timing_summary -file __TIMING_RPT__
+report_power -file __POWER_RPT__
+write_checkpoint -force __IMPL_DCP__
+";
+
+/// Fills `__KEY__` placeholders. Errors if any placeholder remains
+/// unfilled (catches typos in frames and drivers alike).
+pub fn fill(frame: &str, substitutions: &[(&str, &str)]) -> DovadoResult<String> {
+    let mut out = frame.to_string();
+    for (key, value) in substitutions {
+        out = out.replace(&format!("__{key}__"), value);
+    }
+    if let Some(pos) = out.find("__") {
+        let tail: String = out[pos..].chars().take(30).collect();
+        // Allow double underscores inside identifiers only if they don't
+        // look like a placeholder (uppercase run ending in __).
+        if tail.chars().skip(2).take_while(|c| *c != '_').any(|c| c.is_ascii_uppercase()) {
+            return Err(DovadoError::Config(format!("unfilled placeholder near `{tail}`")));
+        }
+    }
+    Ok(out)
+}
+
+/// One source file to load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceEntry {
+    /// Path in the tool's filesystem.
+    pub path: String,
+    /// Language.
+    pub language: Language,
+    /// VHDL library (None = `work`).
+    pub library: Option<String>,
+    /// Whether the file declares SV packages (affects ordering).
+    pub has_packages: bool,
+}
+
+/// Generates the `read_vhdl`/`read_verilog` lines.
+///
+/// Ordering rule from the paper: "SV packages are read at the very
+/// beginning of the step". Package-bearing files are emitted first,
+/// preserving relative order otherwise.
+pub fn read_sources_script(entries: &[SourceEntry]) -> String {
+    let mut ordered: Vec<&SourceEntry> = Vec::with_capacity(entries.len());
+    ordered.extend(entries.iter().filter(|e| e.has_packages && e.language != Language::Vhdl));
+    ordered.extend(entries.iter().filter(|e| !(e.has_packages && e.language != Language::Vhdl)));
+    let mut out = String::new();
+    for e in ordered {
+        let line = match e.language {
+            Language::Vhdl => match &e.library {
+                Some(lib) => format!("read_vhdl -library {lib} {}", e.path),
+                None => format!("read_vhdl {}", e.path),
+            },
+            Language::Verilog => format!("read_verilog {}", e.path),
+            Language::SystemVerilog => format!("read_verilog -sv {}", e.path),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_replaces_all() {
+        let s = fill("synth_design -top __TOP__ -part __PART__", &[
+            ("TOP", "box"),
+            ("PART", "xc7k70t"),
+        ])
+        .unwrap();
+        assert_eq!(s, "synth_design -top box -part xc7k70t");
+    }
+
+    #[test]
+    fn fill_detects_leftovers() {
+        let r = fill("synth_design -top __TOP__", &[("PART", "x")]);
+        assert!(matches!(r, Err(DovadoError::Config(_))));
+    }
+
+    #[test]
+    fn synth_frame_fills_cleanly() {
+        let s = fill(SYNTH_FRAME, &[
+            ("PROJECT", "dovado"),
+            ("PART", "xc7k70tfbv676-1"),
+            ("READ_SOURCES", "read_verilog -sv src/fifo.sv"),
+            ("TOP", "box"),
+            ("INCREMENTAL", ""),
+            ("SYNTH_DIRECTIVE", "Default"),
+            ("PERIOD", "1.000"),
+            ("CLOCK", "clk"),
+            ("UTIL_RPT", "util.rpt"),
+            ("TIMING_RPT", "timing.rpt"),
+            ("POWER_RPT", "power.rpt"),
+            ("SYNTH_DCP", "post_synth.dcp"),
+        ])
+        .unwrap();
+        assert!(s.contains("create_clock -period 1.000"));
+        assert!(!s.contains("__"));
+    }
+
+    #[test]
+    fn impl_frame_fills_cleanly() {
+        let s = fill(IMPL_FRAME, &[
+            ("IMPL_DIRECTIVE", "Explore"),
+            ("UTIL_RPT", "u.rpt"),
+            ("TIMING_RPT", "t.rpt"),
+            ("POWER_RPT", "p.rpt"),
+            ("IMPL_DCP", "post_route.dcp"),
+        ])
+        .unwrap();
+        assert!(s.contains("route_design -directive Explore"));
+    }
+
+    #[test]
+    fn packages_read_first() {
+        let entries = vec![
+            SourceEntry {
+                path: "src/core.sv".into(),
+                language: Language::SystemVerilog,
+                library: None,
+                has_packages: false,
+            },
+            SourceEntry {
+                path: "src/pkg.sv".into(),
+                language: Language::SystemVerilog,
+                library: None,
+                has_packages: true,
+            },
+        ];
+        let s = read_sources_script(&entries);
+        let pkg_pos = s.find("pkg.sv").unwrap();
+        let core_pos = s.find("core.sv").unwrap();
+        assert!(pkg_pos < core_pos, "packages must be read first:\n{s}");
+    }
+
+    #[test]
+    fn vhdl_library_flag() {
+        let entries = vec![SourceEntry {
+            path: "src/neorv32_package.vhd".into(),
+            language: Language::Vhdl,
+            library: Some("neorv32".into()),
+            has_packages: true,
+        }];
+        let s = read_sources_script(&entries);
+        assert_eq!(s.trim(), "read_vhdl -library neorv32 src/neorv32_package.vhd");
+    }
+
+    #[test]
+    fn sv_flag_only_for_systemverilog() {
+        let entries = vec![
+            SourceEntry {
+                path: "a.v".into(),
+                language: Language::Verilog,
+                library: None,
+                has_packages: false,
+            },
+            SourceEntry {
+                path: "b.sv".into(),
+                language: Language::SystemVerilog,
+                library: None,
+                has_packages: false,
+            },
+        ];
+        let s = read_sources_script(&entries);
+        assert!(s.contains("read_verilog a.v\n"));
+        assert!(s.contains("read_verilog -sv b.sv\n"));
+    }
+}

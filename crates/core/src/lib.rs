@@ -1,0 +1,57 @@
+//! # dovado
+//!
+//! A Rust reproduction of **Dovado** (Paletti, Conficconi, Santambrogio —
+//! IPDPSW 2021): an open-source CAD tool for design automation and design
+//! space exploration of highly parametrizable RTL modules on FPGAs.
+//!
+//! Two flows, as in the paper's Fig. 1:
+//!
+//! * **Design automation** — evaluate one design point (or a given set):
+//!   parse the VHDL/(System)Verilog interface, wrap the module in a
+//!   sandboxing *box* (Listing 1), generate TCL script frames, run the
+//!   (simulated) Vivado, and scrape utilization + `Fmax = 1000/(T − WNS)`
+//!   from the reports.
+//! * **Design space exploration** — NSGA-II over an integer parameter
+//!   space (with optional power-of-two restrictions), optionally guarded
+//!   by the Nadaraya-Watson fitness approximation with the adaptive-Γ
+//!   control model, returning the non-dominated configuration set.
+//!
+//! ```
+//! use dovado::casestudies::corundum;
+//! use dovado::{DesignPoint};
+//!
+//! let cs = corundum::case_study();
+//! let tool = cs.dovado().unwrap();
+//! let eval = tool.evaluate_point(&DesignPoint::from_pairs(&[
+//!     ("OP_TABLE_SIZE", 16),
+//!     ("QUEUE_INDEX_WIDTH", 4),
+//!     ("PIPELINE", 3),
+//! ])).unwrap();
+//! assert!(eval.fmax_mhz > 100.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod boxing;
+pub mod casestudies;
+pub mod cli;
+pub mod csv;
+pub mod dse;
+pub mod error;
+pub mod fitness;
+pub mod flow;
+pub mod frames;
+pub mod metrics;
+pub mod point;
+pub mod results;
+pub mod space;
+
+pub use boxing::{generate_box, BoxedDesign, BOX_CLOCK, BOX_INSTANCE, BOX_TOP};
+pub use dse::{Dovado, DseConfig, SurrogateConfig};
+pub use error::{DovadoError, DovadoResult};
+pub use fitness::{DseProblem, FitnessStats};
+pub use flow::{EvalConfig, Evaluator, FlowStep, HdlSource};
+pub use metrics::{fmax_mhz, Evaluation, Metric, MetricSet};
+pub use point::DesignPoint;
+pub use results::{ascii_scatter, point_label, DseReport, ParetoEntry, PointResult};
+pub use space::{Domain, FreeParameter, ParameterSpace};

@@ -1,0 +1,218 @@
+//! Optimization metrics: user-selected utilization counters and the
+//! maximum achievable frequency.
+//!
+//! "A hardware developer can specify a set of design points … and then
+//! Dovado evaluates them in terms of maximum achievable frequency and/or
+//! user-defined area usage metrics, e.g., LUTs, RAMs" (§I). Frequency is
+//! Eq. 1: `Fmax = 1000 / (T − WNS)` with T and WNS in nanoseconds.
+
+use dovado_fpga::{ResourceKind, ResourceSet};
+use dovado_moo::{Objective, Sense};
+use std::fmt;
+
+/// One optimization metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// A utilization counter (minimized).
+    Utilization(ResourceKind),
+    /// Maximum achievable frequency in MHz (maximized).
+    Fmax,
+    /// Total on-chip power in mW at the achievable frequency (minimized) —
+    /// the power axis of the power-delay-area literature the paper builds
+    /// on (§II).
+    Power,
+}
+
+impl Metric {
+    /// Optimization direction.
+    pub fn sense(&self) -> Sense {
+        match self {
+            Metric::Utilization(_) => Sense::Minimize,
+            Metric::Fmax => Sense::Maximize,
+            Metric::Power => Sense::Minimize,
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            Metric::Utilization(k) => k.to_string(),
+            Metric::Fmax => "Fmax[MHz]".to_string(),
+            Metric::Power => "Power[mW]".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// An ordered metric selection.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricSet {
+    metrics: Vec<Metric>,
+}
+
+impl MetricSet {
+    /// Creates a set from metrics (duplicates rejected).
+    pub fn new(metrics: Vec<Metric>) -> MetricSet {
+        for (i, m) in metrics.iter().enumerate() {
+            assert!(!metrics[..i].contains(m), "duplicate metric {m}");
+        }
+        MetricSet { metrics }
+    }
+
+    /// The paper's default Corundum selection: LUTs, registers, BRAM, Fmax.
+    pub fn area_frequency() -> MetricSet {
+        MetricSet::new(vec![
+            Metric::Utilization(ResourceKind::Lut),
+            Metric::Utilization(ResourceKind::Register),
+            Metric::Utilization(ResourceKind::Bram),
+            Metric::Fmax,
+        ])
+    }
+
+    /// The metrics, in order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Objectives for the optimizer.
+    pub fn objectives(&self) -> Vec<Objective> {
+        self.metrics
+            .iter()
+            .map(|m| Objective { name: m.label(), sense: m.sense() })
+            .collect()
+    }
+
+    /// Extracts the metric vector from a measured evaluation.
+    pub fn extract(&self, eval: &Evaluation) -> Vec<f64> {
+        self.metrics
+            .iter()
+            .map(|m| match m {
+                Metric::Utilization(k) => eval.utilization.get(*k) as f64,
+                Metric::Fmax => eval.fmax_mhz,
+                Metric::Power => eval.power_mw,
+            })
+            .collect()
+    }
+
+    /// Normalization scales per metric against a device capacity and a
+    /// frequency scale (used for comparable MSE magnitudes à la Fig. 3).
+    pub fn scales(&self, capacity: &ResourceSet, fmax_scale_mhz: f64) -> Vec<f64> {
+        self.metrics
+            .iter()
+            .map(|m| match m {
+                Metric::Utilization(k) => (capacity.get(*k) as f64).max(1.0),
+                Metric::Fmax => fmax_scale_mhz.max(1.0),
+                Metric::Power => 1000.0,
+            })
+            .collect()
+    }
+}
+
+/// Computes Eq. 1. Returns `None` for non-physical inputs
+/// (`T − WNS ≤ 0` cannot happen for real paths).
+pub fn fmax_mhz(target_period_ns: f64, wns_ns: f64) -> Option<f64> {
+    let denom = target_period_ns - wns_ns;
+    if denom <= 0.0 {
+        return None;
+    }
+    Some(1000.0 / denom)
+}
+
+/// One measured design-point evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Resource usage scraped from the utilization report.
+    pub utilization: ResourceSet,
+    /// Worst negative slack in ns.
+    pub wns_ns: f64,
+    /// Constrained period in ns.
+    pub period_ns: f64,
+    /// Maximum achievable frequency (Eq. 1).
+    pub fmax_mhz: f64,
+    /// Total on-chip power at the achievable frequency, in mW.
+    pub power_mw: f64,
+    /// Simulated tool seconds spent producing this evaluation.
+    pub tool_time_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_examples() {
+        // 1 GHz target, WNS = -4 ns → 200 MHz.
+        assert!((fmax_mhz(1.0, -4.0).unwrap() - 200.0).abs() < 1e-12);
+        // Met timing with margin: 10 ns target, +2 ns slack → 125 MHz.
+        assert!((fmax_mhz(10.0, 2.0).unwrap() - 125.0).abs() < 1e-12);
+        // Degenerate input rejected.
+        assert!(fmax_mhz(1.0, 1.0).is_none());
+        assert!(fmax_mhz(1.0, 2.0).is_none());
+    }
+
+    #[test]
+    fn senses() {
+        assert_eq!(Metric::Fmax.sense(), Sense::Maximize);
+        assert_eq!(Metric::Utilization(ResourceKind::Lut).sense(), Sense::Minimize);
+    }
+
+    #[test]
+    fn extraction_order_matches_metrics() {
+        let ms = MetricSet::area_frequency();
+        let eval = Evaluation {
+            utilization: ResourceSet::from_pairs(&[
+                (ResourceKind::Lut, 100),
+                (ResourceKind::Register, 200),
+                (ResourceKind::Bram, 3),
+            ]),
+            wns_ns: -4.0,
+            period_ns: 1.0,
+            fmax_mhz: 200.0,
+            power_mw: 350.0,
+            tool_time_s: 60.0,
+        };
+        assert_eq!(ms.extract(&eval), vec![100.0, 200.0, 3.0, 200.0]);
+    }
+
+    #[test]
+    fn objectives_align() {
+        let ms = MetricSet::area_frequency();
+        let objs = ms.objectives();
+        assert_eq!(objs.len(), 4);
+        assert_eq!(objs[3].sense, Sense::Maximize);
+        assert_eq!(objs[0].name, "LUT");
+    }
+
+    #[test]
+    fn scales_use_capacity() {
+        let ms = MetricSet::area_frequency();
+        let cap = ResourceSet::from_pairs(&[
+            (ResourceKind::Lut, 41_000),
+            (ResourceKind::Register, 82_000),
+            (ResourceKind::Bram, 135),
+        ]);
+        let s = ms.scales(&cap, 1000.0);
+        assert_eq!(s, vec![41_000.0, 82_000.0, 135.0, 1000.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric")]
+    fn duplicates_rejected() {
+        let _ = MetricSet::new(vec![Metric::Fmax, Metric::Fmax]);
+    }
+}

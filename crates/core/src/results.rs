@@ -1,0 +1,333 @@
+//! Result types and table rendering.
+//!
+//! Renders the non-dominated sets the way the paper reports them: a
+//! configuration table (Table I / Table II — design points labelled A, B,
+//! C, …) and a metric table (the data behind Figs. 4–7).
+
+use crate::error::DovadoError;
+use crate::metrics::{Evaluation, MetricSet};
+use crate::point::DesignPoint;
+use dovado_moo::GenStats;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A design point paired with its evaluation outcome.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// The evaluated point.
+    pub point: DesignPoint,
+    /// The outcome.
+    pub result: Result<Evaluation, DovadoError>,
+}
+
+/// One non-dominated configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoEntry {
+    /// Parameter assignment.
+    pub point: DesignPoint,
+    /// Raw metric values, ordered as the report's [`MetricSet`].
+    pub values: Vec<f64>,
+}
+
+/// The result of one exploration run.
+#[derive(Debug, Clone)]
+pub struct DseReport {
+    /// Non-dominated configurations, sorted by the first metric.
+    pub pareto: Vec<ParetoEntry>,
+    /// Metrics the values refer to.
+    pub metrics: MetricSet,
+    /// Generations completed.
+    pub generations: u32,
+    /// Total fitness evaluations.
+    pub evaluations: u64,
+    /// Fresh tool runs.
+    pub tool_runs: u64,
+    /// Tool calls answered from cache (exact dataset hits).
+    pub cached_runs: u64,
+    /// Surrogate estimates served.
+    pub estimates: u64,
+    /// Penalized failures.
+    pub failures: u64,
+    /// Simulated tool seconds consumed.
+    pub tool_time_s: f64,
+    /// Per-generation statistics.
+    pub history: Vec<GenStats>,
+}
+
+/// Labels design points like the paper's tables: A, B, …, Z, AA, AB, …
+pub fn point_label(index: usize) -> String {
+    let mut n = index;
+    let mut out = String::new();
+    loop {
+        out.insert(0, (b'A' + (n % 26) as u8) as char);
+        if n < 26 {
+            break;
+        }
+        n = n / 26 - 1;
+    }
+    out
+}
+
+impl DseReport {
+    /// Renders the configuration table (paper Table I / II shape):
+    /// one column per design point, one row per parameter.
+    pub fn configuration_table(&self) -> String {
+        let mut s = String::new();
+        if self.pareto.is_empty() {
+            return "(empty non-dominated set)\n".into();
+        }
+        let names = self.pareto[0].point.names().to_vec();
+        let _ = write!(s, "{:<24}", "Design Point");
+        for i in 0..self.pareto.len() {
+            let _ = write!(s, "{:>10}", point_label(i));
+        }
+        let _ = writeln!(s);
+        for name in &names {
+            let _ = write!(s, "{name:<24}");
+            for e in &self.pareto {
+                let _ = write!(s, "{:>10}", e.point.get(name).unwrap_or(0));
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+
+    /// Renders the metric table (the data series behind the paper's
+    /// solution-trade-off figures).
+    pub fn metric_table(&self) -> String {
+        let mut s = String::new();
+        if self.pareto.is_empty() {
+            return "(empty non-dominated set)\n".into();
+        }
+        let _ = write!(s, "{:<24}", "Metric");
+        for i in 0..self.pareto.len() {
+            let _ = write!(s, "{:>12}", point_label(i));
+        }
+        let _ = writeln!(s);
+        for (mi, m) in self.metrics.metrics().iter().enumerate() {
+            let _ = write!(s, "{:<24}", m.label());
+            for e in &self.pareto {
+                let v = e.values[mi];
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    let _ = write!(s, "{:>12}", v as i64);
+                } else {
+                    let _ = write!(s, "{v:>12.2}");
+                }
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+
+    /// Renders an ASCII scatter plot of two metrics across the front (the
+    /// at-a-glance view of the paper's Figs. 4–7). `x` and `y` are indices
+    /// into the metric set. Points are labelled A, B, C, …
+    pub fn scatter(&self, x: usize, y: usize, width: usize, height: usize) -> String {
+        assert!(x < self.metrics.len() && y < self.metrics.len(), "metric index out of range");
+        let pts: Vec<(f64, f64)> =
+            self.pareto.iter().map(|e| (e.values[x], e.values[y])).collect();
+        if pts.is_empty() {
+            return "(empty non-dominated set)\n".into();
+        }
+        let labels: Vec<String> = (0..pts.len()).map(point_label).collect();
+        let title = format!(
+            "{} (x) vs {} (y)",
+            self.metrics.metrics()[x].label(),
+            self.metrics.metrics()[y].label()
+        );
+        ascii_scatter(&pts, &labels, &title, width.max(20), height.max(8))
+    }
+
+    /// One-line run summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} non-dominated point(s) | {} generation(s), {} evaluation(s) | \
+             {} tool run(s), {} cached, {} estimated, {} failed | {:.0} simulated tool-seconds",
+            self.pareto.len(),
+            self.generations,
+            self.evaluations,
+            self.tool_runs,
+            self.cached_runs,
+            self.estimates,
+            self.failures,
+            self.tool_time_s,
+        )
+    }
+}
+
+/// Renders labelled points into an ASCII grid with min/max axis
+/// annotations. Labels longer than one character print their first char;
+/// colliding points print `*`.
+pub fn ascii_scatter(
+    points: &[(f64, f64)],
+    labels: &[String],
+    title: &str,
+    width: usize,
+    height: usize,
+) -> String {
+    assert_eq!(points.len(), labels.len());
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(px, py) in points {
+        x_lo = x_lo.min(px);
+        x_hi = x_hi.max(px);
+        y_lo = y_lo.min(py);
+        y_hi = y_hi.max(py);
+    }
+    // Degenerate spans still render (single column/row).
+    let x_span = (x_hi - x_lo).max(1e-12);
+    let y_span = (y_hi - y_lo).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (&(px, py), label) in points.iter().zip(labels) {
+        let cx = (((px - x_lo) / x_span) * (width - 1) as f64).round() as usize;
+        let cy = (((py - y_lo) / y_span) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - cy; // y grows upward
+        let ch = label.chars().next().unwrap_or('*');
+        let cell = &mut grid[row][cx.min(width - 1)];
+        *cell = if *cell == ' ' { ch } else { '*' };
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{y_hi:>12.2} ┤{}", String::from_iter(grid[0].iter()));
+    for row in grid.iter().take(height - 1).skip(1) {
+        let _ = writeln!(out, "{:>12} │{}", "", String::from_iter(row.iter()));
+    }
+    let _ = writeln!(
+        out,
+        "{y_lo:>12.2} ┤{}",
+        String::from_iter(grid[height - 1].iter())
+    );
+    let _ = writeln!(out, "{:>13}└{}", "", "─".repeat(width));
+    let _ = writeln!(out, "{:>14}{:<.2}{}{:>.2}", "", x_lo, " ".repeat(width.saturating_sub(12)), x_hi);
+    out
+}
+
+impl fmt::Display for DseReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.summary())?;
+        writeln!(f)?;
+        writeln!(f, "{}", self.configuration_table())?;
+        write!(f, "{}", self.metric_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Metric, MetricSet};
+    use dovado_fpga::ResourceKind;
+
+    fn report() -> DseReport {
+        DseReport {
+            pareto: vec![
+                ParetoEntry {
+                    point: DesignPoint::from_pairs(&[("DEPTH", 8), ("PIPE", 2)]),
+                    values: vec![100.0, 200.0, 195.5],
+                },
+                ParetoEntry {
+                    point: DesignPoint::from_pairs(&[("DEPTH", 16), ("PIPE", 3)]),
+                    values: vec![150.0, 240.0, 201.25],
+                },
+            ],
+            metrics: MetricSet::new(vec![
+                Metric::Utilization(ResourceKind::Lut),
+                Metric::Utilization(ResourceKind::Register),
+                Metric::Fmax,
+            ]),
+            generations: 10,
+            evaluations: 120,
+            tool_runs: 80,
+            cached_runs: 5,
+            estimates: 35,
+            failures: 0,
+            tool_time_s: 3600.0,
+            history: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn labels_follow_paper_style() {
+        assert_eq!(point_label(0), "A");
+        assert_eq!(point_label(12), "M");
+        assert_eq!(point_label(25), "Z");
+        assert_eq!(point_label(26), "AA");
+        assert_eq!(point_label(27), "AB");
+        assert_eq!(point_label(52), "BA");
+    }
+
+    #[test]
+    fn configuration_table_lists_params_per_point() {
+        let t = report().configuration_table();
+        assert!(t.contains("Design Point"));
+        assert!(t.contains("DEPTH"));
+        assert!(t.contains("PIPE"));
+        let depth_line = t.lines().find(|l| l.starts_with("DEPTH")).unwrap();
+        assert!(depth_line.contains('8') && depth_line.contains("16"));
+    }
+
+    #[test]
+    fn metric_table_lists_values() {
+        let t = report().metric_table();
+        assert!(t.contains("LUT"));
+        assert!(t.contains("Fmax[MHz]"));
+        assert!(t.contains("195.50"));
+        assert!(t.contains("100"));
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = report().summary();
+        assert!(s.contains("2 non-dominated"));
+        assert!(s.contains("80 tool run(s)"));
+        assert!(s.contains("35 estimated"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let mut r = report();
+        r.pareto.clear();
+        assert!(r.configuration_table().contains("empty"));
+        assert!(r.metric_table().contains("empty"));
+        assert!(r.scatter(0, 2, 40, 10).contains("empty"));
+    }
+
+    #[test]
+    fn scatter_places_extremes_in_corners() {
+        let r = report();
+        let plot = r.scatter(0, 2, 40, 10);
+        // Title names both metrics.
+        assert!(plot.contains("LUT (x)"));
+        assert!(plot.contains("Fmax[MHz] (y)"));
+        // Both labels appear.
+        assert!(plot.contains('A'));
+        assert!(plot.contains('B'));
+        // Axis annotations carry the ranges.
+        assert!(plot.contains("201.25"));
+        assert!(plot.contains("195.50"));
+    }
+
+    #[test]
+    fn scatter_handles_colliding_points() {
+        let pts = vec![(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)];
+        let labels = vec!["A".to_string(), "B".to_string(), "C".to_string()];
+        let plot = ascii_scatter(&pts, &labels, "t", 20, 8);
+        assert!(plot.contains('*'), "collision marker expected:\n{plot}");
+        assert!(plot.contains('C'));
+    }
+
+    #[test]
+    fn scatter_degenerate_span_does_not_panic() {
+        let pts = vec![(5.0, 3.0), (5.0, 3.0)];
+        let labels = vec!["A".to_string(), "B".to_string()];
+        let plot = ascii_scatter(&pts, &labels, "flat", 20, 8);
+        assert!(plot.contains('*') || plot.contains('A'));
+    }
+
+    #[test]
+    #[should_panic(expected = "metric index out of range")]
+    fn scatter_checks_indices() {
+        let _ = report().scatter(0, 9, 20, 8);
+    }
+}

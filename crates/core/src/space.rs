@@ -1,0 +1,427 @@
+//! Parameter spaces: which RTL parameters are free, over which values.
+//!
+//! The user "can specify a set of design points, i.e., a set of free
+//! parameters" with ranges (§I), and may restrict domains, e.g. "limit the
+//! range of a given parameter to only power of two values … reducing the
+//! volume space at exploration time, or even enforcing meaningful solutions
+//! only" (§III-B1). Domains are exposed to the optimizer and the surrogate
+//! through a dense **index space**: each parameter maps to an integer index
+//! `0..cardinality`, which keeps similarity distances meaningful for
+//! power-of-two domains (adjacent indices = adjacent admissible values).
+
+use crate::error::{DovadoError, DovadoResult};
+use crate::point::DesignPoint;
+use dovado_moo::IntVar;
+use dovado_surrogate::Bounds;
+use std::fmt;
+
+/// The admissible values of one parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Domain {
+    /// Every integer in `[lo, hi]` (inclusive), with a step.
+    Range {
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+        /// Step between admissible values (≥ 1).
+        step: i64,
+    },
+    /// Powers of two `2^min_exp ..= 2^max_exp` — the paper's restriction.
+    PowerOfTwo {
+        /// Smallest exponent.
+        min_exp: u32,
+        /// Largest exponent (≤ 62).
+        max_exp: u32,
+    },
+    /// An explicit value list (deduplicated, sorted).
+    Explicit(Vec<i64>),
+    /// Boolean as 0/1 (the paper's integer treatment of booleans).
+    Bool,
+}
+
+impl Domain {
+    /// A contiguous integer range with step 1.
+    pub fn range(lo: i64, hi: i64) -> Domain {
+        Domain::Range { lo: lo.min(hi), hi: hi.max(lo), step: 1 }
+    }
+
+    /// Number of admissible values.
+    pub fn cardinality(&self) -> u64 {
+        match self {
+            Domain::Range { lo, hi, step } => ((hi - lo) / step) as u64 + 1,
+            Domain::PowerOfTwo { min_exp, max_exp } => (max_exp - min_exp) as u64 + 1,
+            Domain::Explicit(v) => v.len() as u64,
+            Domain::Bool => 2,
+        }
+    }
+
+    /// The value at `index` (0-based).
+    pub fn value(&self, index: u64) -> Option<i64> {
+        if index >= self.cardinality() {
+            return None;
+        }
+        Some(match self {
+            Domain::Range { lo, step, .. } => lo + step * index as i64,
+            Domain::PowerOfTwo { min_exp, .. } => 1i64 << (min_exp + index as u32),
+            Domain::Explicit(v) => v[index as usize],
+            Domain::Bool => index as i64,
+        })
+    }
+
+    /// The index of `value`, if admissible.
+    pub fn index_of(&self, value: i64) -> Option<u64> {
+        match self {
+            Domain::Range { lo, hi, step } => {
+                if value < *lo || value > *hi || (value - lo) % step != 0 {
+                    None
+                } else {
+                    Some(((value - lo) / step) as u64)
+                }
+            }
+            Domain::PowerOfTwo { min_exp, max_exp } => {
+                if value <= 0 || value.count_ones() != 1 {
+                    return None;
+                }
+                let exp = value.trailing_zeros();
+                if exp < *min_exp || exp > *max_exp {
+                    None
+                } else {
+                    Some((exp - min_exp) as u64)
+                }
+            }
+            Domain::Explicit(v) => v.iter().position(|&x| x == value).map(|i| i as u64),
+            Domain::Bool => match value {
+                0 => Some(0),
+                1 => Some(1),
+                _ => None,
+            },
+        }
+    }
+
+    /// Validates the domain definition.
+    pub fn validate(&self) -> DovadoResult<()> {
+        match self {
+            Domain::Range { lo, hi, step } => {
+                if step < &1 {
+                    return Err(DovadoError::Space(format!("step {step} must be ≥ 1")));
+                }
+                if lo > hi {
+                    return Err(DovadoError::Space(format!("empty range [{lo}, {hi}]")));
+                }
+                Ok(())
+            }
+            Domain::PowerOfTwo { min_exp, max_exp } => {
+                if min_exp > max_exp {
+                    return Err(DovadoError::Space(format!(
+                        "empty power-of-two domain 2^{min_exp}..2^{max_exp}"
+                    )));
+                }
+                if *max_exp > 62 {
+                    return Err(DovadoError::Space(format!("exponent {max_exp} overflows i64")));
+                }
+                Ok(())
+            }
+            Domain::Explicit(v) => {
+                if v.is_empty() {
+                    return Err(DovadoError::Space("empty explicit domain".into()));
+                }
+                let mut sorted = v.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                if sorted.len() != v.len() || sorted != *v {
+                    return Err(DovadoError::Space(
+                        "explicit domain must be sorted and deduplicated".into(),
+                    ));
+                }
+                Ok(())
+            }
+            Domain::Bool => Ok(()),
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Range { lo, hi, step } if *step == 1 => write!(f, "[{lo}..{hi}]"),
+            Domain::Range { lo, hi, step } => write!(f, "[{lo}..{hi} step {step}]"),
+            Domain::PowerOfTwo { min_exp, max_exp } => {
+                write!(f, "{{2^{min_exp}..2^{max_exp}}}")
+            }
+            Domain::Explicit(v) => write!(f, "{v:?}"),
+            Domain::Bool => write!(f, "{{0, 1}}"),
+        }
+    }
+}
+
+/// One free parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreeParameter {
+    /// Parameter (generic) name as declared in the RTL.
+    pub name: String,
+    /// Admissible values.
+    pub domain: Domain,
+}
+
+/// The full search space.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParameterSpace {
+    params: Vec<FreeParameter>,
+}
+
+impl ParameterSpace {
+    /// Creates an empty space.
+    pub fn new() -> ParameterSpace {
+        ParameterSpace::default()
+    }
+
+    /// Adds a parameter (builder style). Panics on duplicate names or
+    /// invalid domains — space definitions are program constants.
+    pub fn with(mut self, name: impl Into<String>, domain: Domain) -> ParameterSpace {
+        let name = name.into();
+        domain.validate().unwrap_or_else(|e| panic!("invalid domain for `{name}`: {e}"));
+        assert!(
+            !self.params.iter().any(|p| p.name.eq_ignore_ascii_case(&name)),
+            "duplicate parameter `{name}`"
+        );
+        self.params.push(FreeParameter { name, domain });
+        self
+    }
+
+    /// The parameters, in declaration order.
+    pub fn params(&self) -> &[FreeParameter] {
+        &self.params
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Total number of design points ("the volume of the parameters
+    /// space"), saturating.
+    pub fn volume(&self) -> u64 {
+        self.params.iter().fold(1u64, |a, p| a.saturating_mul(p.domain.cardinality()))
+    }
+
+    /// Index-space decision variables for the optimizer.
+    pub fn index_vars(&self) -> Vec<IntVar> {
+        self.params
+            .iter()
+            .map(|p| IntVar::new(&p.name, 0, p.domain.cardinality() as i64 - 1))
+            .collect()
+    }
+
+    /// Index-space bounds for the surrogate dataset.
+    pub fn index_bounds(&self) -> Bounds {
+        Bounds::new(
+            self.params
+                .iter()
+                .map(|p| (0i64, p.domain.cardinality() as i64 - 1))
+                .collect(),
+        )
+    }
+
+    /// Decodes an index genome into a design point.
+    pub fn decode(&self, indices: &[i64]) -> DovadoResult<DesignPoint> {
+        if indices.len() != self.params.len() {
+            return Err(DovadoError::Space(format!(
+                "genome has {} genes, space has {} parameters",
+                indices.len(),
+                self.params.len()
+            )));
+        }
+        let mut values = Vec::with_capacity(indices.len());
+        for (idx, p) in indices.iter().zip(&self.params) {
+            let v = u64::try_from(*idx)
+                .ok()
+                .and_then(|i| p.domain.value(i))
+                .ok_or_else(|| {
+                    DovadoError::Space(format!("index {idx} out of domain for `{}`", p.name))
+                })?;
+            values.push(v);
+        }
+        Ok(DesignPoint::new(
+            self.params.iter().map(|p| p.name.clone()).collect(),
+            values,
+        ))
+    }
+
+    /// Encodes parameter values back into an index genome.
+    pub fn encode(&self, point: &DesignPoint) -> DovadoResult<Vec<i64>> {
+        let mut out = Vec::with_capacity(self.params.len());
+        for p in &self.params {
+            let v = point.get(&p.name).ok_or_else(|| {
+                DovadoError::Space(format!("point is missing parameter `{}`", p.name))
+            })?;
+            let idx = p.domain.index_of(v).ok_or_else(|| {
+                DovadoError::Space(format!("value {v} not admissible for `{}`", p.name))
+            })?;
+            out.push(idx as i64);
+        }
+        Ok(out)
+    }
+
+    /// Enumerates every design point (for exact exploration / exhaustive
+    /// baselines). Returns `None` if the volume exceeds `limit`.
+    pub fn enumerate(&self, limit: u64) -> Option<Vec<DesignPoint>> {
+        let vol = self.volume();
+        if vol > limit {
+            return None;
+        }
+        let mut out = Vec::with_capacity(vol as usize);
+        let mut idx: Vec<u64> = vec![0; self.params.len()];
+        loop {
+            let genome: Vec<i64> = idx.iter().map(|&i| i as i64).collect();
+            out.push(self.decode(&genome).expect("indices in range"));
+            let mut k = 0usize;
+            loop {
+                if k == self.params.len() {
+                    return Some(out);
+                }
+                idx[k] += 1;
+                if idx[k] < self.params[k].domain.cardinality() {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+            }
+        }
+    }
+}
+
+impl fmt::Display for ParameterSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} ∈ {}", p.name, p.domain)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_domain_roundtrip() {
+        let d = Domain::Range { lo: 2, hi: 1000, step: 2 };
+        assert_eq!(d.cardinality(), 500);
+        assert_eq!(d.value(0), Some(2));
+        assert_eq!(d.value(499), Some(1000));
+        assert_eq!(d.value(500), None);
+        assert_eq!(d.index_of(500), Some(249));
+        assert_eq!(d.index_of(3), None);
+        assert_eq!(d.index_of(1002), None);
+    }
+
+    #[test]
+    fn power_of_two_domain() {
+        let d = Domain::PowerOfTwo { min_exp: 10, max_exp: 16 };
+        assert_eq!(d.cardinality(), 7);
+        assert_eq!(d.value(0), Some(1024));
+        assert_eq!(d.value(6), Some(65536));
+        assert_eq!(d.index_of(16384), Some(4));
+        assert_eq!(d.index_of(12345), None);
+        assert_eq!(d.index_of(512), None);
+    }
+
+    #[test]
+    fn explicit_and_bool_domains() {
+        let d = Domain::Explicit(vec![1, 3, 7]);
+        assert_eq!(d.cardinality(), 3);
+        assert_eq!(d.value(1), Some(3));
+        assert_eq!(d.index_of(7), Some(2));
+        let b = Domain::Bool;
+        assert_eq!(b.cardinality(), 2);
+        assert_eq!(b.value(1), Some(1));
+        assert_eq!(b.index_of(2), None);
+    }
+
+    #[test]
+    fn domain_validation() {
+        assert!(Domain::Range { lo: 0, hi: 10, step: 0 }.validate().is_err());
+        assert!(Domain::Range { lo: 10, hi: 0, step: 1 }.validate().is_err());
+        assert!(Domain::PowerOfTwo { min_exp: 5, max_exp: 2 }.validate().is_err());
+        assert!(Domain::PowerOfTwo { min_exp: 0, max_exp: 63 }.validate().is_err());
+        assert!(Domain::Explicit(vec![]).validate().is_err());
+        assert!(Domain::Explicit(vec![3, 1]).validate().is_err());
+        assert!(Domain::Explicit(vec![1, 1, 3]).validate().is_err());
+        assert!(Domain::Explicit(vec![1, 3]).validate().is_ok());
+    }
+
+    fn space() -> ParameterSpace {
+        ParameterSpace::new()
+            .with("DEPTH", Domain::range(2, 65))
+            .with("SIZE", Domain::PowerOfTwo { min_exp: 3, max_exp: 6 })
+            .with("EN", Domain::Bool)
+    }
+
+    #[test]
+    fn volume_and_vars() {
+        let s = space();
+        assert_eq!(s.volume(), 64 * 4 * 2);
+        let vars = s.index_vars();
+        assert_eq!(vars[0].hi, 63);
+        assert_eq!(vars[1].hi, 3);
+        assert_eq!(vars[2].hi, 1);
+    }
+
+    #[test]
+    fn decode_encode_roundtrip() {
+        let s = space();
+        let p = s.decode(&[10, 2, 1]).unwrap();
+        assert_eq!(p.get("DEPTH"), Some(12));
+        assert_eq!(p.get("SIZE"), Some(32));
+        assert_eq!(p.get("EN"), Some(1));
+        assert_eq!(s.encode(&p).unwrap(), vec![10, 2, 1]);
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range() {
+        let s = space();
+        assert!(s.decode(&[100, 0, 0]).is_err());
+        assert!(s.decode(&[0, 0]).is_err());
+        assert!(s.decode(&[-1, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn encode_rejects_inadmissible() {
+        let s = space();
+        let p = DesignPoint::new(
+            vec!["DEPTH".into(), "SIZE".into(), "EN".into()],
+            vec![12, 33, 1], // 33 is not a power of two
+        );
+        assert!(s.encode(&p).is_err());
+    }
+
+    #[test]
+    fn enumerate_small_space() {
+        let s = ParameterSpace::new()
+            .with("A", Domain::range(0, 2))
+            .with("B", Domain::Bool);
+        let all = s.enumerate(100).unwrap();
+        assert_eq!(all.len(), 6);
+        assert!(s.enumerate(5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn duplicate_names_panic() {
+        let _ = ParameterSpace::new()
+            .with("A", Domain::Bool)
+            .with("a", Domain::Bool);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = space();
+        let t = s.to_string();
+        assert!(t.contains("DEPTH"));
+        assert!(t.contains("2^3"));
+    }
+}

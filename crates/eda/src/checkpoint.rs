@@ -1,0 +1,217 @@
+//! Design checkpoints and the incremental flow.
+//!
+//! Vivado's incremental design flow "writes some archives, called
+//! checkpoints" per run; reusing them "avoids repeating the exploration of
+//! design parts not affected by parametrization" (§III-B2). The simulator
+//! models that as a store keyed by the exact design hash (full reuse — the
+//! paper's "Vivado employs cached results" case) with a secondary index by
+//! (module, part, step) for *incremental* reuse: a prior run of the same
+//! module with different parameters cuts the simulated run time by a reuse
+//! factor.
+
+use crate::place_route::ImplResult;
+use crate::synth::SynthResult;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which flow step a checkpoint captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowStep {
+    /// After `synth_design`.
+    Synthesis,
+    /// After `route_design`.
+    Implementation,
+}
+
+/// A stored checkpoint.
+#[derive(Debug, Clone)]
+pub enum Checkpoint {
+    /// Synthesis result.
+    Synth(SynthResult),
+    /// Implementation result.
+    Impl(ImplResult),
+}
+
+/// How much of a fresh run's cost a reuse class still pays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Reuse {
+    /// No prior checkpoint: pay the full run time.
+    None,
+    /// Same module, different parameters: incremental flow applies.
+    Incremental,
+    /// Identical design hash: the tool answers from cache.
+    Exact,
+}
+
+impl Reuse {
+    /// Run-time multiplier for this reuse class.
+    pub fn runtime_factor(&self) -> f64 {
+        match self {
+            Reuse::None => 1.0,
+            Reuse::Incremental => 0.42,
+            Reuse::Exact => 0.04,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Exact results by (design_hash, step).
+    exact: HashMap<(u64, FlowStep), Checkpoint>,
+    /// Incremental basis by (module, part, step) → most recent design hash.
+    by_module: HashMap<(String, String, FlowStep), u64>,
+}
+
+/// A shareable, thread-safe checkpoint store.
+#[derive(Clone, Default)]
+pub struct CheckpointStore {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl CheckpointStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a checkpoint.
+    pub fn put(
+        &self,
+        design_hash: u64,
+        module: &str,
+        part: &str,
+        step: FlowStep,
+        cp: Checkpoint,
+    ) {
+        let mut g = self.inner.lock();
+        g.exact.insert((design_hash, step), cp);
+        g.by_module
+            .insert((module.to_ascii_lowercase(), part.to_ascii_lowercase(), step), design_hash);
+    }
+
+    /// Exact lookup.
+    pub fn get_exact(&self, design_hash: u64, step: FlowStep) -> Option<Checkpoint> {
+        self.inner.lock().exact.get(&(design_hash, step)).cloned()
+    }
+
+    /// Classifies the reuse available for a run.
+    pub fn classify(
+        &self,
+        design_hash: u64,
+        module: &str,
+        part: &str,
+        step: FlowStep,
+    ) -> Reuse {
+        let g = self.inner.lock();
+        if g.exact.contains_key(&(design_hash, step)) {
+            return Reuse::Exact;
+        }
+        if g.by_module.contains_key(&(
+            module.to_ascii_lowercase(),
+            part.to_ascii_lowercase(),
+            step,
+        )) {
+            return Reuse::Incremental;
+        }
+        Reuse::None
+    }
+
+    /// Number of stored checkpoints.
+    pub fn len(&self) -> usize {
+        self.inner.lock().exact.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        g.exact.clear();
+        g.by_module.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use crate::synth::SynthDirective;
+
+    fn synth_cp() -> Checkpoint {
+        Checkpoint::Synth(SynthResult {
+            netlist: Netlist::empty("m"),
+            runtime_s: 1.0,
+            directive: SynthDirective::Default,
+            log: String::new(),
+        })
+    }
+
+    #[test]
+    fn exact_reuse_after_put() {
+        let store = CheckpointStore::new();
+        assert_eq!(store.classify(42, "m", "p", FlowStep::Synthesis), Reuse::None);
+        store.put(42, "m", "p", FlowStep::Synthesis, synth_cp());
+        assert_eq!(store.classify(42, "m", "p", FlowStep::Synthesis), Reuse::Exact);
+        assert!(store.get_exact(42, FlowStep::Synthesis).is_some());
+    }
+
+    #[test]
+    fn incremental_reuse_for_same_module_other_params() {
+        let store = CheckpointStore::new();
+        store.put(42, "fifo", "xc7k70t", FlowStep::Synthesis, synth_cp());
+        // Different design hash (other params), same module/part/step.
+        assert_eq!(
+            store.classify(43, "fifo", "xc7k70t", FlowStep::Synthesis),
+            Reuse::Incremental
+        );
+        // Different part → no basis.
+        assert_eq!(store.classify(43, "fifo", "xczu3eg", FlowStep::Synthesis), Reuse::None);
+        // Different step → no basis.
+        assert_eq!(
+            store.classify(43, "fifo", "xc7k70t", FlowStep::Implementation),
+            Reuse::None
+        );
+    }
+
+    #[test]
+    fn case_insensitive_module_and_part() {
+        let store = CheckpointStore::new();
+        store.put(1, "FIFO", "XC7K70T", FlowStep::Synthesis, synth_cp());
+        assert_eq!(
+            store.classify(2, "fifo", "xc7k70t", FlowStep::Synthesis),
+            Reuse::Incremental
+        );
+    }
+
+    #[test]
+    fn runtime_factors_ordered() {
+        assert!(Reuse::Exact.runtime_factor() < Reuse::Incremental.runtime_factor());
+        assert!(Reuse::Incremental.runtime_factor() < Reuse::None.runtime_factor());
+    }
+
+    #[test]
+    fn clear_empties_store() {
+        let store = CheckpointStore::new();
+        store.put(1, "m", "p", FlowStep::Synthesis, synth_cp());
+        assert!(!store.is_empty());
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.classify(1, "m", "p", FlowStep::Synthesis), Reuse::None);
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        let store = CheckpointStore::new();
+        let s2 = store.clone();
+        std::thread::spawn(move || {
+            s2.put(9, "m", "p", FlowStep::Implementation, synth_cp());
+        })
+        .join()
+        .unwrap();
+        assert_eq!(store.len(), 1);
+    }
+}

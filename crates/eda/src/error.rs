@@ -1,0 +1,64 @@
+//! Error type for the simulated EDA flow.
+
+use std::fmt;
+
+/// Anything that can go wrong while driving the simulated tool.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdaError {
+    /// A TCL script failed to parse or execute.
+    Tcl(String),
+    /// A referenced file does not exist in the tool's virtual filesystem.
+    FileNotFound(String),
+    /// HDL source failed to parse.
+    Parse(String),
+    /// No module with the given name is loaded.
+    UnknownModule(String),
+    /// The requested part is not in the catalog.
+    UnknownPart(String),
+    /// A parameter binding failed (unknown name, non-integer value, …).
+    Parameter(String),
+    /// Elaboration failed (no architecture model could place the design).
+    Elaboration(String),
+    /// The design does not fit the device.
+    ResourceOverflow(String),
+    /// Flow-order violation (e.g. `route_design` before `place_design`).
+    FlowOrder(String),
+    /// Checkpoint missing or incompatible.
+    Checkpoint(String),
+}
+
+impl fmt::Display for EdaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdaError::Tcl(m) => write!(f, "TCL error: {m}"),
+            EdaError::FileNotFound(p) => write!(f, "file not found: {p}"),
+            EdaError::Parse(m) => write!(f, "HDL parse error: {m}"),
+            EdaError::UnknownModule(m) => write!(f, "unknown module: {m}"),
+            EdaError::UnknownPart(p) => write!(f, "unknown part: {p}"),
+            EdaError::Parameter(m) => write!(f, "parameter error: {m}"),
+            EdaError::Elaboration(m) => write!(f, "elaboration error: {m}"),
+            EdaError::ResourceOverflow(m) => write!(f, "design does not fit device: {m}"),
+            EdaError::FlowOrder(m) => write!(f, "flow order violation: {m}"),
+            EdaError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EdaError {}
+
+/// Convenience alias.
+pub type EdaResult<T> = Result<T, EdaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(EdaError::Tcl("boom".into()).to_string(), "TCL error: boom");
+        assert_eq!(
+            EdaError::UnknownPart("xc9k".into()).to_string(),
+            "unknown part: xc9k"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Deterministic hashing for reproducible flow noise.
+//!
+//! The simulated tool derives per-run jitter (placement noise, small
+//! utilization deltas) from a SplitMix64 hash of the design identity, so
+//! that identical runs are bit-identical — a property the checkpoint cache
+//! and the exploration tests rely on.
+
+/// SplitMix64 step: maps any 64-bit state to a well-mixed 64-bit output.
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte slice (cheap, stable across platforms).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Hashes a string.
+pub fn hash_str(s: &str) -> u64 {
+    fnv1a(s.as_bytes())
+}
+
+/// Combines two hashes order-dependently.
+pub fn combine(a: u64, b: u64) -> u64 {
+    splitmix64(a ^ b.rotate_left(17))
+}
+
+/// A deterministic pseudo-random value in `[-1.0, 1.0]` derived from a seed.
+pub fn unit_noise(seed: u64) -> f64 {
+    let v = splitmix64(seed);
+    // 53 random mantissa bits → [0, 1), then map to [-1, 1).
+    let u = (v >> 11) as f64 / (1u64 << 53) as f64;
+    2.0 * u - 1.0
+}
+
+/// A deterministic pseudo-random value in `[0.0, 1.0)`.
+pub fn unit_uniform(seed: u64) -> f64 {
+    (splitmix64(seed) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixing() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        // Single-bit input changes flip roughly half the output bits.
+        let d = (splitmix64(42) ^ splitmix64(43)).count_ones();
+        assert!(d > 16 && d < 48, "poor avalanche: {d}");
+    }
+
+    #[test]
+    fn fnv_distinguishes_strings() {
+        assert_ne!(hash_str("fifo DEPTH=8"), hash_str("fifo DEPTH=9"));
+        assert_eq!(hash_str(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn combine_is_order_dependent() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+    }
+
+    #[test]
+    fn unit_noise_in_range() {
+        for seed in 0..1000u64 {
+            let n = unit_noise(seed);
+            assert!((-1.0..=1.0).contains(&n), "noise {n} out of range");
+        }
+    }
+
+    #[test]
+    fn unit_noise_roughly_centred() {
+        let mean: f64 = (0..10_000u64).map(unit_noise).sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+    }
+
+    #[test]
+    fn unit_uniform_in_range() {
+        for seed in 0..1000u64 {
+            let u = unit_uniform(seed);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Built-in architecture models for the paper's four case studies plus a
+//! generic interface-driven fallback.
+//!
+//! Each model is an analytic resource/timing estimator calibrated so the
+//! paper's qualitative results reproduce:
+//!
+//! * [`fifo`] — the cv32e40p SystemVerilog FIFO (Fig. 3: smooth metric
+//!   surfaces over `DEPTH` for the surrogate-accuracy experiment).
+//! * [`queue_manager`] — Corundum's completion-queue manager (Fig. 4 /
+//!   Table I: BRAM-constant, LUT/FF trade-offs, ~200 MHz on Kintex-7).
+//! * [`riscv`] — the Neorv32 VHDL core (Fig. 5: BRAM steps with memory
+//!   sizes, other metrics nearly flat).
+//! * [`regex_engine`] — the TiReX regex DSA (Figs. 6–7 / Table II:
+//!   ~550 MHz on 16 nm ZU3EG vs ~190 MHz on 28 nm XC7K70T).
+//! * [`generic`] — interface-driven estimates for any other module.
+
+pub mod fifo;
+pub mod generic;
+pub mod queue_manager;
+pub mod regex_engine;
+pub mod riscv;
+
+use crate::archmodel::ArchModel;
+
+/// All built-in models, in registration order (the registry reverses this,
+/// so earlier entries here are *lower* priority).
+pub fn builtin_models() -> Vec<Box<dyn ArchModel>> {
+    vec![
+        Box::new(fifo::FifoModel::default()),
+        Box::new(queue_manager::QueueManagerModel::default()),
+        Box::new(riscv::Neorv32Model::default()),
+        Box::new(riscv::Cv32e40pModel::default()),
+        Box::new(regex_engine::TirexModel::default()),
+    ]
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use dovado_hdl::{parse_source, Language, ModuleInterface};
+
+    /// Parses a single-module source and returns the interface.
+    pub fn module_from(lang: Language, src: &str) -> ModuleInterface {
+        let (f, d) = parse_source(lang, src).unwrap();
+        assert!(!d.has_errors());
+        f.modules[0].clone()
+    }
+}

@@ -1,0 +1,184 @@
+//! Cost model for Corundum's completion-queue manager (§IV-B).
+//!
+//! Architecture sketch (from the Corundum NIC): per-queue state lives in a
+//! RAM indexed by `QUEUE_INDEX_WIDTH` bits; in-flight operations are tracked
+//! in an `OP_TABLE_SIZE`-entry table with associative matching; the request
+//! path is cut by `PIPELINE` register stages.
+//!
+//! Paper-calibrated behaviour (Fig. 4 / Table I):
+//! * BRAM count is *constant* across the explored configurations (the
+//!   queue-state RAM fits one/two 36 Kb blocks for 2^2 … 2^10 queues),
+//! * LUTs and registers move with all three parameters,
+//! * achievable frequency sits near 200 MHz on the Kintex-7, with pipeline
+//!   stages buying back logic depth.
+
+use crate::archmodel::{ArchModel, ElabContext};
+use crate::error::EdaResult;
+use crate::netlist::Netlist;
+use dovado_fpga::{ResourceKind, ResourceSet};
+use dovado_hdl::clog2;
+
+/// Bits of queue state per queue (command + head/tail pointers + flags).
+const QUEUE_STATE_BITS: u64 = 128;
+/// Capacity of one BRAM tile in bits.
+const BRAM_BITS: u64 = 36 * 1024;
+
+/// Completion-queue-manager architecture model.
+#[derive(Debug, Default)]
+pub struct QueueManagerModel;
+
+impl ArchModel for QueueManagerModel {
+    fn name(&self) -> &str {
+        "corundum-cpl-queue-manager"
+    }
+
+    fn matches(&self, module_name: &str) -> bool {
+        let n = module_name.to_ascii_lowercase();
+        n.contains("queue_manager")
+    }
+
+    fn elaborate(&self, ctx: &ElabContext<'_>) -> EdaResult<Netlist> {
+        let op_table = ctx.positive_param("OP_TABLE_SIZE")? as u64;
+        let qi_width = ctx.positive_param("QUEUE_INDEX_WIDTH")? as u64;
+        let pipeline = ctx.positive_param("PIPELINE")? as u64;
+
+        let queues = 1u64 << qi_width.min(20);
+
+        // Queue state RAM: always at least one BRAM; the explored range
+        // (2^2..2^10 queues × 128 b) stays within 4 tiles, and within the
+        // paper's 2^4..2^7 slice it is constant.
+        let brams = (queues * QUEUE_STATE_BITS).div_ceil(BRAM_BITS).max(2);
+
+        // Op table: each entry holds a queue index, commit/done flags and a
+        // completion record (~40 flops + queue index).
+        let op_entry_bits = 40 + qi_width;
+        let op_regs = op_table * op_entry_bits;
+        // Pipeline registers across the datapath (~90 b of request state per
+        // stage) and output skid buffers.
+        let pipe_regs = pipeline * 92 + 180;
+        let regs = op_regs + pipe_regs;
+
+        // Associative match of the incoming queue index against every op
+        // table entry, plus per-entry control, plus RAM addressing and AXI
+        // stream plumbing.
+        let match_luts = op_table * (qi_width + 6) / 2;
+        let entry_luts = op_table * 9;
+        let ctrl_luts = qi_width * 28 + pipeline * 24 + 240;
+        let luts = match_luts + entry_luts + ctrl_luts;
+
+        // Critical path: with at least one pipeline register the op-table
+        // match is cut out of the path and timing is set by the queue-RAM
+        // access + control logic (so the op-table size only buys the NIC
+        // throughput the paper does not optimize for — its effect on Fmax
+        // is down in the placement-noise floor, which is what lets larger
+        // tables survive on the measured non-dominated front, Table I).
+        // Unpipelined, the combinational match reduction dominates.
+        let levels = if pipeline == 1 {
+            clog2(op_table.max(2)) + 6
+        } else {
+            (9u32).saturating_sub(pipeline as u32).max(4)
+        };
+
+        let mut nl = Netlist::empty(&ctx.module.name);
+        nl.cells = ResourceSet::from_pairs(&[
+            (ResourceKind::Lut, luts),
+            (ResourceKind::Register, regs),
+            (ResourceKind::Bram, brams),
+            (ResourceKind::Carry, (qi_width + 8).div_ceil(4)),
+        ]);
+        nl.logic_levels = levels;
+        nl.carry_bits = qi_width as u32 + 8;
+        // Weak residual coupling: reset/enable fanout into the op table —
+        // deliberately below the placement-noise floor.
+        nl.fanout_cost = 0.6 + (op_table as f64 / 256.0).min(0.4);
+        nl.crit_through_bram = pipeline >= 2;
+        nl.crit_path = format!(
+            "op_table match ({op_table} entries) -> priority encode -> queue RAM addr \
+             [{pipeline} pipeline stage(s)]"
+        );
+        Ok(nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archmodel::bind_parameters;
+    use crate::models::testutil::module_from;
+    use dovado_fpga::Catalog;
+    use dovado_hdl::Language;
+    use std::collections::BTreeMap;
+
+    const SRC: &str = r#"
+module cpl_queue_manager #(
+    parameter OP_TABLE_SIZE = 16,
+    parameter QUEUE_INDEX_WIDTH = 8,
+    parameter PIPELINE = 2
+)(input wire clk);
+endmodule"#;
+
+    fn elab(op: i64, qi: i64, pipe: i64) -> Netlist {
+        let m = module_from(Language::Verilog, SRC);
+        let part = Catalog::builtin().resolve("xc7k70t").unwrap().clone();
+        let mut ov = BTreeMap::new();
+        ov.insert("OP_TABLE_SIZE".to_string(), op);
+        ov.insert("QUEUE_INDEX_WIDTH".to_string(), qi);
+        ov.insert("PIPELINE".to_string(), pipe);
+        let params = bind_parameters(&m, &ov).unwrap();
+        let ctx = ElabContext { module: &m, params: &params, part: &part };
+        QueueManagerModel.elaborate(&ctx).unwrap()
+    }
+
+    #[test]
+    fn bram_constant_over_paper_range() {
+        // Table I explores ops 8..35, queues 2^4..2^7, pipeline 2..5 —
+        // BRAM must not move (Fig. 4: "the module is constant in the number
+        // of BRAMs needed").
+        let base = elab(8, 4, 2).brams();
+        for &(o, q, p) in &[(8, 5, 2), (35, 4, 2), (10, 7, 3), (19, 4, 5), (15, 4, 4)] {
+            assert_eq!(elab(o, q, p).brams(), base, "BRAM moved at ({o},{q},{p})");
+        }
+    }
+
+    #[test]
+    fn luts_grow_with_op_table_and_queues() {
+        assert!(elab(32, 4, 2).luts() > elab(8, 4, 2).luts());
+        assert!(elab(8, 8, 2).luts() > elab(8, 4, 2).luts());
+    }
+
+    #[test]
+    fn registers_grow_with_pipeline_and_ops() {
+        assert!(elab(8, 4, 5).registers() > elab(8, 4, 2).registers());
+        assert!(elab(32, 4, 2).registers() > elab(8, 4, 2).registers());
+    }
+
+    #[test]
+    fn pipeline_reduces_logic_depth_to_floor() {
+        let shallow = elab(16, 4, 1).logic_levels;
+        let deep = elab(16, 4, 5).logic_levels;
+        assert!(deep < shallow);
+        assert!(elab(16, 4, 20).logic_levels >= 4, "floor must hold");
+    }
+
+    #[test]
+    fn requires_all_three_parameters() {
+        let m = module_from(Language::Verilog, SRC);
+        let part = Catalog::builtin().resolve("xc7k70t").unwrap().clone();
+        // Interface defaults cover everything, so defaults-only works…
+        let params = bind_parameters(&m, &BTreeMap::new()).unwrap();
+        let ctx = ElabContext { module: &m, params: &params, part: &part };
+        assert!(QueueManagerModel.elaborate(&ctx).is_ok());
+        // …but a zero parameter is rejected.
+        let mut bad = params.clone();
+        bad.insert("PIPELINE".to_string(), 0);
+        let ctx = ElabContext { module: &m, params: &bad, part: &part };
+        assert!(QueueManagerModel.elaborate(&ctx).is_err());
+    }
+
+    #[test]
+    fn matches_corundum_name() {
+        assert!(QueueManagerModel.matches("cpl_queue_manager"));
+        assert!(QueueManagerModel.matches("queue_manager"));
+        assert!(!QueueManagerModel.matches("fifo_v3"));
+    }
+}

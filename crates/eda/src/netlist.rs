@@ -1,0 +1,155 @@
+//! Synthetic netlists.
+//!
+//! The simulator does not build gate-level netlists; it elaborates a design
+//! into a [`Netlist`] summary — resource counts plus a critical-path
+//! skeleton — which is everything the synthesis/place/route/timing engines
+//! need to produce Vivado-shaped results.
+
+use dovado_fpga::{ResourceKind, ResourceSet};
+use std::fmt;
+
+/// The elaborated summary of one design (top module plus its hierarchy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    /// Top module name.
+    pub module: String,
+    /// Resource usage before synthesis optimizations.
+    pub cells: ResourceSet,
+    /// LUT levels on the critical register-to-register path.
+    pub logic_levels: u32,
+    /// Carry-chain bits on the critical path.
+    pub carry_bits: u32,
+    /// Extra net hops on the critical path due to high-fanout nets
+    /// (fractional: average over the worst paths).
+    pub fanout_cost: f64,
+    /// Whether the critical path passes through a block RAM.
+    pub crit_through_bram: bool,
+    /// Whether the critical path passes through a DSP slice.
+    pub crit_through_dsp: bool,
+    /// Human-readable description of the critical path (appears in timing
+    /// reports).
+    pub crit_path: String,
+    /// Stable identity of the elaborated design: hash of module name,
+    /// bound parameters and sources. Used for checkpoint keys and noise
+    /// seeding.
+    pub design_hash: u64,
+}
+
+impl Netlist {
+    /// Creates an empty netlist for the named module.
+    pub fn empty(module: impl Into<String>) -> Netlist {
+        Netlist {
+            module: module.into(),
+            cells: ResourceSet::zero(),
+            logic_levels: 1,
+            carry_bits: 0,
+            fanout_cost: 0.0,
+            crit_through_bram: false,
+            crit_through_dsp: false,
+            crit_path: String::new(),
+            design_hash: 0,
+        }
+    }
+
+    /// Shorthand accessors used throughout the flow engines.
+    pub fn luts(&self) -> u64 {
+        self.cells.get(ResourceKind::Lut)
+    }
+
+    /// Register count.
+    pub fn registers(&self) -> u64 {
+        self.cells.get(ResourceKind::Register)
+    }
+
+    /// BRAM tile count.
+    pub fn brams(&self) -> u64 {
+        self.cells.get(ResourceKind::Bram)
+    }
+
+    /// DSP slice count.
+    pub fn dsps(&self) -> u64 {
+        self.cells.get(ResourceKind::Dsp)
+    }
+
+    /// Merges a submodule netlist into this one (cells add; the critical
+    /// path is the deeper of the two).
+    pub fn absorb(&mut self, other: &Netlist) {
+        self.cells += other.cells;
+        if other.logic_levels > self.logic_levels {
+            self.logic_levels = other.logic_levels;
+            self.carry_bits = other.carry_bits;
+            self.crit_through_bram = other.crit_through_bram;
+            self.crit_through_dsp = other.crit_through_dsp;
+            self.crit_path = other.crit_path.clone();
+        }
+        self.fanout_cost = self.fanout_cost.max(other.fanout_cost);
+        self.design_hash = crate::hash::combine(self.design_hash, other.design_hash);
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} cells [{}], {} logic levels",
+            self.module,
+            self.cells.total(),
+            self.cells,
+            self.logic_levels
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_minimal() {
+        let n = Netlist::empty("m");
+        assert_eq!(n.luts(), 0);
+        assert_eq!(n.logic_levels, 1);
+        assert!(!n.crit_through_bram);
+    }
+
+    #[test]
+    fn absorb_adds_cells_and_takes_deeper_path() {
+        let mut a = Netlist::empty("a");
+        a.cells.set(ResourceKind::Lut, 100);
+        a.logic_levels = 3;
+        a.crit_path = "a path".into();
+
+        let mut b = Netlist::empty("b");
+        b.cells.set(ResourceKind::Lut, 50);
+        b.cells.set(ResourceKind::Bram, 2);
+        b.logic_levels = 7;
+        b.crit_through_bram = true;
+        b.crit_path = "b path".into();
+
+        a.absorb(&b);
+        assert_eq!(a.luts(), 150);
+        assert_eq!(a.brams(), 2);
+        assert_eq!(a.logic_levels, 7);
+        assert!(a.crit_through_bram);
+        assert_eq!(a.crit_path, "b path");
+    }
+
+    #[test]
+    fn absorb_keeps_own_path_when_deeper() {
+        let mut a = Netlist::empty("a");
+        a.logic_levels = 9;
+        a.crit_path = "a path".into();
+        let mut b = Netlist::empty("b");
+        b.logic_levels = 2;
+        b.crit_path = "b path".into();
+        a.absorb(&b);
+        assert_eq!(a.crit_path, "a path");
+        assert_eq!(a.logic_levels, 9);
+    }
+
+    #[test]
+    fn display_mentions_module() {
+        let n = Netlist::empty("fifo");
+        assert!(n.to_string().contains("fifo"));
+    }
+}

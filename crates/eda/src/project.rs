@@ -1,0 +1,425 @@
+//! In-memory project state: sources, top module, constraints, generics —
+//! plus hierarchical elaboration.
+//!
+//! Elaboration resolves the top module down through recorded
+//! instantiations: Dovado's generated box (an empty wrapper with a single
+//! `BOXED` instance carrying the generic map) elaborates to glue-plus-child,
+//! exactly how the real tool sees it.
+
+use crate::archmodel::{bind_parameters, ElabContext, ModelRegistry};
+use crate::error::{EdaError, EdaResult};
+use crate::netlist::Netlist;
+use dovado_fpga::Part;
+use dovado_hdl::{Instantiation, Language, ModuleInterface, SourceFile};
+use std::collections::BTreeMap;
+
+/// A clock constraint created by `create_clock`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockConstraint {
+    /// The constrained port name.
+    pub port: String,
+    /// Target period in nanoseconds.
+    pub period_ns: f64,
+}
+
+/// One parsed source file registered with the project.
+#[derive(Debug, Clone)]
+pub struct SourceUnit {
+    /// Path inside the tool's virtual filesystem.
+    pub path: String,
+    /// Language it was read as.
+    pub language: Language,
+    /// Parse result.
+    pub file: SourceFile,
+    /// VHDL library the file was compiled into (`work` by default; the
+    /// paper's naming constraint maps one subfolder per library).
+    pub library: String,
+}
+
+/// Project state for one tool session.
+#[derive(Debug, Clone)]
+pub struct Project {
+    /// Project name.
+    pub name: String,
+    /// Target part.
+    pub part: Part,
+    /// Registered sources in read order (SV packages must be read first —
+    /// the paper's parsing-order specification; enforced in
+    /// [`Project::check_ordering`]).
+    pub sources: Vec<SourceUnit>,
+    /// Explicit top module, if set.
+    pub top: Option<String>,
+    /// Generic/parameter overrides applied to the top module.
+    pub generics: BTreeMap<String, i64>,
+    /// Clock constraints.
+    pub clocks: Vec<ClockConstraint>,
+}
+
+impl Project {
+    /// Creates an empty project targeting `part`.
+    pub fn new(name: impl Into<String>, part: Part) -> Project {
+        Project {
+            name: name.into(),
+            part,
+            sources: Vec::new(),
+            top: None,
+            generics: BTreeMap::new(),
+            clocks: Vec::new(),
+        }
+    }
+
+    /// Parses and registers a source buffer.
+    pub fn add_source(
+        &mut self,
+        path: &str,
+        language: Language,
+        text: &str,
+        library: Option<&str>,
+    ) -> EdaResult<()> {
+        let (file, diags) = dovado_hdl::parse_source(language, text)
+            .map_err(|e| EdaError::Parse(format!("{path}: {e}")))?;
+        if diags.has_errors() {
+            let first = diags
+                .iter()
+                .find(|d| d.severity == dovado_hdl::Severity::Error)
+                .map(|d| d.message.clone())
+                .unwrap_or_default();
+            return Err(EdaError::Parse(format!("{path}: {first}")));
+        }
+        self.sources.push(SourceUnit {
+            path: path.to_string(),
+            language,
+            file,
+            library: library.unwrap_or("work").to_string(),
+        });
+        Ok(())
+    }
+
+    /// All module interfaces across sources.
+    pub fn modules(&self) -> impl Iterator<Item = &ModuleInterface> {
+        self.sources.iter().flat_map(|s| s.file.modules.iter())
+    }
+
+    /// Finds a module by case-insensitive name.
+    pub fn find_module(&self, name: &str) -> Option<&ModuleInterface> {
+        self.modules().find(|m| m.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Maps a VHDL architecture name to its entity.
+    fn arch_entity(&self, arch: &str) -> Option<&str> {
+        self.sources
+            .iter()
+            .flat_map(|s| s.file.architectures.iter())
+            .find(|(a, _)| a.eq_ignore_ascii_case(arch))
+            .map(|(_, e)| e.as_str())
+    }
+
+    /// Instantiations whose parent is the given module (directly for
+    /// Verilog; via its architectures for VHDL).
+    pub fn children_of(&self, module: &str) -> Vec<&Instantiation> {
+        self.sources
+            .iter()
+            .flat_map(|s| s.file.instantiations.iter())
+            .filter(|i| {
+                i.parent.eq_ignore_ascii_case(module)
+                    || self
+                        .arch_entity(&i.parent)
+                        .is_some_and(|e| e.eq_ignore_ascii_case(module))
+            })
+            .collect()
+    }
+
+    /// Infers the top module: the unique module never instantiated by
+    /// another. Errors when ambiguous.
+    pub fn infer_top(&self) -> EdaResult<String> {
+        let instantiated: Vec<String> = self
+            .sources
+            .iter()
+            .flat_map(|s| s.file.instantiations.iter())
+            .map(|i| i.target_simple().to_ascii_lowercase())
+            .collect();
+        let candidates: Vec<&ModuleInterface> = self
+            .modules()
+            .filter(|m| !instantiated.contains(&m.name.to_ascii_lowercase()))
+            .collect();
+        match candidates.as_slice() {
+            [only] => Ok(only.name.clone()),
+            [] => Err(EdaError::Elaboration("no top-level module found".into())),
+            many => Err(EdaError::Elaboration(format!(
+                "ambiguous top module: {}",
+                many.iter().map(|m| m.name.as_str()).collect::<Vec<_>>().join(", ")
+            ))),
+        }
+    }
+
+    /// The effective top module name.
+    pub fn top_name(&self) -> EdaResult<String> {
+        match &self.top {
+            Some(t) => Ok(t.clone()),
+            None => self.infer_top(),
+        }
+    }
+
+    /// Checks the paper's parsing-order rule: SystemVerilog packages are
+    /// read "at the very beginning of the step". Returns the offending
+    /// paths when a package appears after a module-bearing file.
+    pub fn check_ordering(&self) -> Vec<String> {
+        let mut seen_module = false;
+        let mut offenders = Vec::new();
+        for s in &self.sources {
+            if !s.file.packages.is_empty()
+                && s.language != Language::Vhdl
+                && seen_module
+                && s.file.modules.is_empty()
+            {
+                offenders.push(s.path.clone());
+            }
+            if !s.file.modules.is_empty() {
+                seen_module = true;
+            }
+        }
+        offenders
+    }
+
+    /// Elaborates the top module (with the project generics) into a
+    /// [`Netlist`], recursing through recorded instantiations.
+    pub fn elaborate(&self, registry: &ModelRegistry) -> EdaResult<Netlist> {
+        let top = self.top_name()?;
+        self.elaborate_module(registry, &top, &self.generics, 0)
+    }
+
+    fn elaborate_module(
+        &self,
+        registry: &ModelRegistry,
+        name: &str,
+        overrides: &BTreeMap<String, i64>,
+        depth: u32,
+    ) -> EdaResult<Netlist> {
+        if depth > 16 {
+            return Err(EdaError::Elaboration(format!(
+                "hierarchy too deep (cycle?) at `{name}`"
+            )));
+        }
+        let module = self
+            .find_module(name)
+            .ok_or_else(|| EdaError::UnknownModule(name.to_string()))?;
+        let params = bind_parameters(module, overrides)?;
+        let ctx = ElabContext { module, params: &params, part: &self.part };
+
+        let children = self.children_of(&module.name);
+        let model_is_generic = registry.model_for(&module.name).name() == "generic-interface";
+
+        if model_is_generic && !children.is_empty() {
+            // Structural wrapper (e.g. the Dovado box): negligible own
+            // logic; absorb every child with its evaluated generic map.
+            let mut nl = Netlist::empty(&module.name);
+            nl.design_hash = ctx.design_hash();
+            for child in &children {
+                let mut child_overrides = BTreeMap::new();
+                for (gname, gexpr) in &child.generics {
+                    let v = gexpr.eval(&params).map_err(|e| {
+                        EdaError::Parameter(format!(
+                            "generic `{gname}` of instance `{}`: {e}",
+                            child.label
+                        ))
+                    })?;
+                    child_overrides.insert(gname.clone(), v);
+                }
+                let child_nl = self.elaborate_module(
+                    registry,
+                    child.target_simple(),
+                    &child_overrides,
+                    depth + 1,
+                )?;
+                nl.absorb(&child_nl);
+            }
+            Ok(nl)
+        } else {
+            registry.elaborate(&ctx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dovado_fpga::Catalog;
+
+    fn k7() -> Part {
+        Catalog::builtin().resolve("xc7k70t").unwrap().clone()
+    }
+
+    const FIFO_SV: &str = r#"
+module fifo_v3 #(
+    parameter DEPTH = 8,
+    parameter DATA_WIDTH = 32
+)(input logic clk_i, input logic [DATA_WIDTH-1:0] data_i);
+endmodule"#;
+
+    const BOX_SV: &str = r#"
+module box(input wire clk);
+  (* DONT_TOUCH = "TRUE" *)
+  fifo_v3 #(
+      .DEPTH(64),
+      .DATA_WIDTH(32)
+  ) BOXED (
+      .clk_i(clk)
+  );
+endmodule"#;
+
+    #[test]
+    fn add_and_find_sources() {
+        let mut p = Project::new("t", k7());
+        p.add_source("fifo.sv", Language::SystemVerilog, FIFO_SV, None).unwrap();
+        assert!(p.find_module("FIFO_V3").is_some());
+        assert!(p.find_module("nope").is_none());
+    }
+
+    #[test]
+    fn parse_failure_surfaces() {
+        let mut p = Project::new("t", k7());
+        assert!(p
+            .add_source("bad.sv", Language::SystemVerilog, "module m(input wire c);", None)
+            .is_err());
+    }
+
+    #[test]
+    fn infer_top_picks_uninstantiated() {
+        let mut p = Project::new("t", k7());
+        p.add_source("fifo.sv", Language::SystemVerilog, FIFO_SV, None).unwrap();
+        p.add_source("box.sv", Language::SystemVerilog, BOX_SV, None).unwrap();
+        assert_eq!(p.infer_top().unwrap(), "box");
+    }
+
+    #[test]
+    fn infer_top_ambiguous_errors() {
+        let mut p = Project::new("t", k7());
+        p.add_source("a.sv", Language::SystemVerilog, "module a(input wire c); endmodule", None)
+            .unwrap();
+        p.add_source("b.sv", Language::SystemVerilog, "module b(input wire c); endmodule", None)
+            .unwrap();
+        assert!(p.infer_top().is_err());
+    }
+
+    #[test]
+    fn elaborate_through_box_applies_generic_map() {
+        let reg = ModelRegistry::with_builtin_models();
+        let mut p = Project::new("t", k7());
+        p.add_source("fifo.sv", Language::SystemVerilog, FIFO_SV, None).unwrap();
+        p.add_source("box.sv", Language::SystemVerilog, BOX_SV, None).unwrap();
+        p.top = Some("box".into());
+        let boxed = p.elaborate(&reg).unwrap();
+
+        // Compare with direct elaboration at DEPTH=64.
+        let mut p2 = Project::new("t2", k7());
+        p2.add_source("fifo.sv", Language::SystemVerilog, FIFO_SV, None).unwrap();
+        p2.top = Some("fifo_v3".into());
+        p2.generics.insert("DEPTH".into(), 64);
+        let direct = p2.elaborate(&reg).unwrap();
+
+        assert_eq!(boxed.luts(), direct.luts());
+        assert_eq!(boxed.registers(), direct.registers());
+        assert_eq!(boxed.logic_levels, direct.logic_levels);
+    }
+
+    #[test]
+    fn elaborate_vhdl_box() {
+        let reg = ModelRegistry::with_builtin_models();
+        let mut p = Project::new("t", k7());
+        p.add_source(
+            "neorv32.vhd",
+            Language::Vhdl,
+            r#"
+entity neorv32_top is
+  generic (
+    MEM_INT_IMEM_SIZE : natural := 16384;
+    MEM_INT_DMEM_SIZE : natural := 8192
+  );
+  port ( clk_i : in std_logic );
+end entity neorv32_top;
+"#,
+            None,
+        )
+        .unwrap();
+        p.add_source(
+            "box.vhd",
+            Language::Vhdl,
+            r#"
+library ieee;
+use ieee.std_logic_1164.all;
+entity box is
+  port ( clk : in std_logic );
+end entity box;
+architecture box_arch of box is
+begin
+  BOXED: entity work.neorv32_top
+    generic map (
+      MEM_INT_IMEM_SIZE => 32768,
+      MEM_INT_DMEM_SIZE => 32768
+    )
+    port map ( clk_i => clk );
+end architecture box_arch;
+"#,
+            None,
+        )
+        .unwrap();
+        p.top = Some("box".into());
+        let nl = p.elaborate(&reg).unwrap();
+        // 32 KiB imem + 32 KiB dmem → 8 + 8 BRAM.
+        assert_eq!(nl.brams(), 16);
+    }
+
+    #[test]
+    fn top_generics_override_defaults() {
+        let reg = ModelRegistry::with_builtin_models();
+        let mut p = Project::new("t", k7());
+        p.add_source("fifo.sv", Language::SystemVerilog, FIFO_SV, None).unwrap();
+        p.top = Some("fifo_v3".into());
+        let base = p.elaborate(&reg).unwrap();
+        p.generics.insert("DEPTH".into(), 512);
+        let big = p.elaborate(&reg).unwrap();
+        assert!(big.registers() > base.registers());
+    }
+
+    #[test]
+    fn unknown_child_module_errors() {
+        let reg = ModelRegistry::with_builtin_models();
+        let mut p = Project::new("t", k7());
+        p.add_source(
+            "box.sv",
+            Language::SystemVerilog,
+            "module box(input wire clk); ghost u (.c(clk)); endmodule",
+            None,
+        )
+        .unwrap();
+        p.top = Some("box".into());
+        assert!(matches!(p.elaborate(&reg), Err(EdaError::UnknownModule(_))));
+    }
+
+    #[test]
+    fn package_ordering_check() {
+        let mut p = Project::new("t", k7());
+        p.add_source("m.sv", Language::SystemVerilog, "module m(input wire c); endmodule", None)
+            .unwrap();
+        p.add_source(
+            "pkg.sv",
+            Language::SystemVerilog,
+            "package late_pkg; endpackage",
+            None,
+        )
+        .unwrap();
+        assert_eq!(p.check_ordering(), vec!["pkg.sv".to_string()]);
+
+        let mut good = Project::new("t", k7());
+        good.add_source(
+            "pkg.sv",
+            Language::SystemVerilog,
+            "package early_pkg; endpackage",
+            None,
+        )
+        .unwrap();
+        good.add_source("m.sv", Language::SystemVerilog, "module m(input wire c); endmodule", None)
+            .unwrap();
+        assert!(good.check_ordering().is_empty());
+    }
+}

@@ -1,0 +1,537 @@
+//! The TCL interpreter: substitution, builtins, and dispatch to the
+//! embedding context's commands.
+
+use crate::error::{EdaError, EdaResult};
+use crate::tcl::expr::eval_expr;
+use crate::tcl::parser::{parse_script, Part, Word};
+use std::collections::HashMap;
+
+/// The embedding context supplies non-builtin commands (the Vivado command
+/// set, in this crate's case).
+pub trait TclContext {
+    /// Executes `name args…`, returning the command's string result.
+    fn run_command(
+        &mut self,
+        interp: &mut Interp,
+        name: &str,
+        args: &[String],
+    ) -> EdaResult<String>;
+}
+
+/// A context with no commands: every non-builtin is an error. Useful for
+/// testing the interpreter itself.
+pub struct NoContext;
+
+impl TclContext for NoContext {
+    fn run_command(
+        &mut self,
+        _interp: &mut Interp,
+        name: &str,
+        _args: &[String],
+    ) -> EdaResult<String> {
+        Err(EdaError::Tcl(format!("invalid command name \"{name}\"")))
+    }
+}
+
+/// Non-error control flow raised by `break`/`continue` inside loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+}
+
+/// A user-defined procedure (`proc name {params} {body}`).
+#[derive(Debug, Clone)]
+struct Proc {
+    params: Vec<String>,
+    body: String,
+}
+
+/// Interpreter state: variables and collected `puts` output.
+#[derive(Debug, Default)]
+pub struct Interp {
+    vars: HashMap<String, String>,
+    procs: HashMap<String, Proc>,
+    /// Loop control raised inside an `if` body, consumed by the enclosing
+    /// loop (or surfaced as an error at the top level).
+    pending_flow: Option<Flow>,
+    /// Everything printed via `puts`.
+    pub output: String,
+}
+
+impl Interp {
+    /// Creates a fresh interpreter.
+    pub fn new() -> Interp {
+        Interp::default()
+    }
+
+    /// Sets a variable (as `set name value` would).
+    pub fn set_var(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.vars.insert(name.into(), value.into());
+    }
+
+    /// Reads a variable.
+    pub fn get_var(&self, name: &str) -> Option<&str> {
+        self.vars.get(name).map(String::as_str)
+    }
+
+    /// Evaluates a script, returning the result of its last command.
+    pub fn eval<C: TclContext>(&mut self, ctx: &mut C, script: &str) -> EdaResult<String> {
+        let (result, flow) = self.eval_flow(ctx, script)?;
+        if flow != Flow::Normal || self.pending_flow.take().is_some() {
+            return Err(EdaError::Tcl("`break`/`continue` outside a loop".into()));
+        }
+        Ok(result)
+    }
+
+    /// Evaluates a script, propagating loop control flow to the caller.
+    fn eval_flow<C: TclContext>(
+        &mut self,
+        ctx: &mut C,
+        script: &str,
+    ) -> EdaResult<(String, Flow)> {
+        let commands = parse_script(script)?;
+        let mut last = String::new();
+        for cmd in commands {
+            let mut words = Vec::with_capacity(cmd.words.len());
+            for w in &cmd.words {
+                words.push(self.subst_word(ctx, w)?);
+            }
+            if words.is_empty() {
+                continue;
+            }
+            let name = words[0].clone();
+            let args = &words[1..];
+            match name.as_str() {
+                "break" => return Ok((last, Flow::Break)),
+                "continue" => return Ok((last, Flow::Continue)),
+                _ => {}
+            }
+            last = self.dispatch(ctx, &name, args)?;
+            // `break`/`continue` raised inside an `if` body propagates out
+            // of the surrounding script.
+            if let Some(flow) = self.pending_flow.take() {
+                return Ok((last, flow));
+            }
+        }
+        Ok((last, Flow::Normal))
+    }
+
+    /// Substitutes `$vars` and `[commands]` inside a plain string (used by
+    /// `expr` and `if` conditions that arrive as braced literals).
+    pub fn subst_string<C: TclContext>(&mut self, ctx: &mut C, s: &str) -> EdaResult<String> {
+        // Reuse the parser by wrapping the string in a fake quoted word.
+        // Escape embedded quotes/backslashes first so the parse is exact.
+        let escaped = s.replace('\\', "\\\\").replace('"', "\\\"");
+        let cmds = parse_script(&format!("__subst \"{escaped}\""))?;
+        let word = &cmds[0].words[1];
+        self.subst_word(ctx, word)
+    }
+
+    fn subst_word<C: TclContext>(&mut self, ctx: &mut C, w: &Word) -> EdaResult<String> {
+        match w {
+            Word::Braced(s) => Ok(s.clone()),
+            Word::Bare(parts) => {
+                let mut out = String::new();
+                for p in parts {
+                    match p {
+                        Part::Lit(s) => out.push_str(s),
+                        Part::Var(name) => {
+                            let v = self.vars.get(name).ok_or_else(|| {
+                                EdaError::Tcl(format!("can't read \"{name}\": no such variable"))
+                            })?;
+                            out.push_str(v);
+                        }
+                        Part::Cmd(script) => {
+                            let v = self.eval(ctx, script)?;
+                            out.push_str(&v);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn dispatch<C: TclContext>(
+        &mut self,
+        ctx: &mut C,
+        name: &str,
+        args: &[String],
+    ) -> EdaResult<String> {
+        match name {
+            "set" => match args {
+                [n] => self
+                    .vars
+                    .get(n)
+                    .cloned()
+                    .ok_or_else(|| EdaError::Tcl(format!("can't read \"{n}\": no such variable"))),
+                [n, v] => {
+                    self.vars.insert(n.clone(), v.clone());
+                    Ok(v.clone())
+                }
+                _ => Err(EdaError::Tcl("wrong # args: set varName ?value?".into())),
+            },
+            "unset" => {
+                for a in args {
+                    self.vars.remove(a);
+                }
+                Ok(String::new())
+            }
+            "puts" => {
+                let (nonewline, text) = match args {
+                    [flag, t] if flag == "-nonewline" => (true, t.clone()),
+                    [t] => (false, t.clone()),
+                    [] => (false, String::new()),
+                    _ => return Err(EdaError::Tcl("wrong # args: puts ?-nonewline? string".into())),
+                };
+                self.output.push_str(&text);
+                if !nonewline {
+                    self.output.push('\n');
+                }
+                Ok(String::new())
+            }
+            "expr" => {
+                let joined = args.join(" ");
+                let substituted = self.subst_string(ctx, &joined)?;
+                eval_expr(&substituted)
+            }
+            "incr" => match args {
+                [n] | [n, _] => {
+                    let by: i64 = if args.len() == 2 {
+                        args[1]
+                            .parse()
+                            .map_err(|_| EdaError::Tcl(format!("bad increment `{}`", args[1])))?
+                    } else {
+                        1
+                    };
+                    let cur: i64 = self
+                        .vars
+                        .get(n)
+                        .map(|v| v.parse().unwrap_or(0))
+                        .unwrap_or(0);
+                    let v = (cur + by).to_string();
+                    self.vars.insert(n.clone(), v.clone());
+                    Ok(v)
+                }
+                _ => Err(EdaError::Tcl("wrong # args: incr varName ?increment?".into())),
+            },
+            "if" => self.run_if(ctx, args),
+            "foreach" => match args {
+                [var, list, body] => {
+                    let mut last = String::new();
+                    for item in list.split_whitespace() {
+                        self.vars.insert(var.clone(), item.to_string());
+                        let (r, flow) = self.eval_flow(ctx, body)?;
+                        last = r;
+                        match flow {
+                            Flow::Break => break,
+                            Flow::Continue | Flow::Normal => {}
+                        }
+                    }
+                    Ok(last)
+                }
+                _ => Err(EdaError::Tcl("wrong # args: foreach var list body".into())),
+            },
+            "while" => match args {
+                [cond, body] => {
+                    let mut last = String::new();
+                    let mut guard = 0u64;
+                    loop {
+                        let c = self.subst_string(ctx, cond)?;
+                        if eval_expr(&c)? == "0" {
+                            break;
+                        }
+                        let (r, flow) = self.eval_flow(ctx, body)?;
+                        last = r;
+                        if flow == Flow::Break {
+                            break;
+                        }
+                        guard += 1;
+                        if guard > 100_000 {
+                            return Err(EdaError::Tcl("while: iteration limit exceeded".into()));
+                        }
+                    }
+                    Ok(last)
+                }
+                _ => Err(EdaError::Tcl("wrong # args: while cond body".into())),
+            },
+            "proc" => match args {
+                [name, params, body] => {
+                    self.procs.insert(
+                        name.clone(),
+                        Proc {
+                            params: params.split_whitespace().map(str::to_string).collect(),
+                            body: body.clone(),
+                        },
+                    );
+                    Ok(String::new())
+                }
+                _ => Err(EdaError::Tcl("wrong # args: proc name params body".into())),
+            },
+            "list" => Ok(args.join(" ")),
+            "string" => match args {
+                [op, s] if op == "length" => Ok(s.chars().count().to_string()),
+                [op, s] if op == "tolower" => Ok(s.to_lowercase()),
+                [op, s] if op == "toupper" => Ok(s.to_uppercase()),
+                _ => Err(EdaError::Tcl("unsupported `string` form".into())),
+            },
+            _ => {
+                if let Some(p) = self.procs.get(name).cloned() {
+                    if args.len() != p.params.len() {
+                        return Err(EdaError::Tcl(format!(
+                            "wrong # args for proc `{name}`: want {}, got {}",
+                            p.params.len(),
+                            args.len()
+                        )));
+                    }
+                    // TCL procs have their own scope; this subset shares the
+                    // global one but restores shadowed parameters afterward.
+                    let saved: Vec<(String, Option<String>)> = p
+                        .params
+                        .iter()
+                        .map(|k| (k.clone(), self.vars.get(k).cloned()))
+                        .collect();
+                    for (k, v) in p.params.iter().zip(args) {
+                        self.vars.insert(k.clone(), v.clone());
+                    }
+                    let result = self.eval(ctx, &p.body);
+                    for (k, old) in saved {
+                        match old {
+                            Some(v) => self.vars.insert(k, v),
+                            None => self.vars.remove(&k),
+                        };
+                    }
+                    return result;
+                }
+                ctx.run_command(self, name, args)
+            }
+        }
+    }
+
+    fn run_if<C: TclContext>(&mut self, ctx: &mut C, args: &[String]) -> EdaResult<String> {
+        let mut i = 0usize;
+        loop {
+            if i + 1 >= args.len() {
+                return Err(EdaError::Tcl("wrong # args: if cond body …".into()));
+            }
+            let cond = self.subst_string(ctx, &args[i])?;
+            let truth = eval_expr(&cond)?;
+            if truth != "0" {
+                let (r, flow) = self.eval_flow(ctx, &args[i + 1])?;
+                if flow != Flow::Normal {
+                    self.pending_flow = Some(flow);
+                }
+                return Ok(r);
+            }
+            i += 2;
+            match args.get(i).map(String::as_str) {
+                Some("elseif") => {
+                    i += 1;
+                    continue;
+                }
+                Some("else") => {
+                    let body = args
+                        .get(i + 1)
+                        .ok_or_else(|| EdaError::Tcl("missing else body".into()))?;
+                    let (r, flow) = self.eval_flow(ctx, body)?;
+                    if flow != Flow::Normal {
+                        self.pending_flow = Some(flow);
+                    }
+                    return Ok(r);
+                }
+                None => return Ok(String::new()),
+                Some(other) => {
+                    return Err(EdaError::Tcl(format!("expected elseif/else, got `{other}`")))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(script: &str) -> (String, String) {
+        let mut i = Interp::new();
+        let r = i.eval(&mut NoContext, script).unwrap();
+        (r, i.output)
+    }
+
+    #[test]
+    fn set_and_substitute() {
+        let (r, _) = run("set a 5\nset b $a");
+        assert_eq!(r, "5");
+    }
+
+    #[test]
+    fn puts_collects_output() {
+        let (_, out) = run("puts hello\nputs \"a b\"");
+        assert_eq!(out, "hello\na b\n");
+    }
+
+    #[test]
+    fn puts_nonewline() {
+        let (_, out) = run("puts -nonewline x\nputs y");
+        assert_eq!(out, "xy\n");
+    }
+
+    #[test]
+    fn expr_with_variables() {
+        let (r, _) = run("set t 1.0\nset wns -4.0\nexpr {1000.0 / ($t - $wns)}");
+        assert_eq!(r, "200");
+    }
+
+    #[test]
+    fn bracket_substitution_runs_commands() {
+        let (r, _) = run("set x [expr {2 + 3}]");
+        assert_eq!(r, "5");
+    }
+
+    #[test]
+    fn if_elseif_else() {
+        let (r, _) = run("set x 5\nif {$x > 10} {set y big} elseif {$x > 3} {set y mid} else {set y small}\nset y");
+        assert_eq!(r, "mid");
+        let (r2, _) = run("set x 1\nif {$x > 10} {set y big} else {set y small}\nset y");
+        assert_eq!(r2, "small");
+        let (r3, _) = run("if {0} {set y never}");
+        assert_eq!(r3, "");
+    }
+
+    #[test]
+    fn foreach_iterates() {
+        let (_, out) = run("foreach p {a b c} { puts $p }");
+        assert_eq!(out, "a\nb\nc\n");
+    }
+
+    #[test]
+    fn incr_counts() {
+        let (r, _) = run("set i 0\nincr i\nincr i 10\nset i");
+        assert_eq!(r, "11");
+    }
+
+    #[test]
+    fn unset_removes() {
+        let mut i = Interp::new();
+        i.eval(&mut NoContext, "set a 1\nunset a").unwrap();
+        assert!(i.eval(&mut NoContext, "set b $a").is_err());
+    }
+
+    #[test]
+    fn unknown_command_reported_by_context() {
+        let mut i = Interp::new();
+        let e = i.eval(&mut NoContext, "synth_design -top foo").unwrap_err();
+        assert!(e.to_string().contains("synth_design"));
+    }
+
+    #[test]
+    fn undefined_variable_is_error() {
+        let mut i = Interp::new();
+        assert!(i.eval(&mut NoContext, "puts $nope").is_err());
+    }
+
+    #[test]
+    fn string_ops() {
+        let (r, _) = run("string toupper abc");
+        assert_eq!(r, "ABC");
+        let (r2, _) = run("string length hello");
+        assert_eq!(r2, "5");
+    }
+
+    #[test]
+    fn list_builds_space_joined() {
+        let (r, _) = run("list a b c");
+        assert_eq!(r, "a b c");
+    }
+
+    #[test]
+    fn braced_body_not_substituted_until_needed() {
+        // $y does not exist, but the false branch is never evaluated.
+        let (r, _) = run("set x 1\nif {$x} {set z ok} else {puts $y}\nset z");
+        assert_eq!(r, "ok");
+    }
+
+    #[test]
+    fn while_loop_with_break_and_continue() {
+        let (r, out) = run(
+            "set i 0\nset acc 0\nwhile {$i < 10} {\n  incr i\n  if {$i == 3} { continue }\n  if {$i == 6} { break }\n  set acc [expr {$acc + $i}]\n}\nset acc",
+        );
+        // Sums 1+2+4+5 (3 skipped, loop broken at 6).
+        assert_eq!(r, "12");
+        assert_eq!(out, "");
+    }
+
+    #[test]
+    fn while_false_never_runs() {
+        let (r, _) = run("set x 1\nwhile {0} { set x 2 }\nset x");
+        assert_eq!(r, "1");
+    }
+
+    #[test]
+    fn foreach_break_stops_early() {
+        let (_, out) = run("foreach n {1 2 3 4} { puts $n\nif {$n >= 2} { break } }");
+        assert_eq!(out, "1\n2\n");
+    }
+
+    #[test]
+    fn proc_definition_and_call() {
+        let (r, out) = run(
+            "proc fmax {period wns} { expr {1000.0 / ($period - $wns)} }\n\
+             puts [fmax 1.0 -4.0]\n\
+             fmax 2.0 -3.0",
+        );
+        assert_eq!(out, "200\n");
+        assert_eq!(r, "200");
+    }
+
+    #[test]
+    fn proc_restores_shadowed_variables() {
+        let (r, _) = run(
+            "set x outer\nproc shadow {x} { set x inner }\nshadow bound\nset x",
+        );
+        assert_eq!(r, "outer");
+    }
+
+    #[test]
+    fn proc_wrong_arity_errors() {
+        let mut i = Interp::new();
+        i.eval(&mut NoContext, "proc two {a b} { set a }").unwrap();
+        assert!(i.eval(&mut NoContext, "two 1").is_err());
+    }
+
+    #[test]
+    fn break_outside_loop_is_error() {
+        let mut i = Interp::new();
+        assert!(i.eval(&mut NoContext, "break").is_err());
+        assert!(i.eval(&mut NoContext, "continue").is_err());
+    }
+
+    #[test]
+    fn while_iteration_limit_guards_infinite_loops() {
+        let mut i = Interp::new();
+        let e = i.eval(&mut NoContext, "while {1} { set x 1 }").unwrap_err();
+        assert!(e.to_string().contains("iteration limit"));
+    }
+
+    #[test]
+    fn context_commands_receive_interp() {
+        struct Ctx;
+        impl TclContext for Ctx {
+            fn run_command(
+                &mut self,
+                interp: &mut Interp,
+                name: &str,
+                args: &[String],
+            ) -> EdaResult<String> {
+                interp.set_var("seen", format!("{name}:{}", args.join(",")));
+                Ok("done".into())
+            }
+        }
+        let mut i = Interp::new();
+        let r = i.eval(&mut Ctx, "mycmd a b").unwrap();
+        assert_eq!(r, "done");
+        assert_eq!(i.get_var("seen"), Some("mycmd:a,b"));
+    }
+}

@@ -1,0 +1,374 @@
+//! TCL script parsing: splits a script into commands and words, preserving
+//! substitution structure for the interpreter.
+
+use crate::error::{EdaError, EdaResult};
+
+/// One substitutable fragment of a word.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Part {
+    /// Literal text.
+    Lit(String),
+    /// `$name` or `${name}` variable reference.
+    Var(String),
+    /// `[script]` command substitution (inner script, brackets stripped).
+    Cmd(String),
+}
+
+/// One word of a command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Word {
+    /// Bare or quoted word: a sequence of parts substituted at evaluation.
+    Bare(Vec<Part>),
+    /// `{braced}` word: literal, no substitution.
+    Braced(String),
+}
+
+/// One command: a non-empty list of words.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Command {
+    /// The words, in order; `words[0]` is the command name.
+    pub words: Vec<Word>,
+    /// 1-based line of the first word (for error messages).
+    pub line: u32,
+}
+
+struct P<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    src: &'a str,
+}
+
+impl P<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: &str) -> EdaError {
+        EdaError::Tcl(format!("line {}: {msg} (in script: {:.40}…)", self.line, self.src))
+    }
+}
+
+/// Parses a script into commands.
+pub fn parse_script(src: &str) -> EdaResult<Vec<Command>> {
+    let mut p = P { chars: src.chars().collect(), pos: 0, line: 1, src };
+    let mut commands = Vec::new();
+
+    loop {
+        // Skip inter-command whitespace, command separators, comments.
+        loop {
+            match p.peek() {
+                Some(c) if c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == ';' => {
+                    p.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = p.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if p.peek().is_none() {
+            break;
+        }
+
+        let line = p.line;
+        let mut words = Vec::new();
+        // Parse words until end of command.
+        loop {
+            // Intra-command whitespace (and line continuations).
+            loop {
+                match p.peek() {
+                    Some(' ') | Some('\t') | Some('\r') => {
+                        p.bump();
+                    }
+                    Some('\\') if p.chars.get(p.pos + 1) == Some(&'\n') => {
+                        p.bump();
+                        p.bump();
+                    }
+                    _ => break,
+                }
+            }
+            match p.peek() {
+                None | Some('\n') | Some(';') => {
+                    p.bump();
+                    break;
+                }
+                Some('{') => words.push(parse_braced(&mut p)?),
+                Some('"') => words.push(parse_quoted(&mut p)?),
+                _ => words.push(parse_bare(&mut p)?),
+            }
+        }
+        if !words.is_empty() {
+            commands.push(Command { words, line });
+        }
+    }
+    Ok(commands)
+}
+
+fn parse_braced(p: &mut P<'_>) -> EdaResult<Word> {
+    p.bump(); // {
+    let mut depth = 1usize;
+    let mut out = String::new();
+    loop {
+        match p.bump() {
+            Some('{') => {
+                depth += 1;
+                out.push('{');
+            }
+            Some('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(Word::Braced(out));
+                }
+                out.push('}');
+            }
+            Some('\\') => {
+                // Backslash inside braces is literal except before braces.
+                match p.peek() {
+                    Some('{') | Some('}') => {
+                        out.push('\\');
+                        out.push(p.bump().expect("peeked"));
+                    }
+                    _ => out.push('\\'),
+                }
+            }
+            Some(c) => out.push(c),
+            None => return Err(p.err("unterminated brace")),
+        }
+    }
+}
+
+fn parse_quoted(p: &mut P<'_>) -> EdaResult<Word> {
+    p.bump(); // "
+    let mut parts = Vec::new();
+    let mut lit = String::new();
+    loop {
+        match p.peek() {
+            Some('"') => {
+                p.bump();
+                if !lit.is_empty() {
+                    parts.push(Part::Lit(lit));
+                }
+                return Ok(Word::Bare(parts));
+            }
+            Some('$') => {
+                if !lit.is_empty() {
+                    parts.push(Part::Lit(std::mem::take(&mut lit)));
+                }
+                parts.push(parse_var(p)?);
+            }
+            Some('[') => {
+                if !lit.is_empty() {
+                    parts.push(Part::Lit(std::mem::take(&mut lit)));
+                }
+                parts.push(parse_bracket(p)?);
+            }
+            Some('\\') => {
+                p.bump();
+                lit.push(unescape(p.bump().ok_or_else(|| p.err("dangling backslash"))?));
+            }
+            Some(_) => lit.push(p.bump().expect("peeked")),
+            None => return Err(p.err("unterminated quote")),
+        }
+    }
+}
+
+fn parse_bare(p: &mut P<'_>) -> EdaResult<Word> {
+    let mut parts = Vec::new();
+    let mut lit = String::new();
+    loop {
+        match p.peek() {
+            None | Some(' ') | Some('\t') | Some('\r') | Some('\n') | Some(';') => break,
+            Some('$') => {
+                if !lit.is_empty() {
+                    parts.push(Part::Lit(std::mem::take(&mut lit)));
+                }
+                parts.push(parse_var(p)?);
+            }
+            Some('[') => {
+                if !lit.is_empty() {
+                    parts.push(Part::Lit(std::mem::take(&mut lit)));
+                }
+                parts.push(parse_bracket(p)?);
+            }
+            Some('\\') => {
+                p.bump();
+                match p.peek() {
+                    Some('\n') => break, // line continuation handled by caller
+                    Some(_) => lit.push(unescape(p.bump().expect("peeked"))),
+                    None => return Err(p.err("dangling backslash")),
+                }
+            }
+            Some(_) => lit.push(p.bump().expect("peeked")),
+        }
+    }
+    if !lit.is_empty() {
+        parts.push(Part::Lit(lit));
+    }
+    Ok(Word::Bare(parts))
+}
+
+fn parse_var(p: &mut P<'_>) -> EdaResult<Part> {
+    p.bump(); // $
+    if p.peek() == Some('{') {
+        p.bump();
+        let mut name = String::new();
+        loop {
+            match p.bump() {
+                Some('}') => return Ok(Part::Var(name)),
+                Some(c) => name.push(c),
+                None => return Err(p.err("unterminated ${…}")),
+            }
+        }
+    }
+    let mut name = String::new();
+    while let Some(c) = p.peek() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            name.push(c);
+            p.bump();
+        } else {
+            break;
+        }
+    }
+    if name.is_empty() {
+        return Err(p.err("`$` not followed by a variable name"));
+    }
+    Ok(Part::Var(name))
+}
+
+fn parse_bracket(p: &mut P<'_>) -> EdaResult<Part> {
+    p.bump(); // [
+    let mut depth = 1usize;
+    let mut out = String::new();
+    loop {
+        match p.bump() {
+            Some('[') => {
+                depth += 1;
+                out.push('[');
+            }
+            Some(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(Part::Cmd(out));
+                }
+                out.push(']');
+            }
+            Some(c) => out.push(c),
+            None => return Err(p.err("unterminated bracket")),
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_commands_on_newline_and_semicolon() {
+        let cmds = parse_script("set a 1\nset b 2; set c 3").unwrap();
+        assert_eq!(cmds.len(), 3);
+        assert_eq!(cmds[2].words.len(), 3);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let cmds = parse_script("# a comment\nset a 1").unwrap();
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].line, 2);
+    }
+
+    #[test]
+    fn braced_word_is_literal() {
+        let cmds = parse_script("if {$x > 1} {puts hi}").unwrap();
+        assert_eq!(cmds[0].words.len(), 3);
+        assert_eq!(cmds[0].words[1], Word::Braced("$x > 1".into()));
+        assert_eq!(cmds[0].words[2], Word::Braced("puts hi".into()));
+    }
+
+    #[test]
+    fn nested_braces() {
+        let cmds = parse_script("proc x {} { if {1} { puts a } }").unwrap();
+        assert_eq!(cmds[0].words[3], Word::Braced(" if {1} { puts a } ".into()));
+    }
+
+    #[test]
+    fn variable_forms() {
+        let cmds = parse_script("puts $abc-${d e}").unwrap();
+        let Word::Bare(parts) = &cmds[0].words[1] else { panic!() };
+        assert_eq!(
+            parts,
+            &vec![
+                Part::Var("abc".into()),
+                Part::Lit("-".into()),
+                Part::Var("d e".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn bracket_substitution() {
+        let cmds = parse_script("set f [report_utilization -file u.rpt]").unwrap();
+        let Word::Bare(parts) = &cmds[0].words[2] else { panic!() };
+        assert_eq!(parts, &vec![Part::Cmd("report_utilization -file u.rpt".into())]);
+    }
+
+    #[test]
+    fn quoted_word_with_substitutions() {
+        let cmds = parse_script(r#"puts "value: $x [get_it] end""#).unwrap();
+        let Word::Bare(parts) = &cmds[0].words[1] else { panic!() };
+        // Lit("value: "), Var(x), Lit(" "), Cmd(get_it), Lit(" end")
+        assert_eq!(parts.len(), 5);
+        assert!(matches!(&parts[1], Part::Var(v) if v == "x"));
+        assert!(matches!(&parts[3], Part::Cmd(c) if c == "get_it"));
+    }
+
+    #[test]
+    fn line_continuation_joins_commands() {
+        let cmds = parse_script("synth_design -top box \\\n  -part xc7k70t").unwrap();
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].words.len(), 5);
+    }
+
+    #[test]
+    fn escapes_in_bare_words() {
+        let cmds = parse_script(r"puts a\ b").unwrap();
+        let Word::Bare(parts) = &cmds[0].words[1] else { panic!() };
+        assert_eq!(parts, &vec![Part::Lit("a b".into())]);
+    }
+
+    #[test]
+    fn unterminated_constructs_error() {
+        assert!(parse_script("set a {oops").is_err());
+        assert!(parse_script("set a \"oops").is_err());
+        assert!(parse_script("set a [oops").is_err());
+        assert!(parse_script("set a ${oops").is_err());
+    }
+
+    #[test]
+    fn empty_script_is_empty() {
+        assert!(parse_script("").unwrap().is_empty());
+        assert!(parse_script("\n\n  # just a comment\n").unwrap().is_empty());
+    }
+}

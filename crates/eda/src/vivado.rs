@@ -1,0 +1,981 @@
+//! The simulated Vivado session.
+//!
+//! [`VivadoSim`] is what Dovado "spawns": it holds a virtual filesystem
+//! (sources in, reports out), a [`Project`], the flow engines, a checkpoint
+//! store, and a simulated wall clock. All interaction goes through
+//! [`VivadoSim::eval`] — a TCL script, exactly as the real tool is driven —
+//! though each command is also callable directly for tests.
+//!
+//! Implemented command set (the subset Dovado's script frames use):
+//! `create_project`, `set_property`, `current_fileset`, `current_project`,
+//! `read_vhdl`, `read_verilog`, `get_ports`, `create_clock`,
+//! `synth_design`, `opt_design`, `place_design`, `route_design`,
+//! `report_utilization`, `report_timing_summary`, `report_timing`,
+//! `write_checkpoint`, `read_checkpoint`, `file`, `exit`/`quit`.
+
+use crate::archmodel::ModelRegistry;
+use crate::checkpoint::{Checkpoint, CheckpointStore, FlowStep, Reuse};
+use crate::error::{EdaError, EdaResult};
+use crate::hash::{combine, hash_str};
+use crate::place_route::{estimate_timing, impl_runtime_s, place_and_route, ImplDirective, ImplResult};
+use crate::project::{ClockConstraint, Project};
+use crate::report;
+use crate::synth::{synth_runtime_s, synthesize, SynthDirective, SynthResult};
+use crate::tcl::{Interp, TclContext};
+use dovado_fpga::Catalog;
+use dovado_hdl::Language;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Flow progress of the open project.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowState {
+    /// Sources loaded, nothing run.
+    Fresh,
+    /// `synth_design` done.
+    Synthesized,
+    /// `place_design` done.
+    Placed,
+    /// `route_design` done.
+    Routed,
+}
+
+/// A simulated Vivado process.
+pub struct VivadoSim {
+    catalog: Catalog,
+    registry: Arc<ModelRegistry>,
+    checkpoints: CheckpointStore,
+    /// Virtual filesystem: sources are written here before `read_*`,
+    /// reports are written here by `report_* -file`.
+    fs: BTreeMap<String, String>,
+    project: Option<Project>,
+    state: FlowState,
+    synth_result: Option<SynthResult>,
+    impl_result: Option<ImplResult>,
+    /// Whether the next synth/impl step may use the incremental flow.
+    incremental_requested: bool,
+    /// Base seed for flow noise.
+    seed: u64,
+    /// Accumulated simulated tool time, in seconds.
+    pub sim_time_s: f64,
+    /// Per-command journal (what a real run's vivado.log would show).
+    pub journal: Vec<String>,
+}
+
+impl VivadoSim {
+    /// Creates a session with the built-in catalog and models.
+    pub fn new(seed: u64) -> VivadoSim {
+        VivadoSim::with_registry(seed, Arc::new(ModelRegistry::with_builtin_models()))
+    }
+
+    /// Creates a session with a custom model registry.
+    pub fn with_registry(seed: u64, registry: Arc<ModelRegistry>) -> VivadoSim {
+        VivadoSim {
+            catalog: Catalog::builtin(),
+            registry,
+            checkpoints: CheckpointStore::new(),
+            fs: BTreeMap::new(),
+            project: None,
+            state: FlowState::Fresh,
+            synth_result: None,
+            impl_result: None,
+            incremental_requested: false,
+            seed,
+            sim_time_s: 0.0,
+            journal: Vec::new(),
+        }
+    }
+
+    /// Shares a checkpoint store across sessions (Dovado's incremental flow
+    /// persists checkpoints between Vivado invocations).
+    pub fn set_checkpoint_store(&mut self, store: CheckpointStore) {
+        self.checkpoints = store;
+    }
+
+    /// The session's checkpoint store.
+    pub fn checkpoint_store(&self) -> CheckpointStore {
+        self.checkpoints.clone()
+    }
+
+    /// Writes a file into the virtual filesystem.
+    pub fn write_file(&mut self, path: impl Into<String>, content: impl Into<String>) {
+        self.fs.insert(path.into(), content.into());
+    }
+
+    /// Reads a file from the virtual filesystem.
+    pub fn read_file(&self, path: &str) -> Option<&str> {
+        self.fs.get(path).map(String::as_str)
+    }
+
+    /// Evaluates a TCL script against this session.
+    pub fn eval(&mut self, script: &str) -> EdaResult<String> {
+        let mut interp = Interp::new();
+        interp.eval(self, script)
+    }
+
+    /// Evaluates a TCL script, returning the collected `puts` output too.
+    pub fn eval_with_output(&mut self, script: &str) -> EdaResult<(String, String)> {
+        let mut interp = Interp::new();
+        let result = interp.eval(self, script)?;
+        Ok((result, interp.output))
+    }
+
+    /// Current flow state.
+    pub fn state(&self) -> FlowState {
+        self.state
+    }
+
+    /// Result of the last `synth_design`, if any.
+    pub fn synth_result(&self) -> Option<&SynthResult> {
+        self.synth_result.as_ref()
+    }
+
+    /// Result of the last `route_design`, if any.
+    pub fn impl_result(&self) -> Option<&ImplResult> {
+        self.impl_result.as_ref()
+    }
+
+    /// The open project.
+    pub fn project(&self) -> Option<&Project> {
+        self.project.as_ref()
+    }
+
+    fn project_mut(&mut self) -> EdaResult<&mut Project> {
+        self.project
+            .as_mut()
+            .ok_or_else(|| EdaError::FlowOrder("no project open (run create_project)".into()))
+    }
+
+    fn log(&mut self, msg: String) {
+        self.journal.push(msg);
+    }
+
+    // ---- command implementations -------------------------------------
+
+    fn cmd_create_project(&mut self, args: &[String]) -> EdaResult<String> {
+        let mut name = None;
+        let mut part_name = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "-part" => {
+                    part_name = Some(args.get(i + 1).cloned().ok_or_else(|| {
+                        EdaError::Tcl("create_project: -part needs a value".into())
+                    })?);
+                    i += 2;
+                }
+                "-in_memory" | "-force" => i += 1,
+                a if name.is_none() => {
+                    name = Some(a.to_string());
+                    i += 1;
+                }
+                _ => i += 1, // project directory — irrelevant in-memory
+            }
+        }
+        let name = name.ok_or_else(|| EdaError::Tcl("create_project: missing name".into()))?;
+        let part_name = part_name.unwrap_or_else(|| "xc7k70tfbv676-1".into());
+        let part = self
+            .catalog
+            .resolve(&part_name)
+            .ok_or_else(|| EdaError::UnknownPart(part_name.clone()))?
+            .clone();
+        self.project = Some(Project::new(&name, part));
+        self.state = FlowState::Fresh;
+        self.synth_result = None;
+        self.impl_result = None;
+        self.sim_time_s += 2.0;
+        self.log(format!("create_project {name} (part {part_name})"));
+        Ok(name)
+    }
+
+    fn cmd_read_hdl(&mut self, language: Language, args: &[String]) -> EdaResult<String> {
+        let mut library: Option<String> = None;
+        let mut lang = language;
+        let mut paths = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "-library" | "-lib" => {
+                    library = Some(args.get(i + 1).cloned().ok_or_else(|| {
+                        EdaError::Tcl("read_*: -library needs a value".into())
+                    })?);
+                    i += 2;
+                }
+                "-sv" => {
+                    lang = Language::SystemVerilog;
+                    i += 1;
+                }
+                "-vhdl2008" => i += 1,
+                p => {
+                    paths.push(p.to_string());
+                    i += 1;
+                }
+            }
+        }
+        if paths.is_empty() {
+            return Err(EdaError::Tcl("read_*: no files given".into()));
+        }
+        for p in paths {
+            let text = self
+                .fs
+                .get(&p)
+                .cloned()
+                .ok_or_else(|| EdaError::FileNotFound(p.clone()))?;
+            let lib = library.clone();
+            self.project_mut()?.add_source(&p, lang, &text, lib.as_deref())?;
+            self.sim_time_s += 0.5;
+            self.log(format!("read {p} as {lang}"));
+        }
+        Ok(String::new())
+    }
+
+    fn cmd_set_property(&mut self, args: &[String]) -> EdaResult<String> {
+        if args.len() < 3 {
+            return Err(EdaError::Tcl("set_property name value object".into()));
+        }
+        let prop = args[0].to_ascii_lowercase();
+        let value = args[1].clone();
+        match prop.as_str() {
+            "top" => {
+                self.project_mut()?.top = Some(value.clone());
+                self.log(format!("set top = {value}"));
+            }
+            "generic" => {
+                // `set_property generic {A=1 B=2} [current_fileset]`
+                let proj = self.project_mut()?;
+                for pair in value.split_whitespace() {
+                    let (k, v) = pair.split_once('=').ok_or_else(|| {
+                        EdaError::Tcl(format!("bad generic assignment `{pair}`"))
+                    })?;
+                    let vi: i64 = parse_generic_value(v)?;
+                    proj.generics.insert(k.to_string(), vi);
+                }
+                self.log(format!("set generics {value}"));
+            }
+            "part" => {
+                let part = self
+                    .catalog
+                    .resolve(&value)
+                    .ok_or_else(|| EdaError::UnknownPart(value.clone()))?
+                    .clone();
+                self.project_mut()?.part = part;
+                self.log(format!("set part = {value}"));
+            }
+            other => {
+                // Unknown properties are accepted silently, as Vivado does
+                // for the many properties Dovado does not touch.
+                self.log(format!("set_property {other} (ignored)"));
+            }
+        }
+        Ok(String::new())
+    }
+
+    fn cmd_create_clock(&mut self, args: &[String]) -> EdaResult<String> {
+        let mut period = None;
+        let mut port = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "-period" => {
+                    let v = args
+                        .get(i + 1)
+                        .ok_or_else(|| EdaError::Tcl("create_clock: -period needs value".into()))?;
+                    period = Some(v.parse::<f64>().map_err(|_| {
+                        EdaError::Tcl(format!("create_clock: bad period `{v}`"))
+                    })?);
+                    i += 2;
+                }
+                "-name" => i += 2,
+                p => {
+                    // Target object: a `[get_ports …]` result, i.e. the name.
+                    port = Some(p.to_string());
+                    i += 1;
+                }
+            }
+        }
+        let period =
+            period.ok_or_else(|| EdaError::Tcl("create_clock: missing -period".into()))?;
+        if period <= 0.0 {
+            return Err(EdaError::Tcl(format!("create_clock: non-positive period {period}")));
+        }
+        let port = port.unwrap_or_else(|| "clk".into());
+        self.project_mut()?.clocks.push(ClockConstraint { port: port.clone(), period_ns: period });
+        self.log(format!("create_clock {period} ns on {port}"));
+        Ok(String::new())
+    }
+
+    fn cmd_get_ports(&mut self, args: &[String]) -> EdaResult<String> {
+        let pattern = args
+            .first()
+            .ok_or_else(|| EdaError::Tcl("get_ports: missing pattern".into()))?;
+        // Validate against the top module when resolvable; glob `*` passes.
+        if pattern != "*" {
+            if let Some(proj) = &self.project {
+                if let Ok(top) = proj.top_name() {
+                    if let Some(m) = proj.find_module(&top) {
+                        if m.port(pattern).is_none() {
+                            return Err(EdaError::Tcl(format!(
+                                "get_ports: no port `{pattern}` on `{top}`"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(pattern.clone())
+    }
+
+    fn cmd_synth_design(&mut self, args: &[String]) -> EdaResult<String> {
+        let mut directive = SynthDirective::Default;
+        let mut incremental = self.incremental_requested;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "-top" => {
+                    let v = args
+                        .get(i + 1)
+                        .ok_or_else(|| EdaError::Tcl("synth_design: -top needs value".into()))?
+                        .clone();
+                    self.project_mut()?.top = Some(v);
+                    i += 2;
+                }
+                "-part" => {
+                    let v = args
+                        .get(i + 1)
+                        .ok_or_else(|| EdaError::Tcl("synth_design: -part needs value".into()))?
+                        .clone();
+                    let part = self
+                        .catalog
+                        .resolve(&v)
+                        .ok_or_else(|| EdaError::UnknownPart(v.clone()))?
+                        .clone();
+                    self.project_mut()?.part = part;
+                    i += 2;
+                }
+                "-directive" => {
+                    let v = args.get(i + 1).ok_or_else(|| {
+                        EdaError::Tcl("synth_design: -directive needs value".into())
+                    })?;
+                    directive = v.parse().map_err(EdaError::Tcl)?;
+                    i += 2;
+                }
+                "-generic" => {
+                    let v = args.get(i + 1).ok_or_else(|| {
+                        EdaError::Tcl("synth_design: -generic needs value".into())
+                    })?;
+                    let (k, val) = v.split_once('=').ok_or_else(|| {
+                        EdaError::Tcl(format!("bad -generic `{v}` (want NAME=VALUE)"))
+                    })?;
+                    let vi = parse_generic_value(val)?;
+                    self.project_mut()?.generics.insert(k.to_string(), vi);
+                    i += 2;
+                }
+                "-incremental" => {
+                    incremental = true;
+                    i += if args.get(i + 1).is_some_and(|a| !a.starts_with('-')) { 2 } else { 1 };
+                }
+                "-mode" | "-flatten_hierarchy" => i += 2,
+                _ => i += 1,
+            }
+        }
+
+        let registry = Arc::clone(&self.registry);
+        let proj = self
+            .project
+            .as_ref()
+            .ok_or_else(|| EdaError::FlowOrder("no project open".into()))?;
+        let netlist = proj.elaborate(&registry)?;
+        let module = netlist.module.clone();
+        let part = proj.part.clone();
+
+        // Checkpoint identity includes the directive: a rerun with another
+        // directive is a different synthesis.
+        let synth_key = combine(netlist.design_hash, hash_str(directive.as_vivado()));
+
+        let reuse = if incremental {
+            self.checkpoints.classify(synth_key, &module, &part.name, FlowStep::Synthesis)
+        } else if self
+            .checkpoints
+            .classify(synth_key, &module, &part.name, FlowStep::Synthesis)
+            == Reuse::Exact
+        {
+            // Exact cache hits apply even without the incremental flow: the
+            // paper's first control-model case ("Vivado … employs cached
+            // results as the answer").
+            Reuse::Exact
+        } else {
+            Reuse::None
+        };
+
+        let result = match (reuse, self.checkpoints.get_exact(synth_key, FlowStep::Synthesis)) {
+            (Reuse::Exact, Some(Checkpoint::Synth(prev))) => {
+                self.sim_time_s += synth_runtime_s(netlist.cells.total(), directive)
+                    * Reuse::Exact.runtime_factor();
+                self.log(format!("synth_design {module}: exact checkpoint reuse"));
+                prev
+            }
+            _ => {
+                let mut r = synthesize(&netlist, &part, directive, self.seed);
+                // Stamp the directive into the netlist identity so the
+                // downstream implementation cache and PnR noise key on the
+                // actual synthesized design.
+                r.netlist.design_hash = synth_key;
+                r.runtime_s *= reuse.runtime_factor();
+                self.sim_time_s += r.runtime_s;
+                self.log(r.log.clone());
+                self.checkpoints.put(
+                    synth_key,
+                    &module,
+                    &part.name,
+                    FlowStep::Synthesis,
+                    Checkpoint::Synth(r.clone()),
+                );
+                r
+            }
+        };
+
+        self.synth_result = Some(result);
+        self.impl_result = None;
+        self.state = FlowState::Synthesized;
+        // `incremental_requested` stays set: the reference checkpoint also
+        // serves the implementation step (route_design clears it).
+        Ok(module)
+    }
+
+    fn cmd_place_design(&mut self, _args: &[String]) -> EdaResult<String> {
+        if self.state == FlowState::Fresh {
+            return Err(EdaError::FlowOrder("place_design before synth_design".into()));
+        }
+        self.state = FlowState::Placed;
+        // Placement cost is folded into route_design; charge a token amount.
+        self.sim_time_s += 5.0;
+        self.log("place_design".into());
+        Ok(String::new())
+    }
+
+    fn cmd_route_design(&mut self, args: &[String]) -> EdaResult<String> {
+        if self.state == FlowState::Fresh {
+            return Err(EdaError::FlowOrder("route_design before synth_design".into()));
+        }
+        let mut directive = ImplDirective::Default;
+        let mut i = 0;
+        while i < args.len() {
+            if args[i] == "-directive" {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| EdaError::Tcl("route_design: -directive needs value".into()))?;
+                directive = v.parse().map_err(EdaError::Tcl)?;
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+
+        let synth = self
+            .synth_result
+            .clone()
+            .ok_or_else(|| EdaError::FlowOrder("route_design: no synthesized netlist".into()))?;
+        let proj = self.project.as_ref().expect("state check passed");
+        let part = proj.part.clone();
+        let period = proj.clocks.first().map(|c| c.period_ns).unwrap_or(10.0);
+
+        let impl_key = combine(
+            combine(synth.netlist.design_hash, period.to_bits()),
+            hash_str(directive.as_vivado()),
+        );
+        let module = synth.netlist.module.clone();
+        let reuse = if self.incremental_requested {
+            self.checkpoints.classify(impl_key, &module, &part.name, FlowStep::Implementation)
+        } else if self
+            .checkpoints
+            .classify(impl_key, &module, &part.name, FlowStep::Implementation)
+            == Reuse::Exact
+        {
+            Reuse::Exact
+        } else {
+            Reuse::None
+        };
+
+        let result = match (reuse, self.checkpoints.get_exact(impl_key, FlowStep::Implementation)) {
+            (Reuse::Exact, Some(Checkpoint::Impl(prev))) => {
+                self.sim_time_s +=
+                    impl_runtime_s(synth.netlist.cells.total(), prev.utilization, directive)
+                        * Reuse::Exact.runtime_factor();
+                self.log(format!("route_design {module}: exact checkpoint reuse"));
+                prev
+            }
+            _ => {
+                let mut r = place_and_route(&synth.netlist, &part, period, directive, self.seed)?;
+                r.runtime_s *= reuse.runtime_factor();
+                self.sim_time_s += r.runtime_s;
+                self.log(r.log.clone());
+                self.checkpoints.put(
+                    impl_key,
+                    &module,
+                    &part.name,
+                    FlowStep::Implementation,
+                    Checkpoint::Impl(r.clone()),
+                );
+                r
+            }
+        };
+
+        self.impl_result = Some(result);
+        self.state = FlowState::Routed;
+        self.incremental_requested = false;
+        Ok(String::new())
+    }
+
+    fn current_timing(&self) -> EdaResult<ImplResult> {
+        if let Some(r) = &self.impl_result {
+            return Ok(r.clone());
+        }
+        let synth = self
+            .synth_result
+            .as_ref()
+            .ok_or_else(|| EdaError::FlowOrder("report_timing before synth_design".into()))?;
+        let proj = self.project.as_ref().expect("have synth result");
+        let period = proj.clocks.first().map(|c| c.period_ns).unwrap_or(10.0);
+        Ok(estimate_timing(&synth.netlist, &proj.part, period))
+    }
+
+    fn cmd_report_utilization(&mut self, args: &[String]) -> EdaResult<String> {
+        let synth = self
+            .synth_result
+            .as_ref()
+            .ok_or_else(|| EdaError::FlowOrder("report_utilization before synth_design".into()))?;
+        let netlist =
+            self.impl_result.as_ref().map(|r| &r.netlist).unwrap_or(&synth.netlist);
+        let proj = self.project.as_ref().expect("have synth result");
+        let text = report::write_utilization_report(&netlist.module, &netlist.cells, &proj.part);
+        self.finish_report(args, text)
+    }
+
+    fn cmd_report_timing(&mut self, args: &[String]) -> EdaResult<String> {
+        let timing = self.current_timing()?;
+        let text = report::write_timing_report(&timing.netlist.module.clone(), &timing);
+        self.finish_report(args, text)
+    }
+
+    /// `report_power [-file f]`: estimated at the *achievable* frequency
+    /// (Eq. 1's Fmax), the operating point DSE cares about.
+    fn cmd_report_power(&mut self, args: &[String]) -> EdaResult<String> {
+        let timing = self.current_timing()?;
+        let proj = self.project.as_ref().expect("timing implies a project");
+        let clock_mhz = timing.fmax_mhz();
+        let est = crate::power::estimate_power(
+            &timing.netlist,
+            &proj.part,
+            clock_mhz,
+            crate::power::DEFAULT_TOGGLE_RATE,
+        );
+        let text = crate::power::write_power_report(&timing.netlist.module, &est, clock_mhz);
+        self.finish_report(args, text)
+    }
+
+    /// Honors `-file <path>`; otherwise returns the text as the command
+    /// result.
+    fn finish_report(&mut self, args: &[String], text: String) -> EdaResult<String> {
+        let mut i = 0;
+        while i < args.len() {
+            if args[i] == "-file" {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| EdaError::Tcl("-file needs a path".into()))?
+                    .clone();
+                self.fs.insert(path, text);
+                return Ok(String::new());
+            }
+            i += 1;
+        }
+        Ok(text)
+    }
+
+    fn cmd_write_checkpoint(&mut self, args: &[String]) -> EdaResult<String> {
+        let path = args
+            .iter()
+            .find(|a| !a.starts_with('-'))
+            .ok_or_else(|| EdaError::Tcl("write_checkpoint: missing path".into()))?
+            .clone();
+        let hash = match (&self.impl_result, &self.synth_result) {
+            (Some(r), _) => combine(r.netlist.design_hash, 2),
+            (None, Some(s)) => combine(s.netlist.design_hash, 1),
+            _ => return Err(EdaError::FlowOrder("write_checkpoint before synth_design".into())),
+        };
+        self.fs.insert(path.clone(), format!("dcp:{hash:016x}"));
+        self.sim_time_s += 3.0;
+        self.log(format!("write_checkpoint {path}"));
+        Ok(String::new())
+    }
+
+    fn cmd_read_checkpoint(&mut self, args: &[String]) -> EdaResult<String> {
+        let mut incremental = false;
+        let mut path = None;
+        for a in args {
+            if a == "-incremental" {
+                incremental = true;
+            } else if !a.starts_with('-') {
+                path = Some(a.clone());
+            }
+        }
+        let path = path.ok_or_else(|| EdaError::Tcl("read_checkpoint: missing path".into()))?;
+        if !self.fs.contains_key(&path) {
+            return Err(EdaError::Checkpoint(format!("checkpoint `{path}` does not exist")));
+        }
+        if incremental {
+            self.incremental_requested = true;
+        }
+        self.log(format!("read_checkpoint {path} (incremental={incremental})"));
+        Ok(String::new())
+    }
+}
+
+fn parse_generic_value(v: &str) -> EdaResult<i64> {
+    let t = v.trim();
+    // Booleans per the paper's integer formulation.
+    if t.eq_ignore_ascii_case("true") {
+        return Ok(1);
+    }
+    if t.eq_ignore_ascii_case("false") {
+        return Ok(0);
+    }
+    t.parse::<i64>()
+        .map_err(|_| EdaError::Parameter(format!("non-integer generic value `{v}`")))
+}
+
+impl TclContext for VivadoSim {
+    fn run_command(
+        &mut self,
+        _interp: &mut Interp,
+        name: &str,
+        args: &[String],
+    ) -> EdaResult<String> {
+        match name {
+            "create_project" => self.cmd_create_project(args),
+            "read_vhdl" => self.cmd_read_hdl(Language::Vhdl, args),
+            "read_verilog" => self.cmd_read_hdl(Language::Verilog, args),
+            "set_property" => self.cmd_set_property(args),
+            "create_clock" => self.cmd_create_clock(args),
+            "get_ports" => self.cmd_get_ports(args),
+            "synth_design" => self.cmd_synth_design(args),
+            "opt_design" => {
+                self.sim_time_s += 4.0;
+                self.log("opt_design".into());
+                Ok(String::new())
+            }
+            "place_design" => self.cmd_place_design(args),
+            "route_design" => self.cmd_route_design(args),
+            "phys_opt_design" => {
+                self.sim_time_s += 6.0;
+                Ok(String::new())
+            }
+            "report_utilization" => self.cmd_report_utilization(args),
+            "report_timing_summary" | "report_timing" => self.cmd_report_timing(args),
+            "report_power" => self.cmd_report_power(args),
+            "write_checkpoint" => self.cmd_write_checkpoint(args),
+            "read_checkpoint" => self.cmd_read_checkpoint(args),
+            "version" => Ok("Vivado v2019.2 (simulated by dovado-eda)".into()),
+            "get_parts" => {
+                let pattern = args.first().map(String::as_str).unwrap_or("*");
+                let parts: Vec<String> = self
+                    .catalog
+                    .parts()
+                    .iter()
+                    .map(|p| p.name.clone())
+                    .filter(|n| {
+                        pattern == "*"
+                            || n.contains(&pattern.trim_matches('*').to_ascii_lowercase())
+                    })
+                    .collect();
+                Ok(parts.join(" "))
+            }
+            "current_fileset" => Ok("sources_1".into()),
+            "current_project" => Ok(self
+                .project
+                .as_ref()
+                .map(|p| p.name.clone())
+                .unwrap_or_default()),
+            "file" => Ok(String::new()), // `file mkdir …` — no-op in memory
+            "exit" | "quit" => Ok(String::new()),
+            other => Err(EdaError::Tcl(format!("invalid command name \"{other}\""))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIFO_SV: &str = r#"
+module fifo_v3 #(
+    parameter DEPTH = 8,
+    parameter DATA_WIDTH = 32
+)(input logic clk_i, input logic [DATA_WIDTH-1:0] data_i);
+endmodule"#;
+
+    fn session_with_fifo() -> VivadoSim {
+        let mut v = VivadoSim::new(7);
+        v.write_file("src/fifo.sv", FIFO_SV);
+        v.eval(
+            "create_project dov -part xc7k70tfbv676-1\n\
+             read_verilog -sv src/fifo.sv\n\
+             set_property top fifo_v3 [current_fileset]",
+        )
+        .unwrap();
+        v
+    }
+
+    #[test]
+    fn full_flow_via_tcl() {
+        let mut v = session_with_fifo();
+        v.eval(
+            "synth_design -top fifo_v3 -generic DEPTH=64\n\
+             create_clock -period 1.000 -name clk [get_ports clk_i]\n\
+             place_design\n\
+             route_design\n\
+             report_utilization -file util.rpt\n\
+             report_timing_summary -file timing.rpt",
+        )
+        .unwrap();
+        assert_eq!(v.state(), FlowState::Routed);
+        let util = v.read_file("util.rpt").unwrap();
+        let cells = report::parse_utilization_report(util).unwrap();
+        assert!(cells.get(dovado_fpga::ResourceKind::Lut) > 100);
+        let wns = report::parse_wns(v.read_file("timing.rpt").unwrap()).unwrap();
+        assert!(wns < 0.0, "1 ns target must fail on K7: wns={wns}");
+    }
+
+    #[test]
+    fn fmax_in_plausible_band() {
+        let mut v = session_with_fifo();
+        v.eval(
+            "synth_design -top fifo_v3 -generic DEPTH=64\n\
+             create_clock -period 1.000 [get_ports clk_i]\n\
+             route_design",
+        )
+        .unwrap();
+        let fmax = v.impl_result().unwrap().fmax_mhz();
+        assert!(fmax > 150.0 && fmax < 500.0, "fifo fmax {fmax}");
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let mut v = VivadoSim::new(0);
+        v.eval("create_project p -part xc7k70t").unwrap();
+        assert!(matches!(
+            v.eval("read_verilog ghost.v"),
+            Err(EdaError::FileNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_part_errors() {
+        let mut v = VivadoSim::new(0);
+        assert!(matches!(
+            v.eval("create_project p -part xc99nothing"),
+            Err(EdaError::UnknownPart(_))
+        ));
+    }
+
+    #[test]
+    fn flow_order_enforced() {
+        let mut v = session_with_fifo();
+        assert!(matches!(v.eval("route_design"), Err(EdaError::FlowOrder(_))));
+        assert!(matches!(
+            v.eval("report_utilization"),
+            Err(EdaError::FlowOrder(_))
+        ));
+    }
+
+    #[test]
+    fn get_ports_validates() {
+        let mut v = session_with_fifo();
+        assert!(v.eval("get_ports clk_i").is_ok());
+        assert!(v.eval("get_ports bogus_port").is_err());
+    }
+
+    #[test]
+    fn generic_changes_results() {
+        let run = |depth: u32| {
+            let mut v = session_with_fifo();
+            v.eval(&format!(
+                "synth_design -top fifo_v3 -generic DEPTH={depth}\nreport_utilization"
+            ))
+            .unwrap();
+            v.synth_result().unwrap().netlist.registers()
+        };
+        assert!(run(256) > run(8));
+    }
+
+    #[test]
+    fn exact_rerun_uses_cache_and_matches() {
+        let mut v = session_with_fifo();
+        v.eval("synth_design -top fifo_v3 -generic DEPTH=64").unwrap();
+        let first = v.synth_result().unwrap().netlist.clone();
+        let t_after_first = v.sim_time_s;
+        v.eval("synth_design -top fifo_v3 -generic DEPTH=64").unwrap();
+        let second = v.synth_result().unwrap().netlist.clone();
+        let t_second = v.sim_time_s - t_after_first;
+        assert_eq!(first, second);
+        assert!(
+            t_second < t_after_first * 0.2,
+            "cached rerun should be cheap: {t_second} vs {t_after_first}"
+        );
+    }
+
+    #[test]
+    fn incremental_flow_cuts_runtime_for_new_params() {
+        // Session A: cold run at DEPTH=64 leaves a checkpoint in the store.
+        let store = {
+            let mut v = session_with_fifo();
+            v.eval("synth_design -top fifo_v3 -generic DEPTH=64").unwrap();
+            v.eval("write_checkpoint post_synth.dcp").unwrap();
+            v.checkpoint_store()
+        };
+        // Session B, same store: DEPTH=65 with the incremental flow.
+        let mut vb = session_with_fifo();
+        vb.set_checkpoint_store(store.clone());
+        vb.write_file("post_synth.dcp", "dcp:basis");
+        let t0 = vb.sim_time_s;
+        vb.eval("read_checkpoint -incremental post_synth.dcp").unwrap();
+        vb.eval("synth_design -top fifo_v3 -generic DEPTH=65").unwrap();
+        let t_incr = vb.sim_time_s - t0;
+
+        // Session C, fresh store: DEPTH=65 from scratch.
+        let mut vc = session_with_fifo();
+        let t1 = vc.sim_time_s;
+        vc.eval("synth_design -top fifo_v3 -generic DEPTH=65").unwrap();
+        let t_full = vc.sim_time_s - t1;
+
+        assert!(
+            t_incr < 0.6 * t_full,
+            "incremental {t_incr} not cheaper than full {t_full}"
+        );
+        // QoR identical: the checkpoint only buys time.
+        assert_eq!(
+            vb.synth_result().unwrap().netlist,
+            vc.synth_result().unwrap().netlist
+        );
+    }
+
+    #[test]
+    fn vhdl_flow_through_box() {
+        let mut v = VivadoSim::new(3);
+        v.write_file(
+            "src/neorv32.vhd",
+            r#"
+entity neorv32_top is
+  generic (
+    MEM_INT_IMEM_SIZE : natural := 16384;
+    MEM_INT_DMEM_SIZE : natural := 8192
+  );
+  port ( clk_i : in std_logic );
+end entity neorv32_top;
+"#,
+        );
+        v.write_file(
+            "src/box.vhd",
+            r#"
+library ieee;
+use ieee.std_logic_1164.all;
+entity box is
+  port ( clk : in std_logic );
+end entity box;
+architecture box_arch of box is
+begin
+  BOXED: entity work.neorv32_top
+    generic map ( MEM_INT_IMEM_SIZE => 32768, MEM_INT_DMEM_SIZE => 16384 )
+    port map ( clk_i => clk );
+end architecture box_arch;
+"#,
+        );
+        v.eval(
+            "create_project p -part xc7k70tfbv676-1\n\
+             read_vhdl src/neorv32.vhd\n\
+             read_vhdl src/box.vhd\n\
+             synth_design -top box\n\
+             create_clock -period 1.0 [get_ports clk]\n\
+             route_design\n\
+             report_utilization -file u.rpt",
+        )
+        .unwrap();
+        let cells = report::parse_utilization_report(v.read_file("u.rpt").unwrap()).unwrap();
+        assert_eq!(cells.get(dovado_fpga::ResourceKind::Bram), 8 + 4);
+    }
+
+    #[test]
+    fn timing_report_before_route_is_estimate() {
+        let mut v = session_with_fifo();
+        v.eval(
+            "synth_design -top fifo_v3\n\
+             create_clock -period 1.0 [get_ports clk_i]\n",
+        )
+        .unwrap();
+        let est = v.eval("report_timing_summary").unwrap();
+        let est_wns = report::parse_wns(&est).unwrap();
+        v.eval("route_design").unwrap();
+        let real = v.eval("report_timing_summary").unwrap();
+        let real_wns = report::parse_wns(&real).unwrap();
+        assert!(est_wns > real_wns, "estimate must be optimistic");
+    }
+
+    #[test]
+    fn sim_time_accumulates() {
+        let mut v = session_with_fifo();
+        let t0 = v.sim_time_s;
+        v.eval("synth_design -top fifo_v3").unwrap();
+        assert!(v.sim_time_s > t0 + 5.0);
+    }
+
+    #[test]
+    fn tcl_can_compute_fmax_from_reports() {
+        // The whole loop in pure TCL — variables, expr, command subst.
+        let mut v = session_with_fifo();
+        let (result, _out) = v
+            .eval_with_output(
+                "synth_design -top fifo_v3 -generic DEPTH=32\n\
+                 create_clock -period 1.0 [get_ports clk_i]\n\
+                 route_design\n\
+                 set t 1.0\n\
+                 puts \"done\"",
+            )
+            .unwrap();
+        assert_eq!(result, "");
+        let wns = v.impl_result().unwrap().wns_ns;
+        let fmax = 1000.0 / (1.0 - wns);
+        assert!((fmax - v.impl_result().unwrap().fmax_mhz()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_checkpoint_requires_file() {
+        let mut v = session_with_fifo();
+        assert!(matches!(
+            v.eval("read_checkpoint -incremental missing.dcp"),
+            Err(EdaError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn version_and_get_parts() {
+        let mut v = VivadoSim::new(0);
+        assert!(v.eval("version").unwrap().contains("2019.2"));
+        let all = v.eval("get_parts").unwrap();
+        assert!(all.contains("xc7k70tfbv676-1"));
+        let filtered = v.eval("get_parts *zu3eg*").unwrap();
+        assert!(filtered.contains("xczu3eg"));
+        assert!(!filtered.contains("xc7k70t"));
+        // Usable from scripts: pick a part with command substitution.
+        let (_, out) = v
+            .eval_with_output("foreach p [get_parts *xc7k70t*] { puts $p }")
+            .unwrap();
+        assert!(out.lines().count() >= 2);
+    }
+
+    #[test]
+    fn bool_generics_accepted() {
+        let mut v = session_with_fifo();
+        v.eval("set_property generic {DEPTH=16 FALL_THROUGH=true} [current_fileset]")
+            .unwrap();
+        assert_eq!(v.project().unwrap().generics["FALL_THROUGH"], 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Development boards mapping to parts.
+//!
+//! Dovado lets the user "specify target board, top module, search space
+//! parameters" (§IV) — boards are a convenience layer resolving to a part
+//! plus a default reference clock.
+
+use crate::catalog::Catalog;
+use crate::part::Part;
+
+/// A development board.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Board {
+    /// Board name, e.g. `ultra96v2`.
+    pub name: String,
+    /// The part mounted on the board.
+    pub part_name: String,
+    /// Reference clock frequency available on the board, in MHz.
+    pub ref_clock_mhz: f64,
+}
+
+impl Board {
+    /// Resolves the board's part against a catalog.
+    pub fn part<'a>(&self, catalog: &'a Catalog) -> Option<&'a Part> {
+        catalog.resolve(&self.part_name)
+    }
+}
+
+/// Built-in board list.
+pub fn builtin_boards() -> Vec<Board> {
+    vec![
+        Board { name: "kc705".into(), part_name: "xc7k70tfbv676-1".into(), ref_clock_mhz: 200.0 },
+        Board {
+            name: "genesys2".into(),
+            part_name: "xc7k325tffg900-2".into(),
+            ref_clock_mhz: 200.0,
+        },
+        Board {
+            name: "arty-a7-35".into(),
+            part_name: "xc7a35ticsg324-1l".into(),
+            ref_clock_mhz: 100.0,
+        },
+        Board {
+            name: "arty-a7-100".into(),
+            part_name: "xc7a100tcsg324-1".into(),
+            ref_clock_mhz: 100.0,
+        },
+        Board {
+            name: "ultra96v2".into(),
+            part_name: "xczu3eg-sbva484-1-e".into(),
+            ref_clock_mhz: 300.0,
+        },
+        Board {
+            name: "zcu102".into(),
+            part_name: "xczu9eg-ffvb1156-2-e".into(),
+            ref_clock_mhz: 300.0,
+        },
+    ]
+}
+
+/// Finds a board by case-insensitive name.
+pub fn find_board(name: &str) -> Option<Board> {
+    builtin_boards().into_iter().find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boards_resolve_to_parts() {
+        let catalog = Catalog::builtin();
+        for b in builtin_boards() {
+            assert!(b.part(&catalog).is_some(), "board {} has no part", b.name);
+        }
+    }
+
+    #[test]
+    fn find_board_case_insensitive() {
+        assert!(find_board("Ultra96V2").is_some());
+        assert!(find_board("nope").is_none());
+    }
+
+    #[test]
+    fn ultra96_is_zu3eg() {
+        let catalog = Catalog::builtin();
+        let b = find_board("ultra96v2").unwrap();
+        let p = b.part(&catalog).unwrap();
+        assert!(p.name.starts_with("xczu3eg"));
+    }
+}

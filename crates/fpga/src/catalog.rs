@@ -1,0 +1,173 @@
+//! Built-in part catalog.
+//!
+//! Capacities follow the public datasheets closely enough for the paper's
+//! comparisons to hold — in particular the two evaluation devices:
+//! the XC7K70T "has 41k LUT and 82K FF" and the ZU3EG "has 70K LUTs and
+//! 141k Flip Flops" (§IV-D).
+
+use crate::part::{Family, Part};
+
+/// A catalog of known parts, searchable by (case-insensitive) name.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    parts: Vec<Part>,
+}
+
+impl Catalog {
+    /// The built-in catalog.
+    pub fn builtin() -> Catalog {
+        let parts = vec![
+            // --- 28 nm, 7-series ---
+            // The paper's implementation target: Kintex-7 70T.
+            Part::series7("xc7k70tfbv676-1", Family::Kintex7, 41_000, 82_000, 135, 240, 300, -1),
+            Part::series7("xc7k70tfbv676-2", Family::Kintex7, 41_000, 82_000, 135, 240, 300, -2),
+            Part::series7("xc7k160tffg676-1", Family::Kintex7, 101_400, 202_800, 325, 600, 400, -1),
+            Part::series7("xc7k325tffg900-2", Family::Kintex7, 203_800, 407_600, 445, 840, 500, -2),
+            Part::series7("xc7a35ticsg324-1l", Family::Artix7, 20_800, 41_600, 50, 90, 210, -1),
+            Part::series7("xc7a100tcsg324-1", Family::Artix7, 63_400, 126_800, 135, 240, 210, -1),
+            Part::series7("xc7v585tffg1157-1", Family::Virtex7, 364_200, 728_400, 795, 1260, 600, -1),
+            // --- 16 nm, UltraScale+ ---
+            // The paper's second target: Zynq UltraScale+ ZU3EG.
+            Part::ultrascale_plus(
+                "xczu3eg-sbva484-1-e",
+                Family::ZynqUltraScalePlus,
+                70_560,
+                141_120,
+                216,
+                0,
+                360,
+                180,
+                -1,
+            ),
+            Part::ultrascale_plus(
+                "xczu9eg-ffvb1156-2-e",
+                Family::ZynqUltraScalePlus,
+                274_080,
+                548_160,
+                912,
+                0,
+                2520,
+                328,
+                -2,
+            ),
+            Part::ultrascale_plus(
+                "xcku5p-ffvb676-2-e",
+                Family::KintexUltraScalePlus,
+                216_960,
+                433_920,
+                480,
+                64,
+                1824,
+                280,
+                -2,
+            ),
+            Part::ultrascale_plus(
+                "xcvu9p-flga2104-2l-e",
+                Family::VirtexUltraScalePlus,
+                1_182_240,
+                2_364_480,
+                2160,
+                960,
+                6840,
+                832,
+                -2,
+            ),
+        ];
+        Catalog { parts }
+    }
+
+    /// All parts.
+    pub fn parts(&self) -> &[Part] {
+        &self.parts
+    }
+
+    /// Exact (case-insensitive) lookup.
+    pub fn find(&self, name: &str) -> Option<&Part> {
+        self.parts.iter().find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Prefix lookup: `xc7k70t` resolves to the first part whose name
+    /// starts with the query. Used so users can name the die without the
+    /// package suffix (as the paper does: "targeting a XC7K70TFBV676-1"
+    /// but also "the XC7K70T").
+    pub fn resolve(&self, query: &str) -> Option<&Part> {
+        let q = query.to_ascii_lowercase();
+        self.find(&q)
+            .or_else(|| self.parts.iter().find(|p| p.name.starts_with(&q)))
+    }
+
+    /// Parts from a family.
+    pub fn by_family(&self, family: Family) -> Vec<&Part> {
+        self.parts.iter().filter(|p| p.family == family).collect()
+    }
+
+    /// Adds a custom part (replaces an existing part of the same name).
+    pub fn add(&mut self, part: Part) {
+        self.parts.retain(|p| !p.name.eq_ignore_ascii_case(&part.name));
+        self.parts.push(part);
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::ResourceKind;
+
+    #[test]
+    fn paper_devices_present_with_paper_capacities() {
+        let c = Catalog::builtin();
+        let k7 = c.resolve("xc7k70t").unwrap();
+        assert_eq!(k7.capacity.get(ResourceKind::Lut), 41_000);
+        assert_eq!(k7.capacity.get(ResourceKind::Register), 82_000);
+        let zu = c.resolve("xczu3eg").unwrap();
+        assert_eq!(zu.capacity.get(ResourceKind::Lut), 70_560);
+        assert_eq!(zu.capacity.get(ResourceKind::Register), 141_120);
+        // ZU3EG at 16 nm, K7 at 28 nm (§IV-D technology comparison).
+        assert_eq!(zu.timing.process_nm, 16);
+        assert_eq!(k7.timing.process_nm, 28);
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        let c = Catalog::builtin();
+        assert!(c.find("XC7K70TFBV676-1").is_some());
+        assert!(c.find("nonexistent").is_none());
+    }
+
+    #[test]
+    fn resolve_prefers_exact_match() {
+        let c = Catalog::builtin();
+        let p = c.resolve("xc7k70tfbv676-2").unwrap();
+        assert_eq!(p.speed_grade, -2);
+    }
+
+    #[test]
+    fn by_family_filters() {
+        let c = Catalog::builtin();
+        let k7s = c.by_family(Family::Kintex7);
+        assert!(k7s.len() >= 3);
+        assert!(k7s.iter().all(|p| p.family == Family::Kintex7));
+    }
+
+    #[test]
+    fn add_replaces_same_name() {
+        let mut c = Catalog::builtin();
+        let n = c.parts().len();
+        c.add(Part::series7("xc7k70tfbv676-1", Family::Kintex7, 1, 1, 1, 1, 1, -1));
+        assert_eq!(c.parts().len(), n);
+        assert_eq!(c.find("xc7k70tfbv676-1").unwrap().capacity.get(ResourceKind::Lut), 1);
+    }
+
+    #[test]
+    fn uram_only_on_some_parts() {
+        let c = Catalog::builtin();
+        assert!(!c.resolve("xczu3eg").unwrap().has_uram());
+        assert!(c.resolve("xcku5p").unwrap().has_uram());
+    }
+}

@@ -1,0 +1,31 @@
+//! # dovado-fpga
+//!
+//! FPGA device, part and board models for the Dovado DSE framework.
+//!
+//! Provides the resource taxonomy ([`ResourceKind`], [`ResourceSet`]), the
+//! per-device timing parameters consumed by the simulated place & route
+//! engine ([`TimingModel`]), a catalog of parts including the paper's two
+//! evaluation devices (Kintex-7 XC7K70T and Zynq UltraScale+ ZU3EG), and a
+//! board layer mapping development boards to parts.
+//!
+//! ```
+//! use dovado_fpga::{Catalog, ResourceKind};
+//!
+//! let catalog = Catalog::builtin();
+//! let part = catalog.resolve("xc7k70t").unwrap();
+//! assert_eq!(part.capacity.get(ResourceKind::Lut), 41_000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod board;
+pub mod catalog;
+pub mod part;
+pub mod resources;
+pub mod timing;
+
+pub use board::{builtin_boards, find_board, Board};
+pub use catalog::Catalog;
+pub use part::{Family, Part};
+pub use resources::{ResourceKind, ResourceSet};
+pub use timing::TimingModel;

@@ -1,0 +1,204 @@
+//! FPGA part descriptions.
+
+use crate::resources::{ResourceKind, ResourceSet};
+use crate::timing::TimingModel;
+use std::fmt;
+
+/// Device family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Xilinx Artix-7 (28 nm).
+    Artix7,
+    /// Xilinx Kintex-7 (28 nm).
+    Kintex7,
+    /// Xilinx Virtex-7 (28 nm).
+    Virtex7,
+    /// Xilinx Zynq UltraScale+ MPSoC (16 nm).
+    ZynqUltraScalePlus,
+    /// Xilinx Kintex UltraScale+ (16 nm).
+    KintexUltraScalePlus,
+    /// Xilinx Virtex UltraScale+ (16 nm).
+    VirtexUltraScalePlus,
+}
+
+impl Family {
+    /// Process node in nanometres.
+    pub fn process_nm(&self) -> u32 {
+        match self {
+            Family::Artix7 | Family::Kintex7 | Family::Virtex7 => 28,
+            _ => 16,
+        }
+    }
+
+    /// Whether the family is UltraScale+ (and thus may carry URAM).
+    pub fn is_ultrascale_plus(&self) -> bool {
+        self.process_nm() == 16
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Family::Artix7 => "Artix-7",
+            Family::Kintex7 => "Kintex-7",
+            Family::Virtex7 => "Virtex-7",
+            Family::ZynqUltraScalePlus => "Zynq UltraScale+",
+            Family::KintexUltraScalePlus => "Kintex UltraScale+",
+            Family::VirtexUltraScalePlus => "Virtex UltraScale+",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One FPGA part (device + package + speed grade).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Part {
+    /// Full part name as used on Vivado command lines,
+    /// e.g. `xc7k70tfbv676-1`.
+    pub name: String,
+    /// Device family.
+    pub family: Family,
+    /// Resource capacities.
+    pub capacity: ResourceSet,
+    /// Speed grade (negative numbers, -1 slowest).
+    pub speed_grade: i8,
+    /// Timing parameters for this device/speed grade.
+    pub timing: TimingModel,
+}
+
+impl Part {
+    /// Builds a 7-series part.
+    pub fn series7(
+        name: &str,
+        family: Family,
+        luts: u64,
+        regs: u64,
+        brams: u64,
+        dsps: u64,
+        ios: u64,
+        speed_grade: i8,
+    ) -> Part {
+        let capacity = ResourceSet::from_pairs(&[
+            (ResourceKind::Lut, luts),
+            (ResourceKind::Register, regs),
+            (ResourceKind::Bram, brams),
+            (ResourceKind::Dsp, dsps),
+            (ResourceKind::Carry, luts / 4),
+            (ResourceKind::Io, ios),
+            (ResourceKind::Bufg, 32),
+        ]);
+        Part {
+            name: name.to_ascii_lowercase(),
+            family,
+            capacity,
+            speed_grade,
+            timing: TimingModel::series7(speed_grade),
+        }
+    }
+
+    /// Builds an UltraScale+ part (optionally with URAM).
+    #[allow(clippy::too_many_arguments)]
+    pub fn ultrascale_plus(
+        name: &str,
+        family: Family,
+        luts: u64,
+        regs: u64,
+        brams: u64,
+        urams: u64,
+        dsps: u64,
+        ios: u64,
+        speed_grade: i8,
+    ) -> Part {
+        let capacity = ResourceSet::from_pairs(&[
+            (ResourceKind::Lut, luts),
+            (ResourceKind::Register, regs),
+            (ResourceKind::Bram, brams),
+            (ResourceKind::Uram, urams),
+            (ResourceKind::Dsp, dsps),
+            (ResourceKind::Carry, luts / 8),
+            (ResourceKind::Io, ios),
+            (ResourceKind::Bufg, 64),
+        ]);
+        Part {
+            name: name.to_ascii_lowercase(),
+            family,
+            capacity,
+            speed_grade,
+            timing: TimingModel::ultrascale_plus(speed_grade),
+        }
+    }
+
+    /// Whether the device offers URAM (reported "only if present", §III-A4).
+    pub fn has_uram(&self) -> bool {
+        self.capacity.get(ResourceKind::Uram) > 0
+    }
+
+    /// Number of usable I/O pads — the limit the boxing step exists to
+    /// avoid overflowing.
+    pub fn io_pins(&self) -> u64 {
+        self.capacity.get(ResourceKind::Io)
+    }
+
+    /// Resource kinds this device actually has (used to filter report rows).
+    pub fn available_kinds(&self) -> Vec<ResourceKind> {
+        ResourceKind::ALL
+            .iter()
+            .copied()
+            .filter(|k| self.capacity.get(*k) > 0)
+            .collect()
+    }
+}
+
+impl fmt::Display for Part {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.family)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series7_part_has_expected_shape() {
+        let p = Part::series7("XC7K70TFBV676-1", Family::Kintex7, 41000, 82000, 135, 240, 300, -1);
+        assert_eq!(p.name, "xc7k70tfbv676-1");
+        assert_eq!(p.capacity.get(ResourceKind::Lut), 41000);
+        assert!(!p.has_uram());
+        assert_eq!(p.io_pins(), 300);
+        assert_eq!(p.timing.process_nm, 28);
+    }
+
+    #[test]
+    fn ultrascale_part_can_have_uram() {
+        let p = Part::ultrascale_plus(
+            "xcku5p-ffvb676-2-e",
+            Family::KintexUltraScalePlus,
+            216960,
+            433920,
+            480,
+            64,
+            1824,
+            280,
+            -2,
+        );
+        assert!(p.has_uram());
+        assert_eq!(p.timing.process_nm, 16);
+    }
+
+    #[test]
+    fn available_kinds_excludes_missing() {
+        let p = Part::series7("xc7a35t", Family::Artix7, 20800, 41600, 50, 90, 250, -1);
+        let kinds = p.available_kinds();
+        assert!(kinds.contains(&ResourceKind::Lut));
+        assert!(!kinds.contains(&ResourceKind::Uram));
+    }
+
+    #[test]
+    fn family_process_nodes() {
+        assert_eq!(Family::Kintex7.process_nm(), 28);
+        assert_eq!(Family::ZynqUltraScalePlus.process_nm(), 16);
+        assert!(Family::ZynqUltraScalePlus.is_ultrascale_plus());
+        assert!(!Family::Virtex7.is_ultrascale_plus());
+    }
+}

@@ -1,0 +1,202 @@
+//! Device timing parameters used by the simulated place & route engine.
+//!
+//! The constants are synthetic but ordered like real silicon: newer process
+//! nodes and faster speed grades yield proportionally smaller delays, so the
+//! paper's headline technology comparison (TiReX at ~550 MHz on a 16 nm
+//! ZU3EG vs ~190 MHz on a 28 nm XC7K70T, §IV-D) emerges from the model
+//! rather than being hard-coded per experiment.
+
+/// Per-device timing model (all delays in nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    /// Process node in nanometres (28 for 7-series, 16 for UltraScale+).
+    pub process_nm: u32,
+    /// Combinational delay through one LUT6.
+    pub t_lut: f64,
+    /// Flip-flop setup time.
+    pub t_setup: f64,
+    /// Flip-flop clock-to-output delay.
+    pub t_cko: f64,
+    /// Base routing delay per net hop at low congestion.
+    pub t_net: f64,
+    /// Incremental delay per bit of carry chain.
+    pub t_carry: f64,
+    /// Block RAM clock-to-output delay (synchronous read).
+    pub t_bram: f64,
+    /// DSP slice combinational delay (unpipelined).
+    pub t_dsp: f64,
+    /// Routing-delay inflation exponent vs device utilization: effective
+    /// net delay is `t_net * (1 + congestion_alpha * u^2)` where `u` is the
+    /// peak resource utilization fraction.
+    pub congestion_alpha: f64,
+    /// Clock network skew/jitter added once per path.
+    pub t_clock_unc: f64,
+}
+
+impl TimingModel {
+    /// 28 nm 7-series model for the given speed grade (-1 slowest … -3
+    /// fastest).
+    pub fn series7(speed_grade: i8) -> TimingModel {
+        let base = TimingModel {
+            process_nm: 28,
+            t_lut: 0.124,
+            t_setup: 0.040,
+            t_cko: 0.340,
+            t_net: 0.480,
+            t_carry: 0.025,
+            t_bram: 1.050,
+            t_dsp: 1.450,
+            congestion_alpha: 2.2,
+            t_clock_unc: 0.035,
+        };
+        base.scaled(Self::grade_factor(speed_grade))
+    }
+
+    /// 16 nm UltraScale+ model for the given speed grade.
+    pub fn ultrascale_plus(speed_grade: i8) -> TimingModel {
+        let base = TimingModel {
+            process_nm: 16,
+            t_lut: 0.055,
+            t_setup: 0.025,
+            t_cko: 0.140,
+            t_net: 0.180,
+            t_carry: 0.010,
+            t_bram: 0.480,
+            t_dsp: 0.600,
+            congestion_alpha: 1.8,
+            t_clock_unc: 0.025,
+        };
+        base.scaled(Self::grade_factor(speed_grade))
+    }
+
+    /// Delay multiplier for a speed grade: -1 is nominal, each faster grade
+    /// shaves ~9 %.
+    fn grade_factor(speed_grade: i8) -> f64 {
+        match speed_grade {
+            g if g <= -3 => 0.82,
+            -2 => 0.91,
+            _ => 1.0,
+        }
+    }
+
+    /// Returns a copy with every delay multiplied by `factor`
+    /// (`congestion_alpha` and `process_nm` are unchanged).
+    pub fn scaled(&self, factor: f64) -> TimingModel {
+        TimingModel {
+            process_nm: self.process_nm,
+            t_lut: self.t_lut * factor,
+            t_setup: self.t_setup * factor,
+            t_cko: self.t_cko * factor,
+            t_net: self.t_net * factor,
+            t_carry: self.t_carry * factor,
+            t_bram: self.t_bram * factor,
+            t_dsp: self.t_dsp * factor,
+            congestion_alpha: self.congestion_alpha,
+            t_clock_unc: self.t_clock_unc * factor,
+        }
+    }
+
+    /// Effective routed net delay at the given peak utilization fraction.
+    pub fn net_delay(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.2);
+        self.t_net * (1.0 + self.congestion_alpha * u * u)
+    }
+
+    /// Register-to-register path delay for a path with `levels` LUT levels,
+    /// `fanout_cost` extra net hops, and optional BRAM/DSP on the path.
+    pub fn path_delay(
+        &self,
+        levels: u32,
+        fanout_cost: f64,
+        carry_bits: u32,
+        through_bram: bool,
+        through_dsp: bool,
+        utilization: f64,
+    ) -> f64 {
+        let net = self.net_delay(utilization);
+        let mut d = self.t_cko + self.t_setup + self.t_clock_unc;
+        d += levels as f64 * (self.t_lut + net);
+        d += fanout_cost * net;
+        d += carry_bits as f64 * self.t_carry;
+        if through_bram {
+            d += self.t_bram + net;
+        }
+        if through_dsp {
+            d += self.t_dsp + net;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ultrascale_is_faster_than_series7() {
+        let k7 = TimingModel::series7(-1);
+        let zu = TimingModel::ultrascale_plus(-1);
+        assert!(zu.t_lut < k7.t_lut);
+        assert!(zu.t_net < k7.t_net);
+        assert!(zu.t_bram < k7.t_bram);
+        assert_eq!(zu.process_nm, 16);
+        assert_eq!(k7.process_nm, 28);
+    }
+
+    #[test]
+    fn faster_speed_grades_shrink_delays() {
+        let g1 = TimingModel::series7(-1);
+        let g2 = TimingModel::series7(-2);
+        let g3 = TimingModel::series7(-3);
+        assert!(g2.t_lut < g1.t_lut);
+        assert!(g3.t_lut < g2.t_lut);
+    }
+
+    #[test]
+    fn congestion_increases_net_delay() {
+        let t = TimingModel::series7(-1);
+        assert!(t.net_delay(0.9) > t.net_delay(0.1));
+        assert!((t.net_delay(0.0) - t.t_net).abs() < 1e-12);
+    }
+
+    #[test]
+    fn congestion_clamps_above_capacity() {
+        let t = TimingModel::series7(-1);
+        assert_eq!(t.net_delay(5.0), t.net_delay(1.2));
+    }
+
+    #[test]
+    fn path_delay_monotone_in_levels() {
+        let t = TimingModel::series7(-1);
+        let d1 = t.path_delay(1, 0.0, 0, false, false, 0.2);
+        let d5 = t.path_delay(5, 0.0, 0, false, false, 0.2);
+        assert!(d5 > d1);
+        // Roughly 4 extra (LUT + net) pairs.
+        let per_level = t.t_lut + t.net_delay(0.2);
+        assert!((d5 - d1 - 4.0 * per_level).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bram_and_dsp_add_delay() {
+        let t = TimingModel::ultrascale_plus(-1);
+        let plain = t.path_delay(2, 0.0, 0, false, false, 0.1);
+        assert!(t.path_delay(2, 0.0, 0, true, false, 0.1) > plain);
+        assert!(t.path_delay(2, 0.0, 0, false, true, 0.1) > plain);
+    }
+
+    #[test]
+    fn series7_path_lands_in_200mhz_ballpark() {
+        // A 6-level path at moderate utilization should be near the ~5 ns
+        // (200 MHz) the Corundum experiment reports on Kintex-7.
+        let t = TimingModel::series7(-1);
+        let d = t.path_delay(6, 1.0, 0, false, false, 0.15);
+        assert!(d > 3.0 && d < 7.0, "delay {d} outside plausible window");
+    }
+
+    #[test]
+    fn scaled_preserves_alpha() {
+        let t = TimingModel::series7(-1).scaled(0.5);
+        assert!((t.congestion_alpha - 2.2).abs() < 1e-12);
+        assert!((t.t_lut - 0.062).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,911 @@
+//! Abstract syntax for the declaration subset of VHDL and (System)Verilog.
+//!
+//! Dovado only needs the *interface* of a hardware module: its name, its
+//! compile-time parameters (VHDL generics / Verilog parameters) and its port
+//! list. The AST here models exactly that, plus the context clauses
+//! (libraries, use/import, packages) needed by the boxing step and by
+//! Vivado-compatible file ordering.
+//!
+//! Width expressions such as `DATA_WIDTH-1 downto 0` or `[$clog2(DEPTH)-1:0]`
+//! are kept symbolic as [`Expr`] trees and can be evaluated against a
+//! parameter binding via [`Expr::eval`].
+
+use crate::span::Span;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Source language of a design unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Language {
+    /// VHDL (we target the 2008 declaration syntax, which subsumes '87/'93).
+    Vhdl,
+    /// Verilog-2001.
+    Verilog,
+    /// SystemVerilog (IEEE 1800).
+    SystemVerilog,
+}
+
+impl Language {
+    /// Canonical file extension for the language.
+    pub fn extension(&self) -> &'static str {
+        match self {
+            Language::Vhdl => "vhd",
+            Language::Verilog => "v",
+            Language::SystemVerilog => "sv",
+        }
+    }
+
+    /// Guesses the language from a file extension (`vhd`, `vhdl`, `v`, `sv`, `svh`).
+    pub fn from_extension(ext: &str) -> Option<Language> {
+        match ext.to_ascii_lowercase().as_str() {
+            "vhd" | "vhdl" => Some(Language::Vhdl),
+            "v" | "vh" => Some(Language::Verilog),
+            "sv" | "svh" => Some(Language::SystemVerilog),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Language::Vhdl => write!(f, "VHDL"),
+            Language::Verilog => write!(f, "Verilog"),
+            Language::SystemVerilog => write!(f, "SystemVerilog"),
+        }
+    }
+}
+
+/// Binary operators usable inside width/default expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (integer division)
+    Div,
+    /// `mod` / `%`
+    Mod,
+    /// `**` (exponentiation)
+    Pow,
+    /// `<<` shift left
+    Shl,
+    /// `>>` shift right
+    Shr,
+}
+
+impl BinOp {
+    /// Binding power used by the precedence-climbing expression parsers.
+    pub fn precedence(&self) -> u8 {
+        match self {
+            BinOp::Add | BinOp::Sub => 1,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 2,
+            BinOp::Shl | BinOp::Shr => 1,
+            BinOp::Pow => 3,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Pow => "**",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Errors produced when evaluating an [`Expr`] against a parameter binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An identifier in the expression has no binding.
+    Unbound(String),
+    /// Division or modulo by zero.
+    DivideByZero,
+    /// A function unknown to the evaluator was called.
+    UnknownFunction(String),
+    /// Arithmetic over/underflow.
+    Overflow,
+    /// A function received an argument outside its domain (e.g. `clog2(0)`).
+    Domain(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Unbound(n) => write!(f, "unbound identifier `{n}`"),
+            EvalError::DivideByZero => write!(f, "division by zero"),
+            EvalError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            EvalError::Overflow => write!(f, "arithmetic overflow"),
+            EvalError::Domain(m) => write!(f, "domain error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A symbolic compile-time expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Integer literal (decimal, based, or sized Verilog literal).
+    Int(i64),
+    /// Reference to a parameter/generic or constant.
+    Ident(String),
+    /// A string literal (VHDL generic defaults may be strings).
+    Str(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Function call, e.g. `$clog2(DEPTH)` or VHDL `log2(depth)`.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a binary node.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Evaluates the expression with `env` providing identifier bindings.
+    ///
+    /// Supported intrinsic functions (case-insensitive, leading `$`
+    /// stripped): `clog2`, `log2` (same as `clog2`, matching common RTL
+    /// usage), `max`, `min`, `abs`.
+    pub fn eval(&self, env: &BTreeMap<String, i64>) -> Result<i64, EvalError> {
+        match self {
+            Expr::Int(v) => Ok(*v),
+            Expr::Str(_) => Err(EvalError::Domain("string literal in integer context".into())),
+            Expr::Ident(name) => lookup_ci(env, name).ok_or_else(|| EvalError::Unbound(name.clone())),
+            Expr::Neg(e) => e.eval(env)?.checked_neg().ok_or(EvalError::Overflow),
+            Expr::Bin(op, l, r) => {
+                let a = l.eval(env)?;
+                let b = r.eval(env)?;
+                let out = match op {
+                    BinOp::Add => a.checked_add(b),
+                    BinOp::Sub => a.checked_sub(b),
+                    BinOp::Mul => a.checked_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(EvalError::DivideByZero);
+                        }
+                        a.checked_div(b)
+                    }
+                    BinOp::Mod => {
+                        if b == 0 {
+                            return Err(EvalError::DivideByZero);
+                        }
+                        a.checked_rem(b)
+                    }
+                    BinOp::Pow => {
+                        if b < 0 {
+                            return Err(EvalError::Domain("negative exponent".into()));
+                        }
+                        let exp = u32::try_from(b).map_err(|_| EvalError::Overflow)?;
+                        a.checked_pow(exp)
+                    }
+                    BinOp::Shl => {
+                        let sh = u32::try_from(b).map_err(|_| EvalError::Overflow)?;
+                        a.checked_shl(sh)
+                    }
+                    BinOp::Shr => {
+                        let sh = u32::try_from(b).map_err(|_| EvalError::Overflow)?;
+                        a.checked_shr(sh)
+                    }
+                };
+                out.ok_or(EvalError::Overflow)
+            }
+            Expr::Call(name, args) => {
+                let norm = name.trim_start_matches('$').to_ascii_lowercase();
+                // `cond` short-circuits: only the taken branch is evaluated
+                // (the other may reference still-unbound names).
+                if norm == "cond" {
+                    if let [c, a, b] = args.as_slice() {
+                        return if c.eval(env)? != 0 { a.eval(env) } else { b.eval(env) };
+                    }
+                    return Err(EvalError::Domain("cond needs 3 arguments".into()));
+                }
+                let vals: Vec<i64> =
+                    args.iter().map(|a| a.eval(env)).collect::<Result<_, _>>()?;
+                // Comparison nodes produced by the parsers: `cmp<op>`.
+                if let Some(op) = norm.strip_prefix("cmp") {
+                    if let [a, b] = vals.as_slice() {
+                        let r = match op {
+                            "<" => a < b,
+                            ">" => a > b,
+                            "<=" => a <= b,
+                            ">=" => a >= b,
+                            "==" | "===" => a == b,
+                            "!=" | "!==" => a != b,
+                            _ => return Err(EvalError::UnknownFunction(name.clone())),
+                        };
+                        return Ok(r as i64);
+                    }
+                }
+                match (norm.as_str(), vals.as_slice()) {
+                    ("clog2", [v]) | ("log2", [v]) => {
+                        if *v <= 0 {
+                            return Err(EvalError::Domain(format!("clog2({v})")));
+                        }
+                        Ok(clog2(*v as u64) as i64)
+                    }
+                    ("max", [a, b]) => Ok((*a).max(*b)),
+                    ("min", [a, b]) => Ok((*a).min(*b)),
+                    ("abs", [v]) => v.checked_abs().ok_or(EvalError::Overflow),
+                    ("and", [a, b]) => Ok(((*a != 0) && (*b != 0)) as i64),
+                    ("or", [a, b]) => Ok(((*a != 0) || (*b != 0)) as i64),
+                    ("not", [v]) => Ok((*v == 0) as i64),
+                    _ => Err(EvalError::UnknownFunction(name.clone())),
+                }
+            }
+        }
+    }
+
+    /// Collects all identifiers referenced by the expression.
+    pub fn idents(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Int(_) | Expr::Str(_) => {}
+            Expr::Ident(n) => {
+                if !out.iter().any(|x| x.eq_ignore_ascii_case(n)) {
+                    out.push(n.clone());
+                }
+            }
+            Expr::Neg(e) => e.idents(out),
+            Expr::Bin(_, l, r) => {
+                l.idents(out);
+                r.idents(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.idents(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(v) => write!(f, "{v}"),
+            Expr::Str(s) => write!(f, "\"{s}\""),
+            Expr::Ident(n) => write!(f, "{n}"),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Bin(op, l, r) => write!(f, "({l} {op} {r})"),
+            Expr::Call(n, args) => {
+                write!(f, "{n}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Ceiling log2 of a positive integer: number of bits to address `n` items.
+pub fn clog2(n: u64) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+/// Case-insensitive lookup (VHDL identifiers are case-insensitive; Verilog
+/// parameter bindings supplied by users often differ in case too).
+fn lookup_ci(env: &BTreeMap<String, i64>, name: &str) -> Option<i64> {
+    if let Some(v) = env.get(name) {
+        return Some(*v);
+    }
+    env.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| *v)
+}
+
+/// Direction of an index range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RangeDir {
+    /// VHDL `downto` / Verilog `[msb:lsb]` with msb >= lsb.
+    Downto,
+    /// VHDL `to` (ascending).
+    To,
+}
+
+/// A (possibly symbolic) index range such as `31 downto 0` or `[W-1:0]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Range {
+    /// Left bound as written.
+    pub left: Expr,
+    /// Right bound as written.
+    pub right: Expr,
+    /// Direction.
+    pub dir: RangeDir,
+}
+
+impl Range {
+    /// Number of elements covered when evaluated under `env`.
+    pub fn width(&self, env: &BTreeMap<String, i64>) -> Result<i64, EvalError> {
+        let l = self.left.eval(env)?;
+        let r = self.right.eval(env)?;
+        let w = match self.dir {
+            RangeDir::Downto => l - r + 1,
+            RangeDir::To => r - l + 1,
+        };
+        Ok(w.max(0))
+    }
+}
+
+impl fmt::Display for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.dir {
+            RangeDir::Downto => write!(f, "{} downto {}", self.left, self.right),
+            RangeDir::To => write!(f, "{} to {}", self.left, self.right),
+        }
+    }
+}
+
+/// A (scalar or vector) data type as written in the source.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TypeSpec {
+    /// Base type name: `std_logic`, `std_logic_vector`, `logic`, `wire`,
+    /// `integer`, `natural`, `unsigned`, … Empty for Verilog implicit nets.
+    pub name: String,
+    /// Packed dimensions, outermost first.
+    pub ranges: Vec<Range>,
+    /// `signed` qualifier (Verilog).
+    pub signed: bool,
+}
+
+impl TypeSpec {
+    /// A scalar type with the given name.
+    pub fn scalar(name: impl Into<String>) -> Self {
+        TypeSpec { name: name.into(), ranges: Vec::new(), signed: false }
+    }
+
+    /// Total bit width under `env` (product of packed dimensions; 1 when
+    /// scalar).
+    pub fn bit_width(&self, env: &BTreeMap<String, i64>) -> Result<i64, EvalError> {
+        let mut w = 1i64;
+        for r in &self.ranges {
+            w = w.checked_mul(r.width(env)?).ok_or(EvalError::Overflow)?;
+        }
+        Ok(w)
+    }
+
+    /// Whether the base type is a single-bit type usable as a clock.
+    pub fn is_single_bit(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+impl fmt::Display for TypeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for r in &self.ranges {
+            write!(f, "({r})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Input port.
+    In,
+    /// Output port.
+    Out,
+    /// Bidirectional port.
+    InOut,
+    /// VHDL `buffer`.
+    Buffer,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::In => write!(f, "in"),
+            Direction::Out => write!(f, "out"),
+            Direction::InOut => write!(f, "inout"),
+            Direction::Buffer => write!(f, "buffer"),
+        }
+    }
+}
+
+/// A module/entity port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub direction: Direction,
+    /// Declared type.
+    pub ty: TypeSpec,
+    /// Source location of the declaration.
+    pub span: Span,
+}
+
+impl Port {
+    /// Heuristic used by the boxing step: does this look like a clock input?
+    ///
+    /// Matches common naming conventions: `clk`, `clock`, `clk_i`, `i_clk`,
+    /// `aclk`, `sys_clk`, possibly with trailing digits.
+    pub fn looks_like_clock(&self) -> bool {
+        if self.direction != Direction::In || !self.ty.is_single_bit() {
+            return false;
+        }
+        let n = self.name.to_ascii_lowercase();
+        let n = n.trim_end_matches(|c: char| c.is_ascii_digit());
+        n == "clk"
+            || n == "clock"
+            || n.ends_with("_clk")
+            || n.ends_with("_clock")
+            || n.starts_with("clk_")
+            || n.starts_with("clock_")
+            || n == "aclk"
+            || n == "i_clk"
+    }
+}
+
+/// A compile-time parameter (VHDL generic / Verilog parameter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parameter {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type, if any (Verilog allows untyped parameters).
+    pub ty: Option<TypeSpec>,
+    /// Default value expression, if any.
+    pub default: Option<Expr>,
+    /// Source location.
+    pub span: Span,
+    /// True for SystemVerilog `localparam` (not user-overridable; Dovado
+    /// excludes them from the design space but records them for evaluation).
+    pub local: bool,
+}
+
+impl Parameter {
+    /// The default value as an integer under an empty environment, when the
+    /// default is a closed-form constant.
+    pub fn const_default(&self) -> Option<i64> {
+        self.default.as_ref()?.eval(&BTreeMap::new()).ok()
+    }
+}
+
+/// The extracted interface of one VHDL entity or Verilog module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleInterface {
+    /// Module/entity name as written.
+    pub name: String,
+    /// Source language.
+    pub language: Language,
+    /// Generics / parameters in declaration order.
+    pub parameters: Vec<Parameter>,
+    /// Ports in declaration order.
+    pub ports: Vec<Port>,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+impl ModuleInterface {
+    /// Finds a parameter by case-insensitive name.
+    pub fn parameter(&self, name: &str) -> Option<&Parameter> {
+        self.parameters.iter().find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Finds a port by case-insensitive name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+
+    /// User-overridable parameters (excludes `localparam`).
+    pub fn free_parameters(&self) -> impl Iterator<Item = &Parameter> {
+        self.parameters.iter().filter(|p| !p.local)
+    }
+
+    /// The best clock-port candidate, if any (first port passing
+    /// [`Port::looks_like_clock`], else the first single-bit input).
+    pub fn clock_port(&self) -> Option<&Port> {
+        self.ports
+            .iter()
+            .find(|p| p.looks_like_clock())
+            .or_else(|| self.ports.iter().find(|p| p.direction == Direction::In && p.ty.is_single_bit()))
+    }
+}
+
+/// VHDL `library`/`use` clause or SV `import` recorded for script generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContextClause {
+    /// `library ieee;`
+    Library(String),
+    /// `use ieee.std_logic_1164.all;`
+    Use(String),
+    /// SystemVerilog `import pkg::*;`
+    Import(String),
+    /// SystemVerilog `` `include "file.svh" ``
+    Include(String),
+}
+
+/// A SystemVerilog package declaration (name only; Dovado needs it for
+/// compilation ordering: packages must be read first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackageDecl {
+    /// Package name.
+    pub name: String,
+}
+
+/// A module/entity instantiation found while scanning a body.
+///
+/// The parsers collect these opportunistically (they do not build full
+/// statement ASTs): the EDA elaborator follows them to resolve Dovado's
+/// generated box down to the module under evaluation, reading the generic
+/// map exactly as written.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instantiation {
+    /// Instance label (`BOXED` in the paper's Listing 1).
+    pub label: String,
+    /// Instantiated entity/module name. May be a selected name such as
+    /// `work.fifo`; [`Instantiation::target_simple`] strips the library.
+    pub target: String,
+    /// Named generic/parameter associations, in source order.
+    pub generics: Vec<(String, Expr)>,
+    /// The module or architecture the instantiation appears in.
+    pub parent: String,
+    /// Source location of the label.
+    pub span: Span,
+}
+
+impl Instantiation {
+    /// The target name without any library/scope prefix.
+    pub fn target_simple(&self) -> &str {
+        self.target
+            .rsplit('.')
+            .next()
+            .unwrap_or(&self.target)
+            .rsplit(':')
+            .next()
+            .unwrap_or(&self.target)
+    }
+}
+
+/// The parse result for one source file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SourceFile {
+    /// Context clauses in order of appearance.
+    pub context: Vec<ContextClause>,
+    /// Packages declared in the file (SV).
+    pub packages: Vec<PackageDecl>,
+    /// Module/entity interfaces in order of appearance.
+    pub modules: Vec<ModuleInterface>,
+    /// Names of architectures found (VHDL), as `(architecture, entity)`.
+    pub architectures: Vec<(String, String)>,
+    /// Instantiations found while scanning bodies.
+    pub instantiations: Vec<Instantiation>,
+}
+
+impl SourceFile {
+    /// Finds a module interface by case-insensitive name.
+    pub fn module(&self, name: &str) -> Option<&ModuleInterface> {
+        self.modules.iter().find(|m| m.name.eq_ignore_ascii_case(name))
+    }
+
+    /// All library names mentioned in context clauses (VHDL), deduplicated,
+    /// excluding the implicit `work` and `std`.
+    pub fn libraries(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for c in &self.context {
+            if let ContextClause::Library(l) = c {
+                let ll = l.to_ascii_lowercase();
+                if ll != "work" && ll != "std" && !out.iter().any(|x| x.eq_ignore_ascii_case(l)) {
+                    out.push(l.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, i64)]) -> BTreeMap<String, i64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::Int(3), Expr::Ident("W".into())),
+            Expr::Int(1),
+        );
+        assert_eq!(e.eval(&env(&[("W", 8)])).unwrap(), 25);
+    }
+
+    #[test]
+    fn eval_pow_and_shift() {
+        let e = Expr::bin(BinOp::Pow, Expr::Int(2), Expr::Int(10));
+        assert_eq!(e.eval(&env(&[])).unwrap(), 1024);
+        let s = Expr::bin(BinOp::Shl, Expr::Int(1), Expr::Int(4));
+        assert_eq!(s.eval(&env(&[])).unwrap(), 16);
+    }
+
+    #[test]
+    fn eval_case_insensitive_lookup() {
+        let e = Expr::Ident("data_width".into());
+        assert_eq!(e.eval(&env(&[("DATA_WIDTH", 32)])).unwrap(), 32);
+    }
+
+    #[test]
+    fn eval_divide_by_zero() {
+        let e = Expr::bin(BinOp::Div, Expr::Int(1), Expr::Int(0));
+        assert_eq!(e.eval(&env(&[])), Err(EvalError::DivideByZero));
+        let m = Expr::bin(BinOp::Mod, Expr::Int(1), Expr::Int(0));
+        assert_eq!(m.eval(&env(&[])), Err(EvalError::DivideByZero));
+    }
+
+    #[test]
+    fn eval_unbound() {
+        let e = Expr::Ident("NOPE".into());
+        assert!(matches!(e.eval(&env(&[])), Err(EvalError::Unbound(_))));
+    }
+
+    #[test]
+    fn eval_clog2_intrinsic() {
+        let e = Expr::Call("$clog2".into(), vec![Expr::Ident("DEPTH".into())]);
+        assert_eq!(e.eval(&env(&[("DEPTH", 512)])).unwrap(), 9);
+        assert_eq!(e.eval(&env(&[("DEPTH", 513)])).unwrap(), 10);
+        assert_eq!(e.eval(&env(&[("DEPTH", 1)])).unwrap(), 0);
+        assert!(matches!(e.eval(&env(&[("DEPTH", 0)])), Err(EvalError::Domain(_))));
+    }
+
+    #[test]
+    fn eval_min_max_abs() {
+        let mx = Expr::Call("max".into(), vec![Expr::Int(3), Expr::Int(9)]);
+        assert_eq!(mx.eval(&env(&[])).unwrap(), 9);
+        let mn = Expr::Call("MIN".into(), vec![Expr::Int(3), Expr::Int(9)]);
+        assert_eq!(mn.eval(&env(&[])).unwrap(), 3);
+        let ab = Expr::Call("abs".into(), vec![Expr::Neg(Box::new(Expr::Int(7)))]);
+        assert_eq!(ab.eval(&env(&[])).unwrap(), 7);
+    }
+
+    #[test]
+    fn eval_cond_short_circuits() {
+        // (DEPTH > 1) ? clog2(DEPTH) : 1 — the cv32e40p ADDR_DEPTH idiom.
+        let e = Expr::Call(
+            "cond".into(),
+            vec![
+                Expr::Call(
+                    "cmp>".into(),
+                    vec![Expr::Ident("DEPTH".into()), Expr::Int(1)],
+                ),
+                Expr::Call("$clog2".into(), vec![Expr::Ident("DEPTH".into())]),
+                Expr::Int(1),
+            ],
+        );
+        assert_eq!(e.eval(&env(&[("DEPTH", 64)])).unwrap(), 6);
+        assert_eq!(e.eval(&env(&[("DEPTH", 1)])).unwrap(), 1);
+        // Short-circuit: clog2(0) in the untaken branch must not error.
+        let guard = Expr::Call(
+            "cond".into(),
+            vec![
+                Expr::Int(0),
+                Expr::Call("$clog2".into(), vec![Expr::Int(0)]),
+                Expr::Int(7),
+            ],
+        );
+        assert_eq!(guard.eval(&env(&[])).unwrap(), 7);
+    }
+
+    #[test]
+    fn eval_comparisons_and_logic() {
+        let cmp = |op: &str, a: i64, b: i64| {
+            Expr::Call(format!("cmp{op}"), vec![Expr::Int(a), Expr::Int(b)])
+                .eval(&env(&[]))
+                .unwrap()
+        };
+        assert_eq!(cmp("<", 1, 2), 1);
+        assert_eq!(cmp(">=", 2, 2), 1);
+        assert_eq!(cmp("==", 3, 4), 0);
+        assert_eq!(cmp("!=", 3, 4), 1);
+        let and = Expr::Call("and".into(), vec![Expr::Int(1), Expr::Int(0)]);
+        assert_eq!(and.eval(&env(&[])).unwrap(), 0);
+        let not = Expr::Call("not".into(), vec![Expr::Int(0)]);
+        assert_eq!(not.eval(&env(&[])).unwrap(), 1);
+    }
+
+    #[test]
+    fn eval_unknown_function() {
+        let e = Expr::Call("frobnicate".into(), vec![]);
+        assert!(matches!(e.eval(&env(&[])), Err(EvalError::UnknownFunction(_))));
+    }
+
+    #[test]
+    fn eval_overflow_detected() {
+        let e = Expr::bin(BinOp::Mul, Expr::Int(i64::MAX), Expr::Int(2));
+        assert_eq!(e.eval(&env(&[])), Err(EvalError::Overflow));
+        let p = Expr::bin(BinOp::Pow, Expr::Int(10), Expr::Int(40));
+        assert_eq!(p.eval(&env(&[])), Err(EvalError::Overflow));
+    }
+
+    #[test]
+    fn eval_negative_exponent_domain_error() {
+        let p = Expr::bin(BinOp::Pow, Expr::Int(2), Expr::Int(-1));
+        assert!(matches!(p.eval(&env(&[])), Err(EvalError::Domain(_))));
+    }
+
+    #[test]
+    fn clog2_values() {
+        assert_eq!(clog2(0), 0);
+        assert_eq!(clog2(1), 0);
+        assert_eq!(clog2(2), 1);
+        assert_eq!(clog2(3), 2);
+        assert_eq!(clog2(4), 2);
+        assert_eq!(clog2(1024), 10);
+        assert_eq!(clog2(1025), 11);
+    }
+
+    #[test]
+    fn idents_deduplicates_case_insensitively() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Ident("W".into()),
+            Expr::bin(BinOp::Mul, Expr::Ident("w".into()), Expr::Ident("D".into())),
+        );
+        let mut ids = Vec::new();
+        e.idents(&mut ids);
+        assert_eq!(ids, vec!["W".to_string(), "D".to_string()]);
+    }
+
+    #[test]
+    fn range_width_downto_and_to() {
+        let r = Range { left: Expr::Int(31), right: Expr::Int(0), dir: RangeDir::Downto };
+        assert_eq!(r.width(&env(&[])).unwrap(), 32);
+        let r2 = Range { left: Expr::Int(0), right: Expr::Int(7), dir: RangeDir::To };
+        assert_eq!(r2.width(&env(&[])).unwrap(), 8);
+    }
+
+    #[test]
+    fn range_width_symbolic() {
+        let r = Range {
+            left: Expr::bin(BinOp::Sub, Expr::Ident("W".into()), Expr::Int(1)),
+            right: Expr::Int(0),
+            dir: RangeDir::Downto,
+        };
+        assert_eq!(r.width(&env(&[("W", 64)])).unwrap(), 64);
+    }
+
+    #[test]
+    fn range_width_never_negative() {
+        let r = Range { left: Expr::Int(0), right: Expr::Int(5), dir: RangeDir::Downto };
+        assert_eq!(r.width(&env(&[])).unwrap(), 0);
+    }
+
+    #[test]
+    fn typespec_bit_width_multidim() {
+        let t = TypeSpec {
+            name: "logic".into(),
+            ranges: vec![
+                Range { left: Expr::Int(3), right: Expr::Int(0), dir: RangeDir::Downto },
+                Range { left: Expr::Int(7), right: Expr::Int(0), dir: RangeDir::Downto },
+            ],
+            signed: false,
+        };
+        assert_eq!(t.bit_width(&env(&[])).unwrap(), 32);
+        assert!(!t.is_single_bit());
+        assert!(TypeSpec::scalar("std_logic").is_single_bit());
+    }
+
+    #[test]
+    fn clock_heuristics() {
+        let mk = |name: &str, dir: Direction, scalar: bool| Port {
+            name: name.into(),
+            direction: dir,
+            ty: if scalar {
+                TypeSpec::scalar("std_logic")
+            } else {
+                TypeSpec {
+                    name: "std_logic_vector".into(),
+                    ranges: vec![Range {
+                        left: Expr::Int(7),
+                        right: Expr::Int(0),
+                        dir: RangeDir::Downto,
+                    }],
+                    signed: false,
+                }
+            },
+            span: Span::dummy(),
+        };
+        assert!(mk("clk", Direction::In, true).looks_like_clock());
+        assert!(mk("clk_i", Direction::In, true).looks_like_clock());
+        assert!(mk("sys_clk", Direction::In, true).looks_like_clock());
+        assert!(mk("aclk", Direction::In, true).looks_like_clock());
+        assert!(mk("clock", Direction::In, true).looks_like_clock());
+        assert!(mk("clk2", Direction::In, true).looks_like_clock());
+        assert!(!mk("clk", Direction::Out, true).looks_like_clock());
+        assert!(!mk("clk", Direction::In, false).looks_like_clock());
+        assert!(!mk("data", Direction::In, true).looks_like_clock());
+    }
+
+    #[test]
+    fn module_lookup_and_free_params() {
+        let m = ModuleInterface {
+            name: "fifo".into(),
+            language: Language::SystemVerilog,
+            parameters: vec![
+                Parameter {
+                    name: "DEPTH".into(),
+                    ty: None,
+                    default: Some(Expr::Int(8)),
+                    span: Span::dummy(),
+                    local: false,
+                },
+                Parameter {
+                    name: "ADDR_W".into(),
+                    ty: None,
+                    default: Some(Expr::Call("$clog2".into(), vec![Expr::Ident("DEPTH".into())])),
+                    span: Span::dummy(),
+                    local: true,
+                },
+            ],
+            ports: vec![Port {
+                name: "clk_i".into(),
+                direction: Direction::In,
+                ty: TypeSpec::scalar("logic"),
+                span: Span::dummy(),
+            }],
+            span: Span::dummy(),
+        };
+        assert!(m.parameter("depth").is_some());
+        assert!(m.port("CLK_I").is_some());
+        assert_eq!(m.free_parameters().count(), 1);
+        assert_eq!(m.clock_port().unwrap().name, "clk_i");
+        assert_eq!(m.parameters[0].const_default(), Some(8));
+        assert_eq!(m.parameters[1].const_default(), None);
+    }
+
+    #[test]
+    fn source_file_libraries_skip_work_std() {
+        let sf = SourceFile {
+            context: vec![
+                ContextClause::Library("ieee".into()),
+                ContextClause::Library("work".into()),
+                ContextClause::Library("IEEE".into()),
+                ContextClause::Library("neorv32".into()),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(sf.libraries(), vec!["ieee".to_string(), "neorv32".to_string()]);
+    }
+
+    #[test]
+    fn language_extensions_roundtrip() {
+        for lang in [Language::Vhdl, Language::Verilog, Language::SystemVerilog] {
+            assert_eq!(Language::from_extension(lang.extension()), Some(lang));
+        }
+        assert_eq!(Language::from_extension("VHDL"), Some(Language::Vhdl));
+        assert_eq!(Language::from_extension("rs"), None);
+    }
+
+    #[test]
+    fn expr_display_roundtrips_structure() {
+        let e = Expr::bin(
+            BinOp::Sub,
+            Expr::Call("$clog2".into(), vec![Expr::Ident("DEPTH".into())]),
+            Expr::Int(1),
+        );
+        assert_eq!(e.to_string(), "($clog2(DEPTH) - 1)");
+    }
+}

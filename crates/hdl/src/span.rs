@@ -1,0 +1,133 @@
+//! Byte-span and line/column tracking for diagnostics.
+//!
+//! Every token and AST node produced by the HDL front-ends carries a [`Span`]
+//! so that downstream consumers (the boxing step, error reporting in the
+//! Dovado CLI layer) can point back at the exact source region.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source file, together with
+/// the 1-based line and column of its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start` (in characters, not bytes).
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a new span.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// A zero-width placeholder span (used for synthesized nodes).
+    pub fn dummy() -> Self {
+        Span { start: 0, end: 0, line: 0, col: 0 }
+    }
+
+    /// Returns true if this is the placeholder produced by [`Span::dummy`].
+    pub fn is_dummy(&self) -> bool {
+        self.line == 0
+    }
+
+    /// The number of bytes covered by the span.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(&self, other: Span) -> Span {
+        if other.is_dummy() {
+            return *self;
+        }
+        if self.is_dummy() {
+            return other;
+        }
+        let (first, _last) = if self.start <= other.start { (*self, other) } else { (other, *self) };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+
+    /// Extracts the text covered by this span from `source`.
+    ///
+    /// Returns an empty string when the span is out of bounds, which can only
+    /// happen if the span was produced against a different source buffer.
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        source.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_is_dummy() {
+        assert!(Span::dummy().is_dummy());
+        assert!(!Span::new(0, 1, 1, 1).is_dummy());
+    }
+
+    #[test]
+    fn merge_orders_spans() {
+        let a = Span::new(10, 20, 2, 1);
+        let b = Span::new(0, 5, 1, 1);
+        let m = a.merge(b);
+        assert_eq!(m.start, 0);
+        assert_eq!(m.end, 20);
+        assert_eq!(m.line, 1);
+    }
+
+    #[test]
+    fn merge_with_dummy_keeps_real_span() {
+        let a = Span::new(3, 9, 1, 4);
+        assert_eq!(a.merge(Span::dummy()), a);
+        assert_eq!(Span::dummy().merge(a), a);
+    }
+
+    #[test]
+    fn slice_extracts_text() {
+        let src = "entity foo is";
+        let sp = Span::new(7, 10, 1, 8);
+        assert_eq!(sp.slice(src), "foo");
+    }
+
+    #[test]
+    fn slice_out_of_bounds_is_empty() {
+        let sp = Span::new(100, 200, 9, 9);
+        assert_eq!(sp.slice("short"), "");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Span::new(2, 7, 1, 3).len(), 5);
+        assert!(Span::new(4, 4, 1, 5).is_empty());
+        // Saturating: malformed span does not panic.
+        assert_eq!(Span::new(7, 2, 1, 8).len(), 0);
+    }
+
+    #[test]
+    fn display_shows_line_col() {
+        assert_eq!(Span::new(0, 1, 12, 7).to_string(), "12:7");
+    }
+}

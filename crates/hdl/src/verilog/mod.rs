@@ -1,0 +1,21 @@
+//! Verilog-2001 / SystemVerilog declaration-subset front-end.
+//!
+//! Covers both ANSI (`module m #(parameter W = 4)(input logic clk);`) and
+//! non-ANSI (`module m(clk); input clk; parameter W = 4;`) declaration
+//! styles — the "wide variety of declaration styles" the paper cites as the
+//! reason regular expressions are not enough. Module bodies are scanned,
+//! not fully parsed: `parameter`/`localparam`/`input`/`output`/`inout`
+//! declarations are picked up, everything else is skipped.
+
+pub mod lexer;
+pub mod parser;
+
+use crate::ast::SourceFile;
+use crate::error::{Diagnostics, ParseResult};
+
+/// Parses a Verilog/SystemVerilog buffer into its declaration-level
+/// [`SourceFile`].
+pub fn parse(source: &str) -> ParseResult<(SourceFile, Diagnostics)> {
+    let tokens = lexer::lex(source)?;
+    parser::Parser::new(tokens).parse_file()
+}

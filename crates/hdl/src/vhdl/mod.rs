@@ -1,0 +1,24 @@
+//! VHDL-2008 declaration-subset front-end.
+//!
+//! The paper's parsing step extracts module name, parameter declarations and
+//! port/signal interface declarations; VHDL is "regular in the declaration
+//! section" and that is the subset implemented here: context clauses
+//! (`library`, `use`), `entity` declarations with generic and port clauses,
+//! `package` names, and `architecture` name/entity pairs (bodies are
+//! skipped).
+
+pub mod lexer;
+pub mod parser;
+
+use crate::ast::SourceFile;
+use crate::error::{Diagnostics, ParseResult};
+
+/// Parses a VHDL source buffer into its declaration-level [`SourceFile`].
+///
+/// Returns the parsed file plus any non-fatal diagnostics. Fails only on
+/// malformed input the parser cannot recover from (e.g. an unterminated
+/// entity header).
+pub fn parse(source: &str) -> ParseResult<(SourceFile, Diagnostics)> {
+    let tokens = lexer::lex(source)?;
+    parser::Parser::new(tokens).parse_file()
+}

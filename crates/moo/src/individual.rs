@@ -1,0 +1,140 @@
+//! Individuals: genome + objective values + NSGA-II bookkeeping.
+
+use std::fmt;
+
+/// One evaluated solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Individual {
+    /// Decision-variable values.
+    pub genome: Vec<i64>,
+    /// Raw objective values as returned by the problem.
+    pub raw: Vec<f64>,
+    /// Objective values in minimization space (sense-adjusted).
+    pub min_objs: Vec<f64>,
+    /// Non-domination rank (0 = first front). Set by sorting.
+    pub rank: usize,
+    /// Crowding distance within its front. Set by the crowding pass.
+    pub crowding: f64,
+}
+
+impl Individual {
+    /// Creates an evaluated individual (rank/crowding unset).
+    pub fn new(genome: Vec<i64>, raw: Vec<f64>, min_objs: Vec<f64>) -> Individual {
+        Individual { genome, raw, min_objs, rank: usize::MAX, crowding: 0.0 }
+    }
+
+    /// Pareto dominance in minimization space: true when `self` is no worse
+    /// everywhere and strictly better somewhere.
+    pub fn dominates(&self, other: &Individual) -> bool {
+        debug_assert_eq!(self.min_objs.len(), other.min_objs.len());
+        let mut strictly_better = false;
+        for (a, b) in self.min_objs.iter().zip(&other.min_objs) {
+            if a > b {
+                return false;
+            }
+            if a < b {
+                strictly_better = true;
+            }
+        }
+        strictly_better
+    }
+
+    /// The crowded-comparison operator (`≺_n` of Deb et al.): lower rank
+    /// wins; ties broken by larger crowding distance.
+    pub fn crowded_less(&self, other: &Individual) -> bool {
+        self.rank < other.rank || (self.rank == other.rank && self.crowding > other.crowding)
+    }
+}
+
+impl fmt::Display for Individual {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} -> {:?}", self.genome, self.raw)
+    }
+}
+
+/// Filters the non-dominated subset (indices) of a set of individuals.
+pub fn non_dominated_indices(pop: &[Individual]) -> Vec<usize> {
+    let mut out = Vec::new();
+    'outer: for (i, a) in pop.iter().enumerate() {
+        for (j, b) in pop.iter().enumerate() {
+            if i != j && (b.dominates(a) || (b.min_objs == a.min_objs && j < i)) {
+                // Dominated, or an identical earlier point (dedup ties).
+                continue 'outer;
+            }
+        }
+        out.push(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ind(objs: &[f64]) -> Individual {
+        Individual::new(vec![0], objs.to_vec(), objs.to_vec())
+    }
+
+    #[test]
+    fn dominance_basic() {
+        let a = ind(&[1.0, 1.0]);
+        let b = ind(&[2.0, 2.0]);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        let a = ind(&[1.0, 1.0]);
+        let b = ind(&[1.0, 1.0]);
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+    }
+
+    #[test]
+    fn trade_offs_do_not_dominate() {
+        let a = ind(&[1.0, 3.0]);
+        let b = ind(&[2.0, 2.0]);
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+    }
+
+    #[test]
+    fn weak_dominance_counts() {
+        let a = ind(&[1.0, 2.0]);
+        let b = ind(&[1.0, 3.0]);
+        assert!(a.dominates(&b));
+    }
+
+    #[test]
+    fn crowded_comparison() {
+        let mut a = ind(&[1.0]);
+        let mut b = ind(&[1.0]);
+        a.rank = 0;
+        b.rank = 1;
+        assert!(a.crowded_less(&b));
+        b.rank = 0;
+        a.crowding = 2.0;
+        b.crowding = 1.0;
+        assert!(a.crowded_less(&b));
+        assert!(!b.crowded_less(&a));
+    }
+
+    #[test]
+    fn non_dominated_filter() {
+        let pop = vec![
+            ind(&[1.0, 5.0]),
+            ind(&[2.0, 2.0]),
+            ind(&[5.0, 1.0]),
+            ind(&[4.0, 4.0]), // dominated by [2,2]
+            ind(&[1.0, 5.0]), // duplicate of #0
+        ];
+        assert_eq!(non_dominated_indices(&pop), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_point_is_nondominated() {
+        let pop = vec![ind(&[3.0, 3.0])];
+        assert_eq!(non_dominated_indices(&pop), vec![0]);
+    }
+}

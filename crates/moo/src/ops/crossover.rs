@@ -1,0 +1,147 @@
+//! Integer simulated binary crossover (SBX).
+//!
+//! Deb & Agrawal's SBX [31 in the paper] adapted to integers: the real-coded
+//! spread factor is applied per gene, children are rounded to the nearest
+//! integer and clamped into bounds. `eta` controls how close children stay
+//! to their parents (larger = more conservative).
+
+use crate::problem::IntVar;
+use rand::Rng;
+
+/// Integer SBX operator.
+#[derive(Debug, Clone, Copy)]
+pub struct IntegerSbx {
+    /// Distribution index η_c (typically 10–20 for integers).
+    pub eta: f64,
+    /// Probability of crossing a mating pair at all.
+    pub prob_pair: f64,
+    /// Per-gene crossover probability once the pair crosses.
+    pub prob_gene: f64,
+}
+
+impl Default for IntegerSbx {
+    fn default() -> Self {
+        IntegerSbx { eta: 15.0, prob_pair: 0.9, prob_gene: 0.5 }
+    }
+}
+
+impl IntegerSbx {
+    /// Crosses two parents, producing two children within bounds.
+    pub fn cross<R: Rng + ?Sized>(
+        &self,
+        vars: &[IntVar],
+        p1: &[i64],
+        p2: &[i64],
+        rng: &mut R,
+    ) -> (Vec<i64>, Vec<i64>) {
+        debug_assert_eq!(p1.len(), vars.len());
+        debug_assert_eq!(p2.len(), vars.len());
+        let mut c1 = p1.to_vec();
+        let mut c2 = p2.to_vec();
+        if rng.gen::<f64>() > self.prob_pair {
+            return (c1, c2);
+        }
+        for (i, v) in vars.iter().enumerate() {
+            if rng.gen::<f64>() > self.prob_gene || p1[i] == p2[i] {
+                continue;
+            }
+            let x1 = p1[i].min(p2[i]) as f64;
+            let x2 = p1[i].max(p2[i]) as f64;
+            let u: f64 = rng.gen();
+            let beta = if u <= 0.5 {
+                (2.0 * u).powf(1.0 / (self.eta + 1.0))
+            } else {
+                (1.0 / (2.0 * (1.0 - u))).powf(1.0 / (self.eta + 1.0))
+            };
+            let y1 = 0.5 * ((x1 + x2) - beta * (x2 - x1));
+            let y2 = 0.5 * ((x1 + x2) + beta * (x2 - x1));
+            // Randomly assign which child gets which value (standard SBX).
+            let (a, b) = if rng.gen::<bool>() { (y1, y2) } else { (y2, y1) };
+            c1[i] = v.clamp(a.round() as i64);
+            c2[i] = v.clamp(b.round() as i64);
+        }
+        (c1, c2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn vars() -> Vec<IntVar> {
+        vec![IntVar::new("a", 0, 100), IntVar::new("b", 0, 100)]
+    }
+
+    #[test]
+    fn children_within_bounds() {
+        let op = IntegerSbx::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let (c1, c2) = op.cross(&vars(), &[0, 100], &[100, 0], &mut rng);
+            for c in [&c1, &c2] {
+                assert!(c.iter().all(|&g| (0..=100).contains(&g)), "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_parents_unchanged() {
+        let op = IntegerSbx { prob_pair: 1.0, prob_gene: 1.0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(2);
+        let (c1, c2) = op.cross(&vars(), &[42, 7], &[42, 7], &mut rng);
+        assert_eq!(c1, vec![42, 7]);
+        assert_eq!(c2, vec![42, 7]);
+    }
+
+    #[test]
+    fn high_eta_keeps_children_near_parents() {
+        let near = IntegerSbx { eta: 100.0, prob_pair: 1.0, prob_gene: 1.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut max_dev = 0i64;
+        for _ in 0..300 {
+            let (c1, c2) = near.cross(&vars(), &[40, 40], &[60, 60], &mut rng);
+            for c in [c1, c2] {
+                for g in c {
+                    max_dev = max_dev.max((g - 40).abs().min((g - 60).abs()));
+                }
+            }
+        }
+        assert!(max_dev <= 10, "high-eta children strayed {max_dev}");
+    }
+
+    #[test]
+    fn mean_preserved_on_average() {
+        let op = IntegerSbx { prob_pair: 1.0, prob_gene: 1.0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sum = 0i64;
+        let n = 2000;
+        for _ in 0..n {
+            let (c1, c2) = op.cross(&vars(), &[20, 20], &[80, 80], &mut rng);
+            sum += c1[0] + c2[0];
+        }
+        let mean = sum as f64 / (2 * n) as f64;
+        assert!((mean - 50.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_pair_probability_is_identity() {
+        let op = IntegerSbx { prob_pair: 0.0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(5);
+        let (c1, c2) = op.cross(&vars(), &[1, 2], &[3, 4], &mut rng);
+        assert_eq!(c1, vec![1, 2]);
+        assert_eq!(c2, vec![3, 4]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let op = IntegerSbx::default();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(
+            op.cross(&vars(), &[10, 90], &[90, 10], &mut a),
+            op.cross(&vars(), &[10, 90], &[90, 10], &mut b)
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Duplicate elimination.
+//!
+//! The paper's configuration uses SBX "with duplication elimination":
+//! offspring identical to an existing genome (in the parent set or earlier
+//! offspring) are replaced by random resamples, keeping evaluation budget
+//! from being wasted on repeats — which matters when one evaluation is a
+//! Vivado run.
+
+use crate::ops::sampling::random_genome;
+use crate::problem::IntVar;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Replaces duplicate genomes in `offspring` (relative to `existing` and to
+/// earlier offspring) with random resamples. Gives up on a slot after a
+/// bounded number of attempts (tiny design spaces), leaving the duplicate.
+pub fn dedup_against<R: Rng + ?Sized>(
+    vars: &[IntVar],
+    existing: &[Vec<i64>],
+    offspring: &mut [Vec<i64>],
+    rng: &mut R,
+) {
+    let mut seen: HashSet<Vec<i64>> = existing.iter().cloned().collect();
+    for slot in offspring.iter_mut() {
+        if seen.contains(slot) {
+            let mut attempts = 0;
+            while seen.contains(slot) && attempts < 50 {
+                *slot = random_genome(vars, rng);
+                attempts += 1;
+            }
+        }
+        seen.insert(slot.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn vars() -> Vec<IntVar> {
+        vec![IntVar::new("a", 0, 1000), IntVar::new("b", 0, 1000)]
+    }
+
+    #[test]
+    fn removes_duplicates_of_parents() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let parents = vec![vec![1, 1], vec![2, 2]];
+        let mut off = vec![vec![1, 1], vec![3, 3]];
+        dedup_against(&vars(), &parents, &mut off, &mut rng);
+        assert_ne!(off[0], vec![1, 1]);
+        assert_eq!(off[1], vec![3, 3]);
+    }
+
+    #[test]
+    fn removes_duplicates_within_offspring() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut off = vec![vec![5, 5], vec![5, 5], vec![5, 5]];
+        dedup_against(&vars(), &[], &mut off, &mut rng);
+        let mut sorted = off.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn tiny_space_gives_up_gracefully() {
+        let small = vec![IntVar::new("a", 0, 0)];
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut off = vec![vec![0], vec![0]];
+        dedup_against(&small, &[], &mut off, &mut rng);
+        assert_eq!(off, vec![vec![0], vec![0]]);
+    }
+
+    #[test]
+    fn unique_offspring_untouched() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut off = vec![vec![1, 2], vec![3, 4]];
+        let before = off.clone();
+        dedup_against(&vars(), &[vec![9, 9]], &mut off, &mut rng);
+        assert_eq!(off, before);
+    }
+}

@@ -1,0 +1,18 @@
+//! Variation and selection operators.
+//!
+//! The paper's hyper-parameters (§IV): "integer random sampling, integer
+//! simulated binary crossover, with duplication elimination; mutation occurs
+//! with an approximately Gaussian distribution with 0.5 as mean and variance
+//! controlled by a hand-tuned parameter."
+
+pub mod crossover;
+pub mod dedup;
+pub mod mutation;
+pub mod sampling;
+pub mod selection;
+
+pub use crossover::IntegerSbx;
+pub use dedup::dedup_against;
+pub use mutation::GaussianIntegerMutation;
+pub use sampling::random_genome;
+pub use selection::binary_tournament;

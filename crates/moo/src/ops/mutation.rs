@@ -1,0 +1,149 @@
+//! Gaussian integer mutation.
+//!
+//! The paper: "mutation occurs with an approximately Gaussian distribution
+//! with 0.5 as mean and variance controlled by a hand-tuned parameter".
+//! Implemented as: each gene mutates with probability `prob` (default
+//! 1/n_vars); a mutating gene is perturbed by a Gaussian step whose standard
+//! deviation is `sigma_frac` of the variable's range, rounded away from
+//! zero so mutations always move.
+
+use crate::problem::IntVar;
+use rand::Rng;
+
+/// Gaussian integer mutation operator.
+#[derive(Debug, Clone, Copy)]
+pub struct GaussianIntegerMutation {
+    /// Per-gene mutation probability; `None` = 1/n_vars.
+    pub prob: Option<f64>,
+    /// Standard deviation as a fraction of each variable's range — the
+    /// paper's "hand-tuned parameter" controlling the variance.
+    pub sigma_frac: f64,
+}
+
+impl Default for GaussianIntegerMutation {
+    fn default() -> Self {
+        GaussianIntegerMutation { prob: None, sigma_frac: 0.12 }
+    }
+}
+
+impl GaussianIntegerMutation {
+    /// Mutates a genome in place.
+    pub fn mutate<R: Rng + ?Sized>(&self, vars: &[IntVar], genome: &mut [i64], rng: &mut R) {
+        let p = self.prob.unwrap_or(1.0 / vars.len().max(1) as f64);
+        for (i, v) in vars.iter().enumerate() {
+            if rng.gen::<f64>() > p {
+                continue;
+            }
+            let range = (v.hi - v.lo) as f64;
+            if range <= 0.0 {
+                continue;
+            }
+            let sigma = (self.sigma_frac * range).max(0.5);
+            let step = gaussian(rng) * sigma;
+            // Round away from zero so a mutation is never a no-op.
+            let delta = if step >= 0.0 {
+                step.max(0.5).round() as i64
+            } else {
+                step.min(-0.5).round() as i64
+            };
+            genome[i] = v.clamp(genome[i] + delta);
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (avoids a rand_distr dependency).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn vars() -> Vec<IntVar> {
+        vec![IntVar::new("a", 0, 100)]
+    }
+
+    #[test]
+    fn stays_within_bounds() {
+        let op = GaussianIntegerMutation { prob: Some(1.0), sigma_frac: 0.5 };
+        let mut rng = StdRng::seed_from_u64(1);
+        for start in [0i64, 50, 100] {
+            for _ in 0..300 {
+                let mut g = vec![start];
+                op.mutate(&vars(), &mut g, &mut rng);
+                assert!((0..=100).contains(&g[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn always_moves_when_forced_and_unclamped() {
+        let op = GaussianIntegerMutation { prob: Some(1.0), sigma_frac: 0.12 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut moved = 0;
+        for _ in 0..200 {
+            let mut g = vec![50i64];
+            op.mutate(&vars(), &mut g, &mut rng);
+            if g[0] != 50 {
+                moved += 1;
+            }
+        }
+        // Only clamping could keep it, and 50 is mid-range.
+        assert_eq!(moved, 200);
+    }
+
+    #[test]
+    fn zero_probability_never_mutates() {
+        let op = GaussianIntegerMutation { prob: Some(0.0), sigma_frac: 0.2 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = vec![50i64];
+        op.mutate(&vars(), &mut g, &mut rng);
+        assert_eq!(g[0], 50);
+    }
+
+    #[test]
+    fn steps_roughly_symmetric() {
+        let op = GaussianIntegerMutation { prob: Some(1.0), sigma_frac: 0.12 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sum = 0i64;
+        for _ in 0..4000 {
+            let mut g = vec![50i64];
+            op.mutate(&vars(), &mut g, &mut rng);
+            sum += g[0] - 50;
+        }
+        let mean = sum as f64 / 4000.0;
+        assert!(mean.abs() < 1.0, "drift {mean}");
+    }
+
+    #[test]
+    fn sigma_scales_step_size() {
+        let small = GaussianIntegerMutation { prob: Some(1.0), sigma_frac: 0.02 };
+        let large = GaussianIntegerMutation { prob: Some(1.0), sigma_frac: 0.40 };
+        let spread = |op: &GaussianIntegerMutation, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut acc = 0f64;
+            for _ in 0..1000 {
+                let mut g = vec![50i64];
+                op.mutate(&vars(), &mut g, &mut rng);
+                acc += ((g[0] - 50) as f64).abs();
+            }
+            acc / 1000.0
+        };
+        assert!(spread(&large, 5) > 3.0 * spread(&small, 5));
+    }
+
+    #[test]
+    fn degenerate_variable_untouched() {
+        let fixed = vec![IntVar::new("k", 7, 7)];
+        let op = GaussianIntegerMutation { prob: Some(1.0), sigma_frac: 0.3 };
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut g = vec![7i64];
+        op.mutate(&fixed, &mut g, &mut rng);
+        assert_eq!(g[0], 7);
+    }
+}

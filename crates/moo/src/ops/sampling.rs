@@ -1,0 +1,87 @@
+//! Integer random sampling.
+
+use crate::problem::IntVar;
+use rand::Rng;
+
+/// Samples one genome uniformly within bounds.
+pub fn random_genome<R: Rng + ?Sized>(vars: &[IntVar], rng: &mut R) -> Vec<i64> {
+    vars.iter().map(|v| rng.gen_range(v.lo..=v.hi)).collect()
+}
+
+/// Samples `n` genomes, rejecting duplicates while the space allows
+/// (falls back to accepting duplicates when the space is smaller than `n`).
+pub fn random_population<R: Rng + ?Sized>(
+    vars: &[IntVar],
+    n: usize,
+    rng: &mut R,
+) -> Vec<Vec<i64>> {
+    let volume = vars.iter().fold(1u64, |a, v| a.saturating_mul(v.cardinality()));
+    let mut out: Vec<Vec<i64>> = Vec::with_capacity(n);
+    let mut attempts = 0usize;
+    while out.len() < n {
+        let g = random_genome(vars, rng);
+        let dup = out.contains(&g);
+        attempts += 1;
+        if !dup || volume < n as u64 || attempts > 20 * n {
+            out.push(g);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn vars() -> Vec<IntVar> {
+        vec![IntVar::new("a", 0, 9), IntVar::new("b", -5, 5)]
+    }
+
+    #[test]
+    fn genomes_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let g = random_genome(&vars(), &mut rng);
+            assert!((0..=9).contains(&g[0]));
+            assert!((-5..=5).contains(&g[1]));
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(random_population(&vars(), 10, &mut a), random_population(&vars(), 10, &mut b));
+    }
+
+    #[test]
+    fn population_unique_when_space_allows() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pop = random_population(&vars(), 40, &mut rng);
+        let mut sorted = pop.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pop.len());
+    }
+
+    #[test]
+    fn tiny_space_still_fills_population() {
+        let small = vec![IntVar::new("a", 0, 1)];
+        let mut rng = StdRng::seed_from_u64(3);
+        let pop = random_population(&small, 10, &mut rng);
+        assert_eq!(pop.len(), 10);
+    }
+
+    #[test]
+    fn covers_the_range_eventually() {
+        let v = vec![IntVar::new("a", 0, 3)];
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(random_genome(&v, &mut rng)[0]);
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

@@ -1,0 +1,82 @@
+//! Binary tournament selection with the crowded-comparison operator.
+
+use crate::individual::Individual;
+use rand::Rng;
+
+/// Picks one parent index by binary tournament: two random candidates, the
+/// crowded-comparison winner survives (ties broken uniformly).
+pub fn binary_tournament<R: Rng + ?Sized>(pop: &[Individual], rng: &mut R) -> usize {
+    debug_assert!(!pop.is_empty());
+    let a = rng.gen_range(0..pop.len());
+    let b = rng.gen_range(0..pop.len());
+    if pop[a].crowded_less(&pop[b]) {
+        a
+    } else if pop[b].crowded_less(&pop[a]) {
+        b
+    } else if rng.gen::<bool>() {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ind(rank: usize, crowding: f64) -> Individual {
+        let mut i = Individual::new(vec![], vec![], vec![]);
+        i.rank = rank;
+        i.crowding = crowding;
+        i
+    }
+
+    #[test]
+    fn better_rank_wins_more_often() {
+        let pop = vec![ind(0, 1.0), ind(5, 1.0)];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut wins0 = 0;
+        for _ in 0..2000 {
+            if binary_tournament(&pop, &mut rng) == 0 {
+                wins0 += 1;
+            }
+        }
+        // Index 0 loses only when both candidates drawn are index 1 (~25 %).
+        assert!(wins0 > 1300, "wins0 = {wins0}");
+    }
+
+    #[test]
+    fn crowding_breaks_rank_ties() {
+        let pop = vec![ind(0, 10.0), ind(0, 0.1)];
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut wins0 = 0;
+        for _ in 0..2000 {
+            if binary_tournament(&pop, &mut rng) == 0 {
+                wins0 += 1;
+            }
+        }
+        assert!(wins0 > 1300, "wins0 = {wins0}");
+    }
+
+    #[test]
+    fn exact_ties_are_roughly_uniform() {
+        let pop = vec![ind(0, 1.0), ind(0, 1.0)];
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut wins0 = 0;
+        for _ in 0..2000 {
+            if binary_tournament(&pop, &mut rng) == 0 {
+                wins0 += 1;
+            }
+        }
+        assert!((800..1200).contains(&wins0), "wins0 = {wins0}");
+    }
+
+    #[test]
+    fn single_individual_population() {
+        let pop = vec![ind(0, 1.0)];
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(binary_tournament(&pop, &mut rng), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Fast non-dominated sorting (Deb et al., NSGA-II).
+//!
+//! "The sorting by non-domination reduces computational complexity" (§III-B1
+//! citing [12]): this is the O(M·N²) algorithm from the NSGA-II paper,
+//! assigning each individual a front rank.
+
+use crate::individual::Individual;
+
+/// Sorts a population into non-domination fronts.
+///
+/// Returns the fronts as index vectors (front 0 first) and writes each
+/// individual's `rank`.
+pub fn fast_non_dominated_sort(pop: &mut [Individual]) -> Vec<Vec<usize>> {
+    let n = pop.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // dominated_by[p]: solutions p dominates; counts[p]: how many dominate p.
+    let mut dominated: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut counts: Vec<usize> = vec![0; n];
+
+    for p in 0..n {
+        for q in (p + 1)..n {
+            if pop[p].dominates(&pop[q]) {
+                dominated[p].push(q);
+                counts[q] += 1;
+            } else if pop[q].dominates(&pop[p]) {
+                dominated[q].push(p);
+                counts[p] += 1;
+            }
+        }
+    }
+
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> =
+        (0..n).filter(|&i| counts[i] == 0).collect();
+    let mut rank = 0usize;
+    while !current.is_empty() {
+        for &i in &current {
+            pop[i].rank = rank;
+        }
+        let mut next = Vec::new();
+        for &p in &current {
+            for &q in &dominated[p] {
+                counts[q] -= 1;
+                if counts[q] == 0 {
+                    next.push(q);
+                }
+            }
+        }
+        fronts.push(std::mem::take(&mut current));
+        current = next;
+        rank += 1;
+    }
+    fronts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ind(objs: &[f64]) -> Individual {
+        Individual::new(vec![], objs.to_vec(), objs.to_vec())
+    }
+
+    #[test]
+    fn empty_population() {
+        let mut pop: Vec<Individual> = vec![];
+        assert!(fast_non_dominated_sort(&mut pop).is_empty());
+    }
+
+    #[test]
+    fn single_front_when_all_trade_off() {
+        let mut pop = vec![ind(&[1.0, 4.0]), ind(&[2.0, 3.0]), ind(&[3.0, 2.0]), ind(&[4.0, 1.0])];
+        let fronts = fast_non_dominated_sort(&mut pop);
+        assert_eq!(fronts.len(), 1);
+        assert_eq!(fronts[0].len(), 4);
+        assert!(pop.iter().all(|i| i.rank == 0));
+    }
+
+    #[test]
+    fn layered_fronts() {
+        let mut pop = vec![
+            ind(&[1.0, 1.0]), // front 0
+            ind(&[2.0, 2.0]), // front 1
+            ind(&[3.0, 3.0]), // front 2
+            ind(&[1.5, 0.5]), // front 0 (trade-off with [1,1])
+        ];
+        let fronts = fast_non_dominated_sort(&mut pop);
+        assert_eq!(fronts.len(), 3);
+        assert_eq!(fronts[0], vec![0, 3]);
+        assert_eq!(fronts[1], vec![1]);
+        assert_eq!(fronts[2], vec![2]);
+        assert_eq!(pop[3].rank, 0);
+        assert_eq!(pop[2].rank, 2);
+    }
+
+    #[test]
+    fn duplicates_share_a_front() {
+        let mut pop = vec![ind(&[1.0, 1.0]), ind(&[1.0, 1.0]), ind(&[2.0, 2.0])];
+        let fronts = fast_non_dominated_sort(&mut pop);
+        assert_eq!(fronts[0].len(), 2);
+        assert_eq!(fronts[1], vec![2]);
+    }
+
+    #[test]
+    fn ranks_cover_population() {
+        let mut pop: Vec<Individual> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                ind(&[x, 20.0 - x, (x - 10.0).abs()])
+            })
+            .collect();
+        let fronts = fast_non_dominated_sort(&mut pop);
+        let total: usize = fronts.iter().map(Vec::len).sum();
+        assert_eq!(total, 20);
+        assert!(pop.iter().all(|i| i.rank != usize::MAX));
+    }
+
+    #[test]
+    fn three_objectives() {
+        let mut pop = vec![
+            ind(&[1.0, 2.0, 3.0]),
+            ind(&[3.0, 2.0, 1.0]),
+            ind(&[2.0, 2.0, 2.0]),
+            ind(&[3.0, 3.0, 3.0]), // dominated by all except maybe
+        ];
+        let fronts = fast_non_dominated_sort(&mut pop);
+        assert_eq!(pop[3].rank, 1);
+        assert_eq!(fronts[0].len(), 3);
+    }
+}

@@ -1,0 +1,87 @@
+//! Termination criteria.
+//!
+//! The paper's experiments bound exploration both by evaluation budget and
+//! by wall-clock ("we constrained on time the DSE with a four hour soft
+//! deadline to the genetic algorithm", §IV-A). The engine consults
+//! [`Termination::should_stop`] between generations; the *external cost*
+//! channel lets a problem report simulated tool seconds, so deadline runs
+//! are reproducible instead of host-speed-dependent.
+
+/// Progress snapshot handed to termination checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineState {
+    /// Completed generations.
+    pub generation: u32,
+    /// Total problem evaluations so far.
+    pub evaluations: u64,
+    /// External cost reported by the problem (e.g. simulated Vivado
+    /// seconds).
+    pub external_cost: f64,
+}
+
+/// When to stop.
+#[derive(Debug, Clone)]
+pub enum Termination {
+    /// Stop after this many generations.
+    Generations(u32),
+    /// Stop once this many evaluations have been spent.
+    Evaluations(u64),
+    /// Stop once the problem's external cost exceeds the budget (the
+    /// paper's soft deadline: the running generation completes first).
+    SoftDeadline(f64),
+    /// Stop when any of the inner criteria fires.
+    Any(Vec<Termination>),
+}
+
+impl Termination {
+    /// Whether the engine should stop before the next generation.
+    pub fn should_stop(&self, s: &EngineState) -> bool {
+        match self {
+            Termination::Generations(g) => s.generation >= *g,
+            Termination::Evaluations(e) => s.evaluations >= *e,
+            Termination::SoftDeadline(budget) => s.external_cost >= *budget,
+            Termination::Any(list) => list.iter().any(|t| t.should_stop(s)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(generation: u32, evaluations: u64, external_cost: f64) -> EngineState {
+        EngineState { generation, evaluations, external_cost }
+    }
+
+    #[test]
+    fn generations() {
+        let t = Termination::Generations(10);
+        assert!(!t.should_stop(&st(9, 0, 0.0)));
+        assert!(t.should_stop(&st(10, 0, 0.0)));
+    }
+
+    #[test]
+    fn evaluations() {
+        let t = Termination::Evaluations(100);
+        assert!(!t.should_stop(&st(0, 99, 0.0)));
+        assert!(t.should_stop(&st(0, 100, 0.0)));
+    }
+
+    #[test]
+    fn soft_deadline() {
+        let t = Termination::SoftDeadline(4.0 * 3600.0);
+        assert!(!t.should_stop(&st(0, 0, 14_000.0)));
+        assert!(t.should_stop(&st(0, 0, 14_400.0)));
+    }
+
+    #[test]
+    fn any_combines() {
+        let t = Termination::Any(vec![
+            Termination::Generations(5),
+            Termination::SoftDeadline(100.0),
+        ]);
+        assert!(!t.should_stop(&st(4, 0, 50.0)));
+        assert!(t.should_stop(&st(5, 0, 50.0)));
+        assert!(t.should_stop(&st(4, 0, 101.0)));
+    }
+}

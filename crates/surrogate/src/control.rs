@@ -1,0 +1,304 @@
+//! The control model: decide whether the tool or the estimator answers.
+//!
+//! The paper's three cases (§III-C): "First, if our design point is already
+//! in the dataset, Dovado calls Vivado, which employs cached results as the
+//! answer. Second, if the generated design point is similar enough to one
+//! of the dataset points, Dovado employs the statistical model for an
+//! estimate. Finally, if none of these applies, Dovado calls Vivado, adds
+//! the new design pair to the dataset, and applies a new training/validation
+//! step."
+
+use crate::dataset::{Bounds, Dataset};
+use crate::kernel::Kernel;
+use crate::loocv::select_bandwidth;
+use crate::nw::NadarayaWatson;
+use crate::similarity::phi_n;
+use crate::threshold::ThresholdPolicy;
+
+/// What the controller decided for a query point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// The exact point is in the dataset: call the tool, which answers from
+    /// its cache (cheap). The stored metrics are attached.
+    Cached(Vec<f64>),
+    /// Similar enough (Φ ≤ Γ): use the estimator's prediction.
+    Estimate(Vec<f64>),
+    /// Too novel: run the tool, then feed the result back via
+    /// [`SurrogateController::record`].
+    Evaluate,
+}
+
+/// Statistics the controller keeps about its own decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlStats {
+    /// Exact-hit decisions.
+    pub cached: u64,
+    /// Model estimates served.
+    pub estimated: u64,
+    /// Full evaluations requested.
+    pub evaluated: u64,
+}
+
+impl ControlStats {
+    /// Total decisions taken.
+    pub fn total(&self) -> u64 {
+        self.cached + self.estimated + self.evaluated
+    }
+
+    /// Fraction of decisions answered without a fresh tool run.
+    pub fn savings_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.cached + self.estimated) as f64 / self.total() as f64
+    }
+}
+
+/// The fitness-approximation controller: dataset + NW model + threshold.
+#[derive(Debug, Clone)]
+pub struct SurrogateController {
+    dataset: Dataset,
+    model: NadarayaWatson,
+    policy: ThresholdPolicy,
+    /// Cached Γ, recomputed on every insertion.
+    gamma: f64,
+    /// Bandwidth grid for LOO-CV (empty = default grid).
+    grid: Vec<f64>,
+    /// Retrain (LOO-CV) every `retrain_every` insertions (1 = paper's
+    /// "applies a new training/validation step" after every addition).
+    pub retrain_every: usize,
+    inserts_since_retrain: usize,
+    /// Decision counters.
+    pub stats: ControlStats,
+}
+
+impl SurrogateController {
+    /// Creates a controller for points within `bounds` producing
+    /// `n_outputs` metrics.
+    pub fn new(bounds: Bounds, n_outputs: usize, policy: ThresholdPolicy) -> Self {
+        SurrogateController {
+            dataset: Dataset::new(bounds, n_outputs),
+            model: NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.1 },
+            policy,
+            gamma: 0.0,
+            grid: Vec::new(),
+            retrain_every: 1,
+            inserts_since_retrain: 0,
+            stats: ControlStats::default(),
+        }
+    }
+
+    /// Uses a non-default kernel (ablation).
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.model.kernel = kernel;
+        self
+    }
+
+    /// Access to the dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The current model (kernel + selected bandwidth).
+    pub fn model(&self) -> NadarayaWatson {
+        self.model
+    }
+
+    /// The current threshold Γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Decides how to answer for `point`, updating the counters.
+    pub fn decide(&mut self, point: &[i64]) -> Decision {
+        if let Some(cached) = self.dataset.get(point) {
+            self.stats.cached += 1;
+            return Decision::Cached(cached.to_vec());
+        }
+        if let Some(phi) = phi_n(&self.dataset, point, 1) {
+            if phi <= self.gamma {
+                if let Some(est) = self.model.predict(&self.dataset, point) {
+                    self.stats.estimated += 1;
+                    return Decision::Estimate(est);
+                }
+            }
+        }
+        self.stats.evaluated += 1;
+        Decision::Evaluate
+    }
+
+    /// Peeks at the decision without touching counters (for tests/benches).
+    pub fn peek(&self, point: &[i64]) -> Decision {
+        if let Some(cached) = self.dataset.get(point) {
+            return Decision::Cached(cached.to_vec());
+        }
+        if let Some(phi) = phi_n(&self.dataset, point, 1) {
+            if phi <= self.gamma {
+                if let Some(est) = self.model.predict(&self.dataset, point) {
+                    return Decision::Estimate(est);
+                }
+            }
+        }
+        Decision::Evaluate
+    }
+
+    /// Feeds back a fresh tool result: inserts the pair, re-validates the
+    /// model (LOO-CV bandwidth), and updates Γ.
+    pub fn record(&mut self, point: Vec<i64>, outputs: Vec<f64>) {
+        self.dataset.insert(point, outputs);
+        self.inserts_since_retrain += 1;
+        if self.inserts_since_retrain >= self.retrain_every {
+            self.model.bandwidth =
+                select_bandwidth(&self.dataset, self.model.kernel, &self.grid);
+            self.inserts_since_retrain = 0;
+        }
+        self.gamma = self.policy.gamma(&self.dataset);
+    }
+
+    /// Pre-trains on an existing synthetic dataset (the paper's M ≈ 100
+    /// random Vivado calls before exploration starts).
+    pub fn pretrain(&mut self, pairs: Vec<(Vec<i64>, Vec<f64>)>) {
+        for (p, o) in pairs {
+            self.dataset.insert(p, o);
+        }
+        self.model.bandwidth = select_bandwidth(&self.dataset, self.model.kernel, &self.grid);
+        self.gamma = self.policy.gamma(&self.dataset);
+        self.inserts_since_retrain = 0;
+    }
+
+    /// Direct model prediction regardless of the control policy (used for
+    /// accuracy probes).
+    pub fn predict(&self, point: &[i64]) -> Option<Vec<f64>> {
+        self.model.predict(&self.dataset, point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> Bounds {
+        Bounds::new(vec![(0, 1000)])
+    }
+
+    fn truth(x: i64) -> Vec<f64> {
+        let xf = x as f64 / 1000.0;
+        vec![2.0 * xf + 0.3, 1.0 - xf]
+    }
+
+    fn pretrained(policy: ThresholdPolicy) -> SurrogateController {
+        let mut c = SurrogateController::new(bounds(), 2, policy);
+        let pairs: Vec<_> = (0..=20).map(|i| {
+            let x = i * 50;
+            (vec![x], truth(x))
+        }).collect();
+        c.pretrain(pairs);
+        c
+    }
+
+    #[test]
+    fn case1_exact_point_is_cached() {
+        let mut c = pretrained(ThresholdPolicy::paper_default());
+        match c.decide(&[500]) {
+            Decision::Cached(v) => assert_eq!(v, truth(500)),
+            other => panic!("expected Cached, got {other:?}"),
+        }
+        assert_eq!(c.stats.cached, 1);
+    }
+
+    #[test]
+    fn case2_near_point_is_estimated() {
+        let mut c = pretrained(ThresholdPolicy::paper_default());
+        // Grid spacing 50/1000 = 0.05 normalized → Γ = 0.05. Point 510 is
+        // 0.01 from the nearest sample → estimate.
+        match c.decide(&[510]) {
+            Decision::Estimate(v) => {
+                assert!((v[0] - truth(510)[0]).abs() < 0.05, "{v:?}");
+            }
+            other => panic!("expected Estimate, got {other:?}"),
+        }
+        assert_eq!(c.stats.estimated, 1);
+    }
+
+    #[test]
+    fn case3_far_point_is_evaluated_and_learned() {
+        let mut c = SurrogateController::new(bounds(), 2, ThresholdPolicy::paper_default());
+        c.pretrain(vec![(vec![0], truth(0)), (vec![1000], truth(1000))]);
+        // Γ = 1.0 here (two far points) — shrink it artificially to force
+        // evaluation via a fixed policy instead.
+        let mut c = pretrained(ThresholdPolicy::Fixed(0.001));
+        match c.decide(&[777]) {
+            Decision::Evaluate => {}
+            other => panic!("expected Evaluate, got {other:?}"),
+        }
+        c.record(vec![777], truth(777));
+        // Now it's cached.
+        assert!(matches!(c.decide(&[777]), Decision::Cached(_)));
+        assert_eq!(c.stats.evaluated, 1);
+        assert_eq!(c.stats.cached, 1);
+    }
+
+    #[test]
+    fn never_policy_always_evaluates_new_points() {
+        let mut c = pretrained(ThresholdPolicy::Never);
+        assert!(matches!(c.decide(&[510]), Decision::Evaluate));
+        // …but exact hits still answer from cache (paper case 1).
+        assert!(matches!(c.decide(&[500]), Decision::Cached(_)));
+    }
+
+    #[test]
+    fn gamma_updates_on_record() {
+        let mut c = pretrained(ThresholdPolicy::paper_default());
+        let g0 = c.gamma();
+        assert!(g0 > 0.0);
+        // Insert a point very close to an existing one → Γ shrinks.
+        c.record(vec![501], truth(501));
+        assert!(c.gamma() < g0);
+    }
+
+    #[test]
+    fn retraining_selects_bandwidth() {
+        let c = pretrained(ThresholdPolicy::paper_default());
+        // Smooth dense data: bandwidth must not be the huge end of the grid.
+        assert!(c.model().bandwidth < 0.5);
+    }
+
+    #[test]
+    fn empty_controller_evaluates_everything() {
+        let mut c = SurrogateController::new(bounds(), 2, ThresholdPolicy::paper_default());
+        assert!(matches!(c.decide(&[3]), Decision::Evaluate));
+        assert_eq!(c.stats.evaluated, 1);
+    }
+
+    #[test]
+    fn savings_ratio() {
+        let mut c = pretrained(ThresholdPolicy::paper_default());
+        let _ = c.decide(&[500]); // cached
+        let _ = c.decide(&[510]); // estimate
+        let _ = c.decide(&[503]); // estimate (close to grid)
+        let s = c.stats;
+        assert_eq!(s.total(), 3);
+        assert!(s.savings_ratio() > 0.99);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut c = pretrained(ThresholdPolicy::paper_default());
+        let _ = c.peek(&[500]);
+        assert_eq!(c.stats.total(), 0);
+        let _ = c.decide(&[500]);
+        assert_eq!(c.stats.total(), 1);
+    }
+
+    #[test]
+    fn estimates_track_truth_on_smooth_metrics() {
+        let c = pretrained(ThresholdPolicy::paper_default());
+        let mut worst = 0.0f64;
+        for x in (25..1000).step_by(100) {
+            let est = c.predict(&[x]).unwrap();
+            let t = truth(x);
+            worst = worst.max((est[0] - t[0]).abs()).max((est[1] - t[1]).abs());
+        }
+        assert!(worst < 0.08, "worst error {worst}");
+    }
+}

@@ -1,0 +1,347 @@
+//! The synthetic dataset behind the approximation model.
+//!
+//! Stores `(design point, metric vector)` pairs. Points are integer
+//! parameter assignments; they are normalized to `[0, 1]` per dimension
+//! (using the exploration ranges) so one bandwidth and one threshold are
+//! meaningful across parameters with wildly different ranges — the
+//! "run-time information, i.e. the parameters' range" the paper says the
+//! threshold must depend on.
+
+use std::collections::HashMap;
+
+/// Per-dimension integer bounds used for normalization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bounds {
+    /// Inclusive `(lo, hi)` per dimension.
+    pub dims: Vec<(i64, i64)>,
+}
+
+impl Bounds {
+    /// Creates bounds; inverted pairs are normalized.
+    pub fn new(dims: Vec<(i64, i64)>) -> Bounds {
+        Bounds {
+            dims: dims
+                .into_iter()
+                .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+                .collect(),
+        }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Normalizes an integer point to `[0, 1]^d` (degenerate dims → 0.5).
+    pub fn normalize(&self, point: &[i64]) -> Vec<f64> {
+        debug_assert_eq!(point.len(), self.dims.len());
+        point
+            .iter()
+            .zip(&self.dims)
+            .map(|(&v, &(lo, hi))| {
+                if hi == lo {
+                    0.5
+                } else {
+                    (v - lo) as f64 / (hi - lo) as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// The dataset: normalized points with raw metric vectors.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    bounds: Bounds,
+    n_outputs: usize,
+    points: Vec<Vec<f64>>,
+    raw_points: Vec<Vec<i64>>,
+    outputs: Vec<Vec<f64>>,
+    /// Exact-match index from raw point to row.
+    index: HashMap<Vec<i64>, usize>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset for points within `bounds` and metric
+    /// vectors of length `n_outputs`.
+    pub fn new(bounds: Bounds, n_outputs: usize) -> Dataset {
+        Dataset {
+            bounds,
+            n_outputs,
+            points: Vec::new(),
+            raw_points: Vec::new(),
+            outputs: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality of points.
+    pub fn dim(&self) -> usize {
+        self.bounds.dim()
+    }
+
+    /// Number of outputs per point.
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// The normalization bounds.
+    pub fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+
+    /// Inserts a pair; replaces the outputs if the point already exists.
+    pub fn insert(&mut self, point: Vec<i64>, outputs: Vec<f64>) {
+        assert_eq!(point.len(), self.bounds.dim(), "point dimensionality mismatch");
+        assert_eq!(outputs.len(), self.n_outputs, "output arity mismatch");
+        if let Some(&row) = self.index.get(&point) {
+            self.outputs[row] = outputs;
+            return;
+        }
+        let norm = self.bounds.normalize(&point);
+        self.index.insert(point.clone(), self.points.len());
+        self.points.push(norm);
+        self.raw_points.push(point);
+        self.outputs.push(outputs);
+    }
+
+    /// Exact lookup by raw point.
+    pub fn get(&self, point: &[i64]) -> Option<&[f64]> {
+        self.index.get(point).map(|&row| self.outputs[row].as_slice())
+    }
+
+    /// Whether the exact point is stored.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        self.index.contains_key(point)
+    }
+
+    /// Normalized points.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// Raw integer points.
+    pub fn raw_points(&self) -> &[Vec<i64>] {
+        &self.raw_points
+    }
+
+    /// Output vectors.
+    pub fn outputs(&self) -> &[Vec<f64>] {
+        &self.outputs
+    }
+
+    /// Normalizes an external point with the dataset's bounds.
+    pub fn normalize(&self, point: &[i64]) -> Vec<f64> {
+        self.bounds.normalize(point)
+    }
+
+    /// Squared Euclidean distance between a normalized query and row `i`.
+    pub fn dist2_to(&self, x_norm: &[f64], i: usize) -> f64 {
+        x_norm
+            .iter()
+            .zip(&self.points[i])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Sorted squared distances from a normalized query to every row,
+    /// excluding `exclude` (for LOO).
+    pub fn sorted_dist2(&self, x_norm: &[f64], exclude: Option<usize>) -> Vec<(usize, f64)> {
+        let mut d: Vec<(usize, f64)> = (0..self.len())
+            .filter(|&i| Some(i) != exclude)
+            .map(|i| (i, self.dist2_to(x_norm, i)))
+            .collect();
+        d.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        d
+    }
+
+    /// Serializes the dataset to a simple CSV text: a header row encoding
+    /// the bounds, then one row per pair. Persisting the synthetic dataset
+    /// between runs "amortizes the expensive synthetic dataset generation"
+    /// (paper §V).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        // Header: #bounds lo..hi per dim, then arity.
+        out.push_str("#bounds");
+        for (lo, hi) in &self.bounds.dims {
+            out.push_str(&format!(",{lo}:{hi}"));
+        }
+        out.push_str(&format!(";outputs={}\n", self.n_outputs));
+        for (p, y) in self.raw_points.iter().zip(&self.outputs) {
+            let px: Vec<String> = p.iter().map(i64::to_string).collect();
+            let yx: Vec<String> = y.iter().map(|v| format!("{v}")).collect();
+            out.push_str(&px.join(","));
+            out.push('|');
+            out.push_str(&yx.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Deserializes a dataset written by [`Dataset::to_csv`].
+    pub fn from_csv(text: &str) -> Result<Dataset, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty dataset file")?;
+        let header = header.strip_prefix("#bounds").ok_or("missing #bounds header")?;
+        let (bounds_part, outputs_part) =
+            header.split_once(';').ok_or("malformed header (no `;`)")?;
+        let mut dims = Vec::new();
+        for spec in bounds_part.split(',').filter(|s| !s.is_empty()) {
+            let (lo, hi) = spec.split_once(':').ok_or_else(|| format!("bad bound `{spec}`"))?;
+            dims.push((
+                lo.parse::<i64>().map_err(|_| format!("bad bound `{spec}`"))?,
+                hi.parse::<i64>().map_err(|_| format!("bad bound `{spec}`"))?,
+            ));
+        }
+        let n_outputs: usize = outputs_part
+            .strip_prefix("outputs=")
+            .and_then(|s| s.parse().ok())
+            .ok_or("malformed outputs= field")?;
+        let mut ds = Dataset::new(Bounds::new(dims), n_outputs);
+        for (lineno, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (p, y) = line
+                .split_once('|')
+                .ok_or_else(|| format!("line {}: missing `|`", lineno + 2))?;
+            let point: Vec<i64> = p
+                .split(',')
+                .map(|v| v.trim().parse::<i64>())
+                .collect::<Result<_, _>>()
+                .map_err(|e| format!("line {}: {e}", lineno + 2))?;
+            let outputs: Vec<f64> = y
+                .split(',')
+                .map(|v| v.trim().parse::<f64>())
+                .collect::<Result<_, _>>()
+                .map_err(|e| format!("line {}: {e}", lineno + 2))?;
+            if point.len() != ds.dim() || outputs.len() != n_outputs {
+                return Err(format!("line {}: arity mismatch", lineno + 2));
+            }
+            ds.insert(point, outputs);
+        }
+        Ok(ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::new(Bounds::new(vec![(0, 100), (0, 10)]), 2)
+    }
+
+    #[test]
+    fn normalization() {
+        let b = Bounds::new(vec![(0, 100), (50, 50)]);
+        assert_eq!(b.normalize(&[50, 50]), vec![0.5, 0.5]);
+        assert_eq!(b.normalize(&[0, 50]), vec![0.0, 0.5]);
+        assert_eq!(b.normalize(&[100, 50]), vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn inverted_bounds_normalized() {
+        let b = Bounds::new(vec![(10, 0)]);
+        assert_eq!(b.dims, vec![(0, 10)]);
+    }
+
+    #[test]
+    fn insert_and_exact_lookup() {
+        let mut d = ds();
+        d.insert(vec![10, 5], vec![1.0, 2.0]);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&[10, 5]));
+        assert_eq!(d.get(&[10, 5]), Some(&[1.0, 2.0][..]));
+        assert_eq!(d.get(&[10, 6]), None);
+    }
+
+    #[test]
+    fn reinsert_replaces_outputs() {
+        let mut d = ds();
+        d.insert(vec![10, 5], vec![1.0, 2.0]);
+        d.insert(vec![10, 5], vec![3.0, 4.0]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get(&[10, 5]), Some(&[3.0, 4.0][..]));
+    }
+
+    #[test]
+    fn distances_sorted() {
+        let mut d = ds();
+        d.insert(vec![0, 0], vec![0.0, 0.0]);
+        d.insert(vec![100, 10], vec![0.0, 0.0]);
+        d.insert(vec![50, 5], vec![0.0, 0.0]);
+        let q = d.normalize(&[10, 1]);
+        let sorted = d.sorted_dist2(&q, None);
+        assert_eq!(sorted[0].0, 0);
+        assert_eq!(sorted[2].0, 1);
+        assert!(sorted[0].1 <= sorted[1].1 && sorted[1].1 <= sorted[2].1);
+    }
+
+    #[test]
+    fn loo_exclusion() {
+        let mut d = ds();
+        d.insert(vec![0, 0], vec![0.0, 0.0]);
+        d.insert(vec![100, 10], vec![0.0, 0.0]);
+        let q = d.normalize(&[0, 0]);
+        let sorted = d.sorted_dist2(&q, Some(0));
+        assert_eq!(sorted.len(), 1);
+        assert_eq!(sorted[0].0, 1);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut d = ds();
+        d.insert(vec![10, 5], vec![1.5, 2.0]);
+        d.insert(vec![90, 2], vec![-3.25, 0.0]);
+        let text = d.to_csv();
+        let back = Dataset::from_csv(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.bounds(), d.bounds());
+        assert_eq!(back.get(&[10, 5]), Some(&[1.5, 2.0][..]));
+        assert_eq!(back.get(&[90, 2]), Some(&[-3.25, 0.0][..]));
+        // Normalized geometry survives too.
+        assert_eq!(back.normalize(&[50, 5]), d.normalize(&[50, 5]));
+    }
+
+    #[test]
+    fn csv_roundtrip_empty_dataset() {
+        let d = ds();
+        let back = Dataset::from_csv(&d.to_csv()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.n_outputs(), 2);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(Dataset::from_csv("").is_err());
+        assert!(Dataset::from_csv("nonsense").is_err());
+        assert!(Dataset::from_csv("#bounds,0:10;outputs=1\n1,2|3").is_err()); // dim mismatch
+        assert!(Dataset::from_csv("#bounds,0:10;outputs=2\n1|3").is_err()); // arity mismatch
+        assert!(Dataset::from_csv("#bounds,0:10;outputs=1\n1;3").is_err()); // missing |
+    }
+
+    #[test]
+    #[should_panic(expected = "output arity mismatch")]
+    fn wrong_arity_panics() {
+        let mut d = ds();
+        d.insert(vec![0, 0], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "point dimensionality mismatch")]
+    fn wrong_dim_panics() {
+        let mut d = ds();
+        d.insert(vec![0], vec![1.0, 2.0]);
+    }
+}

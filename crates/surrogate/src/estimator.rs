@@ -1,0 +1,254 @@
+//! Alternative approximation models.
+//!
+//! The paper's future work plans "to explore different statistical models,
+//! either parametric or non-parametric, to amortize the expensive synthetic
+//! dataset generation" (§V). This module implements that comparison
+//! surface: the Nadaraya-Watson regressor used by the paper, plus two
+//! classic non-parametric baselines — inverse-distance weighting (Shepard)
+//! and k-nearest-neighbour averaging — behind one interface.
+
+use crate::dataset::Dataset;
+use crate::loocv::select_bandwidth;
+use crate::nw::NadarayaWatson;
+use std::fmt;
+
+/// A pluggable estimator over a [`Dataset`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Estimator {
+    /// The paper's model: Nadaraya-Watson kernel regression.
+    Nw(NadarayaWatson),
+    /// Shepard's inverse-distance weighting with the given power
+    /// (2.0 is the classic choice). Exact points are returned verbatim.
+    InverseDistance {
+        /// Distance exponent (> 0).
+        power: f64,
+    },
+    /// Mean of the `k` nearest neighbours (`k = 1` is table lookup).
+    KNearest {
+        /// Neighbourhood size (≥ 1).
+        k: usize,
+    },
+}
+
+impl Estimator {
+    /// Short name for tables.
+    pub fn name(&self) -> String {
+        match self {
+            Estimator::Nw(m) => format!("nw-{}", m.kernel),
+            Estimator::InverseDistance { power } => format!("idw-p{power}"),
+            Estimator::KNearest { k } => format!("{k}-nn"),
+        }
+    }
+
+    /// Re-fits any free parameters from the dataset (only the NW bandwidth
+    /// has one; the baselines are hyperparameter-frozen).
+    pub fn retrain(&mut self, dataset: &Dataset) {
+        if let Estimator::Nw(m) = self {
+            m.bandwidth = select_bandwidth(dataset, m.kernel, &[]);
+        }
+    }
+
+    /// Predicts all outputs at the (raw, integer) query point; `None` on an
+    /// empty dataset.
+    pub fn predict(&self, dataset: &Dataset, point: &[i64]) -> Option<Vec<f64>> {
+        self.predict_excluding(dataset, point, None)
+    }
+
+    /// Like [`Estimator::predict`], excluding one dataset row (for LOO).
+    pub fn predict_excluding(
+        &self,
+        dataset: &Dataset,
+        point: &[i64],
+        exclude: Option<usize>,
+    ) -> Option<Vec<f64>> {
+        match self {
+            Estimator::Nw(m) => m.predict_excluding(dataset, point, exclude),
+            Estimator::InverseDistance { power } => {
+                idw_predict(dataset, point, *power, exclude)
+            }
+            Estimator::KNearest { k } => knn_predict(dataset, point, (*k).max(1), exclude),
+        }
+    }
+}
+
+impl Default for Estimator {
+    fn default() -> Self {
+        Estimator::Nw(NadarayaWatson::default())
+    }
+}
+
+impl fmt::Display for Estimator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+fn idw_predict(
+    dataset: &Dataset,
+    point: &[i64],
+    power: f64,
+    exclude: Option<usize>,
+) -> Option<Vec<f64>> {
+    let n = dataset.len();
+    if n == 0 || (n == 1 && exclude.is_some()) {
+        return None;
+    }
+    let x = dataset.normalize(point);
+    let m = dataset.n_outputs();
+    let mut num = vec![0.0f64; m];
+    let mut den = 0.0f64;
+    for i in 0..n {
+        if Some(i) == exclude {
+            continue;
+        }
+        let d2 = dataset.dist2_to(&x, i);
+        if d2 == 0.0 {
+            // Exact hit: return the stored outputs verbatim.
+            return Some(dataset.outputs()[i].clone());
+        }
+        let w = d2.powf(-power / 2.0);
+        den += w;
+        for (acc, y) in num.iter_mut().zip(&dataset.outputs()[i]) {
+            *acc += w * y;
+        }
+    }
+    if den == 0.0 {
+        return None;
+    }
+    Some(num.into_iter().map(|v| v / den).collect())
+}
+
+fn knn_predict(
+    dataset: &Dataset,
+    point: &[i64],
+    k: usize,
+    exclude: Option<usize>,
+) -> Option<Vec<f64>> {
+    let n = dataset.len();
+    if n == 0 || (n == 1 && exclude.is_some()) {
+        return None;
+    }
+    let x = dataset.normalize(point);
+    let sorted = dataset.sorted_dist2(&x, exclude);
+    let take = k.min(sorted.len());
+    let m = dataset.n_outputs();
+    let mut acc = vec![0.0f64; m];
+    for (i, _) in sorted.iter().take(take) {
+        for (a, y) in acc.iter_mut().zip(&dataset.outputs()[*i]) {
+            *a += y;
+        }
+    }
+    for a in &mut acc {
+        *a /= take as f64;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Bounds;
+    use crate::kernel::Kernel;
+
+    fn line_dataset() -> Dataset {
+        let mut d = Dataset::new(Bounds::new(vec![(0, 100)]), 1);
+        for x in (0..=100).step_by(10) {
+            d.insert(vec![x], vec![2.0 * x as f64]);
+        }
+        d
+    }
+
+    fn estimators() -> Vec<Estimator> {
+        vec![
+            Estimator::Nw(NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.05 }),
+            Estimator::InverseDistance { power: 2.0 },
+            Estimator::KNearest { k: 1 },
+            Estimator::KNearest { k: 3 },
+        ]
+    }
+
+    #[test]
+    fn all_estimators_interpolate_a_line() {
+        let d = line_dataset();
+        for e in estimators() {
+            let y = e.predict(&d, &[52]).unwrap()[0];
+            assert!(
+                (y - 104.0).abs() < 15.0,
+                "{}: predicted {y} at x=52 (expect ≈104)",
+                e.name()
+            );
+        }
+    }
+
+    #[test]
+    fn idw_and_knn_exact_hits_are_verbatim() {
+        let d = line_dataset();
+        for e in [Estimator::InverseDistance { power: 2.0 }, Estimator::KNearest { k: 1 }] {
+            assert_eq!(e.predict(&d, &[50]).unwrap()[0], 100.0, "{}", e.name());
+        }
+    }
+
+    #[test]
+    fn empty_dataset_none_for_all() {
+        let d = Dataset::new(Bounds::new(vec![(0, 10)]), 1);
+        for e in estimators() {
+            assert!(e.predict(&d, &[3]).is_none(), "{}", e.name());
+        }
+    }
+
+    #[test]
+    fn predictions_bounded_by_data() {
+        let d = line_dataset();
+        for e in estimators() {
+            for q in [0i64, 17, 55, 99] {
+                let y = e.predict(&d, &[q]).unwrap()[0];
+                assert!((0.0..=200.0).contains(&y), "{}: {y}", e.name());
+            }
+        }
+    }
+
+    #[test]
+    fn knn_k_larger_than_dataset_is_global_mean() {
+        let d = line_dataset(); // 11 points, mean output 100
+        let e = Estimator::KNearest { k: 100 };
+        let y = e.predict(&d, &[0]).unwrap()[0];
+        assert!((y - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loo_exclusion_supported_everywhere() {
+        let d = line_dataset();
+        for e in estimators() {
+            let with = e.predict(&d, &[50]).unwrap()[0];
+            let without = e.predict_excluding(&d, &[50], Some(5)).unwrap()[0];
+            // Excluding the exact sample must change (or at least not
+            // crash) the prediction; for 1-NN it falls to a neighbour.
+            if matches!(e, Estimator::KNearest { k: 1 }) {
+                assert_ne!(with, without);
+            }
+        }
+    }
+
+    #[test]
+    fn retrain_touches_only_nw() {
+        let d = line_dataset();
+        let mut nw = Estimator::Nw(NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.9 });
+        nw.retrain(&d);
+        match nw {
+            Estimator::Nw(m) => assert!(m.bandwidth < 0.9),
+            _ => unreachable!(),
+        }
+        let mut idw = Estimator::InverseDistance { power: 2.0 };
+        idw.retrain(&d);
+        assert_eq!(idw, Estimator::InverseDistance { power: 2.0 });
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<String> = estimators().iter().map(|e| e.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,136 @@
+//! Kernel functions for Nadaraya-Watson regression.
+//!
+//! The paper uses a Gaussian kernel (Eq. 3), following Shapiai et al. [28]
+//! who "have shown how the NWM model performs better with a Gaussian
+//! kernel, leaving the bandwidth as the only free parameter". Alternative
+//! kernels are provided for the ablation bench that revisits that claim.
+
+use std::f64::consts::PI;
+use std::fmt;
+use std::str::FromStr;
+
+/// Available kernels. All take the squared distance `d²` and bandwidth `h`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// `K_h(d) = (1/√(2π)) · exp(−d² / (2h²))` — the paper's Eq. 3.
+    #[default]
+    Gaussian,
+    /// Parabolic kernel with compact support: `¾(1 − u²)` for `|u| ≤ 1`.
+    Epanechnikov,
+    /// `(1 − |u|³)³` for `|u| ≤ 1`.
+    Tricube,
+    /// Constant within the bandwidth, zero outside.
+    Uniform,
+}
+
+impl Kernel {
+    /// Kernel weight for squared distance `dist2` at bandwidth `h`.
+    pub fn weight(&self, dist2: f64, h: f64) -> f64 {
+        debug_assert!(h > 0.0, "bandwidth must be positive");
+        match self {
+            Kernel::Gaussian => (1.0 / (2.0 * PI).sqrt()) * (-dist2 / (2.0 * h * h)).exp(),
+            Kernel::Epanechnikov => {
+                let u2 = dist2 / (h * h);
+                if u2 <= 1.0 {
+                    0.75 * (1.0 - u2)
+                } else {
+                    0.0
+                }
+            }
+            Kernel::Tricube => {
+                let u = (dist2.sqrt() / h).abs();
+                if u <= 1.0 {
+                    let t = 1.0 - u * u * u;
+                    t * t * t
+                } else {
+                    0.0
+                }
+            }
+            Kernel::Uniform => {
+                if dist2 <= h * h {
+                    0.5
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// All kernels (for ablation sweeps).
+    pub const ALL: [Kernel; 4] =
+        [Kernel::Gaussian, Kernel::Epanechnikov, Kernel::Tricube, Kernel::Uniform];
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Kernel::Gaussian => "gaussian",
+            Kernel::Epanechnikov => "epanechnikov",
+            Kernel::Tricube => "tricube",
+            Kernel::Uniform => "uniform",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl FromStr for Kernel {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "gaussian" => Ok(Kernel::Gaussian),
+            "epanechnikov" => Ok(Kernel::Epanechnikov),
+            "tricube" => Ok(Kernel::Tricube),
+            "uniform" => Ok(Kernel::Uniform),
+            _ => Err(format!("unknown kernel `{s}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_matches_eq3() {
+        // At d = 0: 1/sqrt(2π).
+        let k = Kernel::Gaussian;
+        assert!((k.weight(0.0, 1.0) - 0.3989422804014327).abs() < 1e-12);
+        // At d = h: exp(-1/2)/sqrt(2π).
+        let expect = (-0.5f64).exp() / (2.0 * PI).sqrt();
+        assert!((k.weight(1.0, 1.0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_kernels_decrease_with_distance() {
+        for k in Kernel::ALL {
+            let w0 = k.weight(0.0, 0.5);
+            let w1 = k.weight(0.04, 0.5);
+            let w2 = k.weight(0.16, 0.5);
+            assert!(w0 >= w1 && w1 >= w2, "{k} not monotone: {w0} {w1} {w2}");
+            assert!(w0 > 0.0);
+        }
+    }
+
+    #[test]
+    fn compact_kernels_vanish_outside_bandwidth() {
+        for k in [Kernel::Epanechnikov, Kernel::Tricube, Kernel::Uniform] {
+            assert_eq!(k.weight(4.0, 1.0), 0.0, "{k}");
+        }
+        // Gaussian never fully vanishes.
+        assert!(Kernel::Gaussian.weight(4.0, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn larger_bandwidth_flattens() {
+        let k = Kernel::Gaussian;
+        assert!(k.weight(1.0, 2.0) > k.weight(1.0, 0.5));
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for k in Kernel::ALL {
+            assert_eq!(k.to_string().parse::<Kernel>().unwrap(), k);
+        }
+        assert!("nope".parse::<Kernel>().is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! # dovado-surrogate
+//!
+//! The fitness-function approximation model of the Dovado DSE framework
+//! (paper §III-C): a Nadaraya-Watson kernel regressor over a synthetic
+//! dataset of `(design point, metrics)` pairs, with leave-one-out
+//! cross-validated bandwidth, the Φ similarity measure (Eq. 4), the
+//! adaptive threshold Γ, and the three-way control model that decides per
+//! design point whether to answer from cache, from the estimator, or by
+//! paying for a real synthesis/implementation run.
+//!
+//! ```
+//! use dovado_surrogate::{Bounds, Decision, SurrogateController, ThresholdPolicy};
+//!
+//! let mut ctl = SurrogateController::new(
+//!     Bounds::new(vec![(0, 1000)]), 1, ThresholdPolicy::paper_default());
+//! ctl.pretrain((0..=10).map(|i| (vec![i * 100], vec![i as f64])).collect());
+//! match ctl.decide(&[505]) {
+//!     Decision::Estimate(v) => assert!((v[0] - 5.0).abs() < 1.0),
+//!     other => panic!("{other:?}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod dataset;
+pub mod estimator;
+pub mod kernel;
+pub mod loocv;
+pub mod mse;
+pub mod nw;
+pub mod similarity;
+pub mod threshold;
+
+pub use control::{ControlStats, Decision, SurrogateController};
+pub use dataset::{Bounds, Dataset};
+pub use estimator::Estimator;
+pub use kernel::Kernel;
+pub use loocv::{default_bandwidth_grid, loo_mse, select_bandwidth};
+pub use mse::{mse_per_output, ProbeSet};
+pub use nw::NadarayaWatson;
+pub use similarity::{phi_n, phi_within};
+pub use threshold::ThresholdPolicy;

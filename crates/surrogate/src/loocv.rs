@@ -1,0 +1,161 @@
+//! Leave-one-out cross-validation for bandwidth selection.
+//!
+//! "We adopt Leave-One-Out cross-validation given the small size of the
+//! dataset and the NWM cheap computational cost" (§III-C). Each candidate
+//! bandwidth is scored by predicting every dataset point from the others;
+//! the winner minimizes the summed per-output MSE (outputs are variance-
+//! normalized first so a large-magnitude metric cannot drown the rest).
+
+use crate::dataset::Dataset;
+use crate::kernel::Kernel;
+use crate::nw::NadarayaWatson;
+
+/// Default candidate grid: log-spaced bandwidths in normalized units.
+pub fn default_bandwidth_grid() -> Vec<f64> {
+    vec![0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.18, 0.27, 0.40, 0.60, 1.0]
+}
+
+/// LOO-CV mean squared error of `(kernel, h)` on the dataset, summed over
+/// variance-normalized outputs. Returns `None` for datasets with fewer
+/// than 2 points (no held-out prediction possible).
+pub fn loo_mse(dataset: &Dataset, kernel: Kernel, bandwidth: f64) -> Option<f64> {
+    let n = dataset.len();
+    if n < 2 {
+        return None;
+    }
+    let m = dataset.n_outputs();
+    // Per-output standard deviation for normalization.
+    let mut mean = vec![0.0f64; m];
+    for out in dataset.outputs() {
+        for (a, y) in mean.iter_mut().zip(out) {
+            *a += y;
+        }
+    }
+    for a in &mut mean {
+        *a /= n as f64;
+    }
+    let mut var = vec![0.0f64; m];
+    for out in dataset.outputs() {
+        for ((v, y), mu) in var.iter_mut().zip(out).zip(&mean) {
+            *v += (y - mu) * (y - mu);
+        }
+    }
+    let sd: Vec<f64> = var.iter().map(|v| (v / n as f64).sqrt().max(1e-12)).collect();
+
+    let nw = NadarayaWatson { kernel, bandwidth };
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let point = &dataset.raw_points()[i];
+        let truth = &dataset.outputs()[i];
+        let pred = nw.predict_excluding(dataset, point, Some(i))?;
+        for ((p, t), s) in pred.iter().zip(truth).zip(&sd) {
+            let e = (p - t) / s;
+            total += e * e;
+        }
+    }
+    Some(total / (n * m) as f64)
+}
+
+/// Selects the bandwidth minimizing LOO-CV error over `grid` (the default
+/// grid when empty). Falls back to `NadarayaWatson::default().bandwidth`
+/// when the dataset is too small to validate.
+pub fn select_bandwidth(dataset: &Dataset, kernel: Kernel, grid: &[f64]) -> f64 {
+    let grid_owned;
+    let grid = if grid.is_empty() {
+        grid_owned = default_bandwidth_grid();
+        &grid_owned[..]
+    } else {
+        grid
+    };
+    let mut best = NadarayaWatson::default().bandwidth;
+    let mut best_err = f64::INFINITY;
+    for &h in grid {
+        if h <= 0.0 {
+            continue;
+        }
+        if let Some(err) = loo_mse(dataset, kernel, h) {
+            if err < best_err {
+                best_err = err;
+                best = h;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Bounds, Dataset};
+
+    fn smooth_dataset(n: usize) -> Dataset {
+        // Smooth quadratic surface over one variable.
+        let mut d = Dataset::new(Bounds::new(vec![(0, 1000)]), 1);
+        for i in 0..n {
+            let x = (i * 1000 / (n - 1)) as i64;
+            let xf = x as f64 / 1000.0;
+            d.insert(vec![x], vec![3.0 * xf * xf + 0.5 * xf]);
+        }
+        d
+    }
+
+    #[test]
+    fn loo_requires_two_points() {
+        let mut d = Dataset::new(Bounds::new(vec![(0, 10)]), 1);
+        assert!(loo_mse(&d, Kernel::Gaussian, 0.1).is_none());
+        d.insert(vec![0], vec![1.0]);
+        assert!(loo_mse(&d, Kernel::Gaussian, 0.1).is_none());
+        d.insert(vec![5], vec![2.0]);
+        assert!(loo_mse(&d, Kernel::Gaussian, 0.1).is_some());
+    }
+
+    #[test]
+    fn smooth_data_prefers_moderate_bandwidth() {
+        let d = smooth_dataset(40);
+        let h = select_bandwidth(&d, Kernel::Gaussian, &[]);
+        // On a smooth function with dense samples, very large bandwidths
+        // (global averaging) must lose.
+        assert!(h < 0.5, "selected h = {h}");
+        let err_best = loo_mse(&d, Kernel::Gaussian, h).unwrap();
+        let err_huge = loo_mse(&d, Kernel::Gaussian, 1.0).unwrap();
+        assert!(err_best < err_huge);
+    }
+
+    #[test]
+    fn selection_minimizes_over_grid() {
+        let d = smooth_dataset(25);
+        let grid = [0.02, 0.1, 0.5];
+        let h = select_bandwidth(&d, Kernel::Gaussian, &grid);
+        let err_h = loo_mse(&d, Kernel::Gaussian, h).unwrap();
+        for &g in &grid {
+            assert!(err_h <= loo_mse(&d, Kernel::Gaussian, g).unwrap() + 1e-15);
+        }
+    }
+
+    #[test]
+    fn tiny_dataset_falls_back_to_default() {
+        let d = Dataset::new(Bounds::new(vec![(0, 10)]), 1);
+        let h = select_bandwidth(&d, Kernel::Gaussian, &[]);
+        assert_eq!(h, NadarayaWatson::default().bandwidth);
+    }
+
+    #[test]
+    fn normalization_balances_outputs() {
+        // One output is 1000× the other; LOO error must not be dominated.
+        let mut d = Dataset::new(Bounds::new(vec![(0, 100)]), 2);
+        for x in (0..=100).step_by(10) {
+            let xf = x as f64;
+            d.insert(vec![x], vec![xf * 1000.0, xf]);
+        }
+        let e = loo_mse(&d, Kernel::Gaussian, 0.1).unwrap();
+        // Both outputs are the same shape, so normalized error is modest.
+        assert!(e < 1.0, "e = {e}");
+    }
+
+    #[test]
+    fn non_positive_bandwidths_skipped() {
+        let d = smooth_dataset(10);
+        let h = select_bandwidth(&d, Kernel::Gaussian, &[-0.5, 0.0, 0.2]);
+        assert_eq!(h, 0.2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Accuracy probes: mean squared error of the estimator against held-out
+//! truth (the measurement behind the paper's Fig. 3).
+
+use crate::dataset::Dataset;
+use crate::nw::NadarayaWatson;
+
+/// A held-out probe set with known true metric vectors.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeSet {
+    /// `(point, true outputs)` pairs.
+    pub pairs: Vec<(Vec<i64>, Vec<f64>)>,
+}
+
+impl ProbeSet {
+    /// Creates a probe set.
+    pub fn new(pairs: Vec<(Vec<i64>, Vec<f64>)>) -> ProbeSet {
+        ProbeSet { pairs }
+    }
+
+    /// Number of probes.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Per-output MSE of `model` over the probe set, with outputs scaled by
+/// `scales` first (pass the metric ranges to get the paper's normalized
+/// 1e-2-magnitude MSE values). Returns `None` if the model cannot predict
+/// (empty dataset) or the probe set is empty.
+pub fn mse_per_output(
+    model: &NadarayaWatson,
+    dataset: &Dataset,
+    probes: &ProbeSet,
+    scales: &[f64],
+) -> Option<Vec<f64>> {
+    if probes.is_empty() || dataset.is_empty() {
+        return None;
+    }
+    let m = dataset.n_outputs();
+    assert_eq!(scales.len(), m, "one scale per output required");
+    let mut acc = vec![0.0f64; m];
+    for (point, truth) in &probes.pairs {
+        let pred = model.predict(dataset, point)?;
+        for i in 0..m {
+            let s = if scales[i] != 0.0 { scales[i] } else { 1.0 };
+            let e = (pred[i] - truth[i]) / s;
+            acc[i] += e * e;
+        }
+    }
+    for a in &mut acc {
+        *a /= probes.len() as f64;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Bounds;
+    use crate::kernel::Kernel;
+
+    fn setup(n_samples: usize) -> (Dataset, ProbeSet) {
+        let f = |x: i64| {
+            let xf = x as f64 / 1000.0;
+            vec![100.0 * xf, 50.0 * (1.0 - xf)]
+        };
+        let mut d = Dataset::new(Bounds::new(vec![(0, 1000)]), 2);
+        for i in 0..n_samples {
+            let x = (i * 997 / n_samples.max(1)) as i64 % 1001;
+            d.insert(vec![x], f(x));
+        }
+        let probes =
+            ProbeSet::new((0..40).map(|i| (vec![i * 25 + 7], f(i * 25 + 7))).collect());
+        (d, probes)
+    }
+
+    #[test]
+    fn mse_decreases_with_more_samples() {
+        let model = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.05 };
+        let (d_small, probes) = setup(8);
+        let (d_big, _) = setup(120);
+        let small = mse_per_output(&model, &d_small, &probes, &[100.0, 50.0]).unwrap();
+        let big = mse_per_output(&model, &d_big, &probes, &[100.0, 50.0]).unwrap();
+        assert!(big[0] < small[0], "{big:?} vs {small:?}");
+        assert!(big[1] < small[1]);
+    }
+
+    #[test]
+    fn normalized_mse_is_small_for_good_model() {
+        let model = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.03 };
+        let (d, probes) = setup(100);
+        let mse = mse_per_output(&model, &d, &probes, &[100.0, 50.0]).unwrap();
+        // Linear metrics with dense samples: normalized MSE well below 1e-2
+        // (the Fig. 3 magnitude scale).
+        assert!(mse.iter().all(|&e| e < 1e-2), "{mse:?}");
+    }
+
+    #[test]
+    fn empty_inputs_give_none() {
+        let model = NadarayaWatson::default();
+        let (d, probes) = setup(10);
+        let empty_ds = Dataset::new(Bounds::new(vec![(0, 1000)]), 2);
+        assert!(mse_per_output(&model, &empty_ds, &probes, &[1.0, 1.0]).is_none());
+        let empty_probes = ProbeSet::default();
+        assert!(mse_per_output(&model, &d, &empty_probes, &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn zero_scale_treated_as_identity() {
+        let model = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.05 };
+        let (d, probes) = setup(50);
+        let a = mse_per_output(&model, &d, &probes, &[0.0, 1.0]).unwrap();
+        let b = mse_per_output(&model, &d, &probes, &[1.0, 1.0]).unwrap();
+        assert_eq!(a[0], b[0]);
+    }
+}

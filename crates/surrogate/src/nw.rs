@@ -1,0 +1,178 @@
+//! Nadaraya-Watson regression (the paper's Eq. 2).
+//!
+//! `ŷ = Σ K_h(x, xᵢ)·yᵢ / Σ K_h(x, xᵢ)` — "loosely speaking a weighted
+//! average of the dataset points, where the weights are defined by a
+//! Gaussian Kernel function". Being non-parametric, "training" is just
+//! keeping the dataset; the bandwidth `h` is the only free parameter
+//! (selected by LOO cross-validation, see [`crate::loocv`]).
+
+use crate::dataset::Dataset;
+use crate::kernel::Kernel;
+
+/// A Nadaraya-Watson estimator: kernel + bandwidth over a [`Dataset`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NadarayaWatson {
+    /// Kernel function.
+    pub kernel: Kernel,
+    /// Bandwidth `h` in normalized-coordinate units.
+    pub bandwidth: f64,
+}
+
+impl Default for NadarayaWatson {
+    fn default() -> Self {
+        NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.1 }
+    }
+}
+
+impl NadarayaWatson {
+    /// Predicts all outputs at the (raw, integer) query point.
+    ///
+    /// Returns `None` when the dataset is empty. When all kernel weights
+    /// underflow (query far from every sample under a compact kernel), the
+    /// estimator degrades to the nearest neighbour's outputs — a defined
+    /// answer is always available once the dataset is non-empty.
+    pub fn predict(&self, dataset: &Dataset, point: &[i64]) -> Option<Vec<f64>> {
+        self.predict_excluding(dataset, point, None)
+    }
+
+    /// Like [`NadarayaWatson::predict`], excluding dataset row `exclude`
+    /// (used for leave-one-out validation).
+    pub fn predict_excluding(
+        &self,
+        dataset: &Dataset,
+        point: &[i64],
+        exclude: Option<usize>,
+    ) -> Option<Vec<f64>> {
+        let n = dataset.len();
+        let effective = n - usize::from(exclude.is_some() && n > 0);
+        if effective == 0 {
+            return None;
+        }
+        let x = dataset.normalize(point);
+        let mut num = vec![0.0f64; dataset.n_outputs()];
+        let mut den = 0.0f64;
+        let mut nearest: Option<(f64, usize)> = None;
+        for i in 0..n {
+            if Some(i) == exclude {
+                continue;
+            }
+            let d2 = dataset.dist2_to(&x, i);
+            let w = self.kernel.weight(d2, self.bandwidth);
+            den += w;
+            for (acc, y) in num.iter_mut().zip(&dataset.outputs()[i]) {
+                *acc += w * y;
+            }
+            if nearest.map_or(true, |(bd, _)| d2 < bd) {
+                nearest = Some((d2, i));
+            }
+        }
+        if den <= f64::MIN_POSITIVE * 1e3 {
+            // All weights vanished: nearest-neighbour fallback.
+            let (_, i) = nearest?;
+            return Some(dataset.outputs()[i].clone());
+        }
+        Some(num.into_iter().map(|v| v / den).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Bounds;
+
+    fn line_dataset() -> Dataset {
+        // y = 2x over x ∈ [0, 100].
+        let mut d = Dataset::new(Bounds::new(vec![(0, 100)]), 1);
+        for x in (0..=100).step_by(5) {
+            d.insert(vec![x], vec![2.0 * x as f64]);
+        }
+        d
+    }
+
+    #[test]
+    fn empty_dataset_gives_none() {
+        let d = Dataset::new(Bounds::new(vec![(0, 10)]), 1);
+        let nw = NadarayaWatson::default();
+        assert!(nw.predict(&d, &[5]).is_none());
+    }
+
+    #[test]
+    fn exact_sample_recovered_with_small_bandwidth() {
+        let d = line_dataset();
+        let nw = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.01 };
+        let y = nw.predict(&d, &[50]).unwrap()[0];
+        assert!((y - 100.0).abs() < 1.0, "y = {y}");
+    }
+
+    #[test]
+    fn interpolates_between_samples() {
+        let d = line_dataset();
+        let nw = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.03 };
+        let y = nw.predict(&d, &[52]).unwrap()[0];
+        assert!((y - 104.0).abs() < 6.0, "y = {y}");
+    }
+
+    #[test]
+    fn huge_bandwidth_tends_to_global_mean() {
+        let d = line_dataset();
+        let nw = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 100.0 };
+        let y = nw.predict(&d, &[0]).unwrap()[0];
+        // Global mean of y = 2x over 0..=100 step 5 is 100.
+        assert!((y - 100.0).abs() < 2.0, "y = {y}");
+    }
+
+    #[test]
+    fn weighted_average_is_bounded_by_data() {
+        let d = line_dataset();
+        for h in [0.01, 0.05, 0.2, 1.0] {
+            let nw = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: h };
+            let y = nw.predict(&d, &[33]).unwrap()[0];
+            assert!((0.0..=200.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn compact_kernel_falls_back_to_nearest_neighbour() {
+        let mut d = Dataset::new(Bounds::new(vec![(0, 1000)]), 1);
+        d.insert(vec![0], vec![7.0]);
+        d.insert(vec![1000], vec![9.0]);
+        let nw = NadarayaWatson { kernel: Kernel::Epanechnikov, bandwidth: 0.05 };
+        // Query in the middle, slightly nearer to 1000.
+        let y = nw.predict(&d, &[600]).unwrap()[0];
+        assert_eq!(y, 9.0);
+    }
+
+    #[test]
+    fn multi_output_prediction() {
+        let mut d = Dataset::new(Bounds::new(vec![(0, 10)]), 2);
+        for x in 0..=10 {
+            d.insert(vec![x], vec![x as f64, 10.0 - x as f64]);
+        }
+        let nw = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.05 };
+        let y = nw.predict(&d, &[4]).unwrap();
+        assert!((y[0] - 4.0).abs() < 0.5);
+        assert!((y[1] - 6.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn loo_exclusion_changes_prediction() {
+        let mut d = Dataset::new(Bounds::new(vec![(0, 10)]), 1);
+        d.insert(vec![0], vec![0.0]);
+        d.insert(vec![5], vec![100.0]);
+        d.insert(vec![10], vec![0.0]);
+        let nw = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.2 };
+        let with = nw.predict(&d, &[5]).unwrap()[0];
+        let without = nw.predict_excluding(&d, &[5], Some(1)).unwrap()[0];
+        assert!(with > without, "{with} vs {without}");
+    }
+
+    #[test]
+    fn single_point_dataset_predicts_constant() {
+        let mut d = Dataset::new(Bounds::new(vec![(0, 10)]), 1);
+        d.insert(vec![3], vec![42.0]);
+        let nw = NadarayaWatson::default();
+        assert_eq!(nw.predict(&d, &[9]).unwrap()[0], 42.0);
+        // LOO on a single point: nothing left.
+        assert!(nw.predict_excluding(&d, &[3], Some(0)).is_none());
+    }
+}

@@ -1,0 +1,104 @@
+//! The similarity measure Φ (the paper's Eq. 4, after Shokri et al. [27]).
+//!
+//! `Φₙ(x) = sqrt( Σⱼ (xⱼ − zⁿⱼ)² / m )` — the root-mean-square per-dimension
+//! distance between a candidate point `x` and its n-th nearest dataset
+//! point `zⁿ`. Computed in normalized coordinates so Φ is comparable
+//! across parameters with different ranges (the "run-time information"
+//! the paper's adaptive threshold accounts for).
+
+use crate::dataset::Dataset;
+
+/// Φₙ for the query against the dataset (`n = 1` → nearest point).
+/// `None` when the dataset holds fewer than `n` points.
+pub fn phi_n(dataset: &Dataset, point: &[i64], n: usize) -> Option<f64> {
+    debug_assert!(n >= 1);
+    if dataset.len() < n {
+        return None;
+    }
+    let x = dataset.normalize(point);
+    let sorted = dataset.sorted_dist2(&x, None);
+    let (_, d2) = sorted[n - 1];
+    Some((d2 / dataset.dim() as f64).sqrt())
+}
+
+/// Φ₁ between dataset row `i` and its nearest *other* row — the
+/// ingredient of the adaptive threshold Γ.
+pub fn phi_within(dataset: &Dataset, i: usize) -> Option<f64> {
+    if dataset.len() < 2 {
+        return None;
+    }
+    let x = dataset.points()[i].clone();
+    let sorted = dataset.sorted_dist2(&x, Some(i));
+    let (_, d2) = sorted[0];
+    Some((d2 / dataset.dim() as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Bounds, Dataset};
+
+    fn ds() -> Dataset {
+        let mut d = Dataset::new(Bounds::new(vec![(0, 100), (0, 100)]), 1);
+        d.insert(vec![0, 0], vec![0.0]);
+        d.insert(vec![100, 100], vec![0.0]);
+        d.insert(vec![50, 50], vec![0.0]);
+        d
+    }
+
+    #[test]
+    fn phi_of_exact_point_is_zero() {
+        assert_eq!(phi_n(&ds(), &[50, 50], 1), Some(0.0));
+    }
+
+    #[test]
+    fn phi_matches_eq4_by_hand() {
+        // Query (10, 0): nearest is (0,0); normalized deltas (0.1, 0).
+        // Φ₁ = sqrt((0.01 + 0) / 2) ≈ 0.0707.
+        let phi = phi_n(&ds(), &[10, 0], 1).unwrap();
+        assert!((phi - (0.01f64 / 2.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_second_nearest() {
+        let phi1 = phi_n(&ds(), &[10, 0], 1).unwrap();
+        let phi2 = phi_n(&ds(), &[10, 0], 2).unwrap();
+        assert!(phi2 > phi1);
+    }
+
+    #[test]
+    fn phi_none_when_dataset_too_small() {
+        let empty = Dataset::new(Bounds::new(vec![(0, 10)]), 1);
+        assert_eq!(phi_n(&empty, &[0], 1), None);
+        assert_eq!(phi_n(&ds(), &[0, 0], 4), None);
+    }
+
+    #[test]
+    fn phi_within_nearest_other() {
+        let d = ds();
+        // Row 2 = (50,50): nearest other is (0,0) or (100,100), both at
+        // normalized distance sqrt(0.5)/sqrt(2) = 0.5.
+        let phi = phi_within(&d, 2).unwrap();
+        assert!((phi - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_within_needs_two_points() {
+        let mut d = Dataset::new(Bounds::new(vec![(0, 10)]), 1);
+        d.insert(vec![3], vec![0.0]);
+        assert_eq!(phi_within(&d, 0), None);
+    }
+
+    #[test]
+    fn phi_scale_free_across_ranges() {
+        // Same relative geometry in a space with a huge range must give
+        // the same Φ as in a small range.
+        let mut small = Dataset::new(Bounds::new(vec![(0, 10)]), 1);
+        small.insert(vec![0], vec![0.0]);
+        let mut big = Dataset::new(Bounds::new(vec![(0, 1_000_000)]), 1);
+        big.insert(vec![0], vec![0.0]);
+        let ps = phi_n(&small, &[5], 1).unwrap();
+        let pb = phi_n(&big, &[500_000], 1).unwrap();
+        assert!((ps - pb).abs() < 1e-12);
+    }
+}

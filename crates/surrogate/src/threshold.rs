@@ -1,0 +1,115 @@
+//! Estimate-or-evaluate threshold policies.
+//!
+//! "The threshold setting is a non-trivial problem that depends on run-time
+//! information … we employ an adaptive threshold set Γ by averaging the
+//! distance between dataset points and updating it after an addition to the
+//! dataset, Γ = Σ Φⁱₙ / L" (§III-C). A fixed-threshold policy is kept for
+//! the ablation bench.
+
+use crate::dataset::Dataset;
+use crate::similarity::phi_within;
+
+/// How the controller derives Γ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdPolicy {
+    /// The paper's adaptive Γ: mean over the dataset of each point's Φ to
+    /// its nearest neighbour, optionally scaled (scale 1.0 = paper).
+    Adaptive {
+        /// Multiplier applied to the mean distance.
+        scale: f64,
+    },
+    /// A fixed Γ in normalized-coordinate units.
+    Fixed(f64),
+    /// Γ = 0: never trust the estimator (always evaluate) — the
+    /// "approximator disabled" mode used by the paper's Corundum, Neorv32
+    /// and TiReX experiments.
+    Never,
+}
+
+impl ThresholdPolicy {
+    /// The paper's default policy.
+    pub fn paper_default() -> ThresholdPolicy {
+        ThresholdPolicy::Adaptive { scale: 1.0 }
+    }
+
+    /// Computes Γ for the current dataset.
+    pub fn gamma(&self, dataset: &Dataset) -> f64 {
+        match self {
+            ThresholdPolicy::Fixed(g) => *g,
+            ThresholdPolicy::Never => 0.0,
+            ThresholdPolicy::Adaptive { scale } => {
+                let l = dataset.len();
+                if l < 2 {
+                    return 0.0;
+                }
+                let sum: f64 = (0..l).filter_map(|i| phi_within(dataset, i)).sum();
+                scale * sum / l as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Bounds, Dataset};
+
+    fn grid_dataset(step: i64) -> Dataset {
+        let mut d = Dataset::new(Bounds::new(vec![(0, 100)]), 1);
+        let mut x = 0;
+        while x <= 100 {
+            d.insert(vec![x], vec![0.0]);
+            x += step;
+        }
+        d
+    }
+
+    #[test]
+    fn adaptive_gamma_matches_grid_spacing() {
+        // Evenly spaced points at distance 10/100 = 0.1 normalized; every
+        // nearest-neighbour Φ is 0.1, so Γ = 0.1.
+        let d = grid_dataset(10);
+        let g = ThresholdPolicy::paper_default().gamma(&d);
+        assert!((g - 0.1).abs() < 1e-12, "gamma = {g}");
+    }
+
+    #[test]
+    fn denser_dataset_shrinks_gamma() {
+        let sparse = ThresholdPolicy::paper_default().gamma(&grid_dataset(25));
+        let dense = ThresholdPolicy::paper_default().gamma(&grid_dataset(5));
+        assert!(dense < sparse);
+    }
+
+    #[test]
+    fn gamma_updates_after_insertion() {
+        let mut d = grid_dataset(20);
+        let before = ThresholdPolicy::paper_default().gamma(&d);
+        // Insert a point snuggled next to an existing one.
+        d.insert(vec![21], vec![0.0]);
+        let after = ThresholdPolicy::paper_default().gamma(&d);
+        assert!(after < before);
+    }
+
+    #[test]
+    fn small_dataset_gamma_zero() {
+        let mut d = Dataset::new(Bounds::new(vec![(0, 10)]), 1);
+        assert_eq!(ThresholdPolicy::paper_default().gamma(&d), 0.0);
+        d.insert(vec![5], vec![0.0]);
+        assert_eq!(ThresholdPolicy::paper_default().gamma(&d), 0.0);
+    }
+
+    #[test]
+    fn fixed_and_never() {
+        let d = grid_dataset(10);
+        assert_eq!(ThresholdPolicy::Fixed(0.42).gamma(&d), 0.42);
+        assert_eq!(ThresholdPolicy::Never.gamma(&d), 0.0);
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let d = grid_dataset(10);
+        let g1 = ThresholdPolicy::Adaptive { scale: 1.0 }.gamma(&d);
+        let g2 = ThresholdPolicy::Adaptive { scale: 2.0 }.gamma(&d);
+        assert!((g2 - 2.0 * g1).abs() < 1e-12);
+    }
+}

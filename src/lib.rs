@@ -1,0 +1,18 @@
+//! # dovado-repro
+//!
+//! Workspace facade: re-exports the crates of the Dovado reproduction so
+//! the examples and integration tests have one import root.
+//!
+//! * [`dovado`] — the framework (design automation + DSE).
+//! * [`dovado_hdl`] — VHDL/(System)Verilog declaration parsers.
+//! * [`dovado_fpga`] — device models.
+//! * [`dovado_eda`] — the simulated Vivado.
+//! * [`dovado_moo`] — NSGA-II and friends.
+//! * [`dovado_surrogate`] — the Nadaraya-Watson fitness approximation.
+
+pub use dovado;
+pub use dovado_eda;
+pub use dovado_fpga;
+pub use dovado_hdl;
+pub use dovado_moo;
+pub use dovado_surrogate;

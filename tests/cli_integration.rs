@@ -1,0 +1,185 @@
+//! CLI-level integration: the `dovado` command driven as a library (the
+//! binary is a thin wrapper around `dovado::cli::run`).
+
+use dovado::cli::run;
+use std::path::PathBuf;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn temp_file(name: &str, content: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dovado-cli-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+const FIFO: &str = "module fifo_v3 #(parameter DEPTH = 8, parameter DATA_WIDTH = 32)\
+                    (input logic clk_i); endmodule";
+
+#[test]
+fn explore_with_power_metric_and_csv() {
+    let src = temp_file("pw.sv", FIFO);
+    let csv = std::env::temp_dir().join("dovado-cli-integration").join("front.csv");
+    let mut out = String::new();
+    let code = run(
+        &args(&[
+            "explore",
+            "--source",
+            src.to_str().unwrap(),
+            "--top",
+            "fifo_v3",
+            "--param",
+            "DEPTH=2:64:2",
+            "--metric",
+            "lut,power,fmax",
+            "--generations",
+            "3",
+            "--pop",
+            "8",
+            "--csv",
+            csv.to_str().unwrap(),
+        ]),
+        &mut out,
+    );
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("Power[mW]"), "{out}");
+    let written = std::fs::read_to_string(&csv).unwrap();
+    let rows = dovado::csv::parse(&written);
+    assert!(rows.len() >= 2, "no data rows:\n{written}");
+    assert_eq!(rows[0][0], "label");
+    assert!(rows[0].contains(&"Power[mW]".to_string()));
+    // Data rows carry numeric power values.
+    let power_col = rows[0].iter().position(|c| c == "Power[mW]").unwrap();
+    assert!(rows[1][power_col].parse::<f64>().unwrap() > 0.0);
+}
+
+#[test]
+fn explore_with_random_algorithm() {
+    let src = temp_file("ra.sv", FIFO);
+    let mut out = String::new();
+    let code = run(
+        &args(&[
+            "explore",
+            "--source",
+            src.to_str().unwrap(),
+            "--top",
+            "fifo_v3",
+            "--param",
+            "DEPTH=2:128",
+            "--metric",
+            "lut,fmax",
+            "--generations",
+            "3",
+            "--pop",
+            "10",
+            "--algorithm",
+            "random",
+        ]),
+        &mut out,
+    );
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("non-dominated"));
+}
+
+#[test]
+fn explore_exhaustive_small_space() {
+    let src = temp_file("ex.sv", FIFO);
+    let mut out = String::new();
+    let code = run(
+        &args(&[
+            "explore",
+            "--source",
+            src.to_str().unwrap(),
+            "--top",
+            "fifo_v3",
+            "--param",
+            "DEPTH=pow2:2:5",
+            "--metric",
+            "ff,fmax",
+            "--algorithm",
+            "exhaustive",
+        ]),
+        &mut out,
+    );
+    assert_eq!(code, 0, "{out}");
+    // 4 points evaluated exactly once each.
+    assert!(out.contains("4 evaluation(s)"), "{out}");
+}
+
+#[test]
+fn explore_with_deadline_and_surrogate() {
+    let src = temp_file("dl.sv", FIFO);
+    let mut out = String::new();
+    let code = run(
+        &args(&[
+            "explore",
+            "--source",
+            src.to_str().unwrap(),
+            "--top",
+            "fifo_v3",
+            "--param",
+            "DEPTH=2:512:2",
+            "--metric",
+            "lut,ff,fmax",
+            "--generations",
+            "50",
+            "--pop",
+            "8",
+            "--surrogate",
+            "20",
+            "--deadline",
+            "20000",
+        ]),
+        &mut out,
+    );
+    assert_eq!(code, 0, "{out}");
+    // Surrogate columns appear in the summary.
+    assert!(out.contains("estimated"), "{out}");
+}
+
+#[test]
+fn evaluate_reports_power() {
+    let src = temp_file("ev.sv", FIFO);
+    let mut out = String::new();
+    let code = run(
+        &args(&[
+            "evaluate",
+            "--source",
+            src.to_str().unwrap(),
+            "--top",
+            "fifo_v3",
+            "--set",
+            "DEPTH=32",
+        ]),
+        &mut out,
+    );
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("Fmax"));
+    assert!(out.contains("tool time"));
+}
+
+#[test]
+fn bad_flag_reports_usage_hint() {
+    let src = temp_file("bf.sv", FIFO);
+    let mut out = String::new();
+    let code = run(
+        &args(&[
+            "explore",
+            "--source",
+            src.to_str().unwrap(),
+            "--top",
+            "fifo_v3",
+            "--param",
+            "DEPTH=2:8",
+            "--warp-factor",
+            "9",
+        ]),
+        &mut out,
+    );
+    assert_eq!(code, 1);
+    assert!(out.contains("unknown flag"));
+    assert!(out.contains("dovado help"));
+}

@@ -1,0 +1,183 @@
+//! End-to-end integration: every case study through the full pipeline —
+//! parse → box → TCL frames → simulated Vivado → report scraping →
+//! metrics — plus cross-cutting invariants the paper's flow relies on.
+
+use dovado::casestudies::{all, corundum, cv32e40p, neorv32, tirex};
+use dovado::{generate_box, DesignPoint, EvalConfig, FlowStep};
+use dovado_fpga::ResourceKind;
+use dovado_hdl::{parse_source, Language};
+
+#[test]
+fn every_case_study_evaluates_one_point() {
+    for cs in all() {
+        let tool = cs.dovado().unwrap_or_else(|e| panic!("{}: {e}", cs.name));
+        // Take the midpoint of the space.
+        let mid: Vec<i64> = cs
+            .space
+            .index_vars()
+            .iter()
+            .map(|v| (v.lo + v.hi) / 2)
+            .collect();
+        let point = cs.space.decode(&mid).unwrap();
+        let eval = tool
+            .evaluate_point(&point)
+            .unwrap_or_else(|e| panic!("{}: {e}", cs.name));
+        assert!(eval.utilization.get(ResourceKind::Lut) > 0, "{}", cs.name);
+        assert!(eval.fmax_mhz > 50.0 && eval.fmax_mhz < 1000.0, "{}: {}", cs.name, eval.fmax_mhz);
+        assert!(eval.tool_time_s > 0.0, "{}", cs.name);
+    }
+}
+
+#[test]
+fn box_sources_reparse_in_all_languages() {
+    for cs in all() {
+        let tool = cs.dovado().unwrap();
+        let mid: Vec<i64> =
+            cs.space.index_vars().iter().map(|v| (v.lo + v.hi) / 2).collect();
+        let point = cs.space.decode(&mid).unwrap();
+        let boxed = generate_box(tool.evaluator().module(), &point).unwrap();
+        let (file, diags) = parse_source(boxed.language, &boxed.source)
+            .unwrap_or_else(|e| panic!("{}: box does not reparse: {e}", cs.name));
+        assert!(!diags.has_errors(), "{}", cs.name);
+        assert_eq!(file.modules[0].name, "box", "{}", cs.name);
+        let inst = &file.instantiations[0];
+        assert_eq!(inst.label, "BOXED", "{}", cs.name);
+        assert_eq!(
+            inst.target_simple().to_ascii_lowercase(),
+            cs.top.to_ascii_lowercase(),
+            "{}",
+            cs.name
+        );
+        assert_eq!(inst.generics.len(), point.len(), "{}", cs.name);
+    }
+}
+
+#[test]
+fn synthesis_only_flow_is_cheaper_and_optimistic() {
+    let cs = corundum::case_study();
+    let point = DesignPoint::from_pairs(&[
+        ("OP_TABLE_SIZE", 16),
+        ("QUEUE_INDEX_WIDTH", 5),
+        ("PIPELINE", 3),
+    ]);
+    let full = cs.dovado().unwrap().evaluate_point(&point).unwrap();
+    let synth_only = cs
+        .dovado_with(EvalConfig {
+            part: cs.part.to_string(),
+            step: FlowStep::Synthesis,
+            ..Default::default()
+        })
+        .unwrap()
+        .evaluate_point(&point)
+        .unwrap();
+    assert!(synth_only.tool_time_s < full.tool_time_s);
+    assert!(synth_only.fmax_mhz > full.fmax_mhz);
+}
+
+#[test]
+fn fmax_equation_consistent_across_the_stack() {
+    // Eq. 1 must hold from the raw report numbers up to the Evaluation.
+    let cs = cv32e40p::case_study();
+    let tool = cs.dovado().unwrap();
+    let e = tool.evaluate_point(&DesignPoint::from_pairs(&[("DEPTH", 256)])).unwrap();
+    let recomputed = 1000.0 / (e.period_ns - e.wns_ns);
+    assert!((recomputed - e.fmax_mhz).abs() < 1e-9);
+}
+
+#[test]
+fn determinism_across_fresh_instances() {
+    let run = || {
+        let cs = tirex::case_study();
+        let tool = cs.dovado().unwrap();
+        let p = DesignPoint::from_pairs(&[
+            ("NCLUSTER", 2),
+            ("STACK_SIZE", 32),
+            ("IMEM_SIZE", 8),
+            ("DMEM_SIZE", 16),
+        ]);
+        let e = tool.evaluate_point(&p).unwrap();
+        (e.utilization, e.wns_ns)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_devices_give_different_absolute_results() {
+    let cs = tirex::case_study();
+    let p = DesignPoint::from_pairs(&[
+        ("NCLUSTER", 1),
+        ("STACK_SIZE", 16),
+        ("IMEM_SIZE", 8),
+        ("DMEM_SIZE", 8),
+    ]);
+    let zu = cs.dovado().unwrap().evaluate_point(&p).unwrap();
+    let k7 = cs.dovado_on(tirex::XC7K_PART).unwrap().evaluate_point(&p).unwrap();
+    assert!(zu.fmax_mhz > 1.8 * k7.fmax_mhz);
+    // Same logical design: identical BRAM count on both devices.
+    assert_eq!(
+        zu.utilization.get(ResourceKind::Bram),
+        k7.utilization.get(ResourceKind::Bram)
+    );
+}
+
+#[test]
+fn neorv32_vhdl_library_flow() {
+    // The VHDL sources load under a named library (paper §III-A3's naming
+    // constraint) and still elaborate.
+    let cs = neorv32::case_study();
+    let mut sources = cs.sources.clone();
+    sources[0].library = Some("neorv32".into());
+    let tool = dovado::Dovado::new(
+        sources,
+        cs.top,
+        cs.space.clone(),
+        EvalConfig { part: cs.part.into(), ..Default::default() },
+    )
+    .unwrap();
+    let e = tool
+        .evaluate_point(&DesignPoint::from_pairs(&[
+            ("MEM_INT_IMEM_SIZE", 4096),
+            ("MEM_INT_DMEM_SIZE", 4096),
+        ]))
+        .unwrap();
+    assert!(e.utilization.get(ResourceKind::Bram) >= 2);
+}
+
+#[test]
+fn cached_reruns_are_cheap_and_identical() {
+    let cs = cv32e40p::case_study();
+    let tool = cs.dovado().unwrap();
+    let p = DesignPoint::from_pairs(&[("DEPTH", 300)]);
+    let first = tool.evaluate_point(&p).unwrap();
+    let second = tool.evaluate_point(&p).unwrap();
+    assert_eq!(first.utilization, second.utilization);
+    assert_eq!(first.wns_ns, second.wns_ns);
+    assert!(second.tool_time_s < 0.3 * first.tool_time_s);
+}
+
+#[test]
+fn mixed_language_project() {
+    // A SystemVerilog FIFO instantiated beside a Verilog module in the
+    // same project: both languages flow through one evaluation.
+    let fifo = dovado::HdlSource::new(
+        "fifo.sv",
+        Language::SystemVerilog,
+        cv32e40p::FIFO_SV,
+    );
+    let side = dovado::HdlSource::new(
+        "side.v",
+        Language::Verilog,
+        "module side_logic(input wire clk, output reg tick);\n\
+         always @(posedge clk) tick <= ~tick;\nendmodule\n",
+    );
+    let space = dovado::ParameterSpace::new().with("DEPTH", dovado::Domain::range(2, 64));
+    let tool = dovado::Dovado::new(
+        vec![fifo, side],
+        "fifo_v3",
+        space,
+        EvalConfig::default(),
+    )
+    .unwrap();
+    let e = tool.evaluate_point(&DesignPoint::from_pairs(&[("DEPTH", 32)])).unwrap();
+    assert!(e.utilization.get(ResourceKind::Lut) > 0);
+}

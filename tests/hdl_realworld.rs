@@ -1,0 +1,287 @@
+//! Parser robustness against realistic, messy RTL — the "wide variety of
+//! declaration styles" (§III-A1) plus the body constructs the scanners must
+//! skip without losing their place.
+
+use dovado_hdl::{parse_source, Direction, Language};
+use std::collections::BTreeMap;
+
+const NEORV32_STYLE_PACKAGE: &str = r#"
+-- Package in the Neorv32 style: constants, records, functions.
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+package neorv32_package is
+
+  -- Architecture constants
+  constant data_width_c : natural := 32;
+  constant def_rst_val_c : std_ulogic := '0';
+  constant mem_size_c    : natural := 16#4000#;
+
+  -- Internal interface record
+  type bus_req_t is record
+    addr : std_ulogic_vector(31 downto 0);
+    data : std_ulogic_vector(31 downto 0);
+    we   : std_ulogic;
+  end record;
+
+  -- Component declaration with generics
+  component neorv32_cpu
+    generic (
+      HW_THREAD_ID : natural := 0;
+      CPU_BOOT_ADDR : std_ulogic_vector(31 downto 0) := x"00000000"
+    );
+    port (
+      clk_i  : in  std_ulogic;
+      rstn_i : in  std_ulogic
+    );
+  end component;
+
+  function index_size_f(input : natural) return natural;
+
+end neorv32_package;
+
+package body neorv32_package is
+
+  function index_size_f(input : natural) return natural is
+  begin
+    for i in 0 to natural'high loop
+      if (2**i >= input) then
+        return i;
+      end if;
+    end loop;
+    return 0;
+  end function index_size_f;
+
+end neorv32_package;
+"#;
+
+#[test]
+fn vhdl_package_with_records_and_functions() {
+    let (f, d) = parse_source(Language::Vhdl, NEORV32_STYLE_PACKAGE).unwrap();
+    assert!(!d.has_errors(), "{:?}", d.iter().collect::<Vec<_>>());
+    assert_eq!(f.packages.len(), 1);
+    assert_eq!(f.packages[0].name, "neorv32_package");
+    // No phantom modules out of the package internals.
+    assert!(f.modules.is_empty());
+}
+
+const GENERATE_HEAVY_VHDL: &str = r#"
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity ring_buffer is
+  generic (
+    LANES : positive := 4;
+    DEPTH : positive := 64;
+    WIDTH : positive := 8
+  );
+  port (
+    clk     : in  std_logic;
+    arst_n  : in  std_logic;
+    din     : in  std_logic_vector(LANES*WIDTH-1 downto 0);
+    dout    : out std_logic_vector(LANES*WIDTH-1 downto 0);
+    lvl     : out std_logic_vector(7 downto 0)
+  );
+end ring_buffer;
+
+architecture rtl of ring_buffer is
+  type lane_array_t is array (0 to LANES-1) of std_logic_vector(WIDTH-1 downto 0);
+  signal lanes_q : lane_array_t;
+begin
+  gen_lanes: for i in 0 to LANES-1 generate
+    lane_proc: process (clk, arst_n)
+    begin
+      if arst_n = '0' then
+        lanes_q(i) <= (others => '0');
+      elsif rising_edge(clk) then
+        lanes_q(i) <= din((i+1)*WIDTH-1 downto i*WIDTH);
+      end if;
+    end process lane_proc;
+    dout((i+1)*WIDTH-1 downto i*WIDTH) <= lanes_q(i);
+  end generate gen_lanes;
+
+  cond_gen: if DEPTH > 32 generate
+    lvl <= (others => '1');
+  end generate cond_gen;
+end architecture rtl;
+"#;
+
+#[test]
+fn vhdl_generate_blocks_skipped_cleanly() {
+    let (f, d) = parse_source(Language::Vhdl, GENERATE_HEAVY_VHDL).unwrap();
+    assert!(!d.has_errors(), "{:?}", d.iter().collect::<Vec<_>>());
+    let m = f.module("ring_buffer").unwrap();
+    assert_eq!(m.parameters.len(), 3);
+    assert_eq!(m.ports.len(), 5);
+    // Symbolic product width resolves under a binding.
+    let mut env = BTreeMap::new();
+    env.insert("LANES".to_string(), 4i64);
+    env.insert("WIDTH".to_string(), 8i64);
+    assert_eq!(m.port("din").unwrap().ty.bit_width(&env).unwrap(), 32);
+    assert_eq!(f.architectures, vec![("rtl".to_string(), "ring_buffer".to_string())]);
+}
+
+const MESSY_SV: &str = r#"
+`timescale 1ns/1ps
+`define DEBUG_LEVEL 2
+
+package axi_pkg;
+  typedef enum logic [1:0] { OKAY, EXOKAY, SLVERR, DECERR } resp_e;
+  localparam int unsigned StrbWidth = 8;
+endpackage : axi_pkg
+
+import axi_pkg::*;
+
+module axi_buffer
+  import axi_pkg::*;
+#(
+    parameter int unsigned AddrWidth  = 32,
+    parameter int unsigned DataWidth  = 64,
+    parameter bit          PassThru   = 1'b0,
+    parameter int unsigned NumSlots   = (DataWidth > 32) ? 4 : 2,
+    localparam int unsigned SlotBits  = $clog2(NumSlots)
+) (
+    input  logic                 clk_i,
+    input  logic                 rst_ni,
+    input  logic [AddrWidth-1:0] awaddr_i,
+    input  logic [DataWidth-1:0] wdata_i,
+    input  logic [DataWidth/8-1:0] wstrb_i,
+    output logic [1:0]           bresp_o,
+    output logic                 full_o
+);
+
+  // function with input args (must not become ports)
+  function automatic logic [SlotBits-1:0] next_slot(input logic [SlotBits-1:0] cur);
+    next_slot = cur + 1'b1;
+  endfunction
+
+  logic [SlotBits-1:0] wr_slot_q;
+  logic [DataWidth-1:0] slots_q [NumSlots];
+
+  generate
+    if (PassThru) begin : g_pass
+      assign bresp_o = 2'b00;
+    end else begin : g_buf
+      always_ff @(posedge clk_i or negedge rst_ni) begin
+        if (!rst_ni) begin
+          wr_slot_q <= '0';
+        end else begin
+          wr_slot_q <= next_slot(wr_slot_q);
+          slots_q[wr_slot_q] <= wdata_i;
+        end
+      end
+      assign bresp_o = 2'b01;
+    end
+  endgenerate
+
+  assign full_o = &wr_slot_q;
+
+endmodule : axi_buffer
+"#;
+
+#[test]
+fn systemverilog_with_package_imports_and_generates() {
+    let (f, d) = parse_source(Language::SystemVerilog, MESSY_SV).unwrap();
+    assert!(!d.has_errors(), "{:?}", d.iter().collect::<Vec<_>>());
+    assert_eq!(f.packages.len(), 1);
+    assert_eq!(f.packages[0].name, "axi_pkg");
+    let m = f.module("axi_buffer").unwrap();
+    // 4 free parameters + 1 localparam.
+    assert_eq!(m.free_parameters().count(), 4);
+    assert!(m.parameter("SlotBits").unwrap().local);
+    // The function's `input` argument did not leak into the port list.
+    assert_eq!(m.ports.len(), 7);
+    assert!(m.port("cur").is_none());
+    assert_eq!(m.port("wstrb_i").unwrap().direction, Direction::In);
+    // Width with division resolves.
+    let mut env = BTreeMap::new();
+    env.insert("DataWidth".to_string(), 64i64);
+    assert_eq!(m.port("wstrb_i").unwrap().ty.bit_width(&env).unwrap(), 8);
+    // Ternary localparam evaluates through bind_parameters.
+    let bound = dovado_eda::bind_parameters(m, &BTreeMap::new()).unwrap();
+    assert_eq!(bound["NumSlots"], 4);
+    assert_eq!(bound["SlotBits"], 2);
+}
+
+const LEGACY_VERILOG: &str = r#"
+/* 1995-style module with non-ANSI everything. */
+module shift_reg (clk, rst, en, d, q, tap);
+  parameter LEN = 16;
+  parameter TAP_POS = 7;
+
+  input clk;
+  input rst;
+  input en;
+  input d;
+  output q;
+  output tap;
+
+  reg [LEN-1:0] sr;
+
+  always @(posedge clk or posedge rst)
+    if (rst)
+      sr <= {LEN{1'b0}};
+    else if (en)
+      sr <= {sr[LEN-2:0], d};
+
+  assign q   = sr[LEN-1];
+  assign tap = sr[TAP_POS];
+
+endmodule
+"#;
+
+#[test]
+fn legacy_verilog_non_ansi() {
+    let (f, d) = parse_source(Language::Verilog, LEGACY_VERILOG).unwrap();
+    assert!(!d.has_errors(), "{:?}", d.iter().collect::<Vec<_>>());
+    let m = f.module("shift_reg").unwrap();
+    assert_eq!(m.language, Language::Verilog);
+    assert_eq!(m.parameters.len(), 2);
+    assert_eq!(m.ports.len(), 6);
+    assert_eq!(m.port("q").unwrap().direction, Direction::Out);
+    assert_eq!(m.port("clk").unwrap().direction, Direction::In);
+    assert_eq!(m.clock_port().unwrap().name, "clk");
+}
+
+#[test]
+fn all_fixtures_evaluate_through_the_flow() {
+    // Every fixture module must survive box generation + the full flow via
+    // the generic architecture model.
+    use dovado::{DesignPoint, Domain, Dovado, EvalConfig, HdlSource, ParameterSpace};
+    let cases: Vec<(&str, Language, &str, ParameterSpace, DesignPoint)> = vec![
+        (
+            "ring_buffer",
+            Language::Vhdl,
+            GENERATE_HEAVY_VHDL,
+            ParameterSpace::new().with("DEPTH", Domain::range(8, 256)),
+            DesignPoint::from_pairs(&[("DEPTH", 64)]),
+        ),
+        (
+            "shift_reg",
+            Language::Verilog,
+            LEGACY_VERILOG,
+            ParameterSpace::new().with("LEN", Domain::range(4, 64)),
+            DesignPoint::from_pairs(&[("LEN", 32)]),
+        ),
+        (
+            "axi_buffer",
+            Language::SystemVerilog,
+            MESSY_SV,
+            ParameterSpace::new().with("DataWidth", Domain::Explicit(vec![32, 64, 128])),
+            DesignPoint::from_pairs(&[("DataWidth", 64)]),
+        ),
+    ];
+    for (top, lang, src, space, point) in cases {
+        let tool = Dovado::new(
+            vec![HdlSource::new(format!("{top}.x"), lang, src)],
+            top,
+            space,
+            EvalConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{top}: {e}"));
+        let eval = tool.evaluate_point(&point).unwrap_or_else(|e| panic!("{top}: {e}"));
+        assert!(eval.fmax_mhz > 10.0, "{top}: {}", eval.fmax_mhz);
+        assert!(eval.power_mw > 0.0, "{top}");
+    }
+}

@@ -1,0 +1,302 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning all workspace crates.
+
+use dovado::csv;
+use dovado::{fmax_mhz, DesignPoint, Domain, ParameterSpace};
+use dovado_eda::tcl::expr::eval_expr;
+use dovado_moo::{
+    fast_non_dominated_sort, hypervolume, non_dominated_indices, Individual,
+};
+use dovado_surrogate::{Bounds, Dataset, Kernel, NadarayaWatson, ThresholdPolicy};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- space --
+
+fn domain_strategy() -> impl Strategy<Value = Domain> {
+    prop_oneof![
+        (any::<i32>(), 1i64..500, 1i64..7).prop_map(|(lo, n, step)| {
+            let lo = lo as i64 % 10_000;
+            Domain::Range { lo, hi: lo + (n - 1) * step, step }
+        }),
+        (0u32..20, 0u32..20).prop_map(|(a, b)| Domain::PowerOfTwo {
+            min_exp: a.min(b),
+            max_exp: a.max(b),
+        }),
+        proptest::collection::btree_set(-1000i64..1000, 1..12)
+            .prop_map(|s| Domain::Explicit(s.into_iter().collect())),
+        Just(Domain::Bool),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn domain_index_value_roundtrip(d in domain_strategy()) {
+        prop_assert!(d.validate().is_ok());
+        let n = d.cardinality();
+        prop_assert!(n >= 1);
+        for idx in 0..n.min(64) {
+            let v = d.value(idx).expect("index in range");
+            prop_assert_eq!(d.index_of(v), Some(idx));
+        }
+        prop_assert!(d.value(n).is_none());
+    }
+
+    #[test]
+    fn domain_values_strictly_increasing(d in domain_strategy()) {
+        let n = d.cardinality().min(64);
+        let vals: Vec<i64> = (0..n).map(|i| d.value(i).unwrap()).collect();
+        prop_assert!(vals.windows(2).all(|w| w[0] < w[1]), "{:?}", vals);
+    }
+
+    #[test]
+    fn space_decode_encode_roundtrip(
+        d1 in domain_strategy(),
+        d2 in domain_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let space = ParameterSpace::new().with("A", d1).with("B", d2);
+        let vars = space.index_vars();
+        let g: Vec<i64> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v.lo + ((seed as i64 + i as i64 * 31) % (v.hi - v.lo + 1)))
+            .collect();
+        let point = space.decode(&g).expect("genome in range");
+        prop_assert_eq!(space.encode(&point).unwrap(), g);
+    }
+}
+
+// ------------------------------------------------------------ surrogate --
+
+proptest! {
+    #[test]
+    fn nw_prediction_bounded_by_dataset_outputs(
+        pts in proptest::collection::btree_map(0i64..1000, -100.0f64..100.0, 2..30),
+        query in 0i64..1000,
+        bw in 0.01f64..2.0,
+    ) {
+        let mut ds = Dataset::new(Bounds::new(vec![(0, 1000)]), 1);
+        for (x, y) in &pts {
+            ds.insert(vec![*x], vec![*y]);
+        }
+        let lo = pts.values().cloned().fold(f64::INFINITY, f64::min);
+        let hi = pts.values().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let nw = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: bw };
+        let y = nw.predict(&ds, &[query]).unwrap()[0];
+        prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9, "{y} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn adaptive_gamma_nonnegative_and_bounded(
+        pts in proptest::collection::btree_set(0i64..1000, 2..40),
+    ) {
+        let mut ds = Dataset::new(Bounds::new(vec![(0, 1000)]), 1);
+        for x in &pts {
+            ds.insert(vec![*x], vec![0.0]);
+        }
+        let g = ThresholdPolicy::paper_default().gamma(&ds);
+        prop_assert!(g >= 0.0);
+        // Γ is a mean of normalized nearest-neighbour distances ≤ 1.
+        prop_assert!(g <= 1.0 + 1e-12, "gamma {g}");
+    }
+
+    #[test]
+    fn phi_zero_iff_exact_point(
+        pts in proptest::collection::btree_set(0i64..1000, 1..20),
+        q in 0i64..1000,
+    ) {
+        let mut ds = Dataset::new(Bounds::new(vec![(0, 1000)]), 1);
+        for x in &pts {
+            ds.insert(vec![*x], vec![1.0]);
+        }
+        let phi = dovado_surrogate::phi_n(&ds, &[q], 1).unwrap();
+        if pts.contains(&q) {
+            prop_assert_eq!(phi, 0.0);
+        } else {
+            prop_assert!(phi > 0.0);
+        }
+    }
+}
+
+// ------------------------------------------------------------------ moo --
+
+fn objectives_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-100.0f64..100.0, 2..4),
+        1..25,
+    )
+    .prop_filter("uniform arity", |v| {
+        let n = v[0].len();
+        v.iter().all(|o| o.len() == n)
+    })
+}
+
+proptest! {
+    #[test]
+    fn front_zero_matches_nondominated_filter(objs in objectives_strategy()) {
+        let mut pop: Vec<Individual> = objs
+            .iter()
+            .map(|o| Individual::new(vec![], o.clone(), o.clone()))
+            .collect();
+        let fronts = fast_non_dominated_sort(&mut pop);
+        let f0: std::collections::BTreeSet<usize> = fronts[0].iter().cloned().collect();
+        // Every front-0 member is undominated.
+        for &i in &f0 {
+            for (j, other) in pop.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!other.dominates(&pop[i]));
+                }
+            }
+        }
+        // Every non-front-0 member is dominated by someone.
+        for (i, ind) in pop.iter().enumerate() {
+            if !f0.contains(&i) {
+                prop_assert!(pop.iter().any(|o| o.dominates(ind)));
+            }
+        }
+        // The filter agrees up to duplicate handling.
+        let filt = non_dominated_indices(&pop);
+        for &i in &filt {
+            prop_assert!(f0.contains(&i));
+        }
+    }
+
+    #[test]
+    fn fronts_partition_population(objs in objectives_strategy()) {
+        let mut pop: Vec<Individual> = objs
+            .iter()
+            .map(|o| Individual::new(vec![], o.clone(), o.clone()))
+            .collect();
+        let fronts = fast_non_dominated_sort(&mut pop);
+        let total: usize = fronts.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, pop.len());
+        let mut seen = std::collections::BTreeSet::new();
+        for f in &fronts {
+            for &i in f {
+                prop_assert!(seen.insert(i), "index {i} in two fronts");
+            }
+        }
+    }
+
+    #[test]
+    fn hypervolume_monotone_and_bounded(
+        objs in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..10.0, 2..3), 1..12),
+        extra in proptest::collection::vec(0.0f64..10.0, 2),
+    ) {
+        let m = objs[0].len();
+        let objs: Vec<Vec<f64>> =
+            objs.iter().filter(|o| o.len() == m).cloned().collect();
+        let reference = vec![10.0; m];
+        let hv = hypervolume(&objs, &reference);
+        prop_assert!(hv >= 0.0);
+        prop_assert!(hv <= 10f64.powi(m as i32) + 1e-9);
+        // Adding a point never shrinks the dominated volume.
+        let mut bigger = objs.clone();
+        bigger.push(extra[..m].to_vec());
+        let hv2 = hypervolume(&bigger, &reference);
+        prop_assert!(hv2 + 1e-9 >= hv, "{hv2} < {hv}");
+    }
+}
+
+// ----------------------------------------------------------------- misc --
+
+proptest! {
+    #[test]
+    fn fmax_eq1_positive_for_physical_inputs(
+        period in 0.1f64..100.0,
+        delay in 0.01f64..100.0,
+    ) {
+        // WNS = period - delay; Eq. 1 then gives 1000/delay.
+        let wns = period - delay;
+        let f = fmax_mhz(period, wns).unwrap();
+        prop_assert!((f - 1000.0 / delay).abs() < 1e-6);
+        prop_assert!(f > 0.0);
+    }
+
+    #[test]
+    fn csv_roundtrips_arbitrary_fields(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[ -~]{0,20}", 3), 1..8),
+    ) {
+        let mut w = csv::CsvWriter::new();
+        w.header(&["a", "b", "c"]);
+        for r in &rows {
+            // Skip fully empty trailing rows (parser cannot distinguish).
+            w.row(&[r[0].clone(), r[1].clone(), r[2].clone()]);
+        }
+        let parsed = csv::parse(w.as_str());
+        prop_assert_eq!(parsed.len(), rows.len() + 1);
+        for (got, want) in parsed[1..].iter().zip(&rows) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn tcl_expr_matches_reference_arithmetic(
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+        c in 1i64..100,
+    ) {
+        let src = format!("({a} + {b}) * {c}");
+        let expect = (a + b) * c;
+        prop_assert_eq!(eval_expr(&src).unwrap(), expect.to_string());
+
+        let cmp = format!("{a} < {b}");
+        prop_assert_eq!(eval_expr(&cmp).unwrap(), ((a < b) as i64).to_string());
+
+        let div = format!("{a} / {c}");
+        prop_assert_eq!(eval_expr(&div).unwrap(), a.div_euclid(c).to_string());
+    }
+
+    #[test]
+    fn tcl_parser_never_panics(src in "[ -~\\n]{0,200}") {
+        let _ = dovado_eda::tcl::parse_script(&src);
+    }
+
+    #[test]
+    fn tcl_expr_never_panics(src in "[ -~]{0,80}") {
+        let _ = dovado_eda::tcl::expr::eval_expr(&src);
+    }
+
+    #[test]
+    fn report_parsers_never_panic(src in "[ -~\\n|]{0,300}") {
+        let _ = dovado_eda::report::parse_utilization_report(&src);
+        let _ = dovado_eda::report::parse_wns(&src);
+        let _ = dovado_eda::report::parse_period(&src);
+        let _ = dovado_eda::power::parse_power_mw(&src);
+    }
+
+    #[test]
+    fn lexers_never_panic(src in "[ -~\\n]{0,200}") {
+        let _ = dovado_hdl::vhdl::lexer::lex(&src);
+        let _ = dovado_hdl::verilog::lexer::lex(&src);
+    }
+
+    #[test]
+    fn parsers_never_panic(src in "[ -~\\n]{0,200}") {
+        let _ = dovado_hdl::parse_source(dovado_hdl::Language::Vhdl, &src);
+        let _ = dovado_hdl::parse_source(dovado_hdl::Language::Verilog, &src);
+    }
+
+    #[test]
+    fn box_generation_reparses_for_any_point(
+        depth in 1i64..1_000_000,
+        width in 1i64..4096,
+    ) {
+        let (f, _) = dovado_hdl::parse_source(
+            dovado_hdl::Language::Verilog,
+            "module m #(parameter DEPTH = 8, parameter DATA_WIDTH = 32)\
+             (input logic clk_i); endmodule",
+        )
+        .unwrap();
+        let point = DesignPoint::from_pairs(&[("DEPTH", depth), ("DATA_WIDTH", width)]);
+        let boxed = dovado::generate_box(&f.modules[0], &point).unwrap();
+        let (bf, diags) = dovado_hdl::parse_source(boxed.language, &boxed.source).unwrap();
+        prop_assert!(!diags.has_errors());
+        let inst = &bf.instantiations[0];
+        let env: std::collections::BTreeMap<String, i64> = Default::default();
+        prop_assert_eq!(inst.generics[0].1.eval(&env).unwrap(), depth);
+        prop_assert_eq!(inst.generics[1].1.eval(&env).unwrap(), width);
+    }
+}
