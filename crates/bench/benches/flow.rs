@@ -36,7 +36,11 @@ fn bench_flow(c: &mut Criterion) {
             let tool = cs.dovado().unwrap();
             let r = tool
                 .explore(&DseConfig {
-                    algorithm: Nsga2Config { pop_size: 8, seed: 3, ..Default::default() },
+                    algorithm: Nsga2Config {
+                        pop_size: 8,
+                        seed: 3,
+                        ..Default::default()
+                    },
                     termination: Termination::Generations(2),
                     metrics: cs.metrics.clone(),
                     surrogate: None,

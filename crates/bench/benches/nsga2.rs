@@ -10,7 +10,11 @@ fn bench_nsga2(c: &mut Criterion) {
     c.bench_function("nsga2_schaffer_20gen_pop40", |b| {
         b.iter(|| {
             let mut p = Schaffer::new();
-            let cfg = Nsga2Config { pop_size: 40, seed: 1, ..Default::default() };
+            let cfg = Nsga2Config {
+                pop_size: 40,
+                seed: 1,
+                ..Default::default()
+            };
             let r = nsga2(&mut p, &cfg, &Termination::Generations(20));
             black_box(r.pareto.len())
         })

@@ -7,8 +7,16 @@ use dovado_hdl::{parse_source, Language};
 
 fn bench_parsing(c: &mut Criterion) {
     let cases = [
-        ("systemverilog_fifo", Language::SystemVerilog, cv32e40p::FIFO_SV),
-        ("verilog_queue_manager", Language::Verilog, corundum::CPL_QUEUE_MANAGER_V),
+        (
+            "systemverilog_fifo",
+            Language::SystemVerilog,
+            cv32e40p::FIFO_SV,
+        ),
+        (
+            "verilog_queue_manager",
+            Language::Verilog,
+            corundum::CPL_QUEUE_MANAGER_V,
+        ),
         ("vhdl_neorv32_top", Language::Vhdl, neorv32::NEORV32_TOP_VHD),
     ];
     let mut group = c.benchmark_group("hdl_parsing");

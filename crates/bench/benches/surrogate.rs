@@ -4,8 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dovado_surrogate::{
-    select_bandwidth, Bounds, Dataset, Kernel, NadarayaWatson, SurrogateController,
-    ThresholdPolicy,
+    select_bandwidth, Bounds, Dataset, Kernel, NadarayaWatson, SurrogateController, ThresholdPolicy,
 };
 
 fn dataset(n: usize) -> Dataset {
@@ -20,7 +19,10 @@ fn dataset(n: usize) -> Dataset {
 }
 
 fn bench_surrogate(c: &mut Criterion) {
-    let nw = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.08 };
+    let nw = NadarayaWatson {
+        kernel: Kernel::Gaussian,
+        bandwidth: 0.08,
+    };
 
     let mut group = c.benchmark_group("nw_predict");
     for n in [50usize, 200, 1000] {
@@ -41,8 +43,11 @@ fn bench_surrogate(c: &mut Criterion) {
     group.finish();
 
     c.bench_function("controller_decide_100pt_dataset", |b| {
-        let mut ctl =
-            SurrogateController::new(Bounds::new(vec![(0, 10_000), (0, 64)]), 3, ThresholdPolicy::paper_default());
+        let mut ctl = SurrogateController::new(
+            Bounds::new(vec![(0, 10_000), (0, 64)]),
+            3,
+            ThresholdPolicy::paper_default(),
+        );
         let d = dataset(100);
         ctl.pretrain(
             d.raw_points()

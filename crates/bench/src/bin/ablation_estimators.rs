@@ -29,8 +29,9 @@ fn main() {
         metrics.extract(&tool.evaluate_point(&p).expect("evaluates"))
     };
 
-    let probe_pairs: Vec<(Vec<i64>, Vec<f64>)> =
-        (0..50).map(|i| (vec![i * 10 + 3], truth(i * 10 + 3))).collect();
+    let probe_pairs: Vec<(Vec<i64>, Vec<f64>)> = (0..50)
+        .map(|i| (vec![i * 10 + 3], truth(i * 10 + 3)))
+        .collect();
     let probes = ProbeSet::new(probe_pairs.clone());
     let m = metrics.len();
     let mut lo = vec![f64::INFINITY; m];
@@ -47,7 +48,10 @@ fn main() {
     indices.shuffle(&mut StdRng::seed_from_u64(17));
 
     let estimators = vec![
-        Estimator::Nw(NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.1 }),
+        Estimator::Nw(NadarayaWatson {
+            kernel: Kernel::Gaussian,
+            bandwidth: 0.1,
+        }),
         Estimator::InverseDistance { power: 2.0 },
         Estimator::InverseDistance { power: 4.0 },
         Estimator::KNearest { k: 1 },

@@ -45,7 +45,10 @@ fn main() {
             .collect();
         front_hv(&front, &reference)
     };
-    println!("exact front hypervolume (exhaustive, {} points): {exact_hv:.3e}", cs.space.volume());
+    println!(
+        "exact front hypervolume (exhaustive, {} points): {exact_hv:.3e}",
+        cs.space.volume()
+    );
     println!();
 
     let budgets = [60u64, 120, 240];
@@ -62,7 +65,11 @@ fn main() {
             let tool = cs.dovado().unwrap();
             let report = tool
                 .explore(&DseConfig {
-                    algorithm: Nsga2Config { pop_size: 20, seed: 1, ..Default::default() },
+                    algorithm: Nsga2Config {
+                        pop_size: 20,
+                        seed: 1,
+                        ..Default::default()
+                    },
                     termination: Termination::Evaluations(budget),
                     metrics: cs.metrics.clone(),
                     surrogate: None,
@@ -92,8 +99,7 @@ fn main() {
         let hv_random = {
             let mut p = mk_problem();
             let r = random_search(&mut p, &Termination::Evaluations(budget), 20, 1);
-            let front: Vec<Vec<f64>> =
-                r.pareto.iter().map(|i| i.min_objs.clone()).collect();
+            let front: Vec<Vec<f64>> = r.pareto.iter().map(|i| i.min_objs.clone()).collect();
             front_hv(&front, &reference)
         };
 
@@ -102,17 +108,18 @@ fn main() {
             let n_obj = p.objectives().len();
             let w = vec![1.0 / n_obj as f64; n_obj];
             let r = weighted_sum_ga(&mut p, &w, &Termination::Evaluations(budget), 20, 1);
-            let front: Vec<Vec<f64>> =
-                r.pareto.iter().map(|i| i.min_objs.clone()).collect();
+            let front: Vec<Vec<f64>> = r.pareto.iter().map(|i| i.min_objs.clone()).collect();
             front_hv(&front, &reference)
         };
 
         // Also validate nsga2() direct (same engine the framework wraps).
         let _ = nsga2::<DseProblem>; // keep the generic path referenced
 
-        for (name, hv) in
-            [("nsga2", hv_nsga), ("random", hv_random), ("weighted-sum", hv_ws)]
-        {
+        for (name, hv) in [
+            ("nsga2", hv_nsga),
+            ("random", hv_random),
+            ("weighted-sum", hv_ws),
+        ] {
             println!(
                 "{:<16} {:>8} {:>16.3e} {:>17.1}%",
                 name,

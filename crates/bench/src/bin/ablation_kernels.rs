@@ -7,9 +7,7 @@
 use dovado::casestudies::cv32e40p;
 use dovado::csv::CsvWriter;
 use dovado_bench::{banner, write_csv};
-use dovado_surrogate::{
-    mse_per_output, Kernel, ProbeSet, SurrogateController, ThresholdPolicy,
-};
+use dovado_surrogate::{mse_per_output, Kernel, ProbeSet, SurrogateController, ThresholdPolicy};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -30,8 +28,9 @@ fn main() {
         metrics.extract(&dovado.evaluate_point(&point).expect("evaluates"))
     };
 
-    let probe_pairs: Vec<(Vec<i64>, Vec<f64>)> =
-        (0..50).map(|i| (vec![i * 10 + 3], truth(i * 10 + 3))).collect();
+    let probe_pairs: Vec<(Vec<i64>, Vec<f64>)> = (0..50)
+        .map(|i| (vec![i * 10 + 3], truth(i * 10 + 3)))
+        .collect();
     let probes = ProbeSet::new(probe_pairs.clone());
     let m = metrics.len();
     let mut lo = vec![f64::INFINITY; m];
@@ -57,15 +56,12 @@ fn main() {
 
     let mut rows: Vec<(Kernel, f64)> = Vec::new();
     for kernel in Kernel::ALL {
-        let mut ctl = SurrogateController::new(
-            space.index_bounds(),
-            m,
-            ThresholdPolicy::paper_default(),
-        )
-        .with_kernel(kernel);
+        let mut ctl =
+            SurrogateController::new(space.index_bounds(), m, ThresholdPolicy::paper_default())
+                .with_kernel(kernel);
         ctl.pretrain(train.iter().map(|&i| (vec![i], truth(i))).collect());
-        let mse = mse_per_output(&ctl.model(), ctl.dataset(), &probes, &scales)
-            .expect("MSE computes");
+        let mse =
+            mse_per_output(&ctl.model(), ctl.dataset(), &probes, &scales).expect("MSE computes");
         println!(
             "{:<14} {:>12.6} {:>12.6} {:>12.6} {:>10.3}",
             kernel.to_string(),
@@ -94,7 +90,10 @@ fn main() {
     }
     println!(
         "paper's pick (gaussian) ranks #{} of {}",
-        rows.iter().position(|(k, _)| *k == Kernel::Gaussian).unwrap() + 1,
+        rows.iter()
+            .position(|(k, _)| *k == Kernel::Gaussian)
+            .unwrap()
+            + 1,
         rows.len()
     );
 }

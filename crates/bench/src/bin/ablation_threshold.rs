@@ -20,7 +20,11 @@ fn main() {
     );
 
     let cs = cv32e40p::case_study();
-    let algorithm = Nsga2Config { pop_size: 14, seed: 33, ..Default::default() };
+    let algorithm = Nsga2Config {
+        pop_size: 14,
+        seed: 33,
+        ..Default::default()
+    };
     let termination = Termination::Generations(10);
 
     // Ground truth for spot-checking estimate quality at a fixed point.
@@ -32,7 +36,10 @@ fn main() {
     };
 
     let policies: Vec<(&str, ThresholdPolicy)> = vec![
-        ("adaptive(1.0) [paper]", ThresholdPolicy::Adaptive { scale: 1.0 }),
+        (
+            "adaptive(1.0) [paper]",
+            ThresholdPolicy::Adaptive { scale: 1.0 },
+        ),
         ("adaptive(0.5)", ThresholdPolicy::Adaptive { scale: 0.5 }),
         ("adaptive(2.0)", ThresholdPolicy::Adaptive { scale: 2.0 }),
         ("fixed(0.005)", ThresholdPolicy::Fixed(0.005)),
@@ -41,7 +48,13 @@ fn main() {
     ];
 
     let mut csv = CsvWriter::new();
-    csv.header(&["policy", "tool_runs", "cached", "estimates", "probe_rel_err_pct"]);
+    csv.header(&[
+        "policy",
+        "tool_runs",
+        "cached",
+        "estimates",
+        "probe_rel_err_pct",
+    ]);
     println!(
         "{:<22} {:>10} {:>8} {:>10} {:>18}",
         "policy", "tool runs", "cached", "estimates", "probe rel.err [%]"
@@ -73,7 +86,11 @@ fn main() {
             tool.evaluator().clone(),
             cs.space.clone(),
             cs.metrics.clone(),
-            Some(&SurrogateConfig { policy, pretrain_samples: 50, ..Default::default() }),
+            Some(&SurrogateConfig {
+                policy,
+                pretrain_samples: 50,
+                ..Default::default()
+            }),
         )
         .unwrap();
         let rel_err = match problem.surrogate().and_then(|s| s.predict(&[probe_idx])) {

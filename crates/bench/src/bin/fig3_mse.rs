@@ -13,7 +13,9 @@ use dovado::casestudies::cv32e40p;
 use dovado::csv::CsvWriter;
 use dovado::DesignPoint;
 use dovado_bench::{banner, write_csv};
-use dovado_surrogate::{mse_per_output, Kernel, NadarayaWatson, ProbeSet, SurrogateController, ThresholdPolicy};
+use dovado_surrogate::{
+    mse_per_output, Kernel, NadarayaWatson, ProbeSet, SurrogateController, ThresholdPolicy,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -38,8 +40,9 @@ fn main() {
 
     // Held-out probe set: 50 points spread over the space, offset so they
     // never coincide with the training grid.
-    let probe_pairs: Vec<(Vec<i64>, Vec<f64>)> =
-        (0..50).map(|i| (vec![i * 10 + 3], truth(i * 10 + 3))).collect();
+    let probe_pairs: Vec<(Vec<i64>, Vec<f64>)> = (0..50)
+        .map(|i| (vec![i * 10 + 3], truth(i * 10 + 3)))
+        .collect();
     let probes = ProbeSet::new(probe_pairs.clone());
 
     // Normalization scales: observed metric ranges over the probe sweep.
@@ -60,16 +63,16 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(42);
     indices.shuffle(&mut rng);
 
-    let mut controller = SurrogateController::new(
-        space.index_bounds(),
-        m,
-        ThresholdPolicy::paper_default(),
-    )
-    .with_kernel(Kernel::Gaussian);
+    let mut controller =
+        SurrogateController::new(space.index_bounds(), m, ThresholdPolicy::paper_default())
+            .with_kernel(Kernel::Gaussian);
 
     let mut csv = CsvWriter::new();
     csv.header(&["samples", "mse_ff", "mse_lut", "mse_fmax"]);
-    println!("{:>8} {:>12} {:>12} {:>12}", "samples", "MSE(FF)", "MSE(LUT)", "MSE(Fmax)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "samples", "MSE(FF)", "MSE(LUT)", "MSE(Fmax)"
+    );
 
     let mut peak = [0.0f64; 3];
     let mut last = [0.0f64; 3];
@@ -80,9 +83,12 @@ fn main() {
         }
         let n = controller.dataset().len();
         let model: NadarayaWatson = controller.model();
-        let mse = mse_per_output(&model, controller.dataset(), &probes, &scales)
-            .expect("probe MSE");
-        println!("{:>8} {:>12.5} {:>12.5} {:>12.5}", n, mse[0], mse[1], mse[2]);
+        let mse =
+            mse_per_output(&model, controller.dataset(), &probes, &scales).expect("probe MSE");
+        println!(
+            "{:>8} {:>12.5} {:>12.5} {:>12.5}",
+            n, mse[0], mse[1], mse[2]
+        );
         csv.row(&[n as f64, mse[0], mse[1], mse[2]]);
         for i in 0..3 {
             peak[i] = peak[i].max(mse[i]);
@@ -92,14 +98,24 @@ fn main() {
 
     let path = write_csv("fig3_mse.csv", csv);
     println!();
-    println!("peak MSE:  FF {:.5}  LUT {:.5}  Fmax {:.5}", peak[0], peak[1], peak[2]);
-    println!("final MSE: FF {:.5}  LUT {:.5}  Fmax {:.5}", last[0], last[1], last[2]);
+    println!(
+        "peak MSE:  FF {:.5}  LUT {:.5}  Fmax {:.5}",
+        peak[0], peak[1], peak[2]
+    );
+    println!(
+        "final MSE: FF {:.5}  LUT {:.5}  Fmax {:.5}",
+        last[0], last[1], last[2]
+    );
     println!("paper shape check: frequency MSE peaks highest and stabilizes lower:");
     println!(
         "  fmax peak {:.5} -> final {:.5} ({})",
         peak[2],
         last[2],
-        if last[2] <= peak[2] { "converging ✓" } else { "NOT converging ✗" }
+        if last[2] <= peak[2] {
+            "converging ✓"
+        } else {
+            "NOT converging ✗"
+        }
     );
     println!("wrote {}", path.display());
     // One explicit design point echoed for traceability.

@@ -9,7 +9,7 @@
 
 use dovado::casestudies::corundum;
 use dovado::csv::CsvWriter;
-use dovado::{DseConfig, point_label};
+use dovado::{point_label, DseConfig};
 use dovado_bench::{banner, write_csv};
 use dovado_moo::{Nsga2Config, Termination};
 
@@ -23,7 +23,11 @@ fn main() {
     let dovado = cs.dovado().expect("case study builds");
 
     let cfg = DseConfig {
-        algorithm: Nsga2Config { pop_size: 26, seed: 0xC0FFEE, ..Default::default() },
+        algorithm: Nsga2Config {
+            pop_size: 26,
+            seed: 0xC0FFEE,
+            ..Default::default()
+        },
         termination: Termination::Generations(14),
         metrics: cs.metrics.clone(),
         surrogate: None,
@@ -87,8 +91,11 @@ fn main() {
     let luts: Vec<f64> = report.pareto.iter().map(|e| e.values[0]).collect();
     let lut_spread = luts.iter().cloned().fold(0.0, f64::max)
         - luts.iter().cloned().fold(f64::INFINITY, f64::min);
-    println!("  LUT/FF vary across configurations: {} (LUT spread {:.0})",
-        if lut_spread > 0.0 { "✓" } else { "✗" }, lut_spread);
+    println!(
+        "  LUT/FF vary across configurations: {} (LUT spread {:.0})",
+        if lut_spread > 0.0 { "✓" } else { "✗" },
+        lut_spread
+    );
     println!(
         "  front size: {} (paper reports 13 configurations)",
         report.pareto.len()

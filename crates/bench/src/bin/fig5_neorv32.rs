@@ -9,7 +9,7 @@ use dovado::casestudies::neorv32;
 use dovado::csv::CsvWriter;
 use dovado::{point_label, DseConfig};
 use dovado_bench::{banner, write_csv};
-use dovado_moo::{Individual, non_dominated_indices, Nsga2Config, Termination};
+use dovado_moo::{non_dominated_indices, Individual, Nsga2Config, Termination};
 
 fn main() {
     banner(
@@ -21,7 +21,11 @@ fn main() {
     let dovado = cs.dovado().expect("case study builds");
 
     let cfg = DseConfig {
-        algorithm: Nsga2Config { pop_size: 14, seed: 5, ..Default::default() },
+        algorithm: Nsga2Config {
+            pop_size: 14,
+            seed: 5,
+            ..Default::default()
+        },
         termination: Termination::Generations(10),
         metrics: cs.metrics.clone(),
         surrogate: None,
@@ -65,17 +69,18 @@ fn main() {
         .map(|(pr, e)| {
             let raw = cs.metrics.extract(e);
             let min = dovado_moo::to_min_space(&cs.metrics.objectives(), &raw);
-            Individual::new(
-                pr.point.values().to_vec(),
-                raw,
-                min,
-            )
+            Individual::new(pr.point.values().to_vec(), raw, min)
         })
         .collect();
-    let exact: Vec<&Individual> =
-        non_dominated_indices(&individuals).into_iter().map(|i| &individuals[i]).collect();
+    let exact: Vec<&Individual> = non_dominated_indices(&individuals)
+        .into_iter()
+        .map(|i| &individuals[i])
+        .collect();
     println!("  exact front size: {}", exact.len());
-    println!("  NSGA-II front size: {} (paper reports 5 solutions)", report.pareto.len());
+    println!(
+        "  NSGA-II front size: {} (paper reports 5 solutions)",
+        report.pareto.len()
+    );
 
     // --- paper shape checks ---------------------------------------------
     println!();
@@ -83,10 +88,18 @@ fn main() {
     // Find the largest-memory configuration on the front and a smaller one.
     let by_bram = |e: &dovado::ParetoEntry| e.values[2];
     let max_bram = report.pareto.iter().map(by_bram).fold(0.0, f64::max);
-    let min_bram = report.pareto.iter().map(by_bram).fold(f64::INFINITY, f64::min);
+    let min_bram = report
+        .pareto
+        .iter()
+        .map(by_bram)
+        .fold(f64::INFINITY, f64::min);
     println!(
         "  BRAM varies strongly across the front: {} ({:.0} vs {:.0})",
-        if max_bram >= 2.0 * min_bram { "✓" } else { "✗" },
+        if max_bram >= 2.0 * min_bram {
+            "✓"
+        } else {
+            "✗"
+        },
         max_bram,
         min_bram
     );

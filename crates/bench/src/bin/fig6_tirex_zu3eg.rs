@@ -17,7 +17,11 @@ fn main() {
     let best = fmax.iter().cloned().fold(0.0, f64::max);
     println!(
         "  best frequency in the ~550 MHz region: {} ({best:.1} MHz)",
-        if (400.0..750.0).contains(&best) { "✓" } else { "✗" }
+        if (400.0..750.0).contains(&best) {
+            "✓"
+        } else {
+            "✗"
+        }
     );
     println!(
         "  front size: {} (paper reports 4 configurations on the ZU3EG)",
@@ -30,7 +34,11 @@ fn main() {
         .count();
     println!(
         "  NCLUSTER=1 dominates the front (as in Table II): {} ({ncluster_one}/{})",
-        if ncluster_one * 2 >= report.pareto.len() { "✓" } else { "✗" },
+        if ncluster_one * 2 >= report.pareto.len() {
+            "✓"
+        } else {
+            "✗"
+        },
         report.pareto.len()
     );
 }

@@ -17,7 +17,11 @@ fn main() {
     let best = fmax.iter().cloned().fold(0.0, f64::max);
     println!(
         "  best frequency in the ~190 MHz region: {} ({best:.1} MHz)",
-        if (140.0..300.0).contains(&best) { "✓" } else { "✗" }
+        if (140.0..300.0).contains(&best) {
+            "✓"
+        } else {
+            "✗"
+        }
     );
     println!(
         "  front size: {} (paper reports 8 configurations on the XC7K70T)",

@@ -34,7 +34,11 @@ pub fn banner(experiment: &str, description: &str) {
 
 /// Formats a float series compactly.
 pub fn fmt_series(values: &[f64]) -> String {
-    values.iter().map(|v| format!("{v:.4}")).collect::<Vec<_>>().join(", ")
+    values
+        .iter()
+        .map(|v| format!("{v:.4}"))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// Shared driver for the two TiReX experiments (Figs. 6–7 / Table II):
@@ -49,7 +53,11 @@ pub fn run_tirex(part: &str, figure: &str, csv_name: &str) -> dovado::DseReport 
     let tool = cs.dovado_on(part).expect("case study builds");
     let cfg = DseConfig {
         explorer: Default::default(),
-        algorithm: Nsga2Config { pop_size: 20, seed: 0x71EE, ..Default::default() },
+        algorithm: Nsga2Config {
+            pop_size: 20,
+            seed: 0x71EE,
+            ..Default::default()
+        },
         termination: Termination::Generations(12),
         metrics: cs.metrics.clone(),
         surrogate: None,
@@ -66,7 +74,14 @@ pub fn run_tirex(part: &str, figure: &str, csv_name: &str) -> dovado::DseReport 
 
     let mut csv = CsvWriter::new();
     csv.header(&[
-        "label", "NCLUSTER", "STACK_SIZE", "IMEM_SIZE", "DMEM_SIZE", "LUT", "FF", "BRAM",
+        "label",
+        "NCLUSTER",
+        "STACK_SIZE",
+        "IMEM_SIZE",
+        "DMEM_SIZE",
+        "LUT",
+        "FF",
+        "BRAM",
         "Fmax_MHz",
     ]);
     for (i, e) in report.pareto.iter().enumerate() {

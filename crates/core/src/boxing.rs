@@ -83,7 +83,10 @@ fn vhdl_box(module: &ModuleInterface, point: &DesignPoint, clock: &str) -> Boxed
     let _ = writeln!(s);
     let _ = writeln!(s, "architecture box_arch of {BOX_TOP} is");
     let _ = writeln!(s, "  attribute DONT_TOUCH : string;");
-    let _ = writeln!(s, "  attribute DONT_TOUCH of {BOX_INSTANCE} : label is \"TRUE\";");
+    let _ = writeln!(
+        s,
+        "  attribute DONT_TOUCH of {BOX_INSTANCE} : label is \"TRUE\";"
+    );
     let _ = writeln!(s, "begin");
     let _ = writeln!(s, "  {BOX_INSTANCE}: entity work.{}", module.name);
     if !point.is_empty() {
@@ -130,7 +133,11 @@ fn verilog_box(module: &ModuleInterface, point: &DesignPoint, clock: &str) -> Bo
     let _ = writeln!(s, "endmodule");
     BoxedDesign {
         source: s,
-        language: if sv { Language::SystemVerilog } else { Language::Verilog },
+        language: if sv {
+            Language::SystemVerilog
+        } else {
+            Language::Verilog
+        },
         top: BOX_TOP.to_string(),
         clock_port: BOX_CLOCK.to_string(),
         file_name: format!("{BOX_TOP}.{}", if sv { "sv" } else { "v" }),

@@ -185,7 +185,10 @@ mod tests {
                 ("QUEUE_INDEX_WIDTH", q),
                 ("PIPELINE", p),
             ]);
-            assert!(cs.space.encode(&point).is_ok(), "({o},{q},{p}) not in space");
+            assert!(
+                cs.space.encode(&point).is_ok(),
+                "({o},{q},{p}) not in space"
+            );
         }
     }
 

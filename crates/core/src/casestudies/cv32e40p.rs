@@ -76,10 +76,21 @@ endmodule : fifo_v3
 pub fn case_study() -> CaseStudy {
     CaseStudy {
         name: "cv32e40p-fifo",
-        sources: vec![HdlSource::new("fifo_v3.sv", Language::SystemVerilog, FIFO_SV)],
+        sources: vec![HdlSource::new(
+            "fifo_v3.sv",
+            Language::SystemVerilog,
+            FIFO_SV,
+        )],
         top: "fifo_v3",
         // 500 possible values, as in the paper.
-        space: ParameterSpace::new().with("DEPTH", Domain::Range { lo: 2, hi: 1000, step: 2 }),
+        space: ParameterSpace::new().with(
+            "DEPTH",
+            Domain::Range {
+                lo: 2,
+                hi: 1000,
+                step: 2,
+            },
+        ),
         part: "xc7k70tfbv676-1",
         metrics: MetricSet::new(vec![
             Metric::Utilization(ResourceKind::Register),
@@ -115,7 +126,9 @@ mod tests {
     fn evaluation_runs_end_to_end() {
         let cs = case_study();
         let d = cs.dovado().unwrap();
-        let e = d.evaluate_point(&DesignPoint::from_pairs(&[("DEPTH", 128)])).unwrap();
+        let e = d
+            .evaluate_point(&DesignPoint::from_pairs(&[("DEPTH", 128)]))
+            .unwrap();
         assert!(e.utilization.get(ResourceKind::Register) > 4000);
         assert!(e.fmax_mhz > 100.0 && e.fmax_mhz < 600.0);
     }

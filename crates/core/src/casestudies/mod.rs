@@ -46,7 +46,10 @@ impl CaseStudy {
     /// Builds a [`Dovado`] instance targeting another part (TiReX runs on
     /// both the ZU3EG and the XC7K70T).
     pub fn dovado_on(&self, part: &str) -> DovadoResult<Dovado> {
-        let config = EvalConfig { part: part.to_string(), ..EvalConfig::default() };
+        let config = EvalConfig {
+            part: part.to_string(),
+            ..EvalConfig::default()
+        };
         self.dovado_with(config)
     }
 
@@ -58,7 +61,12 @@ impl CaseStudy {
 
 /// All case studies.
 pub fn all() -> Vec<CaseStudy> {
-    vec![cv32e40p::case_study(), corundum::case_study(), neorv32::case_study(), tirex::case_study()]
+    vec![
+        cv32e40p::case_study(),
+        corundum::case_study(),
+        neorv32::case_study(),
+        tirex::case_study(),
+    ]
 }
 
 #[cfg(test)]
@@ -77,8 +85,7 @@ mod tests {
     fn languages_cover_the_paper_matrix() {
         use dovado_hdl::Language;
         let studies = all();
-        let langs: Vec<Language> =
-            studies.iter().map(|c| c.sources[0].language).collect();
+        let langs: Vec<Language> = studies.iter().map(|c| c.sources[0].language).collect();
         assert!(langs.contains(&Language::SystemVerilog));
         assert!(langs.contains(&Language::Verilog));
         assert!(langs.contains(&Language::Vhdl));
@@ -88,7 +95,12 @@ mod tests {
     fn default_parts_resolve() {
         let catalog = dovado_fpga::Catalog::builtin();
         for cs in all() {
-            assert!(catalog.resolve(cs.part).is_some(), "{}: part {}", cs.name, cs.part);
+            assert!(
+                catalog.resolve(cs.part).is_some(),
+                "{}: part {}",
+                cs.name,
+                cs.part
+            );
         }
     }
 }

@@ -71,11 +71,27 @@ end architecture neorv32_top_rtl;
 pub fn case_study() -> CaseStudy {
     CaseStudy {
         name: "neorv32",
-        sources: vec![HdlSource::new("neorv32_top.vhd", Language::Vhdl, NEORV32_TOP_VHD)],
+        sources: vec![HdlSource::new(
+            "neorv32_top.vhd",
+            Language::Vhdl,
+            NEORV32_TOP_VHD,
+        )],
         top: "neorv32_top",
         space: ParameterSpace::new()
-            .with("MEM_INT_IMEM_SIZE", Domain::PowerOfTwo { min_exp: 10, max_exp: 16 })
-            .with("MEM_INT_DMEM_SIZE", Domain::PowerOfTwo { min_exp: 10, max_exp: 16 }),
+            .with(
+                "MEM_INT_IMEM_SIZE",
+                Domain::PowerOfTwo {
+                    min_exp: 10,
+                    max_exp: 16,
+                },
+            )
+            .with(
+                "MEM_INT_DMEM_SIZE",
+                Domain::PowerOfTwo {
+                    min_exp: 10,
+                    max_exp: 16,
+                },
+            ),
         part: "xc7k70tfbv676-1",
         metrics: MetricSet::area_frequency(),
     }
@@ -93,11 +109,22 @@ mod tests {
         assert!(!d.has_errors(), "{:?}", d.iter().collect::<Vec<_>>());
         let m = f.module("neorv32_top").unwrap();
         assert_eq!(m.parameters.len(), 10);
-        assert_eq!(m.parameter("MEM_INT_IMEM_SIZE").unwrap().const_default(), Some(16384));
+        assert_eq!(
+            m.parameter("MEM_INT_IMEM_SIZE").unwrap().const_default(),
+            Some(16384)
+        );
         // Booleans read as integers (paper §III-B1).
-        assert_eq!(m.parameter("CPU_EXTENSION_RISCV_M").unwrap().const_default(), Some(1));
+        assert_eq!(
+            m.parameter("CPU_EXTENSION_RISCV_M")
+                .unwrap()
+                .const_default(),
+            Some(1)
+        );
         assert_eq!(m.clock_port().unwrap().name, "clk_i");
-        assert_eq!(f.libraries(), vec!["ieee".to_string(), "neorv32".to_string()]);
+        assert_eq!(
+            f.libraries(),
+            vec!["ieee".to_string(), "neorv32".to_string()]
+        );
     }
 
     #[test]
@@ -139,7 +166,10 @@ mod tests {
             ]))
             .unwrap();
         // Fig. 5: sensible BRAM change, other metrics almost unchanged.
-        assert!(big.utilization.get(ResourceKind::Bram) >= 2 * small.utilization.get(ResourceKind::Bram));
+        assert!(
+            big.utilization.get(ResourceKind::Bram)
+                >= 2 * small.utilization.get(ResourceKind::Bram)
+        );
         let lut_rel = (big.utilization.get(ResourceKind::Lut) as f64
             - small.utilization.get(ResourceKind::Lut) as f64)
             .abs()

@@ -67,13 +67,41 @@ end architecture rtl;
 pub fn case_study() -> CaseStudy {
     CaseStudy {
         name: "tirex",
-        sources: vec![HdlSource::new("tirex_top.vhd", Language::Vhdl, TIREX_TOP_VHD)],
+        sources: vec![HdlSource::new(
+            "tirex_top.vhd",
+            Language::Vhdl,
+            TIREX_TOP_VHD,
+        )],
         top: "tirex_top",
         space: ParameterSpace::new()
-            .with("NCLUSTER", Domain::PowerOfTwo { min_exp: 0, max_exp: 3 })
-            .with("STACK_SIZE", Domain::PowerOfTwo { min_exp: 0, max_exp: 8 })
-            .with("IMEM_SIZE", Domain::PowerOfTwo { min_exp: 3, max_exp: 6 })
-            .with("DMEM_SIZE", Domain::PowerOfTwo { min_exp: 3, max_exp: 6 }),
+            .with(
+                "NCLUSTER",
+                Domain::PowerOfTwo {
+                    min_exp: 0,
+                    max_exp: 3,
+                },
+            )
+            .with(
+                "STACK_SIZE",
+                Domain::PowerOfTwo {
+                    min_exp: 0,
+                    max_exp: 8,
+                },
+            )
+            .with(
+                "IMEM_SIZE",
+                Domain::PowerOfTwo {
+                    min_exp: 3,
+                    max_exp: 6,
+                },
+            )
+            .with(
+                "DMEM_SIZE",
+                Domain::PowerOfTwo {
+                    min_exp: 3,
+                    max_exp: 6,
+                },
+            ),
         part: "xczu3eg-sbva484-1-e",
         metrics: MetricSet::area_frequency(),
     }

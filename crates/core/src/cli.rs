@@ -113,8 +113,8 @@ fn cmd_parse(files: &[String], out: &mut String) -> Result<(), String> {
     for path in files {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let lang = language_of(path)?;
-        let (file, diags) = dovado_hdl::parse_source(lang, &text)
-            .map_err(|e| format!("{path}: {e}"))?;
+        let (file, diags) =
+            dovado_hdl::parse_source(lang, &text).map_err(|e| format!("{path}: {e}"))?;
         let _ = writeln!(out, "{path} ({lang}):");
         for d in diags.iter() {
             let _ = writeln!(out, "  {d}");
@@ -131,7 +131,11 @@ fn cmd_parse(files: &[String], out: &mut String) -> Result<(), String> {
                 let _ = writeln!(out, "    {kind} {}{default}", p.name);
             }
             for port in &m.ports {
-                let _ = writeln!(out, "    port {} : {} {}", port.name, port.direction, port.ty);
+                let _ = writeln!(
+                    out,
+                    "    port {} : {} {}",
+                    port.name, port.direction, port.ty
+                );
             }
             if let Some(clk) = m.clock_port() {
                 let _ = writeln!(out, "    clock candidate: {}", clk.name);
@@ -168,8 +172,7 @@ fn parse_common(args: &[String]) -> Result<(CommonArgs, Vec<(String, String)>), 
         match flag {
             "--source" => {
                 let path = value(i)?;
-                let text =
-                    std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
                 let lang = language_of(&path)?;
                 let name = path.rsplit('/').next().unwrap_or(&path).to_string();
                 sources.push(HdlSource::new(name, lang, text));
@@ -241,8 +244,9 @@ fn cmd_evaluate(args: &[String], out: &mut String) -> Result<(), String> {
                 let (k, v) = value
                     .split_once('=')
                     .ok_or_else(|| format!("--set: want NAME=VALUE, got `{value}`"))?;
-                let vi: i64 =
-                    v.parse().map_err(|_| format!("--set: non-integer value `{v}`"))?;
+                let vi: i64 = v
+                    .parse()
+                    .map_err(|_| format!("--set: non-integer value `{v}`"))?;
                 assignments.push((k.to_string(), vi));
             }
             other => return Err(format!("evaluate: unknown flag `{other}`")),
@@ -251,8 +255,7 @@ fn cmd_evaluate(args: &[String], out: &mut String) -> Result<(), String> {
 
     let evaluator = crate::flow::Evaluator::new(common.sources, &common.top, common.eval)
         .map_err(|e| e.to_string())?;
-    let pairs: Vec<(&str, i64)> =
-        assignments.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let pairs: Vec<(&str, i64)> = assignments.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     let point = DesignPoint::from_pairs(&pairs);
     let eval = evaluator.evaluate(&point).map_err(|e| e.to_string())?;
 
@@ -263,9 +266,17 @@ fn cmd_evaluate(args: &[String], out: &mut String) -> Result<(), String> {
             let _ = writeln!(out, "{:<13}: {v}", kind.to_string());
         }
     }
-    let _ = writeln!(out, "{:<13}: {:.3} ns (target {:.3} ns)", "WNS", eval.wns_ns, eval.period_ns);
+    let _ = writeln!(
+        out,
+        "{:<13}: {:.3} ns (target {:.3} ns)",
+        "WNS", eval.wns_ns, eval.period_ns
+    );
     let _ = writeln!(out, "{:<13}: {:.2} MHz", "Fmax", eval.fmax_mhz);
-    let _ = writeln!(out, "{:<13}: {:.0} simulated s", "tool time", eval.tool_time_s);
+    let _ = writeln!(
+        out,
+        "{:<13}: {:.0} simulated s",
+        "tool time", eval.tool_time_s
+    );
     Ok(())
 }
 
@@ -292,18 +303,33 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
             }
             "--metric" => metrics = Some(parse_metrics(value)?),
             "--generations" => {
-                generations =
-                    value.parse().map_err(|_| "--generations: not a number".to_string())?
+                generations = value
+                    .parse()
+                    .map_err(|_| "--generations: not a number".to_string())?
             }
-            "--pop" => pop = value.parse().map_err(|_| "--pop: not a number".to_string())?,
-            "--seed" => seed = value.parse().map_err(|_| "--seed: not a number".to_string())?,
+            "--pop" => {
+                pop = value
+                    .parse()
+                    .map_err(|_| "--pop: not a number".to_string())?
+            }
+            "--seed" => {
+                seed = value
+                    .parse()
+                    .map_err(|_| "--seed: not a number".to_string())?
+            }
             "--surrogate" => {
-                surrogate =
-                    Some(value.parse().map_err(|_| "--surrogate: not a number".to_string())?)
+                surrogate = Some(
+                    value
+                        .parse()
+                        .map_err(|_| "--surrogate: not a number".to_string())?,
+                )
             }
             "--deadline" => {
-                deadline =
-                    Some(value.parse().map_err(|_| "--deadline: not a number".to_string())?)
+                deadline = Some(
+                    value
+                        .parse()
+                        .map_err(|_| "--deadline: not a number".to_string())?,
+                )
             }
             "--plot" => plot = true,
             "--csv" => csv_path = Some(value.clone()),
@@ -324,8 +350,8 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
     }
     let metrics = metrics.unwrap_or_else(MetricSet::area_frequency);
 
-    let tool = Dovado::new(common.sources, &common.top, space, common.eval)
-        .map_err(|e| e.to_string())?;
+    let tool =
+        Dovado::new(common.sources, &common.top, space, common.eval).map_err(|e| e.to_string())?;
     let termination = match deadline {
         Some(d) => Termination::Any(vec![
             Termination::Generations(generations),
@@ -336,7 +362,11 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
     let report = tool
         .explore(&DseConfig {
             explorer,
-            algorithm: Nsga2Config { pop_size: pop, seed, ..Default::default() },
+            algorithm: Nsga2Config {
+                pop_size: pop,
+                seed,
+                ..Default::default()
+            },
             termination,
             metrics,
             surrogate: surrogate.map(|m| SurrogateConfig {
@@ -348,11 +378,20 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
 
     let _ = writeln!(out, "{}", report.summary());
+    let flow_log = report.flow_log(20);
+    if !flow_log.is_empty() {
+        let _ = writeln!(out, "flow events (failed/retried attempts):");
+        let _ = write!(out, "{flow_log}");
+    }
     let _ = writeln!(out);
     let _ = writeln!(out, "{}", report.configuration_table());
     let _ = writeln!(out, "{}", report.metric_table());
     if plot && report.metrics.len() >= 2 {
-        let _ = writeln!(out, "{}", report.scatter(0, report.metrics.len() - 1, 56, 14));
+        let _ = writeln!(
+            out,
+            "{}",
+            report.scatter(0, report.metrics.len() - 1, 56, 14)
+        );
     }
     if let Some(path) = csv_path {
         let mut w = crate::csv::CsvWriter::new();
@@ -376,7 +415,9 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
 }
 
 fn cmd_demo(args: &[String], out: &mut String) -> Result<(), String> {
-    let name = args.first().ok_or_else(|| "demo: missing case-study name".to_string())?;
+    let name = args
+        .first()
+        .ok_or_else(|| "demo: missing case-study name".to_string())?;
     let cs = match name.as_str() {
         "cv32e40p" | "fifo" => casestudies::cv32e40p::case_study(),
         "corundum" => casestudies::corundum::case_study(),
@@ -384,12 +425,20 @@ fn cmd_demo(args: &[String], out: &mut String) -> Result<(), String> {
         "tirex" => casestudies::tirex::case_study(),
         other => return Err(format!("demo: unknown case study `{other}`")),
     };
-    let _ = writeln!(out, "case study: {} (top {}, part {})", cs.name, cs.top, cs.part);
+    let _ = writeln!(
+        out,
+        "case study: {} (top {}, part {})",
+        cs.name, cs.top, cs.part
+    );
     let _ = writeln!(out, "space     : {}", cs.space);
     let tool = cs.dovado().map_err(|e| e.to_string())?;
     let report = tool
         .explore(&DseConfig {
-            algorithm: Nsga2Config { pop_size: 14, seed: 1, ..Default::default() },
+            algorithm: Nsga2Config {
+                pop_size: 14,
+                seed: 1,
+                ..Default::default()
+            },
             termination: Termination::Generations(8),
             metrics: cs.metrics.clone(),
             surrogate: None,
@@ -428,21 +477,35 @@ pub fn parse_domain(spec: &str) -> Result<Domain, String> {
     }
     if spec.contains(':') {
         let parts: Vec<&str> = spec.split(':').collect();
-        let lo: i64 = parts[0].parse().map_err(|_| format!("bad bound `{}`", parts[0]))?;
-        let hi: i64 = parts[1].parse().map_err(|_| format!("bad bound `{}`", parts[1]))?;
+        let lo: i64 = parts[0]
+            .parse()
+            .map_err(|_| format!("bad bound `{}`", parts[0]))?;
+        let hi: i64 = parts[1]
+            .parse()
+            .map_err(|_| format!("bad bound `{}`", parts[1]))?;
         let step: i64 = match parts.len() {
             2 => 1,
-            3 => parts[2].parse().map_err(|_| format!("bad step `{}`", parts[2]))?,
+            3 => parts[2]
+                .parse()
+                .map_err(|_| format!("bad step `{}`", parts[2]))?,
             _ => return Err(format!("range spec wants lo:hi[:step], got `{spec}`")),
         };
-        let d = Domain::Range { lo: lo.min(hi), hi: hi.max(lo), step };
+        let d = Domain::Range {
+            lo: lo.min(hi),
+            hi: hi.max(lo),
+            step,
+        };
         d.validate().map_err(|e| e.to_string())?;
         return Ok(d);
     }
     if spec.contains(',') {
         let mut values = Vec::new();
         for v in spec.split(',') {
-            values.push(v.trim().parse::<i64>().map_err(|_| format!("bad value `{v}`"))?);
+            values.push(
+                v.trim()
+                    .parse::<i64>()
+                    .map_err(|_| format!("bad value `{v}`"))?,
+            );
         }
         values.sort_unstable();
         values.dedup();
@@ -451,8 +514,14 @@ pub fn parse_domain(spec: &str) -> Result<Domain, String> {
         return Ok(d);
     }
     // A single value: a degenerate range.
-    let v: i64 = spec.parse().map_err(|_| format!("unrecognized domain spec `{spec}`"))?;
-    Ok(Domain::Range { lo: v, hi: v, step: 1 })
+    let v: i64 = spec
+        .parse()
+        .map_err(|_| format!("unrecognized domain spec `{spec}`"))?;
+    Ok(Domain::Range {
+        lo: v,
+        hi: v,
+        step: 1,
+    })
 }
 
 /// Parses a `--metric` list such as `lut,ff,fmax`.
@@ -461,9 +530,7 @@ pub fn parse_metrics(spec: &str) -> Result<MetricSet, String> {
     for item in spec.split(',') {
         let m = match item.trim().to_ascii_lowercase().as_str() {
             "lut" | "luts" => Metric::Utilization(ResourceKind::Lut),
-            "ff" | "register" | "registers" | "reg" => {
-                Metric::Utilization(ResourceKind::Register)
-            }
+            "ff" | "register" | "registers" | "reg" => Metric::Utilization(ResourceKind::Register),
             "bram" | "brams" => Metric::Utilization(ResourceKind::Bram),
             "uram" | "urams" => Metric::Utilization(ResourceKind::Uram),
             "dsp" | "dsps" => Metric::Utilization(ResourceKind::Dsp),
@@ -551,14 +618,7 @@ mod tests {
         let mut out = String::new();
         let code = run(
             &args(&[
-                "evaluate",
-                "--source",
-                &path,
-                "--top",
-                "fifo_v3",
-                "--set",
-                "DEPTH=64",
-                "--part",
+                "evaluate", "--source", &path, "--top", "fifo_v3", "--set", "DEPTH=64", "--part",
                 "xc7k70t",
             ]),
             &mut out,
@@ -611,7 +671,10 @@ mod tests {
         let path = write_temp("y.sv", FIFO);
         let mut out = String::new();
         assert_eq!(
-            run(&args(&["explore", "--source", &path, "--top", "fifo_v3"]), &mut out),
+            run(
+                &args(&["explore", "--source", &path, "--top", "fifo_v3"]),
+                &mut out
+            ),
             1
         );
         assert!(out.contains("--param"));
@@ -619,18 +682,42 @@ mod tests {
 
     #[test]
     fn domain_specs() {
-        assert_eq!(parse_domain("2:1000").unwrap(), Domain::Range { lo: 2, hi: 1000, step: 1 });
+        assert_eq!(
+            parse_domain("2:1000").unwrap(),
+            Domain::Range {
+                lo: 2,
+                hi: 1000,
+                step: 1
+            }
+        );
         assert_eq!(
             parse_domain("2:1000:2").unwrap(),
-            Domain::Range { lo: 2, hi: 1000, step: 2 }
+            Domain::Range {
+                lo: 2,
+                hi: 1000,
+                step: 2
+            }
         );
         assert_eq!(
             parse_domain("pow2:10:16").unwrap(),
-            Domain::PowerOfTwo { min_exp: 10, max_exp: 16 }
+            Domain::PowerOfTwo {
+                min_exp: 10,
+                max_exp: 16
+            }
         );
         assert_eq!(parse_domain("bool").unwrap(), Domain::Bool);
-        assert_eq!(parse_domain("8,32,16").unwrap(), Domain::Explicit(vec![8, 16, 32]));
-        assert_eq!(parse_domain("7").unwrap(), Domain::Range { lo: 7, hi: 7, step: 1 });
+        assert_eq!(
+            parse_domain("8,32,16").unwrap(),
+            Domain::Explicit(vec![8, 16, 32])
+        );
+        assert_eq!(
+            parse_domain("7").unwrap(),
+            Domain::Range {
+                lo: 7,
+                hi: 7,
+                step: 1
+            }
+        );
         assert!(parse_domain("pow2:9").is_err());
         assert!(parse_domain("a:b").is_err());
         assert!(parse_domain("").is_err());

@@ -9,8 +9,7 @@ use crate::point::DesignPoint;
 use crate::results::{DseReport, ParetoEntry, PointResult};
 use crate::space::ParameterSpace;
 use dovado_moo::{
-    exhaustive_search, nsga2, random_search, weighted_sum_ga, Nsga2Config, OptResult,
-    Termination,
+    exhaustive_search, nsga2, random_search, weighted_sum_ga, Nsga2Config, OptResult, Termination,
 };
 use dovado_surrogate::{Kernel, ThresholdPolicy};
 
@@ -19,9 +18,10 @@ use dovado_surrogate::{Kernel, ThresholdPolicy};
 /// The paper uses NSGA-II and surveys alternatives via Panerati et al.
 /// [12], planning "an investigation on a run-time choice among various
 /// algorithms" (§V) — this knob is that choice point.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Explorer {
     /// NSGA-II (the paper's solver; uses [`DseConfig::algorithm`]).
+    #[default]
     Nsga2,
     /// Uniform random sampling, keeping the non-dominated archive.
     RandomSearch,
@@ -34,12 +34,6 @@ pub enum Explorer {
         /// Maximum space volume to accept.
         limit: u64,
     },
-}
-
-impl Default for Explorer {
-    fn default() -> Self {
-        Explorer::Nsga2
-    }
 }
 
 /// Configuration of the fitness-approximation model.
@@ -145,16 +139,15 @@ impl Dovado {
 
     /// Design automation: evaluates a set of points (optionally in
     /// parallel), pairing each with its result.
-    pub fn evaluate_points(
-        &self,
-        points: &[DesignPoint],
-        parallel: bool,
-    ) -> Vec<PointResult> {
+    pub fn evaluate_points(&self, points: &[DesignPoint], parallel: bool) -> Vec<PointResult> {
         self.evaluator
             .evaluate_many(points, parallel)
             .into_iter()
             .zip(points)
-            .map(|(result, point)| PointResult { point: point.clone(), result })
+            .map(|(result, point)| PointResult {
+                point: point.clone(),
+                result,
+            })
             .collect()
     }
 
@@ -206,21 +199,29 @@ impl Dovado {
                     cfg.algorithm.seed,
                 )
             }
-            Explorer::Exhaustive { limit } => exhaustive_search(&mut problem, *limit)
-                .ok_or_else(|| {
+            Explorer::Exhaustive { limit } => {
+                exhaustive_search(&mut problem, *limit).ok_or_else(|| {
                     crate::error::DovadoError::Config(format!(
                         "space volume {} exceeds the exhaustive limit {limit}",
                         self.space.volume()
                     ))
-                })?,
+                })?
+            }
         };
 
         let mut pareto = Vec::with_capacity(result.pareto.len());
         for ind in result.sorted_pareto() {
             let point = problem.decode(&ind.genome)?;
-            pareto.push(ParetoEntry { point, values: ind.raw.clone() });
+            pareto.push(ParetoEntry {
+                point,
+                values: ind.raw.clone(),
+            });
         }
         let stats: FitnessStats = problem.stats;
+        // The problem's evaluator is a clone of ours; clones share the
+        // flow trace, so the summary covers pretraining and exploration.
+        let trace = problem.evaluator().trace_summary();
+        let events = problem.evaluator().events();
         Ok(DseReport {
             pareto,
             metrics: cfg.metrics.clone(),
@@ -230,6 +231,11 @@ impl Dovado {
             cached_runs: stats.cached_runs,
             estimates: stats.estimates,
             failures: stats.failures,
+            transient_failures: stats.transient_failures,
+            permanent_failures: stats.permanent_failures,
+            retries: stats.retries,
+            trace,
+            events,
             tool_time_s: self.evaluator.total_tool_time(),
             history: result.history,
         })
@@ -255,7 +261,14 @@ endmodule"#;
         Dovado::new(
             vec![HdlSource::new("fifo.sv", Language::SystemVerilog, FIFO_SV)],
             "fifo_v3",
-            ParameterSpace::new().with("DEPTH", Domain::Range { lo: 2, hi: 256, step: 2 }),
+            ParameterSpace::new().with(
+                "DEPTH",
+                Domain::Range {
+                    lo: 2,
+                    hi: 256,
+                    step: 2,
+                },
+            ),
             EvalConfig::default(),
         )
         .unwrap()
@@ -302,7 +315,11 @@ endmodule"#;
     fn dse_finds_tradeoff_front() {
         let d = dovado();
         let cfg = DseConfig {
-            algorithm: Nsga2Config { pop_size: 12, seed: 3, ..Default::default() },
+            algorithm: Nsga2Config {
+                pop_size: 12,
+                seed: 3,
+                ..Default::default()
+            },
             termination: Termination::Generations(6),
             metrics: metrics(),
             surrogate: None,
@@ -325,7 +342,11 @@ endmodule"#;
     fn dse_with_surrogate_saves_tool_runs() {
         let d = dovado();
         let base_cfg = DseConfig {
-            algorithm: Nsga2Config { pop_size: 10, seed: 5, ..Default::default() },
+            algorithm: Nsga2Config {
+                pop_size: 10,
+                seed: 5,
+                ..Default::default()
+            },
             termination: Termination::Generations(8),
             metrics: metrics(),
             surrogate: None,
@@ -336,7 +357,10 @@ endmodule"#;
 
         let d2 = dovado();
         let sur_cfg = DseConfig {
-            surrogate: Some(SurrogateConfig { pretrain_samples: 30, ..Default::default() }),
+            surrogate: Some(SurrogateConfig {
+                pretrain_samples: 30,
+                ..Default::default()
+            }),
             ..base_cfg
         };
         let with = d2.explore(&sur_cfg).unwrap();
@@ -356,12 +380,13 @@ endmodule"#;
         let d = dovado();
         let report = d
             .explore(&DseConfig {
-                algorithm: Nsga2Config { pop_size: 8, seed: 4, ..Default::default() },
+                algorithm: Nsga2Config {
+                    pop_size: 8,
+                    seed: 4,
+                    ..Default::default()
+                },
                 termination: Termination::Generations(4),
-                metrics: MetricSet::new(vec![
-                    Metric::Power,
-                    Metric::Fmax,
-                ]),
+                metrics: MetricSet::new(vec![Metric::Power, Metric::Fmax]),
                 surrogate: None,
                 parallel: true,
                 ..Default::default()
@@ -377,7 +402,11 @@ endmodule"#;
     fn alternative_explorers_run() {
         let d = dovado();
         let base = DseConfig {
-            algorithm: Nsga2Config { pop_size: 10, seed: 2, ..Default::default() },
+            algorithm: Nsga2Config {
+                pop_size: 10,
+                seed: 2,
+                ..Default::default()
+            },
             termination: Termination::Evaluations(30),
             metrics: metrics(),
             surrogate: None,
@@ -386,13 +415,19 @@ endmodule"#;
         };
         // Random search.
         let r = d
-            .explore(&DseConfig { explorer: Explorer::RandomSearch, ..base.clone() })
+            .explore(&DseConfig {
+                explorer: Explorer::RandomSearch,
+                ..base.clone()
+            })
             .unwrap();
         assert!(!r.pareto.is_empty());
         assert!(r.evaluations >= 30);
         // Weighted sum (equal weights).
         let w = d
-            .explore(&DseConfig { explorer: Explorer::WeightedSum(None), ..base.clone() })
+            .explore(&DseConfig {
+                explorer: Explorer::WeightedSum(None),
+                ..base.clone()
+            })
             .unwrap();
         assert!(!w.pareto.is_empty());
         // Weighted sum with wrong arity is rejected.
@@ -412,7 +447,10 @@ endmodule"#;
         assert_eq!(e.evaluations, 128);
         // Exhaustive refuses when the limit is too small.
         assert!(d
-            .explore(&DseConfig { explorer: Explorer::Exhaustive { limit: 10 }, ..base })
+            .explore(&DseConfig {
+                explorer: Explorer::Exhaustive { limit: 10 },
+                ..base
+            })
             .is_err());
     }
 
@@ -420,7 +458,11 @@ endmodule"#;
     fn soft_deadline_stops_early() {
         let d = dovado();
         let cfg = DseConfig {
-            algorithm: Nsga2Config { pop_size: 8, seed: 1, ..Default::default() },
+            algorithm: Nsga2Config {
+                pop_size: 8,
+                seed: 1,
+                ..Default::default()
+            },
             // A budget two evaluation-batches big (in simulated seconds).
             termination: Termination::SoftDeadline(3000.0),
             metrics: metrics(),
@@ -430,6 +472,9 @@ endmodule"#;
         };
         let report = d.explore(&cfg).unwrap();
         assert!(report.generations < 50, "deadline ignored: {report:?}");
-        assert!(report.tool_time_s >= 3000.0, "stopped before the budget was used");
+        assert!(
+            report.tool_time_s >= 3000.0,
+            "stopped before the budget was used"
+        );
     }
 }

@@ -1,7 +1,24 @@
 //! Error type for the Dovado framework.
+//!
+//! Errors carry a **class** ([`ErrorClass`]): *transient* failures are
+//! environmental (tool crash, timeout, corrupted artifact) and worth
+//! retrying; *permanent* failures are properties of the inputs (parse
+//! error, infeasible design) and will fail identically every attempt.
+//! The evaluator's retry loop and the fitness layer's penalty handling
+//! both key off this split — see `DESIGN.md`, "Failure model & retry
+//! policy".
 
 use dovado_eda::EdaError;
 use std::fmt;
+
+/// Whether a failure is worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Environmental: the same run may succeed on the next attempt.
+    Transient,
+    /// A property of the inputs: retrying cannot help.
+    Permanent,
+}
 
 /// Framework-level errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,6 +35,53 @@ pub enum DovadoError {
     NoClock(String),
     /// Configuration error.
     Config(String),
+    /// The tool finished but a report it was asked to write is absent.
+    MissingReport(String),
+    /// A report exists but could not be parsed (truncated or garbled).
+    ReportCorrupt(String),
+    /// A timing report parsed but its numbers are impossible (e.g. a
+    /// non-positive achievable period).
+    NonPhysicalTiming(String),
+    /// The retry budget ran out; `last` is the final attempt's failure.
+    RetriesExhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The error that killed the final attempt.
+        last: Box<DovadoError>,
+    },
+}
+
+impl DovadoError {
+    /// Classifies the failure for retry/penalty decisions.
+    ///
+    /// Missing and corrupt reports classify as transient: with the
+    /// simulated tool they only arise from injected write faults, and
+    /// with a real tool a half-written report usually means the process
+    /// died, not that the design is infeasible. `RetriesExhausted` stays
+    /// transient so callers can tell "gave up on a flaky run" apart from
+    /// "the design is bad" — it must *not* be converted into a penalty
+    /// vector.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            DovadoError::Eda(e) if e.is_transient() => ErrorClass::Transient,
+            DovadoError::MissingReport(_)
+            | DovadoError::ReportCorrupt(_)
+            | DovadoError::NonPhysicalTiming(_)
+            | DovadoError::RetriesExhausted { .. } => ErrorClass::Transient,
+            _ => ErrorClass::Permanent,
+        }
+    }
+
+    /// Convenience: `class() == Transient`.
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
+
+    /// Whether the failure was a tool timeout (drives graceful
+    /// degradation from implementation to synthesis-only evaluation).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, DovadoError::Eda(EdaError::Timeout(_)))
+    }
 }
 
 impl fmt::Display for DovadoError {
@@ -29,6 +93,12 @@ impl fmt::Display for DovadoError {
             DovadoError::Space(m) => write!(f, "parameter space error: {m}"),
             DovadoError::NoClock(m) => write!(f, "no clock port found on `{m}`"),
             DovadoError::Config(m) => write!(f, "configuration error: {m}"),
+            DovadoError::MissingReport(m) => write!(f, "report missing: {m}"),
+            DovadoError::ReportCorrupt(m) => write!(f, "report unreadable: {m}"),
+            DovadoError::NonPhysicalTiming(m) => write!(f, "non-physical timing: {m}"),
+            DovadoError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
         }
     }
 }
@@ -37,6 +107,7 @@ impl std::error::Error for DovadoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DovadoError::Eda(e) => Some(e),
+            DovadoError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -61,5 +132,48 @@ mod tests {
         assert!(e.to_string().contains("unknown part"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&DovadoError::Space("s".into())).is_none());
+    }
+
+    #[test]
+    fn classification_splits_transient_from_permanent() {
+        let transient = [
+            DovadoError::Eda(EdaError::ToolCrash("synth".into())),
+            DovadoError::Eda(EdaError::Timeout("route".into())),
+            DovadoError::Eda(EdaError::Checkpoint("corrupt".into())),
+            DovadoError::MissingReport("util.rpt".into()),
+            DovadoError::ReportCorrupt("no utilization rows".into()),
+            DovadoError::NonPhysicalTiming("period -1".into()),
+        ];
+        for e in transient {
+            assert_eq!(e.class(), ErrorClass::Transient, "{e}");
+        }
+        let permanent = [
+            DovadoError::Eda(EdaError::ResourceOverflow("too big".into())),
+            DovadoError::Eda(EdaError::Parse("bad HDL".into())),
+            DovadoError::Parse("bad HDL".into()),
+            DovadoError::Config("bad part".into()),
+            DovadoError::Space("empty".into()),
+        ];
+        for e in permanent {
+            assert_eq!(e.class(), ErrorClass::Permanent, "{e}");
+        }
+    }
+
+    #[test]
+    fn retries_exhausted_wraps_and_chains() {
+        let last = DovadoError::Eda(EdaError::ToolCrash("synth".into()));
+        let e = DovadoError::RetriesExhausted {
+            attempts: 4,
+            last: Box::new(last),
+        };
+        assert!(e.is_transient());
+        assert!(e.to_string().contains("4 attempts"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn timeout_detection() {
+        assert!(DovadoError::Eda(EdaError::Timeout("t".into())).is_timeout());
+        assert!(!DovadoError::Eda(EdaError::ToolCrash("c".into())).is_timeout());
     }
 }

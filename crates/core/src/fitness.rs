@@ -7,7 +7,7 @@
 //! retrain/revalidate.
 
 use crate::dse::SurrogateConfig;
-use crate::error::DovadoResult;
+use crate::error::{DovadoResult, ErrorClass};
 use crate::flow::Evaluator;
 use crate::metrics::MetricSet;
 use crate::point::DesignPoint;
@@ -27,8 +27,28 @@ pub struct FitnessStats {
     /// Estimates served by the surrogate.
     pub estimates: u64,
     /// Evaluations that failed (e.g. the design did not fit) and were
-    /// penalized.
+    /// penalized. Always `transient_failures + permanent_failures`.
     pub failures: u64,
+    /// Failed evaluations whose final error was transient (retry budget
+    /// exhausted on crashes/timeouts). These are *not* truths about the
+    /// design and are never recorded into the surrogate dataset.
+    pub transient_failures: u64,
+    /// Failed evaluations whose error was a property of the design
+    /// (infeasible point, overflow). Penalizing these is meaningful.
+    pub permanent_failures: u64,
+    /// Extra tool attempts spent retrying transient faults (mirror of the
+    /// evaluator's [`crate::TraceSummary::retries`]).
+    pub retries: u64,
+}
+
+impl FitnessStats {
+    fn count_failure(&mut self, class: ErrorClass) {
+        self.failures += 1;
+        match class {
+            ErrorClass::Transient => self.transient_failures += 1,
+            ErrorClass::Permanent => self.permanent_failures += 1,
+        }
+    }
 }
 
 /// The multi-objective problem Dovado hands to NSGA-II.
@@ -99,8 +119,12 @@ impl DseProblem {
                 );
                 let mut pairs = Vec::with_capacity(genomes.len());
                 for g in genomes {
-                    let values = problem.tool_evaluate(&g);
-                    pairs.push((g, values));
+                    // Only genuine evaluations enter the pretrain dataset;
+                    // a failed sample must not teach the model its penalty
+                    // vector as if it were a measurement.
+                    if let Some(values) = problem.tool_evaluate_checked(&g) {
+                        pairs.push((g, values));
+                    }
                 }
                 controller.pretrain(pairs);
             }
@@ -132,21 +156,32 @@ impl DseProblem {
     /// Runs the tool for a genome, returning metric values (penalty vector
     /// on failure).
     fn tool_evaluate(&mut self, genome: &[i64]) -> Vec<f64> {
+        self.tool_evaluate_checked(genome)
+            .unwrap_or_else(|| self.penalty.clone())
+    }
+
+    /// Runs the tool for a genome; `None` means the evaluation failed and
+    /// the caller must decide how to penalize — the distinction matters
+    /// because penalty vectors are *not* measurements and must never be
+    /// recorded into the surrogate dataset.
+    fn tool_evaluate_checked(&mut self, genome: &[i64]) -> Option<Vec<f64>> {
         let point = match self.space.decode(genome) {
             Ok(p) => p,
             Err(_) => {
-                self.stats.failures += 1;
-                return self.penalty.clone();
+                self.stats.count_failure(ErrorClass::Permanent);
+                return None;
             }
         };
-        match self.evaluator.evaluate(&point) {
+        let result = self.evaluator.evaluate(&point);
+        self.stats.retries = self.evaluator.trace_summary().retries;
+        match result {
             Ok(eval) => {
                 self.stats.tool_runs += 1;
-                self.metrics.extract(&eval)
+                Some(self.metrics.extract(&eval))
             }
-            Err(_) => {
-                self.stats.failures += 1;
-                self.penalty.clone()
+            Err(e) => {
+                self.stats.count_failure(e.class());
+                None
             }
         }
     }
@@ -176,12 +211,21 @@ impl Problem for DseProblem {
                     values
                 }
                 Decision::Evaluate => {
-                    let values = self.tool_evaluate(genome);
-                    self.surrogate
-                        .as_mut()
-                        .expect("checked")
-                        .record(genome.to_vec(), values.clone());
-                    values
+                    // Record only genuine evaluations. A failed run's
+                    // penalty vector is a sentinel for the optimizer, not a
+                    // truth about the design — recording it would poison
+                    // the Nadaraya-Watson estimates for every neighboring
+                    // point.
+                    match self.tool_evaluate_checked(genome) {
+                        Some(values) => {
+                            self.surrogate
+                                .as_mut()
+                                .expect("checked")
+                                .record(genome.to_vec(), values.clone());
+                            values
+                        }
+                        None => self.penalty.clone(),
+                    }
                 }
             }
         } else {
@@ -196,23 +240,23 @@ impl Problem for DseProblem {
             let space = self.space.clone();
             let metrics = self.metrics.clone();
             let penalty = self.penalty.clone();
-            let results: Vec<(Vec<f64>, bool)> = genomes
+            let results: Vec<(Vec<f64>, Option<ErrorClass>)> = genomes
                 .par_iter()
                 .map(|g| match space.decode(g) {
                     Ok(point) => match evaluator.evaluate(&point) {
-                        Ok(eval) => (metrics.extract(&eval), true),
-                        Err(_) => (penalty.clone(), false),
+                        Ok(eval) => (metrics.extract(&eval), None),
+                        Err(e) => (penalty.clone(), Some(e.class())),
                     },
-                    Err(_) => (penalty.clone(), false),
+                    Err(_) => (penalty.clone(), Some(ErrorClass::Permanent)),
                 })
                 .collect();
-            for (_, ok) in &results {
-                if *ok {
-                    self.stats.tool_runs += 1;
-                } else {
-                    self.stats.failures += 1;
+            for (_, failure) in &results {
+                match failure {
+                    None => self.stats.tool_runs += 1,
+                    Some(class) => self.stats.count_failure(*class),
                 }
             }
+            self.stats.retries = self.evaluator.trace_summary().retries;
             results.into_iter().map(|(v, _)| v).collect()
         } else {
             genomes.iter().map(|g| self.evaluate(g)).collect()
@@ -252,7 +296,14 @@ endmodule"#;
     }
 
     fn space() -> ParameterSpace {
-        ParameterSpace::new().with("DEPTH", Domain::Range { lo: 2, hi: 1000, step: 2 })
+        ParameterSpace::new().with(
+            "DEPTH",
+            Domain::Range {
+                lo: 2,
+                hi: 1000,
+                step: 2,
+            },
+        )
     }
 
     fn metrics() -> MetricSet {

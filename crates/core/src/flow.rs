@@ -12,7 +12,8 @@ use crate::error::{DovadoError, DovadoResult};
 use crate::frames::{fill, read_sources_script, SourceEntry, IMPL_FRAME, SYNTH_FRAME};
 use crate::metrics::{fmax_mhz, Evaluation};
 use crate::point::DesignPoint;
-use dovado_eda::{report, CheckpointStore, VivadoSim};
+use crate::trace::{AttemptOutcome, FlowEvent, FlowTrace, TraceSummary};
+use dovado_eda::{report, CheckpointStore, EdaError, FaultInjector, FaultPlan, VivadoSim};
 use dovado_hdl::{Language, ModuleInterface};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -33,7 +34,12 @@ pub struct HdlSource {
 impl HdlSource {
     /// Creates a `work`-library source.
     pub fn new(name: impl Into<String>, language: Language, content: impl Into<String>) -> Self {
-        HdlSource { name: name.into(), language, content: content.into(), library: None }
+        HdlSource {
+            name: name.into(),
+            language,
+            content: content.into(),
+            library: None,
+        }
     }
 }
 
@@ -46,6 +52,58 @@ pub enum FlowStep {
     /// Run through place & route (the paper's default for results).
     #[default]
     Implementation,
+}
+
+/// Retry-with-capped-backoff policy for transient tool failures.
+///
+/// Backoff is *simulated* time: waiting for a wedged license server or a
+/// rebooting host costs wall-clock that the DSE budget must account for,
+/// so every backoff second is charged to the evaluator's tool-time
+/// ledger, exactly like tool runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per point (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, in simulated seconds.
+    pub backoff_base_s: f64,
+    /// Multiplier applied per further attempt.
+    pub backoff_factor: f64,
+    /// Ceiling on a single backoff, in simulated seconds.
+    pub backoff_cap_s: f64,
+    /// After this many timeouts on one point, degrade the flow from
+    /// [`FlowStep::Implementation`] to [`FlowStep::Synthesis`] for its
+    /// remaining attempts (post-synth metrics are optimistic but beat a
+    /// penalty vector). `None` disables degradation.
+    pub degrade_after_timeouts: Option<u32>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_base_s: 30.0,
+            backoff_factor: 2.0,
+            backoff_cap_s: 300.0,
+            degrade_after_timeouts: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn no_retries() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff charged after a failed `attempt` (1-based), in simulated
+    /// seconds.
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        (self.backoff_base_s * self.backoff_factor.powi(attempt.saturating_sub(1) as i32))
+            .min(self.backoff_cap_s)
+    }
 }
 
 /// Evaluation configuration.
@@ -67,6 +125,10 @@ pub struct EvalConfig {
     pub incremental: bool,
     /// Tool noise seed.
     pub seed: u64,
+    /// Retry policy for transient tool failures.
+    pub retry: RetryPolicy,
+    /// Fault injection plan for the simulated tool (default: no faults).
+    pub faults: FaultPlan,
 }
 
 impl Default for EvalConfig {
@@ -79,6 +141,8 @@ impl Default for EvalConfig {
             impl_directive: "Default".into(),
             incremental: true,
             seed: 0xD0_5AD0,
+            retry: RetryPolicy::default(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -87,12 +151,21 @@ impl Default for EvalConfig {
 #[derive(Clone)]
 pub struct Evaluator {
     sources: Arc<Vec<HdlSource>>,
+    /// Per-source "declares a package" flags, from the parsed AST (same
+    /// order as `sources`).
+    package_flags: Arc<Vec<bool>>,
     module: Arc<ModuleInterface>,
     config: EvalConfig,
     store: CheckpointStore,
-    /// Cumulative simulated tool seconds across all evaluations.
+    /// Fault injector shared by every tool session this evaluator spawns
+    /// (one deterministic fault stream per run); `None` = clean runs.
+    injector: Option<FaultInjector>,
+    /// Per-attempt event log.
+    trace: FlowTrace,
+    /// Cumulative simulated tool seconds across all evaluations,
+    /// including failed attempts and retry backoff.
     tool_time: Arc<Mutex<f64>>,
-    /// Number of tool invocations.
+    /// Number of successful tool invocations.
     runs: Arc<Mutex<u64>>,
     /// Whether any prior run left a synthesis checkpoint (enables the
     /// incremental read on subsequent scripts).
@@ -107,6 +180,7 @@ impl Evaluator {
         config: EvalConfig,
     ) -> DovadoResult<Evaluator> {
         let mut found: Option<ModuleInterface> = None;
+        let mut package_flags = Vec::with_capacity(sources.len());
         for src in &sources {
             let (file, diags) = dovado_hdl::parse_source(src.language, &src.content)
                 .map_err(|e| DovadoError::Parse(format!("{}: {e}", src.name)))?;
@@ -114,9 +188,14 @@ impl Evaluator {
                 return Err(DovadoError::Parse(format!(
                     "{}: {}",
                     src.name,
-                    diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("; ")
+                    diags
+                        .iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ")
                 )));
             }
+            package_flags.push(!file.packages.is_empty());
             if let Some(m) = file.module(top_module) {
                 found = Some(m.clone());
             }
@@ -128,11 +207,18 @@ impl Evaluator {
                 config.target_period_ns
             )));
         }
+        let injector = config
+            .faults
+            .is_active()
+            .then(|| FaultInjector::new(config.faults.clone()));
         Ok(Evaluator {
             sources: Arc::new(sources),
+            package_flags: Arc::new(package_flags),
             module: Arc::new(module),
             config,
             store: CheckpointStore::new(),
+            injector,
+            trace: FlowTrace::new(),
             tool_time: Arc::new(Mutex::new(0.0)),
             runs: Arc::new(Mutex::new(0)),
             has_checkpoint: Arc::new(Mutex::new(false)),
@@ -149,29 +235,173 @@ impl Evaluator {
         &self.config
     }
 
-    /// Cumulative simulated tool seconds.
+    /// Cumulative simulated tool seconds, including failed attempts and
+    /// retry backoff.
     pub fn total_tool_time(&self) -> f64 {
         *self.tool_time.lock()
     }
 
-    /// Number of tool invocations so far.
+    /// Number of successful tool invocations so far.
     pub fn total_runs(&self) -> u64 {
         *self.runs.lock()
     }
 
-    /// Evaluates one design point end-to-end.
-    pub fn evaluate(&self, point: &DesignPoint) -> DovadoResult<Evaluation> {
-        let boxed = generate_box(&self.module, point)?;
+    /// Snapshot of the per-attempt event log (oldest first).
+    pub fn events(&self) -> Vec<FlowEvent> {
+        self.trace.events()
+    }
 
+    /// Whole-run trace counters (attempts, retries, failures by class,
+    /// cache hits, backoff charged).
+    pub fn trace_summary(&self) -> TraceSummary {
+        self.trace.summary()
+    }
+
+    /// Evaluates one design point end-to-end, retrying transient tool
+    /// failures per the configured [`RetryPolicy`].
+    ///
+    /// Permanent failures (infeasible design, parse error) return
+    /// immediately. Transient failures (crash, timeout, corrupt report or
+    /// checkpoint) back off — charged to the simulated-time ledger — and
+    /// retry up to `max_attempts`; exhaustion surfaces as
+    /// [`DovadoError::RetriesExhausted`], never as fabricated metrics.
+    pub fn evaluate(&self, point: &DesignPoint) -> DovadoResult<Evaluation> {
+        let policy = self.config.retry.clone();
+        let max_attempts = policy.max_attempts.max(1);
+        let label = point.as_assignments();
+        let mut step = self.config.step;
+        let mut incremental = self.config.incremental;
+        let mut timeouts = 0u32;
+        let mut last_err: Option<DovadoError> = None;
+
+        for attempt in 1..=max_attempts {
+            // The step/incremental the attempt actually ran with — the
+            // loop may change them below for the *next* attempt.
+            let (used_step, used_incremental) = (step, incremental);
+            let (result, attempt_time, cached) = self.evaluate_once(point, step, incremental);
+            match result {
+                Ok(evaluation) => {
+                    self.trace.push(FlowEvent {
+                        point: label,
+                        attempt,
+                        step: used_step,
+                        outcome: AttemptOutcome::Success,
+                        tool_time_s: attempt_time,
+                        backoff_s: 0.0,
+                        incremental: used_incremental,
+                        cached,
+                    });
+                    return Ok(evaluation);
+                }
+                Err(e) if e.is_transient() && attempt < max_attempts => {
+                    if e.is_timeout() {
+                        timeouts += 1;
+                        if let Some(limit) = policy.degrade_after_timeouts {
+                            if timeouts >= limit && step == FlowStep::Implementation {
+                                step = FlowStep::Synthesis;
+                            }
+                        }
+                    }
+                    if matches!(&e, DovadoError::Eda(EdaError::Checkpoint(_))) {
+                        // The incremental basis is suspect — rebuild from
+                        // scratch on the remaining attempts.
+                        incremental = false;
+                        *self.has_checkpoint.lock() = false;
+                    }
+                    let backoff = policy.backoff_s(attempt);
+                    *self.tool_time.lock() += backoff;
+                    self.trace.push(FlowEvent {
+                        point: label.clone(),
+                        attempt,
+                        step: used_step,
+                        outcome: AttemptOutcome::TransientFailure(e.to_string()),
+                        tool_time_s: attempt_time,
+                        backoff_s: backoff,
+                        incremental: used_incremental,
+                        cached: false,
+                    });
+                    last_err = Some(e);
+                }
+                Err(e) => {
+                    let outcome = if e.is_transient() {
+                        AttemptOutcome::TransientFailure(e.to_string())
+                    } else {
+                        AttemptOutcome::PermanentFailure(e.to_string())
+                    };
+                    self.trace.push(FlowEvent {
+                        point: label,
+                        attempt,
+                        step: used_step,
+                        outcome,
+                        tool_time_s: attempt_time,
+                        backoff_s: 0.0,
+                        incremental: used_incremental,
+                        cached: false,
+                    });
+                    return if e.is_transient() {
+                        Err(DovadoError::RetriesExhausted {
+                            attempts: attempt,
+                            last: Box::new(e),
+                        })
+                    } else {
+                        Err(e)
+                    };
+                }
+            }
+        }
+        // Unreachable: the final attempt either returned Ok or Err above.
+        Err(DovadoError::RetriesExhausted {
+            attempts: max_attempts,
+            last: Box::new(last_err.expect("loop ran at least once")),
+        })
+    }
+
+    /// One tool invocation. Returns the outcome plus the simulated time
+    /// this attempt burned (already charged to the ledger — failures cost
+    /// real tool time too) and whether it was served from an exact
+    /// checkpoint.
+    fn evaluate_once(
+        &self,
+        point: &DesignPoint,
+        step: FlowStep,
+        incremental: bool,
+    ) -> (DovadoResult<Evaluation>, f64, bool) {
         let mut sim = VivadoSim::new(self.config.seed);
         sim.set_checkpoint_store(self.store.clone());
+        if let Some(injector) = &self.injector {
+            sim.set_fault_injector(injector.clone());
+        }
+
+        let result = self.run_flow(&mut sim, point, step, incremental);
+        let attempt_time = sim.sim_time_s;
+        *self.tool_time.lock() += attempt_time;
+        let cached = sim
+            .journal
+            .iter()
+            .any(|l| l.contains("exact checkpoint reuse"));
+        if result.is_ok() {
+            *self.runs.lock() += 1;
+            *self.has_checkpoint.lock() = true;
+        }
+        (result, attempt_time, cached)
+    }
+
+    /// Script generation, tool execution, and report scraping for one
+    /// attempt.
+    fn run_flow(
+        &self,
+        sim: &mut VivadoSim,
+        point: &DesignPoint,
+        step: FlowStep,
+        incremental: bool,
+    ) -> DovadoResult<Evaluation> {
+        let boxed = generate_box(&self.module, point)?;
 
         // Write user sources + the generated box into the tool filesystem.
         let mut entries = Vec::new();
-        for src in self.sources.iter() {
+        for (src, &has_packages) in self.sources.iter().zip(self.package_flags.iter()) {
             let path = format!("src/{}", src.name);
             sim.write_file(&path, src.content.clone());
-            let has_packages = src.content.contains("package");
             entries.push(SourceEntry {
                 path,
                 language: src.language,
@@ -190,7 +420,7 @@ impl Evaluator {
 
         // Incremental flow: reuse the previous synthesis checkpoint when
         // one exists (Vivado reads it with `read_checkpoint -incremental`).
-        let incremental_line = if self.config.incremental && *self.has_checkpoint.lock() {
+        let incremental_line = if incremental && *self.has_checkpoint.lock() {
             // The checkpoint file must exist in this session's filesystem.
             sim.write_file("post_synth.dcp", "dcp:incremental-basis");
             "read_checkpoint -incremental post_synth.dcp".to_string()
@@ -198,60 +428,67 @@ impl Evaluator {
             String::new()
         };
 
-        let synth_script = fill(SYNTH_FRAME, &[
-            ("PROJECT", "dovado"),
-            ("PART", &self.config.part),
-            ("READ_SOURCES", read_sources_script(&entries).trim_end()),
-            ("TOP", BOX_TOP),
-            ("INCREMENTAL", &incremental_line),
-            ("SYNTH_DIRECTIVE", &self.config.synth_directive),
-            ("PERIOD", &format!("{:.3}", self.config.target_period_ns)),
-            ("CLOCK", BOX_CLOCK),
-            ("UTIL_RPT", "util_synth.rpt"),
-            ("TIMING_RPT", "timing_synth.rpt"),
-            ("POWER_RPT", "power_synth.rpt"),
-            ("SYNTH_DCP", "post_synth.dcp"),
-        ])?;
+        let synth_script = fill(
+            SYNTH_FRAME,
+            &[
+                ("PROJECT", "dovado"),
+                ("PART", &self.config.part),
+                ("READ_SOURCES", read_sources_script(&entries).trim_end()),
+                ("TOP", BOX_TOP),
+                ("INCREMENTAL", &incremental_line),
+                ("SYNTH_DIRECTIVE", &self.config.synth_directive),
+                ("PERIOD", &format!("{:.3}", self.config.target_period_ns)),
+                ("CLOCK", BOX_CLOCK),
+                ("UTIL_RPT", "util_synth.rpt"),
+                ("TIMING_RPT", "timing_synth.rpt"),
+                ("POWER_RPT", "power_synth.rpt"),
+                ("SYNTH_DCP", "post_synth.dcp"),
+            ],
+        )?;
         sim.eval(&synth_script)?;
 
-        let (util_path, timing_path, power_path) = match self.config.step {
-            FlowStep::Synthesis => {
-                ("util_synth.rpt", "timing_synth.rpt", "power_synth.rpt")
-            }
+        let (util_path, timing_path, power_path) = match step {
+            FlowStep::Synthesis => ("util_synth.rpt", "timing_synth.rpt", "power_synth.rpt"),
             FlowStep::Implementation => {
-                let impl_script = fill(IMPL_FRAME, &[
-                    ("IMPL_DIRECTIVE", &self.config.impl_directive),
-                    ("UTIL_RPT", "util_impl.rpt"),
-                    ("TIMING_RPT", "timing_impl.rpt"),
-                    ("POWER_RPT", "power_impl.rpt"),
-                    ("IMPL_DCP", "post_route.dcp"),
-                ])?;
+                let impl_script = fill(
+                    IMPL_FRAME,
+                    &[
+                        ("IMPL_DIRECTIVE", &self.config.impl_directive),
+                        ("UTIL_RPT", "util_impl.rpt"),
+                        ("TIMING_RPT", "timing_impl.rpt"),
+                        ("POWER_RPT", "power_impl.rpt"),
+                        ("IMPL_DCP", "post_route.dcp"),
+                    ],
+                )?;
                 sim.eval(&impl_script)?;
                 ("util_impl.rpt", "timing_impl.rpt", "power_impl.rpt")
             }
         };
 
         // Scrape the reports — the same text protocol the real tool uses.
+        // A missing or unparseable report means the tool died mid-write
+        // (with the simulated tool, only injected faults cause this), so
+        // both classify as transient, not as properties of the design.
         let util_text = sim
             .read_file(util_path)
-            .ok_or_else(|| DovadoError::Config(format!("missing report {util_path}")))?;
-        let utilization = report::parse_utilization_report(util_text)?;
+            .ok_or_else(|| DovadoError::MissingReport(util_path.to_string()))?;
+        let utilization = report::parse_utilization_report(util_text)
+            .map_err(|e| DovadoError::ReportCorrupt(format!("{util_path}: {e}")))?;
         let timing_text = sim
             .read_file(timing_path)
-            .ok_or_else(|| DovadoError::Config(format!("missing report {timing_path}")))?;
-        let wns_ns = report::parse_wns(timing_text)?;
-        let period_ns = report::parse_period(timing_text)?;
-        let fmax = fmax_mhz(period_ns, wns_ns).ok_or_else(|| {
-            DovadoError::Config(format!("non-physical timing: T={period_ns} WNS={wns_ns}"))
-        })?;
-        let power_mw = sim
+            .ok_or_else(|| DovadoError::MissingReport(timing_path.to_string()))?;
+        let wns_ns = report::parse_wns(timing_text)
+            .map_err(|e| DovadoError::ReportCorrupt(format!("{timing_path}: {e}")))?;
+        let period_ns = report::parse_period(timing_text)
+            .map_err(|e| DovadoError::ReportCorrupt(format!("{timing_path}: {e}")))?;
+        let fmax = fmax_mhz(period_ns, wns_ns)
+            .ok_or_else(|| DovadoError::NonPhysicalTiming(format!("T={period_ns} WNS={wns_ns}")))?;
+        let power_text = sim
             .read_file(power_path)
-            .and_then(dovado_eda::power::parse_power_mw)
-            .ok_or_else(|| DovadoError::Config(format!("missing power report {power_path}")))?;
-
-        *self.tool_time.lock() += sim.sim_time_s;
-        *self.runs.lock() += 1;
-        *self.has_checkpoint.lock() = true;
+            .ok_or_else(|| DovadoError::MissingReport(power_path.to_string()))?;
+        let power_mw = dovado_eda::power::parse_power_mw(power_text).ok_or_else(|| {
+            DovadoError::ReportCorrupt(format!("{power_path}: no total power figure"))
+        })?;
 
         Ok(Evaluation {
             utilization,
@@ -310,7 +547,9 @@ endmodule"#;
     #[test]
     fn full_evaluation_produces_metrics() {
         let ev = evaluator(EvalConfig::default());
-        let e = ev.evaluate(&DesignPoint::from_pairs(&[("DEPTH", 64)])).unwrap();
+        let e = ev
+            .evaluate(&DesignPoint::from_pairs(&[("DEPTH", 64)]))
+            .unwrap();
         assert!(e.utilization.get(ResourceKind::Lut) > 100);
         assert!(e.utilization.get(ResourceKind::Register) > 1000);
         assert!(e.wns_ns < 0.0, "1 GHz target must fail");
@@ -322,16 +561,26 @@ endmodule"#;
     #[test]
     fn depth_monotonicity_visible_through_flow() {
         let ev = evaluator(EvalConfig::default());
-        let small = ev.evaluate(&DesignPoint::from_pairs(&[("DEPTH", 8)])).unwrap();
-        let big = ev.evaluate(&DesignPoint::from_pairs(&[("DEPTH", 512)])).unwrap();
-        assert!(big.utilization.get(ResourceKind::Register) > small.utilization.get(ResourceKind::Register));
+        let small = ev
+            .evaluate(&DesignPoint::from_pairs(&[("DEPTH", 8)]))
+            .unwrap();
+        let big = ev
+            .evaluate(&DesignPoint::from_pairs(&[("DEPTH", 512)]))
+            .unwrap();
+        assert!(
+            big.utilization.get(ResourceKind::Register)
+                > small.utilization.get(ResourceKind::Register)
+        );
         assert!(big.fmax_mhz < small.fmax_mhz);
     }
 
     #[test]
     fn synthesis_step_is_faster_and_optimistic() {
         let full = evaluator(EvalConfig::default());
-        let quick = evaluator(EvalConfig { step: FlowStep::Synthesis, ..Default::default() });
+        let quick = evaluator(EvalConfig {
+            step: FlowStep::Synthesis,
+            ..Default::default()
+        });
         let p = DesignPoint::from_pairs(&[("DEPTH", 128)]);
         let ef = full.evaluate(&p).unwrap();
         let eq = quick.evaluate(&p).unwrap();
@@ -347,18 +596,32 @@ endmodule"#;
         let b = ev.evaluate(&p).unwrap();
         assert_eq!(a.utilization, b.utilization);
         assert_eq!(a.wns_ns, b.wns_ns);
-        assert!(b.tool_time_s < a.tool_time_s * 0.3, "cache hit should be cheap");
+        assert!(
+            b.tool_time_s < a.tool_time_s * 0.3,
+            "cache hit should be cheap"
+        );
     }
 
     #[test]
     fn incremental_flow_discounts_new_points() {
-        let with = evaluator(EvalConfig { incremental: true, ..Default::default() });
-        let without = evaluator(EvalConfig { incremental: false, ..Default::default() });
+        let with = evaluator(EvalConfig {
+            incremental: true,
+            ..Default::default()
+        });
+        let without = evaluator(EvalConfig {
+            incremental: false,
+            ..Default::default()
+        });
         for ev in [&with, &without] {
-            ev.evaluate(&DesignPoint::from_pairs(&[("DEPTH", 50)])).unwrap();
+            ev.evaluate(&DesignPoint::from_pairs(&[("DEPTH", 50)]))
+                .unwrap();
         }
-        let t_with = with.evaluate(&DesignPoint::from_pairs(&[("DEPTH", 52)])).unwrap();
-        let t_without = without.evaluate(&DesignPoint::from_pairs(&[("DEPTH", 52)])).unwrap();
+        let t_with = with
+            .evaluate(&DesignPoint::from_pairs(&[("DEPTH", 52)]))
+            .unwrap();
+        let t_without = without
+            .evaluate(&DesignPoint::from_pairs(&[("DEPTH", 52)]))
+            .unwrap();
         assert!(
             t_with.tool_time_s < t_without.tool_time_s,
             "incremental {} vs full {}",
@@ -372,10 +635,19 @@ endmodule"#;
     #[test]
     fn power_scales_with_design_size() {
         let ev = evaluator(EvalConfig::default());
-        let small = ev.evaluate(&DesignPoint::from_pairs(&[("DEPTH", 8)])).unwrap();
-        let big = ev.evaluate(&DesignPoint::from_pairs(&[("DEPTH", 512)])).unwrap();
+        let small = ev
+            .evaluate(&DesignPoint::from_pairs(&[("DEPTH", 8)]))
+            .unwrap();
+        let big = ev
+            .evaluate(&DesignPoint::from_pairs(&[("DEPTH", 512)]))
+            .unwrap();
         assert!(small.power_mw > 0.0);
-        assert!(big.power_mw > small.power_mw, "{} vs {}", big.power_mw, small.power_mw);
+        assert!(
+            big.power_mw > small.power_mw,
+            "{} vs {}",
+            big.power_mw,
+            small.power_mw
+        );
         // Plausible magnitude for a small FIFO: well under a watt of
         // dynamic+static on the K7.
         assert!(small.power_mw < 2000.0, "{}", small.power_mw);
@@ -396,7 +668,10 @@ endmodule"#;
         let r = Evaluator::new(
             vec![HdlSource::new("fifo.sv", Language::SystemVerilog, FIFO_SV)],
             "fifo_v3",
-            EvalConfig { target_period_ns: 0.0, ..Default::default() },
+            EvalConfig {
+                target_period_ns: 0.0,
+                ..Default::default()
+            },
         );
         assert!(matches!(r, Err(DovadoError::Config(_))));
     }
@@ -404,15 +679,19 @@ endmodule"#;
     #[test]
     fn parallel_evaluation_matches_sequential() {
         let ev = evaluator(EvalConfig::default());
-        let points: Vec<DesignPoint> =
-            (1..=6).map(|i| DesignPoint::from_pairs(&[("DEPTH", i * 37)])).collect();
+        let points: Vec<DesignPoint> = (1..=6)
+            .map(|i| DesignPoint::from_pairs(&[("DEPTH", i * 37)]))
+            .collect();
         let seq: Vec<_> = evaluator(EvalConfig::default())
             .evaluate_many(&points, false)
             .into_iter()
             .map(|r| r.unwrap())
             .collect();
-        let par: Vec<_> =
-            ev.evaluate_many(&points, true).into_iter().map(|r| r.unwrap()).collect();
+        let par: Vec<_> = ev
+            .evaluate_many(&points, true)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
         for (s, p) in seq.iter().zip(&par) {
             assert_eq!(s.utilization, p.utilization);
             assert_eq!(s.wns_ns, p.wns_ns);
@@ -460,5 +739,209 @@ endmodule"#;
             ]))
             .unwrap();
         assert_eq!(e.utilization.get(ResourceKind::Bram), 16);
+    }
+
+    // ---- retry / fault-tolerance ----------------------------------------
+
+    #[test]
+    fn crash_retry_recovers_identical_metrics() {
+        let clean = evaluator(EvalConfig::default());
+        let p = DesignPoint::from_pairs(&[("DEPTH", 96)]);
+        let truth = clean.evaluate(&p).unwrap();
+
+        // Sweep seeds until a run actually sees a transient failure — the
+        // plan is probabilistic, the stream deterministic per seed.
+        let mut saw_retry = false;
+        for seed in 0..32u64 {
+            let faulty = evaluator(EvalConfig {
+                faults: FaultPlan {
+                    synth_crash: 0.4,
+                    seed,
+                    ..FaultPlan::default()
+                },
+                retry: RetryPolicy {
+                    max_attempts: 10,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+            let e = faulty.evaluate(&p).expect("retry must eventually succeed");
+            assert_eq!(e.utilization, truth.utilization, "seed {seed}");
+            assert_eq!(e.wns_ns, truth.wns_ns, "seed {seed}");
+            assert_eq!(e.power_mw, truth.power_mw, "seed {seed}");
+            saw_retry |= faulty.trace_summary().retries > 0;
+        }
+        assert!(saw_retry, "no seed in 0..32 injected a fault at p=0.4");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_transient_error_and_charge_backoff() {
+        let ev = evaluator(EvalConfig {
+            faults: FaultPlan {
+                synth_crash: 1.0,
+                ..FaultPlan::default()
+            },
+            retry: RetryPolicy {
+                max_attempts: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let err = ev
+            .evaluate(&DesignPoint::from_pairs(&[("DEPTH", 16)]))
+            .unwrap_err();
+        match &err {
+            DovadoError::RetriesExhausted { attempts, last } => {
+                assert_eq!(*attempts, 3);
+                assert!(matches!(**last, DovadoError::Eda(EdaError::ToolCrash(_))));
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+        assert!(err.is_transient(), "exhaustion must stay retryable-class");
+        let s = ev.trace_summary();
+        assert_eq!(s.attempts, 3);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.transient_failures, 3);
+        // Backoff after attempts 1 and 2: 30 + 60 simulated seconds.
+        assert_eq!(s.backoff_s, 90.0);
+        assert!(ev.total_tool_time() >= 90.0);
+        assert_eq!(ev.total_runs(), 0, "no successful run may be counted");
+    }
+
+    #[test]
+    fn checkpoint_corruption_falls_back_to_full_flow() {
+        let ev = evaluator(EvalConfig {
+            faults: FaultPlan {
+                checkpoint_corrupt: 1.0,
+                ..FaultPlan::default()
+            },
+            incremental: true,
+            ..Default::default()
+        });
+        // First point: no checkpoint yet, nothing to corrupt.
+        ev.evaluate(&DesignPoint::from_pairs(&[("DEPTH", 40)]))
+            .unwrap();
+        // Second point: the incremental read hits the corrupt checkpoint,
+        // then the retry rebuilds from scratch.
+        let e = ev
+            .evaluate(&DesignPoint::from_pairs(&[("DEPTH", 42)]))
+            .unwrap();
+        assert!(e.fmax_mhz > 0.0);
+        let events = ev.events();
+        let failed = events
+            .iter()
+            .find(|ev| !ev.outcome.is_success())
+            .expect("the corrupt read must be traced");
+        assert!(
+            failed.incremental,
+            "the failing attempt asked for incremental"
+        );
+        let recovered = events.last().unwrap();
+        assert!(recovered.outcome.is_success());
+        assert!(
+            !recovered.incremental,
+            "the retry must abandon the incremental flow"
+        );
+    }
+
+    #[test]
+    fn repeated_timeouts_degrade_to_synthesis_when_enabled() {
+        let ev = evaluator(EvalConfig {
+            faults: FaultPlan {
+                route_timeout: 1.0,
+                ..FaultPlan::default()
+            },
+            retry: RetryPolicy {
+                max_attempts: 4,
+                degrade_after_timeouts: Some(2),
+                ..Default::default()
+            },
+            step: FlowStep::Implementation,
+            ..Default::default()
+        });
+        // route_design always times out, so only degradation can save it.
+        let e = ev
+            .evaluate(&DesignPoint::from_pairs(&[("DEPTH", 64)]))
+            .unwrap();
+        assert!(e.fmax_mhz > 0.0);
+        let events = ev.events();
+        assert_eq!(events.len(), 3); // timeout, timeout, degraded success
+        assert_eq!(events[0].step, FlowStep::Implementation);
+        assert_eq!(events[1].step, FlowStep::Implementation);
+        assert_eq!(events[2].step, FlowStep::Synthesis);
+        assert!(events[2].outcome.is_success());
+    }
+
+    #[test]
+    fn degradation_disabled_by_default() {
+        let ev = evaluator(EvalConfig {
+            faults: FaultPlan {
+                route_timeout: 1.0,
+                ..FaultPlan::default()
+            },
+            retry: RetryPolicy {
+                max_attempts: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let err = ev
+            .evaluate(&DesignPoint::from_pairs(&[("DEPTH", 64)]))
+            .unwrap_err();
+        assert!(matches!(err, DovadoError::RetriesExhausted { .. }));
+        assert!(ev
+            .events()
+            .iter()
+            .all(|e| e.step == FlowStep::Implementation));
+    }
+
+    #[test]
+    fn permanent_failures_do_not_retry() {
+        // DEPTH far beyond the device capacity → resource overflow, a
+        // permanent error: exactly one attempt, no backoff.
+        let ev = evaluator(EvalConfig {
+            retry: RetryPolicy {
+                max_attempts: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let err = ev
+            .evaluate(&DesignPoint::from_pairs(&[("DEPTH", 100_000_000)]))
+            .unwrap_err();
+        assert!(!err.is_transient(), "{err}");
+        let s = ev.trace_summary();
+        assert_eq!(s.attempts, 1);
+        assert_eq!(s.permanent_failures, 1);
+        assert_eq!(s.backoff_s, 0.0);
+    }
+
+    #[test]
+    fn garbled_reports_are_retried() {
+        let p = DesignPoint::from_pairs(&[("DEPTH", 24)]);
+        let truth = evaluator(EvalConfig::default()).evaluate(&p).unwrap();
+        let mut saw_report_fault = false;
+        for seed in 0..32u64 {
+            let ev = evaluator(EvalConfig {
+                // Each attempt writes six reports and each report rolls
+                // both fault kinds, so keep the per-roll probability low
+                // enough that ten attempts reliably find a clean one.
+                faults: FaultPlan {
+                    report_truncated: 0.05,
+                    report_garbled: 0.05,
+                    seed,
+                    ..FaultPlan::default()
+                },
+                retry: RetryPolicy {
+                    max_attempts: 10,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+            let e = ev.evaluate(&p).expect("report faults are retryable");
+            assert_eq!(e.utilization, truth.utilization, "seed {seed}");
+            saw_report_fault |= ev.trace_summary().transient_failures > 0;
+        }
+        assert!(saw_report_fault, "no seed produced a report fault");
     }
 }

@@ -46,8 +46,15 @@ pub fn fill(frame: &str, substitutions: &[(&str, &str)]) -> DovadoResult<String>
         let tail: String = out[pos..].chars().take(30).collect();
         // Allow double underscores inside identifiers only if they don't
         // look like a placeholder (uppercase run ending in __).
-        if tail.chars().skip(2).take_while(|c| *c != '_').any(|c| c.is_ascii_uppercase()) {
-            return Err(DovadoError::Config(format!("unfilled placeholder near `{tail}`")));
+        if tail
+            .chars()
+            .skip(2)
+            .take_while(|c| *c != '_')
+            .any(|c| c.is_ascii_uppercase())
+        {
+            return Err(DovadoError::Config(format!(
+                "unfilled placeholder near `{tail}`"
+            )));
         }
     }
     Ok(out)
@@ -73,8 +80,16 @@ pub struct SourceEntry {
 /// preserving relative order otherwise.
 pub fn read_sources_script(entries: &[SourceEntry]) -> String {
     let mut ordered: Vec<&SourceEntry> = Vec::with_capacity(entries.len());
-    ordered.extend(entries.iter().filter(|e| e.has_packages && e.language != Language::Vhdl));
-    ordered.extend(entries.iter().filter(|e| !(e.has_packages && e.language != Language::Vhdl)));
+    ordered.extend(
+        entries
+            .iter()
+            .filter(|e| e.has_packages && e.language != Language::Vhdl),
+    );
+    ordered.extend(
+        entries
+            .iter()
+            .filter(|e| !(e.has_packages && e.language != Language::Vhdl)),
+    );
     let mut out = String::new();
     for e in ordered {
         let line = match e.language {
@@ -97,10 +112,10 @@ mod tests {
 
     #[test]
     fn fill_replaces_all() {
-        let s = fill("synth_design -top __TOP__ -part __PART__", &[
-            ("TOP", "box"),
-            ("PART", "xc7k70t"),
-        ])
+        let s = fill(
+            "synth_design -top __TOP__ -part __PART__",
+            &[("TOP", "box"), ("PART", "xc7k70t")],
+        )
         .unwrap();
         assert_eq!(s, "synth_design -top box -part xc7k70t");
     }
@@ -113,20 +128,23 @@ mod tests {
 
     #[test]
     fn synth_frame_fills_cleanly() {
-        let s = fill(SYNTH_FRAME, &[
-            ("PROJECT", "dovado"),
-            ("PART", "xc7k70tfbv676-1"),
-            ("READ_SOURCES", "read_verilog -sv src/fifo.sv"),
-            ("TOP", "box"),
-            ("INCREMENTAL", ""),
-            ("SYNTH_DIRECTIVE", "Default"),
-            ("PERIOD", "1.000"),
-            ("CLOCK", "clk"),
-            ("UTIL_RPT", "util.rpt"),
-            ("TIMING_RPT", "timing.rpt"),
-            ("POWER_RPT", "power.rpt"),
-            ("SYNTH_DCP", "post_synth.dcp"),
-        ])
+        let s = fill(
+            SYNTH_FRAME,
+            &[
+                ("PROJECT", "dovado"),
+                ("PART", "xc7k70tfbv676-1"),
+                ("READ_SOURCES", "read_verilog -sv src/fifo.sv"),
+                ("TOP", "box"),
+                ("INCREMENTAL", ""),
+                ("SYNTH_DIRECTIVE", "Default"),
+                ("PERIOD", "1.000"),
+                ("CLOCK", "clk"),
+                ("UTIL_RPT", "util.rpt"),
+                ("TIMING_RPT", "timing.rpt"),
+                ("POWER_RPT", "power.rpt"),
+                ("SYNTH_DCP", "post_synth.dcp"),
+            ],
+        )
         .unwrap();
         assert!(s.contains("create_clock -period 1.000"));
         assert!(!s.contains("__"));
@@ -134,13 +152,16 @@ mod tests {
 
     #[test]
     fn impl_frame_fills_cleanly() {
-        let s = fill(IMPL_FRAME, &[
-            ("IMPL_DIRECTIVE", "Explore"),
-            ("UTIL_RPT", "u.rpt"),
-            ("TIMING_RPT", "t.rpt"),
-            ("POWER_RPT", "p.rpt"),
-            ("IMPL_DCP", "post_route.dcp"),
-        ])
+        let s = fill(
+            IMPL_FRAME,
+            &[
+                ("IMPL_DIRECTIVE", "Explore"),
+                ("UTIL_RPT", "u.rpt"),
+                ("TIMING_RPT", "t.rpt"),
+                ("POWER_RPT", "p.rpt"),
+                ("IMPL_DCP", "post_route.dcp"),
+            ],
+        )
         .unwrap();
         assert!(s.contains("route_design -directive Explore"));
     }
@@ -176,7 +197,10 @@ mod tests {
             has_packages: true,
         }];
         let s = read_sources_script(&entries);
-        assert_eq!(s.trim(), "read_vhdl -library neorv32 src/neorv32_package.vhd");
+        assert_eq!(
+            s.trim(),
+            "read_vhdl -library neorv32 src/neorv32_package.vhd"
+        );
     }
 
     #[test]

@@ -45,13 +45,15 @@ pub mod metrics;
 pub mod point;
 pub mod results;
 pub mod space;
+pub mod trace;
 
 pub use boxing::{generate_box, BoxedDesign, BOX_CLOCK, BOX_INSTANCE, BOX_TOP};
 pub use dse::{Dovado, DseConfig, SurrogateConfig};
-pub use error::{DovadoError, DovadoResult};
+pub use error::{DovadoError, DovadoResult, ErrorClass};
 pub use fitness::{DseProblem, FitnessStats};
-pub use flow::{EvalConfig, Evaluator, FlowStep, HdlSource};
+pub use flow::{EvalConfig, Evaluator, FlowStep, HdlSource, RetryPolicy};
 pub use metrics::{fmax_mhz, Evaluation, Metric, MetricSet};
 pub use point::DesignPoint;
 pub use results::{ascii_scatter, point_label, DseReport, ParetoEntry, PointResult};
 pub use space::{Domain, FreeParameter, ParameterSpace};
+pub use trace::{AttemptOutcome, FlowEvent, FlowTrace, TraceSummary};

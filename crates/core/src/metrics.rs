@@ -93,7 +93,10 @@ impl MetricSet {
     pub fn objectives(&self) -> Vec<Objective> {
         self.metrics
             .iter()
-            .map(|m| Objective { name: m.label(), sense: m.sense() })
+            .map(|m| Objective {
+                name: m.label(),
+                sense: m.sense(),
+            })
             .collect()
     }
 
@@ -168,7 +171,10 @@ mod tests {
     #[test]
     fn senses() {
         assert_eq!(Metric::Fmax.sense(), Sense::Maximize);
-        assert_eq!(Metric::Utilization(ResourceKind::Lut).sense(), Sense::Minimize);
+        assert_eq!(
+            Metric::Utilization(ResourceKind::Lut).sense(),
+            Sense::Minimize
+        );
     }
 
     #[test]

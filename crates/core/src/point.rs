@@ -55,7 +55,11 @@ impl DesignPoint {
 
     /// As a map usable for generic overrides.
     pub fn as_map(&self) -> BTreeMap<String, i64> {
-        self.names.iter().cloned().zip(self.values.iter().copied()).collect()
+        self.names
+            .iter()
+            .cloned()
+            .zip(self.values.iter().copied())
+            .collect()
     }
 
     /// The `NAME=VALUE NAME=VALUE` form used in tool scripts.

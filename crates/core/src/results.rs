@@ -7,6 +7,7 @@
 use crate::error::DovadoError;
 use crate::metrics::{Evaluation, MetricSet};
 use crate::point::DesignPoint;
+use crate::trace::{FlowEvent, TraceSummary};
 use dovado_moo::GenStats;
 use std::fmt;
 use std::fmt::Write as _;
@@ -46,8 +47,19 @@ pub struct DseReport {
     pub cached_runs: u64,
     /// Surrogate estimates served.
     pub estimates: u64,
-    /// Penalized failures.
+    /// Penalized failures (`transient_failures + permanent_failures`).
     pub failures: u64,
+    /// Failed evaluations whose final error was environmental (retry
+    /// budget exhausted); never recorded into the surrogate dataset.
+    pub transient_failures: u64,
+    /// Failed evaluations caused by the design itself (infeasible point).
+    pub permanent_failures: u64,
+    /// Extra tool attempts spent retrying transient faults.
+    pub retries: u64,
+    /// Whole-run attempt/retry/backoff counters from the flow trace.
+    pub trace: TraceSummary,
+    /// Retained per-attempt flow events (oldest first, bounded).
+    pub events: Vec<FlowEvent>,
     /// Simulated tool seconds consumed.
     pub tool_time_s: f64,
     /// Per-generation statistics.
@@ -123,9 +135,15 @@ impl DseReport {
     /// at-a-glance view of the paper's Figs. 4–7). `x` and `y` are indices
     /// into the metric set. Points are labelled A, B, C, …
     pub fn scatter(&self, x: usize, y: usize, width: usize, height: usize) -> String {
-        assert!(x < self.metrics.len() && y < self.metrics.len(), "metric index out of range");
-        let pts: Vec<(f64, f64)> =
-            self.pareto.iter().map(|e| (e.values[x], e.values[y])).collect();
+        assert!(
+            x < self.metrics.len() && y < self.metrics.len(),
+            "metric index out of range"
+        );
+        let pts: Vec<(f64, f64)> = self
+            .pareto
+            .iter()
+            .map(|e| (e.values[x], e.values[y]))
+            .collect();
         if pts.is_empty() {
             return "(empty non-dominated set)\n".into();
         }
@@ -138,9 +156,10 @@ impl DseReport {
         ascii_scatter(&pts, &labels, &title, width.max(20), height.max(8))
     }
 
-    /// One-line run summary.
+    /// One-line run summary. When the run saw failures or retries, a
+    /// second segment breaks them down by class.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} non-dominated point(s) | {} generation(s), {} evaluation(s) | \
              {} tool run(s), {} cached, {} estimated, {} failed | {:.0} simulated tool-seconds",
             self.pareto.len(),
@@ -151,7 +170,34 @@ impl DseReport {
             self.estimates,
             self.failures,
             self.tool_time_s,
-        )
+        );
+        if self.failures > 0 || self.trace.retries > 0 {
+            let _ = write!(s, " | flow: {}", self.trace);
+        }
+        s
+    }
+
+    /// Renders the noteworthy flow events — failed or retried attempts —
+    /// oldest first, capped at `max` lines (earlier ones are elided with a
+    /// count). Empty string when the run was fault-free.
+    pub fn flow_log(&self, max: usize) -> String {
+        let interesting: Vec<&FlowEvent> = self
+            .events
+            .iter()
+            .filter(|e| !e.outcome.is_success() || e.attempt > 1)
+            .collect();
+        if interesting.is_empty() {
+            return String::new();
+        }
+        let mut s = String::new();
+        let skip = interesting.len().saturating_sub(max);
+        if skip > 0 {
+            let _ = writeln!(s, "… {skip} earlier event(s) elided");
+        }
+        for e in &interesting[skip..] {
+            let _ = writeln!(s, "{e}");
+        }
+        s
     }
 }
 
@@ -200,7 +246,14 @@ pub fn ascii_scatter(
         String::from_iter(grid[height - 1].iter())
     );
     let _ = writeln!(out, "{:>13}└{}", "", "─".repeat(width));
-    let _ = writeln!(out, "{:>14}{:<.2}{}{:>.2}", "", x_lo, " ".repeat(width.saturating_sub(12)), x_hi);
+    let _ = writeln!(
+        out,
+        "{:>14}{:<.2}{}{:>.2}",
+        "",
+        x_lo,
+        " ".repeat(width.saturating_sub(12)),
+        x_hi
+    );
     out
 }
 
@@ -242,6 +295,11 @@ mod tests {
             cached_runs: 5,
             estimates: 35,
             failures: 0,
+            transient_failures: 0,
+            permanent_failures: 0,
+            retries: 0,
+            trace: TraceSummary::default(),
+            events: Vec::new(),
             tool_time_s: 3600.0,
             history: Vec::new(),
         }
@@ -282,6 +340,60 @@ mod tests {
         assert!(s.contains("2 non-dominated"));
         assert!(s.contains("80 tool run(s)"));
         assert!(s.contains("35 estimated"));
+        // Fault-free run: no flow segment.
+        assert!(!s.contains("flow:"), "{s}");
+    }
+
+    #[test]
+    fn summary_breaks_down_failures() {
+        let mut r = report();
+        r.failures = 3;
+        r.transient_failures = 2;
+        r.permanent_failures = 1;
+        r.trace.attempts = 90;
+        r.trace.retries = 7;
+        r.trace.transient_failures = 9;
+        r.trace.backoff_s = 210.0;
+        let s = r.summary();
+        assert!(s.contains("flow:"), "{s}");
+        assert!(s.contains("7 retries"), "{s}");
+        assert!(s.contains("210s backoff"), "{s}");
+    }
+
+    #[test]
+    fn flow_log_shows_failures_and_elides() {
+        use crate::flow::FlowStep;
+        use crate::trace::AttemptOutcome;
+        let mut r = report();
+        assert!(r.flow_log(5).is_empty());
+        for i in 0..8 {
+            r.events.push(FlowEvent {
+                point: format!("DEPTH={}", 2 << i),
+                attempt: 1,
+                step: FlowStep::Implementation,
+                outcome: AttemptOutcome::TransientFailure("tool crashed".into()),
+                tool_time_s: 30.0,
+                backoff_s: 30.0,
+                incremental: true,
+                cached: false,
+            });
+        }
+        // A successful first attempt is not noteworthy.
+        r.events.push(FlowEvent {
+            point: "DEPTH=4".into(),
+            attempt: 1,
+            step: FlowStep::Implementation,
+            outcome: AttemptOutcome::Success,
+            tool_time_s: 900.0,
+            backoff_s: 0.0,
+            incremental: false,
+            cached: false,
+        });
+        let log = r.flow_log(5);
+        assert_eq!(log.lines().count(), 6, "{log}"); // 1 elision + 5 events
+        assert!(log.contains("3 earlier event(s) elided"), "{log}");
+        assert!(log.contains("transient: tool crashed"), "{log}");
+        assert!(!log.contains("900.0"), "{log}");
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub enum Domain {
 impl Domain {
     /// A contiguous integer range with step 1.
     pub fn range(lo: i64, hi: i64) -> Domain {
-        Domain::Range { lo: lo.min(hi), hi: hi.max(lo), step: 1 }
+        Domain::Range {
+            lo: lo.min(hi),
+            hi: hi.max(lo),
+            step: 1,
+        }
     }
 
     /// Number of admissible values.
@@ -118,7 +122,9 @@ impl Domain {
                     )));
                 }
                 if *max_exp > 62 {
-                    return Err(DovadoError::Space(format!("exponent {max_exp} overflows i64")));
+                    return Err(DovadoError::Space(format!(
+                        "exponent {max_exp} overflows i64"
+                    )));
                 }
                 Ok(())
             }
@@ -180,9 +186,14 @@ impl ParameterSpace {
     /// invalid domains — space definitions are program constants.
     pub fn with(mut self, name: impl Into<String>, domain: Domain) -> ParameterSpace {
         let name = name.into();
-        domain.validate().unwrap_or_else(|e| panic!("invalid domain for `{name}`: {e}"));
+        domain
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid domain for `{name}`: {e}"));
         assert!(
-            !self.params.iter().any(|p| p.name.eq_ignore_ascii_case(&name)),
+            !self
+                .params
+                .iter()
+                .any(|p| p.name.eq_ignore_ascii_case(&name)),
             "duplicate parameter `{name}`"
         );
         self.params.push(FreeParameter { name, domain });
@@ -202,7 +213,9 @@ impl ParameterSpace {
     /// Total number of design points ("the volume of the parameters
     /// space"), saturating.
     pub fn volume(&self) -> u64 {
-        self.params.iter().fold(1u64, |a, p| a.saturating_mul(p.domain.cardinality()))
+        self.params
+            .iter()
+            .fold(1u64, |a, p| a.saturating_mul(p.domain.cardinality()))
     }
 
     /// Index-space decision variables for the optimizer.
@@ -309,7 +322,11 @@ mod tests {
 
     #[test]
     fn range_domain_roundtrip() {
-        let d = Domain::Range { lo: 2, hi: 1000, step: 2 };
+        let d = Domain::Range {
+            lo: 2,
+            hi: 1000,
+            step: 2,
+        };
         assert_eq!(d.cardinality(), 500);
         assert_eq!(d.value(0), Some(2));
         assert_eq!(d.value(499), Some(1000));
@@ -321,7 +338,10 @@ mod tests {
 
     #[test]
     fn power_of_two_domain() {
-        let d = Domain::PowerOfTwo { min_exp: 10, max_exp: 16 };
+        let d = Domain::PowerOfTwo {
+            min_exp: 10,
+            max_exp: 16,
+        };
         assert_eq!(d.cardinality(), 7);
         assert_eq!(d.value(0), Some(1024));
         assert_eq!(d.value(6), Some(65536));
@@ -344,10 +364,32 @@ mod tests {
 
     #[test]
     fn domain_validation() {
-        assert!(Domain::Range { lo: 0, hi: 10, step: 0 }.validate().is_err());
-        assert!(Domain::Range { lo: 10, hi: 0, step: 1 }.validate().is_err());
-        assert!(Domain::PowerOfTwo { min_exp: 5, max_exp: 2 }.validate().is_err());
-        assert!(Domain::PowerOfTwo { min_exp: 0, max_exp: 63 }.validate().is_err());
+        assert!(Domain::Range {
+            lo: 0,
+            hi: 10,
+            step: 0
+        }
+        .validate()
+        .is_err());
+        assert!(Domain::Range {
+            lo: 10,
+            hi: 0,
+            step: 1
+        }
+        .validate()
+        .is_err());
+        assert!(Domain::PowerOfTwo {
+            min_exp: 5,
+            max_exp: 2
+        }
+        .validate()
+        .is_err());
+        assert!(Domain::PowerOfTwo {
+            min_exp: 0,
+            max_exp: 63
+        }
+        .validate()
+        .is_err());
         assert!(Domain::Explicit(vec![]).validate().is_err());
         assert!(Domain::Explicit(vec![3, 1]).validate().is_err());
         assert!(Domain::Explicit(vec![1, 1, 3]).validate().is_err());
@@ -357,7 +399,13 @@ mod tests {
     fn space() -> ParameterSpace {
         ParameterSpace::new()
             .with("DEPTH", Domain::range(2, 65))
-            .with("SIZE", Domain::PowerOfTwo { min_exp: 3, max_exp: 6 })
+            .with(
+                "SIZE",
+                Domain::PowerOfTwo {
+                    min_exp: 3,
+                    max_exp: 6,
+                },
+            )
             .with("EN", Domain::Bool)
     }
 

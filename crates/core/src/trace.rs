@@ -1,0 +1,235 @@
+//! Structured per-attempt flow trace.
+//!
+//! Every tool invocation the [`crate::Evaluator`] makes — including failed
+//! and retried attempts — appends one [`FlowEvent`]. The trace is what
+//! turns "the DSE run took 4 hours of tool time" into "point DEPTH=512
+//! timed out twice, backed off 90 s, and succeeded on attempt 3": it is
+//! surfaced through [`crate::FitnessStats`] / `DseReport` and printed by
+//! the CLI's explore command.
+
+use crate::flow::FlowStep;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// How one evaluation attempt ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptOutcome {
+    /// Metrics scraped successfully.
+    Success,
+    /// Failed with a retryable (environmental) error.
+    TransientFailure(String),
+    /// Failed with a non-retryable error.
+    PermanentFailure(String),
+}
+
+impl AttemptOutcome {
+    /// Whether this attempt produced metrics.
+    pub fn is_success(&self) -> bool {
+        matches!(self, AttemptOutcome::Success)
+    }
+}
+
+/// One tool invocation, as the evaluator saw it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEvent {
+    /// Compact design-point label (`DEPTH=64`).
+    pub point: String,
+    /// 1-based attempt number for this point evaluation.
+    pub attempt: u32,
+    /// Flow depth attempted (may be degraded below the configured step).
+    pub step: FlowStep,
+    /// How the attempt ended.
+    pub outcome: AttemptOutcome,
+    /// Simulated tool seconds this attempt burned.
+    pub tool_time_s: f64,
+    /// Backoff seconds charged *after* this attempt (0 when none).
+    pub backoff_s: f64,
+    /// Whether the attempt asked for the incremental flow.
+    pub incremental: bool,
+    /// Whether the tool satisfied the attempt from an exact checkpoint.
+    pub cached: bool,
+}
+
+impl fmt::Display for FlowEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = match &self.outcome {
+            AttemptOutcome::Success if self.cached => "ok (cached)".to_string(),
+            AttemptOutcome::Success => "ok".to_string(),
+            AttemptOutcome::TransientFailure(e) => format!("transient: {e}"),
+            AttemptOutcome::PermanentFailure(e) => format!("permanent: {e}"),
+        };
+        write!(
+            f,
+            "{} attempt {} [{:?}] {:.1}s{} — {}",
+            self.point,
+            self.attempt,
+            self.step,
+            self.tool_time_s,
+            if self.backoff_s > 0.0 {
+                format!(" +{:.0}s backoff", self.backoff_s)
+            } else {
+                String::new()
+            },
+            state
+        )
+    }
+}
+
+/// Rolled-up trace counters (cheap to copy into reports).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TraceSummary {
+    /// Total attempts (successes + failures).
+    pub attempts: u64,
+    /// Attempts beyond the first for their point (i.e. retries).
+    pub retries: u64,
+    /// Attempts that failed with a transient error.
+    pub transient_failures: u64,
+    /// Attempts that failed with a permanent error.
+    pub permanent_failures: u64,
+    /// Successful attempts served from an exact checkpoint.
+    pub cache_hits: u64,
+    /// Total simulated backoff seconds charged.
+    pub backoff_s: f64,
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} attempts ({} retries), {} transient / {} permanent failures, \
+             {} cache hits, {:.0}s backoff",
+            self.attempts,
+            self.retries,
+            self.transient_failures,
+            self.permanent_failures,
+            self.cache_hits,
+            self.backoff_s
+        )
+    }
+}
+
+/// Shared, append-only event log with a bounded memory footprint.
+///
+/// Clones share storage (the evaluator is `Clone` and evaluations run in
+/// parallel). Summary counters are exact over the whole run even after
+/// old events are dropped.
+#[derive(Clone, Default)]
+pub struct FlowTrace {
+    inner: Arc<Mutex<TraceInner>>,
+}
+
+#[derive(Default)]
+struct TraceInner {
+    events: Vec<FlowEvent>,
+    summary: TraceSummary,
+}
+
+/// Cap on retained events; counters keep counting past it.
+const MAX_EVENTS: usize = 10_000;
+
+impl FlowTrace {
+    /// Creates an empty trace.
+    pub fn new() -> FlowTrace {
+        FlowTrace::default()
+    }
+
+    /// Appends an event and folds it into the summary.
+    pub fn push(&self, event: FlowEvent) {
+        let mut inner = self.inner.lock();
+        inner.summary.attempts += 1;
+        if event.attempt > 1 {
+            inner.summary.retries += 1;
+        }
+        match &event.outcome {
+            AttemptOutcome::Success => {
+                if event.cached {
+                    inner.summary.cache_hits += 1;
+                }
+            }
+            AttemptOutcome::TransientFailure(_) => inner.summary.transient_failures += 1,
+            AttemptOutcome::PermanentFailure(_) => inner.summary.permanent_failures += 1,
+        }
+        inner.summary.backoff_s += event.backoff_s;
+        if inner.events.len() < MAX_EVENTS {
+            inner.events.push(event);
+        }
+    }
+
+    /// Snapshot of the retained events (oldest first).
+    pub fn events(&self) -> Vec<FlowEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Exact whole-run counters.
+    pub fn summary(&self) -> TraceSummary {
+        self.inner.lock().summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(attempt: u32, outcome: AttemptOutcome) -> FlowEvent {
+        FlowEvent {
+            point: "DEPTH=8".into(),
+            attempt,
+            step: FlowStep::Implementation,
+            outcome,
+            tool_time_s: 10.0,
+            backoff_s: if attempt > 1 { 30.0 } else { 0.0 },
+            incremental: true,
+            cached: false,
+        }
+    }
+
+    #[test]
+    fn summary_counts_outcomes() {
+        let trace = FlowTrace::new();
+        trace.push(event(1, AttemptOutcome::TransientFailure("crash".into())));
+        trace.push(event(2, AttemptOutcome::Success));
+        trace.push(event(
+            1,
+            AttemptOutcome::PermanentFailure("overflow".into()),
+        ));
+        let s = trace.summary();
+        assert_eq!(s.attempts, 3);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.transient_failures, 1);
+        assert_eq!(s.permanent_failures, 1);
+        assert_eq!(s.backoff_s, 30.0);
+        assert_eq!(trace.events().len(), 3);
+    }
+
+    #[test]
+    fn cache_hits_counted_on_success_only() {
+        let trace = FlowTrace::new();
+        let mut e = event(1, AttemptOutcome::Success);
+        e.cached = true;
+        trace.push(e);
+        let mut e = event(1, AttemptOutcome::TransientFailure("x".into()));
+        e.cached = true; // nonsensical, must not count
+        trace.push(e);
+        assert_eq!(trace.summary().cache_hits, 1);
+    }
+
+    #[test]
+    fn clones_share_storage_and_cap_holds() {
+        let trace = FlowTrace::new();
+        let clone = trace.clone();
+        for _ in 0..(MAX_EVENTS + 100) {
+            clone.push(event(1, AttemptOutcome::Success));
+        }
+        assert_eq!(trace.events().len(), MAX_EVENTS);
+        assert_eq!(trace.summary().attempts, (MAX_EVENTS + 100) as u64);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let line = event(2, AttemptOutcome::TransientFailure("tool crashed".into())).to_string();
+        assert!(line.contains("attempt 2"), "{line}");
+        assert!(line.contains("backoff"), "{line}");
+        assert!(line.contains("transient"), "{line}");
+    }
+}

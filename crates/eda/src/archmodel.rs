@@ -31,15 +31,12 @@ pub struct ElabContext<'a> {
 impl ElabContext<'_> {
     /// Looks up a bound parameter case-insensitively.
     pub fn param(&self, name: &str) -> Option<i64> {
-        self.params
-            .get(name)
-            .copied()
-            .or_else(|| {
-                self.params
-                    .iter()
-                    .find(|(k, _)| k.eq_ignore_ascii_case(name))
-                    .map(|(_, v)| *v)
-            })
+        self.params.get(name).copied().or_else(|| {
+            self.params
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case(name))
+                .map(|(_, v)| *v)
+        })
     }
 
     /// Looks up a parameter or returns `default`.
@@ -54,7 +51,9 @@ impl ElabContext<'_> {
             Some(v) => Err(EdaError::Parameter(format!(
                 "parameter `{name}` must be positive, got {v}"
             ))),
-            None => Err(EdaError::Parameter(format!("parameter `{name}` is not bound"))),
+            None => Err(EdaError::Parameter(format!(
+                "parameter `{name}` is not bound"
+            ))),
         }
     }
 
@@ -93,7 +92,7 @@ impl ModelRegistry {
     pub fn with_builtin_models() -> ModelRegistry {
         let mut r = ModelRegistry {
             models: Vec::new(),
-            fallback: Box::new(crate::models::generic::GenericInterfaceModel::default()),
+            fallback: Box::new(crate::models::generic::GenericInterfaceModel),
         };
         for m in crate::models::builtin_models() {
             r.register(m);
@@ -105,7 +104,7 @@ impl ModelRegistry {
     pub fn empty() -> ModelRegistry {
         ModelRegistry {
             models: Vec::new(),
-            fallback: Box::new(crate::models::generic::GenericInterfaceModel::default()),
+            fallback: Box::new(crate::models::generic::GenericInterfaceModel),
         }
     }
 
@@ -231,7 +230,10 @@ endmodule"#;
         let m = fifo_module();
         let mut ov = BTreeMap::new();
         ov.insert("ADDR_W".to_string(), 3i64);
-        assert!(matches!(bind_parameters(&m, &ov), Err(EdaError::Parameter(_))));
+        assert!(matches!(
+            bind_parameters(&m, &ov),
+            Err(EdaError::Parameter(_))
+        ));
     }
 
     #[test]
@@ -277,20 +279,34 @@ endmodule"#;
         // Known case-study model.
         assert_ne!(reg.model_for("fifo_v3").name(), "generic-interface");
         // Unknown module → generic.
-        assert_eq!(reg.model_for("totally_unknown_xyz").name(), "generic-interface");
+        assert_eq!(
+            reg.model_for("totally_unknown_xyz").name(),
+            "generic-interface"
+        );
     }
 
     #[test]
     fn design_hash_changes_with_params_and_part() {
         let m = fifo_module();
-        let part_a = dovado_fpga::Catalog::builtin().resolve("xc7k70t").unwrap().clone();
-        let part_b = dovado_fpga::Catalog::builtin().resolve("xczu3eg").unwrap().clone();
+        let part_a = dovado_fpga::Catalog::builtin()
+            .resolve("xc7k70t")
+            .unwrap()
+            .clone();
+        let part_b = dovado_fpga::Catalog::builtin()
+            .resolve("xczu3eg")
+            .unwrap()
+            .clone();
         let mut p1 = BTreeMap::new();
         p1.insert("DEPTH".to_string(), 8i64);
         let mut p2 = BTreeMap::new();
         p2.insert("DEPTH".to_string(), 9i64);
         let h = |params: &BTreeMap<String, i64>, part: &Part| {
-            ElabContext { module: &m, params, part }.design_hash()
+            ElabContext {
+                module: &m,
+                params,
+                part,
+            }
+            .design_hash()
         };
         assert_ne!(h(&p1, &part_a), h(&p2, &part_a));
         assert_ne!(h(&p1, &part_a), h(&p1, &part_b));

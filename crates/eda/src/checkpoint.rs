@@ -76,18 +76,13 @@ impl CheckpointStore {
     }
 
     /// Records a checkpoint.
-    pub fn put(
-        &self,
-        design_hash: u64,
-        module: &str,
-        part: &str,
-        step: FlowStep,
-        cp: Checkpoint,
-    ) {
+    pub fn put(&self, design_hash: u64, module: &str, part: &str, step: FlowStep, cp: Checkpoint) {
         let mut g = self.inner.lock();
         g.exact.insert((design_hash, step), cp);
-        g.by_module
-            .insert((module.to_ascii_lowercase(), part.to_ascii_lowercase(), step), design_hash);
+        g.by_module.insert(
+            (module.to_ascii_lowercase(), part.to_ascii_lowercase(), step),
+            design_hash,
+        );
     }
 
     /// Exact lookup.
@@ -96,22 +91,14 @@ impl CheckpointStore {
     }
 
     /// Classifies the reuse available for a run.
-    pub fn classify(
-        &self,
-        design_hash: u64,
-        module: &str,
-        part: &str,
-        step: FlowStep,
-    ) -> Reuse {
+    pub fn classify(&self, design_hash: u64, module: &str, part: &str, step: FlowStep) -> Reuse {
         let g = self.inner.lock();
         if g.exact.contains_key(&(design_hash, step)) {
             return Reuse::Exact;
         }
-        if g.by_module.contains_key(&(
-            module.to_ascii_lowercase(),
-            part.to_ascii_lowercase(),
-            step,
-        )) {
+        if g.by_module
+            .contains_key(&(module.to_ascii_lowercase(), part.to_ascii_lowercase(), step))
+        {
             return Reuse::Incremental;
         }
         Reuse::None
@@ -153,9 +140,15 @@ mod tests {
     #[test]
     fn exact_reuse_after_put() {
         let store = CheckpointStore::new();
-        assert_eq!(store.classify(42, "m", "p", FlowStep::Synthesis), Reuse::None);
+        assert_eq!(
+            store.classify(42, "m", "p", FlowStep::Synthesis),
+            Reuse::None
+        );
         store.put(42, "m", "p", FlowStep::Synthesis, synth_cp());
-        assert_eq!(store.classify(42, "m", "p", FlowStep::Synthesis), Reuse::Exact);
+        assert_eq!(
+            store.classify(42, "m", "p", FlowStep::Synthesis),
+            Reuse::Exact
+        );
         assert!(store.get_exact(42, FlowStep::Synthesis).is_some());
     }
 
@@ -169,7 +162,10 @@ mod tests {
             Reuse::Incremental
         );
         // Different part → no basis.
-        assert_eq!(store.classify(43, "fifo", "xczu3eg", FlowStep::Synthesis), Reuse::None);
+        assert_eq!(
+            store.classify(43, "fifo", "xczu3eg", FlowStep::Synthesis),
+            Reuse::None
+        );
         // Different step → no basis.
         assert_eq!(
             store.classify(43, "fifo", "xc7k70t", FlowStep::Implementation),
@@ -200,7 +196,10 @@ mod tests {
         assert!(!store.is_empty());
         store.clear();
         assert!(store.is_empty());
-        assert_eq!(store.classify(1, "m", "p", FlowStep::Synthesis), Reuse::None);
+        assert_eq!(
+            store.classify(1, "m", "p", FlowStep::Synthesis),
+            Reuse::None
+        );
     }
 
     #[test]

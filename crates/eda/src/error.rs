@@ -25,6 +25,26 @@ pub enum EdaError {
     FlowOrder(String),
     /// Checkpoint missing or incompatible.
     Checkpoint(String),
+    /// The tool process died mid-flow (environmental, not a property of
+    /// the design).
+    ToolCrash(String),
+    /// The tool exceeded its time budget and was killed.
+    Timeout(String),
+}
+
+impl EdaError {
+    /// Whether a retry of the same run can plausibly succeed.
+    ///
+    /// Crashes, timeouts, and checkpoint corruption are environmental:
+    /// the same design point may evaluate cleanly on the next attempt.
+    /// Everything else (parse errors, unknown parts, overflow, …) is a
+    /// property of the inputs and will fail identically every time.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            EdaError::ToolCrash(_) | EdaError::Timeout(_) | EdaError::Checkpoint(_)
+        )
+    }
 }
 
 impl fmt::Display for EdaError {
@@ -40,6 +60,8 @@ impl fmt::Display for EdaError {
             EdaError::ResourceOverflow(m) => write!(f, "design does not fit device: {m}"),
             EdaError::FlowOrder(m) => write!(f, "flow order violation: {m}"),
             EdaError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            EdaError::ToolCrash(m) => write!(f, "tool crashed: {m}"),
+            EdaError::Timeout(m) => write!(f, "tool timed out: {m}"),
         }
     }
 }

@@ -1,0 +1,258 @@
+//! Deterministic fault injection for the simulated EDA flow.
+//!
+//! Real Vivado runs fail for reasons that have nothing to do with the
+//! design point: license hiccups, OOM kills, NFS glitches, truncated
+//! reports from a dying process. A DSE framework has to survive those
+//! without treating them as properties of the design. This module lets a
+//! [`crate::VivadoSim`] session reproduce that failure surface on demand:
+//! a [`FaultPlan`] gives each fault kind a per-occurrence probability, and
+//! a [`FaultInjector`] draws from a deterministic, seedable stream, so a
+//! given (plan, seed) pair always injects the same faults at the same
+//! points in the flow — tests replay exactly.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The faults the simulator can inject, by flow stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Tool process dies during `synth_design`.
+    SynthCrash,
+    /// `synth_design` exceeds its time budget and is killed.
+    SynthTimeout,
+    /// Tool process dies during `route_design`.
+    RouteCrash,
+    /// `route_design` exceeds its time budget and is killed.
+    RouteTimeout,
+    /// A report file is cut off mid-write.
+    ReportTruncated,
+    /// A report file has garbage where its numbers should be.
+    ReportGarbled,
+    /// A checkpoint on disk fails its integrity check when read back.
+    CheckpointCorrupt,
+}
+
+/// Per-occurrence fault probabilities plus the injector seed.
+///
+/// All probabilities default to zero (no faults); [`FaultPlan::none`] is
+/// the explicit spelling of that. Probabilities are evaluated
+/// independently each time the flow passes the corresponding point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injector's deterministic draw stream.
+    pub seed: u64,
+    /// P(crash) per `synth_design` invocation.
+    pub synth_crash: f64,
+    /// P(timeout) per `synth_design` invocation.
+    pub synth_timeout: f64,
+    /// P(crash) per `route_design` invocation.
+    pub route_crash: f64,
+    /// P(timeout) per `route_design` invocation.
+    pub route_timeout: f64,
+    /// P(truncation) per report written.
+    pub report_truncated: f64,
+    /// P(garbling) per report written.
+    pub report_garbled: f64,
+    /// P(corruption) per checkpoint read.
+    pub checkpoint_corrupt: f64,
+    /// Simulated seconds wasted by a crash before the process died.
+    pub crash_cost_s: f64,
+    /// Simulated seconds burned before a hung tool was killed.
+    pub timeout_cost_s: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            synth_crash: 0.0,
+            synth_timeout: 0.0,
+            route_crash: 0.0,
+            route_timeout: 0.0,
+            report_truncated: 0.0,
+            report_garbled: 0.0,
+            checkpoint_corrupt: 0.0,
+            crash_cost_s: 30.0,
+            timeout_cost_s: 300.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// No injected faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Every fault kind at the same per-occurrence probability `p`.
+    pub fn uniform(seed: u64, p: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        FaultPlan {
+            seed,
+            synth_crash: p,
+            synth_timeout: p,
+            route_crash: p,
+            route_timeout: p,
+            report_truncated: p,
+            report_garbled: p,
+            checkpoint_corrupt: p,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Whether any fault can ever fire under this plan.
+    pub fn is_active(&self) -> bool {
+        [
+            self.synth_crash,
+            self.synth_timeout,
+            self.route_crash,
+            self.route_timeout,
+            self.report_truncated,
+            self.report_garbled,
+            self.checkpoint_corrupt,
+        ]
+        .iter()
+        .any(|&p| p > 0.0)
+    }
+
+    /// The probability configured for `kind`.
+    pub fn probability(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::SynthCrash => self.synth_crash,
+            FaultKind::SynthTimeout => self.synth_timeout,
+            FaultKind::RouteCrash => self.route_crash,
+            FaultKind::RouteTimeout => self.route_timeout,
+            FaultKind::ReportTruncated => self.report_truncated,
+            FaultKind::ReportGarbled => self.report_garbled,
+            FaultKind::CheckpointCorrupt => self.checkpoint_corrupt,
+        }
+    }
+}
+
+/// Draws faults from a deterministic stream shared across sessions.
+///
+/// Clones share the underlying stream, so an evaluator that spins up a
+/// fresh `VivadoSim` per attempt still sees one global fault sequence —
+/// retries consume new draws instead of replaying the fault that killed
+/// the previous attempt.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: Arc<Mutex<u64>>,
+}
+
+impl FaultInjector {
+    /// Creates an injector seeded from the plan.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        let state = Arc::new(Mutex::new(plan.seed ^ 0x6A09_E667_F3BC_C908));
+        FaultInjector { plan, state }
+    }
+
+    /// The plan this injector draws from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether `kind` fires at this point in the flow (consumes one draw
+    /// whenever the kind has a nonzero probability).
+    pub fn fires(&self, kind: FaultKind) -> bool {
+        let p = self.plan.probability(kind);
+        if p <= 0.0 {
+            return false;
+        }
+        self.next_f64() < p
+    }
+
+    /// SplitMix64 step shared by all clones.
+    fn next_f64(&self) -> f64 {
+        let mut state = self.state.lock();
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Corrupts report text the way a dying tool does: either cut off
+    /// mid-file or with its numerals overwritten by filler.
+    pub fn mangle_report(&self, kind: FaultKind, text: &str) -> String {
+        match kind {
+            FaultKind::ReportTruncated => {
+                let cut = text.len() / 3;
+                // Cut on a char boundary (reports are ASCII, but be safe).
+                let mut cut = cut.min(text.len());
+                while cut > 0 && !text.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                text[..cut].to_string()
+            }
+            FaultKind::ReportGarbled => text
+                .chars()
+                .map(|c| if c.is_ascii_digit() { '?' } else { c })
+                .collect(),
+            _ => text.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_plan_never_fires() {
+        let inj = FaultInjector::new(FaultPlan::none());
+        for _ in 0..100 {
+            assert!(!inj.fires(FaultKind::SynthCrash));
+            assert!(!inj.fires(FaultKind::CheckpointCorrupt));
+        }
+        assert!(!FaultPlan::none().is_active());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = FaultInjector::new(FaultPlan::uniform(7, 0.5));
+        let b = FaultInjector::new(FaultPlan::uniform(7, 0.5));
+        let seq_a: Vec<bool> = (0..64).map(|_| a.fires(FaultKind::SynthCrash)).collect();
+        let seq_b: Vec<bool> = (0..64).map(|_| b.fires(FaultKind::SynthCrash)).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|&f| f) && seq_a.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn clones_share_the_stream() {
+        let a = FaultInjector::new(FaultPlan::uniform(3, 0.5));
+        let b = a.clone();
+        // Interleaved draws across clones must not repeat each other.
+        let seq: Vec<bool> = (0..64)
+            .map(|i| if i % 2 == 0 { &a } else { &b }.fires(FaultKind::RouteCrash))
+            .collect();
+        let fresh = FaultInjector::new(FaultPlan::uniform(3, 0.5));
+        let solo: Vec<bool> = (0..64)
+            .map(|_| fresh.fires(FaultKind::RouteCrash))
+            .collect();
+        assert_eq!(seq, solo);
+    }
+
+    #[test]
+    fn rate_tracks_probability() {
+        let inj = FaultInjector::new(FaultPlan::uniform(11, 0.25));
+        let hits = (0..4000)
+            .filter(|_| inj.fires(FaultKind::SynthTimeout))
+            .count();
+        let rate = hits as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn mangling_breaks_numbers_or_length() {
+        let inj = FaultInjector::new(FaultPlan::none());
+        let text = "| Slice LUTs | 1234 |\n| Registers | 567 |\n";
+        let truncated = inj.mangle_report(FaultKind::ReportTruncated, text);
+        assert!(truncated.len() < text.len());
+        let garbled = inj.mangle_report(FaultKind::ReportGarbled, text);
+        assert_eq!(garbled.len(), text.len());
+        assert!(!garbled.chars().any(|c| c.is_ascii_digit()));
+    }
+}

@@ -37,6 +37,7 @@
 pub mod archmodel;
 pub mod checkpoint;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod models;
 pub mod netlist;
@@ -51,6 +52,7 @@ pub mod vivado;
 pub use archmodel::{bind_parameters, ArchModel, ElabContext, ModelRegistry};
 pub use checkpoint::{Checkpoint, CheckpointStore, FlowStep, Reuse};
 pub use error::{EdaError, EdaResult};
+pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use netlist::Netlist;
 pub use place_route::{ImplDirective, ImplResult};
 pub use project::{ClockConstraint, Project};

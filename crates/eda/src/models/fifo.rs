@@ -52,7 +52,11 @@ impl ArchModel for FifoModel {
 
         // Mux tree depth: a LUT6 resolves ~2.5 select bits per level.
         let mux_levels = (addr_w as f64 / 2.5).ceil() as u32 + 2;
-        let levels = if fall_through { mux_levels + 1 } else { mux_levels };
+        let levels = if fall_through {
+            mux_levels + 1
+        } else {
+            mux_levels
+        };
 
         let mut nl = Netlist::empty(&ctx.module.name);
         nl.cells = ResourceSet::from_pairs(&[
@@ -64,9 +68,8 @@ impl ArchModel for FifoModel {
         nl.carry_bits = addr_w as u32 + 1;
         // The write-enable fans out to every storage flop.
         nl.fanout_cost = (depth as f64 / 64.0).min(3.0);
-        nl.crit_path = format!(
-            "rd_ptr_q[{addr_w}] -> read mux ({depth}:1, {width} bit) -> data_o reg"
-        );
+        nl.crit_path =
+            format!("rd_ptr_q[{addr_w}] -> read mux ({depth}:1, {width} bit) -> data_o reg");
         Ok(nl)
     }
 }
@@ -94,7 +97,11 @@ endmodule"#;
         let mut ov = BTreeMap::new();
         ov.insert("DEPTH".to_string(), depth);
         let params = bind_parameters(&m, &ov).unwrap();
-        let ctx = ElabContext { module: &m, params: &params, part: &part };
+        let ctx = ElabContext {
+            module: &m,
+            params: &params,
+            part: &part,
+        };
         FifoModel.elaborate(&ctx).unwrap()
     }
 
@@ -104,7 +111,7 @@ endmodule"#;
         let b = elab(16);
         let delta = b.registers() as i64 - a.registers() as i64;
         // 8 extra entries × 32 bits plus pointer growth.
-        assert!(delta >= 256 && delta <= 280, "delta {delta}");
+        assert!((256..=280).contains(&delta), "delta {delta}");
     }
 
     #[test]
@@ -134,7 +141,11 @@ endmodule"#;
         ov.insert("DEPTH".to_string(), 32i64);
         ov.insert("FALL_THROUGH".to_string(), 1i64);
         let params = bind_parameters(&m, &ov).unwrap();
-        let ctx = ElabContext { module: &m, params: &params, part: &part };
+        let ctx = ElabContext {
+            module: &m,
+            params: &params,
+            part: &part,
+        };
         let ft = FifoModel.elaborate(&ctx).unwrap();
         let plain = elab(32);
         assert!(ft.luts() > plain.luts());
@@ -148,7 +159,11 @@ endmodule"#;
         let mut ov = BTreeMap::new();
         ov.insert("DEPTH".to_string(), 0i64);
         let params = bind_parameters(&m, &ov).unwrap();
-        let ctx = ElabContext { module: &m, params: &params, part: &part };
+        let ctx = ElabContext {
+            module: &m,
+            params: &params,
+            part: &part,
+        };
         assert!(FifoModel.elaborate(&ctx).is_err());
     }
 
@@ -167,8 +182,7 @@ endmodule"#;
         let mut prev = elab(100);
         for d in (102..140).step_by(2) {
             let cur = elab(d);
-            let lut_jump =
-                (cur.luts() as f64 - prev.luts() as f64).abs() / prev.luts() as f64;
+            let lut_jump = (cur.luts() as f64 - prev.luts() as f64).abs() / prev.luts() as f64;
             assert!(lut_jump < 0.05, "LUT jump {lut_jump} at depth {d}");
             prev = cur;
         }

@@ -91,7 +91,11 @@ endmodule"#;
         ov.insert("WIDTH".to_string(), width);
         ov.insert("DEPTH".to_string(), depth);
         let params = bind_parameters(&m, &ov).unwrap();
-        let ctx = ElabContext { module: &m, params: &params, part: &part };
+        let ctx = ElabContext {
+            module: &m,
+            params: &params,
+            part: &part,
+        };
         GenericInterfaceModel.elaborate(&ctx).unwrap()
     }
 
@@ -116,10 +120,17 @@ endmodule"#;
 
     #[test]
     fn handles_module_without_parameters() {
-        let m = module_from(Language::Verilog, "module leaf(input wire a, output wire b); endmodule");
+        let m = module_from(
+            Language::Verilog,
+            "module leaf(input wire a, output wire b); endmodule",
+        );
         let part = Catalog::builtin().resolve("xc7k70t").unwrap().clone();
         let params = bind_parameters(&m, &BTreeMap::new()).unwrap();
-        let ctx = ElabContext { module: &m, params: &params, part: &part };
+        let ctx = ElabContext {
+            module: &m,
+            params: &params,
+            part: &part,
+        };
         let nl = GenericInterfaceModel.elaborate(&ctx).unwrap();
         assert!(nl.luts() > 0);
         assert_eq!(nl.logic_levels, 4);

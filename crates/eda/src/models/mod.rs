@@ -26,11 +26,11 @@ use crate::archmodel::ArchModel;
 /// so earlier entries here are *lower* priority).
 pub fn builtin_models() -> Vec<Box<dyn ArchModel>> {
     vec![
-        Box::new(fifo::FifoModel::default()),
-        Box::new(queue_manager::QueueManagerModel::default()),
-        Box::new(riscv::Neorv32Model::default()),
-        Box::new(riscv::Cv32e40pModel::default()),
-        Box::new(regex_engine::TirexModel::default()),
+        Box::new(fifo::FifoModel),
+        Box::new(queue_manager::QueueManagerModel),
+        Box::new(riscv::Neorv32Model),
+        Box::new(riscv::Cv32e40pModel),
+        Box::new(regex_engine::TirexModel),
     ]
 }
 

@@ -125,7 +125,11 @@ endmodule"#;
         ov.insert("QUEUE_INDEX_WIDTH".to_string(), qi);
         ov.insert("PIPELINE".to_string(), pipe);
         let params = bind_parameters(&m, &ov).unwrap();
-        let ctx = ElabContext { module: &m, params: &params, part: &part };
+        let ctx = ElabContext {
+            module: &m,
+            params: &params,
+            part: &part,
+        };
         QueueManagerModel.elaborate(&ctx).unwrap()
     }
 
@@ -166,12 +170,20 @@ endmodule"#;
         let part = Catalog::builtin().resolve("xc7k70t").unwrap().clone();
         // Interface defaults cover everything, so defaults-only works…
         let params = bind_parameters(&m, &BTreeMap::new()).unwrap();
-        let ctx = ElabContext { module: &m, params: &params, part: &part };
+        let ctx = ElabContext {
+            module: &m,
+            params: &params,
+            part: &part,
+        };
         assert!(QueueManagerModel.elaborate(&ctx).is_ok());
         // …but a zero parameter is rejected.
         let mut bad = params.clone();
         bad.insert("PIPELINE".to_string(), 0);
-        let ctx = ElabContext { module: &m, params: &bad, part: &part };
+        let ctx = ElabContext {
+            module: &m,
+            params: &bad,
+            part: &part,
+        };
         assert!(QueueManagerModel.elaborate(&ctx).is_err());
     }
 

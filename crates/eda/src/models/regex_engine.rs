@@ -76,9 +76,8 @@ impl ArchModel for TirexModel {
         nl.carry_bits = 16;
         nl.fanout_cost = 0.8 + nclusters as f64 * 0.25;
         nl.crit_through_bram = false;
-        nl.crit_path = format!(
-            "dispatch xbar ({nclusters} cluster(s)) -> match engine -> scoreboard we"
-        );
+        nl.crit_path =
+            format!("dispatch xbar ({nclusters} cluster(s)) -> match engine -> scoreboard we");
         Ok(nl)
     }
 }
@@ -113,7 +112,11 @@ end entity tirex_top;
         ov.insert("IMEM_SIZE".to_string(), i);
         ov.insert("DMEM_SIZE".to_string(), d);
         let params = bind_parameters(&m, &ov).unwrap();
-        let ctx = ElabContext { module: &m, params: &params, part: &part };
+        let ctx = ElabContext {
+            module: &m,
+            params: &params,
+            part: &part,
+        };
         TirexModel.elaborate(&ctx).unwrap()
     }
 
@@ -143,8 +146,14 @@ end entity tirex_top;
     fn depth_grows_with_clusters_only() {
         assert!(elab(8, 16, 8, 8).logic_levels > elab(1, 16, 8, 8).logic_levels);
         // Stack and memory sizes are behind registered interfaces.
-        assert_eq!(elab(1, 256, 8, 8).logic_levels, elab(1, 1, 8, 8).logic_levels);
-        assert_eq!(elab(1, 16, 16, 16).logic_levels, elab(1, 16, 8, 8).logic_levels);
+        assert_eq!(
+            elab(1, 256, 8, 8).logic_levels,
+            elab(1, 1, 8, 8).logic_levels
+        );
+        assert_eq!(
+            elab(1, 16, 16, 16).logic_levels,
+            elab(1, 16, 8, 8).logic_levels
+        );
     }
 
     #[test]
@@ -153,7 +162,11 @@ end entity tirex_top;
         let m = module_from(Language::Vhdl, src);
         let part = Catalog::builtin().resolve("xczu3eg").unwrap().clone();
         let params = bind_parameters(&m, &BTreeMap::new()).unwrap();
-        let ctx = ElabContext { module: &m, params: &params, part: &part };
+        let ctx = ElabContext {
+            module: &m,
+            params: &params,
+            part: &part,
+        };
         assert!(TirexModel.elaborate(&ctx).is_err());
     }
 

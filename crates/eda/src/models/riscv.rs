@@ -164,7 +164,11 @@ end entity neorv32_top;
         ov.insert("MEM_INT_IMEM_SIZE".to_string(), imem);
         ov.insert("MEM_INT_DMEM_SIZE".to_string(), dmem);
         let params = bind_parameters(&m, &ov).unwrap();
-        let ctx = ElabContext { module: &m, params: &params, part: &part };
+        let ctx = ElabContext {
+            module: &m,
+            params: &params,
+            part: &part,
+        };
         Neorv32Model.elaborate(&ctx).unwrap()
     }
 
@@ -204,7 +208,11 @@ end entity neorv32_top;
         // URAM-bearing Kintex UltraScale+ part: big imem goes to URAM.
         let ku5p = Catalog::builtin().resolve("xcku5p").unwrap().clone();
         let nl = Neorv32Model
-            .elaborate(&ElabContext { module: &m, params: &params, part: &ku5p })
+            .elaborate(&ElabContext {
+                module: &m,
+                params: &params,
+                part: &ku5p,
+            })
             .unwrap();
         assert!(nl.cells.get(dovado_fpga::ResourceKind::Uram) > 0);
         // dmem (8 KiB) still lands in BRAM.
@@ -212,7 +220,11 @@ end entity neorv32_top;
         // On the 7-series part (no URAM) everything is BRAM.
         let k7 = Catalog::builtin().resolve("xc7k70t").unwrap().clone();
         let nl7 = Neorv32Model
-            .elaborate(&ElabContext { module: &m, params: &params, part: &k7 })
+            .elaborate(&ElabContext {
+                module: &m,
+                params: &params,
+                part: &k7,
+            })
             .unwrap();
         assert_eq!(nl7.cells.get(dovado_fpga::ResourceKind::Uram), 0);
         assert!(nl7.brams() > nl.brams());
@@ -231,7 +243,11 @@ end entity neorv32_top;
         let e = |ov: &BTreeMap<String, i64>| {
             let params = bind_parameters(&m, ov).unwrap();
             Neorv32Model
-                .elaborate(&ElabContext { module: &m, params: &params, part: &part })
+                .elaborate(&ElabContext {
+                    module: &m,
+                    params: &params,
+                    part: &part,
+                })
                 .unwrap()
         };
         assert!(e(&with).luts() > e(&without).luts());
@@ -248,7 +264,11 @@ end entity neorv32_top;
             ov.insert("FPU".to_string(), fpu);
             let params = bind_parameters(&m, &ov).unwrap();
             Cv32e40pModel
-                .elaborate(&ElabContext { module: &m, params: &params, part: &part })
+                .elaborate(&ElabContext {
+                    module: &m,
+                    params: &params,
+                    part: &part,
+                })
                 .unwrap()
         };
         assert!(e(1).luts() > e(0).luts());

@@ -217,10 +217,8 @@ mod tests {
 
     fn netlist(luts: u64, levels: u32) -> Netlist {
         let mut n = Netlist::empty("dut");
-        n.cells = ResourceSet::from_pairs(&[
-            (ResourceKind::Lut, luts),
-            (ResourceKind::Register, luts),
-        ]);
+        n.cells =
+            ResourceSet::from_pairs(&[(ResourceKind::Lut, luts), (ResourceKind::Register, luts)]);
         n.logic_levels = levels;
         n.fanout_cost = 1.0;
         n.design_hash = 77;
@@ -255,14 +253,16 @@ mod tests {
     #[test]
     fn ultrascale_is_substantially_faster() {
         let nk = place_and_route(&netlist(1000, 6), &k7(), 1.0, ImplDirective::Default, 1).unwrap();
-        let nz = place_and_route(&netlist(1000, 6), &zu3(), 1.0, ImplDirective::Default, 1).unwrap();
+        let nz =
+            place_and_route(&netlist(1000, 6), &zu3(), 1.0, ImplDirective::Default, 1).unwrap();
         let ratio = nz.fmax_mhz() / nk.fmax_mhz();
         assert!(ratio > 2.0 && ratio < 4.0, "16nm/28nm ratio {ratio}");
     }
 
     #[test]
     fn utilization_slows_the_design() {
-        let light = place_and_route(&netlist(1_000, 6), &k7(), 1.0, ImplDirective::Default, 1).unwrap();
+        let light =
+            place_and_route(&netlist(1_000, 6), &k7(), 1.0, ImplDirective::Default, 1).unwrap();
         let heavy =
             place_and_route(&netlist(35_000, 6), &k7(), 1.0, ImplDirective::Default, 1).unwrap();
         assert!(heavy.utilization > light.utilization);

@@ -56,13 +56,22 @@ fn process_factor(part: &Part) -> f64 {
 }
 
 /// Estimates power for a routed design at `clock_mhz`.
-pub fn estimate_power(netlist: &Netlist, part: &Part, clock_mhz: f64, toggle: f64) -> PowerEstimate {
+pub fn estimate_power(
+    netlist: &Netlist,
+    part: &Part,
+    clock_mhz: f64,
+    toggle: f64,
+) -> PowerEstimate {
     let toggle = toggle.clamp(0.0, 1.0);
     let f = clock_mhz.max(0.0);
 
     // Leakage grows with device size; FinFET leaks less per cell.
     let device_cells = part.capacity.total() as f64;
-    let leak_per_cell_uw = if part.timing.process_nm <= 16 { 0.5 } else { 0.8 };
+    let leak_per_cell_uw = if part.timing.process_nm <= 16 {
+        0.5
+    } else {
+        0.8
+    };
     let static_mw = device_cells * leak_per_cell_uw / 1000.0;
 
     let mut dynamic_uw = 0.0;
@@ -180,7 +189,11 @@ mod tests {
         let est = estimate_power(&n, &k7(), 180.0, DEFAULT_TOGGLE_RATE);
         let text = write_power_report("dut", &est, 180.0);
         let back = parse_power_mw(&text).unwrap();
-        assert!((back - est.total_mw()).abs() < 0.5, "{back} vs {}", est.total_mw());
+        assert!(
+            (back - est.total_mw()).abs() < 0.5,
+            "{back} vs {}",
+            est.total_mw()
+        );
         assert!(parse_power_mw("garbage").is_none());
     }
 

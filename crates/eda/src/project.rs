@@ -147,7 +147,10 @@ impl Project {
             [] => Err(EdaError::Elaboration("no top-level module found".into())),
             many => Err(EdaError::Elaboration(format!(
                 "ambiguous top module: {}",
-                many.iter().map(|m| m.name.as_str()).collect::<Vec<_>>().join(", ")
+                many.iter()
+                    .map(|m| m.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ))),
         }
     }
@@ -204,7 +207,11 @@ impl Project {
             .find_module(name)
             .ok_or_else(|| EdaError::UnknownModule(name.to_string()))?;
         let params = bind_parameters(module, overrides)?;
-        let ctx = ElabContext { module, params: &params, part: &self.part };
+        let ctx = ElabContext {
+            module,
+            params: &params,
+            part: &self.part,
+        };
 
         let children = self.children_of(&module.name);
         let model_is_generic = registry.model_for(&module.name).name() == "generic-interface";
@@ -270,7 +277,8 @@ endmodule"#;
     #[test]
     fn add_and_find_sources() {
         let mut p = Project::new("t", k7());
-        p.add_source("fifo.sv", Language::SystemVerilog, FIFO_SV, None).unwrap();
+        p.add_source("fifo.sv", Language::SystemVerilog, FIFO_SV, None)
+            .unwrap();
         assert!(p.find_module("FIFO_V3").is_some());
         assert!(p.find_module("nope").is_none());
     }
@@ -279,25 +287,42 @@ endmodule"#;
     fn parse_failure_surfaces() {
         let mut p = Project::new("t", k7());
         assert!(p
-            .add_source("bad.sv", Language::SystemVerilog, "module m(input wire c);", None)
+            .add_source(
+                "bad.sv",
+                Language::SystemVerilog,
+                "module m(input wire c);",
+                None
+            )
             .is_err());
     }
 
     #[test]
     fn infer_top_picks_uninstantiated() {
         let mut p = Project::new("t", k7());
-        p.add_source("fifo.sv", Language::SystemVerilog, FIFO_SV, None).unwrap();
-        p.add_source("box.sv", Language::SystemVerilog, BOX_SV, None).unwrap();
+        p.add_source("fifo.sv", Language::SystemVerilog, FIFO_SV, None)
+            .unwrap();
+        p.add_source("box.sv", Language::SystemVerilog, BOX_SV, None)
+            .unwrap();
         assert_eq!(p.infer_top().unwrap(), "box");
     }
 
     #[test]
     fn infer_top_ambiguous_errors() {
         let mut p = Project::new("t", k7());
-        p.add_source("a.sv", Language::SystemVerilog, "module a(input wire c); endmodule", None)
-            .unwrap();
-        p.add_source("b.sv", Language::SystemVerilog, "module b(input wire c); endmodule", None)
-            .unwrap();
+        p.add_source(
+            "a.sv",
+            Language::SystemVerilog,
+            "module a(input wire c); endmodule",
+            None,
+        )
+        .unwrap();
+        p.add_source(
+            "b.sv",
+            Language::SystemVerilog,
+            "module b(input wire c); endmodule",
+            None,
+        )
+        .unwrap();
         assert!(p.infer_top().is_err());
     }
 
@@ -305,14 +330,17 @@ endmodule"#;
     fn elaborate_through_box_applies_generic_map() {
         let reg = ModelRegistry::with_builtin_models();
         let mut p = Project::new("t", k7());
-        p.add_source("fifo.sv", Language::SystemVerilog, FIFO_SV, None).unwrap();
-        p.add_source("box.sv", Language::SystemVerilog, BOX_SV, None).unwrap();
+        p.add_source("fifo.sv", Language::SystemVerilog, FIFO_SV, None)
+            .unwrap();
+        p.add_source("box.sv", Language::SystemVerilog, BOX_SV, None)
+            .unwrap();
         p.top = Some("box".into());
         let boxed = p.elaborate(&reg).unwrap();
 
         // Compare with direct elaboration at DEPTH=64.
         let mut p2 = Project::new("t2", k7());
-        p2.add_source("fifo.sv", Language::SystemVerilog, FIFO_SV, None).unwrap();
+        p2.add_source("fifo.sv", Language::SystemVerilog, FIFO_SV, None)
+            .unwrap();
         p2.top = Some("fifo_v3".into());
         p2.generics.insert("DEPTH".into(), 64);
         let direct = p2.elaborate(&reg).unwrap();
@@ -373,7 +401,8 @@ end architecture box_arch;
     fn top_generics_override_defaults() {
         let reg = ModelRegistry::with_builtin_models();
         let mut p = Project::new("t", k7());
-        p.add_source("fifo.sv", Language::SystemVerilog, FIFO_SV, None).unwrap();
+        p.add_source("fifo.sv", Language::SystemVerilog, FIFO_SV, None)
+            .unwrap();
         p.top = Some("fifo_v3".into());
         let base = p.elaborate(&reg).unwrap();
         p.generics.insert("DEPTH".into(), 512);
@@ -399,8 +428,13 @@ end architecture box_arch;
     #[test]
     fn package_ordering_check() {
         let mut p = Project::new("t", k7());
-        p.add_source("m.sv", Language::SystemVerilog, "module m(input wire c); endmodule", None)
-            .unwrap();
+        p.add_source(
+            "m.sv",
+            Language::SystemVerilog,
+            "module m(input wire c); endmodule",
+            None,
+        )
+        .unwrap();
         p.add_source(
             "pkg.sv",
             Language::SystemVerilog,
@@ -418,8 +452,13 @@ end architecture box_arch;
             None,
         )
         .unwrap();
-        good.add_source("m.sv", Language::SystemVerilog, "module m(input wire c); endmodule", None)
-            .unwrap();
+        good.add_source(
+            "m.sv",
+            Language::SystemVerilog,
+            "module m(input wire c); endmodule",
+            None,
+        )
+        .unwrap();
         assert!(good.check_ordering().is_empty());
     }
 }

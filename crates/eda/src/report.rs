@@ -27,9 +27,18 @@ pub fn write_utilization_report(module: &str, used: &ResourceSet, part: &Part) -
     let _ = writeln!(s);
     let _ = writeln!(s, "Utilization Design Information");
     let _ = writeln!(s);
-    let _ = writeln!(s, "+----------------------------+--------+-------+-----------+-------+");
-    let _ = writeln!(s, "|          Site Type         |  Used  | Fixed | Available | Util% |");
-    let _ = writeln!(s, "+----------------------------+--------+-------+-----------+-------+");
+    let _ = writeln!(
+        s,
+        "+----------------------------+--------+-------+-----------+-------+"
+    );
+    let _ = writeln!(
+        s,
+        "|          Site Type         |  Used  | Fixed | Available | Util% |"
+    );
+    let _ = writeln!(
+        s,
+        "+----------------------------+--------+-------+-----------+-------+"
+    );
     for kind in ResourceKind::ALL {
         let avail = part.capacity.get(kind);
         if avail == 0 {
@@ -47,7 +56,10 @@ pub fn write_utilization_report(module: &str, used: &ResourceSet, part: &Part) -
             pct
         );
     }
-    let _ = writeln!(s, "+----------------------------+--------+-------+-----------+-------+");
+    let _ = writeln!(
+        s,
+        "+----------------------------+--------+-------+-----------+-------+"
+    );
     s
 }
 
@@ -74,7 +86,9 @@ pub fn parse_utilization_report(text: &str) -> EdaResult<ResourceSet> {
         rows += 1;
     }
     if rows == 0 {
-        return Err(EdaError::Parse("no utilization rows found in report".into()));
+        return Err(EdaError::Parse(
+            "no utilization rows found in report".into(),
+        ));
     }
     Ok(out)
 }
@@ -86,9 +100,19 @@ pub fn write_timing_report(module: &str, result: &ImplResult) -> String {
     let _ = writeln!(s, "| Design       : {module}");
     let _ = writeln!(s);
     let _ = writeln!(s, "Design Timing Summary");
-    let _ = writeln!(s, "| WNS(ns)  | TNS(ns)  | TNS Failing Endpoints | Total Endpoints |");
-    let _ = writeln!(s, "| -------  | -------  | --------------------- | --------------- |");
-    let tns = if result.wns_ns < 0.0 { result.wns_ns * 8.0 } else { 0.0 };
+    let _ = writeln!(
+        s,
+        "| WNS(ns)  | TNS(ns)  | TNS Failing Endpoints | Total Endpoints |"
+    );
+    let _ = writeln!(
+        s,
+        "| -------  | -------  | --------------------- | --------------- |"
+    );
+    let tns = if result.wns_ns < 0.0 {
+        result.wns_ns * 8.0
+    } else {
+        0.0
+    };
     let failing = if result.wns_ns < 0.0 { 8 } else { 0 };
     let _ = writeln!(
         s,
@@ -130,13 +154,15 @@ pub fn parse_wns(text: &str) -> EdaResult<f64> {
                     .next()
                     .map(str::trim)
                     .unwrap_or("");
-                return first.parse::<f64>().map_err(|_| {
-                    EdaError::Parse(format!("cannot parse WNS from `{first}`"))
-                });
+                return first
+                    .parse::<f64>()
+                    .map_err(|_| EdaError::Parse(format!("cannot parse WNS from `{first}`")));
             }
         }
     }
-    Err(EdaError::Parse("no WNS column found in timing report".into()))
+    Err(EdaError::Parse(
+        "no WNS column found in timing report".into(),
+    ))
 }
 
 /// Extracts the constrained period (ns) from a timing-summary report.

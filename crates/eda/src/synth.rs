@@ -148,7 +148,8 @@ pub fn synthesize(
     // seeded optimization are extension points the ablation benches probe.
     let _ = (part, seed);
     let luts = netlist.cells.get(ResourceKind::Lut) as f64 * directive.area_factor();
-    out.cells.set(ResourceKind::Lut, luts.round().max(1.0) as u64);
+    out.cells
+        .set(ResourceKind::Lut, luts.round().max(1.0) as u64);
 
     // Logic depth after technology mapping.
     let levels = netlist.logic_levels as i64 + directive.level_delta() as i64;
@@ -172,7 +173,12 @@ pub fn synthesize(
         out.cells.get(ResourceKind::Dsp),
         directive.as_vivado(),
     );
-    SynthResult { netlist: out, runtime_s, directive, log }
+    SynthResult {
+        netlist: out,
+        runtime_s,
+        directive,
+        log,
+    }
 }
 
 #[cfg(test)]
@@ -231,7 +237,10 @@ mod tests {
 
     #[test]
     fn runtime_scales_with_size_and_directive() {
-        assert!(synth_runtime_s(100_000, SynthDirective::Default) > synth_runtime_s(1_000, SynthDirective::Default));
+        assert!(
+            synth_runtime_s(100_000, SynthDirective::Default)
+                > synth_runtime_s(1_000, SynthDirective::Default)
+        );
         assert!(
             synth_runtime_s(10_000, SynthDirective::RuntimeOptimized)
                 < synth_runtime_s(10_000, SynthDirective::Default)

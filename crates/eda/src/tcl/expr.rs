@@ -23,19 +23,30 @@ impl V {
         V { v, int: false }
     }
     fn join(self, other: V, v: f64) -> V {
-        V { v, int: self.int && other.int }
+        V {
+            v,
+            int: self.int && other.int,
+        }
     }
 }
 
 /// Evaluates an expression string (after variable substitution).
 pub fn eval_expr(src: &str) -> EdaResult<String> {
     let toks = tokenize(src)?;
-    let mut p = E { toks, pos: 0, src: src.to_string() };
+    let mut p = E {
+        toks,
+        pos: 0,
+        src: src.to_string(),
+    };
     let v = p.ternary()?;
     if p.pos != p.toks.len() {
         return Err(p.err("trailing tokens"));
     }
-    Ok(if v.int { format!("{}", v.v as i64) } else { format_num(v.v) })
+    Ok(if v.int {
+        format!("{}", v.v as i64)
+    } else {
+        format_num(v.v)
+    })
 }
 
 /// Formats a double the TCL way: integral values print without a decimal
@@ -67,8 +78,7 @@ fn tokenize(src: &str) -> EdaResult<Vec<Tok>> {
             i += 1;
             continue;
         }
-        if c.is_ascii_digit()
-            || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
         {
             let start = i;
             // Hex literal.
@@ -111,8 +121,8 @@ fn tokenize(src: &str) -> EdaResult<Vec<Tok>> {
                 "true" => out.push(Tok::Num(1.0, true)),
                 "false" => out.push(Tok::Num(0.0, true)),
                 // Function names are passed through as operators.
-                "abs" | "int" | "round" | "floor" | "ceil" | "min" | "max" | "pow"
-                | "sqrt" | "log2" => out.push(Tok::Op(word)),
+                "abs" | "int" | "round" | "floor" | "ceil" | "min" | "max" | "pow" | "sqrt"
+                | "log2" => out.push(Tok::Op(word)),
                 _ => out.push(Tok::Str(word)),
             }
             continue;
@@ -124,7 +134,9 @@ fn tokenize(src: &str) -> EdaResult<Vec<Tok>> {
                 i += 1;
             }
             if i >= chars.len() {
-                return Err(EdaError::Tcl(format!("unterminated string in expr `{src}`")));
+                return Err(EdaError::Tcl(format!(
+                    "unterminated string in expr `{src}`"
+                )));
             }
             out.push(Tok::Str(chars[start..i].iter().collect()));
             i += 1;
@@ -142,7 +154,9 @@ fn tokenize(src: &str) -> EdaResult<Vec<Tok>> {
             i += 1;
             continue;
         }
-        return Err(EdaError::Tcl(format!("unexpected character `{c}` in expr `{src}`")));
+        return Err(EdaError::Tcl(format!(
+            "unexpected character `{c}` in expr `{src}`"
+        )));
     }
     Ok(out)
 }
@@ -205,6 +219,8 @@ impl E {
         Ok(v)
     }
 
+    // `while let` can't hold the peeked &str across the mutating body.
+    #[allow(clippy::while_let_loop)]
     fn cmp(&mut self) -> EdaResult<V> {
         let mut v = self.add()?;
         loop {
@@ -287,7 +303,10 @@ impl E {
         // Unary minus binds below `**` in TCL: -2**2 == -(2**2).
         if self.eat_op("-") {
             let v = self.pow()?;
-            return Ok(V { v: -v.v, int: v.int });
+            return Ok(V {
+                v: -v.v,
+                int: v.int,
+            });
         }
         if self.eat_op("+") {
             return self.pow();
@@ -324,8 +343,16 @@ impl E {
             Some(Tok::Op(f))
                 if matches!(
                     f.as_str(),
-                    "abs" | "int" | "round" | "floor" | "ceil" | "min" | "max" | "pow"
-                        | "sqrt" | "log2"
+                    "abs"
+                        | "int"
+                        | "round"
+                        | "floor"
+                        | "ceil"
+                        | "min"
+                        | "max"
+                        | "pow"
+                        | "sqrt"
+                        | "log2"
                 ) =>
             {
                 self.pos += 1;

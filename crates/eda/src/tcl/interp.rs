@@ -86,11 +86,7 @@ impl Interp {
     }
 
     /// Evaluates a script, propagating loop control flow to the caller.
-    fn eval_flow<C: TclContext>(
-        &mut self,
-        ctx: &mut C,
-        script: &str,
-    ) -> EdaResult<(String, Flow)> {
+    fn eval_flow<C: TclContext>(&mut self, ctx: &mut C, script: &str) -> EdaResult<(String, Flow)> {
         let commands = parse_script(script)?;
         let mut last = String::new();
         for cmd in commands {
@@ -161,18 +157,18 @@ impl Interp {
         args: &[String],
     ) -> EdaResult<String> {
         match name {
-            "set" => match args {
-                [n] => self
-                    .vars
-                    .get(n)
-                    .cloned()
-                    .ok_or_else(|| EdaError::Tcl(format!("can't read \"{n}\": no such variable"))),
-                [n, v] => {
-                    self.vars.insert(n.clone(), v.clone());
-                    Ok(v.clone())
+            "set" => {
+                match args {
+                    [n] => self.vars.get(n).cloned().ok_or_else(|| {
+                        EdaError::Tcl(format!("can't read \"{n}\": no such variable"))
+                    }),
+                    [n, v] => {
+                        self.vars.insert(n.clone(), v.clone());
+                        Ok(v.clone())
+                    }
+                    _ => Err(EdaError::Tcl("wrong # args: set varName ?value?".into())),
                 }
-                _ => Err(EdaError::Tcl("wrong # args: set varName ?value?".into())),
-            },
+            }
             "unset" => {
                 for a in args {
                     self.vars.remove(a);
@@ -184,7 +180,11 @@ impl Interp {
                     [flag, t] if flag == "-nonewline" => (true, t.clone()),
                     [t] => (false, t.clone()),
                     [] => (false, String::new()),
-                    _ => return Err(EdaError::Tcl("wrong # args: puts ?-nonewline? string".into())),
+                    _ => {
+                        return Err(EdaError::Tcl(
+                            "wrong # args: puts ?-nonewline? string".into(),
+                        ))
+                    }
                 };
                 self.output.push_str(&text);
                 if !nonewline {
@@ -215,7 +215,9 @@ impl Interp {
                     self.vars.insert(n.clone(), v.clone());
                     Ok(v)
                 }
-                _ => Err(EdaError::Tcl("wrong # args: incr varName ?increment?".into())),
+                _ => Err(EdaError::Tcl(
+                    "wrong # args: incr varName ?increment?".into(),
+                )),
             },
             "if" => self.run_if(ctx, args),
             "foreach" => match args {
@@ -343,7 +345,9 @@ impl Interp {
                 }
                 None => return Ok(String::new()),
                 Some(other) => {
-                    return Err(EdaError::Tcl(format!("expected elseif/else, got `{other}`")))
+                    return Err(EdaError::Tcl(format!(
+                        "expected elseif/else, got `{other}`"
+                    )))
                 }
             }
         }
@@ -488,9 +492,7 @@ mod tests {
 
     #[test]
     fn proc_restores_shadowed_variables() {
-        let (r, _) = run(
-            "set x outer\nproc shadow {x} { set x inner }\nshadow bound\nset x",
-        );
+        let (r, _) = run("set x outer\nproc shadow {x} { set x inner }\nshadow bound\nset x");
         assert_eq!(r, "outer");
     }
 

@@ -54,13 +54,21 @@ impl P<'_> {
     }
 
     fn err(&self, msg: &str) -> EdaError {
-        EdaError::Tcl(format!("line {}: {msg} (in script: {:.40}…)", self.line, self.src))
+        EdaError::Tcl(format!(
+            "line {}: {msg} (in script: {:.40}…)",
+            self.line, self.src
+        ))
     }
 }
 
 /// Parses a script into commands.
 pub fn parse_script(src: &str) -> EdaResult<Vec<Command>> {
-    let mut p = P { chars: src.chars().collect(), pos: 0, line: 1, src };
+    let mut p = P {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        src,
+    };
     let mut commands = Vec::new();
 
     loop {
@@ -178,7 +186,9 @@ fn parse_quoted(p: &mut P<'_>) -> EdaResult<Word> {
             }
             Some('\\') => {
                 p.bump();
-                lit.push(unescape(p.bump().ok_or_else(|| p.err("dangling backslash"))?));
+                lit.push(unescape(
+                    p.bump().ok_or_else(|| p.err("dangling backslash"))?,
+                ));
             }
             Some(_) => lit.push(p.bump().expect("peeked")),
             None => return Err(p.err("unterminated quote")),
@@ -316,7 +326,9 @@ mod tests {
     #[test]
     fn variable_forms() {
         let cmds = parse_script("puts $abc-${d e}").unwrap();
-        let Word::Bare(parts) = &cmds[0].words[1] else { panic!() };
+        let Word::Bare(parts) = &cmds[0].words[1] else {
+            panic!()
+        };
         assert_eq!(
             parts,
             &vec![
@@ -330,14 +342,21 @@ mod tests {
     #[test]
     fn bracket_substitution() {
         let cmds = parse_script("set f [report_utilization -file u.rpt]").unwrap();
-        let Word::Bare(parts) = &cmds[0].words[2] else { panic!() };
-        assert_eq!(parts, &vec![Part::Cmd("report_utilization -file u.rpt".into())]);
+        let Word::Bare(parts) = &cmds[0].words[2] else {
+            panic!()
+        };
+        assert_eq!(
+            parts,
+            &vec![Part::Cmd("report_utilization -file u.rpt".into())]
+        );
     }
 
     #[test]
     fn quoted_word_with_substitutions() {
         let cmds = parse_script(r#"puts "value: $x [get_it] end""#).unwrap();
-        let Word::Bare(parts) = &cmds[0].words[1] else { panic!() };
+        let Word::Bare(parts) = &cmds[0].words[1] else {
+            panic!()
+        };
         // Lit("value: "), Var(x), Lit(" "), Cmd(get_it), Lit(" end")
         assert_eq!(parts.len(), 5);
         assert!(matches!(&parts[1], Part::Var(v) if v == "x"));
@@ -354,7 +373,9 @@ mod tests {
     #[test]
     fn escapes_in_bare_words() {
         let cmds = parse_script(r"puts a\ b").unwrap();
-        let Word::Bare(parts) = &cmds[0].words[1] else { panic!() };
+        let Word::Bare(parts) = &cmds[0].words[1] else {
+            panic!()
+        };
         assert_eq!(parts, &vec![Part::Lit("a b".into())]);
     }
 

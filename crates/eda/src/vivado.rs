@@ -16,8 +16,11 @@
 use crate::archmodel::ModelRegistry;
 use crate::checkpoint::{Checkpoint, CheckpointStore, FlowStep, Reuse};
 use crate::error::{EdaError, EdaResult};
+use crate::fault::{FaultInjector, FaultKind};
 use crate::hash::{combine, hash_str};
-use crate::place_route::{estimate_timing, impl_runtime_s, place_and_route, ImplDirective, ImplResult};
+use crate::place_route::{
+    estimate_timing, impl_runtime_s, place_and_route, ImplDirective, ImplResult,
+};
 use crate::project::{ClockConstraint, Project};
 use crate::report;
 use crate::synth::{synth_runtime_s, synthesize, SynthDirective, SynthResult};
@@ -54,6 +57,8 @@ pub struct VivadoSim {
     impl_result: Option<ImplResult>,
     /// Whether the next synth/impl step may use the incremental flow.
     incremental_requested: bool,
+    /// Optional fault injector (see [`crate::fault`]); `None` = clean runs.
+    faults: Option<FaultInjector>,
     /// Base seed for flow noise.
     seed: u64,
     /// Accumulated simulated tool time, in seconds.
@@ -80,10 +85,43 @@ impl VivadoSim {
             synth_result: None,
             impl_result: None,
             incremental_requested: false,
+            faults: None,
             seed,
             sim_time_s: 0.0,
             journal: Vec::new(),
         }
+    }
+
+    /// Attaches a fault injector. Sessions sharing a (cloned) injector
+    /// draw from one deterministic fault stream.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Rolls for a crash/timeout fault pair at a flow stage; on a hit,
+    /// charges the wasted simulated time and returns the error.
+    fn roll_stage_fault(
+        &mut self,
+        stage: &str,
+        timeout: FaultKind,
+        crash: FaultKind,
+    ) -> EdaResult<()> {
+        let Some(inj) = self.faults.clone() else {
+            return Ok(());
+        };
+        if inj.fires(timeout) {
+            self.sim_time_s += inj.plan().timeout_cost_s;
+            self.log(format!("{stage}: killed after exceeding time budget"));
+            return Err(EdaError::Timeout(format!(
+                "{stage} exceeded its time budget"
+            )));
+        }
+        if inj.fires(crash) {
+            self.sim_time_s += inj.plan().crash_cost_s;
+            self.log(format!("{stage}: tool process died unexpectedly"));
+            return Err(EdaError::ToolCrash(format!("{stage} died unexpectedly")));
+        }
+        Ok(())
     }
 
     /// Shares a checkpoint store across sessions (Dovado's incremental flow
@@ -196,9 +234,10 @@ impl VivadoSim {
         while i < args.len() {
             match args[i].as_str() {
                 "-library" | "-lib" => {
-                    library = Some(args.get(i + 1).cloned().ok_or_else(|| {
-                        EdaError::Tcl("read_*: -library needs a value".into())
-                    })?);
+                    library =
+                        Some(args.get(i + 1).cloned().ok_or_else(|| {
+                            EdaError::Tcl("read_*: -library needs a value".into())
+                        })?);
                     i += 2;
                 }
                 "-sv" => {
@@ -222,7 +261,8 @@ impl VivadoSim {
                 .cloned()
                 .ok_or_else(|| EdaError::FileNotFound(p.clone()))?;
             let lib = library.clone();
-            self.project_mut()?.add_source(&p, lang, &text, lib.as_deref())?;
+            self.project_mut()?
+                .add_source(&p, lang, &text, lib.as_deref())?;
             self.sim_time_s += 0.5;
             self.log(format!("read {p} as {lang}"));
         }
@@ -244,9 +284,9 @@ impl VivadoSim {
                 // `set_property generic {A=1 B=2} [current_fileset]`
                 let proj = self.project_mut()?;
                 for pair in value.split_whitespace() {
-                    let (k, v) = pair.split_once('=').ok_or_else(|| {
-                        EdaError::Tcl(format!("bad generic assignment `{pair}`"))
-                    })?;
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| EdaError::Tcl(format!("bad generic assignment `{pair}`")))?;
                     let vi: i64 = parse_generic_value(v)?;
                     proj.generics.insert(k.to_string(), vi);
                 }
@@ -280,9 +320,10 @@ impl VivadoSim {
                     let v = args
                         .get(i + 1)
                         .ok_or_else(|| EdaError::Tcl("create_clock: -period needs value".into()))?;
-                    period = Some(v.parse::<f64>().map_err(|_| {
-                        EdaError::Tcl(format!("create_clock: bad period `{v}`"))
-                    })?);
+                    period =
+                        Some(v.parse::<f64>().map_err(|_| {
+                            EdaError::Tcl(format!("create_clock: bad period `{v}`"))
+                        })?);
                     i += 2;
                 }
                 "-name" => i += 2,
@@ -293,13 +334,17 @@ impl VivadoSim {
                 }
             }
         }
-        let period =
-            period.ok_or_else(|| EdaError::Tcl("create_clock: missing -period".into()))?;
+        let period = period.ok_or_else(|| EdaError::Tcl("create_clock: missing -period".into()))?;
         if period <= 0.0 {
-            return Err(EdaError::Tcl(format!("create_clock: non-positive period {period}")));
+            return Err(EdaError::Tcl(format!(
+                "create_clock: non-positive period {period}"
+            )));
         }
         let port = port.unwrap_or_else(|| "clk".into());
-        self.project_mut()?.clocks.push(ClockConstraint { port: port.clone(), period_ns: period });
+        self.project_mut()?.clocks.push(ClockConstraint {
+            port: port.clone(),
+            period_ns: period,
+        });
         self.log(format!("create_clock {period} ns on {port}"));
         Ok(String::new())
     }
@@ -372,12 +417,22 @@ impl VivadoSim {
                 }
                 "-incremental" => {
                     incremental = true;
-                    i += if args.get(i + 1).is_some_and(|a| !a.starts_with('-')) { 2 } else { 1 };
+                    i += if args.get(i + 1).is_some_and(|a| !a.starts_with('-')) {
+                        2
+                    } else {
+                        1
+                    };
                 }
                 "-mode" | "-flatten_hierarchy" => i += 2,
                 _ => i += 1,
             }
         }
+
+        self.roll_stage_fault(
+            "synth_design",
+            FaultKind::SynthTimeout,
+            FaultKind::SynthCrash,
+        )?;
 
         let registry = Arc::clone(&self.registry);
         let proj = self
@@ -393,7 +448,8 @@ impl VivadoSim {
         let synth_key = combine(netlist.design_hash, hash_str(directive.as_vivado()));
 
         let reuse = if incremental {
-            self.checkpoints.classify(synth_key, &module, &part.name, FlowStep::Synthesis)
+            self.checkpoints
+                .classify(synth_key, &module, &part.name, FlowStep::Synthesis)
         } else if self
             .checkpoints
             .classify(synth_key, &module, &part.name, FlowStep::Synthesis)
@@ -407,7 +463,10 @@ impl VivadoSim {
             Reuse::None
         };
 
-        let result = match (reuse, self.checkpoints.get_exact(synth_key, FlowStep::Synthesis)) {
+        let result = match (
+            reuse,
+            self.checkpoints.get_exact(synth_key, FlowStep::Synthesis),
+        ) {
             (Reuse::Exact, Some(Checkpoint::Synth(prev))) => {
                 self.sim_time_s += synth_runtime_s(netlist.cells.total(), directive)
                     * Reuse::Exact.runtime_factor();
@@ -444,7 +503,9 @@ impl VivadoSim {
 
     fn cmd_place_design(&mut self, _args: &[String]) -> EdaResult<String> {
         if self.state == FlowState::Fresh {
-            return Err(EdaError::FlowOrder("place_design before synth_design".into()));
+            return Err(EdaError::FlowOrder(
+                "place_design before synth_design".into(),
+            ));
         }
         self.state = FlowState::Placed;
         // Placement cost is folded into route_design; charge a token amount.
@@ -455,7 +516,9 @@ impl VivadoSim {
 
     fn cmd_route_design(&mut self, args: &[String]) -> EdaResult<String> {
         if self.state == FlowState::Fresh {
-            return Err(EdaError::FlowOrder("route_design before synth_design".into()));
+            return Err(EdaError::FlowOrder(
+                "route_design before synth_design".into(),
+            ));
         }
         let mut directive = ImplDirective::Default;
         let mut i = 0;
@@ -471,6 +534,12 @@ impl VivadoSim {
             }
         }
 
+        self.roll_stage_fault(
+            "route_design",
+            FaultKind::RouteTimeout,
+            FaultKind::RouteCrash,
+        )?;
+
         let synth = self
             .synth_result
             .clone()
@@ -485,7 +554,8 @@ impl VivadoSim {
         );
         let module = synth.netlist.module.clone();
         let reuse = if self.incremental_requested {
-            self.checkpoints.classify(impl_key, &module, &part.name, FlowStep::Implementation)
+            self.checkpoints
+                .classify(impl_key, &module, &part.name, FlowStep::Implementation)
         } else if self
             .checkpoints
             .classify(impl_key, &module, &part.name, FlowStep::Implementation)
@@ -496,7 +566,11 @@ impl VivadoSim {
             Reuse::None
         };
 
-        let result = match (reuse, self.checkpoints.get_exact(impl_key, FlowStep::Implementation)) {
+        let result = match (
+            reuse,
+            self.checkpoints
+                .get_exact(impl_key, FlowStep::Implementation),
+        ) {
             (Reuse::Exact, Some(Checkpoint::Impl(prev))) => {
                 self.sim_time_s +=
                     impl_runtime_s(synth.netlist.cells.total(), prev.utilization, directive)
@@ -544,8 +618,11 @@ impl VivadoSim {
             .synth_result
             .as_ref()
             .ok_or_else(|| EdaError::FlowOrder("report_utilization before synth_design".into()))?;
-        let netlist =
-            self.impl_result.as_ref().map(|r| &r.netlist).unwrap_or(&synth.netlist);
+        let netlist = self
+            .impl_result
+            .as_ref()
+            .map(|r| &r.netlist)
+            .unwrap_or(&synth.netlist);
         let proj = self.project.as_ref().expect("have synth result");
         let text = report::write_utilization_report(&netlist.module, &netlist.cells, &proj.part);
         self.finish_report(args, text)
@@ -576,6 +653,17 @@ impl VivadoSim {
     /// Honors `-file <path>`; otherwise returns the text as the command
     /// result.
     fn finish_report(&mut self, args: &[String], text: String) -> EdaResult<String> {
+        let text = match self.faults.clone() {
+            Some(inj) if inj.fires(FaultKind::ReportTruncated) => {
+                self.log("report write cut off mid-file".into());
+                inj.mangle_report(FaultKind::ReportTruncated, &text)
+            }
+            Some(inj) if inj.fires(FaultKind::ReportGarbled) => {
+                self.log("report written with corrupted values".into());
+                inj.mangle_report(FaultKind::ReportGarbled, &text)
+            }
+            _ => text,
+        };
         let mut i = 0;
         while i < args.len() {
             if args[i] == "-file" {
@@ -600,7 +688,11 @@ impl VivadoSim {
         let hash = match (&self.impl_result, &self.synth_result) {
             (Some(r), _) => combine(r.netlist.design_hash, 2),
             (None, Some(s)) => combine(s.netlist.design_hash, 1),
-            _ => return Err(EdaError::FlowOrder("write_checkpoint before synth_design".into())),
+            _ => {
+                return Err(EdaError::FlowOrder(
+                    "write_checkpoint before synth_design".into(),
+                ))
+            }
         };
         self.fs.insert(path.clone(), format!("dcp:{hash:016x}"));
         self.sim_time_s += 3.0;
@@ -620,12 +712,28 @@ impl VivadoSim {
         }
         let path = path.ok_or_else(|| EdaError::Tcl("read_checkpoint: missing path".into()))?;
         if !self.fs.contains_key(&path) {
-            return Err(EdaError::Checkpoint(format!("checkpoint `{path}` does not exist")));
+            return Err(EdaError::Checkpoint(format!(
+                "checkpoint `{path}` does not exist"
+            )));
+        }
+        if let Some(inj) = self.faults.clone() {
+            if inj.fires(FaultKind::CheckpointCorrupt) {
+                // The on-disk artifact is gone for good: drop it so a
+                // retry that still references it fails fast instead of
+                // re-reading garbage.
+                self.fs.remove(&path);
+                self.log(format!("read_checkpoint {path}: integrity check FAILED"));
+                return Err(EdaError::Checkpoint(format!(
+                    "checkpoint `{path}` is corrupt"
+                )));
+            }
         }
         if incremental {
             self.incremental_requested = true;
         }
-        self.log(format!("read_checkpoint {path} (incremental={incremental})"));
+        self.log(format!(
+            "read_checkpoint {path} (incremental={incremental})"
+        ));
         Ok(String::new())
     }
 }
@@ -780,7 +888,10 @@ endmodule"#;
     #[test]
     fn flow_order_enforced() {
         let mut v = session_with_fifo();
-        assert!(matches!(v.eval("route_design"), Err(EdaError::FlowOrder(_))));
+        assert!(matches!(
+            v.eval("route_design"),
+            Err(EdaError::FlowOrder(_))
+        ));
         assert!(matches!(
             v.eval("report_utilization"),
             Err(EdaError::FlowOrder(_))
@@ -810,10 +921,12 @@ endmodule"#;
     #[test]
     fn exact_rerun_uses_cache_and_matches() {
         let mut v = session_with_fifo();
-        v.eval("synth_design -top fifo_v3 -generic DEPTH=64").unwrap();
+        v.eval("synth_design -top fifo_v3 -generic DEPTH=64")
+            .unwrap();
         let first = v.synth_result().unwrap().netlist.clone();
         let t_after_first = v.sim_time_s;
-        v.eval("synth_design -top fifo_v3 -generic DEPTH=64").unwrap();
+        v.eval("synth_design -top fifo_v3 -generic DEPTH=64")
+            .unwrap();
         let second = v.synth_result().unwrap().netlist.clone();
         let t_second = v.sim_time_s - t_after_first;
         assert_eq!(first, second);
@@ -828,7 +941,8 @@ endmodule"#;
         // Session A: cold run at DEPTH=64 leaves a checkpoint in the store.
         let store = {
             let mut v = session_with_fifo();
-            v.eval("synth_design -top fifo_v3 -generic DEPTH=64").unwrap();
+            v.eval("synth_design -top fifo_v3 -generic DEPTH=64")
+                .unwrap();
             v.eval("write_checkpoint post_synth.dcp").unwrap();
             v.checkpoint_store()
         };
@@ -837,14 +951,17 @@ endmodule"#;
         vb.set_checkpoint_store(store.clone());
         vb.write_file("post_synth.dcp", "dcp:basis");
         let t0 = vb.sim_time_s;
-        vb.eval("read_checkpoint -incremental post_synth.dcp").unwrap();
-        vb.eval("synth_design -top fifo_v3 -generic DEPTH=65").unwrap();
+        vb.eval("read_checkpoint -incremental post_synth.dcp")
+            .unwrap();
+        vb.eval("synth_design -top fifo_v3 -generic DEPTH=65")
+            .unwrap();
         let t_incr = vb.sim_time_s - t0;
 
         // Session C, fresh store: DEPTH=65 from scratch.
         let mut vc = session_with_fifo();
         let t1 = vc.sim_time_s;
-        vc.eval("synth_design -top fifo_v3 -generic DEPTH=65").unwrap();
+        vc.eval("synth_design -top fifo_v3 -generic DEPTH=65")
+            .unwrap();
         let t_full = vc.sim_time_s - t1;
 
         assert!(

@@ -28,7 +28,11 @@ impl Board {
 /// Built-in board list.
 pub fn builtin_boards() -> Vec<Board> {
     vec![
-        Board { name: "kc705".into(), part_name: "xc7k70tfbv676-1".into(), ref_clock_mhz: 200.0 },
+        Board {
+            name: "kc705".into(),
+            part_name: "xc7k70tfbv676-1".into(),
+            ref_clock_mhz: 200.0,
+        },
         Board {
             name: "genesys2".into(),
             part_name: "xc7k325tffg900-2".into(),
@@ -59,7 +63,9 @@ pub fn builtin_boards() -> Vec<Board> {
 
 /// Finds a board by case-insensitive name.
 pub fn find_board(name: &str) -> Option<Board> {
-    builtin_boards().into_iter().find(|b| b.name.eq_ignore_ascii_case(name))
+    builtin_boards()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

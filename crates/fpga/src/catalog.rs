@@ -19,13 +19,76 @@ impl Catalog {
         let parts = vec![
             // --- 28 nm, 7-series ---
             // The paper's implementation target: Kintex-7 70T.
-            Part::series7("xc7k70tfbv676-1", Family::Kintex7, 41_000, 82_000, 135, 240, 300, -1),
-            Part::series7("xc7k70tfbv676-2", Family::Kintex7, 41_000, 82_000, 135, 240, 300, -2),
-            Part::series7("xc7k160tffg676-1", Family::Kintex7, 101_400, 202_800, 325, 600, 400, -1),
-            Part::series7("xc7k325tffg900-2", Family::Kintex7, 203_800, 407_600, 445, 840, 500, -2),
-            Part::series7("xc7a35ticsg324-1l", Family::Artix7, 20_800, 41_600, 50, 90, 210, -1),
-            Part::series7("xc7a100tcsg324-1", Family::Artix7, 63_400, 126_800, 135, 240, 210, -1),
-            Part::series7("xc7v585tffg1157-1", Family::Virtex7, 364_200, 728_400, 795, 1260, 600, -1),
+            Part::series7(
+                "xc7k70tfbv676-1",
+                Family::Kintex7,
+                41_000,
+                82_000,
+                135,
+                240,
+                300,
+                -1,
+            ),
+            Part::series7(
+                "xc7k70tfbv676-2",
+                Family::Kintex7,
+                41_000,
+                82_000,
+                135,
+                240,
+                300,
+                -2,
+            ),
+            Part::series7(
+                "xc7k160tffg676-1",
+                Family::Kintex7,
+                101_400,
+                202_800,
+                325,
+                600,
+                400,
+                -1,
+            ),
+            Part::series7(
+                "xc7k325tffg900-2",
+                Family::Kintex7,
+                203_800,
+                407_600,
+                445,
+                840,
+                500,
+                -2,
+            ),
+            Part::series7(
+                "xc7a35ticsg324-1l",
+                Family::Artix7,
+                20_800,
+                41_600,
+                50,
+                90,
+                210,
+                -1,
+            ),
+            Part::series7(
+                "xc7a100tcsg324-1",
+                Family::Artix7,
+                63_400,
+                126_800,
+                135,
+                240,
+                210,
+                -1,
+            ),
+            Part::series7(
+                "xc7v585tffg1157-1",
+                Family::Virtex7,
+                364_200,
+                728_400,
+                795,
+                1260,
+                600,
+                -1,
+            ),
             // --- 16 nm, UltraScale+ ---
             // The paper's second target: Zynq UltraScale+ ZU3EG.
             Part::ultrascale_plus(
@@ -83,7 +146,9 @@ impl Catalog {
 
     /// Exact (case-insensitive) lookup.
     pub fn find(&self, name: &str) -> Option<&Part> {
-        self.parts.iter().find(|p| p.name.eq_ignore_ascii_case(name))
+        self.parts
+            .iter()
+            .find(|p| p.name.eq_ignore_ascii_case(name))
     }
 
     /// Prefix lookup: `xc7k70t` resolves to the first part whose name
@@ -103,7 +168,8 @@ impl Catalog {
 
     /// Adds a custom part (replaces an existing part of the same name).
     pub fn add(&mut self, part: Part) {
-        self.parts.retain(|p| !p.name.eq_ignore_ascii_case(&part.name));
+        self.parts
+            .retain(|p| !p.name.eq_ignore_ascii_case(&part.name));
         self.parts.push(part);
     }
 }
@@ -159,9 +225,24 @@ mod tests {
     fn add_replaces_same_name() {
         let mut c = Catalog::builtin();
         let n = c.parts().len();
-        c.add(Part::series7("xc7k70tfbv676-1", Family::Kintex7, 1, 1, 1, 1, 1, -1));
+        c.add(Part::series7(
+            "xc7k70tfbv676-1",
+            Family::Kintex7,
+            1,
+            1,
+            1,
+            1,
+            1,
+            -1,
+        ));
         assert_eq!(c.parts().len(), n);
-        assert_eq!(c.find("xc7k70tfbv676-1").unwrap().capacity.get(ResourceKind::Lut), 1);
+        assert_eq!(
+            c.find("xc7k70tfbv676-1")
+                .unwrap()
+                .capacity
+                .get(ResourceKind::Lut),
+            1
+        );
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub struct Part {
 
 impl Part {
     /// Builds a 7-series part.
+    #[allow(clippy::too_many_arguments)] // a device spec sheet, not an API
     pub fn series7(
         name: &str,
         family: Family,
@@ -161,7 +162,16 @@ mod tests {
 
     #[test]
     fn series7_part_has_expected_shape() {
-        let p = Part::series7("XC7K70TFBV676-1", Family::Kintex7, 41000, 82000, 135, 240, 300, -1);
+        let p = Part::series7(
+            "XC7K70TFBV676-1",
+            Family::Kintex7,
+            41000,
+            82000,
+            135,
+            240,
+            300,
+            -1,
+        );
         assert_eq!(p.name, "xc7k70tfbv676-1");
         assert_eq!(p.capacity.get(ResourceKind::Lut), 41000);
         assert!(!p.has_uram());

@@ -172,7 +172,10 @@ impl ResourceSet {
 
     /// Whether this set fits within `capacity` on every kind.
     pub fn fits_within(&self, capacity: &ResourceSet) -> bool {
-        self.counts.iter().zip(capacity.counts.iter()).all(|(u, c)| u <= c)
+        self.counts
+            .iter()
+            .zip(capacity.counts.iter())
+            .all(|(u, c)| u <= c)
     }
 
     /// Kinds where this set exceeds `capacity`, with the overflow amount.
@@ -350,7 +353,11 @@ mod tests {
     #[test]
     fn report_label_roundtrip() {
         for k in ResourceKind::ALL {
-            assert_eq!(ResourceKind::from_report_label(k.report_label()), Some(k), "{k}");
+            assert_eq!(
+                ResourceKind::from_report_label(k.report_label()),
+                Some(k),
+                "{k}"
+            );
         }
         assert_eq!(ResourceKind::from_report_label("Slice LUTs"), Some(Lut));
         assert_eq!(ResourceKind::from_report_label("RAMB36"), Some(Bram));

@@ -165,8 +165,12 @@ impl Expr {
     pub fn eval(&self, env: &BTreeMap<String, i64>) -> Result<i64, EvalError> {
         match self {
             Expr::Int(v) => Ok(*v),
-            Expr::Str(_) => Err(EvalError::Domain("string literal in integer context".into())),
-            Expr::Ident(name) => lookup_ci(env, name).ok_or_else(|| EvalError::Unbound(name.clone())),
+            Expr::Str(_) => Err(EvalError::Domain(
+                "string literal in integer context".into(),
+            )),
+            Expr::Ident(name) => {
+                lookup_ci(env, name).ok_or_else(|| EvalError::Unbound(name.clone()))
+            }
             Expr::Neg(e) => e.eval(env)?.checked_neg().ok_or(EvalError::Overflow),
             Expr::Bin(op, l, r) => {
                 let a = l.eval(env)?;
@@ -211,12 +215,15 @@ impl Expr {
                 // (the other may reference still-unbound names).
                 if norm == "cond" {
                     if let [c, a, b] = args.as_slice() {
-                        return if c.eval(env)? != 0 { a.eval(env) } else { b.eval(env) };
+                        return if c.eval(env)? != 0 {
+                            a.eval(env)
+                        } else {
+                            b.eval(env)
+                        };
                     }
                     return Err(EvalError::Domain("cond needs 3 arguments".into()));
                 }
-                let vals: Vec<i64> =
-                    args.iter().map(|a| a.eval(env)).collect::<Result<_, _>>()?;
+                let vals: Vec<i64> = args.iter().map(|a| a.eval(env)).collect::<Result<_, _>>()?;
                 // Comparison nodes produced by the parsers: `cmp<op>`.
                 if let Some(op) = norm.strip_prefix("cmp") {
                     if let [a, b] = vals.as_slice() {
@@ -311,7 +318,9 @@ fn lookup_ci(env: &BTreeMap<String, i64>, name: &str) -> Option<i64> {
     if let Some(v) = env.get(name) {
         return Some(*v);
     }
-    env.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| *v)
+    env.iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| *v)
 }
 
 /// Direction of an index range.
@@ -371,7 +380,11 @@ pub struct TypeSpec {
 impl TypeSpec {
     /// A scalar type with the given name.
     pub fn scalar(name: impl Into<String>) -> Self {
-        TypeSpec { name: name.into(), ranges: Vec::new(), signed: false }
+        TypeSpec {
+            name: name.into(),
+            ranges: Vec::new(),
+            signed: false,
+        }
     }
 
     /// Total bit width under `env` (product of packed dimensions; 1 when
@@ -501,12 +514,16 @@ pub struct ModuleInterface {
 impl ModuleInterface {
     /// Finds a parameter by case-insensitive name.
     pub fn parameter(&self, name: &str) -> Option<&Parameter> {
-        self.parameters.iter().find(|p| p.name.eq_ignore_ascii_case(name))
+        self.parameters
+            .iter()
+            .find(|p| p.name.eq_ignore_ascii_case(name))
     }
 
     /// Finds a port by case-insensitive name.
     pub fn port(&self, name: &str) -> Option<&Port> {
-        self.ports.iter().find(|p| p.name.eq_ignore_ascii_case(name))
+        self.ports
+            .iter()
+            .find(|p| p.name.eq_ignore_ascii_case(name))
     }
 
     /// User-overridable parameters (excludes `localparam`).
@@ -520,7 +537,11 @@ impl ModuleInterface {
         self.ports
             .iter()
             .find(|p| p.looks_like_clock())
-            .or_else(|| self.ports.iter().find(|p| p.direction == Direction::In && p.ty.is_single_bit()))
+            .or_else(|| {
+                self.ports
+                    .iter()
+                    .find(|p| p.direction == Direction::In && p.ty.is_single_bit())
+            })
     }
 }
 
@@ -597,7 +618,9 @@ pub struct SourceFile {
 impl SourceFile {
     /// Finds a module interface by case-insensitive name.
     pub fn module(&self, name: &str) -> Option<&ModuleInterface> {
-        self.modules.iter().find(|m| m.name.eq_ignore_ascii_case(name))
+        self.modules
+            .iter()
+            .find(|m| m.name.eq_ignore_ascii_case(name))
     }
 
     /// All library names mentioned in context clauses (VHDL), deduplicated,
@@ -668,7 +691,10 @@ mod tests {
         assert_eq!(e.eval(&env(&[("DEPTH", 512)])).unwrap(), 9);
         assert_eq!(e.eval(&env(&[("DEPTH", 513)])).unwrap(), 10);
         assert_eq!(e.eval(&env(&[("DEPTH", 1)])).unwrap(), 0);
-        assert!(matches!(e.eval(&env(&[("DEPTH", 0)])), Err(EvalError::Domain(_))));
+        assert!(matches!(
+            e.eval(&env(&[("DEPTH", 0)])),
+            Err(EvalError::Domain(_))
+        ));
     }
 
     #[test]
@@ -729,7 +755,10 @@ mod tests {
     #[test]
     fn eval_unknown_function() {
         let e = Expr::Call("frobnicate".into(), vec![]);
-        assert!(matches!(e.eval(&env(&[])), Err(EvalError::UnknownFunction(_))));
+        assert!(matches!(
+            e.eval(&env(&[])),
+            Err(EvalError::UnknownFunction(_))
+        ));
     }
 
     #[test]
@@ -771,9 +800,17 @@ mod tests {
 
     #[test]
     fn range_width_downto_and_to() {
-        let r = Range { left: Expr::Int(31), right: Expr::Int(0), dir: RangeDir::Downto };
+        let r = Range {
+            left: Expr::Int(31),
+            right: Expr::Int(0),
+            dir: RangeDir::Downto,
+        };
         assert_eq!(r.width(&env(&[])).unwrap(), 32);
-        let r2 = Range { left: Expr::Int(0), right: Expr::Int(7), dir: RangeDir::To };
+        let r2 = Range {
+            left: Expr::Int(0),
+            right: Expr::Int(7),
+            dir: RangeDir::To,
+        };
         assert_eq!(r2.width(&env(&[])).unwrap(), 8);
     }
 
@@ -789,7 +826,11 @@ mod tests {
 
     #[test]
     fn range_width_never_negative() {
-        let r = Range { left: Expr::Int(0), right: Expr::Int(5), dir: RangeDir::Downto };
+        let r = Range {
+            left: Expr::Int(0),
+            right: Expr::Int(5),
+            dir: RangeDir::Downto,
+        };
         assert_eq!(r.width(&env(&[])).unwrap(), 0);
     }
 
@@ -798,8 +839,16 @@ mod tests {
         let t = TypeSpec {
             name: "logic".into(),
             ranges: vec![
-                Range { left: Expr::Int(3), right: Expr::Int(0), dir: RangeDir::Downto },
-                Range { left: Expr::Int(7), right: Expr::Int(0), dir: RangeDir::Downto },
+                Range {
+                    left: Expr::Int(3),
+                    right: Expr::Int(0),
+                    dir: RangeDir::Downto,
+                },
+                Range {
+                    left: Expr::Int(7),
+                    right: Expr::Int(0),
+                    dir: RangeDir::Downto,
+                },
             ],
             signed: false,
         };
@@ -855,7 +904,10 @@ mod tests {
                 Parameter {
                     name: "ADDR_W".into(),
                     ty: None,
-                    default: Some(Expr::Call("$clog2".into(), vec![Expr::Ident("DEPTH".into())])),
+                    default: Some(Expr::Call(
+                        "$clog2".into(),
+                        vec![Expr::Ident("DEPTH".into())],
+                    )),
                     span: Span::dummy(),
                     local: true,
                 },
@@ -887,7 +939,10 @@ mod tests {
             ],
             ..Default::default()
         };
-        assert_eq!(sf.libraries(), vec!["ieee".to_string(), "neorv32".to_string()]);
+        assert_eq!(
+            sf.libraries(),
+            vec!["ieee".to_string(), "neorv32".to_string()]
+        );
     }
 
     #[test]

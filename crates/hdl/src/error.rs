@@ -55,17 +55,29 @@ impl Diagnostics {
 
     /// Records a note.
     pub fn note(&mut self, message: impl Into<String>, span: Span) {
-        self.items.push(Diagnostic { severity: Severity::Note, message: message.into(), span });
+        self.items.push(Diagnostic {
+            severity: Severity::Note,
+            message: message.into(),
+            span,
+        });
     }
 
     /// Records a warning.
     pub fn warn(&mut self, message: impl Into<String>, span: Span) {
-        self.items.push(Diagnostic { severity: Severity::Warning, message: message.into(), span });
+        self.items.push(Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        });
     }
 
     /// Records an error.
     pub fn error(&mut self, message: impl Into<String>, span: Span) {
-        self.items.push(Diagnostic { severity: Severity::Error, message: message.into(), span });
+        self.items.push(Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        });
     }
 
     /// All recorded diagnostics, in emission order.
@@ -107,7 +119,10 @@ pub struct ParseError {
 impl ParseError {
     /// Creates a new parse error.
     pub fn new(message: impl Into<String>, span: Span) -> Self {
-        ParseError { message: message.into(), span }
+        ParseError {
+            message: message.into(),
+            span,
+        }
     }
 }
 
@@ -133,7 +148,10 @@ mod tests {
         d.warn("w", Span::dummy());
         d.error("e", Span::dummy());
         let sev: Vec<_> = d.iter().map(|x| x.severity).collect();
-        assert_eq!(sev, vec![Severity::Note, Severity::Warning, Severity::Error]);
+        assert_eq!(
+            sev,
+            vec![Severity::Note, Severity::Warning, Severity::Error]
+        );
         assert_eq!(d.len(), 3);
         assert!(d.has_errors());
     }

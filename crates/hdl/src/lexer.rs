@@ -42,7 +42,11 @@ pub struct Token {
 impl Token {
     /// End-of-file token at the given span.
     pub fn eof(span: Span) -> Self {
-        Token { kind: TokenKind::Eof, text: String::new(), span }
+        Token {
+            kind: TokenKind::Eof,
+            text: String::new(),
+            span,
+        }
     }
 
     /// True if this token is an identifier equal to `kw` ignoring case.
@@ -88,7 +92,12 @@ pub struct Cursor<'a> {
 impl<'a> Cursor<'a> {
     /// Creates a cursor at the start of `src`.
     pub fn new(src: &'a str) -> Self {
-        Cursor { src, pos: 0, line: 1, col: 1 }
+        Cursor {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     /// The full source text.
@@ -190,7 +199,7 @@ pub struct TokenStream {
 impl TokenStream {
     /// Wraps a token vector; appends an EOF token if missing.
     pub fn new(mut tokens: Vec<Token>) -> Self {
-        if tokens.last().map_or(true, |t| !t.is_eof()) {
+        if tokens.last().is_none_or(|t| !t.is_eof()) {
             let span = tokens.last().map(|t| t.span).unwrap_or_default();
             tokens.push(Token::eof(span));
         }
@@ -383,7 +392,11 @@ mod tests {
     use super::*;
 
     fn tok(kind: TokenKind, text: &str) -> Token {
-        Token { kind, text: text.into(), span: Span::dummy() }
+        Token {
+            kind,
+            text: text.into(),
+            span: Span::dummy(),
+        }
     }
 
     #[test]

@@ -45,10 +45,7 @@ pub use span::Span;
 ///
 /// `Language::Verilog` and `Language::SystemVerilog` share a front-end (the
 /// parser upgrades the reported language when SV-only constructs appear).
-pub fn parse_source(
-    language: Language,
-    source: &str,
-) -> ParseResult<(SourceFile, Diagnostics)> {
+pub fn parse_source(language: Language, source: &str) -> ParseResult<(SourceFile, Diagnostics)> {
     match language {
         Language::Vhdl => vhdl::parse(source),
         Language::Verilog | Language::SystemVerilog => verilog::parse(source),
@@ -79,25 +76,24 @@ mod tests {
 
     #[test]
     fn dispatches_verilog() {
-        let (f, _) =
-            parse_source(Language::Verilog, "module m(input wire c); endmodule").unwrap();
+        let (f, _) = parse_source(Language::Verilog, "module m(input wire c); endmodule").unwrap();
         assert_eq!(f.modules[0].language, Language::Verilog);
     }
 
     #[test]
     fn systemverilog_upgrade() {
-        let (f, _) = parse_source(
-            Language::Verilog,
-            "module m(input logic c); endmodule",
-        )
-        .unwrap();
+        let (f, _) = parse_source(Language::Verilog, "module m(input logic c); endmodule").unwrap();
         assert_eq!(f.modules[0].language, Language::SystemVerilog);
     }
 
     #[test]
     fn parse_named_by_extension() {
-        assert!(parse_named("core.vhd", "entity e is end e;").unwrap().is_ok());
-        assert!(parse_named("core.sv", "module m; endmodule").unwrap().is_ok());
+        assert!(parse_named("core.vhd", "entity e is end e;")
+            .unwrap()
+            .is_ok());
+        assert!(parse_named("core.sv", "module m; endmodule")
+            .unwrap()
+            .is_ok());
         assert!(parse_named("core.txt", "x").is_none());
         assert!(parse_named("noext", "x").is_none());
     }

@@ -23,12 +23,22 @@ pub struct Span {
 impl Span {
     /// Creates a new span.
     pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// A zero-width placeholder span (used for synthesized nodes).
     pub fn dummy() -> Self {
-        Span { start: 0, end: 0, line: 0, col: 0 }
+        Span {
+            start: 0,
+            end: 0,
+            line: 0,
+            col: 0,
+        }
     }
 
     /// Returns true if this is the placeholder produced by [`Span::dummy`].
@@ -54,7 +64,11 @@ impl Span {
         if self.is_dummy() {
             return other;
         }
-        let (first, _last) = if self.start <= other.start { (*self, other) } else { (other, *self) };
+        let (first, _last) = if self.start <= other.start {
+            (*self, other)
+        } else {
+            (other, *self)
+        };
         Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),

@@ -10,15 +10,30 @@ use crate::lexer::{parse_decimal, parse_radix, Cursor, Token, TokenKind, TokenSt
 
 /// Multi-character operators, longest first so maximal munch works.
 const MULTI_SYMS: &[&str] = &[
-    "<<<", ">>>", "===", "!==", "<->", "**", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
-    "::", "+:", "-:", "->", "'{",
+    "<<<", ">>>", "===", "!==", "<->", "**", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "::",
+    "+:", "-:", "->", "'{",
 ];
 
 /// Directives whose whole line is irrelevant to interface extraction.
 const LINE_DIRECTIVES: &[&str] = &[
-    "define", "undef", "timescale", "ifdef", "ifndef", "elsif", "else", "endif",
-    "default_nettype", "celldefine", "endcelldefine", "resetall", "pragma", "line",
-    "unconnected_drive", "nounconnected_drive", "begin_keywords", "end_keywords",
+    "define",
+    "undef",
+    "timescale",
+    "ifdef",
+    "ifndef",
+    "elsif",
+    "else",
+    "endif",
+    "default_nettype",
+    "celldefine",
+    "endcelldefine",
+    "resetall",
+    "pragma",
+    "line",
+    "unconnected_drive",
+    "nounconnected_drive",
+    "begin_keywords",
+    "end_keywords",
 ];
 
 /// Lexes a Verilog/SystemVerilog buffer into a token stream.
@@ -47,7 +62,10 @@ pub fn lex(source: &str) -> ParseResult<TokenStream> {
                     }
                 }
                 if !closed {
-                    return Err(ParseError::new("unterminated block comment", cur.span_from(mark)));
+                    return Err(ParseError::new(
+                        "unterminated block comment",
+                        cur.span_from(mark),
+                    ));
                 }
                 continue;
             }
@@ -65,7 +83,9 @@ pub fn lex(source: &str) -> ParseResult<TokenStream> {
         // Compiler directives.
         if c == '`' {
             cur.bump();
-            let word = cur.eat_while(|ch| ch.is_ascii_alphanumeric() || ch == '_').to_string();
+            let word = cur
+                .eat_while(|ch| ch.is_ascii_alphanumeric() || ch == '_')
+                .to_string();
             if word == "include" {
                 // `include "file" — emit a marker symbol; the string token
                 // follows naturally.
@@ -95,7 +115,11 @@ pub fn lex(source: &str) -> ParseResult<TokenStream> {
             let word = cur
                 .eat_while(|ch| ch.is_ascii_alphanumeric() || ch == '_' || ch == '$')
                 .to_string();
-            out.push(Token { kind: TokenKind::Ident, text: word, span: cur.span_from(mark) });
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text: word,
+                span: cur.span_from(mark),
+            });
             continue;
         }
 
@@ -104,9 +128,16 @@ pub fn lex(source: &str) -> ParseResult<TokenStream> {
             cur.bump();
             let word = cur.eat_while(|ch| !ch.is_whitespace()).to_string();
             if word.is_empty() {
-                return Err(ParseError::new("empty escaped identifier", cur.span_from(mark)));
+                return Err(ParseError::new(
+                    "empty escaped identifier",
+                    cur.span_from(mark),
+                ));
             }
-            out.push(Token { kind: TokenKind::Ident, text: word, span: cur.span_from(mark) });
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text: word,
+                span: cur.span_from(mark),
+            });
             continue;
         }
 
@@ -127,9 +158,7 @@ pub fn lex(source: &str) -> ParseResult<TokenStream> {
                     cur.bump();
                     cur.eat_while(|ch| ch.is_whitespace());
                     let digits = cur
-                        .eat_while(|ch| {
-                            ch.is_ascii_alphanumeric() || ch == '_' || ch == '?'
-                        })
+                        .eat_while(|ch| ch.is_ascii_alphanumeric() || ch == '_' || ch == '?')
                         .to_string();
                     let value = parse_radix(&digits, radix).ok_or_else(|| {
                         ParseError::new(
@@ -168,7 +197,9 @@ pub fn lex(source: &str) -> ParseResult<TokenStream> {
 
         // Numbers: sized literal, decimal, real.
         if c.is_ascii_digit() {
-            let digits = cur.eat_while(|ch| ch.is_ascii_digit() || ch == '_').to_string();
+            let digits = cur
+                .eat_while(|ch| ch.is_ascii_digit() || ch == '_')
+                .to_string();
             // Sized based literal: 8'hFF
             if cur.peek() == Some('\'')
                 && matches!(
@@ -225,10 +256,15 @@ pub fn lex(source: &str) -> ParseResult<TokenStream> {
                 }
                 let span = cur.span_from(mark);
                 let text = span.slice(source).to_string();
-                let value: f64 = text.replace('_', "").parse().map_err(|_| {
-                    ParseError::new(format!("invalid real literal `{text}`"), span)
-                })?;
-                out.push(Token { kind: TokenKind::Real(value), text, span });
+                let value: f64 = text
+                    .replace('_', "")
+                    .parse()
+                    .map_err(|_| ParseError::new(format!("invalid real literal `{text}`"), span))?;
+                out.push(Token {
+                    kind: TokenKind::Real(value),
+                    text,
+                    span,
+                });
                 continue;
             }
             let value = parse_decimal(&digits).ok_or_else(|| {

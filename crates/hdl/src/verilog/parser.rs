@@ -16,23 +16,98 @@ use crate::span::Span;
 
 /// Built-in data/net type keywords that can open a type in a declaration.
 const TYPE_KEYWORDS: &[&str] = &[
-    "wire", "reg", "logic", "bit", "byte", "shortint", "int", "longint", "integer", "time",
-    "real", "realtime", "shortreal", "string", "tri", "tri0", "tri1", "triand", "trior",
-    "trireg", "wand", "wor", "supply0", "supply1", "uwire", "var", "genvar", "event",
+    "wire",
+    "reg",
+    "logic",
+    "bit",
+    "byte",
+    "shortint",
+    "int",
+    "longint",
+    "integer",
+    "time",
+    "real",
+    "realtime",
+    "shortreal",
+    "string",
+    "tri",
+    "tri0",
+    "tri1",
+    "triand",
+    "trior",
+    "trireg",
+    "wand",
+    "wor",
+    "supply0",
+    "supply1",
+    "uwire",
+    "var",
+    "genvar",
+    "event",
 ];
 
 /// Statement/control keywords that can never be an instantiation target or
 /// instance name (guards the opportunistic instantiation detector).
 const STMT_KEYWORDS: &[&str] = &[
-    "if", "else", "begin", "end", "assign", "deassign", "always", "always_ff",
-    "always_comb", "always_latch", "initial", "final", "case", "casex", "casez",
-    "endcase", "default", "for", "while", "repeat", "forever", "wait", "disable",
-    "fork", "join", "join_any", "join_none", "posedge", "negedge", "return",
-    "typedef", "enum", "struct", "union", "packed", "assert", "assume", "cover",
-    "unique", "priority", "force", "release", "specify", "endspecify", "defparam",
-    "generate", "endgenerate", "genvar", "module", "endmodule", "function",
-    "endfunction", "task", "endtask", "parameter", "localparam", "input",
-    "output", "inout",
+    "if",
+    "else",
+    "begin",
+    "end",
+    "assign",
+    "deassign",
+    "always",
+    "always_ff",
+    "always_comb",
+    "always_latch",
+    "initial",
+    "final",
+    "case",
+    "casex",
+    "casez",
+    "endcase",
+    "default",
+    "for",
+    "while",
+    "repeat",
+    "forever",
+    "wait",
+    "disable",
+    "fork",
+    "join",
+    "join_any",
+    "join_none",
+    "posedge",
+    "negedge",
+    "return",
+    "typedef",
+    "enum",
+    "struct",
+    "union",
+    "packed",
+    "assert",
+    "assume",
+    "cover",
+    "unique",
+    "priority",
+    "force",
+    "release",
+    "specify",
+    "endspecify",
+    "defparam",
+    "generate",
+    "endgenerate",
+    "genvar",
+    "module",
+    "endmodule",
+    "function",
+    "endfunction",
+    "task",
+    "endtask",
+    "parameter",
+    "localparam",
+    "input",
+    "output",
+    "inout",
 ];
 
 /// Keyword pairs whose bodies must be skipped while scanning a module.
@@ -60,7 +135,12 @@ pub struct Parser {
 impl Parser {
     /// Wraps a token stream produced by [`crate::verilog::lexer::lex`].
     pub fn new(ts: TokenStream) -> Self {
-        Parser { ts, diags: Diagnostics::new(), saw_sv: false, insts: Vec::new() }
+        Parser {
+            ts,
+            diags: Diagnostics::new(),
+            saw_sv: false,
+            insts: Vec::new(),
+        }
     }
 
     /// Parses the whole file.
@@ -96,8 +176,11 @@ impl Parser {
             } else if t.is_kw("interface") {
                 self.ts.next_tok();
                 self.saw_sv = true;
-                let name =
-                    if self.ts.peek().kind == TokenKind::Ident { self.ts.next_tok().text } else { String::new() };
+                let name = if self.ts.peek().kind == TokenKind::Ident {
+                    self.ts.next_tok().text
+                } else {
+                    String::new()
+                };
                 self.skip_until_kw("endinterface", &name)?;
                 if self.ts.eat_sym(":") {
                     let _ = self.ts.expect_ident();
@@ -106,7 +189,8 @@ impl Parser {
                 let m = self.parse_module()?;
                 file.modules.push(m);
             } else {
-                self.diags.warn(format!("skipping unexpected token `{t}`"), t.span);
+                self.diags
+                    .warn(format!("skipping unexpected token `{t}`"), t.span);
                 self.ts.next_tok();
             }
         }
@@ -154,7 +238,7 @@ impl Parser {
     /// Parses one `module ... endmodule`.
     fn parse_module(&mut self) -> ParseResult<ModuleInterface> {
         let start = self.ts.next_tok().span; // module / macromodule
-        // Lifetime qualifier (SV).
+                                             // Lifetime qualifier (SV).
         if self.ts.peek().is_kw("static") || self.ts.peek().is_kw("automatic") {
             self.saw_sv = true;
             self.ts.next_tok();
@@ -210,7 +294,11 @@ impl Parser {
 
         Ok(ModuleInterface {
             name,
-            language: if self.saw_sv { Language::SystemVerilog } else { Language::Verilog },
+            language: if self.saw_sv {
+                Language::SystemVerilog
+            } else {
+                Language::Verilog
+            },
             parameters,
             ports,
             span: start.merge(end_span),
@@ -254,7 +342,8 @@ impl Parser {
                 match self.parse_instantiation(name) {
                     Ok(()) => {}
                     Err(e) => {
-                        self.diags.note(format!("unparsed instantiation: {e}"), t.span);
+                        self.diags
+                            .note(format!("unparsed instantiation: {e}"), t.span);
                         self.ts.skip_until_sym(&[";"]);
                         self.ts.eat_sym(";");
                     }
@@ -282,9 +371,7 @@ impl Parser {
                 self.ts.next_tok();
                 continue;
             }
-            if let Some((_, end)) =
-                SKIP_BLOCKS.iter().find(|(open, _)| t.is_kw(open))
-            {
+            if let Some((_, end)) = SKIP_BLOCKS.iter().find(|(open, _)| t.is_kw(open)) {
                 self.ts.next_tok();
                 self.skip_until_kw(end, name)?;
                 if self.ts.eat_sym(":") {
@@ -296,7 +383,8 @@ impl Parser {
             if t.is_kw("parameter") || t.is_kw("localparam") {
                 // Statement form: `parameter [type] N = v [, M = v];`
                 if let Err(e) = self.parse_param_statement(parameters) {
-                    self.diags.warn(format!("unparsed parameter declaration: {e}"), t.span);
+                    self.diags
+                        .warn(format!("unparsed parameter declaration: {e}"), t.span);
                     self.ts.skip_until_sym(&[";"]);
                     self.ts.eat_sym(";");
                 }
@@ -305,7 +393,8 @@ impl Parser {
             }
             if t.is_kw("input") || t.is_kw("output") || t.is_kw("inout") {
                 if let Err(e) = self.parse_body_port_decl(ports, header_names) {
-                    self.diags.warn(format!("unparsed port declaration: {e}"), t.span);
+                    self.diags
+                        .warn(format!("unparsed port declaration: {e}"), t.span);
                     self.ts.skip_until_sym(&[";"]);
                     self.ts.eat_sym(";");
                 }
@@ -396,7 +485,13 @@ impl Parser {
                     format!("type parameter `{}` is not explorable by Dovado", id.text),
                     id.span,
                 );
-                out.push(Parameter { name: id.text, ty: None, default: None, span: id.span, local });
+                out.push(Parameter {
+                    name: id.text,
+                    ty: None,
+                    default: None,
+                    span: id.span,
+                    local,
+                });
                 if self.ts.eat_sym("=") {
                     // Skip the type default up to `,` or `)`.
                     self.skip_param_default()?;
@@ -409,8 +504,18 @@ impl Parser {
             let ty = self.try_parse_type()?;
             let id = self.ts.expect_ident()?;
             self.skip_unpacked_dims()?;
-            let default = if self.ts.eat_sym("=") { Some(self.parse_expr()?) } else { None };
-            out.push(Parameter { name: id.text, ty, default, span: id.span, local });
+            let default = if self.ts.eat_sym("=") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            out.push(Parameter {
+                name: id.text,
+                ty,
+                default,
+                span: id.span,
+                local,
+            });
             if !self.ts.eat_sym(",") {
                 break;
             }
@@ -428,7 +533,13 @@ impl Parser {
         if self.ts.peek().is_kw("type") {
             self.ts.next_tok();
             let id = self.ts.expect_ident()?;
-            out.push(Parameter { name: id.text, ty: None, default: None, span: id.span, local });
+            out.push(Parameter {
+                name: id.text,
+                ty: None,
+                default: None,
+                span: id.span,
+                local,
+            });
             self.ts.skip_until_sym(&[";"]);
             self.ts.eat_sym(";");
             return Ok(());
@@ -437,7 +548,11 @@ impl Parser {
         loop {
             let id = self.ts.expect_ident()?;
             self.skip_unpacked_dims()?;
-            let default = if self.ts.eat_sym("=") { Some(self.parse_expr()?) } else { None };
+            let default = if self.ts.eat_sym("=") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
             out.push(Parameter {
                 name: id.text,
                 ty: ty.clone(),
@@ -502,14 +617,21 @@ impl Parser {
             if let Some(d) = new_dir {
                 self.ts.next_tok();
                 dir = Some(d);
-                ty = self.try_parse_type()?.unwrap_or_else(|| TypeSpec::scalar(""));
+                ty = self
+                    .try_parse_type()?
+                    .unwrap_or_else(|| TypeSpec::scalar(""));
                 let id = self.ts.expect_ident()?;
                 self.skip_unpacked_dims()?;
                 if self.ts.eat_sym("=") {
                     self.saw_sv = true;
                     let _ = self.parse_expr()?;
                 }
-                ports.push(Port { name: id.text, direction: d, ty: ty.clone(), span: id.span });
+                ports.push(Port {
+                    name: id.text,
+                    direction: d,
+                    ty: ty.clone(),
+                    span: id.span,
+                });
             } else if t.kind == TokenKind::Ident {
                 // Might be: continuation item (name only, inheriting
                 // direction/type), a typed continuation, or a non-ANSI name.
@@ -560,7 +682,10 @@ impl Parser {
                 }
                 header_names.push((id.text, id.span));
             } else {
-                return Err(ParseError::new(format!("unexpected `{t}` in port list"), t.span));
+                return Err(ParseError::new(
+                    format!("unexpected `{t}` in port list"),
+                    t.span,
+                ));
             }
             if !self.ts.eat_sym(",") {
                 break;
@@ -584,7 +709,9 @@ impl Parser {
         } else {
             Direction::InOut
         };
-        let ty = self.try_parse_type()?.unwrap_or_else(|| TypeSpec::scalar("wire"));
+        let ty = self
+            .try_parse_type()?
+            .unwrap_or_else(|| TypeSpec::scalar("wire"));
         loop {
             let id = self.ts.expect_ident()?;
             self.skip_unpacked_dims()?;
@@ -592,7 +719,10 @@ impl Parser {
                 self.saw_sv = true;
                 let _ = self.parse_expr()?;
             }
-            if let Some(p) = ports.iter_mut().find(|p| p.name.eq_ignore_ascii_case(&id.text)) {
+            if let Some(p) = ports
+                .iter_mut()
+                .find(|p| p.name.eq_ignore_ascii_case(&id.text))
+            {
                 p.direction = dir;
                 // Keep the more specific type (body decls carry the range).
                 if !ty.ranges.is_empty() || p.ty.name.is_empty() {
@@ -600,7 +730,12 @@ impl Parser {
                 }
             } else {
                 header_names.retain(|(n, _)| !n.eq_ignore_ascii_case(&id.text));
-                ports.push(Port { name: id.text, direction: dir, ty: ty.clone(), span: id.span });
+                ports.push(Port {
+                    name: id.text,
+                    direction: dir,
+                    ty: ty.clone(),
+                    span: id.span,
+                });
             }
             if !self.ts.eat_sym(",") {
                 break;
@@ -622,8 +757,10 @@ impl Parser {
             if TYPE_KEYWORDS.contains(&t.text.as_str()) {
                 self.ts.next_tok();
                 name = t.text.clone();
-                if matches!(name.as_str(), "logic" | "bit" | "byte" | "int" | "longint" | "shortint")
-                {
+                if matches!(
+                    name.as_str(),
+                    "logic" | "bit" | "byte" | "int" | "longint" | "shortint"
+                ) {
                     self.saw_sv = true;
                 }
                 // `wire logic` style double keyword.
@@ -672,13 +809,21 @@ impl Parser {
             self.ts.expect_sym(":")?;
             let right = self.parse_expr()?;
             self.ts.expect_sym("]")?;
-            ranges.push(Range { left, right, dir: RangeDir::Downto });
+            ranges.push(Range {
+                left,
+                right,
+                dir: RangeDir::Downto,
+            });
         }
 
         if name.is_empty() && !signed && ranges.is_empty() {
             return Ok(None);
         }
-        Ok(Some(TypeSpec { name, ranges, signed }))
+        Ok(Some(TypeSpec {
+            name,
+            ranges,
+            signed,
+        }))
     }
 
     /// Skips unpacked dimensions after a name: `[3:0]`, `[SIZE]`, `[]`.
@@ -879,7 +1024,10 @@ impl Parser {
                 }
                 Ok(Expr::Ident(name))
             }
-            _ => Err(ParseError::new(format!("expected expression, found `{t}`"), t.span)),
+            _ => Err(ParseError::new(
+                format!("expected expression, found `{t}`"),
+                t.span,
+            )),
         }
     }
 }
@@ -892,7 +1040,11 @@ mod tests {
 
     fn parse_ok(src: &str) -> SourceFile {
         let (f, d) = Parser::new(lex(src).unwrap()).parse_file().unwrap();
-        assert!(!d.has_errors(), "diagnostics: {:?}", d.iter().collect::<Vec<_>>());
+        assert!(
+            !d.has_errors(),
+            "diagnostics: {:?}",
+            d.iter().collect::<Vec<_>>()
+        );
         f
     }
 
@@ -945,7 +1097,10 @@ endmodule : fifo
         let m = &f.modules[0];
         assert_eq!(m.parameter("DEPTH").unwrap().const_default(), Some(8));
         assert_eq!(m.parameter("DATA_WIDTH").unwrap().const_default(), Some(32));
-        assert_eq!(m.parameter("FALL_THROUGH").unwrap().const_default(), Some(0));
+        assert_eq!(
+            m.parameter("FALL_THROUGH").unwrap().const_default(),
+            Some(0)
+        );
     }
 
     #[test]
@@ -1089,7 +1244,8 @@ endmodule
 
     #[test]
     fn body_parameters_found() {
-        let src = "module m(input wire clk); parameter DEPTH = 32; localparam L = DEPTH * 2; endmodule";
+        let src =
+            "module m(input wire clk); parameter DEPTH = 32; localparam L = DEPTH * 2; endmodule";
         let f = parse_ok(src);
         let m = &f.modules[0];
         assert_eq!(m.parameters.len(), 2);
@@ -1125,12 +1281,19 @@ endmodule
 
     #[test]
     fn clog2_width_evaluates() {
-        let src =
-            "module m #(parameter Q = 64)(input wire [$clog2(Q)-1:0] sel); endmodule";
+        let src = "module m #(parameter Q = 64)(input wire [$clog2(Q)-1:0] sel); endmodule";
         let f = parse_ok(src);
         let mut env = BTreeMap::new();
         env.insert("Q".to_string(), 64i64);
-        assert_eq!(f.modules[0].port("sel").unwrap().ty.bit_width(&env).unwrap(), 6);
+        assert_eq!(
+            f.modules[0]
+                .port("sel")
+                .unwrap()
+                .ty
+                .bit_width(&env)
+                .unwrap(),
+            6
+        );
     }
 
     #[test]

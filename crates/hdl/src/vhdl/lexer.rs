@@ -40,7 +40,10 @@ pub fn lex(source: &str) -> ParseResult<TokenStream> {
                     }
                 }
                 if !closed {
-                    return Err(ParseError::new("unterminated block comment", cur.span_from(mark)));
+                    return Err(ParseError::new(
+                        "unterminated block comment",
+                        cur.span_from(mark),
+                    ));
                 }
                 continue;
             }
@@ -57,7 +60,9 @@ pub fn lex(source: &str) -> ParseResult<TokenStream> {
 
         // Identifiers / keywords / bit-string prefixes.
         if c.is_ascii_alphabetic() {
-            let word = cur.eat_while(|ch| ch.is_ascii_alphanumeric() || ch == '_').to_string();
+            let word = cur
+                .eat_while(|ch| ch.is_ascii_alphanumeric() || ch == '_')
+                .to_string();
             // Bit-string literal such as x"FF" / b"1010" / o"77" (and 2008
             // signed/unsigned variants ux"", sb"", ...).
             let is_bitstring_prefix = matches!(
@@ -86,7 +91,11 @@ pub fn lex(source: &str) -> ParseResult<TokenStream> {
                 });
                 continue;
             }
-            out.push(Token { kind: TokenKind::Ident, text: word, span: cur.span_from(mark) });
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text: word,
+                span: cur.span_from(mark),
+            });
             continue;
         }
 
@@ -114,13 +123,19 @@ pub fn lex(source: &str) -> ParseResult<TokenStream> {
                     }
                 }
             }
-            out.push(Token { kind: TokenKind::Ident, text: name, span: cur.span_from(mark) });
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text: name,
+                span: cur.span_from(mark),
+            });
             continue;
         }
 
         // Numeric literals: decimal, based, real.
         if c.is_ascii_digit() {
-            let digits = cur.eat_while(|ch| ch.is_ascii_digit() || ch == '_').to_string();
+            let digits = cur
+                .eat_while(|ch| ch.is_ascii_digit() || ch == '_')
+                .to_string();
             // Based literal: 16#FF# or 2#1010#
             if cur.peek() == Some('#') {
                 cur.bump();
@@ -134,7 +149,10 @@ pub fn lex(source: &str) -> ParseResult<TokenStream> {
                     .eat_while(|ch| ch.is_ascii_alphanumeric() || ch == '_' || ch == '.')
                     .to_string();
                 if !cur.eat('#') {
-                    return Err(ParseError::new("unterminated based literal", cur.span_from(mark)));
+                    return Err(ParseError::new(
+                        "unterminated based literal",
+                        cur.span_from(mark),
+                    ));
                 }
                 // Optional exponent.
                 if matches!(cur.peek(), Some('e') | Some('E')) {
@@ -169,10 +187,15 @@ pub fn lex(source: &str) -> ParseResult<TokenStream> {
                 }
                 let span = cur.span_from(mark);
                 let text = span.slice(source).to_string();
-                let value: f64 = text.replace('_', "").parse().map_err(|_| {
-                    ParseError::new(format!("invalid real literal `{text}`"), span)
-                })?;
-                out.push(Token { kind: TokenKind::Real(value), text, span });
+                let value: f64 = text
+                    .replace('_', "")
+                    .parse()
+                    .map_err(|_| ParseError::new(format!("invalid real literal `{text}`"), span))?;
+                out.push(Token {
+                    kind: TokenKind::Real(value),
+                    text,
+                    span,
+                });
                 continue;
             }
             // Integer with optional exponent (1e3 is an integer in VHDL).
@@ -193,7 +216,11 @@ pub fn lex(source: &str) -> ParseResult<TokenStream> {
                 }
             }
             let span = cur.span_from(mark);
-            out.push(Token { kind: TokenKind::Int(value), text: span.slice(source).to_string(), span });
+            out.push(Token {
+                kind: TokenKind::Int(value),
+                text: span.slice(source).to_string(),
+                span,
+            });
             continue;
         }
 
@@ -244,7 +271,11 @@ pub fn lex(source: &str) -> ParseResult<TokenStream> {
                 continue;
             }
             cur.bump();
-            out.push(Token { kind: TokenKind::Sym, text: "'".into(), span: cur.span_from(mark) });
+            out.push(Token {
+                kind: TokenKind::Sym,
+                text: "'".into(),
+                span: cur.span_from(mark),
+            });
             continue;
         }
 

@@ -8,8 +8,8 @@
 //! for its ANTLR-based step.
 
 use crate::ast::{
-    BinOp, ContextClause, Direction, Expr, Instantiation, ModuleInterface, PackageDecl,
-    Parameter, Port, Range, RangeDir, SourceFile, TypeSpec,
+    BinOp, ContextClause, Direction, Expr, Instantiation, ModuleInterface, PackageDecl, Parameter,
+    Port, Range, RangeDir, SourceFile, TypeSpec,
 };
 use crate::error::{Diagnostics, ParseError, ParseResult};
 use crate::lexer::{TokenKind, TokenStream};
@@ -17,8 +17,15 @@ use crate::span::Span;
 
 /// Keywords that may legitimately begin a new design unit; used by the body
 /// skipper to decide whether a bare `end;` closed the current unit.
-const UNIT_STARTERS: &[&str] =
-    &["library", "use", "entity", "architecture", "package", "configuration", "context"];
+const UNIT_STARTERS: &[&str] = &[
+    "library",
+    "use",
+    "entity",
+    "architecture",
+    "package",
+    "configuration",
+    "context",
+];
 
 /// The VHDL declaration parser.
 pub struct Parser {
@@ -35,7 +42,12 @@ pub struct Parser {
 impl Parser {
     /// Wraps a token stream produced by [`crate::vhdl::lexer::lex`].
     pub fn new(ts: TokenStream) -> Self {
-        Parser { ts, diags: Diagnostics::new(), concat_pending: false, insts: Vec::new() }
+        Parser {
+            ts,
+            diags: Diagnostics::new(),
+            concat_pending: false,
+            insts: Vec::new(),
+        }
     }
 
     /// Parses the whole file.
@@ -98,7 +110,8 @@ impl Parser {
                 self.ts.expect_kw_ci("is")?;
                 self.skip_body(&name, "configuration")?;
             } else {
-                self.diags.warn(format!("skipping unexpected token `{t}`"), t.span);
+                self.diags
+                    .warn(format!("skipping unexpected token `{t}`"), t.span);
                 self.ts.next_tok();
             }
         }
@@ -202,7 +215,11 @@ impl Parser {
             // Generics rarely have a mode; eat `in` if present.
             let _ = self.ts.eat_kw_ci("in");
             let ty = self.parse_subtype()?;
-            let default = if self.ts.eat_sym(":=") { Some(self.parse_expr()?) } else { None };
+            let default = if self.ts.eat_sym(":=") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
             for (name, span) in names {
                 out.push(Parameter {
                     name,
@@ -217,7 +234,8 @@ impl Parser {
             }
             // Tolerate a trailing `;` before `)`.
             if self.ts.peek().is_sym(")") {
-                self.diags.warn("trailing `;` in generic list", self.ts.peek().span);
+                self.diags
+                    .warn("trailing `;` in generic list", self.ts.peek().span);
                 break;
             }
         }
@@ -247,7 +265,8 @@ impl Parser {
             } else if self.ts.eat_kw_ci("buffer") {
                 Direction::Buffer
             } else if self.ts.eat_kw_ci("linkage") {
-                self.diags.warn("`linkage` port treated as inout", self.ts.peek().span);
+                self.diags
+                    .warn("`linkage` port treated as inout", self.ts.peek().span);
                 Direction::InOut
             } else {
                 // VHDL defaults the mode to `in`.
@@ -255,15 +274,25 @@ impl Parser {
             };
             let ty = self.parse_subtype()?;
             // Ports may carry defaults too.
-            let _default = if self.ts.eat_sym(":=") { Some(self.parse_expr()?) } else { None };
+            let _default = if self.ts.eat_sym(":=") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
             for (name, span) in names {
-                out.push(Port { name, direction, ty: ty.clone(), span });
+                out.push(Port {
+                    name,
+                    direction,
+                    ty: ty.clone(),
+                    span,
+                });
             }
             if !self.ts.eat_sym(";") {
                 break;
             }
             if self.ts.peek().is_sym(")") {
-                self.diags.warn("trailing `;` in port list", self.ts.peek().span);
+                self.diags
+                    .warn("trailing `;` in port list", self.ts.peek().span);
                 break;
             }
         }
@@ -299,7 +328,11 @@ impl Parser {
                 match dir {
                     Some(d) => {
                         let right = self.parse_expr()?;
-                        ranges.push(Range { left, right, dir: d });
+                        ranges.push(Range {
+                            left,
+                            right,
+                            dir: d,
+                        });
                     }
                     None => {
                         // Single index constraint, e.g. `bit_vector(7)` —
@@ -331,7 +364,11 @@ impl Parser {
                 ranges.push(Range { left, right, dir });
             }
         }
-        Ok(TypeSpec { name, ranges, signed: false })
+        Ok(TypeSpec {
+            name,
+            ranges,
+            signed: false,
+        })
     }
 
     /// Expression parser (precedence climbing) over the VHDL operator
@@ -471,9 +508,7 @@ impl Parser {
                     name.push_str(&part.text);
                 }
                 // Attribute: `name'length` → Call("length", [Ident name]).
-                if self.ts.peek().is_sym("'")
-                    && self.ts.peek_n(1).kind == TokenKind::Ident
-                {
+                if self.ts.peek().is_sym("'") && self.ts.peek_n(1).kind == TokenKind::Ident {
                     self.ts.next_tok();
                     let attr = self.ts.expect_ident()?.text;
                     return Ok(Expr::Call(attr, vec![Expr::Ident(name)]));
@@ -493,7 +528,10 @@ impl Parser {
                 }
                 Ok(Expr::Ident(name))
             }
-            _ => Err(ParseError::new(format!("expected expression, found `{t}`"), t.span)),
+            _ => Err(ParseError::new(
+                format!("expected expression, found `{t}`"),
+                t.span,
+            )),
         }
     }
 
@@ -518,7 +556,8 @@ impl Parser {
                     && n4.is_kw_ci("map");
                 if direct || implicit {
                     if let Err(e) = self.parse_instantiation(name) {
-                        self.diags.warn(format!("unparsed instantiation: {e}"), e.span);
+                        self.diags
+                            .warn(format!("unparsed instantiation: {e}"), e.span);
                         self.ts.skip_until_sym(&[";"]);
                         self.ts.eat_sym(";");
                     }
@@ -580,7 +619,8 @@ impl Parser {
         let _ = self.ts.eat_kw_ci("entity") || self.ts.eat_kw_ci("component");
         let target = self.selected_name()?;
         // Optional architecture selector: entity work.foo(rtl).
-        if self.ts.peek().is_sym("(") && self.ts.peek_n(1).kind == TokenKind::Ident
+        if self.ts.peek().is_sym("(")
+            && self.ts.peek_n(1).kind == TokenKind::Ident
             && self.ts.peek_n(2).is_sym(")")
         {
             self.ts.next_tok();
@@ -643,7 +683,11 @@ mod tests {
 
     fn parse_ok(src: &str) -> SourceFile {
         let (f, d) = Parser::new(lex(src).unwrap()).parse_file().unwrap();
-        assert!(!d.has_errors(), "diagnostics: {:?}", d.iter().collect::<Vec<_>>());
+        assert!(
+            !d.has_errors(),
+            "diagnostics: {:?}",
+            d.iter().collect::<Vec<_>>()
+        );
         f
     }
 
@@ -693,7 +737,10 @@ end architecture rtl;
         assert_eq!(m.language, Language::Vhdl);
         assert_eq!(m.parameters.len(), 3);
         assert_eq!(m.ports.len(), 5);
-        assert_eq!(f.architectures, vec![("rtl".to_string(), "counter".to_string())]);
+        assert_eq!(
+            f.architectures,
+            vec![("rtl".to_string(), "counter".to_string())]
+        );
         assert_eq!(f.libraries(), vec!["ieee".to_string()]);
     }
 
@@ -752,9 +799,7 @@ end architecture rtl;
 
     #[test]
     fn shared_port_declaration() {
-        let f = parse_ok(
-            "entity m is port (a, b, c : in std_logic; q : out std_logic); end m;",
-        );
+        let f = parse_ok("entity m is port (a, b, c : in std_logic; q : out std_logic); end m;");
         let m = &f.modules[0];
         assert_eq!(m.ports.len(), 4);
         assert!(m.ports[..3].iter().all(|p| p.direction == Direction::In));
@@ -769,9 +814,7 @@ end architecture rtl;
 
     #[test]
     fn buffer_and_inout_modes() {
-        let f = parse_ok(
-            "entity m is port (x : inout std_logic; y : buffer std_logic); end m;",
-        );
+        let f = parse_ok("entity m is port (x : inout std_logic; y : buffer std_logic); end m;");
         assert_eq!(f.modules[0].ports[0].direction, Direction::InOut);
         assert_eq!(f.modules[0].ports[1].direction, Direction::Buffer);
     }
@@ -790,16 +833,17 @@ end architecture rtl;
 
     #[test]
     fn unconstrained_port_type() {
-        let f = parse_ok(
-            "entity m is port (d : in std_logic_vector); end m;",
-        );
+        let f = parse_ok("entity m is port (d : in std_logic_vector); end m;");
         assert!(f.modules[0].ports[0].ty.ranges.is_empty());
     }
 
     #[test]
     fn based_literal_default() {
         let f = parse_ok("entity m is generic (G : integer := 16#20#); end m;");
-        assert_eq!(f.modules[0].parameter("G").unwrap().const_default(), Some(32));
+        assert_eq!(
+            f.modules[0].parameter("G").unwrap().const_default(),
+            Some(32)
+        );
     }
 
     #[test]
@@ -891,12 +935,17 @@ end architecture box_arch;
 "#;
         let f = parse_ok(src);
         assert_eq!(f.modules[0].name, "box");
-        assert_eq!(f.architectures[0], ("box_arch".to_string(), "box".to_string()));
+        assert_eq!(
+            f.architectures[0],
+            ("box_arch".to_string(), "box".to_string())
+        );
     }
 
     #[test]
     fn case_insensitivity() {
-        let f = parse_ok("ENTITY Foo IS GENERIC (w : NATURAL := 4); PORT (CLK : IN STD_LOGIC); END ENTITY Foo;");
+        let f = parse_ok(
+            "ENTITY Foo IS GENERIC (w : NATURAL := 4); PORT (CLK : IN STD_LOGIC); END ENTITY Foo;",
+        );
         let m = &f.modules[0];
         assert_eq!(m.name, "Foo");
         assert!(m.parameter("W").is_some());
@@ -906,7 +955,10 @@ end architecture box_arch;
     #[test]
     fn power_of_two_expression() {
         let f = parse_ok("entity m is generic (SIZE : natural := 2**14); end m;");
-        assert_eq!(f.modules[0].parameter("SIZE").unwrap().const_default(), Some(16384));
+        assert_eq!(
+            f.modules[0].parameter("SIZE").unwrap().const_default(),
+            Some(16384)
+        );
     }
 
     #[test]

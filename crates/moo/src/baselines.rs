@@ -27,7 +27,13 @@ fn finish(mut archive: Vec<Individual>, generations: u32, evaluations: u64) -> O
     for a in &mut archive {
         a.rank = 0;
     }
-    OptResult { population: archive, pareto, generations, evaluations, history: Vec::new() }
+    OptResult {
+        population: archive,
+        pareto,
+        generations,
+        evaluations,
+        history: Vec::new(),
+    }
 }
 
 /// Uniform random search: sample, evaluate, keep the non-dominated set.
@@ -115,9 +121,8 @@ pub fn weighted_sum_ga<P: Problem + ?Sized>(
     let crossover = IntegerSbx::default();
     let mutation = GaussianIntegerMutation::default();
 
-    let scalar = |min_objs: &[f64]| -> f64 {
-        min_objs.iter().zip(weights).map(|(v, w)| v * w).sum()
-    };
+    let scalar =
+        |min_objs: &[f64]| -> f64 { min_objs.iter().zip(weights).map(|(v, w)| v * w).sum() };
 
     let mut evaluations = 0u64;
     let genomes = random_population(&vars, pop_size, &mut rng);
@@ -221,7 +226,10 @@ mod tests {
                 self.0.evaluate(g)
             }
         }
-        let mut p = Small(Schaffer::new(), vec![crate::problem::IntVar::new("x", -10, 10)]);
+        let mut p = Small(
+            Schaffer::new(),
+            vec![crate::problem::IntVar::new("x", -10, 10)],
+        );
         let r = exhaustive_search(&mut p, 10_000).unwrap();
         assert_eq!(r.evaluations, 21);
         // Exact Pareto set: x ∈ {0, 1, 2}.
@@ -258,7 +266,10 @@ mod tests {
         let run = |seed| {
             let mut p = Schaffer::new();
             let r = random_search(&mut p, &Termination::Evaluations(200), 50, seed);
-            r.pareto.iter().map(|i| i.genome.clone()).collect::<Vec<_>>()
+            r.pareto
+                .iter()
+                .map(|i| i.genome.clone())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(3), run(3));
     }

@@ -28,7 +28,9 @@ impl Zdt1 {
     pub fn new(n: usize) -> Zdt1 {
         assert!(n >= 2);
         Zdt1 {
-            vars: (0..n).map(|i| IntVar::new(format!("x{i}"), 0, RESOLUTION)).collect(),
+            vars: (0..n)
+                .map(|i| IntVar::new(format!("x{i}"), 0, RESOLUTION))
+                .collect(),
             objs: vec![Objective::minimize("f1"), Objective::minimize("f2")],
             evaluations: 0,
         }
@@ -75,7 +77,9 @@ impl Zdt2 {
     pub fn new(n: usize) -> Zdt2 {
         assert!(n >= 2);
         Zdt2 {
-            vars: (0..n).map(|i| IntVar::new(format!("x{i}"), 0, RESOLUTION)).collect(),
+            vars: (0..n)
+                .map(|i| IntVar::new(format!("x{i}"), 0, RESOLUTION))
+                .collect(),
             objs: vec![Objective::minimize("f1"), Objective::minimize("f2")],
         }
     }
@@ -110,7 +114,9 @@ impl Zdt3 {
     pub fn new(n: usize) -> Zdt3 {
         assert!(n >= 2);
         Zdt3 {
-            vars: (0..n).map(|i| IntVar::new(format!("x{i}"), 0, RESOLUTION)).collect(),
+            vars: (0..n)
+                .map(|i| IntVar::new(format!("x{i}"), 0, RESOLUTION))
+                .collect(),
             objs: vec![Objective::minimize("f1"), Objective::minimize("f2")],
         }
     }
@@ -160,7 +166,11 @@ mod tests {
     #[test]
     fn nsga2_approaches_zdt1_front() {
         let mut p = Zdt1::new(6);
-        let cfg = Nsga2Config { pop_size: 48, seed: 2, ..Default::default() };
+        let cfg = Nsga2Config {
+            pop_size: 48,
+            seed: 2,
+            ..Default::default()
+        };
         let r = nsga2(&mut p, &cfg, &Termination::Generations(120));
         let front = front_of(&r);
         let d = igd(&front, &Zdt1::true_front(50));
@@ -173,7 +183,11 @@ mod tests {
     #[test]
     fn nsga2_handles_nonconvex_zdt2() {
         let mut p = Zdt2::new(6);
-        let cfg = Nsga2Config { pop_size: 48, seed: 3, ..Default::default() };
+        let cfg = Nsga2Config {
+            pop_size: 48,
+            seed: 3,
+            ..Default::default()
+        };
         let r = nsga2(&mut p, &cfg, &Termination::Generations(120));
         // The non-convex front defeats the weighted-sum GA (it collapses to
         // the extremes) but not NSGA-II: interior points must survive.
@@ -209,7 +223,7 @@ mod tests {
             .unwrap();
         let f1 = best.min_objs[0];
         assert!(
-            f1 < 0.1 || f1 > 0.9,
+            !(0.1..=0.9).contains(&f1),
             "weighted sum unexpectedly held an interior point (f1 = {f1})"
         );
     }
@@ -217,7 +231,11 @@ mod tests {
     #[test]
     fn zdt3_front_is_disconnected() {
         let mut p = Zdt3::new(6);
-        let cfg = Nsga2Config { pop_size: 48, seed: 4, ..Default::default() };
+        let cfg = Nsga2Config {
+            pop_size: 48,
+            seed: 4,
+            ..Default::default()
+        };
         let r = nsga2(&mut p, &cfg, &Termination::Generations(120));
         // f2 on ZDT3's front dips negative in some segments.
         assert!(r.pareto.iter().any(|i| i.min_objs[1] < 0.0));
@@ -226,7 +244,11 @@ mod tests {
     #[test]
     fn evaluation_counter_tracks() {
         let mut p = Zdt1::new(3);
-        let cfg = Nsga2Config { pop_size: 10, seed: 1, ..Default::default() };
+        let cfg = Nsga2Config {
+            pop_size: 10,
+            seed: 1,
+            ..Default::default()
+        };
         let r = nsga2(&mut p, &cfg, &Termination::Generations(5));
         assert_eq!(p.evaluations, r.evaluations);
     }

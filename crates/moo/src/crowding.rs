@@ -59,7 +59,12 @@ mod tests {
 
     #[test]
     fn boundaries_infinite() {
-        let mut pop = vec![ind(&[1.0, 4.0]), ind(&[2.0, 3.0]), ind(&[3.0, 2.0]), ind(&[4.0, 1.0])];
+        let mut pop = vec![
+            ind(&[1.0, 4.0]),
+            ind(&[2.0, 3.0]),
+            ind(&[3.0, 2.0]),
+            ind(&[4.0, 1.0]),
+        ];
         let front: Vec<usize> = (0..4).collect();
         assign_crowding(&mut pop, &front);
         assert!(pop[0].crowding.is_infinite());
@@ -70,8 +75,13 @@ mod tests {
 
     #[test]
     fn evenly_spaced_points_equal_distance() {
-        let mut pop =
-            vec![ind(&[0.0, 4.0]), ind(&[1.0, 3.0]), ind(&[2.0, 2.0]), ind(&[3.0, 1.0]), ind(&[4.0, 0.0])];
+        let mut pop = vec![
+            ind(&[0.0, 4.0]),
+            ind(&[1.0, 3.0]),
+            ind(&[2.0, 2.0]),
+            ind(&[3.0, 1.0]),
+            ind(&[4.0, 0.0]),
+        ];
         let front: Vec<usize> = (0..5).collect();
         assign_crowding(&mut pop, &front);
         assert!((pop[1].crowding - pop[2].crowding).abs() < 1e-12);

@@ -20,7 +20,13 @@ pub struct Individual {
 impl Individual {
     /// Creates an evaluated individual (rank/crowding unset).
     pub fn new(genome: Vec<i64>, raw: Vec<f64>, min_objs: Vec<f64>) -> Individual {
-        Individual { genome, raw, min_objs, rank: usize::MAX, crowding: 0.0 }
+        Individual {
+            genome,
+            raw,
+            min_objs,
+            rank: usize::MAX,
+            crowding: 0.0,
+        }
     }
 
     /// Pareto dominance in minimization space: true when `self` is no worse

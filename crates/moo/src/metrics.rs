@@ -48,17 +48,24 @@ fn hv_recurse(points: &[Vec<f64>], reference: &[f64]) -> f64 {
     // Sweep the last dimension ascending; each slab's cross-section is the
     // (d-1)-dimensional hypervolume of the points at or below the slab.
     let mut pts = points.to_vec();
-    pts.sort_by(|a, b| a[d - 1].partial_cmp(&b[d - 1]).unwrap_or(std::cmp::Ordering::Equal));
+    pts.sort_by(|a, b| {
+        a[d - 1]
+            .partial_cmp(&b[d - 1])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut total = 0.0;
     for i in 0..pts.len() {
         let z_lo = pts[i][d - 1];
-        let z_hi = if i + 1 < pts.len() { pts[i + 1][d - 1] } else { reference[d - 1] };
+        let z_hi = if i + 1 < pts.len() {
+            pts[i + 1][d - 1]
+        } else {
+            reference[d - 1]
+        };
         let thickness = (z_hi - z_lo).max(0.0);
         if thickness == 0.0 {
             continue;
         }
-        let slice: Vec<Vec<f64>> =
-            pts[..=i].iter().map(|p| p[..d - 1].to_vec()).collect();
+        let slice: Vec<Vec<f64>> = pts[..=i].iter().map(|p| p[..d - 1].to_vec()).collect();
         let cleaned = clean_front(&slice, &reference[..d - 1]);
         total += thickness * hv_recurse(&cleaned, &reference[..d - 1]);
     }
@@ -108,7 +115,11 @@ pub fn spread(front: &[Vec<f64>]) -> Option<f64> {
     let mut pts = front.to_vec();
     pts.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap_or(std::cmp::Ordering::Equal));
     let dist = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
     };
     let gaps: Vec<f64> = pts.windows(2).map(|w| dist(&w[0], &w[1])).collect();
     let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
@@ -167,7 +178,11 @@ mod tests {
         // box A from (0,0,1): 2*2*1 = 4; box B from (1,1,0): 1*1*2 = 2;
         // overlap: x∈[1,2], y∈[1,2], z∈[1,2] = 1 → union = 5.
         let pts = vec![vec![0.0, 0.0, 1.0], vec![1.0, 1.0, 0.0]];
-        assert!((hypervolume(&pts, &[2.0, 2.0, 2.0]) - 5.0).abs() < 1e-12, "{}", hypervolume(&pts, &[2.0, 2.0, 2.0]));
+        assert!(
+            (hypervolume(&pts, &[2.0, 2.0, 2.0]) - 5.0).abs() < 1e-12,
+            "{}",
+            hypervolume(&pts, &[2.0, 2.0, 2.0])
+        );
     }
 
     #[test]

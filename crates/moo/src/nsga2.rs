@@ -8,10 +8,10 @@
 //! duplicate elimination → (μ+λ) survival by front rank with
 //! crowding-distance truncation.
 
-use crate::individual::{non_dominated_indices, Individual};
 use crate::crowding::assign_crowding;
-use crate::ops::{binary_tournament, dedup_against, GaussianIntegerMutation, IntegerSbx};
+use crate::individual::{non_dominated_indices, Individual};
 use crate::ops::sampling::random_population;
+use crate::ops::{binary_tournament, dedup_against, GaussianIntegerMutation, IntegerSbx};
 use crate::problem::{to_min_space, Problem};
 use crate::sorting::fast_non_dominated_sort;
 use crate::termination::{EngineState, Termination};
@@ -60,7 +60,9 @@ fn elitism_quotas(pop_size: usize, n_fronts: usize, r: f64) -> Vec<usize> {
     let norm: f64 = (1.0 - r.powi(k as i32)).max(1e-12);
     let mut quotas: Vec<usize> = (0..k)
         .map(|i| {
-            ((pop_size as f64) * (1.0 - r) * r.powi(i as i32) / norm).round().max(1.0) as usize
+            ((pop_size as f64) * (1.0 - r) * r.powi(i as i32) / norm)
+                .round()
+                .max(1.0) as usize
         })
         .collect();
     // Fix rounding drift against the population size. Trims from the tail
@@ -134,7 +136,10 @@ pub fn nsga2<P: Problem + ?Sized>(
     cfg: &Nsga2Config,
     termination: &Termination,
 ) -> OptResult {
-    assert!(cfg.pop_size >= 2, "population must hold at least one mating pair");
+    assert!(
+        cfg.pop_size >= 2,
+        "population must hold at least one mating pair"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let vars = problem.variables().to_vec();
     let objectives = problem.objectives().to_vec();
@@ -186,7 +191,8 @@ pub fn nsga2<P: Problem + ?Sized>(
             let p1 = binary_tournament(&pop, &mut rng);
             let p2 = binary_tournament(&pop, &mut rng);
             let (mut c1, mut c2) =
-                cfg.crossover.cross(&vars, &pop[p1].genome, &pop[p2].genome, &mut rng);
+                cfg.crossover
+                    .cross(&vars, &pop[p1].genome, &pop[p2].genome, &mut rng);
             cfg.mutation.mutate(&vars, &mut c1, &mut rng);
             cfg.mutation.mutate(&vars, &mut c2, &mut rng);
             offspring_genomes.push(c1);
@@ -195,8 +201,7 @@ pub fn nsga2<P: Problem + ?Sized>(
             }
         }
         if cfg.eliminate_duplicates {
-            let parent_genomes: Vec<Vec<i64>> =
-                pop.iter().map(|i| i.genome.clone()).collect();
+            let parent_genomes: Vec<Vec<i64>> = pop.iter().map(|i| i.genome.clone()).collect();
             dedup_against(&vars, &parent_genomes, &mut offspring_genomes, &mut rng);
         }
 
@@ -291,7 +296,13 @@ pub fn nsga2<P: Problem + ?Sized>(
         p.rank = 0;
     }
 
-    OptResult { population: pop, pareto, generations: generation, evaluations, history }
+    OptResult {
+        population: pop,
+        pareto,
+        generations: generation,
+        evaluations,
+        history,
+    }
 }
 
 #[cfg(test)]
@@ -300,7 +311,11 @@ mod tests {
     use crate::problem::{IntVar, Objective, Schaffer};
 
     fn small_cfg(seed: u64) -> Nsga2Config {
-        Nsga2Config { pop_size: 24, seed, ..Default::default() }
+        Nsga2Config {
+            pop_size: 24,
+            seed,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -327,7 +342,10 @@ mod tests {
         let run = |seed| {
             let mut p = Schaffer::new();
             let r = nsga2(&mut p, &small_cfg(seed), &Termination::Generations(10));
-            r.sorted_pareto().iter().map(|i| i.genome.clone()).collect::<Vec<_>>()
+            r.sorted_pareto()
+                .iter()
+                .map(|i| i.genome.clone())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
@@ -349,7 +367,10 @@ mod tests {
         let r = nsga2(&mut p, &small_cfg(3), &Termination::Generations(5));
         assert_eq!(r.generations, 5);
         assert_eq!(r.history.len(), 6); // gen 0 + 5
-        assert!(r.history.windows(2).all(|w| w[1].evaluations > w[0].evaluations));
+        assert!(r
+            .history
+            .windows(2)
+            .all(|w| w[1].evaluations > w[0].evaluations));
     }
 
     #[test]
@@ -433,7 +454,10 @@ mod tests {
         };
         let r = nsga2(&mut p, &cfg, &Termination::Generations(20));
         let rank0 = r.population.iter().filter(|i| i.rank == 0).count();
-        assert!(rank0 < r.population.len(), "no dominated ranks kept: {rank0}");
+        assert!(
+            rank0 < r.population.len(),
+            "no dominated ranks kept: {rank0}"
+        );
         // And the front is still found.
         assert!(r.pareto.iter().any(|i| (0..=2).contains(&i.genome[0])));
     }
@@ -448,9 +472,16 @@ mod tests {
             ..Default::default()
         };
         let r = nsga2(&mut p, &cfg, &Termination::Generations(40));
-        let on_front =
-            r.pareto.iter().filter(|i| (0..=2).contains(&i.genome[0])).count();
-        assert!(on_front >= 2, "{:?}", r.pareto.iter().map(|i| i.genome[0]).collect::<Vec<_>>());
+        let on_front = r
+            .pareto
+            .iter()
+            .filter(|i| (0..=2).contains(&i.genome[0]))
+            .count();
+        assert!(
+            on_front >= 2,
+            "{:?}",
+            r.pareto.iter().map(|i| i.genome[0]).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -458,7 +489,11 @@ mod tests {
         let mut p = Schaffer::new();
         let r = nsga2(&mut p, &small_cfg(9), &Termination::Generations(25));
         // f1-optimal point x=0 must be in the archive front.
-        let best_f1 = r.pareto.iter().map(|i| i.raw[0]).fold(f64::INFINITY, f64::min);
+        let best_f1 = r
+            .pareto
+            .iter()
+            .map(|i| i.raw[0])
+            .fold(f64::INFINITY, f64::min);
         assert!(best_f1 <= 1.0, "lost the f1 extreme: {best_f1}");
     }
 }

@@ -21,7 +21,11 @@ pub struct IntegerSbx {
 
 impl Default for IntegerSbx {
     fn default() -> Self {
-        IntegerSbx { eta: 15.0, prob_pair: 0.9, prob_gene: 0.5 }
+        IntegerSbx {
+            eta: 15.0,
+            prob_pair: 0.9,
+            prob_gene: 0.5,
+        }
     }
 }
 
@@ -56,7 +60,11 @@ impl IntegerSbx {
             let y1 = 0.5 * ((x1 + x2) - beta * (x2 - x1));
             let y2 = 0.5 * ((x1 + x2) + beta * (x2 - x1));
             // Randomly assign which child gets which value (standard SBX).
-            let (a, b) = if rng.gen::<bool>() { (y1, y2) } else { (y2, y1) };
+            let (a, b) = if rng.gen::<bool>() {
+                (y1, y2)
+            } else {
+                (y2, y1)
+            };
             c1[i] = v.clamp(a.round() as i64);
             c2[i] = v.clamp(b.round() as i64);
         }
@@ -88,7 +96,11 @@ mod tests {
 
     #[test]
     fn identical_parents_unchanged() {
-        let op = IntegerSbx { prob_pair: 1.0, prob_gene: 1.0, ..Default::default() };
+        let op = IntegerSbx {
+            prob_pair: 1.0,
+            prob_gene: 1.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let (c1, c2) = op.cross(&vars(), &[42, 7], &[42, 7], &mut rng);
         assert_eq!(c1, vec![42, 7]);
@@ -97,7 +109,11 @@ mod tests {
 
     #[test]
     fn high_eta_keeps_children_near_parents() {
-        let near = IntegerSbx { eta: 100.0, prob_pair: 1.0, prob_gene: 1.0 };
+        let near = IntegerSbx {
+            eta: 100.0,
+            prob_pair: 1.0,
+            prob_gene: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let mut max_dev = 0i64;
         for _ in 0..300 {
@@ -113,7 +129,11 @@ mod tests {
 
     #[test]
     fn mean_preserved_on_average() {
-        let op = IntegerSbx { prob_pair: 1.0, prob_gene: 1.0, ..Default::default() };
+        let op = IntegerSbx {
+            prob_pair: 1.0,
+            prob_gene: 1.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let mut sum = 0i64;
         let n = 2000;
@@ -127,7 +147,10 @@ mod tests {
 
     #[test]
     fn zero_pair_probability_is_identity() {
-        let op = IntegerSbx { prob_pair: 0.0, ..Default::default() };
+        let op = IntegerSbx {
+            prob_pair: 0.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let (c1, c2) = op.cross(&vars(), &[1, 2], &[3, 4], &mut rng);
         assert_eq!(c1, vec![1, 2]);

@@ -18,11 +18,21 @@ pub struct GaussianIntegerMutation {
     /// Standard deviation as a fraction of each variable's range — the
     /// paper's "hand-tuned parameter" controlling the variance.
     pub sigma_frac: f64,
+    /// Probability that a mutating gene takes a fine unit-scale step
+    /// (σ = 1) instead of the coarse range-scaled one. On wide variables
+    /// the coarse step almost never lands on a neighbouring integer, so
+    /// without this the search cannot resolve adjacent configurations
+    /// around the front.
+    pub fine_prob: f64,
 }
 
 impl Default for GaussianIntegerMutation {
     fn default() -> Self {
-        GaussianIntegerMutation { prob: None, sigma_frac: 0.12 }
+        GaussianIntegerMutation {
+            prob: None,
+            sigma_frac: 0.12,
+            fine_prob: 0.5,
+        }
     }
 }
 
@@ -38,7 +48,12 @@ impl GaussianIntegerMutation {
             if range <= 0.0 {
                 continue;
             }
-            let sigma = (self.sigma_frac * range).max(0.5);
+            let coarse = (self.sigma_frac * range).max(0.5);
+            let sigma = if rng.gen::<f64>() < self.fine_prob {
+                coarse.min(1.0)
+            } else {
+                coarse
+            };
             let step = gaussian(rng) * sigma;
             // Round away from zero so a mutation is never a no-op.
             let delta = if step >= 0.0 {
@@ -70,7 +85,11 @@ mod tests {
 
     #[test]
     fn stays_within_bounds() {
-        let op = GaussianIntegerMutation { prob: Some(1.0), sigma_frac: 0.5 };
+        let op = GaussianIntegerMutation {
+            prob: Some(1.0),
+            sigma_frac: 0.5,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(1);
         for start in [0i64, 50, 100] {
             for _ in 0..300 {
@@ -83,7 +102,11 @@ mod tests {
 
     #[test]
     fn always_moves_when_forced_and_unclamped() {
-        let op = GaussianIntegerMutation { prob: Some(1.0), sigma_frac: 0.12 };
+        let op = GaussianIntegerMutation {
+            prob: Some(1.0),
+            sigma_frac: 0.12,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let mut moved = 0;
         for _ in 0..200 {
@@ -99,7 +122,11 @@ mod tests {
 
     #[test]
     fn zero_probability_never_mutates() {
-        let op = GaussianIntegerMutation { prob: Some(0.0), sigma_frac: 0.2 };
+        let op = GaussianIntegerMutation {
+            prob: Some(0.0),
+            sigma_frac: 0.2,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let mut g = vec![50i64];
         op.mutate(&vars(), &mut g, &mut rng);
@@ -108,7 +135,11 @@ mod tests {
 
     #[test]
     fn steps_roughly_symmetric() {
-        let op = GaussianIntegerMutation { prob: Some(1.0), sigma_frac: 0.12 };
+        let op = GaussianIntegerMutation {
+            prob: Some(1.0),
+            sigma_frac: 0.12,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let mut sum = 0i64;
         for _ in 0..4000 {
@@ -122,8 +153,16 @@ mod tests {
 
     #[test]
     fn sigma_scales_step_size() {
-        let small = GaussianIntegerMutation { prob: Some(1.0), sigma_frac: 0.02 };
-        let large = GaussianIntegerMutation { prob: Some(1.0), sigma_frac: 0.40 };
+        let small = GaussianIntegerMutation {
+            prob: Some(1.0),
+            sigma_frac: 0.02,
+            ..Default::default()
+        };
+        let large = GaussianIntegerMutation {
+            prob: Some(1.0),
+            sigma_frac: 0.40,
+            ..Default::default()
+        };
         let spread = |op: &GaussianIntegerMutation, seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut acc = 0f64;
@@ -140,7 +179,11 @@ mod tests {
     #[test]
     fn degenerate_variable_untouched() {
         let fixed = vec![IntVar::new("k", 7, 7)];
-        let op = GaussianIntegerMutation { prob: Some(1.0), sigma_frac: 0.3 };
+        let op = GaussianIntegerMutation {
+            prob: Some(1.0),
+            sigma_frac: 0.3,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(6);
         let mut g = vec![7i64];
         op.mutate(&fixed, &mut g, &mut rng);

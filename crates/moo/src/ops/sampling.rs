@@ -10,12 +10,10 @@ pub fn random_genome<R: Rng + ?Sized>(vars: &[IntVar], rng: &mut R) -> Vec<i64> 
 
 /// Samples `n` genomes, rejecting duplicates while the space allows
 /// (falls back to accepting duplicates when the space is smaller than `n`).
-pub fn random_population<R: Rng + ?Sized>(
-    vars: &[IntVar],
-    n: usize,
-    rng: &mut R,
-) -> Vec<Vec<i64>> {
-    let volume = vars.iter().fold(1u64, |a, v| a.saturating_mul(v.cardinality()));
+pub fn random_population<R: Rng + ?Sized>(vars: &[IntVar], n: usize, rng: &mut R) -> Vec<Vec<i64>> {
+    let volume = vars
+        .iter()
+        .fold(1u64, |a, v| a.saturating_mul(v.cardinality()));
     let mut out: Vec<Vec<i64>> = Vec::with_capacity(n);
     let mut attempts = 0usize;
     while out.len() < n {
@@ -53,7 +51,10 @@ mod tests {
     fn deterministic_with_seed() {
         let mut a = StdRng::seed_from_u64(7);
         let mut b = StdRng::seed_from_u64(7);
-        assert_eq!(random_population(&vars(), 10, &mut a), random_population(&vars(), 10, &mut b));
+        assert_eq!(
+            random_population(&vars(), 10, &mut a),
+            random_population(&vars(), 10, &mut b)
+        );
     }
 
     #[test]

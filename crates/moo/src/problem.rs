@@ -24,7 +24,11 @@ impl IntVar {
     /// Creates a variable, normalizing inverted bounds.
     pub fn new(name: impl Into<String>, lo: i64, hi: i64) -> IntVar {
         let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
-        IntVar { name: name.into(), lo, hi }
+        IntVar {
+            name: name.into(),
+            lo,
+            hi,
+        }
     }
 
     /// Number of admissible values.
@@ -80,12 +84,18 @@ pub struct Objective {
 impl Objective {
     /// A minimized objective.
     pub fn minimize(name: impl Into<String>) -> Objective {
-        Objective { name: name.into(), sense: Sense::Minimize }
+        Objective {
+            name: name.into(),
+            sense: Sense::Minimize,
+        }
     }
 
     /// A maximized objective.
     pub fn maximize(name: impl Into<String>) -> Objective {
-        Objective { name: name.into(), sense: Sense::Maximize }
+        Objective {
+            name: name.into(),
+            sense: Sense::Maximize,
+        }
     }
 }
 
@@ -126,7 +136,11 @@ pub trait Problem {
 
 /// Converts raw objective values into minimization space.
 pub fn to_min_space(objectives: &[Objective], raw: &[f64]) -> Vec<f64> {
-    objectives.iter().zip(raw).map(|(o, v)| o.sense.sign() * v).collect()
+    objectives
+        .iter()
+        .zip(raw)
+        .map(|(o, v)| o.sense.sign() * v)
+        .collect()
 }
 
 /// A simple closed-form test problem used across the crate's tests: the

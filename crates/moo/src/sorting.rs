@@ -32,8 +32,7 @@ pub fn fast_non_dominated_sort(pop: &mut [Individual]) -> Vec<Vec<usize>> {
     }
 
     let mut fronts: Vec<Vec<usize>> = Vec::new();
-    let mut current: Vec<usize> =
-        (0..n).filter(|&i| counts[i] == 0).collect();
+    let mut current: Vec<usize> = (0..n).filter(|&i| counts[i] == 0).collect();
     let mut rank = 0usize;
     while !current.is_empty() {
         for &i in &current {
@@ -71,7 +70,12 @@ mod tests {
 
     #[test]
     fn single_front_when_all_trade_off() {
-        let mut pop = vec![ind(&[1.0, 4.0]), ind(&[2.0, 3.0]), ind(&[3.0, 2.0]), ind(&[4.0, 1.0])];
+        let mut pop = vec![
+            ind(&[1.0, 4.0]),
+            ind(&[2.0, 3.0]),
+            ind(&[3.0, 2.0]),
+            ind(&[4.0, 1.0]),
+        ];
         let fronts = fast_non_dominated_sort(&mut pop);
         assert_eq!(fronts.len(), 1);
         assert_eq!(fronts[0].len(), 4);

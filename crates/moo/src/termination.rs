@@ -50,7 +50,11 @@ mod tests {
     use super::*;
 
     fn st(generation: u32, evaluations: u64, external_cost: f64) -> EngineState {
-        EngineState { generation, evaluations, external_cost }
+        EngineState {
+            generation,
+            evaluations,
+            external_cost,
+        }
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl SurrogateController {
     pub fn new(bounds: Bounds, n_outputs: usize, policy: ThresholdPolicy) -> Self {
         SurrogateController {
             dataset: Dataset::new(bounds, n_outputs),
-            model: NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.1 },
+            model: NadarayaWatson {
+                kernel: Kernel::Gaussian,
+                bandwidth: 0.1,
+            },
             policy,
             gamma: 0.0,
             grid: Vec::new(),
@@ -143,23 +146,34 @@ impl SurrogateController {
     }
 
     /// Feeds back a fresh tool result: inserts the pair, re-validates the
-    /// model (LOO-CV bandwidth), and updates Γ.
-    pub fn record(&mut self, point: Vec<i64>, outputs: Vec<f64>) {
+    /// model (LOO-CV bandwidth), and updates Γ. Returns whether the pair
+    /// entered the dataset: non-finite outputs and penalty-magnitude
+    /// sentinels are refused (defense in depth — the fitness layer already
+    /// gates them, but one poisoned pair skews Nadaraya-Watson estimates
+    /// for every neighboring query, so the dataset defends itself too).
+    pub fn record(&mut self, point: Vec<i64>, outputs: Vec<f64>) -> bool {
+        if !credible(&outputs) {
+            return false;
+        }
         self.dataset.insert(point, outputs);
         self.inserts_since_retrain += 1;
         if self.inserts_since_retrain >= self.retrain_every {
-            self.model.bandwidth =
-                select_bandwidth(&self.dataset, self.model.kernel, &self.grid);
+            self.model.bandwidth = select_bandwidth(&self.dataset, self.model.kernel, &self.grid);
             self.inserts_since_retrain = 0;
         }
         self.gamma = self.policy.gamma(&self.dataset);
+        true
     }
 
     /// Pre-trains on an existing synthetic dataset (the paper's M ≈ 100
-    /// random Vivado calls before exploration starts).
+    /// random Vivado calls before exploration starts). Pairs with
+    /// non-credible outputs (see [`SurrogateController::record`]) are
+    /// skipped.
     pub fn pretrain(&mut self, pairs: Vec<(Vec<i64>, Vec<f64>)>) {
         for (p, o) in pairs {
-            self.dataset.insert(p, o);
+            if credible(&o) {
+                self.dataset.insert(p, o);
+            }
         }
         self.model.bandwidth = select_bandwidth(&self.dataset, self.model.kernel, &self.grid);
         self.gamma = self.policy.gamma(&self.dataset);
@@ -171,6 +185,17 @@ impl SurrogateController {
     pub fn predict(&self, point: &[i64]) -> Option<Vec<f64>> {
         self.model.predict(&self.dataset, point)
     }
+}
+
+/// Output magnitudes at or above this are treated as failure sentinels,
+/// not measurements (the fitness layer's penalty vectors use 1e9).
+const MAX_CREDIBLE_OUTPUT: f64 = 1e9;
+
+/// Whether an output vector looks like a genuine measurement.
+fn credible(outputs: &[f64]) -> bool {
+    outputs
+        .iter()
+        .all(|v| v.is_finite() && v.abs() < MAX_CREDIBLE_OUTPUT)
 }
 
 #[cfg(test)]
@@ -188,10 +213,12 @@ mod tests {
 
     fn pretrained(policy: ThresholdPolicy) -> SurrogateController {
         let mut c = SurrogateController::new(bounds(), 2, policy);
-        let pairs: Vec<_> = (0..=20).map(|i| {
-            let x = i * 50;
-            (vec![x], truth(x))
-        }).collect();
+        let pairs: Vec<_> = (0..=20)
+            .map(|i| {
+                let x = i * 50;
+                (vec![x], truth(x))
+            })
+            .collect();
         c.pretrain(pairs);
         c
     }
@@ -222,10 +249,8 @@ mod tests {
 
     #[test]
     fn case3_far_point_is_evaluated_and_learned() {
-        let mut c = SurrogateController::new(bounds(), 2, ThresholdPolicy::paper_default());
-        c.pretrain(vec![(vec![0], truth(0)), (vec![1000], truth(1000))]);
-        // Γ = 1.0 here (two far points) — shrink it artificially to force
-        // evaluation via a fixed policy instead.
+        // With the adaptive policy on a sparse dataset Γ would be huge and
+        // everything would be estimated; a small fixed Γ forces evaluation.
         let mut c = pretrained(ThresholdPolicy::Fixed(0.001));
         match c.decide(&[777]) {
             Decision::Evaluate => {}
@@ -288,6 +313,36 @@ mod tests {
         assert_eq!(c.stats.total(), 0);
         let _ = c.decide(&[500]);
         assert_eq!(c.stats.total(), 1);
+    }
+
+    #[test]
+    fn record_refuses_penalty_and_non_finite_outputs() {
+        let mut c = pretrained(ThresholdPolicy::paper_default());
+        let n0 = c.dataset().len();
+        let g0 = c.gamma();
+        assert!(!c.record(vec![333], vec![0.0, 1e9]));
+        assert!(!c.record(vec![334], vec![f64::NAN, 0.5]));
+        assert!(!c.record(vec![335], vec![f64::INFINITY, 0.5]));
+        assert_eq!(
+            c.dataset().len(),
+            n0,
+            "sentinel outputs must not be learned"
+        );
+        assert_eq!(c.gamma(), g0, "refused pairs must not move Γ");
+        assert!(c.record(vec![336], truth(336)));
+        assert_eq!(c.dataset().len(), n0 + 1);
+    }
+
+    #[test]
+    fn pretrain_skips_sentinel_pairs() {
+        let mut c = SurrogateController::new(bounds(), 2, ThresholdPolicy::paper_default());
+        c.pretrain(vec![
+            (vec![0], truth(0)),
+            (vec![500], vec![1e9, 0.0]), // a failed sample's penalty vector
+            (vec![1000], truth(1000)),
+        ]);
+        assert_eq!(c.dataset().len(), 2);
+        assert!(c.dataset().get(&[500]).is_none());
     }
 
     #[test]

@@ -102,7 +102,11 @@ impl Dataset {
 
     /// Inserts a pair; replaces the outputs if the point already exists.
     pub fn insert(&mut self, point: Vec<i64>, outputs: Vec<f64>) {
-        assert_eq!(point.len(), self.bounds.dim(), "point dimensionality mismatch");
+        assert_eq!(
+            point.len(),
+            self.bounds.dim(),
+            "point dimensionality mismatch"
+        );
         assert_eq!(outputs.len(), self.n_outputs, "output arity mismatch");
         if let Some(&row) = self.index.get(&point) {
             self.outputs[row] = outputs;
@@ -117,7 +121,9 @@ impl Dataset {
 
     /// Exact lookup by raw point.
     pub fn get(&self, point: &[i64]) -> Option<&[f64]> {
-        self.index.get(point).map(|&row| self.outputs[row].as_slice())
+        self.index
+            .get(point)
+            .map(|&row| self.outputs[row].as_slice())
     }
 
     /// Whether the exact point is stored.
@@ -192,15 +198,21 @@ impl Dataset {
     pub fn from_csv(text: &str) -> Result<Dataset, String> {
         let mut lines = text.lines();
         let header = lines.next().ok_or("empty dataset file")?;
-        let header = header.strip_prefix("#bounds").ok_or("missing #bounds header")?;
+        let header = header
+            .strip_prefix("#bounds")
+            .ok_or("missing #bounds header")?;
         let (bounds_part, outputs_part) =
             header.split_once(';').ok_or("malformed header (no `;`)")?;
         let mut dims = Vec::new();
         for spec in bounds_part.split(',').filter(|s| !s.is_empty()) {
-            let (lo, hi) = spec.split_once(':').ok_or_else(|| format!("bad bound `{spec}`"))?;
+            let (lo, hi) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("bad bound `{spec}`"))?;
             dims.push((
-                lo.parse::<i64>().map_err(|_| format!("bad bound `{spec}`"))?,
-                hi.parse::<i64>().map_err(|_| format!("bad bound `{spec}`"))?,
+                lo.parse::<i64>()
+                    .map_err(|_| format!("bad bound `{spec}`"))?,
+                hi.parse::<i64>()
+                    .map_err(|_| format!("bad bound `{spec}`"))?,
             ));
         }
         let n_outputs: usize = outputs_part

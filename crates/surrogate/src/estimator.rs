@@ -63,9 +63,7 @@ impl Estimator {
     ) -> Option<Vec<f64>> {
         match self {
             Estimator::Nw(m) => m.predict_excluding(dataset, point, exclude),
-            Estimator::InverseDistance { power } => {
-                idw_predict(dataset, point, *power, exclude)
-            }
+            Estimator::InverseDistance { power } => idw_predict(dataset, point, *power, exclude),
             Estimator::KNearest { k } => knn_predict(dataset, point, (*k).max(1), exclude),
         }
     }
@@ -160,7 +158,10 @@ mod tests {
 
     fn estimators() -> Vec<Estimator> {
         vec![
-            Estimator::Nw(NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.05 }),
+            Estimator::Nw(NadarayaWatson {
+                kernel: Kernel::Gaussian,
+                bandwidth: 0.05,
+            }),
             Estimator::InverseDistance { power: 2.0 },
             Estimator::KNearest { k: 1 },
             Estimator::KNearest { k: 3 },
@@ -183,7 +184,10 @@ mod tests {
     #[test]
     fn idw_and_knn_exact_hits_are_verbatim() {
         let d = line_dataset();
-        for e in [Estimator::InverseDistance { power: 2.0 }, Estimator::KNearest { k: 1 }] {
+        for e in [
+            Estimator::InverseDistance { power: 2.0 },
+            Estimator::KNearest { k: 1 },
+        ] {
             assert_eq!(e.predict(&d, &[50]).unwrap()[0], 100.0, "{}", e.name());
         }
     }
@@ -232,7 +236,10 @@ mod tests {
     #[test]
     fn retrain_touches_only_nw() {
         let d = line_dataset();
-        let mut nw = Estimator::Nw(NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.9 });
+        let mut nw = Estimator::Nw(NadarayaWatson {
+            kernel: Kernel::Gaussian,
+            bandwidth: 0.9,
+        });
         nw.retrain(&d);
         match nw {
             Estimator::Nw(m) => assert!(m.bandwidth < 0.9),

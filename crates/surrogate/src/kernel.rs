@@ -57,8 +57,12 @@ impl Kernel {
     }
 
     /// All kernels (for ablation sweeps).
-    pub const ALL: [Kernel; 4] =
-        [Kernel::Gaussian, Kernel::Epanechnikov, Kernel::Tricube, Kernel::Uniform];
+    pub const ALL: [Kernel; 4] = [
+        Kernel::Gaussian,
+        Kernel::Epanechnikov,
+        Kernel::Tricube,
+        Kernel::Uniform,
+    ];
 }
 
 impl fmt::Display for Kernel {

@@ -12,7 +12,9 @@ use crate::nw::NadarayaWatson;
 
 /// Default candidate grid: log-spaced bandwidths in normalized units.
 pub fn default_bandwidth_grid() -> Vec<f64> {
-    vec![0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.18, 0.27, 0.40, 0.60, 1.0]
+    vec![
+        0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.18, 0.27, 0.40, 0.60, 1.0,
+    ]
 }
 
 /// LOO-CV mean squared error of `(kernel, h)` on the dataset, summed over
@@ -40,7 +42,10 @@ pub fn loo_mse(dataset: &Dataset, kernel: Kernel, bandwidth: f64) -> Option<f64>
             *v += (y - mu) * (y - mu);
         }
     }
-    let sd: Vec<f64> = var.iter().map(|v| (v / n as f64).sqrt().max(1e-12)).collect();
+    let sd: Vec<f64> = var
+        .iter()
+        .map(|v| (v / n as f64).sqrt().max(1e-12))
+        .collect();
 
     let nw = NadarayaWatson { kernel, bandwidth };
     let mut total = 0.0f64;

@@ -74,14 +74,16 @@ mod tests {
             let x = (i * 997 / n_samples.max(1)) as i64 % 1001;
             d.insert(vec![x], f(x));
         }
-        let probes =
-            ProbeSet::new((0..40).map(|i| (vec![i * 25 + 7], f(i * 25 + 7))).collect());
+        let probes = ProbeSet::new((0..40).map(|i| (vec![i * 25 + 7], f(i * 25 + 7))).collect());
         (d, probes)
     }
 
     #[test]
     fn mse_decreases_with_more_samples() {
-        let model = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.05 };
+        let model = NadarayaWatson {
+            kernel: Kernel::Gaussian,
+            bandwidth: 0.05,
+        };
         let (d_small, probes) = setup(8);
         let (d_big, _) = setup(120);
         let small = mse_per_output(&model, &d_small, &probes, &[100.0, 50.0]).unwrap();
@@ -92,7 +94,10 @@ mod tests {
 
     #[test]
     fn normalized_mse_is_small_for_good_model() {
-        let model = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.03 };
+        let model = NadarayaWatson {
+            kernel: Kernel::Gaussian,
+            bandwidth: 0.03,
+        };
         let (d, probes) = setup(100);
         let mse = mse_per_output(&model, &d, &probes, &[100.0, 50.0]).unwrap();
         // Linear metrics with dense samples: normalized MSE well below 1e-2
@@ -112,7 +117,10 @@ mod tests {
 
     #[test]
     fn zero_scale_treated_as_identity() {
-        let model = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.05 };
+        let model = NadarayaWatson {
+            kernel: Kernel::Gaussian,
+            bandwidth: 0.05,
+        };
         let (d, probes) = setup(50);
         let a = mse_per_output(&model, &d, &probes, &[0.0, 1.0]).unwrap();
         let b = mse_per_output(&model, &d, &probes, &[1.0, 1.0]).unwrap();

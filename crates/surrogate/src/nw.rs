@@ -20,7 +20,10 @@ pub struct NadarayaWatson {
 
 impl Default for NadarayaWatson {
     fn default() -> Self {
-        NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.1 }
+        NadarayaWatson {
+            kernel: Kernel::Gaussian,
+            bandwidth: 0.1,
+        }
     }
 }
 
@@ -62,7 +65,7 @@ impl NadarayaWatson {
             for (acc, y) in num.iter_mut().zip(&dataset.outputs()[i]) {
                 *acc += w * y;
             }
-            if nearest.map_or(true, |(bd, _)| d2 < bd) {
+            if nearest.is_none_or(|(bd, _)| d2 < bd) {
                 nearest = Some((d2, i));
             }
         }
@@ -99,7 +102,10 @@ mod tests {
     #[test]
     fn exact_sample_recovered_with_small_bandwidth() {
         let d = line_dataset();
-        let nw = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.01 };
+        let nw = NadarayaWatson {
+            kernel: Kernel::Gaussian,
+            bandwidth: 0.01,
+        };
         let y = nw.predict(&d, &[50]).unwrap()[0];
         assert!((y - 100.0).abs() < 1.0, "y = {y}");
     }
@@ -107,7 +113,10 @@ mod tests {
     #[test]
     fn interpolates_between_samples() {
         let d = line_dataset();
-        let nw = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.03 };
+        let nw = NadarayaWatson {
+            kernel: Kernel::Gaussian,
+            bandwidth: 0.03,
+        };
         let y = nw.predict(&d, &[52]).unwrap()[0];
         assert!((y - 104.0).abs() < 6.0, "y = {y}");
     }
@@ -115,7 +124,10 @@ mod tests {
     #[test]
     fn huge_bandwidth_tends_to_global_mean() {
         let d = line_dataset();
-        let nw = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 100.0 };
+        let nw = NadarayaWatson {
+            kernel: Kernel::Gaussian,
+            bandwidth: 100.0,
+        };
         let y = nw.predict(&d, &[0]).unwrap()[0];
         // Global mean of y = 2x over 0..=100 step 5 is 100.
         assert!((y - 100.0).abs() < 2.0, "y = {y}");
@@ -125,7 +137,10 @@ mod tests {
     fn weighted_average_is_bounded_by_data() {
         let d = line_dataset();
         for h in [0.01, 0.05, 0.2, 1.0] {
-            let nw = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: h };
+            let nw = NadarayaWatson {
+                kernel: Kernel::Gaussian,
+                bandwidth: h,
+            };
             let y = nw.predict(&d, &[33]).unwrap()[0];
             assert!((0.0..=200.0).contains(&y));
         }
@@ -136,7 +151,10 @@ mod tests {
         let mut d = Dataset::new(Bounds::new(vec![(0, 1000)]), 1);
         d.insert(vec![0], vec![7.0]);
         d.insert(vec![1000], vec![9.0]);
-        let nw = NadarayaWatson { kernel: Kernel::Epanechnikov, bandwidth: 0.05 };
+        let nw = NadarayaWatson {
+            kernel: Kernel::Epanechnikov,
+            bandwidth: 0.05,
+        };
         // Query in the middle, slightly nearer to 1000.
         let y = nw.predict(&d, &[600]).unwrap()[0];
         assert_eq!(y, 9.0);
@@ -148,7 +166,10 @@ mod tests {
         for x in 0..=10 {
             d.insert(vec![x], vec![x as f64, 10.0 - x as f64]);
         }
-        let nw = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.05 };
+        let nw = NadarayaWatson {
+            kernel: Kernel::Gaussian,
+            bandwidth: 0.05,
+        };
         let y = nw.predict(&d, &[4]).unwrap();
         assert!((y[0] - 4.0).abs() < 0.5);
         assert!((y[1] - 6.0).abs() < 0.5);
@@ -160,7 +181,10 @@ mod tests {
         d.insert(vec![0], vec![0.0]);
         d.insert(vec![5], vec![100.0]);
         d.insert(vec![10], vec![0.0]);
-        let nw = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: 0.2 };
+        let nw = NadarayaWatson {
+            kernel: Kernel::Gaussian,
+            bandwidth: 0.2,
+        };
         let with = nw.predict(&d, &[5]).unwrap()[0];
         let without = nw.predict_excluding(&d, &[5], Some(1)).unwrap()[0];
         assert!(with > without, "{with} vs {without}");

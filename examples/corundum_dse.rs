@@ -19,7 +19,11 @@ fn main() {
     let tool = cs.dovado().expect("case study builds");
     let report = tool
         .explore(&DseConfig {
-            algorithm: Nsga2Config { pop_size: 20, seed: 7, ..Default::default() },
+            algorithm: Nsga2Config {
+                pop_size: 20,
+                seed: 7,
+                ..Default::default()
+            },
             termination: Termination::Generations(10),
             metrics: cs.metrics.clone(),
             surrogate: None, // "disabling the approximator model to employ

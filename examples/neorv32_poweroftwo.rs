@@ -18,7 +18,10 @@ fn main() {
     println!("case study : {}", cs.name);
     println!("module     : {} (VHDL)", cs.top);
     println!("space      : {}", cs.space);
-    println!("volume     : {} points (power-of-two restriction)", cs.space.volume());
+    println!(
+        "volume     : {} points (power-of-two restriction)",
+        cs.space.volume()
+    );
     println!();
 
     let tool = cs.dovado().expect("case study builds");
@@ -26,7 +29,11 @@ fn main() {
     // Genetic exploration.
     let report = tool
         .explore(&DseConfig {
-            algorithm: Nsga2Config { pop_size: 14, seed: 5, ..Default::default() },
+            algorithm: Nsga2Config {
+                pop_size: 14,
+                seed: 5,
+                ..Default::default()
+            },
             termination: Termination::Generations(10),
             metrics: cs.metrics.clone(),
             surrogate: None,
@@ -44,7 +51,10 @@ fn main() {
         .evaluate_exhaustive(64, true)
         .expect("49 points are enumerable");
     let ok = exhaustive.iter().filter(|r| r.result.is_ok()).count();
-    println!("exact exploration: {ok}/{} points evaluated", exhaustive.len());
+    println!(
+        "exact exploration: {ok}/{} points evaluated",
+        exhaustive.len()
+    );
 
     // The Fig. 5 observation: between 2^14 and 2^15 the BRAM count jumps
     // while the other metrics barely move.

@@ -35,7 +35,11 @@ fn main() {
 
     // 2. Point Dovado at the sources, the top module and the target part.
     let tool = Dovado::new(
-        vec![HdlSource::new("fifo.sv", Language::SystemVerilog, MY_MODULE)],
+        vec![HdlSource::new(
+            "fifo.sv",
+            Language::SystemVerilog,
+            MY_MODULE,
+        )],
         "fifo_v3",
         space,
         EvalConfig {
@@ -51,16 +55,29 @@ fn main() {
     let eval = tool.evaluate_point(&point).expect("evaluation runs");
     println!("single-point evaluation of {point}:");
     println!("  LUTs      : {}", eval.utilization.get(ResourceKind::Lut));
-    println!("  registers : {}", eval.utilization.get(ResourceKind::Register));
-    println!("  WNS       : {:.3} ns at a {:.3} ns target", eval.wns_ns, eval.period_ns);
-    println!("  Fmax      : {:.1} MHz  (Eq. 1: 1000/(T - WNS))", eval.fmax_mhz);
+    println!(
+        "  registers : {}",
+        eval.utilization.get(ResourceKind::Register)
+    );
+    println!(
+        "  WNS       : {:.3} ns at a {:.3} ns target",
+        eval.wns_ns, eval.period_ns
+    );
+    println!(
+        "  Fmax      : {:.1} MHz  (Eq. 1: 1000/(T - WNS))",
+        eval.fmax_mhz
+    );
     println!("  tool time : {:.0} simulated seconds", eval.tool_time_s);
     println!();
 
     // 4. Design space exploration: find the non-dominated set.
     let report = tool
         .explore(&DseConfig {
-            algorithm: Nsga2Config { pop_size: 16, seed: 1, ..Default::default() },
+            algorithm: Nsga2Config {
+                pop_size: 16,
+                seed: 1,
+                ..Default::default()
+            },
             termination: Termination::Generations(8),
             metrics: MetricSet::new(vec![
                 Metric::Utilization(ResourceKind::Lut),

@@ -12,10 +12,17 @@ use dovado_surrogate::ThresholdPolicy;
 
 fn main() {
     let cs = cv32e40p::case_study();
-    println!("case study : {} (SystemVerilog FIFO, DEPTH over 500 values)", cs.name);
+    println!(
+        "case study : {} (SystemVerilog FIFO, DEPTH over 500 values)",
+        cs.name
+    );
     println!();
 
-    let algorithm = Nsga2Config { pop_size: 16, seed: 21, ..Default::default() };
+    let algorithm = Nsga2Config {
+        pop_size: 16,
+        seed: 21,
+        ..Default::default()
+    };
     let termination = Termination::Generations(12);
 
     // Exploration WITHOUT the model: every fitness call pays for the tool.
@@ -57,7 +64,10 @@ fn main() {
 
     let explore_tool_runs = with.tool_runs.saturating_sub(100);
     println!("during exploration itself (pre-training excluded):");
-    println!("  tool runs   : {} -> {}", plain.tool_runs, explore_tool_runs);
+    println!(
+        "  tool runs   : {} -> {}",
+        plain.tool_runs, explore_tool_runs
+    );
     println!("  estimates   : {}", with.estimates);
     println!("  cached hits : {}", with.cached_runs);
     let saved = 1.0 - explore_tool_runs as f64 / plain.tool_runs.max(1) as f64;

@@ -11,18 +11,28 @@ use dovado_moo::{Nsga2Config, Termination};
 
 fn main() {
     let cs = tirex::case_study();
-    println!("case study : {} (VHDL domain-specific architecture)", cs.name);
+    println!(
+        "case study : {} (VHDL domain-specific architecture)",
+        cs.name
+    );
     println!("space      : {}", cs.space);
     println!();
 
-    let devices = [("xczu3eg-sbva484-1-e", "16 nm"), (tirex::XC7K_PART, "28 nm")];
+    let devices = [
+        ("xczu3eg-sbva484-1-e", "16 nm"),
+        (tirex::XC7K_PART, "28 nm"),
+    ];
     let mut best = Vec::new();
 
     for (part, node) in devices {
         let tool = cs.dovado_on(part).expect("case study builds");
         let report = tool
             .explore(&DseConfig {
-                algorithm: Nsga2Config { pop_size: 16, seed: 11, ..Default::default() },
+                algorithm: Nsga2Config {
+                    pop_size: 16,
+                    seed: 11,
+                    ..Default::default()
+                },
                 termination: Termination::Generations(8),
                 metrics: cs.metrics.clone(),
                 surrogate: None,
@@ -34,8 +44,11 @@ fn main() {
         println!("{}", report.summary());
         println!("{}", report.configuration_table());
         println!("{}", report.metric_table());
-        let best_fmax =
-            report.pareto.iter().map(|e| e.values[3]).fold(0.0f64, f64::max);
+        let best_fmax = report
+            .pareto
+            .iter()
+            .map(|e| e.values[3])
+            .fold(0.0f64, f64::max);
         best.push((part, best_fmax));
     }
 

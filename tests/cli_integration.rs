@@ -22,7 +22,9 @@ const FIFO: &str = "module fifo_v3 #(parameter DEPTH = 8, parameter DATA_WIDTH =
 #[test]
 fn explore_with_power_metric_and_csv() {
     let src = temp_file("pw.sv", FIFO);
-    let csv = std::env::temp_dir().join("dovado-cli-integration").join("front.csv");
+    let csv = std::env::temp_dir()
+        .join("dovado-cli-integration")
+        .join("front.csv");
     let mut out = String::new();
     let code = run(
         &args(&[

@@ -9,7 +9,11 @@ use dovado_moo::{hypervolume, to_min_space, Nsga2Config, Termination};
 fn corundum_cfg(seed: u64, generations: u32) -> DseConfig {
     let cs = corundum::case_study();
     DseConfig {
-        algorithm: Nsga2Config { pop_size: 16, seed, ..Default::default() },
+        algorithm: Nsga2Config {
+            pop_size: 16,
+            seed,
+            ..Default::default()
+        },
         termination: Termination::Generations(generations),
         metrics: cs.metrics.clone(),
         surrogate: None,
@@ -28,15 +32,19 @@ fn pareto_front_is_mutually_nondominated_and_in_space() {
     let objectives = cs.metrics.objectives();
     for (i, a) in report.pareto.iter().enumerate() {
         // Every point decodes back into the admissible space.
-        assert!(cs.space.encode(&a.point).is_ok(), "{:?} not in space", a.point);
+        assert!(
+            cs.space.encode(&a.point).is_ok(),
+            "{:?} not in space",
+            a.point
+        );
         let am = to_min_space(&objectives, &a.values);
         for (j, b) in report.pareto.iter().enumerate() {
             if i == j {
                 continue;
             }
             let bm = to_min_space(&objectives, &b.values);
-            let dominates = bm.iter().zip(&am).all(|(x, y)| x <= y)
-                && bm.iter().zip(&am).any(|(x, y)| x < y);
+            let dominates =
+                bm.iter().zip(&am).all(|(x, y)| x <= y) && bm.iter().zip(&am).any(|(x, y)| x < y);
             assert!(!dominates, "{:?} dominated by {:?}", a.point, b.point);
         }
     }
@@ -48,7 +56,10 @@ fn exploration_is_reproducible_per_seed() {
     let run = |seed| {
         let tool = cs.dovado().unwrap();
         let r = tool.explore(&corundum_cfg(seed, 5)).unwrap();
-        r.pareto.iter().map(|e| (e.point.clone(), e.values.clone())).collect::<Vec<_>>()
+        r.pareto
+            .iter()
+            .map(|e| (e.point.clone(), e.values.clone()))
+            .collect::<Vec<_>>()
     };
     assert_eq!(run(9), run(9));
     assert_ne!(run(9), run(10));
@@ -91,7 +102,11 @@ fn nsga2_beats_random_search_on_hypervolume_per_budget() {
     let tool = cs.dovado().unwrap();
     let report = tool
         .explore(&DseConfig {
-            algorithm: Nsga2Config { pop_size: 10, seed: 4, ..Default::default() },
+            algorithm: Nsga2Config {
+                pop_size: 10,
+                seed: 4,
+                ..Default::default()
+            },
             termination: Termination::Evaluations(40),
             metrics: cs.metrics.clone(),
             surrogate: None,
@@ -101,7 +116,7 @@ fn nsga2_beats_random_search_on_hypervolume_per_budget() {
         .unwrap();
 
     // Reference point: comfortably worse than anything measured.
-    let reference = vec![10_000.0, 10_000.0, 100.0, 0.0]; // LUT, FF, BRAM, -Fmax
+    let reference = [10_000.0, 10_000.0, 100.0, 0.0]; // LUT, FF, BRAM, -Fmax
     let reference: Vec<f64> = reference
         .iter()
         .zip(&objectives)
@@ -125,7 +140,11 @@ fn surrogate_and_plain_runs_agree_on_the_winning_region() {
     use dovado::casestudies::cv32e40p;
     let cs = cv32e40p::case_study();
     let cfg_base = DseConfig {
-        algorithm: Nsga2Config { pop_size: 12, seed: 6, ..Default::default() },
+        algorithm: Nsga2Config {
+            pop_size: 12,
+            seed: 6,
+            ..Default::default()
+        },
         termination: Termination::Generations(8),
         metrics: cs.metrics.clone(),
         surrogate: None,
@@ -137,13 +156,20 @@ fn surrogate_and_plain_runs_agree_on_the_winning_region() {
         .dovado()
         .unwrap()
         .explore(&DseConfig {
-            surrogate: Some(SurrogateConfig { pretrain_samples: 40, ..Default::default() }),
+            surrogate: Some(SurrogateConfig {
+                pretrain_samples: 40,
+                ..Default::default()
+            }),
             ..cfg_base
         })
         .unwrap();
     // Both must conclude that small depths win (all metrics favor them).
     let min_depth = |r: &dovado::DseReport| {
-        r.pareto.iter().filter_map(|e| e.point.get("DEPTH")).min().unwrap()
+        r.pareto
+            .iter()
+            .filter_map(|e| e.point.get("DEPTH"))
+            .min()
+            .unwrap()
     };
     assert!(min_depth(&plain) <= 16);
     assert!(min_depth(&with) <= 16);
@@ -163,12 +189,21 @@ fn failures_do_not_crash_exploration() {
          (input logic clk_i); endmodule",
     );
     // DEPTH up to 8192 × 32 b = 262k flops — far beyond the XC7K70T.
-    let space = ParameterSpace::new()
-        .with("DEPTH", Domain::PowerOfTwo { min_exp: 2, max_exp: 13 });
+    let space = ParameterSpace::new().with(
+        "DEPTH",
+        Domain::PowerOfTwo {
+            min_exp: 2,
+            max_exp: 13,
+        },
+    );
     let tool = dovado::Dovado::new(vec![src], "fifo_v3", space, EvalConfig::default()).unwrap();
     let report = tool
         .explore(&DseConfig {
-            algorithm: Nsga2Config { pop_size: 8, seed: 2, ..Default::default() },
+            algorithm: Nsga2Config {
+                pop_size: 8,
+                seed: 2,
+                ..Default::default()
+            },
             termination: Termination::Generations(4),
             metrics: corundum::case_study().metrics.clone(),
             surrogate: None,
@@ -176,7 +211,10 @@ fn failures_do_not_crash_exploration() {
             explorer: Default::default(),
         })
         .unwrap();
-    assert!(report.failures > 0, "expected some configurations to overflow");
+    assert!(
+        report.failures > 0,
+        "expected some configurations to overflow"
+    );
     // And no overflowing point may appear on the front.
     for e in &report.pareto {
         assert!(e.point.get("DEPTH").unwrap() <= 2048, "{:?}", e.point);

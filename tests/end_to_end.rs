@@ -23,7 +23,12 @@ fn every_case_study_evaluates_one_point() {
             .evaluate_point(&point)
             .unwrap_or_else(|e| panic!("{}: {e}", cs.name));
         assert!(eval.utilization.get(ResourceKind::Lut) > 0, "{}", cs.name);
-        assert!(eval.fmax_mhz > 50.0 && eval.fmax_mhz < 1000.0, "{}: {}", cs.name, eval.fmax_mhz);
+        assert!(
+            eval.fmax_mhz > 50.0 && eval.fmax_mhz < 1000.0,
+            "{}: {}",
+            cs.name,
+            eval.fmax_mhz
+        );
         assert!(eval.tool_time_s > 0.0, "{}", cs.name);
     }
 }
@@ -32,8 +37,12 @@ fn every_case_study_evaluates_one_point() {
 fn box_sources_reparse_in_all_languages() {
     for cs in all() {
         let tool = cs.dovado().unwrap();
-        let mid: Vec<i64> =
-            cs.space.index_vars().iter().map(|v| (v.lo + v.hi) / 2).collect();
+        let mid: Vec<i64> = cs
+            .space
+            .index_vars()
+            .iter()
+            .map(|v| (v.lo + v.hi) / 2)
+            .collect();
         let point = cs.space.decode(&mid).unwrap();
         let boxed = generate_box(tool.evaluator().module(), &point).unwrap();
         let (file, diags) = parse_source(boxed.language, &boxed.source)
@@ -79,7 +88,9 @@ fn fmax_equation_consistent_across_the_stack() {
     // Eq. 1 must hold from the raw report numbers up to the Evaluation.
     let cs = cv32e40p::case_study();
     let tool = cs.dovado().unwrap();
-    let e = tool.evaluate_point(&DesignPoint::from_pairs(&[("DEPTH", 256)])).unwrap();
+    let e = tool
+        .evaluate_point(&DesignPoint::from_pairs(&[("DEPTH", 256)]))
+        .unwrap();
     let recomputed = 1000.0 / (e.period_ns - e.wns_ns);
     assert!((recomputed - e.fmax_mhz).abs() < 1e-9);
 }
@@ -111,7 +122,11 @@ fn different_devices_give_different_absolute_results() {
         ("DMEM_SIZE", 8),
     ]);
     let zu = cs.dovado().unwrap().evaluate_point(&p).unwrap();
-    let k7 = cs.dovado_on(tirex::XC7K_PART).unwrap().evaluate_point(&p).unwrap();
+    let k7 = cs
+        .dovado_on(tirex::XC7K_PART)
+        .unwrap()
+        .evaluate_point(&p)
+        .unwrap();
     assert!(zu.fmax_mhz > 1.8 * k7.fmax_mhz);
     // Same logical design: identical BRAM count on both devices.
     assert_eq!(
@@ -131,7 +146,10 @@ fn neorv32_vhdl_library_flow() {
         sources,
         cs.top,
         cs.space.clone(),
-        EvalConfig { part: cs.part.into(), ..Default::default() },
+        EvalConfig {
+            part: cs.part.into(),
+            ..Default::default()
+        },
     )
     .unwrap();
     let e = tool
@@ -159,11 +177,7 @@ fn cached_reruns_are_cheap_and_identical() {
 fn mixed_language_project() {
     // A SystemVerilog FIFO instantiated beside a Verilog module in the
     // same project: both languages flow through one evaluation.
-    let fifo = dovado::HdlSource::new(
-        "fifo.sv",
-        Language::SystemVerilog,
-        cv32e40p::FIFO_SV,
-    );
+    let fifo = dovado::HdlSource::new("fifo.sv", Language::SystemVerilog, cv32e40p::FIFO_SV);
     let side = dovado::HdlSource::new(
         "side.v",
         Language::Verilog,
@@ -171,13 +185,10 @@ fn mixed_language_project() {
          always @(posedge clk) tick <= ~tick;\nendmodule\n",
     );
     let space = dovado::ParameterSpace::new().with("DEPTH", dovado::Domain::range(2, 64));
-    let tool = dovado::Dovado::new(
-        vec![fifo, side],
-        "fifo_v3",
-        space,
-        EvalConfig::default(),
-    )
-    .unwrap();
-    let e = tool.evaluate_point(&DesignPoint::from_pairs(&[("DEPTH", 32)])).unwrap();
+    let tool =
+        dovado::Dovado::new(vec![fifo, side], "fifo_v3", space, EvalConfig::default()).unwrap();
+    let e = tool
+        .evaluate_point(&DesignPoint::from_pairs(&[("DEPTH", 32)]))
+        .unwrap();
     assert!(e.utilization.get(ResourceKind::Lut) > 0);
 }

@@ -119,7 +119,10 @@ fn vhdl_generate_blocks_skipped_cleanly() {
     env.insert("LANES".to_string(), 4i64);
     env.insert("WIDTH".to_string(), 8i64);
     assert_eq!(m.port("din").unwrap().ty.bit_width(&env).unwrap(), 32);
-    assert_eq!(f.architectures, vec![("rtl".to_string(), "ring_buffer".to_string())]);
+    assert_eq!(
+        f.architectures,
+        vec![("rtl".to_string(), "ring_buffer".to_string())]
+    );
 }
 
 const MESSY_SV: &str = r#"
@@ -280,7 +283,9 @@ fn all_fixtures_evaluate_through_the_flow() {
             EvalConfig::default(),
         )
         .unwrap_or_else(|e| panic!("{top}: {e}"));
-        let eval = tool.evaluate_point(&point).unwrap_or_else(|e| panic!("{top}: {e}"));
+        let eval = tool
+            .evaluate_point(&point)
+            .unwrap_or_else(|e| panic!("{top}: {e}"));
         assert!(eval.fmax_mhz > 10.0, "{top}: {}", eval.fmax_mhz);
         assert!(eval.power_mw > 0.0, "{top}");
     }

@@ -4,9 +4,7 @@
 use dovado::csv;
 use dovado::{fmax_mhz, DesignPoint, Domain, ParameterSpace};
 use dovado_eda::tcl::expr::eval_expr;
-use dovado_moo::{
-    fast_non_dominated_sort, hypervolume, non_dominated_indices, Individual,
-};
+use dovado_moo::{fast_non_dominated_sort, hypervolume, non_dominated_indices, Individual};
 use dovado_surrogate::{Bounds, Dataset, Kernel, NadarayaWatson, ThresholdPolicy};
 use proptest::prelude::*;
 
@@ -16,7 +14,11 @@ fn domain_strategy() -> impl Strategy<Value = Domain> {
     prop_oneof![
         (any::<i32>(), 1i64..500, 1i64..7).prop_map(|(lo, n, step)| {
             let lo = lo as i64 % 10_000;
-            Domain::Range { lo, hi: lo + (n - 1) * step, step }
+            Domain::Range {
+                lo,
+                hi: lo + (n - 1) * step,
+                step,
+            }
         }),
         (0u32..20, 0u32..20).prop_map(|(a, b)| Domain::PowerOfTwo {
             min_exp: a.min(b),
@@ -121,14 +123,13 @@ proptest! {
 // ------------------------------------------------------------------ moo --
 
 fn objectives_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(-100.0f64..100.0, 2..4),
-        1..25,
+    proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, 2..4), 1..25).prop_filter(
+        "uniform arity",
+        |v| {
+            let n = v[0].len();
+            v.iter().all(|o| o.len() == n)
+        },
     )
-    .prop_filter("uniform arity", |v| {
-        let n = v[0].len();
-        v.iter().all(|o| o.len() == n)
-    })
 }
 
 proptest! {

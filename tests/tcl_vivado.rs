@@ -10,20 +10,23 @@ const FIFO_SV: &str = "module fifo_v3 #(parameter DEPTH = 8, parameter DATA_WIDT
                        (input logic clk_i); endmodule";
 
 fn filled_synth(sources: &str, generic: &str) -> String {
-    let script = fill(SYNTH_FRAME, &[
-        ("PROJECT", "dovado"),
-        ("PART", "xc7k70tfbv676-1"),
-        ("READ_SOURCES", sources),
-        ("TOP", "fifo_v3"),
-        ("INCREMENTAL", ""),
-        ("SYNTH_DIRECTIVE", "Default"),
-        ("PERIOD", "1.000"),
-        ("CLOCK", "clk_i"),
-        ("UTIL_RPT", "util.rpt"),
-        ("TIMING_RPT", "timing.rpt"),
-        ("POWER_RPT", "power.rpt"),
-        ("SYNTH_DCP", "post_synth.dcp"),
-    ])
+    let script = fill(
+        SYNTH_FRAME,
+        &[
+            ("PROJECT", "dovado"),
+            ("PART", "xc7k70tfbv676-1"),
+            ("READ_SOURCES", sources),
+            ("TOP", "fifo_v3"),
+            ("INCREMENTAL", ""),
+            ("SYNTH_DIRECTIVE", "Default"),
+            ("PERIOD", "1.000"),
+            ("CLOCK", "clk_i"),
+            ("UTIL_RPT", "util.rpt"),
+            ("TIMING_RPT", "timing.rpt"),
+            ("POWER_RPT", "power.rpt"),
+            ("SYNTH_DCP", "post_synth.dcp"),
+        ],
+    )
     .unwrap();
     // Inject the design point the way synth_design -generic does.
     script.replace(
@@ -46,13 +49,16 @@ fn frames_drive_the_full_flow() {
     sim.eval(&synth).unwrap();
     assert_eq!(sim.state(), FlowState::Synthesized);
 
-    let impl_script = fill(IMPL_FRAME, &[
-        ("IMPL_DIRECTIVE", "Default"),
-        ("UTIL_RPT", "util_impl.rpt"),
-        ("TIMING_RPT", "timing_impl.rpt"),
-        ("POWER_RPT", "power_impl.rpt"),
-        ("IMPL_DCP", "post_route.dcp"),
-    ])
+    let impl_script = fill(
+        IMPL_FRAME,
+        &[
+            ("IMPL_DIRECTIVE", "Default"),
+            ("UTIL_RPT", "util_impl.rpt"),
+            ("TIMING_RPT", "timing_impl.rpt"),
+            ("POWER_RPT", "power_impl.rpt"),
+            ("IMPL_DCP", "post_route.dcp"),
+        ],
+    )
     .unwrap();
     sim.eval(&impl_script).unwrap();
     assert_eq!(sim.state(), FlowState::Routed);
@@ -98,7 +104,10 @@ if {1} { puts "routed" }
     )
     .unwrap();
     let improved = sim.impl_result().unwrap().wns_ns;
-    assert!(improved > wns, "explore directive must improve slack: {improved} vs {wns}");
+    assert!(
+        improved > wns,
+        "explore directive must improve slack: {improved} vs {wns}"
+    );
 }
 
 #[test]

@@ -1,0 +1,214 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no crates-io access, so the workspace vendors
+//! the benchmark surface its `[[bench]]` targets use: `Criterion`,
+//! `bench_function`, `benchmark_group` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is a fixed-budget timing loop (no statistics or
+//! HTML reports); results print as mean ns/iter, with bytes/s when a
+//! throughput is set.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark measurement budget (env `CRITERION_MEASURE_MS`, default 300).
+fn measure_budget() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+/// Declared input volume per iteration, for derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled by the parameter's `Display` form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// An id from a function name and a parameter.
+    pub fn new<P: std::fmt::Display>(function_name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Runs timing loops for one benchmark body.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (fills caches, triggers lazy init).
+        black_box(f());
+        let budget = measure_budget();
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Benchmark driver (construct via `Criterion::default()`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Measures a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, None, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the declared per-iteration input volume for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.throughput, &mut f);
+        self
+    }
+
+    /// Measures a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.label);
+        run_one(&name, self.throughput, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no summary state).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, f: &mut F) {
+    let mut bencher = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        // Body never called `iter` — nothing measured.
+        println!("{name:<48} (no measurement)");
+        return;
+    }
+    let ns_per_iter = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  {:>10.1} MiB/s",
+                n as f64 / 1048576.0 / (ns_per_iter * 1e-9)
+            )
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10.1} elem/s", n as f64 / (ns_per_iter * 1e-9))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<48} {ns_per_iter:>14.1} ns/iter  ({} iters){rate}",
+        bencher.iters
+    );
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        std::env::set_var("CRITERION_MEASURE_MS", "1");
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        std::env::set_var("CRITERION_MEASURE_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(128));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

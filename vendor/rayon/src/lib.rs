@@ -1,0 +1,170 @@
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! Implements the one shape the workspace uses — `slice.par_iter().map(f)
+//! .collect()` — with real data parallelism on scoped `std::thread`s: the
+//! index space is claimed work-stealing-style through an atomic cursor, and
+//! results land in their original positions, so output order matches
+//! `iter().map(f).collect()` exactly.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The customary import surface.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `&self -> par_iter()` entry point (the subset of rayon's trait family
+/// the workspace needs).
+pub trait IntoParallelRefIterator<'data> {
+    /// Item yielded by the parallel iterator.
+    type Item: 'data;
+    /// The iterator type.
+    type Iter;
+
+    /// A parallel iterator over borrowed elements.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps each element through `f` (executed in parallel at collect time).
+    pub fn map<U, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> U + Sync,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<'data, T, F> {
+    slice: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync, F> ParMap<'data, T, F> {
+    /// Runs the map across threads and collects in input order.
+    pub fn collect<U, C>(self) -> C
+    where
+        F: Fn(&'data T) -> U + Sync,
+        U: Send,
+        C: FromIterator<U>,
+    {
+        parallel_map(self.slice, &self.f).into_iter().collect()
+    }
+}
+
+/// Order-preserving parallel map over a slice.
+fn parallel_map<'data, T, U, F>(slice: &'data [T], f: &F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'data T) -> U + Sync,
+{
+    let n = slice.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return slice.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let done: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(&slice[i]);
+                *done[i].lock().unwrap() = Some(value);
+            });
+        }
+    });
+    done.into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .unwrap()
+                .expect("every index visited exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn order_matches_sequential() {
+        let input: Vec<u64> = (0..257).collect();
+        let par: Vec<u64> = input.par_iter().map(|x| x * 3 + 1).collect();
+        let seq: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one[..].par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let input: Vec<u32> = (0..64).collect();
+        let _: Vec<()> = input
+            .par_iter()
+            .map(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+            .collect();
+        let threads = ids.lock().unwrap().len();
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        if cores > 1 {
+            assert!(
+                threads > 1,
+                "expected parallel execution, saw {threads} thread(s)"
+            );
+        }
+    }
+}
