@@ -1,0 +1,203 @@
+//! Surrogate-mode batch-evaluation performance: the staged parallel
+//! pipeline (decide → dedup + tool → record, amortized LOO-CV) against the
+//! legacy genome-at-a-time serial loop with retrain-after-every-insert.
+//!
+//! Workload: 4 objectives (LUT, FF, Fmax, power), population 64, synthetic
+//! dataset M = 500 — the ISSUE's reference configuration. Also measures the
+//! per-record cost of eager vs amortized bandwidth reselection at
+//! M ∈ {100, 500, 1000}. Writes `results/BENCH_surrogate.json`.
+
+use dovado::{
+    Domain, DseProblem, EvalConfig, Evaluator, HdlSource, Metric, MetricSet, ParameterSpace,
+    SurrogateConfig,
+};
+use dovado_fpga::ResourceKind;
+use dovado_hdl::Language;
+use dovado_moo::Problem;
+use dovado_surrogate::{Bounds, SurrogateController, ThresholdPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const FIFO_SV: &str = r#"
+module fifo_v3 #(
+    parameter DEPTH = 8,
+    parameter DATA_WIDTH = 32
+)(input logic clk_i, input logic [DATA_WIDTH-1:0] data_i);
+endmodule"#;
+
+const POP: usize = 64;
+const PRETRAIN_M: usize = 500;
+const GENERATIONS: usize = 5;
+const DEPTH_N: i64 = 4096;
+
+fn problem(parallel: bool, reselect_every: usize) -> DseProblem {
+    let evaluator = Evaluator::new(
+        vec![HdlSource::new("fifo.sv", Language::SystemVerilog, FIFO_SV)],
+        "fifo_v3",
+        EvalConfig::default(),
+    )
+    .expect("evaluator builds");
+    let space = ParameterSpace::new()
+        .with(
+            "DEPTH",
+            Domain::Range {
+                lo: 2,
+                hi: DEPTH_N * 2,
+                step: 2,
+            },
+        )
+        .with("DATA_WIDTH", Domain::Explicit(vec![8, 16, 32, 64]));
+    let metrics = MetricSet::new(vec![
+        Metric::Utilization(ResourceKind::Lut),
+        Metric::Utilization(ResourceKind::Register),
+        Metric::Fmax,
+        Metric::Power,
+    ]);
+    let cfg = SurrogateConfig {
+        policy: ThresholdPolicy::paper_default(),
+        pretrain_samples: PRETRAIN_M,
+        seed: 0xD0BA,
+        reselect_every,
+        ..Default::default()
+    };
+    let mut p = DseProblem::new(evaluator, space, metrics, Some(&cfg)).expect("problem builds");
+    p.parallel = parallel;
+    p
+}
+
+fn generation_stream(seed: u64) -> Vec<Vec<Vec<i64>>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..GENERATIONS)
+        .map(|_| {
+            (0..POP)
+                .map(|_| vec![rng.gen_range(0..DEPTH_N), rng.gen_range(0..4)])
+                .collect()
+        })
+        .collect()
+}
+
+/// Legacy evaluation: genome at a time, eager reselection (K = 1).
+fn run_legacy(gens: &[Vec<Vec<i64>>]) -> f64 {
+    let mut p = problem(false, 1);
+    let t0 = Instant::now();
+    for genomes in gens {
+        for g in genomes {
+            let _ = p.evaluate(g);
+        }
+    }
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Staged pipeline: batched decide/evaluate/record, amortized reselection.
+fn run_pipeline(gens: &[Vec<Vec<i64>>], parallel: bool, reselect_every: usize) -> f64 {
+    let mut p = problem(parallel, reselect_every);
+    let t0 = Instant::now();
+    for genomes in gens {
+        let _ = p.evaluate_batch(genomes);
+    }
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Mean per-record cost (µs) into a dataset of `m` rows.
+fn record_cost_us(m: usize, retrain_every: usize) -> f64 {
+    let bounds = Bounds::new(vec![(0, 1_000_000)]);
+    let mut c = SurrogateController::new(bounds, 4, ThresholdPolicy::paper_default());
+    c.retrain_every = retrain_every;
+    let mut rng = StdRng::seed_from_u64(7 + m as u64);
+    let outputs = |x: i64| {
+        let xf = x as f64 / 1e6;
+        vec![xf * 900.0, xf * 700.0, 400.0 - 300.0 * xf, 1.0 + xf]
+    };
+    let pairs: Vec<(Vec<i64>, Vec<f64>)> = (0..m)
+        .map(|_| {
+            let x = rng.gen_range(0i64..=1_000_000);
+            (vec![x], outputs(x))
+        })
+        .collect();
+    c.pretrain(pairs);
+    let fresh: Vec<i64> = (0..32).map(|_| rng.gen_range(0i64..=1_000_000)).collect();
+    let t0 = Instant::now();
+    for x in fresh.iter() {
+        c.record(vec![*x], outputs(*x));
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / fresh.len() as f64
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    dovado_bench::banner(
+        "perf_surrogate — staged batch pipeline vs legacy serial loop",
+        "4 objectives, pop 64, M = 500; record cost at M in {100, 500, 1000}",
+    );
+
+    let gens = generation_stream(0xBEEF);
+    // Warm-up so first-touch costs (allocator, checkpoint store) don't
+    // land on whichever variant runs first.
+    let _ = run_pipeline(&gens[..1], true, 25);
+
+    let legacy_ms = run_legacy(&gens);
+    let staged_serial_ms = run_pipeline(&gens, false, 25);
+    let staged_parallel_ms = run_pipeline(&gens, true, 25);
+    let speedup = legacy_ms / staged_parallel_ms;
+    let per_gen = staged_parallel_ms / GENERATIONS as f64;
+
+    println!("generation evaluation ({GENERATIONS} generations of {POP}):");
+    println!("  legacy serial (K=1)       : {legacy_ms:9.1} ms");
+    println!("  staged serial (K=25)      : {staged_serial_ms:9.1} ms");
+    println!("  staged parallel (K=25)    : {staged_parallel_ms:9.1} ms  ({per_gen:.1} ms/gen)");
+    println!("  speedup (legacy/parallel) : {speedup:9.2}x");
+
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut records = String::new();
+    println!();
+    println!("record cost (one insert incl. Γ update; K = 25 amortized):");
+    for (i, m) in [100usize, 500, 1000].into_iter().enumerate() {
+        let eager = record_cost_us(m, 1);
+        let amortized = record_cost_us(m, 25);
+        println!(
+            "  M = {m:>5}: eager {eager:9.1} us/record, amortized {amortized:9.1} us/record ({:.1}x)",
+            eager / amortized
+        );
+        if i > 0 {
+            records.push(',');
+        }
+        let _ = write!(
+            records,
+            "\n    {{\"dataset_m\": {m}, \"eager_us_per_record\": {}, \"amortized_us_per_record\": {}, \"ratio\": {}}}",
+            json_f(eager),
+            json_f(amortized),
+            json_f(eager / amortized)
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"surrogate_batch_pipeline\",\n  \"config\": {{\"objectives\": 4, \"pop\": {POP}, \"pretrain_m\": {PRETRAIN_M}, \"generations\": {GENERATIONS}, \"reselect_every\": 25, \"threads\": {threads}}},\n  \"generation_eval_ms\": {{\"legacy_serial\": {}, \"staged_serial\": {}, \"staged_parallel\": {}, \"speedup_legacy_over_parallel\": {}}},\n  \"record_cost\": [{records}\n  ]\n}}\n",
+        json_f(legacy_ms),
+        json_f(staged_serial_ms),
+        json_f(staged_parallel_ms),
+        json_f(speedup),
+    );
+    let path = dovado_bench::results_dir().join("BENCH_surrogate.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    println!();
+    println!("wrote {}", path.display());
+
+    assert!(
+        speedup >= 1.0,
+        "staged parallel pipeline slower than legacy serial loop"
+    );
+}

@@ -63,13 +63,18 @@ USAGE:
   dovado evaluate --source <file>... --top <module> [--part <part>]
                   [--set NAME=VALUE]... [--period <ns>] [--step synth|impl]
                   [--synth-directive <d>] [--impl-directive <d>]
+                  [--jobs <n>]
   dovado explore  --source <file>... --top <module> [--part <part>]
                   --param NAME=<spec>... [--metric <m>,<m>,...]
                   [--generations <n>] [--pop <n>] [--seed <n>]
                   [--surrogate <M>] [--deadline <simulated-s>] [--plot]
                   [--algorithm nsga2|random|weighted-sum|exhaustive]
-                  [--csv <file>]
+                  [--csv <file>] [--jobs <n>]
   dovado demo <cv32e40p|corundum|neorv32|tirex>
+
+  --jobs caps the worker threads used for parallel tool runs and batch
+  surrogate decisions; the default is all available cores. Results are
+  identical for any value — parallelism never changes answers.
 
 PARAM SPECS:
   lo:hi          integer range            (e.g. DEPTH=2:1000)
@@ -235,9 +240,38 @@ fn parse_common(args: &[String]) -> Result<(CommonArgs, Vec<(String, String)>), 
     Ok((CommonArgs { sources, top, eval }, rest))
 }
 
+/// Parses a `--jobs` value: worker-thread cap for parallel phases
+/// (batch tool runs, batch surrogate decisions). Without the flag, all
+/// available cores are used.
+fn parse_jobs(value: &str) -> Result<usize, String> {
+    let n: usize = value
+        .parse()
+        .map_err(|_| "--jobs: not a number".to_string())?;
+    if n == 0 {
+        return Err("--jobs: must be at least 1".into());
+    }
+    Ok(n)
+}
+
+/// Runs `op` under a scoped thread pool capped at `jobs` workers, or
+/// directly (all cores) when no cap was requested.
+fn run_with_jobs<R>(jobs: Option<usize>, op: impl FnOnce() -> R) -> Result<R, String> {
+    match jobs {
+        None => Ok(op()),
+        Some(n) => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .map_err(|e| format!("--jobs: {e}"))?;
+            Ok(pool.install(op))
+        }
+    }
+}
+
 fn cmd_evaluate(args: &[String], out: &mut String) -> Result<(), String> {
     let (common, rest) = parse_common(args)?;
     let mut assignments: Vec<(String, i64)> = Vec::new();
+    let mut jobs: Option<usize> = None;
     for (flag, value) in &rest {
         match flag.as_str() {
             "--set" => {
@@ -249,6 +283,7 @@ fn cmd_evaluate(args: &[String], out: &mut String) -> Result<(), String> {
                     .map_err(|_| format!("--set: non-integer value `{v}`"))?;
                 assignments.push((k.to_string(), vi));
             }
+            "--jobs" => jobs = Some(parse_jobs(value)?),
             other => return Err(format!("evaluate: unknown flag `{other}`")),
         }
     }
@@ -257,7 +292,7 @@ fn cmd_evaluate(args: &[String], out: &mut String) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let pairs: Vec<(&str, i64)> = assignments.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     let point = DesignPoint::from_pairs(&pairs);
-    let eval = evaluator.evaluate(&point).map_err(|e| e.to_string())?;
+    let eval = run_with_jobs(jobs, || evaluator.evaluate(&point))?.map_err(|e| e.to_string())?;
 
     let _ = writeln!(out, "design point : {point}");
     for kind in ResourceKind::ALL {
@@ -292,6 +327,7 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
     let mut plot = false;
     let mut explorer = crate::dse::Explorer::Nsga2;
     let mut csv_path: Option<String> = None;
+    let mut jobs: Option<usize> = None;
 
     for (flag, value) in &rest {
         match flag.as_str() {
@@ -333,6 +369,7 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
             }
             "--plot" => plot = true,
             "--csv" => csv_path = Some(value.clone()),
+            "--jobs" => jobs = Some(parse_jobs(value)?),
             "--algorithm" => {
                 explorer = match value.as_str() {
                     "nsga2" => crate::dse::Explorer::Nsga2,
@@ -359,8 +396,8 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
         ]),
         None => Termination::Generations(generations),
     };
-    let report = tool
-        .explore(&DseConfig {
+    let report = run_with_jobs(jobs, || {
+        tool.explore(&DseConfig {
             explorer,
             algorithm: Nsga2Config {
                 pop_size: pop,
@@ -375,7 +412,8 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
             }),
             parallel: true,
         })
-        .map_err(|e| e.to_string())?;
+    })?
+    .map_err(|e| e.to_string())?;
 
     let _ = writeln!(out, "{}", report.summary());
     let flow_log = report.flow_log(20);
@@ -627,6 +665,52 @@ mod tests {
         assert!(out.contains("Fmax"));
         assert!(out.contains("WNS"));
         assert!(out.contains("DEPTH=64"));
+    }
+
+    #[test]
+    fn jobs_flag_does_not_change_results() {
+        let path = write_temp("j.sv", FIFO);
+        let explore = |jobs: &[&str]| {
+            let mut a = args(&[
+                "explore",
+                "--source",
+                &path,
+                "--top",
+                "fifo_v3",
+                "--param",
+                "DEPTH=2:512:2",
+                "--generations",
+                "3",
+                "--pop",
+                "8",
+                "--seed",
+                "7",
+            ]);
+            a.extend(jobs.iter().map(|s| s.to_string()));
+            let mut out = String::new();
+            assert_eq!(run(&a, &mut out), 0, "{out}");
+            out
+        };
+        let capped = explore(&["--jobs", "1"]);
+        let free = explore(&[]);
+        assert!(capped.contains("non-dominated"), "{capped}");
+        assert_eq!(capped, free, "thread cap must not change answers");
+    }
+
+    #[test]
+    fn jobs_rejects_zero_and_garbage() {
+        let path = write_temp("j0.sv", FIFO);
+        for bad in ["0", "many"] {
+            let mut out = String::new();
+            let code = run(
+                &args(&[
+                    "evaluate", "--source", &path, "--top", "fifo_v3", "--jobs", bad,
+                ]),
+                &mut out,
+            );
+            assert_eq!(code, 1, "{out}");
+            assert!(out.contains("--jobs"), "{out}");
+        }
     }
 
     #[test]

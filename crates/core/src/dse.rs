@@ -48,6 +48,13 @@ pub struct SurrogateConfig {
     pub kernel: Kernel,
     /// Sampling seed for the synthetic dataset.
     pub seed: u64,
+    /// Re-run LOO-CV bandwidth selection every this many dataset
+    /// insertions (1 = the paper's retrain-after-every-addition). Batch
+    /// decisions are unaffected by values > 1: the staged pipeline
+    /// refreshes any stale bandwidth before each generation's decide
+    /// phase, so amortization only changes *when* selection runs, not the
+    /// data it sees.
+    pub reselect_every: usize,
 }
 
 impl Default for SurrogateConfig {
@@ -57,6 +64,7 @@ impl Default for SurrogateConfig {
             pretrain_samples: 100,
             kernel: Kernel::Gaussian,
             seed: 0x5EED,
+            reselect_every: 25,
         }
     }
 }

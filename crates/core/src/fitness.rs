@@ -5,6 +5,14 @@
 //! model: exact dataset hit → tool (answers from cache), similar enough →
 //! Nadaraya-Watson estimate, otherwise → tool run + dataset update +
 //! retrain/revalidate.
+//!
+//! Whole generations go through a staged batch pipeline instead of a
+//! genome-at-a-time loop: a read-only parallel *decide* phase against a
+//! snapshot of the dataset, a deduplicated parallel *evaluate* phase for
+//! the slots the tool must answer, and a serial *record* phase that folds
+//! measurements back into the dataset in first-occurrence order. The
+//! stages make parallelism invisible: per seed, a parallel run returns
+//! bitwise the same objective vectors, dataset and stats as a serial one.
 
 use crate::dse::SurrogateConfig;
 use crate::error::{DovadoResult, ErrorClass};
@@ -12,6 +20,7 @@ use crate::flow::Evaluator;
 use crate::metrics::MetricSet;
 use crate::point::DesignPoint;
 use crate::space::ParameterSpace;
+use dovado_moo::ops::unique_in_batch;
 use dovado_moo::{IntVar, Objective, Problem};
 use dovado_surrogate::{Decision, SurrogateController};
 use rand::rngs::StdRng;
@@ -109,6 +118,7 @@ impl DseProblem {
                 cfg.policy,
             )
             .with_kernel(cfg.kernel);
+            controller.retrain_every = cfg.reselect_every.max(1);
 
             if cfg.pretrain_samples > 0 {
                 let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -130,6 +140,7 @@ impl DseProblem {
             }
             problem.surrogate = Some(controller);
         }
+        problem.sync_retries();
         Ok(problem)
     }
 
@@ -173,7 +184,6 @@ impl DseProblem {
             }
         };
         let result = self.evaluator.evaluate(&point);
-        self.stats.retries = self.evaluator.trace_summary().retries;
         match result {
             Ok(eval) => {
                 self.stats.tool_runs += 1;
@@ -184,6 +194,147 @@ impl DseProblem {
                 None
             }
         }
+    }
+
+    /// Mirrors the evaluator's retry counter into the stats. Called at the
+    /// end of every `evaluate`/`evaluate_batch` so serial and parallel
+    /// paths report identically regardless of which code path ran the tool.
+    fn sync_retries(&mut self) {
+        self.stats.retries = self.evaluator.trace_summary().retries;
+    }
+
+    /// Dispatches the tool for the distinct genomes `unique` indexes into
+    /// `genomes` (as produced by [`unique_in_batch`]) and returns one entry
+    /// per unique genome in first-occurrence order: `Some(metrics)` for a
+    /// genuine measurement, `None` for a failed evaluation (the caller
+    /// penalizes; penalty vectors must never look like measurements).
+    ///
+    /// Undecodable genomes are permanent failures and are not dispatched.
+    /// Tool runs go through [`Evaluator::evaluate_many`] (parallel when
+    /// `self.parallel`); all stats are tallied serially afterwards, in
+    /// first-occurrence order, so thread scheduling cannot reorder them.
+    fn dispatch_unique(&mut self, genomes: &[Vec<i64>], unique: &[usize]) -> Vec<Option<Vec<f64>>> {
+        let decoded: Vec<DovadoResult<DesignPoint>> = unique
+            .iter()
+            .map(|&i| self.space.decode(&genomes[i]))
+            .collect();
+        let points: Vec<DesignPoint> = decoded
+            .iter()
+            .filter_map(|r| r.as_ref().ok().cloned())
+            .collect();
+        let mut results = self
+            .evaluator
+            .evaluate_many(&points, self.parallel)
+            .into_iter();
+        decoded
+            .into_iter()
+            .map(|dec| match dec {
+                Err(_) => {
+                    self.stats.count_failure(ErrorClass::Permanent);
+                    None
+                }
+                Ok(_) => match results.next().expect("one result per decoded point") {
+                    Ok(eval) => {
+                        self.stats.tool_runs += 1;
+                        Some(self.metrics.extract(&eval))
+                    }
+                    Err(e) => {
+                        self.stats.count_failure(e.class());
+                        None
+                    }
+                },
+            })
+            .collect()
+    }
+
+    /// Tool-only batch: dedup identical genomes, dispatch each distinct
+    /// genome exactly once, fan results back out. Duplicate dispatches of
+    /// the same point would race on the simulator's per-point checkpoint
+    /// cache and double-count `tool_runs`; after dedup a genome costs one
+    /// run no matter how often the optimizer repeats it in a generation.
+    fn tool_batch(&mut self, genomes: &[Vec<i64>]) -> Vec<Vec<f64>> {
+        let (unique, back) = unique_in_batch(genomes);
+        let unique_results = self.dispatch_unique(genomes, &unique);
+        back.iter()
+            .map(|&k| {
+                unique_results[k]
+                    .clone()
+                    .unwrap_or_else(|| self.penalty.clone())
+            })
+            .collect()
+    }
+
+    /// Surrogate-mode batch: the staged three-phase pipeline.
+    ///
+    /// 1. **Decide** — every genome is classified against an immutable
+    ///    snapshot of the dataset as it stood when the generation started
+    ///    (read-only, parallel when `self.parallel`). Because the snapshot
+    ///    is fixed and classification is pure, parallel and serial runs
+    ///    produce bitwise-identical decisions.
+    /// 2. **Evaluate** — the tool answers the non-estimated slots (exact
+    ///    hits from its cache, novel points as fresh runs), deduplicated so
+    ///    each distinct genome is dispatched once, in parallel via
+    ///    [`Evaluator::evaluate_many`].
+    /// 3. **Record** — a serial fold in first-occurrence order feeds
+    ///    genuine measurements of novel points back into the dataset and
+    ///    tallies stats, so dataset contents and counters are independent
+    ///    of thread scheduling.
+    fn surrogate_batch(&mut self, genomes: &[Vec<i64>]) -> Vec<Vec<f64>> {
+        let decisions = self
+            .surrogate
+            .as_mut()
+            .expect("surrogate enabled")
+            .decide_batch(genomes, self.parallel);
+
+        // Slots the tool must answer. Identical genomes get identical
+        // decisions (pure classification against one snapshot), so each
+        // dedup group has a single decision.
+        let tool_slots: Vec<usize> = decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !matches!(d, Decision::Estimate(_)))
+            .map(|(i, _)| i)
+            .collect();
+        let tool_genomes: Vec<Vec<i64>> = tool_slots.iter().map(|&i| genomes[i].clone()).collect();
+        let (unique, back) = unique_in_batch(&tool_genomes);
+        let unique_results = self.dispatch_unique(&tool_genomes, &unique);
+
+        // Record phase: novel points with genuine measurements enter the
+        // dataset once each, in first-occurrence order.
+        for (k, &u) in unique.iter().enumerate() {
+            let slot = tool_slots[u];
+            if matches!(decisions[slot], Decision::Evaluate) {
+                if let Some(values) = &unique_results[k] {
+                    self.surrogate
+                        .as_mut()
+                        .expect("surrogate enabled")
+                        .record(genomes[slot].clone(), values.clone());
+                }
+            }
+        }
+
+        // Assemble outputs in slot order, counting decisions per input
+        // slot (duplicates each count — they each consumed a decision).
+        let mut t = 0;
+        decisions
+            .iter()
+            .map(|d| match d {
+                Decision::Estimate(v) => {
+                    self.stats.estimates += 1;
+                    v.clone()
+                }
+                Decision::Cached(_) | Decision::Evaluate => {
+                    if matches!(d, Decision::Cached(_)) {
+                        self.stats.cached_runs += 1;
+                    }
+                    let k = back[t];
+                    t += 1;
+                    unique_results[k]
+                        .clone()
+                        .unwrap_or_else(|| self.penalty.clone())
+                }
+            })
+            .collect()
     }
 }
 
@@ -197,6 +348,31 @@ impl Problem for DseProblem {
     }
 
     fn evaluate(&mut self, genome: &[i64]) -> Vec<f64> {
+        let out = self.evaluate_one(genome);
+        self.sync_retries();
+        out
+    }
+
+    fn evaluate_batch(&mut self, genomes: &[Vec<i64>]) -> Vec<Vec<f64>> {
+        let out = if self.surrogate.is_some() {
+            self.surrogate_batch(genomes)
+        } else {
+            self.tool_batch(genomes)
+        };
+        self.sync_retries();
+        out
+    }
+
+    fn external_cost(&self) -> f64 {
+        self.evaluator.total_tool_time()
+    }
+}
+
+impl DseProblem {
+    /// The per-genome control model (paper §III-C): used by
+    /// [`Problem::evaluate`]; batches go through the staged pipeline
+    /// instead.
+    fn evaluate_one(&mut self, genome: &[i64]) -> Vec<f64> {
         if self.surrogate.is_some() {
             let decision = self.surrogate.as_mut().expect("checked").decide(genome);
             match decision {
@@ -231,40 +407,6 @@ impl Problem for DseProblem {
         } else {
             self.tool_evaluate(genome)
         }
-    }
-
-    fn evaluate_batch(&mut self, genomes: &[Vec<i64>]) -> Vec<Vec<f64>> {
-        if self.surrogate.is_none() && self.parallel {
-            use rayon::prelude::*;
-            let evaluator = self.evaluator.clone();
-            let space = self.space.clone();
-            let metrics = self.metrics.clone();
-            let penalty = self.penalty.clone();
-            let results: Vec<(Vec<f64>, Option<ErrorClass>)> = genomes
-                .par_iter()
-                .map(|g| match space.decode(g) {
-                    Ok(point) => match evaluator.evaluate(&point) {
-                        Ok(eval) => (metrics.extract(&eval), None),
-                        Err(e) => (penalty.clone(), Some(e.class())),
-                    },
-                    Err(_) => (penalty.clone(), Some(ErrorClass::Permanent)),
-                })
-                .collect();
-            for (_, failure) in &results {
-                match failure {
-                    None => self.stats.tool_runs += 1,
-                    Some(class) => self.stats.count_failure(*class),
-                }
-            }
-            self.stats.retries = self.evaluator.trace_summary().retries;
-            results.into_iter().map(|(v, _)| v).collect()
-        } else {
-            genomes.iter().map(|g| self.evaluate(g)).collect()
-        }
-    }
-
-    fn external_cost(&self) -> f64 {
-        self.evaluator.total_tool_time()
     }
 }
 
@@ -417,5 +559,101 @@ endmodule"#;
         let b = par.evaluate_batch(&genomes);
         assert_eq!(a, b);
         assert_eq!(par.stats.tool_runs, 6);
+        assert_eq!(seq.stats, par.stats);
+    }
+
+    #[test]
+    fn batch_dedups_duplicate_genomes() {
+        let mut p = DseProblem::new(evaluator(), space(), metrics(), None).unwrap();
+        p.parallel = true;
+        let genomes = vec![vec![30], vec![60], vec![30], vec![30], vec![60]];
+        let out = p.evaluate_batch(&genomes);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0], out[2]);
+        assert_eq!(out[0], out[3]);
+        assert_eq!(out[1], out[4]);
+        assert_ne!(out[0], out[1]);
+        // Each distinct genome is dispatched exactly once.
+        assert_eq!(p.stats.tool_runs, 2);
+    }
+
+    #[test]
+    fn batch_penalizes_invalid_genomes_per_slot() {
+        let mut p = DseProblem::new(evaluator(), space(), metrics(), None).unwrap();
+        let genomes = vec![vec![30], vec![100_000], vec![100_000]];
+        let out = p.evaluate_batch(&genomes);
+        assert_eq!(out[1][2], 0.0, "fmax penalty");
+        assert_eq!(out[1], out[2]);
+        // The invalid genome fails once (deduped), not once per slot.
+        assert_eq!(p.stats.failures, 1);
+        assert_eq!(p.stats.tool_runs, 1);
+    }
+
+    fn surrogate_problem(parallel: bool) -> DseProblem {
+        let cfg = SurrogateConfig {
+            policy: ThresholdPolicy::paper_default(),
+            pretrain_samples: 30,
+            ..Default::default()
+        };
+        let mut p = DseProblem::new(evaluator(), space(), metrics(), Some(&cfg)).unwrap();
+        p.parallel = parallel;
+        p
+    }
+
+    #[test]
+    fn surrogate_batch_parallel_is_bitwise_serial() {
+        let mut seq = surrogate_problem(false);
+        let mut par = surrogate_problem(true);
+        // Two generations so the second decides against a dataset grown by
+        // the first (exercises the record phase and the Γ/bandwidth fold).
+        for gen in 0..2 {
+            let genomes: Vec<Vec<i64>> = (0..16).map(|i| vec![gen * 160 + i * 9 + 1]).collect();
+            let a = seq.evaluate_batch(&genomes);
+            let b = par.evaluate_batch(&genomes);
+            for (x, y) in a.iter().flatten().zip(b.iter().flatten()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert_eq!(seq.stats, par.stats);
+        let (ds, dp) = (
+            seq.surrogate().unwrap().dataset(),
+            par.surrogate().unwrap().dataset(),
+        );
+        assert_eq!(ds.len(), dp.len());
+        assert_eq!(ds.raw_points(), dp.raw_points());
+        assert_eq!(
+            seq.surrogate().unwrap().model().bandwidth,
+            par.surrogate().unwrap().model().bandwidth
+        );
+    }
+
+    #[test]
+    fn surrogate_batch_serves_all_three_cases() {
+        let mut p = surrogate_problem(true);
+        // Mix: exact pretrain points are unknown (random), so force the
+        // three cases with a learned point, a near miss and a far miss.
+        let _ = p.evaluate_batch(&[vec![123]]); // likely Evaluate or Estimate
+        let before = p.stats;
+        let genomes = vec![vec![123], vec![123]];
+        let out = p.evaluate_batch(&genomes);
+        assert_eq!(out[0], out[1]);
+        let d = p.stats;
+        // The repeated genome was answered without a fresh full run:
+        // either cached (recorded before) or estimated (within Γ).
+        assert!(
+            d.cached_runs + d.estimates > before.cached_runs + before.estimates,
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn batch_retries_match_trace_summary() {
+        let mut p = DseProblem::new(evaluator(), space(), metrics(), None).unwrap();
+        p.parallel = true;
+        let genomes: Vec<Vec<i64>> = (0..4).map(|i| vec![i * 40 + 2]).collect();
+        let _ = p.evaluate_batch(&genomes);
+        assert_eq!(p.stats.retries, p.evaluator().trace_summary().retries);
+        let _ = p.evaluate(&[30]);
+        assert_eq!(p.stats.retries, p.evaluator().trace_summary().retries);
     }
 }

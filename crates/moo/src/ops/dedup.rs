@@ -9,7 +9,31 @@
 use crate::ops::sampling::random_genome;
 use crate::problem::IntVar;
 use rand::Rng;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+
+/// Collapses a batch to its distinct genomes, preserving first-occurrence
+/// order. Returns `(unique, back)` where `unique[k]` is the input index of
+/// the k-th distinct genome and `back[i]` maps every input slot to its
+/// genome's position in `unique` — so `genomes[unique[back[i]]] ==
+/// genomes[i]`.
+///
+/// Batch evaluators use this to dispatch each distinct genome exactly once
+/// (duplicate dispatches of the same point would race on the simulator's
+/// per-point cache and double-count `tool_runs`) and fan the results back
+/// out to every input slot.
+pub fn unique_in_batch(genomes: &[Vec<i64>]) -> (Vec<usize>, Vec<usize>) {
+    let mut first: HashMap<&[i64], usize> = HashMap::with_capacity(genomes.len());
+    let mut unique: Vec<usize> = Vec::with_capacity(genomes.len());
+    let mut back: Vec<usize> = Vec::with_capacity(genomes.len());
+    for (i, g) in genomes.iter().enumerate() {
+        let k = *first.entry(g.as_slice()).or_insert_with(|| {
+            unique.push(i);
+            unique.len() - 1
+        });
+        back.push(k);
+    }
+    (unique, back)
+}
 
 /// Replaces duplicate genomes in `offspring` (relative to `existing` and to
 /// earlier offspring) with random resamples. Gives up on a slot after a
@@ -71,6 +95,32 @@ mod tests {
         let mut off = vec![vec![0], vec![0]];
         dedup_against(&small, &[], &mut off, &mut rng);
         assert_eq!(off, vec![vec![0], vec![0]]);
+    }
+
+    #[test]
+    fn unique_in_batch_all_distinct() {
+        let g = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+        let (unique, back) = unique_in_batch(&g);
+        assert_eq!(unique, vec![0, 1, 2]);
+        assert_eq!(back, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unique_in_batch_collapses_repeats() {
+        let g = vec![vec![7], vec![1], vec![7], vec![7], vec![1], vec![9]];
+        let (unique, back) = unique_in_batch(&g);
+        assert_eq!(unique, vec![0, 1, 5], "first occurrences, input order");
+        assert_eq!(back, vec![0, 1, 0, 0, 1, 2]);
+        // The round-trip invariant every slot relies on.
+        for (i, &k) in back.iter().enumerate() {
+            assert_eq!(g[unique[k]], g[i]);
+        }
+    }
+
+    #[test]
+    fn unique_in_batch_empty() {
+        let (unique, back) = unique_in_batch(&[]);
+        assert!(unique.is_empty() && back.is_empty());
     }
 
     #[test]

@@ -12,7 +12,7 @@ pub mod sampling;
 pub mod selection;
 
 pub use crossover::IntegerSbx;
-pub use dedup::dedup_against;
+pub use dedup::{dedup_against, unique_in_batch};
 pub use mutation::GaussianIntegerMutation;
 pub use sampling::random_genome;
 pub use selection::binary_tournament;

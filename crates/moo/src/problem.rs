@@ -116,6 +116,16 @@ pub trait Problem {
 
     /// Evaluates a batch; the default maps [`Problem::evaluate`], but
     /// implementations backed by expensive evaluators may parallelize.
+    ///
+    /// Contract for implementations that do: the batch is a *generation* —
+    /// `out[i]` must depend only on `genomes[i]` and on problem state as it
+    /// stood when the batch started, never on other genomes' results from
+    /// the same batch. Engines rely on this staged (decide-against-snapshot,
+    /// then evaluate, then fold state serially) semantics for seeded
+    /// determinism: with it, a parallel implementation returns bitwise the
+    /// same vectors as a serial one. Duplicate genomes within the batch must
+    /// yield identical rows, so implementations are free to dispatch each
+    /// distinct genome once and fan results back out.
     fn evaluate_batch(&mut self, genomes: &[Vec<i64>]) -> Vec<Vec<f64>> {
         genomes.iter().map(|g| self.evaluate(g)).collect()
     }

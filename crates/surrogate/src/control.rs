@@ -14,6 +14,7 @@ use crate::loocv::select_bandwidth;
 use crate::nw::NadarayaWatson;
 use crate::similarity::phi_n;
 use crate::threshold::ThresholdPolicy;
+use rayon::prelude::*;
 
 /// What the controller decided for a query point.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,7 +131,9 @@ impl SurrogateController {
         Decision::Evaluate
     }
 
-    /// Peeks at the decision without touching counters (for tests/benches).
+    /// Peeks at the decision without touching counters. This is the pure
+    /// read-only core shared by [`SurrogateController::decide`] and the
+    /// parallel decide phase of [`SurrogateController::decide_batch`].
     pub fn peek(&self, point: &[i64]) -> Decision {
         if let Some(cached) = self.dataset.get(point) {
             return Decision::Cached(cached.to_vec());
@@ -145,12 +148,56 @@ impl SurrogateController {
         Decision::Evaluate
     }
 
-    /// Feeds back a fresh tool result: inserts the pair, re-validates the
-    /// model (LOO-CV bandwidth), and updates Γ. Returns whether the pair
-    /// entered the dataset: non-finite outputs and penalty-magnitude
-    /// sentinels are refused (defense in depth — the fitness layer already
-    /// gates them, but one poisoned pair skews Nadaraya-Watson estimates
-    /// for every neighboring query, so the dataset defends itself too).
+    /// Decides a whole generation at once against an immutable snapshot of
+    /// the dataset — the read-only *decide* phase of the staged batch
+    /// pipeline. Any bandwidth left stale by amortized recording is
+    /// refreshed first, then every point is peeked (in parallel when
+    /// `parallel` is set) and the counters are tallied serially in input
+    /// order.
+    ///
+    /// Because the snapshot is fixed for the whole batch and `peek` is
+    /// pure, the returned decisions are identical for the parallel and
+    /// serial paths — thread count cannot leak into the answers.
+    pub fn decide_batch(&mut self, points: &[Vec<i64>], parallel: bool) -> Vec<Decision> {
+        self.refresh_model();
+        let decisions: Vec<Decision> = if parallel {
+            points.par_iter().map(|p| self.peek(p)).collect()
+        } else {
+            points.iter().map(|p| self.peek(p)).collect()
+        };
+        for d in &decisions {
+            match d {
+                Decision::Cached(_) => self.stats.cached += 1,
+                Decision::Estimate(_) => self.stats.estimated += 1,
+                Decision::Evaluate => self.stats.evaluated += 1,
+            }
+        }
+        decisions
+    }
+
+    /// Re-runs LOO-CV bandwidth selection if insertions happened since the
+    /// last selection. With `retrain_every == 1` (the paper's policy) the
+    /// model can never be stale and this is a no-op; with amortized
+    /// recording this is the point where the batch pipeline pays the
+    /// selection cost once per generation instead of once per insert.
+    pub fn refresh_model(&mut self) {
+        if self.inserts_since_retrain > 0 {
+            self.model.bandwidth = select_bandwidth(&self.dataset, self.model.kernel, &self.grid);
+            self.inserts_since_retrain = 0;
+        }
+    }
+
+    /// Feeds back a fresh tool result: inserts the pair, updates Γ, and —
+    /// every [`SurrogateController::retrain_every`]-th insertion —
+    /// re-validates the model (LOO-CV bandwidth). Between reselections the
+    /// bandwidth is *stale*; [`SurrogateController::decide_batch`] refreshes
+    /// it before the next generation's decisions, so amortization changes
+    /// when selection runs, never which data decisions see. Returns whether
+    /// the pair entered the dataset: non-finite outputs and
+    /// penalty-magnitude sentinels are refused (defense in depth — the
+    /// fitness layer already gates them, but one poisoned pair skews
+    /// Nadaraya-Watson estimates for every neighboring query, so the
+    /// dataset defends itself too).
     pub fn record(&mut self, point: Vec<i64>, outputs: Vec<f64>) -> bool {
         if !credible(&outputs) {
             return false;
@@ -343,6 +390,72 @@ mod tests {
         ]);
         assert_eq!(c.dataset().len(), 2);
         assert!(c.dataset().get(&[500]).is_none());
+    }
+
+    #[test]
+    fn decide_batch_matches_sequential_peeks() {
+        let points: Vec<Vec<i64>> = vec![vec![500], vec![510], vec![777], vec![500]];
+        let a = pretrained(ThresholdPolicy::paper_default());
+        let expect: Vec<Decision> = points.iter().map(|p| a.peek(p)).collect();
+        for parallel in [false, true] {
+            let mut c = pretrained(ThresholdPolicy::paper_default());
+            let got = c.decide_batch(&points, parallel);
+            assert_eq!(got, expect, "parallel = {parallel}");
+            assert_eq!(c.stats.total(), points.len() as u64);
+            assert_eq!(c.stats.cached, 2);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_batches_agree_bitwise() {
+        let points: Vec<Vec<i64>> = (0..64).map(|i| vec![i * 16 + 3]).collect();
+        let mut serial = pretrained(ThresholdPolicy::paper_default());
+        let mut par = pretrained(ThresholdPolicy::paper_default());
+        let ds = serial.decide_batch(&points, false);
+        let dp = par.decide_batch(&points, true);
+        for (a, b) in ds.iter().zip(&dp) {
+            match (a, b) {
+                (Decision::Estimate(x), Decision::Estimate(y))
+                | (Decision::Cached(x), Decision::Cached(y)) => {
+                    for (u, v) in x.iter().zip(y) {
+                        assert_eq!(u.to_bits(), v.to_bits());
+                    }
+                }
+                (Decision::Evaluate, Decision::Evaluate) => {}
+                other => panic!("decisions diverged: {other:?}"),
+            }
+        }
+        assert_eq!(serial.stats, par.stats);
+    }
+
+    #[test]
+    fn amortized_record_defers_reselection() {
+        let mut eager = pretrained(ThresholdPolicy::paper_default());
+        let mut lazy = pretrained(ThresholdPolicy::paper_default());
+        lazy.retrain_every = 8;
+        let h0 = lazy.model().bandwidth;
+        // Pile correlated points into one corner: the eager controller's
+        // bandwidth moves, the lazy one's must not until refreshed.
+        for x in [901, 903, 905, 907] {
+            eager.record(vec![x], truth(x));
+            lazy.record(vec![x], truth(x));
+        }
+        assert_eq!(lazy.model().bandwidth, h0, "reselection must be deferred");
+        // Γ still tracks every insertion even when the bandwidth lags.
+        assert_eq!(lazy.gamma(), eager.gamma());
+        // A batch decide refreshes the stale bandwidth to the eager value:
+        // both controllers hold identical datasets, so LOO-CV agrees.
+        let _ = lazy.decide_batch(&[vec![910]], false);
+        assert_eq!(lazy.model().bandwidth, eager.model().bandwidth);
+    }
+
+    #[test]
+    fn refresh_model_is_noop_when_fresh() {
+        let mut c = pretrained(ThresholdPolicy::paper_default());
+        c.record(vec![911], truth(911)); // retrain_every = 1 → reselects now
+        let h = c.model().bandwidth;
+        c.refresh_model();
+        assert_eq!(c.model().bandwidth, h);
     }
 
     #[test]

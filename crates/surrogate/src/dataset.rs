@@ -59,6 +59,11 @@ pub struct Dataset {
     outputs: Vec<Vec<f64>>,
     /// Exact-match index from raw point to row.
     index: HashMap<Vec<i64>, usize>,
+    /// Squared normalized distance from each row to its nearest *other*
+    /// row (`INFINITY` while the row has no neighbour). Maintained
+    /// incrementally on insertion — O(M·d) per insert — so the adaptive
+    /// threshold Γ never needs the O(M²·d) all-pairs recomputation.
+    nn2: Vec<f64>,
 }
 
 impl Dataset {
@@ -72,6 +77,7 @@ impl Dataset {
             raw_points: Vec::new(),
             outputs: Vec::new(),
             index: HashMap::new(),
+            nn2: Vec::new(),
         }
     }
 
@@ -113,6 +119,24 @@ impl Dataset {
             return;
         }
         let norm = self.bounds.normalize(&point);
+        // Fold the newcomer into the nearest-neighbour cache: one O(M·d)
+        // sweep updates every existing row's minimum and derives the new
+        // row's own nearest distance.
+        let mut own_nn2 = f64::INFINITY;
+        for (i, cached) in self.nn2.iter_mut().enumerate() {
+            let d2 = self.points[i]
+                .iter()
+                .zip(&norm)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>();
+            if d2 < *cached {
+                *cached = d2;
+            }
+            if d2 < own_nn2 {
+                own_nn2 = d2;
+            }
+        }
+        self.nn2.push(own_nn2);
         self.index.insert(point.clone(), self.points.len());
         self.points.push(norm);
         self.raw_points.push(point);
@@ -158,6 +182,27 @@ impl Dataset {
             .zip(&self.points[i])
             .map(|(a, b)| (a - b) * (a - b))
             .sum()
+    }
+
+    /// Squared normalized distance from row `i` to its nearest other row
+    /// (`INFINITY` for a single-row dataset). Served from the incremental
+    /// cache — O(1).
+    pub fn nn_dist2(&self, i: usize) -> f64 {
+        self.nn2[i]
+    }
+
+    /// Smallest squared distance from a normalized query to any row, with
+    /// the matching row index (first row on ties). `None` when empty.
+    /// A single O(M·d) scan — no allocation, no sort.
+    pub fn min_dist2(&self, x_norm: &[f64]) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.len() {
+            let d2 = self.dist2_to(x_norm, i);
+            if best.is_none_or(|(_, bd)| d2 < bd) {
+                best = Some((i, d2));
+            }
+        }
+        best
     }
 
     /// Sorted squared distances from a normalized query to every row,
@@ -341,6 +386,55 @@ mod tests {
         assert!(Dataset::from_csv("#bounds,0:10;outputs=1\n1,2|3").is_err()); // dim mismatch
         assert!(Dataset::from_csv("#bounds,0:10;outputs=2\n1|3").is_err()); // arity mismatch
         assert!(Dataset::from_csv("#bounds,0:10;outputs=1\n1;3").is_err()); // missing |
+    }
+
+    #[test]
+    fn nn_cache_tracks_brute_force() {
+        let mut d = Dataset::new(Bounds::new(vec![(0, 100), (0, 100)]), 1);
+        let pts = [[0i64, 0], [100, 100], [50, 50], [52, 48], [10, 90]];
+        for (k, p) in pts.iter().enumerate() {
+            d.insert(p.to_vec(), vec![k as f64]);
+            for i in 0..d.len() {
+                let brute = (0..d.len())
+                    .filter(|&j| j != i)
+                    .map(|j| d.dist2_to(&d.points()[i].clone(), j))
+                    .fold(f64::INFINITY, f64::min);
+                assert_eq!(d.nn_dist2(i), brute, "row {i} after {k} inserts");
+            }
+        }
+    }
+
+    #[test]
+    fn nn_cache_single_row_is_infinite() {
+        let mut d = Dataset::new(Bounds::new(vec![(0, 10)]), 1);
+        d.insert(vec![5], vec![0.0]);
+        assert_eq!(d.nn_dist2(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn nn_cache_unchanged_by_output_replacement() {
+        let mut d = ds();
+        d.insert(vec![10, 5], vec![1.0, 2.0]);
+        d.insert(vec![90, 2], vec![0.0, 0.0]);
+        let before = d.nn_dist2(0);
+        d.insert(vec![10, 5], vec![3.0, 4.0]); // replace outputs only
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.nn_dist2(0), before);
+    }
+
+    #[test]
+    fn min_dist2_matches_sorted_head() {
+        let mut d = ds();
+        d.insert(vec![0, 0], vec![0.0, 0.0]);
+        d.insert(vec![100, 10], vec![0.0, 0.0]);
+        d.insert(vec![50, 5], vec![0.0, 0.0]);
+        let q = d.normalize(&[40, 4]);
+        let (i, d2) = d.min_dist2(&q).unwrap();
+        let sorted = d.sorted_dist2(&q, None);
+        assert_eq!((i, d2), sorted[0]);
+        assert!(Dataset::new(Bounds::new(vec![(0, 1)]), 1)
+            .min_dist2(&[0.0])
+            .is_none());
     }
 
     #[test]

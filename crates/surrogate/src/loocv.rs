@@ -17,53 +17,133 @@ pub fn default_bandwidth_grid() -> Vec<f64> {
     ]
 }
 
+/// Shared scratch for scoring many bandwidths on one dataset: the
+/// per-output normalization, the full pairwise squared-distance matrix,
+/// and each row's nearest other row. Building it costs one O(M²·d) pass;
+/// every `(kernel, h)` score afterwards is O(M²·m) with zero allocation
+/// and zero distance recomputation — the old path re-derived all of this
+/// per grid candidate.
+struct LooScratch {
+    /// Per-output standard deviation (≥ 1e-12) for error normalization.
+    sd: Vec<f64>,
+    /// Flattened M×M squared normalized distances (`d2[i * n + j]`).
+    d2: Vec<f64>,
+    /// Per-row index of the nearest other row (kernel-underflow fallback).
+    nearest: Vec<usize>,
+}
+
+impl LooScratch {
+    /// Builds the scratch; `None` for datasets with fewer than 2 points.
+    fn build(dataset: &Dataset) -> Option<LooScratch> {
+        let n = dataset.len();
+        if n < 2 {
+            return None;
+        }
+        let m = dataset.n_outputs();
+        let mut mean = vec![0.0f64; m];
+        for out in dataset.outputs() {
+            for (a, y) in mean.iter_mut().zip(out) {
+                *a += y;
+            }
+        }
+        for a in &mut mean {
+            *a /= n as f64;
+        }
+        let mut var = vec![0.0f64; m];
+        for out in dataset.outputs() {
+            for ((v, y), mu) in var.iter_mut().zip(out).zip(&mean) {
+                *v += (y - mu) * (y - mu);
+            }
+        }
+        let sd: Vec<f64> = var
+            .iter()
+            .map(|v| (v / n as f64).sqrt().max(1e-12))
+            .collect();
+
+        // Pairwise distances: compute the upper triangle, mirror the rest
+        // (squared Euclidean distance is exactly symmetric).
+        let mut d2 = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = dataset.dist2_to(&dataset.points()[i], j);
+                d2[i * n + j] = v;
+                d2[j * n + i] = v;
+            }
+        }
+        let nearest: Vec<usize> = (0..n)
+            .map(|i| {
+                let row = &d2[i * n..(i + 1) * n];
+                let mut best = usize::MAX;
+                let mut best_d2 = f64::INFINITY;
+                for (j, &v) in row.iter().enumerate() {
+                    if j != i && v < best_d2 {
+                        best_d2 = v;
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect();
+        Some(LooScratch { sd, d2, nearest })
+    }
+
+    /// LOO-CV error of `(kernel, h)` using the precomputed geometry. The
+    /// arithmetic — accumulation order included — mirrors
+    /// [`NadarayaWatson::predict_norm_into`] exactly, so scoring through
+    /// the scratch yields bit-identical errors to the direct path.
+    fn score(&self, dataset: &Dataset, kernel: Kernel, bandwidth: f64) -> f64 {
+        let n = dataset.len();
+        let m = dataset.n_outputs();
+        let mut num = vec![0.0f64; m];
+        let mut total = 0.0f64;
+        for i in 0..n {
+            let row = &self.d2[i * n..(i + 1) * n];
+            num.fill(0.0);
+            let mut den = 0.0f64;
+            for (j, out) in dataset.outputs().iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let w = kernel.weight(row[j], bandwidth);
+                den += w;
+                for (acc, y) in num.iter_mut().zip(out) {
+                    *acc += w * y;
+                }
+            }
+            let truth = &dataset.outputs()[i];
+            if den <= f64::MIN_POSITIVE * 1e3 {
+                // All weights vanished: nearest-neighbour fallback.
+                let fb = &dataset.outputs()[self.nearest[i]];
+                for ((p, t), s) in fb.iter().zip(truth).zip(&self.sd) {
+                    let e = (p - t) / s;
+                    total += e * e;
+                }
+            } else {
+                for ((p, t), s) in num.iter().zip(truth).zip(&self.sd) {
+                    let e = (p / den - t) / s;
+                    total += e * e;
+                }
+            }
+        }
+        total / (n * m) as f64
+    }
+}
+
 /// LOO-CV mean squared error of `(kernel, h)` on the dataset, summed over
 /// variance-normalized outputs. Returns `None` for datasets with fewer
 /// than 2 points (no held-out prediction possible).
 pub fn loo_mse(dataset: &Dataset, kernel: Kernel, bandwidth: f64) -> Option<f64> {
-    let n = dataset.len();
-    if n < 2 {
-        return None;
-    }
-    let m = dataset.n_outputs();
-    // Per-output standard deviation for normalization.
-    let mut mean = vec![0.0f64; m];
-    for out in dataset.outputs() {
-        for (a, y) in mean.iter_mut().zip(out) {
-            *a += y;
-        }
-    }
-    for a in &mut mean {
-        *a /= n as f64;
-    }
-    let mut var = vec![0.0f64; m];
-    for out in dataset.outputs() {
-        for ((v, y), mu) in var.iter_mut().zip(out).zip(&mean) {
-            *v += (y - mu) * (y - mu);
-        }
-    }
-    let sd: Vec<f64> = var
-        .iter()
-        .map(|v| (v / n as f64).sqrt().max(1e-12))
-        .collect();
-
-    let nw = NadarayaWatson { kernel, bandwidth };
-    let mut total = 0.0f64;
-    for i in 0..n {
-        let point = &dataset.raw_points()[i];
-        let truth = &dataset.outputs()[i];
-        let pred = nw.predict_excluding(dataset, point, Some(i))?;
-        for ((p, t), s) in pred.iter().zip(truth).zip(&sd) {
-            let e = (p - t) / s;
-            total += e * e;
-        }
-    }
-    Some(total / (n * m) as f64)
+    LooScratch::build(dataset).map(|s| s.score(dataset, kernel, bandwidth))
 }
 
 /// Selects the bandwidth minimizing LOO-CV error over `grid` (the default
 /// grid when empty). Falls back to `NadarayaWatson::default().bandwidth`
 /// when the dataset is too small to validate.
+///
+/// The pairwise distance matrix and output normalization are computed
+/// once and shared across the whole grid, so selection costs
+/// O(M²·d + M²·m·|grid|) instead of the former O(M²·(d + m)·|grid|) with
+/// per-candidate re-normalization and allocation.
 pub fn select_bandwidth(dataset: &Dataset, kernel: Kernel, grid: &[f64]) -> f64 {
     let grid_owned;
     let grid = if grid.is_empty() {
@@ -73,16 +153,18 @@ pub fn select_bandwidth(dataset: &Dataset, kernel: Kernel, grid: &[f64]) -> f64 
         grid
     };
     let mut best = NadarayaWatson::default().bandwidth;
+    let Some(scratch) = LooScratch::build(dataset) else {
+        return best;
+    };
     let mut best_err = f64::INFINITY;
     for &h in grid {
         if h <= 0.0 {
             continue;
         }
-        if let Some(err) = loo_mse(dataset, kernel, h) {
-            if err < best_err {
-                best_err = err;
-                best = h;
-            }
+        let err = scratch.score(dataset, kernel, h);
+        if err < best_err {
+            best_err = err;
+            best = h;
         }
     }
     best

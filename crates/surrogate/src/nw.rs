@@ -46,23 +46,44 @@ impl NadarayaWatson {
         point: &[i64],
         exclude: Option<usize>,
     ) -> Option<Vec<f64>> {
+        let x = dataset.normalize(point);
+        let mut out = vec![0.0f64; dataset.n_outputs()];
+        self.predict_norm_into(dataset, &x, exclude, &mut out)
+            .then_some(out)
+    }
+
+    /// The allocation-free prediction core: takes an already-normalized
+    /// query and writes the estimate into `out` (length
+    /// [`Dataset::n_outputs`], pre-zeroed by this function). Returns
+    /// `false` when no prediction exists (empty effective dataset).
+    ///
+    /// LOO-CV calls this once per (row, bandwidth) pair — with the
+    /// dataset's stored normalized rows as queries — so the hot loop never
+    /// allocates and never re-normalizes.
+    pub fn predict_norm_into(
+        &self,
+        dataset: &Dataset,
+        x_norm: &[f64],
+        exclude: Option<usize>,
+        out: &mut [f64],
+    ) -> bool {
         let n = dataset.len();
         let effective = n - usize::from(exclude.is_some() && n > 0);
         if effective == 0 {
-            return None;
+            return false;
         }
-        let x = dataset.normalize(point);
-        let mut num = vec![0.0f64; dataset.n_outputs()];
+        debug_assert_eq!(out.len(), dataset.n_outputs());
+        out.fill(0.0);
         let mut den = 0.0f64;
         let mut nearest: Option<(f64, usize)> = None;
         for i in 0..n {
             if Some(i) == exclude {
                 continue;
             }
-            let d2 = dataset.dist2_to(&x, i);
+            let d2 = dataset.dist2_to(x_norm, i);
             let w = self.kernel.weight(d2, self.bandwidth);
             den += w;
-            for (acc, y) in num.iter_mut().zip(&dataset.outputs()[i]) {
+            for (acc, y) in out.iter_mut().zip(&dataset.outputs()[i]) {
                 *acc += w * y;
             }
             if nearest.is_none_or(|(bd, _)| d2 < bd) {
@@ -71,10 +92,14 @@ impl NadarayaWatson {
         }
         if den <= f64::MIN_POSITIVE * 1e3 {
             // All weights vanished: nearest-neighbour fallback.
-            let (_, i) = nearest?;
-            return Some(dataset.outputs()[i].clone());
+            let Some((_, i)) = nearest else { return false };
+            out.copy_from_slice(&dataset.outputs()[i]);
+            return true;
         }
-        Some(num.into_iter().map(|v| v / den).collect())
+        for v in out.iter_mut() {
+            *v /= den;
+        }
+        true
     }
 }
 

@@ -10,27 +10,31 @@ use crate::dataset::Dataset;
 
 /// Φₙ for the query against the dataset (`n = 1` → nearest point).
 /// `None` when the dataset holds fewer than `n` points.
+///
+/// The `n = 1` case — the one the control model asks on every decide — is
+/// a single linear scan with no sort and no per-row allocation.
 pub fn phi_n(dataset: &Dataset, point: &[i64], n: usize) -> Option<f64> {
     debug_assert!(n >= 1);
     if dataset.len() < n {
         return None;
     }
     let x = dataset.normalize(point);
-    let sorted = dataset.sorted_dist2(&x, None);
-    let (_, d2) = sorted[n - 1];
+    let d2 = if n == 1 {
+        dataset.min_dist2(&x)?.1
+    } else {
+        dataset.sorted_dist2(&x, None)[n - 1].1
+    };
     Some((d2 / dataset.dim() as f64).sqrt())
 }
 
 /// Φ₁ between dataset row `i` and its nearest *other* row — the
-/// ingredient of the adaptive threshold Γ.
+/// ingredient of the adaptive threshold Γ. Served from the dataset's
+/// incremental nearest-neighbour cache in O(1).
 pub fn phi_within(dataset: &Dataset, i: usize) -> Option<f64> {
     if dataset.len() < 2 {
         return None;
     }
-    let x = dataset.points()[i].clone();
-    let sorted = dataset.sorted_dist2(&x, Some(i));
-    let (_, d2) = sorted[0];
-    Some((d2 / dataset.dim() as f64).sqrt())
+    Some((dataset.nn_dist2(i) / dataset.dim() as f64).sqrt())
 }
 
 #[cfg(test)]

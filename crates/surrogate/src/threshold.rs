@@ -33,6 +33,11 @@ impl ThresholdPolicy {
     }
 
     /// Computes Γ for the current dataset.
+    ///
+    /// The adaptive policy reads each row's nearest-neighbour distance from
+    /// the dataset's incremental cache, so the whole computation is O(L)
+    /// rather than the naive O(L²·d) all-pairs scan — cheap enough to run
+    /// after every insertion, as the paper prescribes.
     pub fn gamma(&self, dataset: &Dataset) -> f64 {
         match self {
             ThresholdPolicy::Fixed(g) => *g,

@@ -1,15 +1,119 @@
 //! Offline drop-in subset of the `rayon` API.
 //!
-//! Implements the one shape the workspace uses — `slice.par_iter().map(f)
-//! .collect()` — with real data parallelism on scoped `std::thread`s: the
-//! index space is claimed work-stealing-style through an atomic cursor, and
-//! results land in their original positions, so output order matches
-//! `iter().map(f).collect()` exactly.
+//! Implements the shapes the workspace uses — `slice.par_iter().map(f)
+//! .collect()` plus `ThreadPoolBuilder::new().num_threads(n).build()` with
+//! [`ThreadPool::install`] — with real data parallelism on scoped
+//! `std::thread`s: the index space is claimed work-stealing-style through
+//! an atomic cursor, and results land in their original positions, so
+//! output order matches `iter().map(f).collect()` exactly.
+//!
+//! `install` sets a thread-local worker-count cap rather than owning OS
+//! threads; `par_iter` inside the installed closure spawns at most that
+//! many workers. The cap does not propagate into nested `par_iter` calls
+//! issued *from worker threads* — the workspace never nests parallelism,
+//! so the simpler model suffices.
 
 #![warn(missing_docs)]
 
+use std::cell::Cell;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+thread_local! {
+    /// Per-thread cap on workers per `par_iter` (0 = no cap).
+    static THREAD_LIMIT: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Builder for a scoped [`ThreadPool`], mirroring rayon's API surface.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings (all available cores).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Caps the pool at `num_threads` workers (0 = all available cores).
+    pub fn num_threads(mut self, num_threads: usize) -> ThreadPoolBuilder {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool. Infallible here; the `Result` matches rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error building a thread pool (never produced by this shim; the type
+/// exists so caller code matches rayon's signatures).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped worker-count policy: while [`ThreadPool::install`] runs `op`,
+/// `par_iter` on the calling thread uses at most this pool's thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread cap active on the current thread,
+    /// restoring the previous cap afterwards (panic-safe).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_LIMIT.with(|l| l.set(self.0));
+            }
+        }
+        let prev = THREAD_LIMIT.with(|l| l.replace(self.num_threads));
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// The cap this pool applies (0 = all available cores).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            available_cores()
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+/// Worker count `par_iter` would use right now on this thread.
+pub fn current_num_threads() -> usize {
+    let cap = THREAD_LIMIT.with(|l| l.get());
+    if cap == 0 {
+        available_cores()
+    } else {
+        cap.min(available_cores())
+    }
+}
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
 
 /// The customary import surface.
 pub mod prelude {
@@ -90,10 +194,7 @@ where
     F: Fn(&'data T) -> U + Sync,
 {
     let n = slice.len();
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
+    let workers = current_num_threads().min(n.max(1));
     if workers <= 1 || n <= 1 {
         return slice.iter().map(f).collect();
     }
@@ -141,6 +242,64 @@ mod tests {
         let one = [7u32];
         let out: Vec<u32> = one[..].par_iter().map(|x| x + 1).collect();
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn install_caps_worker_count() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 1);
+        let input: Vec<u32> = (0..32).collect();
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let out: Vec<u32> = pool.install(|| {
+            assert_eq!(crate::current_num_threads(), 1);
+            input
+                .par_iter()
+                .map(|x| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    x + 1
+                })
+                .collect()
+        });
+        assert_eq!(out, (1..=32).collect::<Vec<u32>>());
+        assert_eq!(ids.lock().unwrap().len(), 1, "cap of 1 must serialize");
+    }
+
+    #[test]
+    fn install_restores_previous_cap() {
+        let outer = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let inner = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        outer.install(|| {
+            let cores = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            assert_eq!(crate::current_num_threads(), 3.min(cores));
+            inner.install(|| assert_eq!(crate::current_num_threads(), 1));
+            assert_eq!(crate::current_num_threads(), 3.min(cores));
+        });
+        // Back to uncapped after install returns.
+        let uncapped = crate::current_num_threads();
+        assert!(uncapped >= 1);
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        let pool = crate::ThreadPoolBuilder::new().build().unwrap();
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        assert_eq!(pool.current_num_threads(), cores);
     }
 
     #[test]
