@@ -17,12 +17,15 @@ use crate::casestudies;
 use crate::dse::{Dovado, DseConfig, SurrogateConfig};
 use crate::flow::{EvalConfig, FlowStep, HdlSource};
 use crate::metrics::{Metric, MetricSet};
+use crate::persist::PersistConfig;
 use crate::point::DesignPoint;
 use crate::space::{Domain, ParameterSpace};
+use dovado_eda::EvalStore;
 use dovado_fpga::{Catalog, ResourceKind};
 use dovado_hdl::Language;
 use dovado_moo::{Nsga2Config, Termination};
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 /// CLI entry point: executes `args` (without the program name), writing
 /// human output to `out`. Returns the process exit code.
@@ -63,18 +66,26 @@ USAGE:
   dovado evaluate --source <file>... --top <module> [--part <part>]
                   [--set NAME=VALUE]... [--period <ns>] [--step synth|impl]
                   [--synth-directive <d>] [--impl-directive <d>]
-                  [--jobs <n>]
+                  [--jobs <n>] [--store <dir>]
   dovado explore  --source <file>... --top <module> [--part <part>]
                   --param NAME=<spec>... [--metric <m>,<m>,...]
                   [--generations <n>] [--pop <n>] [--seed <n>]
                   [--surrogate <M>] [--deadline <simulated-s>] [--plot]
                   [--algorithm nsga2|random|weighted-sum|exhaustive]
                   [--csv <file>] [--jobs <n>]
+                  [--store <dir>] [--resume <dir>]
   dovado demo <cv32e40p|corundum|neorv32|tirex>
 
   --jobs caps the worker threads used for parallel tool runs and batch
   surrogate decisions; the default is all available cores. Results are
   identical for any value — parallelism never changes answers.
+
+  --store persists every successful tool run into a content-addressed
+  on-disk store under <dir>; repeated evaluations of the same sources,
+  configuration, and design point are answered from disk. For explore,
+  --store also journals optimizer state each generation so an
+  interrupted run can be continued with --resume <dir>, which replays
+  the journal and produces the same result as an uninterrupted run.
 
 PARAM SPECS:
   lo:hi          integer range            (e.g. DEPTH=2:1000)
@@ -272,6 +283,7 @@ fn cmd_evaluate(args: &[String], out: &mut String) -> Result<(), String> {
     let (common, rest) = parse_common(args)?;
     let mut assignments: Vec<(String, i64)> = Vec::new();
     let mut jobs: Option<usize> = None;
+    let mut store_dir: Option<String> = None;
     for (flag, value) in &rest {
         match flag.as_str() {
             "--set" => {
@@ -284,12 +296,18 @@ fn cmd_evaluate(args: &[String], out: &mut String) -> Result<(), String> {
                 assignments.push((k.to_string(), vi));
             }
             "--jobs" => jobs = Some(parse_jobs(value)?),
+            "--store" => store_dir = Some(value.clone()),
             other => return Err(format!("evaluate: unknown flag `{other}`")),
         }
     }
 
-    let evaluator = crate::flow::Evaluator::new(common.sources, &common.top, common.eval)
+    let mut evaluator = crate::flow::Evaluator::new(common.sources, &common.top, common.eval)
         .map_err(|e| e.to_string())?;
+    if let Some(dir) = &store_dir {
+        let store =
+            EvalStore::open(std::path::Path::new(dir)).map_err(|e| format!("--store: {e}"))?;
+        evaluator.attach_store(store);
+    }
     let pairs: Vec<(&str, i64)> = assignments.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     let point = DesignPoint::from_pairs(&pairs);
     let eval = run_with_jobs(jobs, || evaluator.evaluate(&point))?.map_err(|e| e.to_string())?;
@@ -312,6 +330,14 @@ fn cmd_evaluate(args: &[String], out: &mut String) -> Result<(), String> {
         "{:<13}: {:.0} simulated s",
         "tool time", eval.tool_time_s
     );
+    if store_dir.is_some() {
+        let served = if evaluator.trace_summary().store_hits > 0 {
+            "persistent store (no tool run)"
+        } else {
+            "tool run (result stored for reuse)"
+        };
+        let _ = writeln!(out, "{:<13}: {served}", "answered by");
+    }
     Ok(())
 }
 
@@ -328,6 +354,8 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
     let mut explorer = crate::dse::Explorer::Nsga2;
     let mut csv_path: Option<String> = None;
     let mut jobs: Option<usize> = None;
+    let mut store_dir: Option<String> = None;
+    let mut resume_dir: Option<String> = None;
 
     for (flag, value) in &rest {
         match flag.as_str() {
@@ -370,6 +398,8 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
             "--plot" => plot = true,
             "--csv" => csv_path = Some(value.clone()),
             "--jobs" => jobs = Some(parse_jobs(value)?),
+            "--store" => store_dir = Some(value.clone()),
+            "--resume" => resume_dir = Some(value.clone()),
             "--algorithm" => {
                 explorer = match value.as_str() {
                     "nsga2" => crate::dse::Explorer::Nsga2,
@@ -386,6 +416,20 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
         return Err("explore: at least one --param is required".into());
     }
     let metrics = metrics.unwrap_or_else(MetricSet::area_frequency);
+    let persist = match (&store_dir, &resume_dir) {
+        (None, None) => None,
+        (Some(s), Some(r)) if s != r => {
+            return Err("--store and --resume point at different directories".into())
+        }
+        (s, r) => {
+            let dir = r.clone().or_else(|| s.clone()).unwrap();
+            Some(PersistConfig {
+                dir: PathBuf::from(dir),
+                resume: resume_dir.is_some(),
+                journal_every: 1,
+            })
+        }
+    };
 
     let tool =
         Dovado::new(common.sources, &common.top, space, common.eval).map_err(|e| e.to_string())?;
@@ -397,7 +441,7 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
         None => Termination::Generations(generations),
     };
     let report = run_with_jobs(jobs, || {
-        tool.explore(&DseConfig {
+        let cfg = DseConfig {
             explorer,
             algorithm: Nsga2Config {
                 pop_size: pop,
@@ -411,7 +455,11 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
                 ..Default::default()
             }),
             parallel: true,
-        })
+        };
+        match &persist {
+            Some(p) => tool.explore_persistent(&cfg, p),
+            None => tool.explore(&cfg),
+        }
     })?
     .map_err(|e| e.to_string())?;
 
@@ -762,6 +810,120 @@ mod tests {
             1
         );
         assert!(out.contains("--param"));
+    }
+
+    fn temp_store(tag: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("dovado-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn evaluate_store_answers_second_run_from_disk() {
+        let path = write_temp("es.sv", FIFO);
+        let store = temp_store("eval-store");
+        let eval = || {
+            let mut out = String::new();
+            let code = run(
+                &args(&[
+                    "evaluate", "--source", &path, "--top", "fifo_v3", "--set", "DEPTH=32",
+                    "--store", &store,
+                ]),
+                &mut out,
+            );
+            assert_eq!(code, 0, "{out}");
+            out
+        };
+        let cold = eval();
+        assert!(cold.contains("stored for reuse"), "{cold}");
+        let warm = eval();
+        assert!(warm.contains("persistent store (no tool run)"), "{warm}");
+        // Same metrics either way.
+        assert!(warm.contains(cold.lines().find(|l| l.contains("Fmax")).unwrap()));
+    }
+
+    #[test]
+    fn explore_store_then_resume_reproduces_tables() {
+        let path = write_temp("xs.sv", FIFO);
+        let store = temp_store("explore-store");
+        let explore = |last: &[&str]| {
+            let mut a = args(&[
+                "explore",
+                "--source",
+                &path,
+                "--top",
+                "fifo_v3",
+                "--param",
+                "DEPTH=2:512:2",
+                "--generations",
+                "3",
+                "--pop",
+                "8",
+                "--seed",
+                "7",
+            ]);
+            a.extend(last.iter().map(|s| s.to_string()));
+            let mut out = String::new();
+            assert_eq!(run(&a, &mut out), 0, "{out}");
+            out
+        };
+        let cold = explore(&["--store", &store]);
+        // A warm rerun is answered entirely from the store.
+        let warm = explore(&["--store", &store]);
+        assert!(warm.contains("store hits"), "{warm}");
+        // Resuming the finished journal reproduces the same result.
+        let resumed = explore(&["--resume", &store]);
+        // Tables (everything below the summary line) match across all three.
+        let tables = |s: &str| s.split_once('\n').unwrap().1.to_string();
+        assert_eq!(tables(&cold), tables(&warm));
+        assert_eq!(tables(&cold), tables(&resumed));
+    }
+
+    #[test]
+    fn explore_rejects_conflicting_store_and_resume() {
+        let path = write_temp("xc.sv", FIFO);
+        let mut out = String::new();
+        let code = run(
+            &args(&[
+                "explore",
+                "--source",
+                &path,
+                "--top",
+                "fifo_v3",
+                "--param",
+                "DEPTH=2:8",
+                "--store",
+                "/tmp/a",
+                "--resume",
+                "/tmp/b",
+            ]),
+            &mut out,
+        );
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("different directories"), "{out}");
+    }
+
+    #[test]
+    fn explore_resume_without_journal_errors() {
+        let path = write_temp("xr.sv", FIFO);
+        let store = temp_store("no-journal");
+        let mut out = String::new();
+        let code = run(
+            &args(&[
+                "explore",
+                "--source",
+                &path,
+                "--top",
+                "fifo_v3",
+                "--param",
+                "DEPTH=2:8",
+                "--resume",
+                &store,
+            ]),
+            &mut out,
+        );
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("journal"), "{out}");
     }
 
     #[test]

@@ -1,17 +1,21 @@
 //! The Dovado front door: design automation (evaluate given points) and
 //! design space exploration (NSGA-II over a parameter space).
 
-use crate::error::DovadoResult;
+use crate::error::{DovadoError, DovadoResult};
 use crate::fitness::{DseProblem, FitnessStats};
 use crate::flow::{EvalConfig, Evaluator, HdlSource};
 use crate::metrics::{Evaluation, MetricSet};
+use crate::persist::{self, Journal, PersistConfig, SurrogateJournal};
 use crate::point::DesignPoint;
 use crate::results::{DseReport, ParetoEntry, PointResult};
 use crate::space::ParameterSpace;
+use dovado_eda::{EvalStore, FaultKind};
 use dovado_moo::{
-    exhaustive_search, nsga2, random_search, weighted_sum_ga, Nsga2Config, OptResult, Termination,
+    exhaustive_search, nsga2, random_search, weighted_sum_ga, Nsga2Config, Nsga2Engine, OptResult,
+    Termination,
 };
-use dovado_surrogate::{Kernel, ThresholdPolicy};
+use dovado_surrogate::{Dataset, Kernel, SurrogateController, ThresholdPolicy};
+use std::fs;
 
 /// Which exploration strategy drives the search.
 ///
@@ -169,8 +173,57 @@ impl Dovado {
     /// Design space exploration: runs the configured explorer (with or
     /// without the approximation model) and returns the non-dominated set.
     pub fn explore(&self, cfg: &DseConfig) -> DovadoResult<DseReport> {
+        self.explore_inner(cfg, None)
+    }
+
+    /// Design space exploration with crash-safe persistence.
+    ///
+    /// Evaluations go through the content-addressed store under
+    /// `persist.dir/store/` (a warm store answers repeats with zero tool
+    /// runs), and — for the NSGA-II explorer — the full exploration
+    /// state is journaled to `persist.dir/journal.dovado` at every
+    /// `persist.journal_every`-th generation boundary with atomic rename
+    /// and a checksum. With `persist.resume` set, the run restarts from
+    /// the journal and continues bitwise-identically to an uninterrupted
+    /// run (same Pareto front, dataset and fitness counters; only
+    /// wall-clock accounting of already-stored evaluations differs).
+    pub fn explore_persistent(
+        &self,
+        cfg: &DseConfig,
+        persist_cfg: &PersistConfig,
+    ) -> DovadoResult<DseReport> {
+        self.explore_inner(cfg, Some(persist_cfg))
+    }
+
+    fn explore_inner(
+        &self,
+        cfg: &DseConfig,
+        persist_cfg: Option<&PersistConfig>,
+    ) -> DovadoResult<DseReport> {
+        let mut evaluator = self.evaluator.clone();
+        if let Some(p) = persist_cfg {
+            fs::create_dir_all(&p.dir).map_err(|e| {
+                DovadoError::Config(format!("cannot create {}: {e}", p.dir.display()))
+            })?;
+            let store = EvalStore::open(&p.store_dir()).map_err(|e| {
+                DovadoError::Config(format!(
+                    "cannot open store {}: {e}",
+                    p.store_dir().display()
+                ))
+            })?;
+            evaluator.attach_store(store);
+        }
+        if let Some(p) = persist_cfg.filter(|p| p.resume) {
+            if !matches!(cfg.explorer, Explorer::Nsga2) {
+                return Err(DovadoError::Config(
+                    "resume is only supported for the NSGA-II explorer".into(),
+                ));
+            }
+            return self.resume_nsga2(cfg, p, evaluator);
+        }
+
         let mut problem = DseProblem::new(
-            self.evaluator.clone(),
+            evaluator,
             self.space.clone(),
             cfg.metrics.clone(),
             cfg.surrogate.as_ref(),
@@ -178,7 +231,13 @@ impl Dovado {
         problem.parallel = cfg.parallel;
 
         let result: OptResult = match &cfg.explorer {
-            Explorer::Nsga2 => nsga2(&mut problem, &cfg.algorithm, &cfg.termination),
+            Explorer::Nsga2 => match persist_cfg {
+                Some(p) => {
+                    let engine = Nsga2Engine::start(&mut problem, &cfg.algorithm);
+                    self.run_journaled(&mut problem, cfg, p, engine)?
+                }
+                None => nsga2(&mut problem, &cfg.algorithm, &cfg.termination),
+            },
             Explorer::RandomSearch => random_search(
                 &mut problem,
                 &cfg.termination,
@@ -216,7 +275,158 @@ impl Dovado {
                 })?
             }
         };
+        self.assemble_report(cfg, &problem, result)
+    }
 
+    /// The stepwise NSGA-II loop with a write-ahead journal at
+    /// generation boundaries. The simulated host crash is drawn only
+    /// *after* a snapshot lands durably, so an interrupted run always
+    /// resumes with at least one generation of progress — a crash/resume
+    /// loop terminates even when every boundary re-crashes.
+    fn run_journaled(
+        &self,
+        problem: &mut DseProblem,
+        cfg: &DseConfig,
+        persist_cfg: &PersistConfig,
+        mut engine: Nsga2Engine,
+    ) -> DovadoResult<OptResult> {
+        let fingerprint = self.persist_fingerprint(cfg);
+        let path = persist_cfg.journal_path();
+        let every = persist_cfg.journal_every.max(1);
+        loop {
+            if engine.should_stop(&*problem, &cfg.termination) {
+                let journal = Self::journal_of(problem, &engine, &fingerprint, true);
+                persist::write_journal(&path, &journal)?;
+                break;
+            }
+            engine.step(problem);
+            if engine.generation().is_multiple_of(every) {
+                let journal = Self::journal_of(problem, &engine, &fingerprint, false);
+                persist::write_journal(&path, &journal)?;
+                if let Some(injector) = problem.evaluator().injector() {
+                    if injector.fires(FaultKind::HostCrash) {
+                        return Err(DovadoError::Interrupted {
+                            generation: engine.generation(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(engine.into_result())
+    }
+
+    /// Restarts an NSGA-II run from its journal.
+    fn resume_nsga2(
+        &self,
+        cfg: &DseConfig,
+        persist_cfg: &PersistConfig,
+        evaluator: Evaluator,
+    ) -> DovadoResult<DseReport> {
+        let journal = persist::read_journal(&persist_cfg.journal_path())?;
+        let fingerprint = self.persist_fingerprint(cfg);
+        if journal.fingerprint != fingerprint {
+            return Err(DovadoError::Config(format!(
+                "journal fingerprint {} does not match this run's configuration \
+                 ({fingerprint}); refusing to resume a different run",
+                journal.fingerprint
+            )));
+        }
+        let controller = match (&cfg.surrogate, &journal.surrogate) {
+            (Some(scfg), Some(sj)) => {
+                let dataset = Dataset::from_csv(&sj.dataset_csv).map_err(|e| {
+                    DovadoError::Config(format!("journaled surrogate dataset unreadable: {e}"))
+                })?;
+                Some(SurrogateController::restore(
+                    dataset,
+                    scfg.kernel,
+                    sj.bandwidth,
+                    scfg.policy,
+                    sj.gamma,
+                    sj.retrain_every,
+                    sj.inserts_since_retrain,
+                    sj.stats,
+                ))
+            }
+            (None, None) => None,
+            _ => {
+                return Err(DovadoError::Config(
+                    "journal and configuration disagree about the approximation model".into(),
+                ))
+            }
+        };
+        // Re-account the journaled spend on this process's ledger so a
+        // soft deadline keeps meaning "whole run", not "since restart"
+        // (no-op when resuming within the process that crashed).
+        let deficit = (journal.tool_time_s - evaluator.total_tool_time()).max(0.0);
+        evaluator.charge_time(deficit);
+
+        let mut problem = DseProblem::resume_from(
+            evaluator,
+            self.space.clone(),
+            cfg.metrics.clone(),
+            controller,
+            journal.stats,
+        );
+        problem.parallel = cfg.parallel;
+        let engine = Nsga2Engine::resume(&problem, &cfg.algorithm, journal.snapshot);
+        let result = if journal.complete {
+            // The run had already terminated when the journal was
+            // written; re-deriving the result is pure.
+            engine.into_result()
+        } else {
+            self.run_journaled(&mut problem, cfg, persist_cfg, engine)?
+        };
+        self.assemble_report(cfg, &problem, result)
+    }
+
+    /// Everything that identifies one exploration run for resume
+    /// purposes. Deliberately excludes `parallel` (a parallel run is
+    /// bitwise a sequential one) and the journal cadence.
+    fn persist_fingerprint(&self, cfg: &DseConfig) -> String {
+        self.evaluator
+            .content_key()
+            .extend(&[
+                format!("{:?}", cfg.explorer),
+                format!("{:?}", cfg.algorithm),
+                format!("{:?}", cfg.termination),
+                format!("{:?}", cfg.metrics),
+                format!("{:?}", cfg.surrogate),
+                format!("{:?}", self.space),
+            ])
+            .hex()
+    }
+
+    /// Captures the whole exploration state at a generation boundary.
+    fn journal_of(
+        problem: &DseProblem,
+        engine: &Nsga2Engine,
+        fingerprint: &str,
+        complete: bool,
+    ) -> Journal {
+        let surrogate = problem.surrogate().map(|c| SurrogateJournal {
+            bandwidth: c.model().bandwidth,
+            gamma: c.gamma(),
+            inserts_since_retrain: c.inserts_since_retrain(),
+            retrain_every: c.retrain_every,
+            stats: c.stats,
+            dataset_csv: c.dataset().to_csv(),
+        });
+        Journal {
+            fingerprint: fingerprint.to_string(),
+            complete,
+            tool_time_s: problem.evaluator().total_tool_time(),
+            stats: problem.stats,
+            snapshot: engine.snapshot(),
+            surrogate,
+        }
+    }
+
+    fn assemble_report(
+        &self,
+        cfg: &DseConfig,
+        problem: &DseProblem,
+        result: OptResult,
+    ) -> DovadoResult<DseReport> {
         let mut pareto = Vec::with_capacity(result.pareto.len());
         for ind in result.sorted_pareto() {
             let point = problem.decode(&ind.genome)?;
@@ -460,6 +670,125 @@ endmodule"#;
                 ..base
             })
             .is_err());
+    }
+
+    fn persist_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dovado-dse-{tag}-{}", std::process::id()))
+    }
+
+    fn small_cfg() -> DseConfig {
+        DseConfig {
+            algorithm: Nsga2Config {
+                pop_size: 8,
+                seed: 7,
+                ..Default::default()
+            },
+            termination: Termination::Generations(4),
+            metrics: metrics(),
+            surrogate: None,
+            parallel: false,
+            explorer: Default::default(),
+        }
+    }
+
+    #[test]
+    fn persistent_explore_journals_then_warm_rerun_needs_no_tool() {
+        let dir = persist_dir("warm");
+        let cfg = small_cfg();
+        let persist_cfg = PersistConfig::new(&dir);
+
+        let cold = dovado().explore_persistent(&cfg, &persist_cfg).unwrap();
+        assert!(persist_cfg.journal_path().exists());
+        assert!(cold.tool_runs > 0);
+        assert!(
+            cold.trace.attempts + cold.trace.store_hits >= cold.tool_runs,
+            "a cold run may hit entries it wrote itself, never more"
+        );
+
+        // Same run against the warm store: identical front, and not a
+        // single tool attempt anywhere.
+        let warm = dovado().explore_persistent(&cfg, &persist_cfg).unwrap();
+        assert_eq!(warm.trace.attempts, 0, "warm run must not touch the tool");
+        assert!(warm.trace.store_hits > 0);
+        assert_eq!(warm.pareto.len(), cold.pareto.len());
+        for (a, b) in cold.pareto.iter().zip(&warm.pareto) {
+            assert_eq!(a.point, b.point);
+            for (x, y) in a.values.iter().zip(&b.values) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resuming_a_completed_journal_reproduces_the_report() {
+        let dir = persist_dir("complete");
+        let cfg = small_cfg();
+        let persist_cfg = PersistConfig::new(&dir);
+        let cold = dovado().explore_persistent(&cfg, &persist_cfg).unwrap();
+
+        let resume_cfg = PersistConfig {
+            resume: true,
+            ..PersistConfig::new(&dir)
+        };
+        let resumed = dovado().explore_persistent(&cfg, &resume_cfg).unwrap();
+        assert_eq!(resumed.trace.attempts, 0, "nothing left to evaluate");
+        assert_eq!(
+            resumed.tool_runs, cold.tool_runs,
+            "stats come from the journal"
+        );
+        assert_eq!(resumed.generations, cold.generations);
+        assert_eq!(resumed.pareto.len(), cold.pareto.len());
+        for (a, b) in cold.pareto.iter().zip(&resumed.pareto) {
+            assert_eq!(a.point, b.point);
+            for (x, y) in a.values.iter().zip(&b.values) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_refuses_mismatched_config_and_wrong_explorer() {
+        let dir = persist_dir("mismatch");
+        let cfg = small_cfg();
+        let persist_cfg = PersistConfig::new(&dir);
+        dovado().explore_persistent(&cfg, &persist_cfg).unwrap();
+
+        let resume_cfg = PersistConfig {
+            resume: true,
+            ..PersistConfig::new(&dir)
+        };
+        // Different seed → different fingerprint → refuse.
+        let other = DseConfig {
+            algorithm: Nsga2Config {
+                pop_size: 8,
+                seed: 8,
+                ..Default::default()
+            },
+            ..small_cfg()
+        };
+        let err = dovado()
+            .explore_persistent(&other, &resume_cfg)
+            .unwrap_err();
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+
+        // Resume is NSGA-II only.
+        let rs = DseConfig {
+            explorer: Explorer::RandomSearch,
+            ..small_cfg()
+        };
+        assert!(dovado().explore_persistent(&rs, &resume_cfg).is_err());
+
+        // And a missing journal refuses too.
+        let empty = persist_dir("missing");
+        let missing = PersistConfig {
+            resume: true,
+            ..PersistConfig::new(&empty)
+        };
+        assert!(dovado().explore_persistent(&cfg, &missing).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(&empty);
     }
 
     #[test]

@@ -49,6 +49,13 @@ pub enum DovadoError {
         /// The error that killed the final attempt.
         last: Box<DovadoError>,
     },
+    /// The exploration host process was killed mid-run (simulated host
+    /// crash). The journal holds everything up to and including
+    /// `generation`; `explore --resume` picks up from there.
+    Interrupted {
+        /// Last generation whose journal snapshot is durable.
+        generation: u32,
+    },
 }
 
 impl DovadoError {
@@ -67,7 +74,8 @@ impl DovadoError {
             DovadoError::MissingReport(_)
             | DovadoError::ReportCorrupt(_)
             | DovadoError::NonPhysicalTiming(_)
-            | DovadoError::RetriesExhausted { .. } => ErrorClass::Transient,
+            | DovadoError::RetriesExhausted { .. }
+            | DovadoError::Interrupted { .. } => ErrorClass::Transient,
             _ => ErrorClass::Permanent,
         }
     }
@@ -98,6 +106,13 @@ impl fmt::Display for DovadoError {
             DovadoError::NonPhysicalTiming(m) => write!(f, "non-physical timing: {m}"),
             DovadoError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
+            DovadoError::Interrupted { generation } => {
+                write!(
+                    f,
+                    "exploration interrupted after generation {generation}; \
+                     journal is resumable"
+                )
             }
         }
     }

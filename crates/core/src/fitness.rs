@@ -60,6 +60,20 @@ impl FitnessStats {
     }
 }
 
+/// Penalty vector for failed evaluations: a point that fails synthesis
+/// is worse than anything real — zero frequency, full-device
+/// utilization.
+fn penalty_vector(metrics: &MetricSet) -> Vec<f64> {
+    metrics
+        .metrics()
+        .iter()
+        .map(|m| match m {
+            crate::metrics::Metric::Fmax => 0.0,
+            crate::metrics::Metric::Utilization(_) | crate::metrics::Metric::Power => 1e9,
+        })
+        .collect()
+}
+
 /// The multi-objective problem Dovado hands to NSGA-II.
 pub struct DseProblem {
     evaluator: Evaluator,
@@ -74,6 +88,10 @@ pub struct DseProblem {
     pub parallel: bool,
     /// Decision counters.
     pub stats: FitnessStats,
+    /// Retries accumulated before this process (journaled runs resume
+    /// with a fresh trace; `sync_retries` adds this base so the counter
+    /// stays continuous across the restart).
+    retries_base: u64,
 }
 
 impl DseProblem {
@@ -88,27 +106,17 @@ impl DseProblem {
     ) -> DovadoResult<DseProblem> {
         let vars = space.index_vars();
         let objectives = metrics.objectives();
-        // Penalty: a point that fails synthesis is worse than anything
-        // real — zero frequency, full-device utilization.
-        let penalty: Vec<f64> = metrics
-            .metrics()
-            .iter()
-            .map(|m| match m {
-                crate::metrics::Metric::Fmax => 0.0,
-                crate::metrics::Metric::Utilization(_) | crate::metrics::Metric::Power => 1e9,
-            })
-            .collect();
-
         let mut problem = DseProblem {
             evaluator,
             space,
-            metrics,
             vars,
             objectives,
             surrogate: None,
-            penalty,
+            penalty: penalty_vector(&metrics),
+            metrics,
             parallel: false,
             stats: FitnessStats::default(),
+            retries_base: 0,
         };
 
         if let Some(cfg) = surrogate_cfg {
@@ -142,6 +150,34 @@ impl DseProblem {
         }
         problem.sync_retries();
         Ok(problem)
+    }
+
+    /// Rebuilds a problem mid-run from journaled state: no pretraining —
+    /// the restored controller (if any) and fitness counters are
+    /// installed exactly as captured, and `stats.retries` keeps counting
+    /// from the journaled value even though this process's flow trace
+    /// starts empty.
+    pub(crate) fn resume_from(
+        evaluator: Evaluator,
+        space: ParameterSpace,
+        metrics: MetricSet,
+        surrogate: Option<SurrogateController>,
+        stats: FitnessStats,
+    ) -> DseProblem {
+        let vars = space.index_vars();
+        let objectives = metrics.objectives();
+        DseProblem {
+            evaluator,
+            space,
+            vars,
+            objectives,
+            surrogate,
+            penalty: penalty_vector(&metrics),
+            metrics,
+            parallel: false,
+            retries_base: stats.retries,
+            stats,
+        }
     }
 
     /// The surrogate controller, if enabled.
@@ -200,7 +236,7 @@ impl DseProblem {
     /// end of every `evaluate`/`evaluate_batch` so serial and parallel
     /// paths report identically regardless of which code path ran the tool.
     fn sync_retries(&mut self) {
-        self.stats.retries = self.evaluator.trace_summary().retries;
+        self.stats.retries = self.retries_base + self.evaluator.trace_summary().retries;
     }
 
     /// Dispatches the tool for the distinct genomes `unique` indexes into

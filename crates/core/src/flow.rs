@@ -13,7 +13,9 @@ use crate::frames::{fill, read_sources_script, SourceEntry, IMPL_FRAME, SYNTH_FR
 use crate::metrics::{fmax_mhz, Evaluation};
 use crate::point::DesignPoint;
 use crate::trace::{AttemptOutcome, FlowEvent, FlowTrace, TraceSummary};
-use dovado_eda::{report, CheckpointStore, EdaError, FaultInjector, FaultPlan, VivadoSim};
+use dovado_eda::{
+    report, CheckpointStore, EdaError, EvalKey, EvalStore, FaultInjector, FaultPlan, VivadoSim,
+};
 use dovado_hdl::{Language, ModuleInterface};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -170,6 +172,9 @@ pub struct Evaluator {
     /// Whether any prior run left a synthesis checkpoint (enables the
     /// incremental read on subsequent scripts).
     has_checkpoint: Arc<Mutex<bool>>,
+    /// Persistent evaluation store plus this evaluator's base key
+    /// (sources + top + config); `None` = always run the tool.
+    eval_store: Option<(EvalStore, EvalKey)>,
 }
 
 impl Evaluator {
@@ -222,7 +227,43 @@ impl Evaluator {
             tool_time: Arc::new(Mutex::new(0.0)),
             runs: Arc::new(Mutex::new(0)),
             has_checkpoint: Arc::new(Mutex::new(false)),
+            eval_store: None,
         })
+    }
+
+    /// Attaches a persistent evaluation store. Subsequent evaluations
+    /// first look up the point's content-addressed key — a hit returns
+    /// the stored metrics bitwise, with zero tool runs, zero attempts
+    /// and zero simulated time; a fresh success is written back. The key
+    /// covers the sources, top module and full [`EvalConfig`], so any
+    /// input change invalidates the store automatically.
+    pub fn attach_store(&mut self, store: EvalStore) {
+        let base = self.content_key();
+        self.eval_store = Some((store, base));
+    }
+
+    /// The evaluator's 128-bit content identity: a stable hash of the
+    /// sources, top module and full [`EvalConfig`]. Store keys and the
+    /// journal fingerprint both build on it.
+    pub fn content_key(&self) -> EvalKey {
+        crate::persist::evaluator_key(&self.sources, &self.module.name, &self.config)
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&EvalStore> {
+        self.eval_store.as_ref().map(|(s, _)| s)
+    }
+
+    /// The shared fault injector, if fault injection is active.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Charges simulated seconds straight to the tool-time ledger.
+    /// Resume uses this to re-account the journaled spend so soft-
+    /// deadline budgets see the whole run, not just the current process.
+    pub fn charge_time(&self, seconds: f64) {
+        *self.tool_time.lock() += seconds;
     }
 
     /// The parsed interface of the module under evaluation.
@@ -269,6 +310,24 @@ impl Evaluator {
         let policy = self.config.retry.clone();
         let max_attempts = policy.max_attempts.max(1);
         let label = point.as_assignments();
+
+        // Persistent store: a hit is a bitwise substitute for the tool
+        // run (evaluations are pure functions of point + config), so it
+        // returns before any attempt is made or time is charged. An
+        // undecodable entry reads as a miss and is overwritten below.
+        let store_key = self
+            .eval_store
+            .as_ref()
+            .map(|(store, base)| (store, base.extend(&[&label])));
+        if let Some((store, key)) = &store_key {
+            if let Some(eval) = store
+                .get(key)
+                .and_then(|payload| crate::persist::decode_evaluation(&payload))
+            {
+                self.trace.record_store_hit();
+                return Ok(eval);
+            }
+        }
         let mut step = self.config.step;
         let mut incremental = self.config.incremental;
         let mut timeouts = 0u32;
@@ -291,6 +350,11 @@ impl Evaluator {
                         incremental: used_incremental,
                         cached,
                     });
+                    if let Some((store, key)) = &store_key {
+                        // Best-effort: a failed write only costs a
+                        // future re-run, never a wrong answer.
+                        let _ = store.put(key, &crate::persist::encode_evaluation(&evaluation));
+                    }
                     return Ok(evaluation);
                 }
                 Err(e) if e.is_transient() && attempt < max_attempts => {
@@ -739,6 +803,67 @@ endmodule"#;
             ]))
             .unwrap();
         assert_eq!(e.utilization.get(ResourceKind::Bram), 16);
+    }
+
+    // ---- persistent store ------------------------------------------------
+
+    #[test]
+    fn attached_store_round_trips_and_invalidates_on_config_change() {
+        let dir = std::env::temp_dir().join(format!("dovado-store-flow-{}", std::process::id()));
+        let p = DesignPoint::from_pairs(&[("DEPTH", 64)]);
+
+        let mut warm = evaluator(EvalConfig::default());
+        warm.attach_store(EvalStore::open(&dir).unwrap());
+        let a = warm.evaluate(&p).unwrap();
+        assert_eq!(warm.trace_summary().store_hits, 0, "cold run hits nothing");
+        assert_eq!(warm.total_runs(), 1);
+
+        // A fresh evaluator over the same inputs answers from disk:
+        // bitwise equal, zero attempts, zero tool runs, zero time.
+        let mut hit = evaluator(EvalConfig::default());
+        hit.attach_store(EvalStore::open(&dir).unwrap());
+        let b = hit.evaluate(&p).unwrap();
+        assert_eq!(a.utilization, b.utilization);
+        assert_eq!(a.wns_ns.to_bits(), b.wns_ns.to_bits());
+        assert_eq!(a.fmax_mhz.to_bits(), b.fmax_mhz.to_bits());
+        assert_eq!(a.power_mw.to_bits(), b.power_mw.to_bits());
+        let s = hit.trace_summary();
+        assert_eq!((s.store_hits, s.attempts), (1, 0));
+        assert_eq!(hit.total_runs(), 0);
+        assert_eq!(hit.total_tool_time(), 0.0);
+
+        // A config change re-keys everything: no false hit.
+        let mut other = evaluator(EvalConfig {
+            target_period_ns: 2.0,
+            ..Default::default()
+        });
+        other.attach_store(EvalStore::open(&dir).unwrap());
+        other.evaluate(&p).unwrap();
+        assert_eq!(other.trace_summary().store_hits, 0);
+        assert_eq!(other.total_runs(), 1);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failures_are_never_stored() {
+        let dir = std::env::temp_dir().join(format!("dovado-store-fail-{}", std::process::id()));
+        let mut ev = evaluator(EvalConfig {
+            faults: FaultPlan {
+                synth_crash: 1.0,
+                ..FaultPlan::default()
+            },
+            retry: RetryPolicy {
+                max_attempts: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        ev.attach_store(EvalStore::open(&dir).unwrap());
+        let p = DesignPoint::from_pairs(&[("DEPTH", 16)]);
+        assert!(ev.evaluate(&p).is_err());
+        assert!(ev.store().unwrap().is_empty(), "failures must not persist");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     // ---- retry / fault-tolerance ----------------------------------------

@@ -42,6 +42,7 @@ pub mod fitness;
 pub mod flow;
 pub mod frames;
 pub mod metrics;
+pub mod persist;
 pub mod point;
 pub mod results;
 pub mod space;
@@ -53,6 +54,7 @@ pub use error::{DovadoError, DovadoResult, ErrorClass};
 pub use fitness::{DseProblem, FitnessStats};
 pub use flow::{EvalConfig, Evaluator, FlowStep, HdlSource, RetryPolicy};
 pub use metrics::{fmax_mhz, Evaluation, Metric, MetricSet};
+pub use persist::{PersistConfig, JOURNAL_FORMAT_VERSION};
 pub use point::DesignPoint;
 pub use results::{ascii_scatter, point_label, DseReport, ParetoEntry, PointResult};
 pub use space::{Domain, FreeParameter, ParameterSpace};

@@ -1,0 +1,640 @@
+//! Crash-safe persistence: evaluation-store serialization and the
+//! write-ahead exploration journal.
+//!
+//! Two artifacts live under one persistence directory:
+//!
+//! * `store/` — the content-addressed [`dovado_eda::EvalStore`]. Each
+//!   entry is one successful [`Evaluation`], keyed by a 128-bit hash of
+//!   everything that determines its outcome (sources, top module, the
+//!   full [`EvalConfig`] including part/directives/seed/fault plan, and
+//!   the design point). A warm store answers repeat evaluations without
+//!   a single tool run; a corrupt or version-mismatched entry reads as a
+//!   *miss*, never as a wrong answer.
+//! * `journal.dovado` — a snapshot of the whole exploration state at a
+//!   generation boundary: NSGA-II engine (population, archive, history,
+//!   raw RNG state), fitness counters, the simulated-time ledger, and —
+//!   when the approximation model is on — the surrogate dataset,
+//!   selected bandwidth, Γ, and the amortized-reselection phase.
+//!   `explore --resume` rebuilds the run from this snapshot and
+//!   continues bitwise-identically.
+//!
+//! Both artifacts use the checksummed envelope and atomic-rename
+//! discipline of [`dovado_eda::store`]; floats are serialized as exact
+//! bit patterns (`f64::to_bits` hex), so a journal round-trip is
+//! bitwise, not approximately equal.
+
+use crate::error::{DovadoError, DovadoResult};
+use crate::fitness::FitnessStats;
+use crate::flow::{EvalConfig, HdlSource};
+use crate::metrics::Evaluation;
+use dovado_eda::store::{atomic_write, decode_checked, encode_checked};
+use dovado_eda::EvalKey;
+use dovado_fpga::{ResourceKind, ResourceSet};
+use dovado_moo::{GenStats, Individual, Nsga2Snapshot};
+use dovado_surrogate::ControlStats;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Journal format version. Bump on any change to the journal payload
+/// layout; old journals then refuse to resume instead of misparsing.
+pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+
+/// Envelope tag of the exploration journal.
+const JOURNAL_TAG: &str = "dovado-journal";
+
+/// Where exploration state persists and whether to resume from it.
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// Root directory: holds `store/` and `journal.dovado`.
+    pub dir: PathBuf,
+    /// Resume from an existing journal instead of starting fresh.
+    pub resume: bool,
+    /// Journal every this many generations (1 = every boundary).
+    pub journal_every: u32,
+}
+
+impl PersistConfig {
+    /// Persistence rooted at `dir`, starting fresh, journaling every
+    /// generation boundary.
+    pub fn new(dir: impl Into<PathBuf>) -> PersistConfig {
+        PersistConfig {
+            dir: dir.into(),
+            resume: false,
+            journal_every: 1,
+        }
+    }
+
+    /// The evaluation-store directory.
+    pub fn store_dir(&self) -> PathBuf {
+        self.dir.join("store")
+    }
+
+    /// The journal file path.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal.dovado")
+    }
+}
+
+// ---- bitwise float / integer helpers -----------------------------------
+
+fn f64_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn f64_from_hex(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+// ---- evaluation serialization (store entries) --------------------------
+
+/// Serializes an [`Evaluation`] for the store. Utilization counts are
+/// decimal (they are exact integers); every float is its bit pattern.
+pub fn encode_evaluation(e: &Evaluation) -> String {
+    let util: Vec<String> = ResourceKind::ALL
+        .iter()
+        .map(|&k| e.utilization.get(k).to_string())
+        .collect();
+    format!(
+        "util {}\ntiming {} {} {} {} {}\n",
+        util.join(" "),
+        f64_hex(e.wns_ns),
+        f64_hex(e.period_ns),
+        f64_hex(e.fmax_mhz),
+        f64_hex(e.power_mw),
+        f64_hex(e.tool_time_s),
+    )
+}
+
+/// Parses a store entry back into an [`Evaluation`]. `None` on any
+/// structural problem — the store treats that as a miss.
+pub fn decode_evaluation(text: &str) -> Option<Evaluation> {
+    let mut lines = text.lines();
+    let util_line = lines.next()?.strip_prefix("util ")?;
+    let counts: Vec<u64> = util_line
+        .split_whitespace()
+        .map(|t| t.parse().ok())
+        .collect::<Option<Vec<u64>>>()?;
+    if counts.len() != ResourceKind::ALL.len() {
+        return None;
+    }
+    let mut utilization = ResourceSet::zero();
+    for (&kind, &n) in ResourceKind::ALL.iter().zip(&counts) {
+        utilization.set(kind, n);
+    }
+    let timing: Vec<f64> = lines
+        .next()?
+        .strip_prefix("timing ")?
+        .split_whitespace()
+        .map(f64_from_hex)
+        .collect::<Option<Vec<f64>>>()?;
+    if timing.len() != 5 {
+        return None;
+    }
+    Some(Evaluation {
+        utilization,
+        wns_ns: timing[0],
+        period_ns: timing[1],
+        fmax_mhz: timing[2],
+        power_mw: timing[3],
+        tool_time_s: timing[4],
+    })
+}
+
+/// The 128-bit identity of an evaluator: everything that determines an
+/// evaluation's outcome except the design point itself. The per-point
+/// store key extends this with the point's assignments.
+pub fn evaluator_key(sources: &[HdlSource], top: &str, config: &EvalConfig) -> EvalKey {
+    let mut parts: Vec<String> = Vec::with_capacity(sources.len() * 4 + 2);
+    for s in sources {
+        parts.push(s.name.clone());
+        parts.push(format!("{:?}", s.language));
+        parts.push(s.library.clone().unwrap_or_default());
+        parts.push(s.content.clone());
+    }
+    parts.push(top.to_string());
+    parts.push(format!("{config:?}"));
+    EvalKey::from_parts(&parts)
+}
+
+// ---- journal -----------------------------------------------------------
+
+/// Journaled surrogate-controller state (everything
+/// [`dovado_surrogate::SurrogateController::restore`] needs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateJournal {
+    /// Selected Nadaraya-Watson bandwidth (bitwise).
+    pub bandwidth: f64,
+    /// Current threshold Γ (bitwise).
+    pub gamma: f64,
+    /// Insertions since the last LOO-CV reselection (the amortization
+    /// phase — losing this drifts every later reselection).
+    pub inserts_since_retrain: usize,
+    /// Reselection cadence.
+    pub retrain_every: usize,
+    /// Decision counters.
+    pub stats: ControlStats,
+    /// The dataset, verbatim in its bitwise CSV form.
+    pub dataset_csv: String,
+}
+
+/// One write-ahead snapshot of an exploration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Journal {
+    /// Hex fingerprint of the configuration that wrote the journal;
+    /// resume refuses a mismatch instead of continuing a different run.
+    pub fingerprint: String,
+    /// Whether the run had satisfied its termination criterion when
+    /// this snapshot was taken.
+    pub complete: bool,
+    /// Simulated tool seconds spent so far (bitwise).
+    pub tool_time_s: f64,
+    /// Fitness counters so far.
+    pub stats: FitnessStats,
+    /// The NSGA-II engine state.
+    pub snapshot: Nsga2Snapshot,
+    /// Surrogate state, when the approximation model is on.
+    pub surrogate: Option<SurrogateJournal>,
+}
+
+fn individual_line(ind: &Individual) -> String {
+    let ints = |v: &[i64]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let bits = |v: &[f64]| v.iter().map(|x| f64_hex(*x)).collect::<Vec<_>>().join(" ");
+    format!(
+        "{}|{}|{}|{}|{}",
+        ints(&ind.genome),
+        bits(&ind.raw),
+        bits(&ind.min_objs),
+        ind.rank,
+        f64_hex(ind.crowding)
+    )
+}
+
+fn parse_individual(line: &str) -> Option<Individual> {
+    let fields: Vec<&str> = line.split('|').collect();
+    if fields.len() != 5 {
+        return None;
+    }
+    let genome: Vec<i64> = fields[0]
+        .split_whitespace()
+        .map(|t| t.parse().ok())
+        .collect::<Option<_>>()?;
+    let raw: Vec<f64> = fields[1]
+        .split_whitespace()
+        .map(f64_from_hex)
+        .collect::<Option<_>>()?;
+    let min_objs: Vec<f64> = fields[2]
+        .split_whitespace()
+        .map(f64_from_hex)
+        .collect::<Option<_>>()?;
+    Some(Individual {
+        genome,
+        raw,
+        min_objs,
+        rank: fields[3].parse().ok()?,
+        crowding: f64_from_hex(fields[4])?,
+    })
+}
+
+fn serialize_journal(j: &Journal) -> String {
+    let snap = &j.snapshot;
+    let s = &j.stats;
+    let mut out = String::new();
+    out.push_str(&format!("fingerprint {}\n", j.fingerprint));
+    out.push_str(&format!("complete {}\n", u8::from(j.complete)));
+    out.push_str(&format!("tool_time {}\n", f64_hex(j.tool_time_s)));
+    out.push_str(&format!(
+        "fitness {} {} {} {} {} {} {}\n",
+        s.tool_runs,
+        s.cached_runs,
+        s.estimates,
+        s.failures,
+        s.transient_failures,
+        s.permanent_failures,
+        s.retries
+    ));
+    out.push_str(&format!("generation {}\n", snap.generation));
+    out.push_str(&format!("evaluations {}\n", snap.evaluations));
+    out.push_str(&format!(
+        "rng {:016x} {:016x} {:016x} {:016x}\n",
+        snap.rng_state[0], snap.rng_state[1], snap.rng_state[2], snap.rng_state[3]
+    ));
+    out.push_str(&format!("history {}\n", snap.history.len()));
+    for g in &snap.history {
+        out.push_str(&format!(
+            "{} {} {} {}\n",
+            g.generation,
+            g.evaluations,
+            g.front_size,
+            f64_hex(g.external_cost)
+        ));
+    }
+    out.push_str(&format!("population {}\n", snap.population.len()));
+    for ind in &snap.population {
+        out.push_str(&individual_line(ind));
+        out.push('\n');
+    }
+    out.push_str(&format!("archive {}\n", snap.archive.len()));
+    for ind in &snap.archive {
+        out.push_str(&individual_line(ind));
+        out.push('\n');
+    }
+    match &j.surrogate {
+        None => out.push_str("surrogate 0\n"),
+        Some(sj) => {
+            out.push_str("surrogate 1\n");
+            out.push_str(&format!("bandwidth {}\n", f64_hex(sj.bandwidth)));
+            out.push_str(&format!("gamma {}\n", f64_hex(sj.gamma)));
+            out.push_str(&format!(
+                "phase {} {}\n",
+                sj.inserts_since_retrain, sj.retrain_every
+            ));
+            out.push_str(&format!(
+                "control {} {} {}\n",
+                sj.stats.cached, sj.stats.estimated, sj.stats.evaluated
+            ));
+            let csv_lines = sj.dataset_csv.lines().count();
+            out.push_str(&format!("dataset {csv_lines}\n"));
+            for line in sj.dataset_csv.lines() {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Line cursor over the journal payload.
+struct Cursor<'a> {
+    lines: std::str::Lines<'a>,
+}
+
+impl<'a> Cursor<'a> {
+    fn next(&mut self) -> Option<&'a str> {
+        self.lines.next()
+    }
+
+    /// Next line, stripped of a required `prefix `.
+    fn tagged(&mut self, prefix: &str) -> Option<&'a str> {
+        self.next()?.strip_prefix(prefix)?.strip_prefix(' ')
+    }
+
+    /// Next tagged line parsed as whitespace-separated `u64`s.
+    fn tagged_u64s(&mut self, prefix: &str, n: usize) -> Option<Vec<u64>> {
+        let vals: Vec<u64> = self
+            .tagged(prefix)?
+            .split_whitespace()
+            .map(|t| t.parse().ok())
+            .collect::<Option<_>>()?;
+        (vals.len() == n).then_some(vals)
+    }
+}
+
+fn parse_journal(payload: &str) -> Option<Journal> {
+    let mut c = Cursor {
+        lines: payload.lines(),
+    };
+    let fingerprint = c.tagged("fingerprint")?.to_string();
+    let complete = match c.tagged("complete")? {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    let tool_time_s = f64_from_hex(c.tagged("tool_time")?)?;
+    let f = c.tagged_u64s("fitness", 7)?;
+    let stats = FitnessStats {
+        tool_runs: f[0],
+        cached_runs: f[1],
+        estimates: f[2],
+        failures: f[3],
+        transient_failures: f[4],
+        permanent_failures: f[5],
+        retries: f[6],
+    };
+    let generation: u32 = c.tagged("generation")?.parse().ok()?;
+    let evaluations: u64 = c.tagged("evaluations")?.parse().ok()?;
+    let rng: Vec<u64> = c
+        .tagged("rng")?
+        .split_whitespace()
+        .map(|t| u64::from_str_radix(t, 16).ok())
+        .collect::<Option<_>>()?;
+    if rng.len() != 4 {
+        return None;
+    }
+    let n_history: usize = c.tagged("history")?.parse().ok()?;
+    let mut history = Vec::with_capacity(n_history);
+    for _ in 0..n_history {
+        let toks: Vec<&str> = c.next()?.split_whitespace().collect();
+        if toks.len() != 4 {
+            return None;
+        }
+        history.push(GenStats {
+            generation: toks[0].parse().ok()?,
+            evaluations: toks[1].parse().ok()?,
+            front_size: toks[2].parse().ok()?,
+            external_cost: f64_from_hex(toks[3])?,
+        });
+    }
+    let n_pop: usize = c.tagged("population")?.parse().ok()?;
+    let mut population = Vec::with_capacity(n_pop);
+    for _ in 0..n_pop {
+        population.push(parse_individual(c.next()?)?);
+    }
+    let n_arch: usize = c.tagged("archive")?.parse().ok()?;
+    let mut archive = Vec::with_capacity(n_arch);
+    for _ in 0..n_arch {
+        archive.push(parse_individual(c.next()?)?);
+    }
+    let surrogate = match c.tagged("surrogate")? {
+        "0" => None,
+        "1" => {
+            let bandwidth = f64_from_hex(c.tagged("bandwidth")?)?;
+            let gamma = f64_from_hex(c.tagged("gamma")?)?;
+            let phase = c.tagged_u64s("phase", 2)?;
+            let ctl = c.tagged_u64s("control", 3)?;
+            let n_csv: usize = c.tagged("dataset")?.parse().ok()?;
+            let mut dataset_csv = String::new();
+            for _ in 0..n_csv {
+                dataset_csv.push_str(c.next()?);
+                dataset_csv.push('\n');
+            }
+            Some(SurrogateJournal {
+                bandwidth,
+                gamma,
+                inserts_since_retrain: phase[0] as usize,
+                retrain_every: phase[1] as usize,
+                stats: ControlStats {
+                    cached: ctl[0],
+                    estimated: ctl[1],
+                    evaluated: ctl[2],
+                },
+                dataset_csv,
+            })
+        }
+        _ => return None,
+    };
+    Some(Journal {
+        fingerprint,
+        complete,
+        tool_time_s,
+        stats,
+        snapshot: Nsga2Snapshot {
+            generation,
+            evaluations,
+            rng_state: [rng[0], rng[1], rng[2], rng[3]],
+            population,
+            archive,
+            history,
+        },
+        surrogate,
+    })
+}
+
+/// Atomically writes the journal (tmp file + rename, checksummed
+/// envelope): a crash mid-write leaves the previous snapshot intact.
+pub fn write_journal(path: &Path, journal: &Journal) -> DovadoResult<()> {
+    let text = encode_checked(
+        JOURNAL_TAG,
+        JOURNAL_FORMAT_VERSION,
+        &serialize_journal(journal),
+    );
+    atomic_write(path, text.as_bytes()).map_err(|e| {
+        DovadoError::Config(format!("journal write to {} failed: {e}", path.display()))
+    })
+}
+
+/// Reads and verifies a journal. A missing file, failed checksum,
+/// version mismatch, or structural damage all refuse loudly — resume
+/// must never continue from a half-trusted snapshot.
+pub fn read_journal(path: &Path) -> DovadoResult<Journal> {
+    let text = fs::read_to_string(path).map_err(|e| {
+        DovadoError::Config(format!("no resumable journal at {}: {e}", path.display()))
+    })?;
+    let payload = decode_checked(JOURNAL_TAG, JOURNAL_FORMAT_VERSION, &text).ok_or_else(|| {
+        DovadoError::Config(format!(
+            "journal at {} is corrupt or from an incompatible version \
+             (wanted {JOURNAL_TAG} v{JOURNAL_FORMAT_VERSION})",
+            path.display()
+        ))
+    })?;
+    parse_journal(payload).ok_or_else(|| {
+        DovadoError::Config(format!(
+            "journal at {} passed its checksum but did not parse \
+             (truncated payload?)",
+            path.display()
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_eval() -> Evaluation {
+        let mut utilization = ResourceSet::zero();
+        utilization.set(ResourceKind::Lut, 1234);
+        utilization.set(ResourceKind::Register, 5678);
+        Evaluation {
+            utilization,
+            wns_ns: -0.731_250_000_000_1,
+            period_ns: 1.0,
+            fmax_mhz: 577.533_843_2,
+            power_mw: 143.25,
+            tool_time_s: 612.087_5,
+        }
+    }
+
+    #[test]
+    fn evaluation_roundtrip_is_bitwise() {
+        let e = sample_eval();
+        let back = decode_evaluation(&encode_evaluation(&e)).unwrap();
+        assert_eq!(back.utilization, e.utilization);
+        for (a, b) in [
+            (back.wns_ns, e.wns_ns),
+            (back.period_ns, e.period_ns),
+            (back.fmax_mhz, e.fmax_mhz),
+            (back.power_mw, e.power_mw),
+            (back.tool_time_s, e.tool_time_s),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn damaged_evaluation_payloads_decode_to_none() {
+        let text = encode_evaluation(&sample_eval());
+        assert!(decode_evaluation(text.lines().next().unwrap()).is_none());
+        assert!(decode_evaluation(&text.replace("timing", "timimg")).is_none());
+        assert!(decode_evaluation("").is_none());
+        // Wrong utilization arity.
+        let timing_line = text.lines().nth(1).unwrap();
+        assert!(decode_evaluation(&format!("util 1 2 3\n{timing_line}\n")).is_none());
+    }
+
+    fn sample_journal(surrogate: bool) -> Journal {
+        let ind = Individual {
+            genome: vec![3, -7],
+            raw: vec![1.5, 2.25],
+            min_objs: vec![1.5, -2.25],
+            rank: 0,
+            crowding: f64::INFINITY,
+        };
+        Journal {
+            fingerprint: "00112233445566778899aabbccddeeff".into(),
+            complete: false,
+            tool_time_s: 1234.5,
+            stats: FitnessStats {
+                tool_runs: 10,
+                cached_runs: 2,
+                estimates: 3,
+                failures: 1,
+                transient_failures: 1,
+                permanent_failures: 0,
+                retries: 4,
+            },
+            snapshot: Nsga2Snapshot {
+                generation: 5,
+                evaluations: 60,
+                rng_state: [1, u64::MAX, 0xDEAD_BEEF, 42],
+                population: vec![ind.clone()],
+                archive: vec![
+                    ind,
+                    Individual {
+                        genome: vec![1, 2],
+                        raw: vec![0.0, -0.0],
+                        min_objs: vec![0.0, 0.0],
+                        rank: usize::MAX,
+                        crowding: 0.125,
+                    },
+                ],
+                history: vec![GenStats {
+                    generation: 0,
+                    evaluations: 12,
+                    front_size: 4,
+                    external_cost: 99.5,
+                }],
+            },
+            surrogate: surrogate.then(|| SurrogateJournal {
+                bandwidth: 0.173,
+                gamma: 0.05,
+                inserts_since_retrain: 7,
+                retrain_every: 25,
+                stats: ControlStats {
+                    cached: 1,
+                    estimated: 2,
+                    evaluated: 3,
+                },
+                dataset_csv: "#bounds,0:10;outputs=1\n3,4.5\n".into(),
+            }),
+        }
+    }
+
+    #[test]
+    fn journal_roundtrip_with_and_without_surrogate() {
+        let dir = std::env::temp_dir().join(format!("dovado-journal-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        for surrogate in [false, true] {
+            let j = sample_journal(surrogate);
+            let path = dir.join(format!("j{surrogate}.dovado"));
+            write_journal(&path, &j).unwrap();
+            let back = read_journal(&path).unwrap();
+            assert_eq!(back, j);
+            // -0.0 must survive with its sign bit (PartialEq would pass
+            // for +0.0 too, so check explicitly).
+            if !surrogate {
+                assert_eq!(
+                    back.snapshot.archive[1].raw[1].to_bits(),
+                    (-0.0f64).to_bits()
+                );
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_or_missing_journal_refuses() {
+        let dir = std::env::temp_dir().join(format!("dovado-journal-bad-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.dovado");
+        assert!(read_journal(&path).is_err(), "missing file must refuse");
+
+        write_journal(&path, &sample_journal(true)).unwrap();
+        let good = fs::read_to_string(&path).unwrap();
+        // Flip one byte in the payload: checksum catches it.
+        let flipped = good.replacen("generation 5", "generation 6", 1);
+        fs::write(&path, &flipped).unwrap();
+        assert!(read_journal(&path).is_err(), "bit-flip must refuse");
+        // Truncate: structural parse catches what the checksum is told.
+        let truncated: String = good.lines().take(6).collect::<Vec<_>>().join("\n");
+        fs::write(&path, truncated).unwrap();
+        assert!(read_journal(&path).is_err(), "truncation must refuse");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn evaluator_key_tracks_config_and_sources() {
+        use dovado_hdl::Language;
+        let src = vec![HdlSource::new(
+            "a.sv",
+            Language::SystemVerilog,
+            "module a; endmodule",
+        )];
+        let base = evaluator_key(&src, "a", &EvalConfig::default());
+        assert_eq!(base, evaluator_key(&src, "a", &EvalConfig::default()));
+        let other_cfg = EvalConfig {
+            target_period_ns: 2.0,
+            ..Default::default()
+        };
+        assert_ne!(base, evaluator_key(&src, "a", &other_cfg));
+        let edited = vec![HdlSource::new(
+            "a.sv",
+            Language::SystemVerilog,
+            "module a;endmodule",
+        )];
+        assert_ne!(base, evaluator_key(&edited, "a", &EvalConfig::default()));
+    }
+}

@@ -171,7 +171,7 @@ impl DseReport {
             self.failures,
             self.tool_time_s,
         );
-        if self.failures > 0 || self.trace.retries > 0 {
+        if self.failures > 0 || self.trace.retries > 0 || self.trace.store_hits > 0 {
             let _ = write!(s, " | flow: {}", self.trace);
         }
         s
@@ -358,6 +358,15 @@ mod tests {
         assert!(s.contains("flow:"), "{s}");
         assert!(s.contains("7 retries"), "{s}");
         assert!(s.contains("210s backoff"), "{s}");
+    }
+
+    #[test]
+    fn summary_reports_store_hits() {
+        let mut r = report();
+        r.trace.store_hits = 12;
+        let s = r.summary();
+        assert!(s.contains("flow:"), "{s}");
+        assert!(s.contains("12 store hits"), "{s}");
     }
 
     #[test]

@@ -89,6 +89,9 @@ pub struct TraceSummary {
     pub permanent_failures: u64,
     /// Successful attempts served from an exact checkpoint.
     pub cache_hits: u64,
+    /// Evaluations answered from the persistent on-disk store without
+    /// any tool attempt at all (not counted in `attempts`).
+    pub store_hits: u64,
     /// Total simulated backoff seconds charged.
     pub backoff_s: f64,
 }
@@ -98,12 +101,13 @@ impl fmt::Display for TraceSummary {
         write!(
             f,
             "{} attempts ({} retries), {} transient / {} permanent failures, \
-             {} cache hits, {:.0}s backoff",
+             {} cache hits, {} store hits, {:.0}s backoff",
             self.attempts,
             self.retries,
             self.transient_failures,
             self.permanent_failures,
             self.cache_hits,
+            self.store_hits,
             self.backoff_s
         )
     }
@@ -154,6 +158,12 @@ impl FlowTrace {
         if inner.events.len() < MAX_EVENTS {
             inner.events.push(event);
         }
+    }
+
+    /// Counts one evaluation served from the persistent store (no tool
+    /// attempt happens, so this is tracked outside [`FlowTrace::push`]).
+    pub fn record_store_hit(&self) {
+        self.inner.lock().summary.store_hits += 1;
     }
 
     /// Snapshot of the retained events (oldest first).

@@ -30,6 +30,11 @@ pub enum FaultKind {
     ReportGarbled,
     /// A checkpoint on disk fails its integrity check when read back.
     CheckpointCorrupt,
+    /// The *host* process driving the exploration dies between
+    /// generations — the whole DSE run is interrupted, not one tool call.
+    /// Drawn by the journaled exploration loop, never by the flow itself,
+    /// so enabling it leaves every tool answer bitwise unchanged.
+    HostCrash,
 }
 
 /// Per-occurrence fault probabilities plus the injector seed.
@@ -55,6 +60,8 @@ pub struct FaultPlan {
     pub report_garbled: f64,
     /// P(corruption) per checkpoint read.
     pub checkpoint_corrupt: f64,
+    /// P(host crash) per completed generation of a journaled exploration.
+    pub host_crash: f64,
     /// Simulated seconds wasted by a crash before the process died.
     pub crash_cost_s: f64,
     /// Simulated seconds burned before a hung tool was killed.
@@ -72,6 +79,7 @@ impl Default for FaultPlan {
             report_truncated: 0.0,
             report_garbled: 0.0,
             checkpoint_corrupt: 0.0,
+            host_crash: 0.0,
             crash_cost_s: 30.0,
             timeout_cost_s: 300.0,
         }
@@ -110,6 +118,7 @@ impl FaultPlan {
             self.report_truncated,
             self.report_garbled,
             self.checkpoint_corrupt,
+            self.host_crash,
         ]
         .iter()
         .any(|&p| p > 0.0)
@@ -125,6 +134,7 @@ impl FaultPlan {
             FaultKind::ReportTruncated => self.report_truncated,
             FaultKind::ReportGarbled => self.report_garbled,
             FaultKind::CheckpointCorrupt => self.checkpoint_corrupt,
+            FaultKind::HostCrash => self.host_crash,
         }
     }
 }

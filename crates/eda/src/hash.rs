@@ -15,7 +15,16 @@ pub fn splitmix64(state: u64) -> u64 {
 
 /// FNV-1a over a byte slice (cheap, stable across platforms).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a_with(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// FNV-1a with a caller-chosen basis.
+///
+/// Running two streams with independent bases over the same bytes yields an
+/// effectively 128-bit fingerprint — the evaluation store uses this to make
+/// accidental key collisions implausible.
+pub fn fnv1a_with(basis: u64, bytes: &[u8]) -> u64 {
+    let mut h = basis;
     for b in bytes {
         h ^= *b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01B3);

@@ -45,6 +45,7 @@ pub mod place_route;
 pub mod power;
 pub mod project;
 pub mod report;
+pub mod store;
 pub mod synth;
 pub mod tcl;
 pub mod vivado;
@@ -56,5 +57,6 @@ pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use netlist::Netlist;
 pub use place_route::{ImplDirective, ImplResult};
 pub use project::{ClockConstraint, Project};
+pub use store::{EvalKey, EvalStore, STORE_FORMAT_VERSION};
 pub use synth::{SynthDirective, SynthResult};
 pub use vivado::{FlowState, VivadoSim};

@@ -1,0 +1,288 @@
+//! Content-addressed on-disk evaluation store.
+//!
+//! Every real tool run is the scarce resource in Dovado's cost model; this
+//! module makes paid-for runs durable. An [`EvalStore`] is a directory of
+//! entry files keyed by a 128-bit [`EvalKey`] derived from everything that
+//! determines a run's answer (HDL sources, top module, flow configuration,
+//! and the concrete design point). Entries carry a format-version header and
+//! an FNV-1a checksum; any mismatch — truncation, bit-flip, stale format —
+//! is treated as a cache *miss*, never as a wrong answer.
+//!
+//! Writes are atomic: payloads land in a unique temporary file first and are
+//! published with `rename`, so a crash mid-write can leave stray `.tmp`
+//! debris but never a half-written entry under a valid key.
+
+use crate::hash::{fnv1a, fnv1a_with};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version of the on-disk entry encoding. Bump whenever the serialized
+/// entry schema changes shape; old entries then read as misses instead of
+/// being misinterpreted.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// Independent second FNV basis (decimal digits of e, as FNV uses digits of
+/// a prime offset); running a second stream over the same bytes gives the
+/// key its upper 64 bits.
+const FNV_BASIS_HI: u64 = 0x2718_2818_2845_9045;
+
+/// Byte inserted between key parts so `("ab", "c")` and `("a", "bc")` hash
+/// differently.
+const PART_SEPARATOR: u8 = 0x1F;
+
+static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// A 128-bit content hash identifying one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EvalKey {
+    /// Upper 64 bits (seeded-basis FNV-1a stream).
+    pub hi: u64,
+    /// Lower 64 bits (standard FNV-1a stream).
+    pub lo: u64,
+}
+
+impl EvalKey {
+    /// Hashes an ordered sequence of string parts into a key.
+    ///
+    /// Parts are separated by an out-of-band byte, so the key depends on
+    /// the part boundaries as well as their contents.
+    pub fn from_parts<S: AsRef<str>>(parts: &[S]) -> EvalKey {
+        let mut bytes = Vec::new();
+        for p in parts {
+            bytes.extend_from_slice(p.as_ref().as_bytes());
+            bytes.push(PART_SEPARATOR);
+        }
+        EvalKey {
+            hi: fnv1a_with(FNV_BASIS_HI, &bytes),
+            lo: fnv1a(&bytes),
+        }
+    }
+
+    /// Extends this key with further parts, returning the combined key.
+    pub fn extend<S: AsRef<str>>(&self, parts: &[S]) -> EvalKey {
+        let mut bytes = Vec::with_capacity(16);
+        bytes.extend_from_slice(&self.hi.to_be_bytes());
+        bytes.extend_from_slice(&self.lo.to_be_bytes());
+        bytes.push(PART_SEPARATOR);
+        for p in parts {
+            bytes.extend_from_slice(p.as_ref().as_bytes());
+            bytes.push(PART_SEPARATOR);
+        }
+        EvalKey {
+            hi: fnv1a_with(FNV_BASIS_HI, &bytes),
+            lo: fnv1a(&bytes),
+        }
+    }
+
+    /// 32-hex-digit rendering, used as the entry file stem.
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Wraps `payload` in a version header + checksum envelope.
+///
+/// Layout (text, line-oriented):
+///
+/// ```text
+/// <tag> <version>
+/// fnv1a <16 hex digits over the payload bytes>
+/// <payload...>
+/// ```
+pub fn encode_checked(tag: &str, version: u32, payload: &str) -> String {
+    format!(
+        "{tag} {version}\nfnv1a {:016x}\n{payload}",
+        fnv1a(payload.as_bytes())
+    )
+}
+
+/// Validates an envelope produced by [`encode_checked`] and returns the
+/// payload, or `None` on any header, version, or checksum mismatch.
+pub fn decode_checked<'a>(tag: &str, version: u32, text: &'a str) -> Option<&'a str> {
+    let rest = text.strip_prefix(tag)?.strip_prefix(' ')?;
+    let (ver_line, rest) = rest.split_once('\n')?;
+    if ver_line.parse::<u32>().ok()? != version {
+        return None;
+    }
+    let (sum_line, payload) = rest.split_once('\n')?;
+    let sum = u64::from_str_radix(sum_line.strip_prefix("fnv1a ")?, 16).ok()?;
+    if fnv1a(payload.as_bytes()) != sum {
+        return None;
+    }
+    Some(payload)
+}
+
+/// Writes `bytes` to `path` atomically: a unique sibling temp file is
+/// written, flushed, and published via `rename`.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let nonce = TMP_NONCE.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".{pid}.{nonce}.tmp"));
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, bytes)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// A directory of checksummed evaluation entries.
+#[derive(Debug, Clone)]
+pub struct EvalStore {
+    dir: PathBuf,
+}
+
+const ENTRY_TAG: &str = "dovado-store";
+
+impl EvalStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: &Path) -> io::Result<EvalStore> {
+        fs::create_dir_all(dir)?;
+        Ok(EvalStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path an entry for `key` would occupy.
+    pub fn entry_path(&self, key: &EvalKey) -> PathBuf {
+        self.dir.join(format!("{}.entry", key.hex()))
+    }
+
+    /// Looks up `key`, returning the stored payload on a clean hit.
+    ///
+    /// A missing file is a miss. A file that fails version or checksum
+    /// validation is *also* a miss — and is deleted so the slot heals on
+    /// the next `put` instead of failing validation forever.
+    pub fn get(&self, key: &EvalKey) -> Option<String> {
+        let path = self.entry_path(key);
+        // An I/O error (most commonly: no such entry) is a plain miss; a
+        // file that exists but is not valid UTF-8 is corruption and goes
+        // through the same delete-and-miss path as a checksum failure.
+        let bytes = fs::read(&path).ok()?;
+        let payload = String::from_utf8(bytes).ok().and_then(|text| {
+            decode_checked(ENTRY_TAG, STORE_FORMAT_VERSION, &text).map(str::to_string)
+        });
+        if payload.is_none() {
+            let _ = fs::remove_file(&path);
+        }
+        payload
+    }
+
+    /// Stores `payload` under `key` (atomic replace of any prior entry).
+    pub fn put(&self, key: &EvalKey, payload: &str) -> io::Result<()> {
+        let text = encode_checked(ENTRY_TAG, STORE_FORMAT_VERSION, payload);
+        atomic_write(&self.entry_path(key), text.as_bytes())
+    }
+
+    /// Number of valid-looking entry files currently on disk.
+    pub fn len(&self) -> usize {
+        let Ok(rd) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        rd.filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "entry"))
+            .count()
+    }
+
+    /// Whether the store currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("dovado-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn key_is_stable_and_part_sensitive() {
+        let a = EvalKey::from_parts(&["fifo", "DEPTH=8"]);
+        let b = EvalKey::from_parts(&["fifo", "DEPTH=8"]);
+        assert_eq!(a, b);
+        assert_ne!(a, EvalKey::from_parts(&["fifo", "DEPTH=9"]));
+        // Part boundaries matter: "ab"+"c" != "a"+"bc".
+        assert_ne!(
+            EvalKey::from_parts(&["ab", "c"]),
+            EvalKey::from_parts(&["a", "bc"])
+        );
+        assert_eq!(a.hex().len(), 32);
+        assert_ne!(a.extend(&["DATA_WIDTH=32"]), a);
+    }
+
+    #[test]
+    fn roundtrip_hit() {
+        let store = EvalStore::open(&tmpdir("roundtrip")).unwrap();
+        let key = EvalKey::from_parts(&["design", "point"]);
+        assert!(store.get(&key).is_none());
+        store.put(&key, "objectives 1.0 2.0\n").unwrap();
+        assert_eq!(store.get(&key).unwrap(), "objectives 1.0 2.0\n");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn truncation_is_a_miss() {
+        let store = EvalStore::open(&tmpdir("trunc")).unwrap();
+        let key = EvalKey::from_parts(&["x"]);
+        store
+            .put(&key, "a long payload that will be cut short")
+            .unwrap();
+        let path = store.entry_path(&key);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() - 5]).unwrap();
+        assert!(store.get(&key).is_none());
+        // The corrupt file was removed, so a fresh put heals the slot.
+        assert!(!path.exists());
+        store.put(&key, "fresh").unwrap();
+        assert_eq!(store.get(&key).unwrap(), "fresh");
+    }
+
+    #[test]
+    fn bitflip_is_a_miss() {
+        let store = EvalStore::open(&tmpdir("flip")).unwrap();
+        let key = EvalKey::from_parts(&["y"]);
+        store.put(&key, "value 3.25").unwrap();
+        let path = store.entry_path(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.get(&key).is_none());
+    }
+
+    #[test]
+    fn version_mismatch_is_a_miss() {
+        let store = EvalStore::open(&tmpdir("ver")).unwrap();
+        let key = EvalKey::from_parts(&["z"]);
+        let stale = encode_checked(ENTRY_TAG, STORE_FORMAT_VERSION + 1, "payload");
+        fs::write(store.entry_path(&key), stale).unwrap();
+        assert!(store.get(&key).is_none());
+    }
+
+    #[test]
+    fn envelope_roundtrip_and_rejection() {
+        let enc = encode_checked("tag", 3, "hello\nworld");
+        assert_eq!(decode_checked("tag", 3, &enc), Some("hello\nworld"));
+        assert_eq!(decode_checked("tag", 4, &enc), None);
+        assert_eq!(decode_checked("gat", 3, &enc), None);
+        assert_eq!(decode_checked("tag", 3, &enc.replace('o', "0")), None);
+        assert_eq!(decode_checked("tag", 3, "garbage"), None);
+    }
+}

@@ -34,7 +34,7 @@ pub use benchmarks::{Zdt1, Zdt2, Zdt3};
 pub use crowding::assign_crowding;
 pub use individual::{non_dominated_indices, Individual};
 pub use metrics::{hypervolume, hypervolume_of, igd, spread};
-pub use nsga2::{nsga2, GenStats, Nsga2Config, OptResult};
+pub use nsga2::{nsga2, GenStats, Nsga2Config, Nsga2Engine, Nsga2Snapshot, OptResult};
 pub use ops::{GaussianIntegerMutation, IntegerSbx};
 pub use problem::{to_min_space, IntVar, Objective, Problem, Schaffer, Sense};
 pub use sorting::fast_non_dominated_sort;

@@ -130,85 +130,63 @@ impl OptResult {
     }
 }
 
-/// Runs NSGA-II on `problem` until `termination` fires.
-pub fn nsga2<P: Problem + ?Sized>(
-    problem: &mut P,
-    cfg: &Nsga2Config,
-    termination: &Termination,
-) -> OptResult {
-    assert!(
-        cfg.pop_size >= 2,
-        "population must hold at least one mating pair"
-    );
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let vars = problem.variables().to_vec();
-    let objectives = problem.objectives().to_vec();
+/// A point-in-time image of a running engine, sufficient to rebuild it
+/// bitwise via [`Nsga2Engine::resume`]. This is what the exploration
+/// journal persists at every generation boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nsga2Snapshot {
+    /// Generations completed so far.
+    pub generation: u32,
+    /// Evaluations spent so far.
+    pub evaluations: u64,
+    /// Raw xoshiro256** state of the engine's RNG.
+    pub rng_state: [u64; 4],
+    /// Current population, in engine order (rank/crowding included).
+    pub population: Vec<Individual>,
+    /// Everything evaluated so far (Pareto source), in insertion order.
+    pub archive: Vec<Individual>,
+    /// Per-generation history so far.
+    pub history: Vec<GenStats>,
+}
 
-    let mut evaluations: u64 = 0;
-    let mut archive: Vec<Individual> = Vec::new();
+/// A stepwise NSGA-II engine: the classic loop split at generation
+/// boundaries so callers can interleave snapshotting (crash-safe journals)
+/// or custom control between generations. [`nsga2`] is the thin
+/// run-to-completion wrapper; both produce bitwise-identical results for
+/// the same seed because they share this code and its RNG call order.
+#[derive(Debug, Clone)]
+pub struct Nsga2Engine {
+    cfg: Nsga2Config,
+    rng: StdRng,
+    vars: Vec<crate::problem::IntVar>,
+    objectives: Vec<crate::problem::Objective>,
+    evaluations: u64,
+    archive: Vec<Individual>,
+    pop: Vec<Individual>,
+    history: Vec<GenStats>,
+    generation: u32,
+}
 
-    // Initial population: integer random sampling.
-    let genomes = random_population(&vars, cfg.pop_size, &mut rng);
-    let raws = problem.evaluate_batch(&genomes);
-    evaluations += genomes.len() as u64;
-    let mut pop: Vec<Individual> = genomes
-        .into_iter()
-        .zip(raws)
-        .map(|(g, raw)| {
-            let min_objs = to_min_space(&objectives, &raw);
-            Individual::new(g, raw, min_objs)
-        })
-        .collect();
-    archive.extend(pop.iter().cloned());
+impl Nsga2Engine {
+    /// Seeds the RNG, samples and evaluates the initial population, and
+    /// records the generation-0 history entry.
+    pub fn start<P: Problem + ?Sized>(problem: &mut P, cfg: &Nsga2Config) -> Nsga2Engine {
+        assert!(
+            cfg.pop_size >= 2,
+            "population must hold at least one mating pair"
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let vars = problem.variables().to_vec();
+        let objectives = problem.objectives().to_vec();
 
-    let fronts = fast_non_dominated_sort(&mut pop);
-    for f in &fronts {
-        assign_crowding(&mut pop, f);
-    }
+        let mut evaluations: u64 = 0;
+        let mut archive: Vec<Individual> = Vec::new();
 
-    let mut history = vec![GenStats {
-        generation: 0,
-        evaluations,
-        front_size: fronts.first().map_or(0, Vec::len),
-        external_cost: problem.external_cost(),
-    }];
-
-    let mut generation: u32 = 0;
-    loop {
-        let state = EngineState {
-            generation,
-            evaluations,
-            external_cost: problem.external_cost(),
-        };
-        if termination.should_stop(&state) {
-            break;
-        }
-        generation += 1;
-
-        // --- variation ---
-        let mut offspring_genomes: Vec<Vec<i64>> = Vec::with_capacity(cfg.pop_size);
-        while offspring_genomes.len() < cfg.pop_size {
-            let p1 = binary_tournament(&pop, &mut rng);
-            let p2 = binary_tournament(&pop, &mut rng);
-            let (mut c1, mut c2) =
-                cfg.crossover
-                    .cross(&vars, &pop[p1].genome, &pop[p2].genome, &mut rng);
-            cfg.mutation.mutate(&vars, &mut c1, &mut rng);
-            cfg.mutation.mutate(&vars, &mut c2, &mut rng);
-            offspring_genomes.push(c1);
-            if offspring_genomes.len() < cfg.pop_size {
-                offspring_genomes.push(c2);
-            }
-        }
-        if cfg.eliminate_duplicates {
-            let parent_genomes: Vec<Vec<i64>> = pop.iter().map(|i| i.genome.clone()).collect();
-            dedup_against(&vars, &parent_genomes, &mut offspring_genomes, &mut rng);
-        }
-
-        // --- evaluation ---
-        let raws = problem.evaluate_batch(&offspring_genomes);
-        evaluations += offspring_genomes.len() as u64;
-        let offspring: Vec<Individual> = offspring_genomes
+        // Initial population: integer random sampling.
+        let genomes = random_population(&vars, cfg.pop_size, &mut rng);
+        let raws = problem.evaluate_batch(&genomes);
+        evaluations += genomes.len() as u64;
+        let mut pop: Vec<Individual> = genomes
             .into_iter()
             .zip(raws)
             .map(|(g, raw)| {
@@ -216,10 +194,129 @@ pub fn nsga2<P: Problem + ?Sized>(
                 Individual::new(g, raw, min_objs)
             })
             .collect();
-        archive.extend(offspring.iter().cloned());
+        archive.extend(pop.iter().cloned());
+
+        let fronts = fast_non_dominated_sort(&mut pop);
+        for f in &fronts {
+            assign_crowding(&mut pop, f);
+        }
+
+        let history = vec![GenStats {
+            generation: 0,
+            evaluations,
+            front_size: fronts.first().map_or(0, Vec::len),
+            external_cost: problem.external_cost(),
+        }];
+
+        Nsga2Engine {
+            cfg: cfg.clone(),
+            rng,
+            vars,
+            objectives,
+            evaluations,
+            archive,
+            pop,
+            history,
+            generation: 0,
+        }
+    }
+
+    /// Rebuilds an engine mid-run from a journal snapshot. The problem
+    /// supplies variables/objectives (they are derived state, not part of
+    /// the snapshot); everything else — including the RNG stream position —
+    /// continues exactly where the snapshot was taken.
+    pub fn resume<P: Problem + ?Sized>(
+        problem: &P,
+        cfg: &Nsga2Config,
+        snap: Nsga2Snapshot,
+    ) -> Nsga2Engine {
+        Nsga2Engine {
+            cfg: cfg.clone(),
+            rng: StdRng::from_state(snap.rng_state),
+            vars: problem.variables().to_vec(),
+            objectives: problem.objectives().to_vec(),
+            evaluations: snap.evaluations,
+            archive: snap.archive,
+            pop: snap.population,
+            history: snap.history,
+            generation: snap.generation,
+        }
+    }
+
+    /// Captures the engine's full mid-run state.
+    pub fn snapshot(&self) -> Nsga2Snapshot {
+        Nsga2Snapshot {
+            generation: self.generation,
+            evaluations: self.evaluations,
+            rng_state: self.rng.state(),
+            population: self.pop.clone(),
+            archive: self.archive.clone(),
+            history: self.history.clone(),
+        }
+    }
+
+    /// Generations completed so far.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Evaluations spent so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Whether `termination` says the run is finished.
+    pub fn should_stop<P: Problem + ?Sized>(&self, problem: &P, termination: &Termination) -> bool {
+        let state = EngineState {
+            generation: self.generation,
+            evaluations: self.evaluations,
+            external_cost: problem.external_cost(),
+        };
+        termination.should_stop(&state)
+    }
+
+    /// Runs one full generation: variation → evaluation → (μ+λ) survival.
+    pub fn step<P: Problem + ?Sized>(&mut self, problem: &mut P) {
+        let cfg = &self.cfg;
+        let vars = &self.vars;
+        let rng = &mut self.rng;
+        self.generation += 1;
+
+        // --- variation ---
+        let mut offspring_genomes: Vec<Vec<i64>> = Vec::with_capacity(cfg.pop_size);
+        while offspring_genomes.len() < cfg.pop_size {
+            let p1 = binary_tournament(&self.pop, rng);
+            let p2 = binary_tournament(&self.pop, rng);
+            let (mut c1, mut c2) =
+                cfg.crossover
+                    .cross(vars, &self.pop[p1].genome, &self.pop[p2].genome, rng);
+            cfg.mutation.mutate(vars, &mut c1, rng);
+            cfg.mutation.mutate(vars, &mut c2, rng);
+            offspring_genomes.push(c1);
+            if offspring_genomes.len() < cfg.pop_size {
+                offspring_genomes.push(c2);
+            }
+        }
+        if cfg.eliminate_duplicates {
+            let parent_genomes: Vec<Vec<i64>> = self.pop.iter().map(|i| i.genome.clone()).collect();
+            dedup_against(vars, &parent_genomes, &mut offspring_genomes, rng);
+        }
+
+        // --- evaluation ---
+        let raws = problem.evaluate_batch(&offspring_genomes);
+        self.evaluations += offspring_genomes.len() as u64;
+        let offspring: Vec<Individual> = offspring_genomes
+            .into_iter()
+            .zip(raws)
+            .map(|(g, raw)| {
+                let min_objs = to_min_space(&self.objectives, &raw);
+                Individual::new(g, raw, min_objs)
+            })
+            .collect();
+        self.archive.extend(offspring.iter().cloned());
 
         // --- (μ+λ) elitist survival ---
-        let mut combined = pop;
+        let mut combined = std::mem::take(&mut self.pop);
         combined.extend(offspring);
         let fronts = fast_non_dominated_sort(&mut combined);
         let mut next: Vec<Individual> = Vec::with_capacity(cfg.pop_size);
@@ -272,37 +369,56 @@ pub fn nsga2<P: Problem + ?Sized>(
                 }
             }
         }
-        pop = next;
+        self.pop = next;
         // Re-rank the survivors among themselves.
-        let fronts = fast_non_dominated_sort(&mut pop);
+        let fronts = fast_non_dominated_sort(&mut self.pop);
         for f in &fronts {
-            assign_crowding(&mut pop, f);
+            assign_crowding(&mut self.pop, f);
         }
 
-        history.push(GenStats {
-            generation,
-            evaluations,
+        self.history.push(GenStats {
+            generation: self.generation,
+            evaluations: self.evaluations,
             front_size: fronts.first().map_or(0, Vec::len),
             external_cost: problem.external_cost(),
         });
     }
 
-    let pareto_idx = non_dominated_indices(&archive);
-    let mut pareto: Vec<Individual> = pareto_idx.into_iter().map(|i| archive[i].clone()).collect();
-    // Deduplicate identical genomes.
-    pareto.sort_by(|a, b| a.genome.cmp(&b.genome));
-    pareto.dedup_by(|a, b| a.genome == b.genome);
-    for p in &mut pareto {
-        p.rank = 0;
-    }
+    /// Finalizes the run: archive → deduplicated Pareto front.
+    pub fn into_result(self) -> OptResult {
+        let pareto_idx = non_dominated_indices(&self.archive);
+        let mut pareto: Vec<Individual> = pareto_idx
+            .into_iter()
+            .map(|i| self.archive[i].clone())
+            .collect();
+        // Deduplicate identical genomes.
+        pareto.sort_by(|a, b| a.genome.cmp(&b.genome));
+        pareto.dedup_by(|a, b| a.genome == b.genome);
+        for p in &mut pareto {
+            p.rank = 0;
+        }
 
-    OptResult {
-        population: pop,
-        pareto,
-        generations: generation,
-        evaluations,
-        history,
+        OptResult {
+            population: self.pop,
+            pareto,
+            generations: self.generation,
+            evaluations: self.evaluations,
+            history: self.history,
+        }
     }
+}
+
+/// Runs NSGA-II on `problem` until `termination` fires.
+pub fn nsga2<P: Problem + ?Sized>(
+    problem: &mut P,
+    cfg: &Nsga2Config,
+    termination: &Termination,
+) -> OptResult {
+    let mut engine = Nsga2Engine::start(problem, cfg);
+    while !engine.should_stop(&*problem, termination) {
+        engine.step(problem);
+    }
+    engine.into_result()
 }
 
 #[cfg(test)]
@@ -349,6 +465,38 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn engine_snapshot_resume_is_bitwise_identical() {
+        // Run straight through...
+        let mut p1 = Schaffer::new();
+        let direct = nsga2(&mut p1, &small_cfg(13), &Termination::Generations(12));
+
+        // ...and snapshot/rebuild at every generation boundary.
+        let mut p2 = Schaffer::new();
+        let cfg = small_cfg(13);
+        let term = Termination::Generations(12);
+        let mut engine = Nsga2Engine::start(&mut p2, &cfg);
+        while !engine.should_stop(&p2, &term) {
+            let snap = engine.snapshot();
+            engine = Nsga2Engine::resume(&p2, &cfg, snap);
+            engine.step(&mut p2);
+        }
+        let resumed = engine.into_result();
+
+        assert_eq!(resumed.generations, direct.generations);
+        assert_eq!(resumed.evaluations, direct.evaluations);
+        assert_eq!(resumed.history, direct.history);
+        assert_eq!(resumed.population, direct.population);
+        let (a, b) = (direct.sorted_pareto(), resumed.sorted_pareto());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.genome, y.genome);
+            for (u, v) in x.raw.iter().zip(&y.raw) {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
     }
 
     #[test]

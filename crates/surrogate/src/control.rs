@@ -98,6 +98,45 @@ impl SurrogateController {
         self
     }
 
+    /// Rebuilds a controller from journaled state, bitwise.
+    ///
+    /// Unlike [`SurrogateController::pretrain`], nothing is recomputed:
+    /// the bandwidth, Γ, counters and — critically — the
+    /// `inserts_since_retrain` phase of the amortized reselection cycle
+    /// are installed exactly as captured, so a resumed run reselects its
+    /// bandwidth at the same absolute record counts as an uninterrupted
+    /// one. (A pretrain-based restore would reset the phase to zero and
+    /// drift every later reselection by up to `retrain_every − 1`
+    /// records.)
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        dataset: Dataset,
+        kernel: Kernel,
+        bandwidth: f64,
+        policy: ThresholdPolicy,
+        gamma: f64,
+        retrain_every: usize,
+        inserts_since_retrain: usize,
+        stats: ControlStats,
+    ) -> Self {
+        SurrogateController {
+            dataset,
+            model: NadarayaWatson { kernel, bandwidth },
+            policy,
+            gamma,
+            grid: Vec::new(),
+            retrain_every,
+            inserts_since_retrain,
+            stats,
+        }
+    }
+
+    /// Insertions since the last LOO-CV reselection (the amortization
+    /// phase; journaled so resume keeps the reselection cadence aligned).
+    pub fn inserts_since_retrain(&self) -> usize {
+        self.inserts_since_retrain
+    }
+
     /// Access to the dataset.
     pub fn dataset(&self) -> &Dataset {
         &self.dataset
@@ -447,6 +486,60 @@ mod tests {
         // both controllers hold identical datasets, so LOO-CV agrees.
         let _ = lazy.decide_batch(&[vec![910]], false);
         assert_eq!(lazy.model().bandwidth, eager.model().bandwidth);
+    }
+
+    #[test]
+    fn restore_preserves_amortization_phase() {
+        let policy = ThresholdPolicy::paper_default();
+        let mut a = pretrained(policy);
+        a.retrain_every = 4;
+        for x in [901, 903] {
+            a.record(vec![x], truth(x)); // phase is now 2 of 4
+        }
+        assert_eq!(a.inserts_since_retrain(), 2);
+
+        // Bitwise restore carries the phase...
+        let mut b = SurrogateController::restore(
+            a.dataset().clone(),
+            a.model().kernel,
+            a.model().bandwidth,
+            policy,
+            a.gamma(),
+            a.retrain_every,
+            a.inserts_since_retrain(),
+            a.stats,
+        );
+        // ...while a pretrain-style rebuild resets it to 0 (the off-by-K
+        // drift this constructor exists to prevent).
+        let mut c = SurrogateController::new(bounds(), 2, policy);
+        c.pretrain(
+            a.dataset()
+                .raw_points()
+                .iter()
+                .zip(a.dataset().outputs())
+                .map(|(p, o)| (p.clone(), o.clone()))
+                .collect(),
+        );
+        c.retrain_every = a.retrain_every;
+
+        // Two more records cross the a/b reselection boundary (2+2 = 4).
+        for x in [905, 907] {
+            a.record(vec![x], truth(x));
+            b.record(vec![x], truth(x));
+            c.record(vec![x], truth(x));
+        }
+        assert_eq!(a.inserts_since_retrain(), 0, "a reselected at 4 inserts");
+        assert_eq!(
+            b.model().bandwidth.to_bits(),
+            a.model().bandwidth.to_bits(),
+            "restored controller must reselect at the same absolute count"
+        );
+        assert_eq!(b.inserts_since_retrain(), a.inserts_since_retrain());
+        assert_eq!(
+            c.inserts_since_retrain(),
+            2,
+            "the naive rebuild is mid-cycle and has not reselected"
+        );
     }
 
     #[test]

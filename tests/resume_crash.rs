@@ -1,0 +1,269 @@
+//! The crash/restart harness: a persistent exploration interrupted by a
+//! simulated host crash and resumed from its journal must be
+//! bitwise-identical to the same exploration run without interruption —
+//! same Pareto front (genomes and raw objective bits), same fitness
+//! counters, same surrogate dataset — under both a single worker thread
+//! and a capped parallel pool.
+//!
+//! The crash generation is randomized through the fault-plan seed; CI
+//! sweeps it via the `DOVADO_CRASH_SEED` environment variable.
+
+use dovado::persist::read_journal;
+use dovado::{
+    Domain, Dovado, DovadoError, DseConfig, DseReport, EvalConfig, HdlSource, Metric, MetricSet,
+    ParameterSpace, PersistConfig, SurrogateConfig,
+};
+use dovado_eda::FaultPlan;
+use dovado_fpga::ResourceKind;
+use dovado_hdl::Language;
+use dovado_moo::{Nsga2Config, Termination};
+use std::path::{Path, PathBuf};
+
+const FIFO_SV: &str = r#"
+module fifo_v3 #(
+    parameter DEPTH = 8,
+    parameter DATA_WIDTH = 32
+)(input logic clk_i, input logic [DATA_WIDTH-1:0] data_i);
+endmodule"#;
+
+const GENERATIONS: u32 = 6;
+
+/// Seed for the randomized crash position; CI sweeps this.
+fn crash_seed() -> u64 {
+    std::env::var("DOVADO_CRASH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "dovado-resume-{tag}-{}-{}",
+        crash_seed(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn tool(faults: FaultPlan) -> Dovado {
+    let space = ParameterSpace::new()
+        .with(
+            "DEPTH",
+            Domain::Range {
+                lo: 2,
+                hi: 512,
+                step: 2,
+            },
+        )
+        .with("DATA_WIDTH", Domain::Explicit(vec![8, 16, 32]));
+    Dovado::new(
+        vec![HdlSource::new("fifo.sv", Language::SystemVerilog, FIFO_SV)],
+        "fifo_v3",
+        space,
+        EvalConfig {
+            faults,
+            ..EvalConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn cfg(surrogate: bool, parallel: bool) -> DseConfig {
+    DseConfig {
+        explorer: Default::default(),
+        algorithm: Nsga2Config {
+            pop_size: 10,
+            seed: 21,
+            ..Default::default()
+        },
+        termination: Termination::Generations(GENERATIONS),
+        metrics: MetricSet::new(vec![
+            Metric::Utilization(ResourceKind::Lut),
+            Metric::Utilization(ResourceKind::Register),
+            Metric::Fmax,
+        ]),
+        surrogate: surrogate.then(|| SurrogateConfig {
+            pretrain_samples: 15,
+            ..Default::default()
+        }),
+        parallel,
+    }
+}
+
+/// Runs a persistent exploration to completion, resuming from the journal
+/// after every simulated host crash. Returns the final report and the
+/// number of interruptions survived.
+fn run_until_complete(tool: &Dovado, cfg: &DseConfig, dir: &Path) -> (DseReport, u32) {
+    let start = PersistConfig::new(dir);
+    let resume = PersistConfig {
+        resume: true,
+        ..start.clone()
+    };
+    let mut crashes = 0u32;
+    let mut outcome = tool.explore_persistent(cfg, &start);
+    loop {
+        match outcome {
+            Ok(report) => return (report, crashes),
+            Err(DovadoError::Interrupted { generation }) => {
+                crashes += 1;
+                assert!(
+                    crashes <= 4 * GENERATIONS,
+                    "crash/resume loop failed to make progress (last crash at \
+                     generation {generation})"
+                );
+                outcome = tool.explore_persistent(cfg, &resume);
+            }
+            Err(e) => panic!("unexpected exploration error: {e}"),
+        }
+    }
+}
+
+/// Bitwise report comparison: Pareto front (genomes and raw objective
+/// bits) plus every deterministic run counter.
+fn assert_reports_bitwise(a: &DseReport, b: &DseReport) {
+    assert_eq!(a.pareto.len(), b.pareto.len(), "front sizes differ");
+    for (x, y) in a.pareto.iter().zip(&b.pareto) {
+        assert_eq!(x.point, y.point);
+        for (u, v) in x.values.iter().zip(&y.values) {
+            assert_eq!(u.to_bits(), v.to_bits(), "{:?} vs {:?}", x.values, y.values);
+        }
+    }
+    assert_eq!(a.generations, b.generations);
+    assert_eq!(a.evaluations, b.evaluations);
+    assert_eq!(a.tool_runs, b.tool_runs);
+    assert_eq!(a.cached_runs, b.cached_runs);
+    assert_eq!(a.estimates, b.estimates);
+    assert_eq!(a.failures, b.failures);
+    assert_eq!(a.transient_failures, b.transient_failures);
+    assert_eq!(a.permanent_failures, b.permanent_failures);
+    assert_eq!(a.retries, b.retries);
+}
+
+/// The journals both runs leave behind hold the full optimizer state;
+/// everything that determines future behavior must be bitwise-identical.
+/// (The configuration fingerprints differ — the crashed run carries a
+/// fault plan — so they are not compared.)
+fn assert_final_journals_match(baseline_dir: &Path, crashed_dir: &Path) {
+    let a = read_journal(&PersistConfig::new(baseline_dir).journal_path()).unwrap();
+    let b = read_journal(&PersistConfig::new(crashed_dir).journal_path()).unwrap();
+    assert!(a.complete && b.complete);
+    assert_eq!(a.stats, b.stats, "fitness counters diverged");
+    assert_eq!(a.snapshot.generation, b.snapshot.generation);
+    assert_eq!(a.snapshot.evaluations, b.snapshot.evaluations);
+    assert_eq!(a.snapshot.rng_state, b.snapshot.rng_state, "RNG diverged");
+    assert_eq!(a.snapshot.population, b.snapshot.population);
+    assert_eq!(a.snapshot.archive, b.snapshot.archive);
+    match (&a.surrogate, &b.surrogate) {
+        (None, None) => {}
+        (Some(sa), Some(sb)) => {
+            assert_eq!(sa.dataset_csv, sb.dataset_csv, "dataset diverged");
+            assert_eq!(sa.bandwidth.to_bits(), sb.bandwidth.to_bits());
+            assert_eq!(sa.gamma.to_bits(), sb.gamma.to_bits());
+            assert_eq!(sa.inserts_since_retrain, sb.inserts_since_retrain);
+            assert_eq!(sa.stats, sb.stats);
+        }
+        _ => panic!("one journal has surrogate state, the other does not"),
+    }
+}
+
+/// A crash plan that fires only the host crash: every other fault
+/// probability stays zero, so tool answers are bitwise those of a
+/// fault-free run.
+fn crash_plan(host_crash: f64) -> FaultPlan {
+    FaultPlan {
+        seed: crash_seed(),
+        host_crash,
+        ..FaultPlan::none()
+    }
+}
+
+#[test]
+fn crash_at_every_boundary_then_resume_matches_uninterrupted() {
+    let cfg = cfg(false, false);
+    let base_dir = fresh_dir("every-base");
+    let (baseline, crashes) = run_until_complete(&tool(FaultPlan::none()), &cfg, &base_dir);
+    assert_eq!(crashes, 0, "fault-free baseline must not be interrupted");
+
+    // Probability 1: the run is interrupted at *every* generation
+    // boundary; each resume still makes one generation of progress
+    // because the crash is drawn only after the snapshot is durable.
+    let crash_dir = fresh_dir("every-crash");
+    let (resumed, crashes) = run_until_complete(&tool(crash_plan(1.0)), &cfg, &crash_dir);
+    assert_eq!(crashes, GENERATIONS, "one interruption per boundary");
+
+    assert_reports_bitwise(&baseline, &resumed);
+    assert_final_journals_match(&base_dir, &crash_dir);
+}
+
+#[test]
+fn randomized_crash_generation_matches_uninterrupted() {
+    let cfg = cfg(false, false);
+    let base_dir = fresh_dir("rand-base");
+    let (baseline, _) = run_until_complete(&tool(FaultPlan::none()), &cfg, &base_dir);
+
+    let crash_dir = fresh_dir("rand-crash");
+    let (resumed, _) = run_until_complete(&tool(crash_plan(0.5)), &cfg, &crash_dir);
+
+    assert_reports_bitwise(&baseline, &resumed);
+    assert_final_journals_match(&base_dir, &crash_dir);
+}
+
+#[test]
+fn surrogate_state_survives_crash_and_resume() {
+    let cfg = cfg(true, false);
+    let base_dir = fresh_dir("sur-base");
+    let (baseline, _) = run_until_complete(&tool(FaultPlan::none()), &cfg, &base_dir);
+    assert!(baseline.estimates > 0, "surrogate must actually engage");
+
+    let crash_dir = fresh_dir("sur-crash");
+    let (resumed, crashes) = run_until_complete(&tool(crash_plan(0.7)), &cfg, &crash_dir);
+    assert!(
+        crashes > 0,
+        "seed {} produced no interruption",
+        crash_seed()
+    );
+
+    assert_reports_bitwise(&baseline, &resumed);
+    // Dataset, bandwidth, Γ and the amortization phase all round-trip.
+    assert_final_journals_match(&base_dir, &crash_dir);
+}
+
+#[test]
+fn crash_resume_is_identical_under_one_and_four_jobs() {
+    let cfg = cfg(false, true);
+    let run_with_jobs = |jobs: usize, tag: &str| {
+        let dir = fresh_dir(tag);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(jobs)
+            .build()
+            .unwrap();
+        let (report, _) = pool.install(|| run_until_complete(&tool(crash_plan(1.0)), &cfg, &dir));
+        (report, dir)
+    };
+    let base_dir = fresh_dir("jobs-base");
+    let (baseline, _) = run_until_complete(&tool(FaultPlan::none()), &cfg, &base_dir);
+    let (one, one_dir) = run_with_jobs(1, "jobs-1");
+    let (four, four_dir) = run_with_jobs(4, "jobs-4");
+
+    assert_reports_bitwise(&baseline, &one);
+    assert_reports_bitwise(&baseline, &four);
+    assert_final_journals_match(&one_dir, &four_dir);
+}
+
+#[test]
+fn warm_store_rerun_performs_zero_tool_runs() {
+    let cfg = cfg(false, false);
+    let dir = fresh_dir("warm");
+    let (cold, _) = run_until_complete(&tool(FaultPlan::none()), &cfg, &dir);
+
+    // Second run over the same directory (fresh tool instance, so its
+    // flow trace starts at zero): every evaluation is answered from the
+    // store; not a single tool attempt happens.
+    let warm = tool(FaultPlan::none())
+        .explore_persistent(&cfg, &PersistConfig::new(&dir))
+        .unwrap();
+    assert_eq!(warm.trace.attempts, 0, "warm run must not touch the tool");
+    assert!(warm.trace.store_hits > 0);
+    assert_reports_bitwise(&cold, &warm);
+}

@@ -1,0 +1,149 @@
+//! Property tests for the persistent evaluation store: a store hit is
+//! bitwise-equivalent to a cold evaluation, serialization round-trips
+//! arbitrary bit patterns exactly, and corruption of any kind reads as a
+//! *miss* — never as a wrong answer.
+
+use dovado::persist::{decode_evaluation, encode_evaluation};
+use dovado::{DesignPoint, EvalConfig, Evaluation, Evaluator, HdlSource};
+use dovado_eda::{EvalKey, EvalStore};
+use dovado_fpga::{ResourceKind, ResourceSet};
+use dovado_hdl::Language;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::fs;
+use std::path::PathBuf;
+
+const FIFO_SV: &str = r#"
+module fifo_v3 #(
+    parameter DEPTH = 8,
+    parameter DATA_WIDTH = 32
+)(input logic clk_i, input logic [DATA_WIDTH-1:0] data_i);
+endmodule"#;
+
+fn evaluator() -> Evaluator {
+    Evaluator::new(
+        vec![HdlSource::new("fifo.sv", Language::SystemVerilog, FIFO_SV)],
+        "fifo_v3",
+        EvalConfig::default(),
+    )
+    .unwrap()
+}
+
+fn store_in(tag: &str, case: u64) -> EvalStore {
+    let dir = std::env::temp_dir().join(format!(
+        "dovado-store-prop-{tag}-{case}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    EvalStore::open(&dir).unwrap()
+}
+
+/// An evaluation whose every float is an arbitrary 64-bit pattern —
+/// including NaNs, infinities and negative zero.
+fn arbitrary_evaluation(rng: &mut StdRng) -> Evaluation {
+    let mut utilization = ResourceSet::zero();
+    for kind in ResourceKind::ALL {
+        utilization.set(kind, rng.next_u64());
+    }
+    Evaluation {
+        utilization,
+        wns_ns: f64::from_bits(rng.next_u64()),
+        period_ns: f64::from_bits(rng.next_u64()),
+        fmax_mhz: f64::from_bits(rng.next_u64()),
+        power_mw: f64::from_bits(rng.next_u64()),
+        tool_time_s: f64::from_bits(rng.next_u64()),
+    }
+}
+
+fn bits_of(e: &Evaluation) -> [u64; 5] {
+    [
+        e.wns_ns.to_bits(),
+        e.period_ns.to_bits(),
+        e.fmax_mhz.to_bits(),
+        e.power_mw.to_bits(),
+        e.tool_time_s.to_bits(),
+    ]
+}
+
+proptest! {
+    /// Serialization is bitwise for any float pattern and any counts.
+    #[test]
+    fn evaluation_roundtrips_arbitrary_bits(seed in 0u64..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e = arbitrary_evaluation(&mut rng);
+        let back = decode_evaluation(&encode_evaluation(&e)).unwrap();
+        prop_assert_eq!(back.utilization, e.utilization);
+        prop_assert_eq!(bits_of(&back), bits_of(&e));
+    }
+
+    /// A store hit is the cold evaluation, bit for bit: a storeless
+    /// evaluator, the evaluator that fills the store, and a fresh
+    /// evaluator answered purely from disk all agree on every float.
+    #[test]
+    fn store_hit_equals_cold_evaluation(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let point = DesignPoint::from_pairs(&[
+            ("DEPTH", rng.gen_range(2i64..1024)),
+            ("DATA_WIDTH", [8, 16, 32][rng.gen_range(0usize..3)]),
+        ]);
+        let cold = evaluator().evaluate(&point).unwrap();
+
+        let store = store_in("hit", seed);
+        let mut writer = evaluator();
+        writer.attach_store(store.clone());
+        let written = writer.evaluate(&point).unwrap();
+        prop_assert_eq!(bits_of(&written), bits_of(&cold));
+
+        let mut reader = evaluator();
+        reader.attach_store(store);
+        let read = reader.evaluate(&point).unwrap();
+        prop_assert_eq!(bits_of(&read), bits_of(&cold));
+        prop_assert_eq!(read.utilization, cold.utilization);
+        prop_assert_eq!(reader.trace_summary().store_hits, 1);
+        prop_assert_eq!(reader.trace_summary().attempts, 0);
+    }
+
+    /// Corrupting a stored entry — truncation at any point, or a single
+    /// bit flip anywhere — turns the lookup into a miss, never a wrong
+    /// answer, and the damaged file is removed so the slot heals.
+    #[test]
+    fn corruption_is_a_miss_never_a_wrong_answer(
+        seed in 0u64..500,
+        truncate in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e = arbitrary_evaluation(&mut rng);
+        let store = store_in("corrupt", seed);
+        let key = EvalKey::from_parts(&["p", &seed.to_string()]);
+        store.put(&key, &encode_evaluation(&e)).unwrap();
+
+        let path: PathBuf = store.entry_path(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        if truncate {
+            let keep = rng.gen_range(0usize..bytes.len());
+            bytes.truncate(keep);
+        } else {
+            let at = rng.gen_range(0usize..bytes.len());
+            let bit = rng.gen_range(0u32..8);
+            bytes[at] ^= 1 << bit;
+        }
+        fs::write(&path, &bytes).unwrap();
+
+        match store.get(&key) {
+            None => prop_assert!(!path.exists(), "corrupt entry must self-heal"),
+            // A flip may cancel out only by restoring the original byte —
+            // impossible for XOR with a nonzero mask — so any surviving
+            // answer must decode to the exact original.
+            Some(payload) => {
+                let back = decode_evaluation(&payload).unwrap();
+                prop_assert_eq!(bits_of(&back), bits_of(&e));
+            }
+        }
+
+        // The slot accepts a fresh write either way.
+        store.put(&key, &encode_evaluation(&e)).unwrap();
+        let healed = decode_evaluation(&store.get(&key).unwrap()).unwrap();
+        prop_assert_eq!(bits_of(&healed), bits_of(&e));
+    }
+}
