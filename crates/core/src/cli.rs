@@ -253,15 +253,15 @@ fn parse_common(args: &[String]) -> Result<(CommonArgs, Vec<(String, String)>), 
 
 /// Parses a `--jobs` value: worker-thread cap for parallel phases
 /// (batch tool runs, batch surrogate decisions). Without the flag, all
-/// available cores are used.
+/// available cores are used. Validation lives in the engine
+/// ([`crate::engine::validate_jobs`]) so every entry point — CLI or
+/// library — rejects a zero-worker pool the same way instead of letting
+/// it reach the thread-pool builder.
 fn parse_jobs(value: &str) -> Result<usize, String> {
     let n: usize = value
         .parse()
         .map_err(|_| "--jobs: not a number".to_string())?;
-    if n == 0 {
-        return Err("--jobs: must be at least 1".into());
-    }
-    Ok(n)
+    crate::engine::validate_jobs(n).map_err(|e| e.to_string())
 }
 
 /// Runs `op` under a scoped thread pool capped at `jobs` workers, or
@@ -270,6 +270,7 @@ fn run_with_jobs<R>(jobs: Option<usize>, op: impl FnOnce() -> R) -> Result<R, St
     match jobs {
         None => Ok(op()),
         Some(n) => {
+            let n = crate::engine::validate_jobs(n).map_err(|e| e.to_string())?;
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(n)
                 .build()

@@ -1,6 +1,7 @@
 //! The Dovado front door: design automation (evaluate given points) and
 //! design space exploration (NSGA-II over a parameter space).
 
+use crate::backend::ToolBackend;
 use crate::error::{DovadoError, DovadoResult};
 use crate::fitness::{DseProblem, FitnessStats};
 use crate::flow::{EvalConfig, Evaluator, HdlSource};
@@ -11,16 +12,17 @@ use crate::results::{DseReport, ParetoEntry, PointResult};
 use crate::space::ParameterSpace;
 use dovado_eda::{EvalStore, FaultKind};
 use dovado_moo::{
-    exhaustive_search, nsga2, random_search, weighted_sum_ga, Nsga2Config, Nsga2Engine, OptResult,
+    exhaustive_search, random_search, weighted_sum_ga, Nsga2Config, Nsga2Engine, OptResult,
     Termination,
 };
 use dovado_surrogate::{Dataset, Kernel, SurrogateController, ThresholdPolicy};
 use std::fs;
+use std::sync::Arc;
 
 /// Which exploration strategy drives the search.
 ///
 /// The paper uses NSGA-II and surveys alternatives via Panerati et al.
-/// [12], planning "an investigation on a run-time choice among various
+/// \[12\], planning "an investigation on a run-time choice among various
 /// algorithms" (§V) — this knob is that choice point.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub enum Explorer {
@@ -113,14 +115,35 @@ pub struct Dovado {
 }
 
 impl Dovado {
-    /// Parses sources and prepares the evaluator.
+    /// Parses sources and prepares the evaluator (on the default
+    /// simulated-Vivado backend).
     pub fn new(
         sources: Vec<HdlSource>,
         top_module: &str,
         space: ParameterSpace,
         eval_config: EvalConfig,
     ) -> DovadoResult<Dovado> {
-        let evaluator = Evaluator::new(sources, top_module, eval_config)?;
+        Self::from_evaluator(Evaluator::new(sources, top_module, eval_config)?, space)
+    }
+
+    /// Like [`Dovado::new`], but runs every tool call on an explicit
+    /// [`ToolBackend`] — the scripted mock for tests, or any other
+    /// implementation of the tool boundary. Everything above the backend
+    /// (exploration, persistence, resume) is backend-independent.
+    pub fn with_backend(
+        sources: Vec<HdlSource>,
+        top_module: &str,
+        space: ParameterSpace,
+        eval_config: EvalConfig,
+        backend: Arc<dyn ToolBackend>,
+    ) -> DovadoResult<Dovado> {
+        Self::from_evaluator(
+            Evaluator::with_backend(sources, top_module, eval_config, backend)?,
+            space,
+        )
+    }
+
+    fn from_evaluator(evaluator: Evaluator, space: ParameterSpace) -> DovadoResult<Dovado> {
         // Sanity: every space parameter must exist on the module.
         for p in space.params() {
             if evaluator.module().parameter(&p.name).is_none() {
@@ -231,13 +254,10 @@ impl Dovado {
         problem.parallel = cfg.parallel;
 
         let result: OptResult = match &cfg.explorer {
-            Explorer::Nsga2 => match persist_cfg {
-                Some(p) => {
-                    let engine = Nsga2Engine::start(&mut problem, &cfg.algorithm);
-                    self.run_journaled(&mut problem, cfg, p, engine)?
-                }
-                None => nsga2(&mut problem, &cfg.algorithm, &cfg.termination),
-            },
+            Explorer::Nsga2 => {
+                let engine = Nsga2Engine::start(&mut problem, &cfg.algorithm);
+                self.run_nsga2(&mut problem, cfg, persist_cfg, engine)?
+            }
             Explorer::RandomSearch => random_search(
                 &mut problem,
                 &cfg.termination,
@@ -278,36 +298,44 @@ impl Dovado {
         self.assemble_report(cfg, &problem, result)
     }
 
-    /// The stepwise NSGA-II loop with a write-ahead journal at
-    /// generation boundaries. The simulated host crash is drawn only
-    /// *after* a snapshot lands durably, so an interrupted run always
-    /// resumes with at least one generation of progress — a crash/resume
-    /// loop terminates even when every boundary re-crashes.
-    fn run_journaled(
+    /// The single stepwise NSGA-II driver behind both [`Dovado::explore`]
+    /// and [`Dovado::explore_persistent`]: one start/step loop, with the
+    /// write-ahead journal as optional configuration rather than a
+    /// separate code path. When persistence is on, the full exploration
+    /// state is snapshotted at generation boundaries; the simulated host
+    /// crash is drawn only *after* a snapshot lands durably, so an
+    /// interrupted run always resumes with at least one generation of
+    /// progress — a crash/resume loop terminates even when every boundary
+    /// re-crashes. Without persistence no journal is written and no crash
+    /// is drawn, so the fault stream is consumed identically to earlier
+    /// unjournaled runs.
+    fn run_nsga2(
         &self,
         problem: &mut DseProblem,
         cfg: &DseConfig,
-        persist_cfg: &PersistConfig,
+        persist_cfg: Option<&PersistConfig>,
         mut engine: Nsga2Engine,
     ) -> DovadoResult<OptResult> {
-        let fingerprint = self.persist_fingerprint(cfg);
-        let path = persist_cfg.journal_path();
-        let every = persist_cfg.journal_every.max(1);
+        let fingerprint = persist_cfg.map(|_| self.persist_fingerprint(cfg));
         loop {
             if engine.should_stop(&*problem, &cfg.termination) {
-                let journal = Self::journal_of(problem, &engine, &fingerprint, true);
-                persist::write_journal(&path, &journal)?;
+                if let (Some(p), Some(f)) = (persist_cfg, &fingerprint) {
+                    let journal = Self::journal_of(problem, &engine, f, true);
+                    persist::write_journal(&p.journal_path(), &journal)?;
+                }
                 break;
             }
             engine.step(problem);
-            if engine.generation().is_multiple_of(every) {
-                let journal = Self::journal_of(problem, &engine, &fingerprint, false);
-                persist::write_journal(&path, &journal)?;
-                if let Some(injector) = problem.evaluator().injector() {
-                    if injector.fires(FaultKind::HostCrash) {
-                        return Err(DovadoError::Interrupted {
-                            generation: engine.generation(),
-                        });
+            if let (Some(p), Some(f)) = (persist_cfg, &fingerprint) {
+                if engine.generation().is_multiple_of(p.journal_every.max(1)) {
+                    let journal = Self::journal_of(problem, &engine, f, false);
+                    persist::write_journal(&p.journal_path(), &journal)?;
+                    if let Some(injector) = problem.evaluator().injector() {
+                        if injector.fires(FaultKind::HostCrash) {
+                            return Err(DovadoError::Interrupted {
+                                generation: engine.generation(),
+                            });
+                        }
                     }
                 }
             }
@@ -374,7 +402,7 @@ impl Dovado {
             // written; re-deriving the result is pure.
             engine.into_result()
         } else {
-            self.run_journaled(&mut problem, cfg, persist_cfg, engine)?
+            self.run_nsga2(&mut problem, cfg, Some(persist_cfg), engine)?
         };
         self.assemble_report(cfg, &problem, result)
     }

@@ -1,0 +1,669 @@
+//! The unified evaluation engine.
+//!
+//! One pipeline owns every per-point evaluation in Dovado, regardless of
+//! which layer asked for it (`Evaluator::evaluate`, a fitness batch, an
+//! exploration). The pipeline is a stack of middleware layers, outermost
+//! first:
+//!
+//! 1. **Store** (`StoreLayer`) — persistent-store lookup before any tool
+//!    attempt; a hit is a bitwise substitute for the run (zero attempts,
+//!    zero simulated time), a fresh success is committed back.
+//! 2. **Retry** (`RetryLayer`) — retry with capped backoff for transient
+//!    failures, the timeout-degradation state machine
+//!    (`DegradePolicy`), checkpoint-corruption fallback to the
+//!    non-incremental flow, and per-attempt trace accounting.
+//! 3. **Attempt** (`AttemptLayer`) — one tool session per attempt:
+//!    script generation from the TCL frames, execution through the
+//!    [`ToolBackend`] seam, report scraping, and the time/run ledgers.
+//!
+//! Scheduling (serial vs rayon-parallel, [`Schedule`]) and persistence
+//! (none vs an attached [`EvalStore`]) are engine *configuration*, not
+//! separate code paths — which is what keeps parallel == sequential and
+//! resume bitwise-identical across backends.
+
+use crate::backend::{SimBackend, ToolBackend, ToolSession};
+use crate::boxing::{generate_box, BOX_CLOCK, BOX_TOP};
+use crate::error::{DovadoError, DovadoResult};
+use crate::flow::{EvalConfig, FlowStep, HdlSource, RetryPolicy};
+use crate::frames::{fill, read_sources_script, SourceEntry, IMPL_FRAME, SYNTH_FRAME};
+use crate::metrics::{fmax_mhz, Evaluation};
+use crate::point::DesignPoint;
+use crate::trace::{AttemptOutcome, FlowEvent, FlowTrace, TraceSummary};
+use dovado_eda::{report, EdaError, EvalKey, EvalStore, FaultInjector};
+use dovado_hdl::ModuleInterface;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// How [`EvalEngine::evaluate_many`] schedules its points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// One point after another on the calling thread.
+    #[default]
+    Serial,
+    /// Fan out across the ambient rayon pool (the CLI sizes it from
+    /// `--jobs`). Results are returned in input order and are bitwise
+    /// those of a serial run.
+    Parallel,
+}
+
+impl Schedule {
+    /// The historical boolean spelling used across the fitness layer.
+    pub fn from_parallel_flag(parallel: bool) -> Schedule {
+        if parallel {
+            Schedule::Parallel
+        } else {
+            Schedule::Serial
+        }
+    }
+}
+
+/// Validates a worker-thread count before it reaches the thread-pool
+/// builder. Zero workers cannot make progress (and asks the vendored
+/// rayon shim for an empty pool), so it is a configuration error, not a
+/// panic.
+pub fn validate_jobs(jobs: usize) -> DovadoResult<usize> {
+    if jobs == 0 {
+        return Err(DovadoError::Config(
+            "--jobs: must be at least 1 (a zero-worker pool cannot run anything)".into(),
+        ));
+    }
+    Ok(jobs)
+}
+
+/// Everything an attempt needs to generate its scripts.
+struct FlowContext {
+    sources: Arc<Vec<HdlSource>>,
+    /// Per-source "declares a package" flags, same order as `sources`.
+    package_flags: Arc<Vec<bool>>,
+    module: Arc<ModuleInterface>,
+    config: EvalConfig,
+}
+
+/// Counters shared across the engine's clones (evaluations run in
+/// parallel; the ledgers must agree with a serial run).
+#[derive(Clone)]
+struct Ledger {
+    /// Cumulative simulated tool seconds, including failed attempts and
+    /// retry backoff.
+    tool_time: Arc<Mutex<f64>>,
+    /// Successful tool invocations.
+    runs: Arc<Mutex<u64>>,
+    /// Whether any prior run left a synthesis checkpoint (enables the
+    /// incremental read on subsequent scripts).
+    has_checkpoint: Arc<Mutex<bool>>,
+}
+
+impl Ledger {
+    fn new() -> Ledger {
+        Ledger {
+            tool_time: Arc::new(Mutex::new(0.0)),
+            runs: Arc::new(Mutex::new(0)),
+            has_checkpoint: Arc::new(Mutex::new(false)),
+        }
+    }
+}
+
+/// What one tool attempt produced, for the retry layer's bookkeeping.
+struct AttemptReport {
+    result: DovadoResult<Evaluation>,
+    /// Simulated seconds this attempt burned (already charged).
+    tool_time_s: f64,
+    /// Whether the tool answered from an exact checkpoint.
+    cached: bool,
+}
+
+/// Pipeline bottom: one tool session per attempt, scripts in, metrics out.
+#[derive(Clone)]
+struct AttemptLayer {
+    ctx: Arc<FlowContext>,
+    backend: Arc<dyn ToolBackend>,
+    ledger: Ledger,
+}
+
+impl AttemptLayer {
+    fn run(&self, point: &DesignPoint, step: FlowStep, incremental: bool) -> AttemptReport {
+        let mut session = self.backend.open_session();
+        let result = self.run_flow(session.as_mut(), point, step, incremental);
+        let tool_time_s = session.elapsed_s();
+        *self.ledger.tool_time.lock() += tool_time_s;
+        let cached = session.used_exact_checkpoint();
+        if result.is_ok() {
+            *self.ledger.runs.lock() += 1;
+            *self.ledger.has_checkpoint.lock() = true;
+        }
+        AttemptReport {
+            result,
+            tool_time_s,
+            cached,
+        }
+    }
+
+    /// Script generation, tool execution, and report scraping for one
+    /// attempt.
+    fn run_flow(
+        &self,
+        session: &mut (dyn ToolSession + Send),
+        point: &DesignPoint,
+        step: FlowStep,
+        incremental: bool,
+    ) -> DovadoResult<Evaluation> {
+        let config = &self.ctx.config;
+        let boxed = generate_box(&self.ctx.module, point)?;
+
+        // Write user sources + the generated box into the tool filesystem.
+        let mut entries = Vec::new();
+        for (src, &has_packages) in self.ctx.sources.iter().zip(self.ctx.package_flags.iter()) {
+            let path = format!("src/{}", src.name);
+            session.write_file(&path, src.content.clone());
+            entries.push(SourceEntry {
+                path,
+                language: src.language,
+                library: src.library.clone(),
+                has_packages,
+            });
+        }
+        let box_path = format!("src/{}", boxed.file_name);
+        session.write_file(&box_path, boxed.source.clone());
+        entries.push(SourceEntry {
+            path: box_path,
+            language: boxed.language,
+            library: None,
+            has_packages: false,
+        });
+
+        // Incremental flow: reuse the previous synthesis checkpoint when
+        // one exists (Vivado reads it with `read_checkpoint -incremental`).
+        let incremental_line = if incremental && *self.ledger.has_checkpoint.lock() {
+            // The checkpoint file must exist in this session's filesystem.
+            session.write_file("post_synth.dcp", "dcp:incremental-basis".into());
+            "read_checkpoint -incremental post_synth.dcp".to_string()
+        } else {
+            String::new()
+        };
+
+        let synth_script = fill(
+            SYNTH_FRAME,
+            &[
+                ("PROJECT", "dovado"),
+                ("PART", &config.part),
+                ("READ_SOURCES", read_sources_script(&entries).trim_end()),
+                ("TOP", BOX_TOP),
+                ("INCREMENTAL", &incremental_line),
+                ("SYNTH_DIRECTIVE", &config.synth_directive),
+                ("PERIOD", &format!("{:.3}", config.target_period_ns)),
+                ("CLOCK", BOX_CLOCK),
+                ("UTIL_RPT", "util_synth.rpt"),
+                ("TIMING_RPT", "timing_synth.rpt"),
+                ("POWER_RPT", "power_synth.rpt"),
+                ("SYNTH_DCP", "post_synth.dcp"),
+            ],
+        )?;
+        session.eval(&synth_script)?;
+
+        let (util_path, timing_path, power_path) = match step {
+            FlowStep::Synthesis => ("util_synth.rpt", "timing_synth.rpt", "power_synth.rpt"),
+            FlowStep::Implementation => {
+                let impl_script = fill(
+                    IMPL_FRAME,
+                    &[
+                        ("IMPL_DIRECTIVE", &config.impl_directive),
+                        ("UTIL_RPT", "util_impl.rpt"),
+                        ("TIMING_RPT", "timing_impl.rpt"),
+                        ("POWER_RPT", "power_impl.rpt"),
+                        ("IMPL_DCP", "post_route.dcp"),
+                    ],
+                )?;
+                session.eval(&impl_script)?;
+                ("util_impl.rpt", "timing_impl.rpt", "power_impl.rpt")
+            }
+        };
+
+        // Scrape the reports — the same text protocol the real tool uses.
+        // A missing or unparseable report means the tool died mid-write
+        // (with the simulated tool, only injected faults cause this), so
+        // both classify as transient, not as properties of the design.
+        let util_text = session
+            .read_file(util_path)
+            .ok_or_else(|| DovadoError::MissingReport(util_path.to_string()))?;
+        let utilization = report::parse_utilization_report(util_text)
+            .map_err(|e| DovadoError::ReportCorrupt(format!("{util_path}: {e}")))?;
+        let timing_text = session
+            .read_file(timing_path)
+            .ok_or_else(|| DovadoError::MissingReport(timing_path.to_string()))?;
+        let wns_ns = report::parse_wns(timing_text)
+            .map_err(|e| DovadoError::ReportCorrupt(format!("{timing_path}: {e}")))?;
+        let period_ns = report::parse_period(timing_text)
+            .map_err(|e| DovadoError::ReportCorrupt(format!("{timing_path}: {e}")))?;
+        let fmax = fmax_mhz(period_ns, wns_ns)
+            .ok_or_else(|| DovadoError::NonPhysicalTiming(format!("T={period_ns} WNS={wns_ns}")))?;
+        let power_text = session
+            .read_file(power_path)
+            .ok_or_else(|| DovadoError::MissingReport(power_path.to_string()))?;
+        let power_mw = dovado_eda::power::parse_power_mw(power_text).ok_or_else(|| {
+            DovadoError::ReportCorrupt(format!("{power_path}: no total power figure"))
+        })?;
+
+        Ok(Evaluation {
+            utilization,
+            wns_ns,
+            period_ns,
+            fmax_mhz: fmax,
+            power_mw,
+            tool_time_s: session.elapsed_s(),
+        })
+    }
+}
+
+/// The timeout-degradation state machine, per point: after the configured
+/// number of timeouts, remaining attempts fall back from
+/// [`FlowStep::Implementation`] to [`FlowStep::Synthesis`] (post-synth
+/// metrics are optimistic but beat a penalty vector).
+struct DegradePolicy {
+    after: Option<u32>,
+    timeouts: u32,
+}
+
+impl DegradePolicy {
+    fn new(policy: &RetryPolicy) -> DegradePolicy {
+        DegradePolicy {
+            after: policy.degrade_after_timeouts,
+            timeouts: 0,
+        }
+    }
+
+    /// Observes a transient failure and degrades `step` when the timeout
+    /// budget is spent.
+    fn observe(&mut self, err: &DovadoError, step: &mut FlowStep) {
+        if !err.is_timeout() {
+            return;
+        }
+        self.timeouts += 1;
+        if let Some(limit) = self.after {
+            if self.timeouts >= limit && *step == FlowStep::Implementation {
+                *step = FlowStep::Synthesis;
+            }
+        }
+    }
+}
+
+/// Pipeline middle: retry with capped backoff, degradation, checkpoint
+/// fallback, and the per-attempt trace.
+#[derive(Clone)]
+struct RetryLayer {
+    trace: FlowTrace,
+    ledger: Ledger,
+    next: AttemptLayer,
+}
+
+impl RetryLayer {
+    fn evaluate(&self, point: &DesignPoint, label: &str) -> DovadoResult<Evaluation> {
+        let config = &self.next.ctx.config;
+        let policy = &config.retry;
+        let max_attempts = policy.max_attempts.max(1);
+        let mut step = config.step;
+        let mut incremental = config.incremental;
+        let mut degrade = DegradePolicy::new(policy);
+        let mut last_err: Option<DovadoError> = None;
+
+        for attempt in 1..=max_attempts {
+            // The step/incremental the attempt actually ran with — the
+            // loop may change them below for the *next* attempt.
+            let (used_step, used_incremental) = (step, incremental);
+            let report = self.next.run(point, step, incremental);
+            match report.result {
+                Ok(evaluation) => {
+                    self.trace.push(FlowEvent {
+                        point: label.to_string(),
+                        attempt,
+                        step: used_step,
+                        outcome: AttemptOutcome::Success,
+                        tool_time_s: report.tool_time_s,
+                        backoff_s: 0.0,
+                        incremental: used_incremental,
+                        cached: report.cached,
+                    });
+                    return Ok(evaluation);
+                }
+                Err(e) if e.is_transient() && attempt < max_attempts => {
+                    degrade.observe(&e, &mut step);
+                    if matches!(&e, DovadoError::Eda(EdaError::Checkpoint(_))) {
+                        // The incremental basis is suspect — rebuild from
+                        // scratch on the remaining attempts.
+                        incremental = false;
+                        *self.ledger.has_checkpoint.lock() = false;
+                    }
+                    let backoff = policy.backoff_s(attempt);
+                    *self.ledger.tool_time.lock() += backoff;
+                    self.trace.push(FlowEvent {
+                        point: label.to_string(),
+                        attempt,
+                        step: used_step,
+                        outcome: AttemptOutcome::TransientFailure(e.to_string()),
+                        tool_time_s: report.tool_time_s,
+                        backoff_s: backoff,
+                        incremental: used_incremental,
+                        cached: false,
+                    });
+                    last_err = Some(e);
+                }
+                Err(e) => {
+                    let outcome = if e.is_transient() {
+                        AttemptOutcome::TransientFailure(e.to_string())
+                    } else {
+                        AttemptOutcome::PermanentFailure(e.to_string())
+                    };
+                    self.trace.push(FlowEvent {
+                        point: label.to_string(),
+                        attempt,
+                        step: used_step,
+                        outcome,
+                        tool_time_s: report.tool_time_s,
+                        backoff_s: 0.0,
+                        incremental: used_incremental,
+                        cached: false,
+                    });
+                    return if e.is_transient() {
+                        Err(DovadoError::RetriesExhausted {
+                            attempts: attempt,
+                            last: Box::new(e),
+                        })
+                    } else {
+                        Err(e)
+                    };
+                }
+            }
+        }
+        // Unreachable: the final attempt either returned Ok or Err above.
+        Err(DovadoError::RetriesExhausted {
+            attempts: max_attempts,
+            last: Box::new(last_err.expect("loop ran at least once")),
+        })
+    }
+}
+
+/// Pipeline top: persistent-store lookup and commit.
+#[derive(Clone)]
+struct StoreLayer {
+    /// Persistent evaluation store plus the engine's base key (sources +
+    /// top + config + backend); `None` = always run the tool.
+    store: Option<(EvalStore, EvalKey)>,
+    trace: FlowTrace,
+    next: RetryLayer,
+}
+
+impl StoreLayer {
+    fn evaluate(&self, point: &DesignPoint) -> DovadoResult<Evaluation> {
+        let label = point.as_assignments();
+
+        // A hit is a bitwise substitute for the tool run (evaluations are
+        // pure functions of point + config + backend), so it returns
+        // before any attempt is made or time is charged. An undecodable
+        // entry reads as a miss and is overwritten below.
+        let store_key = self
+            .store
+            .as_ref()
+            .map(|(store, base)| (store, base.extend(&[&label])));
+        if let Some((store, key)) = &store_key {
+            if let Some(eval) = store
+                .get(key)
+                .and_then(|payload| crate::persist::decode_evaluation(&payload))
+            {
+                self.trace.record_store_hit();
+                return Ok(eval);
+            }
+        }
+        let evaluation = self.next.evaluate(point, &label)?;
+        if let Some((store, key)) = &store_key {
+            // Best-effort: a failed write only costs a future re-run,
+            // never a wrong answer. Failures are never stored.
+            let _ = store.put(key, &crate::persist::encode_evaluation(&evaluation));
+        }
+        Ok(evaluation)
+    }
+}
+
+/// The engine: the layered pipeline plus its shared context and ledgers.
+///
+/// Cheap to clone and thread-safe — clones share the trace, the time/run
+/// ledgers, the backend (and with it the tool-level checkpoint store and
+/// fault stream), and the attached persistent store.
+#[derive(Clone)]
+pub struct EvalEngine {
+    pipeline: StoreLayer,
+}
+
+impl EvalEngine {
+    /// Parses the sources, locates `top_module`, and builds an engine on
+    /// the default simulator backend (seeded and fault-injected per the
+    /// config).
+    pub fn new(
+        sources: Vec<HdlSource>,
+        top_module: &str,
+        config: EvalConfig,
+    ) -> DovadoResult<EvalEngine> {
+        let backend = Arc::new(SimBackend::with_faults(config.seed, config.faults.clone()));
+        EvalEngine::with_backend(sources, top_module, config, backend)
+    }
+
+    /// Like [`EvalEngine::new`], but evaluating through the given backend.
+    /// The config's fault plan is ignored in favor of the backend's own
+    /// injector (the backend owns the fault stream).
+    pub fn with_backend(
+        sources: Vec<HdlSource>,
+        top_module: &str,
+        config: EvalConfig,
+        backend: Arc<dyn ToolBackend>,
+    ) -> DovadoResult<EvalEngine> {
+        let mut found: Option<ModuleInterface> = None;
+        let mut package_flags = Vec::with_capacity(sources.len());
+        for src in &sources {
+            let (file, diags) = dovado_hdl::parse_source(src.language, &src.content)
+                .map_err(|e| DovadoError::Parse(format!("{}: {e}", src.name)))?;
+            if diags.has_errors() {
+                return Err(DovadoError::Parse(format!(
+                    "{}: {}",
+                    src.name,
+                    diags
+                        .iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                )));
+            }
+            package_flags.push(!file.packages.is_empty());
+            if let Some(m) = file.module(top_module) {
+                found = Some(m.clone());
+            }
+        }
+        let module = found.ok_or_else(|| DovadoError::UnknownModule(top_module.to_string()))?;
+        if config.target_period_ns <= 0.0 {
+            return Err(DovadoError::Config(format!(
+                "target period {} must be positive",
+                config.target_period_ns
+            )));
+        }
+        let ctx = Arc::new(FlowContext {
+            sources: Arc::new(sources),
+            package_flags: Arc::new(package_flags),
+            module: Arc::new(module),
+            config,
+        });
+        let ledger = Ledger::new();
+        let trace = FlowTrace::new();
+        Ok(EvalEngine {
+            pipeline: StoreLayer {
+                store: None,
+                trace: trace.clone(),
+                next: RetryLayer {
+                    trace,
+                    ledger: ledger.clone(),
+                    next: AttemptLayer {
+                        ctx,
+                        backend,
+                        ledger,
+                    },
+                },
+            },
+        })
+    }
+
+    /// Attaches a persistent evaluation store as the pipeline's outermost
+    /// layer. Subsequent evaluations first look up the point's
+    /// content-addressed key — a hit returns the stored metrics bitwise,
+    /// with zero tool runs, zero attempts and zero simulated time; a
+    /// fresh success is written back. The key covers the sources, top
+    /// module, full [`EvalConfig`] and the backend name, so any input
+    /// change invalidates the store automatically.
+    pub fn attach_store(&mut self, store: EvalStore) {
+        let base = self.content_key();
+        self.pipeline.store = Some((store, base));
+    }
+
+    /// The engine's 128-bit content identity: a stable hash of the
+    /// sources, top module, full [`EvalConfig`] and backend name. Store
+    /// keys and the journal fingerprint both build on it.
+    pub fn content_key(&self) -> EvalKey {
+        let ctx = &self.pipeline.next.next.ctx;
+        crate::persist::evaluator_key(
+            &ctx.sources,
+            &ctx.module.name,
+            &ctx.config,
+            self.backend_name(),
+        )
+    }
+
+    /// The backend's stable identifier.
+    pub fn backend_name(&self) -> &str {
+        self.pipeline.next.next.backend.name()
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&EvalStore> {
+        self.pipeline.store.as_ref().map(|(s, _)| s)
+    }
+
+    /// The backend's shared fault injector, if fault injection is active.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.pipeline.next.next.backend.injector()
+    }
+
+    /// Charges simulated seconds straight to the tool-time ledger.
+    /// Resume uses this to re-account the journaled spend so soft-
+    /// deadline budgets see the whole run, not just the current process.
+    pub fn charge_time(&self, seconds: f64) {
+        *self.pipeline.next.ledger.tool_time.lock() += seconds;
+    }
+
+    /// The parsed interface of the module under evaluation.
+    pub fn module(&self) -> &ModuleInterface {
+        &self.pipeline.next.next.ctx.module
+    }
+
+    /// The evaluation configuration.
+    pub fn config(&self) -> &EvalConfig {
+        &self.pipeline.next.next.ctx.config
+    }
+
+    /// Cumulative simulated tool seconds, including failed attempts and
+    /// retry backoff.
+    pub fn total_tool_time(&self) -> f64 {
+        *self.pipeline.next.ledger.tool_time.lock()
+    }
+
+    /// Number of successful tool invocations so far.
+    pub fn total_runs(&self) -> u64 {
+        *self.pipeline.next.ledger.runs.lock()
+    }
+
+    /// Snapshot of the per-attempt event log (oldest first).
+    pub fn events(&self) -> Vec<FlowEvent> {
+        self.pipeline.trace.events()
+    }
+
+    /// Whole-run trace counters (attempts, retries, failures by class,
+    /// cache hits, backoff charged).
+    pub fn trace_summary(&self) -> TraceSummary {
+        self.pipeline.trace.summary()
+    }
+
+    /// Evaluates one design point through the full pipeline.
+    pub fn evaluate(&self, point: &DesignPoint) -> DovadoResult<Evaluation> {
+        self.pipeline.evaluate(point)
+    }
+
+    /// Evaluates many points per `schedule` (each evaluation runs its own
+    /// tool session; the backend's checkpoint store is shared, matching
+    /// how Dovado parallelizes real Vivado runs). Results come back in
+    /// input order either way.
+    pub fn evaluate_many(
+        &self,
+        points: &[DesignPoint],
+        schedule: Schedule,
+    ) -> Vec<DovadoResult<Evaluation>> {
+        match schedule {
+            Schedule::Parallel => {
+                use rayon::prelude::*;
+                points.par_iter().map(|p| self.evaluate(p)).collect()
+            }
+            Schedule::Serial => points.iter().map(|p| self.evaluate(p)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MockBackend;
+    use dovado_hdl::Language;
+
+    const FIFO_SV: &str = "module fifo_v3 #(parameter DEPTH = 8)\
+                           (input logic clk_i); endmodule";
+
+    fn sources() -> Vec<HdlSource> {
+        vec![HdlSource::new("fifo.sv", Language::SystemVerilog, FIFO_SV)]
+    }
+
+    #[test]
+    fn jobs_zero_is_a_config_error_not_a_panic() {
+        assert!(matches!(validate_jobs(0), Err(DovadoError::Config(_))));
+        assert_eq!(validate_jobs(1).unwrap(), 1);
+        assert_eq!(validate_jobs(64).unwrap(), 64);
+    }
+
+    #[test]
+    fn schedule_maps_the_parallel_flag() {
+        assert_eq!(Schedule::from_parallel_flag(false), Schedule::Serial);
+        assert_eq!(Schedule::from_parallel_flag(true), Schedule::Parallel);
+    }
+
+    #[test]
+    fn engine_runs_on_a_mock_backend() {
+        let engine = EvalEngine::with_backend(
+            sources(),
+            "fifo_v3",
+            EvalConfig::default(),
+            Arc::new(MockBackend::new(5)),
+        )
+        .unwrap();
+        let p = DesignPoint::from_pairs(&[("DEPTH", 64)]);
+        let a = engine.evaluate(&p).unwrap();
+        let b = engine.evaluate(&p).unwrap();
+        assert_eq!(a.wns_ns.to_bits(), b.wns_ns.to_bits());
+        assert!(a.fmax_mhz > 0.0 && a.power_mw > 0.0);
+        assert_eq!(engine.backend_name(), "mock");
+        assert_eq!(engine.total_runs(), 2);
+    }
+
+    #[test]
+    fn backend_name_separates_content_keys() {
+        let sim = EvalEngine::new(sources(), "fifo_v3", EvalConfig::default()).unwrap();
+        let mock = EvalEngine::with_backend(
+            sources(),
+            "fifo_v3",
+            EvalConfig::default(),
+            Arc::new(MockBackend::new(5)),
+        )
+        .unwrap();
+        assert_ne!(sim.content_key(), mock.content_key());
+    }
+}

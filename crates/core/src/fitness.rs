@@ -17,7 +17,7 @@
 use crate::dse::SurrogateConfig;
 use crate::error::{DovadoResult, ErrorClass};
 use crate::flow::Evaluator;
-use crate::metrics::MetricSet;
+use crate::metrics::{Evaluation, MetricSet};
 use crate::point::DesignPoint;
 use crate::space::ParameterSpace;
 use dovado_moo::ops::unique_in_batch;
@@ -135,12 +135,18 @@ impl DseProblem {
                     cfg.pretrain_samples,
                     &mut rng,
                 );
+                // Dispatch every sample once, through the same batch path
+                // the optimizer uses (the paper's synthetic dataset counts
+                // M distinct *calls to Vivado*, so repeated random samples
+                // are not deduplicated here).
+                let all: Vec<usize> = (0..genomes.len()).collect();
+                let results = problem.dispatch_unique(&genomes, &all);
                 let mut pairs = Vec::with_capacity(genomes.len());
-                for g in genomes {
+                for (g, values) in genomes.into_iter().zip(results) {
                     // Only genuine evaluations enter the pretrain dataset;
                     // a failed sample must not teach the model its penalty
                     // vector as if it were a measurement.
-                    if let Some(values) = problem.tool_evaluate_checked(&g) {
+                    if let Some(values) = values {
                         pairs.push((g, values));
                     }
                 }
@@ -200,36 +206,22 @@ impl DseProblem {
         &self.evaluator
     }
 
-    /// Runs the tool for a genome, returning metric values (penalty vector
-    /// on failure).
-    fn tool_evaluate(&mut self, genome: &[i64]) -> Vec<f64> {
-        self.tool_evaluate_checked(genome)
-            .unwrap_or_else(|| self.penalty.clone())
+    /// Canonical conversion from a measured [`Evaluation`] to the
+    /// objective vector NSGA-II sees. Every path that answers with a
+    /// genuine measurement — single genomes, tool-only batches, the
+    /// surrogate pipeline, pretraining — converts through this one
+    /// helper, so a measurement maps to the same vector no matter which
+    /// path ran the tool.
+    fn objectives_of(&self, eval: &Evaluation) -> Vec<f64> {
+        self.metrics.extract(eval)
     }
 
-    /// Runs the tool for a genome; `None` means the evaluation failed and
-    /// the caller must decide how to penalize — the distinction matters
-    /// because penalty vectors are *not* measurements and must never be
-    /// recorded into the surrogate dataset.
-    fn tool_evaluate_checked(&mut self, genome: &[i64]) -> Option<Vec<f64>> {
-        let point = match self.space.decode(genome) {
-            Ok(p) => p,
-            Err(_) => {
-                self.stats.count_failure(ErrorClass::Permanent);
-                return None;
-            }
-        };
-        let result = self.evaluator.evaluate(&point);
-        match result {
-            Ok(eval) => {
-                self.stats.tool_runs += 1;
-                Some(self.metrics.extract(&eval))
-            }
-            Err(e) => {
-                self.stats.count_failure(e.class());
-                None
-            }
-        }
+    /// Canonical penalty fill: a failed slot (`None`) becomes the penalty
+    /// vector, a measurement passes through unchanged. All paths penalize
+    /// through here so undecodable genomes, infeasible designs and
+    /// exhausted retries are indistinguishable to the optimizer.
+    fn penalized(&self, values: Option<Vec<f64>>) -> Vec<f64> {
+        values.unwrap_or_else(|| self.penalty.clone())
     }
 
     /// Mirrors the evaluator's retry counter into the stats. Called at the
@@ -272,7 +264,7 @@ impl DseProblem {
                 Ok(_) => match results.next().expect("one result per decoded point") {
                     Ok(eval) => {
                         self.stats.tool_runs += 1;
-                        Some(self.metrics.extract(&eval))
+                        Some(self.objectives_of(&eval))
                     }
                     Err(e) => {
                         self.stats.count_failure(e.class());
@@ -292,11 +284,7 @@ impl DseProblem {
         let (unique, back) = unique_in_batch(genomes);
         let unique_results = self.dispatch_unique(genomes, &unique);
         back.iter()
-            .map(|&k| {
-                unique_results[k]
-                    .clone()
-                    .unwrap_or_else(|| self.penalty.clone())
-            })
+            .map(|&k| self.penalized(unique_results[k].clone()))
             .collect()
     }
 
@@ -365,9 +353,7 @@ impl DseProblem {
                     }
                     let k = back[t];
                     t += 1;
-                    unique_results[k]
-                        .clone()
-                        .unwrap_or_else(|| self.penalty.clone())
+                    self.penalized(unique_results[k].clone())
                 }
             })
             .collect()
@@ -383,10 +369,12 @@ impl Problem for DseProblem {
         &self.objectives
     }
 
+    /// A single genome is a one-element batch: the same staged pipeline
+    /// (decide → evaluate → record) answers it, so there is exactly one
+    /// evaluation path regardless of how the optimizer asks.
     fn evaluate(&mut self, genome: &[i64]) -> Vec<f64> {
-        let out = self.evaluate_one(genome);
-        self.sync_retries();
-        out
+        let mut out = self.evaluate_batch(&[genome.to_vec()]);
+        out.pop().expect("one output per genome")
     }
 
     fn evaluate_batch(&mut self, genomes: &[Vec<i64>]) -> Vec<Vec<f64>> {
@@ -401,48 +389,6 @@ impl Problem for DseProblem {
 
     fn external_cost(&self) -> f64 {
         self.evaluator.total_tool_time()
-    }
-}
-
-impl DseProblem {
-    /// The per-genome control model (paper §III-C): used by
-    /// [`Problem::evaluate`]; batches go through the staged pipeline
-    /// instead.
-    fn evaluate_one(&mut self, genome: &[i64]) -> Vec<f64> {
-        if self.surrogate.is_some() {
-            let decision = self.surrogate.as_mut().expect("checked").decide(genome);
-            match decision {
-                Decision::Cached(_) => {
-                    // Paper case 1: the tool is called; its checkpoint cache
-                    // answers cheaply and exactly.
-                    self.stats.cached_runs += 1;
-                    self.tool_evaluate(genome)
-                }
-                Decision::Estimate(values) => {
-                    self.stats.estimates += 1;
-                    values
-                }
-                Decision::Evaluate => {
-                    // Record only genuine evaluations. A failed run's
-                    // penalty vector is a sentinel for the optimizer, not a
-                    // truth about the design — recording it would poison
-                    // the Nadaraya-Watson estimates for every neighboring
-                    // point.
-                    match self.tool_evaluate_checked(genome) {
-                        Some(values) => {
-                            self.surrogate
-                                .as_mut()
-                                .expect("checked")
-                                .record(genome.to_vec(), values.clone());
-                            values
-                        }
-                        None => self.penalty.clone(),
-                    }
-                }
-            }
-        } else {
-            self.tool_evaluate(genome)
-        }
     }
 }
 

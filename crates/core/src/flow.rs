@@ -7,17 +7,14 @@
 //! incremental flow and soft-deadline accounting work across parallel
 //! evaluations.
 
-use crate::boxing::{generate_box, BOX_CLOCK, BOX_TOP};
-use crate::error::{DovadoError, DovadoResult};
-use crate::frames::{fill, read_sources_script, SourceEntry, IMPL_FRAME, SYNTH_FRAME};
-use crate::metrics::{fmax_mhz, Evaluation};
+use crate::backend::ToolBackend;
+use crate::engine::{EvalEngine, Schedule};
+use crate::error::DovadoResult;
+use crate::metrics::Evaluation;
 use crate::point::DesignPoint;
-use crate::trace::{AttemptOutcome, FlowEvent, FlowTrace, TraceSummary};
-use dovado_eda::{
-    report, CheckpointStore, EdaError, EvalKey, EvalStore, FaultInjector, FaultPlan, VivadoSim,
-};
+use crate::trace::{FlowEvent, TraceSummary};
+use dovado_eda::{EvalKey, EvalStore, FaultInjector, FaultPlan};
 use dovado_hdl::{Language, ModuleInterface};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// One HDL source handed to Dovado.
@@ -149,441 +146,148 @@ impl Default for EvalConfig {
     }
 }
 
-/// The design-automation evaluator.
+/// The design-automation evaluator: the stable public face of the
+/// [`EvalEngine`] pipeline (store lookup → retry/backoff → degradation →
+/// trace accounting → tool attempt).
+///
+/// Cheap to clone and thread-safe — clones share the engine's trace,
+/// ledgers, backend and store, so the incremental flow and soft-deadline
+/// accounting work across parallel evaluations.
 #[derive(Clone)]
 pub struct Evaluator {
-    sources: Arc<Vec<HdlSource>>,
-    /// Per-source "declares a package" flags, from the parsed AST (same
-    /// order as `sources`).
-    package_flags: Arc<Vec<bool>>,
-    module: Arc<ModuleInterface>,
-    config: EvalConfig,
-    store: CheckpointStore,
-    /// Fault injector shared by every tool session this evaluator spawns
-    /// (one deterministic fault stream per run); `None` = clean runs.
-    injector: Option<FaultInjector>,
-    /// Per-attempt event log.
-    trace: FlowTrace,
-    /// Cumulative simulated tool seconds across all evaluations,
-    /// including failed attempts and retry backoff.
-    tool_time: Arc<Mutex<f64>>,
-    /// Number of successful tool invocations.
-    runs: Arc<Mutex<u64>>,
-    /// Whether any prior run left a synthesis checkpoint (enables the
-    /// incremental read on subsequent scripts).
-    has_checkpoint: Arc<Mutex<bool>>,
-    /// Persistent evaluation store plus this evaluator's base key
-    /// (sources + top + config); `None` = always run the tool.
-    eval_store: Option<(EvalStore, EvalKey)>,
+    engine: EvalEngine,
 }
 
 impl Evaluator {
-    /// Parses the sources, locates `top_module`, and builds an evaluator.
+    /// Parses the sources, locates `top_module`, and builds an evaluator
+    /// on the default simulator backend.
     pub fn new(
         sources: Vec<HdlSource>,
         top_module: &str,
         config: EvalConfig,
     ) -> DovadoResult<Evaluator> {
-        let mut found: Option<ModuleInterface> = None;
-        let mut package_flags = Vec::with_capacity(sources.len());
-        for src in &sources {
-            let (file, diags) = dovado_hdl::parse_source(src.language, &src.content)
-                .map_err(|e| DovadoError::Parse(format!("{}: {e}", src.name)))?;
-            if diags.has_errors() {
-                return Err(DovadoError::Parse(format!(
-                    "{}: {}",
-                    src.name,
-                    diags
-                        .iter()
-                        .map(|d| d.to_string())
-                        .collect::<Vec<_>>()
-                        .join("; ")
-                )));
-            }
-            package_flags.push(!file.packages.is_empty());
-            if let Some(m) = file.module(top_module) {
-                found = Some(m.clone());
-            }
-        }
-        let module = found.ok_or_else(|| DovadoError::UnknownModule(top_module.to_string()))?;
-        if config.target_period_ns <= 0.0 {
-            return Err(DovadoError::Config(format!(
-                "target period {} must be positive",
-                config.target_period_ns
-            )));
-        }
-        let injector = config
-            .faults
-            .is_active()
-            .then(|| FaultInjector::new(config.faults.clone()));
         Ok(Evaluator {
-            sources: Arc::new(sources),
-            package_flags: Arc::new(package_flags),
-            module: Arc::new(module),
-            config,
-            store: CheckpointStore::new(),
-            injector,
-            trace: FlowTrace::new(),
-            tool_time: Arc::new(Mutex::new(0.0)),
-            runs: Arc::new(Mutex::new(0)),
-            has_checkpoint: Arc::new(Mutex::new(false)),
-            eval_store: None,
+            engine: EvalEngine::new(sources, top_module, config)?,
         })
+    }
+
+    /// Like [`Evaluator::new`], but evaluating through the given tool
+    /// backend instead of the default simulator.
+    pub fn with_backend(
+        sources: Vec<HdlSource>,
+        top_module: &str,
+        config: EvalConfig,
+        backend: Arc<dyn ToolBackend>,
+    ) -> DovadoResult<Evaluator> {
+        Ok(Evaluator {
+            engine: EvalEngine::with_backend(sources, top_module, config, backend)?,
+        })
+    }
+
+    /// The underlying evaluation engine.
+    pub fn engine(&self) -> &EvalEngine {
+        &self.engine
     }
 
     /// Attaches a persistent evaluation store. Subsequent evaluations
     /// first look up the point's content-addressed key — a hit returns
     /// the stored metrics bitwise, with zero tool runs, zero attempts
     /// and zero simulated time; a fresh success is written back. The key
-    /// covers the sources, top module and full [`EvalConfig`], so any
-    /// input change invalidates the store automatically.
+    /// covers the sources, top module, full [`EvalConfig`] and backend,
+    /// so any input change invalidates the store automatically.
     pub fn attach_store(&mut self, store: EvalStore) {
-        let base = self.content_key();
-        self.eval_store = Some((store, base));
+        self.engine.attach_store(store);
     }
 
     /// The evaluator's 128-bit content identity: a stable hash of the
-    /// sources, top module and full [`EvalConfig`]. Store keys and the
-    /// journal fingerprint both build on it.
+    /// sources, top module, full [`EvalConfig`] and backend name. Store
+    /// keys and the journal fingerprint both build on it.
     pub fn content_key(&self) -> EvalKey {
-        crate::persist::evaluator_key(&self.sources, &self.module.name, &self.config)
+        self.engine.content_key()
     }
 
     /// The attached persistent store, if any.
     pub fn store(&self) -> Option<&EvalStore> {
-        self.eval_store.as_ref().map(|(s, _)| s)
+        self.engine.store()
     }
 
     /// The shared fault injector, if fault injection is active.
     pub fn injector(&self) -> Option<&FaultInjector> {
-        self.injector.as_ref()
+        self.engine.injector()
     }
 
     /// Charges simulated seconds straight to the tool-time ledger.
     /// Resume uses this to re-account the journaled spend so soft-
     /// deadline budgets see the whole run, not just the current process.
     pub fn charge_time(&self, seconds: f64) {
-        *self.tool_time.lock() += seconds;
+        self.engine.charge_time(seconds);
     }
 
     /// The parsed interface of the module under evaluation.
     pub fn module(&self) -> &ModuleInterface {
-        &self.module
+        self.engine.module()
     }
 
     /// The evaluation configuration.
     pub fn config(&self) -> &EvalConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// Cumulative simulated tool seconds, including failed attempts and
     /// retry backoff.
     pub fn total_tool_time(&self) -> f64 {
-        *self.tool_time.lock()
+        self.engine.total_tool_time()
     }
 
     /// Number of successful tool invocations so far.
     pub fn total_runs(&self) -> u64 {
-        *self.runs.lock()
+        self.engine.total_runs()
     }
 
     /// Snapshot of the per-attempt event log (oldest first).
     pub fn events(&self) -> Vec<FlowEvent> {
-        self.trace.events()
+        self.engine.events()
     }
 
     /// Whole-run trace counters (attempts, retries, failures by class,
     /// cache hits, backoff charged).
     pub fn trace_summary(&self) -> TraceSummary {
-        self.trace.summary()
+        self.engine.trace_summary()
     }
 
-    /// Evaluates one design point end-to-end, retrying transient tool
-    /// failures per the configured [`RetryPolicy`].
+    /// Evaluates one design point end-to-end through the engine pipeline,
+    /// retrying transient tool failures per the configured
+    /// [`RetryPolicy`].
     ///
     /// Permanent failures (infeasible design, parse error) return
     /// immediately. Transient failures (crash, timeout, corrupt report or
     /// checkpoint) back off — charged to the simulated-time ledger — and
     /// retry up to `max_attempts`; exhaustion surfaces as
-    /// [`DovadoError::RetriesExhausted`], never as fabricated metrics.
+    /// [`crate::DovadoError::RetriesExhausted`], never as fabricated
+    /// metrics.
     pub fn evaluate(&self, point: &DesignPoint) -> DovadoResult<Evaluation> {
-        let policy = self.config.retry.clone();
-        let max_attempts = policy.max_attempts.max(1);
-        let label = point.as_assignments();
-
-        // Persistent store: a hit is a bitwise substitute for the tool
-        // run (evaluations are pure functions of point + config), so it
-        // returns before any attempt is made or time is charged. An
-        // undecodable entry reads as a miss and is overwritten below.
-        let store_key = self
-            .eval_store
-            .as_ref()
-            .map(|(store, base)| (store, base.extend(&[&label])));
-        if let Some((store, key)) = &store_key {
-            if let Some(eval) = store
-                .get(key)
-                .and_then(|payload| crate::persist::decode_evaluation(&payload))
-            {
-                self.trace.record_store_hit();
-                return Ok(eval);
-            }
-        }
-        let mut step = self.config.step;
-        let mut incremental = self.config.incremental;
-        let mut timeouts = 0u32;
-        let mut last_err: Option<DovadoError> = None;
-
-        for attempt in 1..=max_attempts {
-            // The step/incremental the attempt actually ran with — the
-            // loop may change them below for the *next* attempt.
-            let (used_step, used_incremental) = (step, incremental);
-            let (result, attempt_time, cached) = self.evaluate_once(point, step, incremental);
-            match result {
-                Ok(evaluation) => {
-                    self.trace.push(FlowEvent {
-                        point: label,
-                        attempt,
-                        step: used_step,
-                        outcome: AttemptOutcome::Success,
-                        tool_time_s: attempt_time,
-                        backoff_s: 0.0,
-                        incremental: used_incremental,
-                        cached,
-                    });
-                    if let Some((store, key)) = &store_key {
-                        // Best-effort: a failed write only costs a
-                        // future re-run, never a wrong answer.
-                        let _ = store.put(key, &crate::persist::encode_evaluation(&evaluation));
-                    }
-                    return Ok(evaluation);
-                }
-                Err(e) if e.is_transient() && attempt < max_attempts => {
-                    if e.is_timeout() {
-                        timeouts += 1;
-                        if let Some(limit) = policy.degrade_after_timeouts {
-                            if timeouts >= limit && step == FlowStep::Implementation {
-                                step = FlowStep::Synthesis;
-                            }
-                        }
-                    }
-                    if matches!(&e, DovadoError::Eda(EdaError::Checkpoint(_))) {
-                        // The incremental basis is suspect — rebuild from
-                        // scratch on the remaining attempts.
-                        incremental = false;
-                        *self.has_checkpoint.lock() = false;
-                    }
-                    let backoff = policy.backoff_s(attempt);
-                    *self.tool_time.lock() += backoff;
-                    self.trace.push(FlowEvent {
-                        point: label.clone(),
-                        attempt,
-                        step: used_step,
-                        outcome: AttemptOutcome::TransientFailure(e.to_string()),
-                        tool_time_s: attempt_time,
-                        backoff_s: backoff,
-                        incremental: used_incremental,
-                        cached: false,
-                    });
-                    last_err = Some(e);
-                }
-                Err(e) => {
-                    let outcome = if e.is_transient() {
-                        AttemptOutcome::TransientFailure(e.to_string())
-                    } else {
-                        AttemptOutcome::PermanentFailure(e.to_string())
-                    };
-                    self.trace.push(FlowEvent {
-                        point: label,
-                        attempt,
-                        step: used_step,
-                        outcome,
-                        tool_time_s: attempt_time,
-                        backoff_s: 0.0,
-                        incremental: used_incremental,
-                        cached: false,
-                    });
-                    return if e.is_transient() {
-                        Err(DovadoError::RetriesExhausted {
-                            attempts: attempt,
-                            last: Box::new(e),
-                        })
-                    } else {
-                        Err(e)
-                    };
-                }
-            }
-        }
-        // Unreachable: the final attempt either returned Ok or Err above.
-        Err(DovadoError::RetriesExhausted {
-            attempts: max_attempts,
-            last: Box::new(last_err.expect("loop ran at least once")),
-        })
-    }
-
-    /// One tool invocation. Returns the outcome plus the simulated time
-    /// this attempt burned (already charged to the ledger — failures cost
-    /// real tool time too) and whether it was served from an exact
-    /// checkpoint.
-    fn evaluate_once(
-        &self,
-        point: &DesignPoint,
-        step: FlowStep,
-        incremental: bool,
-    ) -> (DovadoResult<Evaluation>, f64, bool) {
-        let mut sim = VivadoSim::new(self.config.seed);
-        sim.set_checkpoint_store(self.store.clone());
-        if let Some(injector) = &self.injector {
-            sim.set_fault_injector(injector.clone());
-        }
-
-        let result = self.run_flow(&mut sim, point, step, incremental);
-        let attempt_time = sim.sim_time_s;
-        *self.tool_time.lock() += attempt_time;
-        let cached = sim
-            .journal
-            .iter()
-            .any(|l| l.contains("exact checkpoint reuse"));
-        if result.is_ok() {
-            *self.runs.lock() += 1;
-            *self.has_checkpoint.lock() = true;
-        }
-        (result, attempt_time, cached)
-    }
-
-    /// Script generation, tool execution, and report scraping for one
-    /// attempt.
-    fn run_flow(
-        &self,
-        sim: &mut VivadoSim,
-        point: &DesignPoint,
-        step: FlowStep,
-        incremental: bool,
-    ) -> DovadoResult<Evaluation> {
-        let boxed = generate_box(&self.module, point)?;
-
-        // Write user sources + the generated box into the tool filesystem.
-        let mut entries = Vec::new();
-        for (src, &has_packages) in self.sources.iter().zip(self.package_flags.iter()) {
-            let path = format!("src/{}", src.name);
-            sim.write_file(&path, src.content.clone());
-            entries.push(SourceEntry {
-                path,
-                language: src.language,
-                library: src.library.clone(),
-                has_packages,
-            });
-        }
-        let box_path = format!("src/{}", boxed.file_name);
-        sim.write_file(&box_path, boxed.source.clone());
-        entries.push(SourceEntry {
-            path: box_path,
-            language: boxed.language,
-            library: None,
-            has_packages: false,
-        });
-
-        // Incremental flow: reuse the previous synthesis checkpoint when
-        // one exists (Vivado reads it with `read_checkpoint -incremental`).
-        let incremental_line = if incremental && *self.has_checkpoint.lock() {
-            // The checkpoint file must exist in this session's filesystem.
-            sim.write_file("post_synth.dcp", "dcp:incremental-basis");
-            "read_checkpoint -incremental post_synth.dcp".to_string()
-        } else {
-            String::new()
-        };
-
-        let synth_script = fill(
-            SYNTH_FRAME,
-            &[
-                ("PROJECT", "dovado"),
-                ("PART", &self.config.part),
-                ("READ_SOURCES", read_sources_script(&entries).trim_end()),
-                ("TOP", BOX_TOP),
-                ("INCREMENTAL", &incremental_line),
-                ("SYNTH_DIRECTIVE", &self.config.synth_directive),
-                ("PERIOD", &format!("{:.3}", self.config.target_period_ns)),
-                ("CLOCK", BOX_CLOCK),
-                ("UTIL_RPT", "util_synth.rpt"),
-                ("TIMING_RPT", "timing_synth.rpt"),
-                ("POWER_RPT", "power_synth.rpt"),
-                ("SYNTH_DCP", "post_synth.dcp"),
-            ],
-        )?;
-        sim.eval(&synth_script)?;
-
-        let (util_path, timing_path, power_path) = match step {
-            FlowStep::Synthesis => ("util_synth.rpt", "timing_synth.rpt", "power_synth.rpt"),
-            FlowStep::Implementation => {
-                let impl_script = fill(
-                    IMPL_FRAME,
-                    &[
-                        ("IMPL_DIRECTIVE", &self.config.impl_directive),
-                        ("UTIL_RPT", "util_impl.rpt"),
-                        ("TIMING_RPT", "timing_impl.rpt"),
-                        ("POWER_RPT", "power_impl.rpt"),
-                        ("IMPL_DCP", "post_route.dcp"),
-                    ],
-                )?;
-                sim.eval(&impl_script)?;
-                ("util_impl.rpt", "timing_impl.rpt", "power_impl.rpt")
-            }
-        };
-
-        // Scrape the reports — the same text protocol the real tool uses.
-        // A missing or unparseable report means the tool died mid-write
-        // (with the simulated tool, only injected faults cause this), so
-        // both classify as transient, not as properties of the design.
-        let util_text = sim
-            .read_file(util_path)
-            .ok_or_else(|| DovadoError::MissingReport(util_path.to_string()))?;
-        let utilization = report::parse_utilization_report(util_text)
-            .map_err(|e| DovadoError::ReportCorrupt(format!("{util_path}: {e}")))?;
-        let timing_text = sim
-            .read_file(timing_path)
-            .ok_or_else(|| DovadoError::MissingReport(timing_path.to_string()))?;
-        let wns_ns = report::parse_wns(timing_text)
-            .map_err(|e| DovadoError::ReportCorrupt(format!("{timing_path}: {e}")))?;
-        let period_ns = report::parse_period(timing_text)
-            .map_err(|e| DovadoError::ReportCorrupt(format!("{timing_path}: {e}")))?;
-        let fmax = fmax_mhz(period_ns, wns_ns)
-            .ok_or_else(|| DovadoError::NonPhysicalTiming(format!("T={period_ns} WNS={wns_ns}")))?;
-        let power_text = sim
-            .read_file(power_path)
-            .ok_or_else(|| DovadoError::MissingReport(power_path.to_string()))?;
-        let power_mw = dovado_eda::power::parse_power_mw(power_text).ok_or_else(|| {
-            DovadoError::ReportCorrupt(format!("{power_path}: no total power figure"))
-        })?;
-
-        Ok(Evaluation {
-            utilization,
-            wns_ns,
-            period_ns,
-            fmax_mhz: fmax,
-            power_mw,
-            tool_time_s: sim.sim_time_s,
-        })
+        self.engine.evaluate(point)
     }
 
     /// Evaluates many points, in parallel when `parallel` is set (each
-    /// evaluation runs its own tool session; the checkpoint store is
-    /// shared, matching how Dovado parallelizes real Vivado runs).
+    /// evaluation runs its own tool session; the backend's checkpoint
+    /// store is shared, matching how Dovado parallelizes real Vivado
+    /// runs).
     pub fn evaluate_many(
         &self,
         points: &[DesignPoint],
         parallel: bool,
     ) -> Vec<DovadoResult<Evaluation>> {
-        if parallel {
-            use rayon::prelude::*;
-            points.par_iter().map(|p| self.evaluate(p)).collect()
-        } else {
-            points.iter().map(|p| self.evaluate(p)).collect()
-        }
+        self.engine
+            .evaluate_many(points, Schedule::from_parallel_flag(parallel))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::DovadoError;
+    use dovado_eda::EdaError;
     use dovado_fpga::ResourceKind;
 
     const FIFO_SV: &str = r#"

@@ -32,11 +32,13 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod boxing;
 pub mod casestudies;
 pub mod cli;
 pub mod csv;
 pub mod dse;
+pub mod engine;
 pub mod error;
 pub mod fitness;
 pub mod flow;
@@ -48,8 +50,10 @@ pub mod results;
 pub mod space;
 pub mod trace;
 
+pub use backend::{MockBackend, SimBackend, ToolBackend, ToolSession};
 pub use boxing::{generate_box, BoxedDesign, BOX_CLOCK, BOX_INSTANCE, BOX_TOP};
 pub use dse::{Dovado, DseConfig, SurrogateConfig};
+pub use engine::{validate_jobs, EvalEngine, Schedule};
 pub use error::{DovadoError, DovadoResult, ErrorClass};
 pub use fitness::{DseProblem, FitnessStats};
 pub use flow::{EvalConfig, Evaluator, FlowStep, HdlSource, RetryPolicy};

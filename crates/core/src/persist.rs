@@ -141,10 +141,16 @@ pub fn decode_evaluation(text: &str) -> Option<Evaluation> {
 }
 
 /// The 128-bit identity of an evaluator: everything that determines an
-/// evaluation's outcome except the design point itself. The per-point
+/// evaluation's outcome except the design point itself — sources, top
+/// module, configuration, and which tool backend answers. The per-point
 /// store key extends this with the point's assignments.
-pub fn evaluator_key(sources: &[HdlSource], top: &str, config: &EvalConfig) -> EvalKey {
-    let mut parts: Vec<String> = Vec::with_capacity(sources.len() * 4 + 2);
+pub fn evaluator_key(
+    sources: &[HdlSource],
+    top: &str,
+    config: &EvalConfig,
+    backend: &str,
+) -> EvalKey {
+    let mut parts: Vec<String> = Vec::with_capacity(sources.len() * 4 + 3);
     for s in sources {
         parts.push(s.name.clone());
         parts.push(format!("{:?}", s.language));
@@ -153,6 +159,7 @@ pub fn evaluator_key(sources: &[HdlSource], top: &str, config: &EvalConfig) -> E
     }
     parts.push(top.to_string());
     parts.push(format!("{config:?}"));
+    parts.push(backend.to_string());
     EvalKey::from_parts(&parts)
 }
 
@@ -623,18 +630,29 @@ mod tests {
             Language::SystemVerilog,
             "module a; endmodule",
         )];
-        let base = evaluator_key(&src, "a", &EvalConfig::default());
-        assert_eq!(base, evaluator_key(&src, "a", &EvalConfig::default()));
+        let base = evaluator_key(&src, "a", &EvalConfig::default(), "vivado-sim");
+        assert_eq!(
+            base,
+            evaluator_key(&src, "a", &EvalConfig::default(), "vivado-sim")
+        );
         let other_cfg = EvalConfig {
             target_period_ns: 2.0,
             ..Default::default()
         };
-        assert_ne!(base, evaluator_key(&src, "a", &other_cfg));
+        assert_ne!(base, evaluator_key(&src, "a", &other_cfg, "vivado-sim"));
         let edited = vec![HdlSource::new(
             "a.sv",
             Language::SystemVerilog,
             "module a;endmodule",
         )];
-        assert_ne!(base, evaluator_key(&edited, "a", &EvalConfig::default()));
+        assert_ne!(
+            base,
+            evaluator_key(&edited, "a", &EvalConfig::default(), "vivado-sim")
+        );
+        // A different backend must never answer for this one.
+        assert_ne!(
+            base,
+            evaluator_key(&src, "a", &EvalConfig::default(), "mock")
+        );
     }
 }

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod archmodel;
+pub mod backend;
 pub mod checkpoint;
 pub mod error;
 pub mod fault;
@@ -51,6 +52,7 @@ pub mod tcl;
 pub mod vivado;
 
 pub use archmodel::{bind_parameters, ArchModel, ElabContext, ModelRegistry};
+pub use backend::{MockBackend, SimBackend, ToolBackend, ToolSession};
 pub use checkpoint::{Checkpoint, CheckpointStore, FlowStep, Reuse};
 pub use error::{EdaError, EdaResult};
 pub use fault::{FaultInjector, FaultKind, FaultPlan};

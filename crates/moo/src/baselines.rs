@@ -1,7 +1,7 @@
 //! Baseline explorers.
 //!
 //! The paper positions NSGA-II against the wider exploration-strategy
-//! literature (Panerati et al. [12]); these baselines let the benches show
+//! literature (Panerati et al. \[12\]); these baselines let the benches show
 //! the comparison concretely: uniform random search, exhaustive
 //! enumeration (exact for small spaces — Dovado's "exact exploration of a
 //! given set of parameters" mode), and a single-objective weighted-sum GA

@@ -1,7 +1,7 @@
 //! Fast non-dominated sorting (Deb et al., NSGA-II).
 //!
 //! "The sorting by non-domination reduces computational complexity" (§III-B1
-//! citing [12]): this is the O(M·N²) algorithm from the NSGA-II paper,
+//! citing \[12\]): this is the O(M·N²) algorithm from the NSGA-II paper,
 //! assigning each individual a front rank.
 
 use crate::individual::Individual;

@@ -1,6 +1,6 @@
 //! Kernel functions for Nadaraya-Watson regression.
 //!
-//! The paper uses a Gaussian kernel (Eq. 3), following Shapiai et al. [28]
+//! The paper uses a Gaussian kernel (Eq. 3), following Shapiai et al. \[28\]
 //! who "have shown how the NWM model performs better with a Gaussian
 //! kernel, leaving the bandwidth as the only free parameter". Alternative
 //! kernels are provided for the ablation bench that revisits that claim.

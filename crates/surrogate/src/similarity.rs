@@ -1,4 +1,4 @@
-//! The similarity measure Φ (the paper's Eq. 4, after Shokri et al. [27]).
+//! The similarity measure Φ (the paper's Eq. 4, after Shokri et al. \[27\]).
 //!
 //! `Φₙ(x) = sqrt( Σⱼ (xⱼ − zⁿⱼ)² / m )` — the root-mean-square per-dimension
 //! distance between a candidate point `x` and its n-th nearest dataset

@@ -57,16 +57,23 @@ fn tool(faults: FaultPlan) -> Dovado {
             },
         )
         .with("DATA_WIDTH", Domain::Explicit(vec![8, 16, 32]));
-    Dovado::new(
-        vec![HdlSource::new("fifo.sv", Language::SystemVerilog, FIFO_SV)],
-        "fifo_v3",
-        space,
-        EvalConfig {
-            faults,
-            ..EvalConfig::default()
-        },
-    )
-    .unwrap()
+    let sources = vec![HdlSource::new("fifo.sv", Language::SystemVerilog, FIFO_SV)];
+    let config = EvalConfig {
+        faults,
+        ..EvalConfig::default()
+    };
+    // `DOVADO_BACKEND=mock` reruns the whole harness on the scripted mock
+    // backend (CI does this): crash/resume must be backend-independent,
+    // since everything above the `ToolBackend` boundary is shared.
+    if std::env::var("DOVADO_BACKEND").as_deref() == Ok("mock") {
+        let backend = std::sync::Arc::new(dovado::MockBackend::with_faults(
+            config.seed,
+            config.faults.clone(),
+        ));
+        Dovado::with_backend(sources, "fifo_v3", space, config, backend).unwrap()
+    } else {
+        Dovado::new(sources, "fifo_v3", space, config).unwrap()
+    }
 }
 
 fn cfg(surrogate: bool, parallel: bool) -> DseConfig {
