@@ -8,7 +8,7 @@
 
 use dovado::casestudies::cv32e40p;
 use dovado::csv::CsvWriter;
-use dovado_bench::{banner, write_csv};
+use dovado_bench::{banner, write_csv, write_trace};
 use dovado_surrogate::{Estimator, Kernel, NadarayaWatson, ProbeSet};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -89,6 +89,8 @@ fn main() {
     }
     let path = write_csv("ablation_estimators.csv", csv);
     println!("wrote {}", path.display());
+    let trace = write_trace("ablation_estimators.jsonl", &tool.evaluator().snapshot());
+    println!("wrote {}", trace.display());
     println!(
         "reading: on smooth metric surfaces all local averagers are close; the \
          NW kernel wins as the dataset grows because LOO-CV shrinks its \

@@ -10,7 +10,7 @@
 use dovado::casestudies::corundum;
 use dovado::csv::CsvWriter;
 use dovado::{DseConfig, DseProblem};
-use dovado_bench::{banner, write_csv};
+use dovado_bench::{banner, write_csv, write_trace};
 use dovado_moo::{
     hypervolume, nsga2, random_search, to_min_space, weighted_sum_ga, Nsga2Config, Problem,
     Termination,
@@ -59,6 +59,7 @@ fn main() {
         "explorer", "budget", "hypervolume", "fraction of exact"
     );
 
+    let mut last_spine = None;
     for &budget in &budgets {
         // --- NSGA-II ---
         let hv_nsga = {
@@ -82,6 +83,7 @@ fn main() {
                 .iter()
                 .map(|e| to_min_space(&objectives, &e.values))
                 .collect();
+            last_spine = Some(report.spine);
             front_hv(&front, &reference)
         };
 
@@ -138,6 +140,10 @@ fn main() {
 
     let path = write_csv("ablation_explorers.csv", csv);
     println!("wrote {}", path.display());
+    if let Some(spine) = &last_spine {
+        let trace = write_trace("ablation_explorers.jsonl", spine);
+        println!("wrote {}", trace.display());
+    }
     println!();
     println!(
         "reading: the weighted-sum GA collapses onto one region of the front \

@@ -8,7 +8,7 @@
 use dovado::casestudies::corundum;
 use dovado::csv::CsvWriter;
 use dovado::{DesignPoint, EvalConfig};
-use dovado_bench::{banner, write_csv};
+use dovado_bench::{banner, write_csv, write_trace};
 
 fn main() {
     banner(
@@ -48,6 +48,11 @@ fn main() {
             "{name:<14} total {total:>9.0} simulated s   ({:.0} s/point)",
             total / points.len() as f64
         );
+        let trace = write_trace(
+            &format!("ablation_incremental_{name}.jsonl"),
+            &tool.evaluator().snapshot(),
+        );
+        println!("wrote {}", trace.display());
         results.push((name, total, evals));
     }
 

@@ -6,7 +6,7 @@
 
 use dovado::casestudies::cv32e40p;
 use dovado::csv::CsvWriter;
-use dovado_bench::{banner, write_csv};
+use dovado_bench::{banner, write_csv, write_trace};
 use dovado_surrogate::{mse_per_output, Kernel, ProbeSet, SurrogateController, ThresholdPolicy};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -81,6 +81,8 @@ fn main() {
     }
     let path = write_csv("ablation_kernels.csv", csv);
     println!("wrote {}", path.display());
+    let trace = write_trace("ablation_kernels.jsonl", &dovado.evaluator().snapshot());
+    println!("wrote {}", trace.display());
 
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     println!();

@@ -9,7 +9,7 @@
 use dovado::casestudies::cv32e40p;
 use dovado::csv::CsvWriter;
 use dovado::{DseConfig, SurrogateConfig};
-use dovado_bench::{banner, write_csv};
+use dovado_bench::{banner, write_csv, write_trace};
 use dovado_moo::{Nsga2Config, Termination};
 use dovado_surrogate::ThresholdPolicy;
 
@@ -60,6 +60,7 @@ fn main() {
         "policy", "tool runs", "cached", "estimates", "probe rel.err [%]"
     );
 
+    let mut last_spine = None;
     for (name, policy) in policies {
         let tool = cs.dovado().unwrap();
         let report = tool
@@ -76,6 +77,7 @@ fn main() {
                 explorer: Default::default(),
             })
             .expect("exploration runs");
+        last_spine = Some(report.spine.clone());
 
         // Estimate quality probe: rebuild a pre-training-only controller and
         // ask it to predict the ground-truth point. The model itself is
@@ -119,6 +121,10 @@ fn main() {
     }
     let path = write_csv("ablation_threshold.csv", csv);
     println!("wrote {}", path.display());
+    if let Some(spine) = &last_spine {
+        let trace = write_trace("ablation_threshold.jsonl", spine);
+        println!("wrote {}", trace.display());
+    }
     println!();
     println!(
         "reading: larger Γ saves more tool runs but trusts the estimator further \

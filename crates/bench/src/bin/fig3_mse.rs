@@ -12,7 +12,7 @@
 use dovado::casestudies::cv32e40p;
 use dovado::csv::CsvWriter;
 use dovado::DesignPoint;
-use dovado_bench::{banner, write_csv};
+use dovado_bench::{banner, write_csv, write_trace};
 use dovado_surrogate::{
     mse_per_output, Kernel, NadarayaWatson, ProbeSet, SurrogateController, ThresholdPolicy,
 };
@@ -118,6 +118,8 @@ fn main() {
         }
     );
     println!("wrote {}", path.display());
+    let trace = write_trace("fig3_mse.jsonl", &dovado.evaluator().snapshot());
+    println!("wrote {}", trace.display());
     // One explicit design point echoed for traceability.
     let sample: DesignPoint = space.decode(&[250]).unwrap();
     println!("example mid-space point: {sample}");

@@ -8,9 +8,8 @@
 //! constant across the front and frequency near 200 MHz.
 
 use dovado::casestudies::corundum;
-use dovado::csv::CsvWriter;
-use dovado::{point_label, DseConfig};
-use dovado_bench::{banner, write_csv};
+use dovado::DseConfig;
+use dovado_bench::{banner, emit_front, print_report};
 use dovado_moo::{Nsga2Config, Termination};
 
 fn main() {
@@ -36,39 +35,20 @@ fn main() {
     };
     let report = dovado.explore(&cfg).expect("exploration succeeds");
 
-    println!("{}", report.summary());
-    println!();
-    println!("Table I — non-dominated configurations:");
-    println!("{}", report.configuration_table());
-    println!("Figure 4 — solution trade-offs:");
-    println!("{}", report.metric_table());
-
-    // CSV: one row per design point with parameters + metrics.
-    let mut csv = CsvWriter::new();
-    csv.header(&[
-        "label",
-        "OP_TABLE_SIZE",
-        "QUEUE_INDEX_WIDTH",
-        "PIPELINE",
-        "LUT",
-        "FF",
-        "BRAM",
-        "Fmax_MHz",
-    ]);
-    for (i, e) in report.pareto.iter().enumerate() {
-        csv.row(&[
-            point_label(i),
-            e.point.get("OP_TABLE_SIZE").unwrap().to_string(),
-            e.point.get("QUEUE_INDEX_WIDTH").unwrap().to_string(),
-            e.point.get("PIPELINE").unwrap().to_string(),
-            format!("{:.0}", e.values[0]),
-            format!("{:.0}", e.values[1]),
-            format!("{:.0}", e.values[2]),
-            format!("{:.2}", e.values[3]),
-        ]);
-    }
-    let path = write_csv("fig4_table1_corundum.csv", csv);
-    println!("wrote {}", path.display());
+    print_report(
+        &report,
+        "Table I — non-dominated configurations",
+        "Figure 4 — solution trade-offs",
+    );
+    emit_front(
+        "fig4_table1_corundum.csv",
+        &report,
+        &[
+            ("OP_TABLE_SIZE", "OP_TABLE_SIZE"),
+            ("QUEUE_INDEX_WIDTH", "QUEUE_INDEX_WIDTH"),
+            ("PIPELINE", "PIPELINE"),
+        ],
+    );
 
     // --- paper shape checks -------------------------------------------
     println!();

@@ -6,9 +6,8 @@
 //! compared against what NSGA-II found.
 
 use dovado::casestudies::neorv32;
-use dovado::csv::CsvWriter;
-use dovado::{point_label, DseConfig};
-use dovado_bench::{banner, write_csv};
+use dovado::DseConfig;
+use dovado_bench::{banner, emit_front, print_report};
 use dovado_moo::{non_dominated_indices, Individual, Nsga2Config, Termination};
 
 fn main() {
@@ -34,28 +33,16 @@ fn main() {
     };
     let report = dovado.explore(&cfg).expect("exploration succeeds");
 
-    println!("{}", report.summary());
-    println!();
-    println!("Non-dominated configurations:");
-    println!("{}", report.configuration_table());
-    println!("Figure 5 — solution metrics:");
-    println!("{}", report.metric_table());
-
-    let mut csv = CsvWriter::new();
-    csv.header(&["label", "IMEM", "DMEM", "LUT", "FF", "BRAM", "Fmax_MHz"]);
-    for (i, e) in report.pareto.iter().enumerate() {
-        csv.row(&[
-            point_label(i),
-            e.point.get("MEM_INT_IMEM_SIZE").unwrap().to_string(),
-            e.point.get("MEM_INT_DMEM_SIZE").unwrap().to_string(),
-            format!("{:.0}", e.values[0]),
-            format!("{:.0}", e.values[1]),
-            format!("{:.0}", e.values[2]),
-            format!("{:.2}", e.values[3]),
-        ]);
-    }
-    let path = write_csv("fig5_neorv32.csv", csv);
-    println!("wrote {}", path.display());
+    print_report(
+        &report,
+        "Non-dominated configurations",
+        "Figure 5 — solution metrics",
+    );
+    emit_front(
+        "fig5_neorv32.csv",
+        &report,
+        &[("IMEM", "MEM_INT_IMEM_SIZE"), ("DMEM", "MEM_INT_DMEM_SIZE")],
+    );
 
     // --- exhaustive ground truth ---------------------------------------
     println!();

@@ -5,6 +5,7 @@
 //! to stdout and also write CSV files under `results/`.
 
 use dovado::csv::CsvWriter;
+use dovado::{DseReport, Metric, SpineSnapshot};
 use std::fs;
 use std::path::PathBuf;
 
@@ -32,6 +33,85 @@ pub fn banner(experiment: &str, description: &str) {
     println!("==============================================================");
 }
 
+/// Prints the report block every figure/table binary shares: the
+/// one-line summary, the configuration table under `config_heading`,
+/// and the metric table under `metric_heading`.
+pub fn print_report(report: &DseReport, config_heading: &str, metric_heading: &str) {
+    println!("{}", report.summary());
+    println!();
+    println!("{config_heading}:");
+    println!("{}", report.configuration_table());
+    println!("{metric_heading}:");
+    println!("{}", report.metric_table());
+}
+
+/// CSV-safe column name for a metric label (`Fmax[MHz]` → `Fmax_MHz`).
+fn csv_column(label: &str) -> String {
+    label.replace('[', "_").replace(']', "")
+}
+
+/// Writes the Pareto front as a CSV under `results/`: a label column,
+/// one column per `(header, parameter)` pair, then one column per report
+/// metric (utilization as integers, frequency/power at two decimals).
+/// Returns the path.
+pub fn write_front_csv(name: &str, report: &DseReport, params: &[(&str, &str)]) -> PathBuf {
+    use dovado::point_label;
+    let mut csv = CsvWriter::new();
+    let mut header: Vec<String> = vec!["label".into()];
+    header.extend(params.iter().map(|(h, _)| h.to_string()));
+    header.extend(
+        report
+            .metrics
+            .metrics()
+            .iter()
+            .map(|m| csv_column(&m.label())),
+    );
+    let refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    csv.header(&refs);
+    for (i, e) in report.pareto.iter().enumerate() {
+        let mut row: Vec<String> = vec![point_label(i)];
+        for (_, p) in params {
+            row.push(
+                e.point
+                    .get(p)
+                    .expect("front point carries the parameter")
+                    .to_string(),
+            );
+        }
+        for (m, v) in report.metrics.metrics().iter().zip(&e.values) {
+            row.push(match m {
+                Metric::Utilization(_) => format!("{v:.0}"),
+                _ => format!("{v:.2}"),
+            });
+        }
+        csv.row(&row);
+    }
+    write_csv(name, csv)
+}
+
+/// Writes an observability-spine trace as versioned JSON Lines under
+/// `results/`, returning its path.
+pub fn write_trace(name: &str, spine: &SpineSnapshot) -> PathBuf {
+    let path = results_dir().join(name);
+    if let Err(e) = fs::write(&path, dovado::obs::jsonl_string(spine)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    path
+}
+
+/// Writes the front CSV plus the run's observability trace next to it
+/// (`<name>.csv` → `<name>.jsonl`), printing both paths.
+pub fn emit_front(csv_name: &str, report: &DseReport, params: &[(&str, &str)]) {
+    let path = write_front_csv(csv_name, report, params);
+    println!("wrote {}", path.display());
+    let trace_name = format!(
+        "{}.jsonl",
+        csv_name.strip_suffix(".csv").unwrap_or(csv_name)
+    );
+    let trace_path = write_trace(&trace_name, &report.spine);
+    println!("wrote {}", trace_path.display());
+}
+
 /// Formats a float series compactly.
 pub fn fmt_series(values: &[f64]) -> String {
     values
@@ -46,7 +126,7 @@ pub fn fmt_series(values: &[f64]) -> String {
 /// add device-specific checks.
 pub fn run_tirex(part: &str, figure: &str, csv_name: &str) -> dovado::DseReport {
     use dovado::casestudies::tirex;
-    use dovado::{point_label, DseConfig};
+    use dovado::DseConfig;
     use dovado_moo::{Nsga2Config, Termination};
 
     let cs = tirex::case_study();
@@ -65,40 +145,21 @@ pub fn run_tirex(part: &str, figure: &str, csv_name: &str) -> dovado::DseReport 
     };
     let report = tool.explore(&cfg).expect("exploration succeeds");
 
-    println!("{}", report.summary());
-    println!();
-    println!("Table II ({part}) — non-dominated configurations:");
-    println!("{}", report.configuration_table());
-    println!("{figure} — solution metrics:");
-    println!("{}", report.metric_table());
-
-    let mut csv = CsvWriter::new();
-    csv.header(&[
-        "label",
-        "NCLUSTER",
-        "STACK_SIZE",
-        "IMEM_SIZE",
-        "DMEM_SIZE",
-        "LUT",
-        "FF",
-        "BRAM",
-        "Fmax_MHz",
-    ]);
-    for (i, e) in report.pareto.iter().enumerate() {
-        csv.row(&[
-            point_label(i),
-            e.point.get("NCLUSTER").unwrap().to_string(),
-            e.point.get("STACK_SIZE").unwrap().to_string(),
-            e.point.get("IMEM_SIZE").unwrap().to_string(),
-            e.point.get("DMEM_SIZE").unwrap().to_string(),
-            format!("{:.0}", e.values[0]),
-            format!("{:.0}", e.values[1]),
-            format!("{:.0}", e.values[2]),
-            format!("{:.2}", e.values[3]),
-        ]);
-    }
-    let path = write_csv(csv_name, csv);
-    println!("wrote {}", path.display());
+    print_report(
+        &report,
+        &format!("Table II ({part}) — non-dominated configurations"),
+        &format!("{figure} — solution metrics"),
+    );
+    emit_front(
+        csv_name,
+        &report,
+        &[
+            ("NCLUSTER", "NCLUSTER"),
+            ("STACK_SIZE", "STACK_SIZE"),
+            ("IMEM_SIZE", "IMEM_SIZE"),
+            ("DMEM_SIZE", "DMEM_SIZE"),
+        ],
+    );
     report
 }
 

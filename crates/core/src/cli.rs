@@ -66,14 +66,14 @@ USAGE:
   dovado evaluate --source <file>... --top <module> [--part <part>]
                   [--set NAME=VALUE]... [--period <ns>] [--step synth|impl]
                   [--synth-directive <d>] [--impl-directive <d>]
-                  [--jobs <n>] [--store <dir>]
+                  [--jobs <n>] [--store <dir>] [--trace-out <file>]
   dovado explore  --source <file>... --top <module> [--part <part>]
                   --param NAME=<spec>... [--metric <m>,<m>,...]
                   [--generations <n>] [--pop <n>] [--seed <n>]
                   [--surrogate <M>] [--deadline <simulated-s>] [--plot]
                   [--algorithm nsga2|random|weighted-sum|exhaustive]
                   [--csv <file>] [--jobs <n>]
-                  [--store <dir>] [--resume <dir>]
+                  [--store <dir>] [--resume <dir>] [--trace-out <file>]
   dovado demo <cv32e40p|corundum|neorv32|tirex>
 
   --jobs caps the worker threads used for parallel tool runs and batch
@@ -86,6 +86,14 @@ USAGE:
   --store also journals optimizer state each generation so an
   interrupted run can be continued with --resume <dir>, which replays
   the journal and produces the same result as an uninterrupted run.
+
+  --trace-out writes the run's observability spine — every attempt,
+  store hit, generation boundary, and surrogate decision in canonical
+  order — as versioned JSON Lines (schema `dovado-trace` v1). The
+  stream is byte-identical for any --jobs value.
+
+  DOVADO_BACKEND=mock runs every tool call on the scripted mock
+  backend instead of the simulated Vivado.
 
 PARAM SPECS:
   lo:hi          integer range            (e.g. DEPTH=2:1000)
@@ -280,11 +288,33 @@ fn run_with_jobs<R>(jobs: Option<usize>, op: impl FnOnce() -> R) -> Result<R, St
     }
 }
 
+/// Selects the tool backend from `DOVADO_BACKEND`: `mock` runs every
+/// tool call on the scripted mock; unset (or `sim`) keeps the default
+/// simulated Vivado. Anything else is rejected rather than silently
+/// simulated.
+fn backend_from_env(
+    eval: &EvalConfig,
+) -> Result<Option<std::sync::Arc<dyn crate::backend::ToolBackend>>, String> {
+    match std::env::var("DOVADO_BACKEND").ok().as_deref() {
+        Some("mock") => Ok(Some(std::sync::Arc::new(
+            crate::backend::MockBackend::with_faults(eval.seed, eval.faults.clone()),
+        ))),
+        None | Some("") | Some("sim") => Ok(None),
+        Some(other) => Err(format!("DOVADO_BACKEND: unknown backend `{other}`")),
+    }
+}
+
+/// Serializes a spine snapshot as JSON Lines to `path`.
+fn write_trace_file(path: &str, snapshot: &crate::obs::SpineSnapshot) -> Result<(), String> {
+    std::fs::write(path, crate::obs::jsonl_string(snapshot)).map_err(|e| format!("{path}: {e}"))
+}
+
 fn cmd_evaluate(args: &[String], out: &mut String) -> Result<(), String> {
     let (common, rest) = parse_common(args)?;
     let mut assignments: Vec<(String, i64)> = Vec::new();
     let mut jobs: Option<usize> = None;
     let mut store_dir: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     for (flag, value) in &rest {
         match flag.as_str() {
             "--set" => {
@@ -298,12 +328,18 @@ fn cmd_evaluate(args: &[String], out: &mut String) -> Result<(), String> {
             }
             "--jobs" => jobs = Some(parse_jobs(value)?),
             "--store" => store_dir = Some(value.clone()),
+            "--trace-out" => trace_out = Some(value.clone()),
             other => return Err(format!("evaluate: unknown flag `{other}`")),
         }
     }
 
-    let mut evaluator = crate::flow::Evaluator::new(common.sources, &common.top, common.eval)
-        .map_err(|e| e.to_string())?;
+    let mut evaluator = match backend_from_env(&common.eval)? {
+        Some(backend) => {
+            crate::flow::Evaluator::with_backend(common.sources, &common.top, common.eval, backend)
+        }
+        None => crate::flow::Evaluator::new(common.sources, &common.top, common.eval),
+    }
+    .map_err(|e| e.to_string())?;
     if let Some(dir) = &store_dir {
         let store =
             EvalStore::open(std::path::Path::new(dir)).map_err(|e| format!("--store: {e}"))?;
@@ -339,6 +375,10 @@ fn cmd_evaluate(args: &[String], out: &mut String) -> Result<(), String> {
         };
         let _ = writeln!(out, "{:<13}: {served}", "answered by");
     }
+    if let Some(path) = &trace_out {
+        write_trace_file(path, &evaluator.snapshot())?;
+        let _ = writeln!(out, "wrote {path}");
+    }
     Ok(())
 }
 
@@ -357,6 +397,7 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
     let mut jobs: Option<usize> = None;
     let mut store_dir: Option<String> = None;
     let mut resume_dir: Option<String> = None;
+    let mut trace_out: Option<String> = None;
 
     for (flag, value) in &rest {
         match flag.as_str() {
@@ -401,6 +442,7 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
             "--jobs" => jobs = Some(parse_jobs(value)?),
             "--store" => store_dir = Some(value.clone()),
             "--resume" => resume_dir = Some(value.clone()),
+            "--trace-out" => trace_out = Some(value.clone()),
             "--algorithm" => {
                 explorer = match value.as_str() {
                     "nsga2" => crate::dse::Explorer::Nsga2,
@@ -432,8 +474,13 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
         }
     };
 
-    let tool =
-        Dovado::new(common.sources, &common.top, space, common.eval).map_err(|e| e.to_string())?;
+    let tool = match backend_from_env(&common.eval)? {
+        Some(backend) => {
+            Dovado::with_backend(common.sources, &common.top, space, common.eval, backend)
+        }
+        None => Dovado::new(common.sources, &common.top, space, common.eval),
+    }
+    .map_err(|e| e.to_string())?;
     let termination = match deadline {
         Some(d) => Termination::Any(vec![
             Termination::Generations(generations),
@@ -465,6 +512,20 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
 
     let _ = writeln!(out, "{}", report.summary());
+    if persist.is_some() {
+        let served = if report.trace.store_hits > 0 {
+            format!(
+                "persistent store ({} hit(s), {} tool attempt(s))",
+                report.trace.store_hits, report.trace.attempts
+            )
+        } else {
+            format!(
+                "tool runs ({} attempt(s), results stored for reuse)",
+                report.trace.attempts
+            )
+        };
+        let _ = writeln!(out, "answered by  : {served}");
+    }
     let flow_log = report.flow_log(20);
     if !flow_log.is_empty() {
         let _ = writeln!(out, "flow events (failed/retried attempts):");
@@ -496,6 +557,10 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
             w.row(&row);
         }
         std::fs::write(&path, w.finish()).map_err(|e| format!("{path}: {e}"))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    if let Some(path) = &trace_out {
+        write_trace_file(path, &report.spine)?;
         let _ = writeln!(out, "wrote {path}");
     }
     Ok(())
@@ -869,15 +934,77 @@ mod tests {
             out
         };
         let cold = explore(&["--store", &store]);
-        // A warm rerun is answered entirely from the store.
+        assert!(cold.contains("answered by"), "{cold}");
+        // A warm rerun is answered entirely from the store, and the
+        // explore summary says so the same way evaluate does.
         let warm = explore(&["--store", &store]);
         assert!(warm.contains("store hits"), "{warm}");
+        assert!(warm.contains("persistent store"), "{warm}");
+        assert!(warm.contains("0 tool attempt(s)"), "{warm}");
         // Resuming the finished journal reproduces the same result.
         let resumed = explore(&["--resume", &store]);
-        // Tables (everything below the summary line) match across all three.
-        let tables = |s: &str| s.split_once('\n').unwrap().1.to_string();
+        // Tables (everything from the configuration table down) match
+        // across all three; the summary lines legitimately differ in
+        // their store-hit accounting.
+        let tables = |s: &str| s[s.find("Design Point").unwrap()..].to_string();
         assert_eq!(tables(&cold), tables(&warm));
         assert_eq!(tables(&cold), tables(&resumed));
+    }
+
+    #[test]
+    fn trace_out_writes_versioned_jsonl_for_both_commands() {
+        let path = write_temp("to.sv", FIFO);
+        let dir = std::env::temp_dir().join(format!("dovado-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let eval_trace = dir.join("eval.jsonl");
+        let mut out = String::new();
+        let code = run(
+            &args(&[
+                "evaluate",
+                "--source",
+                &path,
+                "--top",
+                "fifo_v3",
+                "--set",
+                "DEPTH=64",
+                "--trace-out",
+                eval_trace.to_str().unwrap(),
+            ]),
+            &mut out,
+        );
+        assert_eq!(code, 0, "{out}");
+        let text = std::fs::read_to_string(&eval_trace).unwrap();
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("\"schema\":\"dovado-trace\""), "{first}");
+        assert!(first.contains("\"version\":1"), "{first}");
+        assert!(text.contains("\"type\":\"attempt\""), "{text}");
+
+        let explore_trace = dir.join("explore.jsonl");
+        let mut out2 = String::new();
+        let code = run(
+            &args(&[
+                "explore",
+                "--source",
+                &path,
+                "--top",
+                "fifo_v3",
+                "--param",
+                "DEPTH=2:64:2",
+                "--generations",
+                "2",
+                "--pop",
+                "6",
+                "--trace-out",
+                explore_trace.to_str().unwrap(),
+            ]),
+            &mut out2,
+        );
+        assert_eq!(code, 0, "{out2}");
+        let text = std::fs::read_to_string(&explore_trace).unwrap();
+        assert!(text.contains("\"type\":\"generation\""), "{text}");
+        assert!(text.lines().last().unwrap().contains("\"summary\""));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

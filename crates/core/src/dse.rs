@@ -326,12 +326,25 @@ impl Dovado {
                 break;
             }
             engine.step(problem);
+            problem
+                .evaluator()
+                .spine()
+                .emit_next(crate::obs::ObsEvent::Generation {
+                    generation: engine.generation() as u64,
+                    evaluations: engine.evaluations(),
+                });
             if let (Some(p), Some(f)) = (persist_cfg, &fingerprint) {
                 if engine.generation().is_multiple_of(p.journal_every.max(1)) {
                     let journal = Self::journal_of(problem, &engine, f, false);
                     persist::write_journal(&p.journal_path(), &journal)?;
                     if let Some(injector) = problem.evaluator().injector() {
                         if injector.fires(FaultKind::HostCrash) {
+                            problem
+                                .evaluator()
+                                .spine()
+                                .emit_next(crate::obs::ObsEvent::Fault {
+                                    kind: "host_crash".to_string(),
+                                });
                             return Err(DovadoError::Interrupted {
                                 generation: engine.generation(),
                             });
@@ -382,11 +395,33 @@ impl Dovado {
                 ))
             }
         };
-        // Re-account the journaled spend on this process's ledger so a
-        // soft deadline keeps meaning "whole run", not "since restart"
-        // (no-op when resuming within the process that crashed).
-        let deficit = (journal.tool_time_s - evaluator.total_tool_time()).max(0.0);
-        evaluator.charge_time(deficit);
+        // Splice the journaled spend into this process's spine as one
+        // `Resume` event carrying only the *deficit* per counter, so a
+        // soft deadline keeps meaning "whole run", not "since restart",
+        // and counters stay continuous without double-counting (the
+        // deficit is ~zero when resuming within the process that
+        // crashed, since its spine already holds the journaled work).
+        let live = evaluator.trace_summary();
+        let deficit = crate::trace::TraceSummary {
+            attempts: journal.trace.attempts.saturating_sub(live.attempts),
+            retries: journal.trace.retries.saturating_sub(live.retries),
+            transient_failures: journal
+                .trace
+                .transient_failures
+                .saturating_sub(live.transient_failures),
+            permanent_failures: journal
+                .trace
+                .permanent_failures
+                .saturating_sub(live.permanent_failures),
+            cache_hits: journal.trace.cache_hits.saturating_sub(live.cache_hits),
+            store_hits: journal.trace.store_hits.saturating_sub(live.store_hits),
+            backoff_s: (journal.trace.backoff_s - live.backoff_s).max(0.0),
+        };
+        evaluator.record_resume(
+            deficit,
+            journal.runs.saturating_sub(evaluator.total_runs()),
+            (journal.tool_time_s - evaluator.total_tool_time()).max(0.0),
+        );
 
         let mut problem = DseProblem::resume_from(
             evaluator,
@@ -443,6 +478,8 @@ impl Dovado {
             fingerprint: fingerprint.to_string(),
             complete,
             tool_time_s: problem.evaluator().total_tool_time(),
+            trace: problem.evaluator().trace_summary(),
+            runs: problem.evaluator().total_runs(),
             stats: problem.stats,
             snapshot: engine.snapshot(),
             surrogate,
@@ -468,6 +505,7 @@ impl Dovado {
         // flow trace, so the summary covers pretraining and exploration.
         let trace = problem.evaluator().trace_summary();
         let events = problem.evaluator().events();
+        let spine = problem.evaluator().snapshot();
         Ok(DseReport {
             pareto,
             metrics: cfg.metrics.clone(),
@@ -482,6 +520,7 @@ impl Dovado {
             retries: stats.retries,
             trace,
             events,
+            spine,
             tool_time_s: self.evaluator.total_tool_time(),
             history: result.history,
         })
@@ -760,7 +799,9 @@ endmodule"#;
             ..PersistConfig::new(&dir)
         };
         let resumed = dovado().explore_persistent(&cfg, &resume_cfg).unwrap();
-        assert_eq!(resumed.trace.attempts, 0, "nothing left to evaluate");
+        // The journaled counters splice into the fresh process's spine,
+        // so the resumed trace is continuous with the cold run's.
+        assert_eq!(resumed.trace, cold.trace, "spliced counters continue");
         assert_eq!(
             resumed.tool_runs, cold.tool_runs,
             "stats come from the journal"

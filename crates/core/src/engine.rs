@@ -11,10 +11,14 @@
 //! 2. **Retry** (`RetryLayer`) — retry with capped backoff for transient
 //!    failures, the timeout-degradation state machine
 //!    (`DegradePolicy`), checkpoint-corruption fallback to the
-//!    non-incremental flow, and per-attempt trace accounting.
+//!    non-incremental flow, and per-attempt emission on the
+//!    observability spine ([`crate::obs`]).
 //! 3. **Attempt** (`AttemptLayer`) — one tool session per attempt:
 //!    script generation from the TCL frames, execution through the
-//!    [`ToolBackend`] seam, report scraping, and the time/run ledgers.
+//!    [`ToolBackend`] seam, and report scraping.
+//!
+//! All accounting — time, runs, retries, store hits — is *derived* from
+//! the spine's event stream; no layer mutates a counter directly.
 //!
 //! Scheduling (serial vs rayon-parallel, [`Schedule`]) and persistence
 //! (none vs an attached [`EvalStore`]) are engine *configuration*, not
@@ -27,8 +31,9 @@ use crate::error::{DovadoError, DovadoResult};
 use crate::flow::{EvalConfig, FlowStep, HdlSource, RetryPolicy};
 use crate::frames::{fill, read_sources_script, SourceEntry, IMPL_FRAME, SYNTH_FRAME};
 use crate::metrics::{fmax_mhz, Evaluation};
+use crate::obs::{EventBus, EventKey, ObsEvent, SpineSnapshot};
 use crate::point::DesignPoint;
-use crate::trace::{AttemptOutcome, FlowEvent, FlowTrace, TraceSummary};
+use crate::trace::{AttemptOutcome, FlowEvent, TraceSummary};
 use dovado_eda::{report, EdaError, EvalKey, EvalStore, FaultInjector};
 use dovado_hdl::ModuleInterface;
 use parking_lot::Mutex;
@@ -79,15 +84,11 @@ struct FlowContext {
     config: EvalConfig,
 }
 
-/// Counters shared across the engine's clones (evaluations run in
-/// parallel; the ledgers must agree with a serial run).
+/// Flow state shared across the engine's clones. Time and run counters
+/// live on the observability spine now ([`EventBus`] totals); the only
+/// remaining mutable cell is the incremental-flow checkpoint flag.
 #[derive(Clone)]
 struct Ledger {
-    /// Cumulative simulated tool seconds, including failed attempts and
-    /// retry backoff.
-    tool_time: Arc<Mutex<f64>>,
-    /// Successful tool invocations.
-    runs: Arc<Mutex<u64>>,
     /// Whether any prior run left a synthesis checkpoint (enables the
     /// incremental read on subsequent scripts).
     has_checkpoint: Arc<Mutex<bool>>,
@@ -96,8 +97,6 @@ struct Ledger {
 impl Ledger {
     fn new() -> Ledger {
         Ledger {
-            tool_time: Arc::new(Mutex::new(0.0)),
-            runs: Arc::new(Mutex::new(0)),
             has_checkpoint: Arc::new(Mutex::new(false)),
         }
     }
@@ -125,10 +124,8 @@ impl AttemptLayer {
         let mut session = self.backend.open_session();
         let result = self.run_flow(session.as_mut(), point, step, incremental);
         let tool_time_s = session.elapsed_s();
-        *self.ledger.tool_time.lock() += tool_time_s;
         let cached = session.used_exact_checkpoint();
         if result.is_ok() {
-            *self.ledger.runs.lock() += 1;
             *self.ledger.has_checkpoint.lock() = true;
         }
         AttemptReport {
@@ -287,16 +284,20 @@ impl DegradePolicy {
 }
 
 /// Pipeline middle: retry with capped backoff, degradation, checkpoint
-/// fallback, and the per-attempt trace.
+/// fallback, and per-attempt emission on the spine.
+///
+/// Attempts for the point dispatched at sequence `seq` are keyed
+/// `(seq, attempt)` — canonical order is decided by dispatch order, not
+/// by which worker thread finishes first.
 #[derive(Clone)]
 struct RetryLayer {
-    trace: FlowTrace,
+    bus: EventBus,
     ledger: Ledger,
     next: AttemptLayer,
 }
 
 impl RetryLayer {
-    fn evaluate(&self, point: &DesignPoint, label: &str) -> DovadoResult<Evaluation> {
+    fn evaluate(&self, point: &DesignPoint, label: &str, seq: u64) -> DovadoResult<Evaluation> {
         let config = &self.next.ctx.config;
         let policy = &config.retry;
         let max_attempts = policy.max_attempts.max(1);
@@ -310,18 +311,22 @@ impl RetryLayer {
             // loop may change them below for the *next* attempt.
             let (used_step, used_incremental) = (step, incremental);
             let report = self.next.run(point, step, incremental);
+            let key = EventKey { seq, sub: attempt };
             match report.result {
                 Ok(evaluation) => {
-                    self.trace.push(FlowEvent {
-                        point: label.to_string(),
-                        attempt,
-                        step: used_step,
-                        outcome: AttemptOutcome::Success,
-                        tool_time_s: report.tool_time_s,
-                        backoff_s: 0.0,
-                        incremental: used_incremental,
-                        cached: report.cached,
-                    });
+                    self.bus.emit(
+                        key,
+                        ObsEvent::Attempt(FlowEvent {
+                            point: label.to_string(),
+                            attempt,
+                            step: used_step,
+                            outcome: AttemptOutcome::Success,
+                            tool_time_s: report.tool_time_s,
+                            backoff_s: 0.0,
+                            incremental: used_incremental,
+                            cached: report.cached,
+                        }),
+                    );
                     return Ok(evaluation);
                 }
                 Err(e) if e.is_transient() && attempt < max_attempts => {
@@ -333,17 +338,19 @@ impl RetryLayer {
                         *self.ledger.has_checkpoint.lock() = false;
                     }
                     let backoff = policy.backoff_s(attempt);
-                    *self.ledger.tool_time.lock() += backoff;
-                    self.trace.push(FlowEvent {
-                        point: label.to_string(),
-                        attempt,
-                        step: used_step,
-                        outcome: AttemptOutcome::TransientFailure(e.to_string()),
-                        tool_time_s: report.tool_time_s,
-                        backoff_s: backoff,
-                        incremental: used_incremental,
-                        cached: false,
-                    });
+                    self.bus.emit(
+                        key,
+                        ObsEvent::Attempt(FlowEvent {
+                            point: label.to_string(),
+                            attempt,
+                            step: used_step,
+                            outcome: AttemptOutcome::TransientFailure(e.to_string()),
+                            tool_time_s: report.tool_time_s,
+                            backoff_s: backoff,
+                            incremental: used_incremental,
+                            cached: false,
+                        }),
+                    );
                     last_err = Some(e);
                 }
                 Err(e) => {
@@ -352,16 +359,19 @@ impl RetryLayer {
                     } else {
                         AttemptOutcome::PermanentFailure(e.to_string())
                     };
-                    self.trace.push(FlowEvent {
-                        point: label.to_string(),
-                        attempt,
-                        step: used_step,
-                        outcome,
-                        tool_time_s: report.tool_time_s,
-                        backoff_s: 0.0,
-                        incremental: used_incremental,
-                        cached: false,
-                    });
+                    self.bus.emit(
+                        key,
+                        ObsEvent::Attempt(FlowEvent {
+                            point: label.to_string(),
+                            attempt,
+                            step: used_step,
+                            outcome,
+                            tool_time_s: report.tool_time_s,
+                            backoff_s: 0.0,
+                            incremental: used_incremental,
+                            cached: false,
+                        }),
+                    );
                     return if e.is_transient() {
                         Err(DovadoError::RetriesExhausted {
                             attempts: attempt,
@@ -387,12 +397,12 @@ struct StoreLayer {
     /// Persistent evaluation store plus the engine's base key (sources +
     /// top + config + backend); `None` = always run the tool.
     store: Option<(EvalStore, EvalKey)>,
-    trace: FlowTrace,
+    bus: EventBus,
     next: RetryLayer,
 }
 
 impl StoreLayer {
-    fn evaluate(&self, point: &DesignPoint) -> DovadoResult<Evaluation> {
+    fn evaluate(&self, point: &DesignPoint, seq: u64) -> DovadoResult<Evaluation> {
         let label = point.as_assignments();
 
         // A hit is a bitwise substitute for the tool run (evaluations are
@@ -408,11 +418,16 @@ impl StoreLayer {
                 .get(key)
                 .and_then(|payload| crate::persist::decode_evaluation(&payload))
             {
-                self.trace.record_store_hit();
+                self.bus.emit(
+                    EventKey { seq, sub: 0 },
+                    ObsEvent::StoreHit {
+                        point: label.clone(),
+                    },
+                );
                 return Ok(eval);
             }
         }
-        let evaluation = self.next.evaluate(point, &label)?;
+        let evaluation = self.next.evaluate(point, &label, seq)?;
         if let Some((store, key)) = &store_key {
             // Best-effort: a failed write only costs a future re-run,
             // never a wrong answer. Failures are never stored.
@@ -489,13 +504,13 @@ impl EvalEngine {
             config,
         });
         let ledger = Ledger::new();
-        let trace = FlowTrace::new();
+        let bus = EventBus::new();
         Ok(EvalEngine {
             pipeline: StoreLayer {
                 store: None,
-                trace: trace.clone(),
+                bus: bus.clone(),
                 next: RetryLayer {
-                    trace,
+                    bus,
                     ledger: ledger.clone(),
                     next: AttemptLayer {
                         ctx,
@@ -547,11 +562,37 @@ impl EvalEngine {
         self.pipeline.next.next.backend.injector()
     }
 
-    /// Charges simulated seconds straight to the tool-time ledger.
-    /// Resume uses this to re-account the journaled spend so soft-
-    /// deadline budgets see the whole run, not just the current process.
+    /// The engine's observability spine. Every accounting signal —
+    /// attempts, store hits, charged time, resume splices, plus the
+    /// exploration-level events the DSE layer emits — lands here.
+    pub fn spine(&self) -> &EventBus {
+        &self.pipeline.bus
+    }
+
+    /// A consistent snapshot of the spine (canonical events + exact
+    /// totals), suitable for sinks such as [`crate::obs::write_jsonl`].
+    pub fn snapshot(&self) -> SpineSnapshot {
+        self.pipeline.bus.snapshot()
+    }
+
+    /// Charges simulated seconds straight to the tool-time ledger by
+    /// emitting an [`ObsEvent::TimeCharged`] on the spine.
     pub fn charge_time(&self, seconds: f64) {
-        *self.pipeline.next.ledger.tool_time.lock() += seconds;
+        self.pipeline
+            .bus
+            .emit_next(ObsEvent::TimeCharged { seconds });
+    }
+
+    /// Splices journaled totals into the spine on `--resume`: the caller
+    /// passes the *deficit* between the journal and this engine's live
+    /// totals, so same-process resumes (which already observed every
+    /// attempt) splice zero and nothing is double-counted.
+    pub fn record_resume(&self, summary: TraceSummary, runs: u64, tool_time_s: f64) {
+        self.pipeline.bus.emit_next(ObsEvent::Resume {
+            summary,
+            runs,
+            tool_time_s,
+        });
     }
 
     /// The parsed interface of the module under evaluation.
@@ -565,47 +606,74 @@ impl EvalEngine {
     }
 
     /// Cumulative simulated tool seconds, including failed attempts and
-    /// retry backoff.
+    /// retry backoff — a view over the spine's folded totals.
     pub fn total_tool_time(&self) -> f64 {
-        *self.pipeline.next.ledger.tool_time.lock()
+        self.pipeline.bus.totals().tool_time_s
     }
 
-    /// Number of successful tool invocations so far.
+    /// Number of successful tool invocations so far — a view over the
+    /// spine's folded totals.
     pub fn total_runs(&self) -> u64 {
-        *self.pipeline.next.ledger.runs.lock()
+        self.pipeline.bus.totals().runs
     }
 
-    /// Snapshot of the per-attempt event log (oldest first).
+    /// Snapshot of the retained per-attempt events in canonical order —
+    /// the attempt-typed slice of the spine.
     pub fn events(&self) -> Vec<FlowEvent> {
-        self.pipeline.trace.events()
+        self.pipeline
+            .bus
+            .events()
+            .into_iter()
+            .filter_map(|(_, event)| match event {
+                ObsEvent::Attempt(e) => Some(e),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Whole-run trace counters (attempts, retries, failures by class,
-    /// cache hits, backoff charged).
+    /// cache hits, backoff charged), folded from the event stream.
     pub fn trace_summary(&self) -> TraceSummary {
-        self.pipeline.trace.summary()
+        self.pipeline.bus.totals().summary
     }
 
     /// Evaluates one design point through the full pipeline.
     pub fn evaluate(&self, point: &DesignPoint) -> DovadoResult<Evaluation> {
-        self.pipeline.evaluate(point)
+        let seq = self.pipeline.bus.alloc(1);
+        self.pipeline.evaluate(point, seq)
     }
 
     /// Evaluates many points per `schedule` (each evaluation runs its own
     /// tool session; the backend's checkpoint store is shared, matching
     /// how Dovado parallelizes real Vivado runs). Results come back in
     /// input order either way.
+    ///
+    /// A contiguous block of spine sequence numbers is reserved in input
+    /// order *before* any fan-out, so the event stream's canonical order
+    /// is identical for serial and parallel schedules.
     pub fn evaluate_many(
         &self,
         points: &[DesignPoint],
         schedule: Schedule,
     ) -> Vec<DovadoResult<Evaluation>> {
+        let start = self.pipeline.bus.alloc(points.len() as u64);
+        let indexed: Vec<(u64, &DesignPoint)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (start + i as u64, p))
+            .collect();
         match schedule {
             Schedule::Parallel => {
                 use rayon::prelude::*;
-                points.par_iter().map(|p| self.evaluate(p)).collect()
+                indexed
+                    .par_iter()
+                    .map(|&(seq, p)| self.pipeline.evaluate(p, seq))
+                    .collect()
             }
-            Schedule::Serial => points.iter().map(|p| self.evaluate(p)).collect(),
+            Schedule::Serial => indexed
+                .iter()
+                .map(|&(seq, p)| self.pipeline.evaluate(p, seq))
+                .collect(),
         }
     }
 }

@@ -18,11 +18,12 @@ use crate::dse::SurrogateConfig;
 use crate::error::{DovadoResult, ErrorClass};
 use crate::flow::Evaluator;
 use crate::metrics::{Evaluation, MetricSet};
+use crate::obs::ObsEvent;
 use crate::point::DesignPoint;
 use crate::space::ParameterSpace;
 use dovado_moo::ops::unique_in_batch;
 use dovado_moo::{IntVar, Objective, Problem};
-use dovado_surrogate::{Decision, SurrogateController};
+use dovado_surrogate::{ControlEvent, Decision, SurrogateController};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -88,10 +89,6 @@ pub struct DseProblem {
     pub parallel: bool,
     /// Decision counters.
     pub stats: FitnessStats,
-    /// Retries accumulated before this process (journaled runs resume
-    /// with a fresh trace; `sync_retries` adds this base so the counter
-    /// stays continuous across the restart).
-    retries_base: u64,
 }
 
 impl DseProblem {
@@ -116,7 +113,6 @@ impl DseProblem {
             metrics,
             parallel: false,
             stats: FitnessStats::default(),
-            retries_base: 0,
         };
 
         if let Some(cfg) = surrogate_cfg {
@@ -152,6 +148,7 @@ impl DseProblem {
                 }
                 controller.pretrain(pairs);
             }
+            problem.forward_control_events(&mut controller);
             problem.surrogate = Some(controller);
         }
         problem.sync_retries();
@@ -160,9 +157,10 @@ impl DseProblem {
 
     /// Rebuilds a problem mid-run from journaled state: no pretraining —
     /// the restored controller (if any) and fitness counters are
-    /// installed exactly as captured, and `stats.retries` keeps counting
-    /// from the journaled value even though this process's flow trace
-    /// starts empty.
+    /// installed exactly as captured. The caller has already spliced the
+    /// journaled trace totals onto the evaluator's spine (a `Resume`
+    /// event), so `stats.retries` can mirror the trace directly and
+    /// stays continuous across the restart.
     pub(crate) fn resume_from(
         evaluator: Evaluator,
         space: ParameterSpace,
@@ -181,7 +179,6 @@ impl DseProblem {
             penalty: penalty_vector(&metrics),
             metrics,
             parallel: false,
-            retries_base: stats.retries,
             stats,
         }
     }
@@ -226,9 +223,25 @@ impl DseProblem {
 
     /// Mirrors the evaluator's retry counter into the stats. Called at the
     /// end of every `evaluate`/`evaluate_batch` so serial and parallel
-    /// paths report identically regardless of which code path ran the tool.
+    /// paths report identically regardless of which code path ran the
+    /// tool. The trace summary is a fold over the spine — which resume
+    /// splices journaled totals into — so this single mirror is
+    /// continuous across restarts too.
     fn sync_retries(&mut self) {
-        self.stats.retries = self.retries_base + self.evaluator.trace_summary().retries;
+        self.stats.retries = self.evaluator.trace_summary().retries;
+    }
+
+    /// Drains the surrogate controller's model-management log and
+    /// forwards it onto the spine (serially, so the stream is identical
+    /// for serial and parallel batches).
+    fn forward_control_events(&self, controller: &mut SurrogateController) {
+        for event in controller.take_events() {
+            let obs = match event {
+                ControlEvent::Reselected { bandwidth } => ObsEvent::Reselected { bandwidth },
+                ControlEvent::GammaUpdated { gamma } => ObsEvent::GammaUpdated { gamma },
+            };
+            self.evaluator.spine().emit_next(obs);
+        }
     }
 
     /// Dispatches the tool for the distinct genomes `unique` indexes into
@@ -310,6 +323,24 @@ impl DseProblem {
             .expect("surrogate enabled")
             .decide_batch(genomes, self.parallel);
 
+        // The threshold decisions go on the spine, serially in slot order
+        // (the decide phase is deterministic, so this stream is identical
+        // for serial and parallel batches).
+        for (genome, decision) in genomes.iter().zip(&decisions) {
+            let point = match self.space.decode(genome) {
+                Ok(p) => p.as_assignments(),
+                Err(_) => "<invalid>".to_string(),
+            };
+            let choice = match decision {
+                Decision::Cached(_) => "cached",
+                Decision::Estimate(_) => "estimated",
+                Decision::Evaluate => "evaluated",
+            };
+            self.evaluator
+                .spine()
+                .emit_next(ObsEvent::SurrogateDecision { point, choice });
+        }
+
         // Slots the tool must answer. Identical genomes get identical
         // decisions (pure classification against one snapshot), so each
         // dedup group has a single decision.
@@ -336,6 +367,11 @@ impl DseProblem {
                 }
             }
         }
+        // Retrains and Γ moves from the record fold (and any bandwidth
+        // refresh in the decide phase) follow the batch on the spine.
+        let mut controller = self.surrogate.take().expect("surrogate enabled");
+        self.forward_control_events(&mut controller);
+        self.surrogate = Some(controller);
 
         // Assemble outputs in slot order, counting decisions per input
         // slot (duplicates each count — they each consumed a decision).

@@ -216,11 +216,29 @@ impl Evaluator {
         self.engine.injector()
     }
 
-    /// Charges simulated seconds straight to the tool-time ledger.
-    /// Resume uses this to re-account the journaled spend so soft-
-    /// deadline budgets see the whole run, not just the current process.
+    /// Charges simulated seconds straight to the tool-time ledger (an
+    /// [`crate::obs::ObsEvent::TimeCharged`] on the spine).
     pub fn charge_time(&self, seconds: f64) {
         self.engine.charge_time(seconds);
+    }
+
+    /// The evaluator's observability spine — the single event stream
+    /// every counter and summary in Dovado is derived from.
+    pub fn spine(&self) -> &crate::obs::EventBus {
+        self.engine.spine()
+    }
+
+    /// A consistent snapshot of the spine (canonical events + exact
+    /// totals), suitable for [`crate::obs::write_jsonl`].
+    pub fn snapshot(&self) -> crate::obs::SpineSnapshot {
+        self.engine.snapshot()
+    }
+
+    /// Splices journaled totals into the spine on `--resume`. Pass the
+    /// *deficit* between the journal and this evaluator's live totals so
+    /// nothing is double-counted.
+    pub fn record_resume(&self, summary: TraceSummary, runs: u64, tool_time_s: f64) {
+        self.engine.record_resume(summary, runs, tool_time_s);
     }
 
     /// The parsed interface of the module under evaluation.

@@ -44,6 +44,7 @@ pub mod fitness;
 pub mod flow;
 pub mod frames;
 pub mod metrics;
+pub mod obs;
 pub mod persist;
 pub mod point;
 pub mod results;
@@ -58,6 +59,10 @@ pub use error::{DovadoError, DovadoResult, ErrorClass};
 pub use fitness::{DseProblem, FitnessStats};
 pub use flow::{EvalConfig, Evaluator, FlowStep, HdlSource, RetryPolicy};
 pub use metrics::{fmax_mhz, Evaluation, Metric, MetricSet};
+pub use obs::{
+    fold_totals, write_jsonl, EventBus, EventKey, EventSink, MemorySink, ObsEvent, SpineSnapshot,
+    Totals, EVENT_SCHEMA_VERSION,
+};
 pub use persist::{PersistConfig, JOURNAL_FORMAT_VERSION};
 pub use point::DesignPoint;
 pub use results::{ascii_scatter, point_label, DseReport, ParetoEntry, PointResult};

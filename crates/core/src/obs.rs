@@ -1,0 +1,616 @@
+//! The structured observability spine.
+//!
+//! Every run-time accounting signal in Dovado — tool attempts, retries,
+//! persistent-store hits, charged simulated time, NSGA-II generation
+//! boundaries, surrogate control decisions, injected faults, and resume
+//! splices — is emitted as one typed [`ObsEvent`] on a shared
+//! [`EventBus`]. Everything the repo used to track in independently
+//! mutated counters (the flow trace, the engine ledger, CLI summaries,
+//! bench figures) is a *view* over this stream: [`Totals::fold`] is the
+//! single definition of every counter, and [`fold_totals`] recomputes
+//! them from scratch for any event sequence.
+//!
+//! # Determinism
+//!
+//! Events are keyed by [`EventKey`] — a `(seq, sub)` pair where `seq` is
+//! allocated serially in program order (batch dispatch reserves one
+//! contiguous block in input order *before* fanning out across threads)
+//! and `sub` numbers the attempts under one point. Sorting by key
+//! therefore yields the same canonical order for serial and parallel
+//! runs, which is what makes `--trace-out` files byte-identical across
+//! `--jobs` settings. The retention cap evicts the canonically-*largest*
+//! keys first, so the retained prefix is also schedule-independent.
+//!
+//! # Wire format
+//!
+//! [`write_jsonl`] serializes a [`SpineSnapshot`] as versioned JSONL: a
+//! header line, one object per event in canonical order, and a trailing
+//! summary object that equals the fold of the event lines above it.
+
+use crate::flow::FlowStep;
+use crate::trace::{AttemptOutcome, FlowEvent, TraceSummary};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::sync::Arc;
+
+/// Version tag written in the JSONL header line. Bump on any change to
+/// the event wire format (field names, event types, value encodings).
+pub const EVENT_SCHEMA_VERSION: u32 = 1;
+
+/// Cap on retained events per bus. Totals keep counting past it; the
+/// canonically-largest keys are dropped first so serial and parallel
+/// runs retain the same prefix.
+pub const MAX_RETAINED_EVENTS: usize = 10_000;
+
+/// Canonical position of an event in the run's stream.
+///
+/// Ordering is lexicographic on `(seq, sub)` — stable program order, not
+/// arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// Serially-allocated major position: one per dispatched point or
+    /// control-flow emission, assigned in program order before any
+    /// parallel fan-out.
+    pub seq: u64,
+    /// Minor position under one `seq`: the 1-based attempt number for
+    /// tool attempts, 0 for everything else.
+    pub sub: u32,
+}
+
+/// One typed event on the observability spine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsEvent {
+    /// One tool attempt (success or failure), as the retry layer saw it.
+    Attempt(FlowEvent),
+    /// An evaluation answered from the persistent store with no tool
+    /// attempt at all.
+    StoreHit {
+        /// Compact design-point label (`DEPTH=64`).
+        point: String,
+    },
+    /// Simulated seconds charged straight to the ledger, outside any
+    /// attempt.
+    TimeCharged {
+        /// Seconds charged.
+        seconds: f64,
+    },
+    /// Journaled totals spliced in by `--resume`: the *deficit* between
+    /// the journal and the live bus, so a replay never double-counts
+    /// spans already on the stream.
+    Resume {
+        /// Trace counters carried over from the journal.
+        summary: TraceSummary,
+        /// Successful tool runs carried over.
+        runs: u64,
+        /// Simulated tool seconds carried over.
+        tool_time_s: f64,
+    },
+    /// An NSGA-II generation boundary.
+    Generation {
+        /// 1-based index of the generation just completed.
+        generation: u64,
+        /// Cumulative fitness evaluations after this generation.
+        evaluations: u64,
+    },
+    /// A surrogate control decision for one batch slot.
+    SurrogateDecision {
+        /// Compact design-point label.
+        point: String,
+        /// `cached`, `estimated`, or `evaluated`.
+        choice: &'static str,
+    },
+    /// The surrogate re-selected its kernel bandwidth (retrain).
+    Reselected {
+        /// Bandwidth chosen by leave-one-out cross-validation.
+        bandwidth: f64,
+    },
+    /// The adaptive threshold controller moved Γ.
+    GammaUpdated {
+        /// The new Γ value.
+        gamma: f64,
+    },
+    /// An injected fault fired outside the attempt path (e.g. a host
+    /// crash at a generation boundary).
+    Fault {
+        /// Stable fault-kind label.
+        kind: String,
+    },
+}
+
+/// Exact whole-run totals, maintained incrementally by the bus and
+/// recomputable from scratch with [`fold_totals`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Totals {
+    /// Rolled-up trace counters.
+    pub summary: TraceSummary,
+    /// Successful tool invocations.
+    pub runs: u64,
+    /// Cumulative simulated tool seconds: attempts (failed ones too),
+    /// retry backoff, charged time, and resume splices.
+    pub tool_time_s: f64,
+}
+
+impl Totals {
+    /// Folds one event into the totals. This is *the* definition of
+    /// every counter in Dovado; [`TraceSummary`] snapshots and the
+    /// engine's time/run ledger are views of this fold.
+    pub fn fold(&mut self, event: &ObsEvent) {
+        match event {
+            ObsEvent::Attempt(e) => {
+                self.summary.attempts += 1;
+                if e.attempt > 1 {
+                    self.summary.retries += 1;
+                }
+                match &e.outcome {
+                    AttemptOutcome::Success => {
+                        if e.cached {
+                            self.summary.cache_hits += 1;
+                        }
+                        self.runs += 1;
+                    }
+                    AttemptOutcome::TransientFailure(_) => self.summary.transient_failures += 1,
+                    AttemptOutcome::PermanentFailure(_) => self.summary.permanent_failures += 1,
+                }
+                self.summary.backoff_s += e.backoff_s;
+                self.tool_time_s += e.tool_time_s + e.backoff_s;
+            }
+            ObsEvent::StoreHit { .. } => self.summary.store_hits += 1,
+            ObsEvent::TimeCharged { seconds } => self.tool_time_s += seconds,
+            ObsEvent::Resume {
+                summary,
+                runs,
+                tool_time_s,
+            } => {
+                self.summary.attempts += summary.attempts;
+                self.summary.retries += summary.retries;
+                self.summary.transient_failures += summary.transient_failures;
+                self.summary.permanent_failures += summary.permanent_failures;
+                self.summary.cache_hits += summary.cache_hits;
+                self.summary.store_hits += summary.store_hits;
+                self.summary.backoff_s += summary.backoff_s;
+                self.runs += runs;
+                self.tool_time_s += tool_time_s;
+            }
+            ObsEvent::Generation { .. }
+            | ObsEvent::SurrogateDecision { .. }
+            | ObsEvent::Reselected { .. }
+            | ObsEvent::GammaUpdated { .. }
+            | ObsEvent::Fault { .. } => {}
+        }
+    }
+}
+
+/// Folds an event sequence into totals from scratch.
+pub fn fold_totals<'a, I>(events: I) -> Totals
+where
+    I: IntoIterator<Item = &'a ObsEvent>,
+{
+    let mut totals = Totals::default();
+    for event in events {
+        totals.fold(event);
+    }
+    totals
+}
+
+/// A consistent copy of the spine: retained events in canonical order
+/// plus the exact whole-run totals (which cover dropped events too).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpineSnapshot {
+    /// Retained events, sorted by key.
+    pub events: Vec<(EventKey, ObsEvent)>,
+    /// Exact whole-run trace counters.
+    pub summary: TraceSummary,
+    /// Exact whole-run successful tool invocations.
+    pub runs: u64,
+    /// Exact whole-run simulated tool seconds.
+    pub tool_time_s: f64,
+    /// Events evicted by the retention cap (counted, not retained).
+    pub dropped: u64,
+}
+
+/// Shared, thread-safe event spine with canonical ordering and exact
+/// incrementally-folded totals. Clones share storage.
+#[derive(Clone, Default)]
+pub struct EventBus {
+    inner: Arc<Mutex<BusInner>>,
+}
+
+#[derive(Default)]
+struct BusInner {
+    events: BTreeMap<EventKey, ObsEvent>,
+    totals: Totals,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl EventBus {
+    /// Creates an empty bus.
+    pub fn new() -> EventBus {
+        EventBus::default()
+    }
+
+    /// Reserves `n` consecutive `seq` values and returns the first.
+    /// Batch dispatch reserves its whole block serially, in input order,
+    /// before fanning out across threads.
+    pub fn alloc(&self, n: u64) -> u64 {
+        let mut inner = self.inner.lock();
+        let start = inner.next_seq;
+        inner.next_seq += n;
+        start
+    }
+
+    /// Emits an event at an explicit key (keys must be unique per run).
+    pub fn emit(&self, key: EventKey, event: ObsEvent) {
+        let mut inner = self.inner.lock();
+        inner.totals.fold(&event);
+        inner.events.insert(key, event);
+        if inner.events.len() > MAX_RETAINED_EVENTS {
+            inner.events.pop_last();
+            inner.dropped += 1;
+        }
+    }
+
+    /// Allocates the next `seq` and emits at `sub = 0`.
+    pub fn emit_next(&self, event: ObsEvent) -> EventKey {
+        let key = EventKey {
+            seq: self.alloc(1),
+            sub: 0,
+        };
+        self.emit(key, event);
+        key
+    }
+
+    /// Exact whole-run totals (cover evicted events too).
+    pub fn totals(&self) -> Totals {
+        self.inner.lock().totals
+    }
+
+    /// Number of events evicted by the retention cap.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Canonically-ordered copy of the retained events.
+    pub fn events(&self) -> Vec<(EventKey, ObsEvent)> {
+        self.inner
+            .lock()
+            .events
+            .iter()
+            .map(|(k, e)| (*k, e.clone()))
+            .collect()
+    }
+
+    /// A consistent snapshot of events and totals, taken under one lock.
+    pub fn snapshot(&self) -> SpineSnapshot {
+        let inner = self.inner.lock();
+        SpineSnapshot {
+            events: inner.events.iter().map(|(k, e)| (*k, e.clone())).collect(),
+            summary: inner.totals.summary,
+            runs: inner.totals.runs,
+            tool_time_s: inner.totals.tool_time_s,
+            dropped: inner.dropped,
+        }
+    }
+}
+
+/// A consumer of canonically-ordered events.
+pub trait EventSink {
+    /// Receives one event; [`replay`] calls this in canonical order.
+    fn event(&mut self, key: EventKey, event: &ObsEvent);
+}
+
+/// Replays a snapshot into a sink in canonical key order.
+pub fn replay(snapshot: &SpineSnapshot, sink: &mut dyn EventSink) {
+    for (key, event) in &snapshot.events {
+        sink.event(*key, event);
+    }
+}
+
+/// In-memory sink for tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// Events received, in replay order.
+    pub received: Vec<(EventKey, ObsEvent)>,
+}
+
+impl EventSink for MemorySink {
+    fn event(&mut self, key: EventKey, event: &ObsEvent) {
+        self.received.push((key, event.clone()));
+    }
+}
+
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number. Rust's shortest-roundtrip `Display`
+/// is deterministic and decimal; non-finite values become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn step_name(step: FlowStep) -> &'static str {
+    match step {
+        FlowStep::Synthesis => "synthesis",
+        FlowStep::Implementation => "implementation",
+    }
+}
+
+fn event_json(key: EventKey, event: &ObsEvent) -> String {
+    let head = format!("{{\"seq\":{},\"sub\":{}", key.seq, key.sub);
+    match event {
+        ObsEvent::Attempt(e) => {
+            let (outcome, error) = match &e.outcome {
+                AttemptOutcome::Success => ("success", None),
+                AttemptOutcome::TransientFailure(m) => ("transient", Some(m)),
+                AttemptOutcome::PermanentFailure(m) => ("permanent", Some(m)),
+            };
+            let mut line = format!(
+                "{head},\"type\":\"attempt\",\"point\":\"{}\",\"attempt\":{},\
+                 \"step\":\"{}\",\"outcome\":\"{outcome}\"",
+                json_escape(&e.point),
+                e.attempt,
+                step_name(e.step),
+            );
+            if let Some(m) = error {
+                let _ = write!(line, ",\"error\":\"{}\"", json_escape(m));
+            }
+            let _ = write!(
+                line,
+                ",\"tool_time_s\":{},\"backoff_s\":{},\"incremental\":{},\"cached\":{}}}",
+                json_f64(e.tool_time_s),
+                json_f64(e.backoff_s),
+                e.incremental,
+                e.cached
+            );
+            line
+        }
+        ObsEvent::StoreHit { point } => {
+            format!(
+                "{head},\"type\":\"store_hit\",\"point\":\"{}\"}}",
+                json_escape(point)
+            )
+        }
+        ObsEvent::TimeCharged { seconds } => {
+            format!(
+                "{head},\"type\":\"time_charged\",\"seconds\":{}}}",
+                json_f64(*seconds)
+            )
+        }
+        ObsEvent::Resume {
+            summary,
+            runs,
+            tool_time_s,
+        } => {
+            format!(
+                "{head},\"type\":\"resume\",\"attempts\":{},\"retries\":{},\
+                 \"transient_failures\":{},\"permanent_failures\":{},\
+                 \"cache_hits\":{},\"store_hits\":{},\"backoff_s\":{},\
+                 \"runs\":{},\"tool_time_s\":{}}}",
+                summary.attempts,
+                summary.retries,
+                summary.transient_failures,
+                summary.permanent_failures,
+                summary.cache_hits,
+                summary.store_hits,
+                json_f64(summary.backoff_s),
+                runs,
+                json_f64(*tool_time_s)
+            )
+        }
+        ObsEvent::Generation {
+            generation,
+            evaluations,
+        } => {
+            format!(
+                "{head},\"type\":\"generation\",\"generation\":{generation},\
+                 \"evaluations\":{evaluations}}}"
+            )
+        }
+        ObsEvent::SurrogateDecision { point, choice } => {
+            format!(
+                "{head},\"type\":\"surrogate_decision\",\"point\":\"{}\",\"choice\":\"{choice}\"}}",
+                json_escape(point)
+            )
+        }
+        ObsEvent::Reselected { bandwidth } => {
+            format!(
+                "{head},\"type\":\"reselected\",\"bandwidth\":{}}}",
+                json_f64(*bandwidth)
+            )
+        }
+        ObsEvent::GammaUpdated { gamma } => {
+            format!(
+                "{head},\"type\":\"gamma_updated\",\"gamma\":{}}}",
+                json_f64(*gamma)
+            )
+        }
+        ObsEvent::Fault { kind } => {
+            format!(
+                "{head},\"type\":\"fault\",\"kind\":\"{}\"}}",
+                json_escape(kind)
+            )
+        }
+    }
+}
+
+/// Writes the versioned JSONL trace: a header line, one object per event
+/// in canonical key order, and a trailing summary object computed by
+/// folding exactly the event lines above it (so the file is always
+/// self-consistent; `dropped` reports how many events the retention cap
+/// evicted before the snapshot).
+pub fn write_jsonl(snapshot: &SpineSnapshot, out: &mut dyn io::Write) -> io::Result<()> {
+    writeln!(
+        out,
+        "{{\"schema\":\"dovado-trace\",\"version\":{EVENT_SCHEMA_VERSION}}}"
+    )?;
+    for (key, event) in &snapshot.events {
+        writeln!(out, "{}", event_json(*key, event))?;
+    }
+    let t = fold_totals(snapshot.events.iter().map(|(_, e)| e));
+    writeln!(
+        out,
+        "{{\"type\":\"summary\",\"attempts\":{},\"retries\":{},\
+         \"transient_failures\":{},\"permanent_failures\":{},\
+         \"cache_hits\":{},\"store_hits\":{},\"backoff_s\":{},\
+         \"runs\":{},\"tool_time_s\":{},\"dropped\":{}}}",
+        t.summary.attempts,
+        t.summary.retries,
+        t.summary.transient_failures,
+        t.summary.permanent_failures,
+        t.summary.cache_hits,
+        t.summary.store_hits,
+        json_f64(t.summary.backoff_s),
+        t.runs,
+        json_f64(t.tool_time_s),
+        snapshot.dropped
+    )
+}
+
+/// Renders a snapshot to a JSONL string (convenience over
+/// [`write_jsonl`]).
+pub fn jsonl_string(snapshot: &SpineSnapshot) -> String {
+    let mut buf = Vec::new();
+    write_jsonl(snapshot, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("JSONL output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attempt(point: &str, n: u32, outcome: AttemptOutcome) -> ObsEvent {
+        ObsEvent::Attempt(FlowEvent {
+            point: point.into(),
+            attempt: n,
+            step: FlowStep::Implementation,
+            outcome,
+            tool_time_s: 10.0,
+            backoff_s: if n > 1 { 30.0 } else { 0.0 },
+            incremental: true,
+            cached: false,
+        })
+    }
+
+    #[test]
+    fn keys_order_by_seq_then_sub() {
+        let a = EventKey { seq: 1, sub: 2 };
+        let b = EventKey { seq: 2, sub: 1 };
+        let c = EventKey { seq: 1, sub: 3 };
+        assert!(a < b && a < c && c < b);
+    }
+
+    #[test]
+    fn incremental_totals_match_the_fold() {
+        let bus = EventBus::new();
+        bus.emit_next(attempt(
+            "DEPTH=8",
+            1,
+            AttemptOutcome::TransientFailure("x".into()),
+        ));
+        bus.emit_next(attempt("DEPTH=8", 2, AttemptOutcome::Success));
+        bus.emit_next(ObsEvent::StoreHit {
+            point: "DEPTH=16".into(),
+        });
+        bus.emit_next(ObsEvent::TimeCharged { seconds: 5.0 });
+        let snap = bus.snapshot();
+        let folded = fold_totals(snap.events.iter().map(|(_, e)| e));
+        assert_eq!(bus.totals(), folded);
+        assert_eq!(folded.summary.attempts, 2);
+        assert_eq!(folded.summary.retries, 1);
+        assert_eq!(folded.summary.store_hits, 1);
+        assert_eq!(folded.runs, 1);
+        assert_eq!(folded.tool_time_s, 10.0 + 10.0 + 30.0 + 5.0);
+    }
+
+    #[test]
+    fn cap_keeps_the_canonical_prefix() {
+        let bus = EventBus::new();
+        // Emit in *reverse* key order: retention must still keep the
+        // lowest keys, not the earliest arrivals.
+        let n = MAX_RETAINED_EVENTS as u64 + 50;
+        for seq in (0..n).rev() {
+            bus.emit(
+                EventKey { seq, sub: 1 },
+                attempt("DEPTH=8", 1, AttemptOutcome::Success),
+            );
+        }
+        let snap = bus.snapshot();
+        assert_eq!(snap.events.len(), MAX_RETAINED_EVENTS);
+        assert_eq!(snap.dropped, 50);
+        assert_eq!(
+            snap.events.last().unwrap().0.seq,
+            MAX_RETAINED_EVENTS as u64 - 1
+        );
+        assert_eq!(snap.summary.attempts, n);
+    }
+
+    #[test]
+    fn replay_feeds_sinks_in_key_order() {
+        let bus = EventBus::new();
+        bus.emit(
+            EventKey { seq: 3, sub: 0 },
+            ObsEvent::TimeCharged { seconds: 1.0 },
+        );
+        bus.emit(
+            EventKey { seq: 1, sub: 0 },
+            ObsEvent::TimeCharged { seconds: 2.0 },
+        );
+        let mut sink = MemorySink::default();
+        replay(&bus.snapshot(), &mut sink);
+        let seqs: Vec<u64> = sink.received.iter().map(|(k, _)| k.seq).collect();
+        assert_eq!(seqs, vec![1, 3]);
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_and_versioned() {
+        let bus = EventBus::new();
+        bus.emit_next(attempt(
+            "DEPTH=8 \"q\"",
+            2,
+            AttemptOutcome::TransientFailure("tool\ncrashed".into()),
+        ));
+        let text = jsonl_string(&bus.snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert_eq!(lines[0], "{\"schema\":\"dovado-trace\",\"version\":1}");
+        assert!(lines[1].contains("\\\"q\\\""), "{}", lines[1]);
+        assert!(lines[1].contains("tool\\ncrashed"), "{}", lines[1]);
+        assert!(
+            lines[2].starts_with("{\"type\":\"summary\""),
+            "{}",
+            lines[2]
+        );
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn json_floats_print_shortest_roundtrip() {
+        assert_eq!(json_f64(90.0), "90");
+        assert_eq!(json_f64(0.1), "0.1");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

@@ -37,7 +37,9 @@ use std::path::{Path, PathBuf};
 
 /// Journal format version. Bump on any change to the journal payload
 /// layout; old journals then refuse to resume instead of misparsing.
-pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+/// (v2 added the `trace` line: trace counters + successful runs, so
+/// resume can splice whole-run totals onto the observability spine.)
+pub const JOURNAL_FORMAT_VERSION: u32 = 2;
 
 /// Envelope tag of the exploration journal.
 const JOURNAL_TAG: &str = "dovado-journal";
@@ -197,6 +199,11 @@ pub struct Journal {
     pub tool_time_s: f64,
     /// Fitness counters so far.
     pub stats: FitnessStats,
+    /// Whole-run trace counters so far (the spine's folded totals;
+    /// resume splices the deficit back as a `Resume` event).
+    pub trace: crate::trace::TraceSummary,
+    /// Successful tool invocations so far.
+    pub runs: u64,
     /// The NSGA-II engine state.
     pub snapshot: Nsga2Snapshot,
     /// Surrogate state, when the approximation model is on.
@@ -263,6 +270,18 @@ fn serialize_journal(j: &Journal) -> String {
         s.transient_failures,
         s.permanent_failures,
         s.retries
+    ));
+    let t = &j.trace;
+    out.push_str(&format!(
+        "trace {} {} {} {} {} {} {} {}\n",
+        t.attempts,
+        t.retries,
+        t.transient_failures,
+        t.permanent_failures,
+        t.cache_hits,
+        t.store_hits,
+        f64_hex(t.backoff_s),
+        j.runs
     ));
     out.push_str(&format!("generation {}\n", snap.generation));
     out.push_str(&format!("evaluations {}\n", snap.evaluations));
@@ -362,6 +381,20 @@ fn parse_journal(payload: &str) -> Option<Journal> {
         permanent_failures: f[5],
         retries: f[6],
     };
+    let tr: Vec<&str> = c.tagged("trace")?.split_whitespace().collect();
+    if tr.len() != 8 {
+        return None;
+    }
+    let trace = crate::trace::TraceSummary {
+        attempts: tr[0].parse().ok()?,
+        retries: tr[1].parse().ok()?,
+        transient_failures: tr[2].parse().ok()?,
+        permanent_failures: tr[3].parse().ok()?,
+        cache_hits: tr[4].parse().ok()?,
+        store_hits: tr[5].parse().ok()?,
+        backoff_s: f64_from_hex(tr[6])?,
+    };
+    let runs: u64 = tr[7].parse().ok()?;
     let generation: u32 = c.tagged("generation")?.parse().ok()?;
     let evaluations: u64 = c.tagged("evaluations")?.parse().ok()?;
     let rng: Vec<u64> = c
@@ -429,6 +462,8 @@ fn parse_journal(payload: &str) -> Option<Journal> {
         complete,
         tool_time_s,
         stats,
+        trace,
+        runs,
         snapshot: Nsga2Snapshot {
             generation,
             evaluations,
@@ -543,6 +578,16 @@ mod tests {
                 permanent_failures: 0,
                 retries: 4,
             },
+            trace: crate::trace::TraceSummary {
+                attempts: 15,
+                retries: 4,
+                transient_failures: 4,
+                permanent_failures: 1,
+                cache_hits: 2,
+                store_hits: 6,
+                backoff_s: 210.0,
+            },
+            runs: 10,
             snapshot: Nsga2Snapshot {
                 generation: 5,
                 evaluations: 60,

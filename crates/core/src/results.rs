@@ -60,6 +60,10 @@ pub struct DseReport {
     pub trace: TraceSummary,
     /// Retained per-attempt flow events (oldest first, bounded).
     pub events: Vec<FlowEvent>,
+    /// Full observability-spine snapshot: every retained structured
+    /// event in canonical order plus the exact fold of the stream.
+    /// Serialize with [`crate::obs::write_jsonl`].
+    pub spine: crate::obs::SpineSnapshot,
     /// Simulated tool seconds consumed.
     pub tool_time_s: f64,
     /// Per-generation statistics.
@@ -300,6 +304,7 @@ mod tests {
             retries: 0,
             trace: TraceSummary::default(),
             events: Vec::new(),
+            spine: Default::default(),
             tool_time_s: 3600.0,
             history: Vec::new(),
         }

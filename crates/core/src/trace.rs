@@ -8,9 +8,8 @@
 //! the CLI's explore command.
 
 use crate::flow::FlowStep;
-use parking_lot::Mutex;
+use crate::obs::{EventBus, EventKey, ObsEvent};
 use std::fmt;
-use std::sync::Arc;
 
 /// How one evaluation attempt ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,67 +112,68 @@ impl fmt::Display for TraceSummary {
     }
 }
 
-/// Shared, append-only event log with a bounded memory footprint.
+/// Thin adapter over the observability spine that keeps the historical
+/// per-attempt trace API.
 ///
-/// Clones share storage (the evaluator is `Clone` and evaluations run in
-/// parallel). Summary counters are exact over the whole run even after
-/// old events are dropped.
+/// `FlowTrace` no longer owns any counters: every `push` emits an
+/// [`ObsEvent::Attempt`] on its [`EventBus`], and the summary is the
+/// bus's folded totals. Clones share storage (the evaluator is `Clone`
+/// and evaluations run in parallel); counters are exact over the whole
+/// run even after old events are dropped by the retention cap.
 #[derive(Clone, Default)]
 pub struct FlowTrace {
-    inner: Arc<Mutex<TraceInner>>,
+    bus: EventBus,
 }
-
-#[derive(Default)]
-struct TraceInner {
-    events: Vec<FlowEvent>,
-    summary: TraceSummary,
-}
-
-/// Cap on retained events; counters keep counting past it.
-const MAX_EVENTS: usize = 10_000;
 
 impl FlowTrace {
-    /// Creates an empty trace.
+    /// Creates an empty trace over a fresh bus.
     pub fn new() -> FlowTrace {
         FlowTrace::default()
     }
 
-    /// Appends an event and folds it into the summary.
+    /// Creates a view over an existing bus.
+    pub fn with_bus(bus: EventBus) -> FlowTrace {
+        FlowTrace { bus }
+    }
+
+    /// The underlying event bus.
+    pub fn bus(&self) -> &EventBus {
+        &self.bus
+    }
+
+    /// Emits the attempt on the spine (its key is the next serial
+    /// sequence number, sub-ordered by attempt number).
     pub fn push(&self, event: FlowEvent) {
-        let mut inner = self.inner.lock();
-        inner.summary.attempts += 1;
-        if event.attempt > 1 {
-            inner.summary.retries += 1;
-        }
-        match &event.outcome {
-            AttemptOutcome::Success => {
-                if event.cached {
-                    inner.summary.cache_hits += 1;
-                }
-            }
-            AttemptOutcome::TransientFailure(_) => inner.summary.transient_failures += 1,
-            AttemptOutcome::PermanentFailure(_) => inner.summary.permanent_failures += 1,
-        }
-        inner.summary.backoff_s += event.backoff_s;
-        if inner.events.len() < MAX_EVENTS {
-            inner.events.push(event);
-        }
+        let key = EventKey {
+            seq: self.bus.alloc(1),
+            sub: event.attempt,
+        };
+        self.bus.emit(key, ObsEvent::Attempt(event));
     }
 
     /// Counts one evaluation served from the persistent store (no tool
     /// attempt happens, so this is tracked outside [`FlowTrace::push`]).
     pub fn record_store_hit(&self) {
-        self.inner.lock().summary.store_hits += 1;
+        self.bus.emit_next(ObsEvent::StoreHit {
+            point: String::new(),
+        });
     }
 
-    /// Snapshot of the retained events (oldest first).
+    /// Snapshot of the retained attempt events (canonical order).
     pub fn events(&self) -> Vec<FlowEvent> {
-        self.inner.lock().events.clone()
+        self.bus
+            .events()
+            .into_iter()
+            .filter_map(|(_, event)| match event {
+                ObsEvent::Attempt(e) => Some(e),
+                _ => None,
+            })
+            .collect()
     }
 
-    /// Exact whole-run counters.
+    /// Exact whole-run counters, folded from the event stream.
     pub fn summary(&self) -> TraceSummary {
-        self.inner.lock().summary
+        self.bus.totals().summary
     }
 }
 
@@ -226,13 +226,14 @@ mod tests {
 
     #[test]
     fn clones_share_storage_and_cap_holds() {
+        use crate::obs::MAX_RETAINED_EVENTS;
         let trace = FlowTrace::new();
         let clone = trace.clone();
-        for _ in 0..(MAX_EVENTS + 100) {
+        for _ in 0..(MAX_RETAINED_EVENTS + 100) {
             clone.push(event(1, AttemptOutcome::Success));
         }
-        assert_eq!(trace.events().len(), MAX_EVENTS);
-        assert_eq!(trace.summary().attempts, (MAX_EVENTS + 100) as u64);
+        assert_eq!(trace.events().len(), MAX_RETAINED_EVENTS);
+        assert_eq!(trace.summary().attempts, (MAX_RETAINED_EVENTS + 100) as u64);
     }
 
     #[test]

@@ -55,6 +55,26 @@ impl ControlStats {
     }
 }
 
+/// A model-management event the controller logged: retrains and Γ moves.
+///
+/// The controller has no dependency on the host's telemetry, so it keeps
+/// a small drainable log instead of emitting directly; the DSE layer
+/// drains it with [`SurrogateController::take_events`] and forwards onto
+/// its observability spine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlEvent {
+    /// LOO-CV re-selected the kernel bandwidth (a retrain).
+    Reselected {
+        /// The bandwidth chosen.
+        bandwidth: f64,
+    },
+    /// A recorded pair moved the adaptive threshold Γ.
+    GammaUpdated {
+        /// The new Γ.
+        gamma: f64,
+    },
+}
+
 /// The fitness-approximation controller: dataset + NW model + threshold.
 #[derive(Debug, Clone)]
 pub struct SurrogateController {
@@ -71,6 +91,8 @@ pub struct SurrogateController {
     inserts_since_retrain: usize,
     /// Decision counters.
     pub stats: ControlStats,
+    /// Undrained model-management events (retrains, Γ moves).
+    events: Vec<ControlEvent>,
 }
 
 impl SurrogateController {
@@ -89,6 +111,7 @@ impl SurrogateController {
             retrain_every: 1,
             inserts_since_retrain: 0,
             stats: ControlStats::default(),
+            events: Vec::new(),
         }
     }
 
@@ -128,7 +151,14 @@ impl SurrogateController {
             retrain_every,
             inserts_since_retrain,
             stats,
+            events: Vec::new(),
         }
+    }
+
+    /// Drains the model-management events logged since the last drain
+    /// (in the order they happened).
+    pub fn take_events(&mut self) -> Vec<ControlEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// Insertions since the last LOO-CV reselection (the amortization
@@ -223,6 +253,9 @@ impl SurrogateController {
         if self.inserts_since_retrain > 0 {
             self.model.bandwidth = select_bandwidth(&self.dataset, self.model.kernel, &self.grid);
             self.inserts_since_retrain = 0;
+            self.events.push(ControlEvent::Reselected {
+                bandwidth: self.model.bandwidth,
+            });
         }
     }
 
@@ -246,8 +279,13 @@ impl SurrogateController {
         if self.inserts_since_retrain >= self.retrain_every {
             self.model.bandwidth = select_bandwidth(&self.dataset, self.model.kernel, &self.grid);
             self.inserts_since_retrain = 0;
+            self.events.push(ControlEvent::Reselected {
+                bandwidth: self.model.bandwidth,
+            });
         }
         self.gamma = self.policy.gamma(&self.dataset);
+        self.events
+            .push(ControlEvent::GammaUpdated { gamma: self.gamma });
         true
     }
 
@@ -264,6 +302,11 @@ impl SurrogateController {
         self.model.bandwidth = select_bandwidth(&self.dataset, self.model.kernel, &self.grid);
         self.gamma = self.policy.gamma(&self.dataset);
         self.inserts_since_retrain = 0;
+        self.events.push(ControlEvent::Reselected {
+            bandwidth: self.model.bandwidth,
+        });
+        self.events
+            .push(ControlEvent::GammaUpdated { gamma: self.gamma });
     }
 
     /// Direct model prediction regardless of the control policy (used for
@@ -540,6 +583,23 @@ mod tests {
             2,
             "the naive rebuild is mid-cycle and has not reselected"
         );
+    }
+
+    #[test]
+    fn control_events_are_logged_and_drained() {
+        let mut c = pretrained(ThresholdPolicy::paper_default());
+        let setup = c.take_events();
+        assert!(
+            setup
+                .iter()
+                .any(|e| matches!(e, ControlEvent::Reselected { .. })),
+            "pretrain must log its reselection: {setup:?}"
+        );
+        c.record(vec![911], truth(911)); // retrain_every = 1 → reselect + Γ
+        let evs = c.take_events();
+        assert!(matches!(evs[0], ControlEvent::Reselected { bandwidth } if bandwidth > 0.0));
+        assert!(matches!(evs[1], ControlEvent::GammaUpdated { gamma } if gamma > 0.0));
+        assert!(c.take_events().is_empty(), "drain must empty the log");
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod nw;
 pub mod similarity;
 pub mod threshold;
 
-pub use control::{ControlStats, Decision, SurrogateController};
+pub use control::{ControlEvent, ControlStats, Decision, SurrogateController};
 pub use dataset::{Bounds, Dataset};
 pub use estimator::Estimator;
 pub use kernel::Kernel;

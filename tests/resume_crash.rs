@@ -147,6 +147,28 @@ fn assert_reports_bitwise(a: &DseReport, b: &DseReport) {
     assert_eq!(a.retries, b.retries);
 }
 
+/// Whole-run observability totals: every counter the spine folds must be
+/// interruption- and schedule-independent. Kept separate from
+/// [`assert_reports_bitwise`] because warm-store reruns legitimately
+/// start from a zero trace while reproducing the same report.
+fn assert_traces_match(a: &DseReport, b: &DseReport) {
+    assert_eq!(a.trace.attempts, b.trace.attempts, "attempts diverged");
+    assert_eq!(a.trace.retries, b.trace.retries, "retries diverged");
+    assert_eq!(a.trace.transient_failures, b.trace.transient_failures);
+    assert_eq!(a.trace.permanent_failures, b.trace.permanent_failures);
+    assert_eq!(
+        a.trace.cache_hits, b.trace.cache_hits,
+        "cache hits diverged"
+    );
+    assert_eq!(
+        a.trace.store_hits, b.trace.store_hits,
+        "store hits diverged"
+    );
+    assert_eq!(a.trace.backoff_s.to_bits(), b.trace.backoff_s.to_bits());
+    assert_eq!(a.spine.summary, b.spine.summary, "spine totals diverged");
+    assert_eq!(a.spine.runs, b.spine.runs, "spine run counts diverged");
+}
+
 /// The journals both runs leave behind hold the full optimizer state;
 /// everything that determines future behavior must be bitwise-identical.
 /// (The configuration fingerprints differ — the crashed run carries a
@@ -200,6 +222,7 @@ fn crash_at_every_boundary_then_resume_matches_uninterrupted() {
     assert_eq!(crashes, GENERATIONS, "one interruption per boundary");
 
     assert_reports_bitwise(&baseline, &resumed);
+    assert_traces_match(&baseline, &resumed);
     assert_final_journals_match(&base_dir, &crash_dir);
 }
 
@@ -213,6 +236,7 @@ fn randomized_crash_generation_matches_uninterrupted() {
     let (resumed, _) = run_until_complete(&tool(crash_plan(0.5)), &cfg, &crash_dir);
 
     assert_reports_bitwise(&baseline, &resumed);
+    assert_traces_match(&baseline, &resumed);
     assert_final_journals_match(&base_dir, &crash_dir);
 }
 
@@ -232,6 +256,7 @@ fn surrogate_state_survives_crash_and_resume() {
     );
 
     assert_reports_bitwise(&baseline, &resumed);
+    assert_traces_match(&baseline, &resumed);
     // Dataset, bandwidth, Γ and the amortization phase all round-trip.
     assert_final_journals_match(&base_dir, &crash_dir);
 }
@@ -255,6 +280,7 @@ fn crash_resume_is_identical_under_one_and_four_jobs() {
 
     assert_reports_bitwise(&baseline, &one);
     assert_reports_bitwise(&baseline, &four);
+    assert_traces_match(&one, &four);
     assert_final_journals_match(&one_dir, &four_dir);
 }
 
