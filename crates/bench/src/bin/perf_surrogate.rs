@@ -4,8 +4,10 @@
 //!
 //! Workload: 4 objectives (LUT, FF, Fmax, power), population 64, synthetic
 //! dataset M = 500 — the ISSUE's reference configuration. Also measures the
-//! per-record cost of eager vs amortized bandwidth reselection at
-//! M ∈ {100, 500, 1000}. Writes `results/BENCH_surrogate.json`.
+//! per-record cost of eager vs amortized bandwidth reselection across
+//! M ∈ {100 … 10⁵} (`--full` extends to 10⁶; `--smoke` is the CI subset),
+//! showing the incremental/truncated hot path bending the cost curve from
+//! ~M² toward ~M·log M. Writes `results/BENCH_surrogate.json`.
 
 use dovado::{
     Domain, DseProblem, EvalConfig, Evaluator, HdlSource, Metric, MetricSet, ParameterSpace,
@@ -134,9 +136,25 @@ fn json_f(v: f64) -> String {
 }
 
 fn main() {
+    let mode = match std::env::args().nth(1).as_deref() {
+        Some("--smoke") => "smoke",
+        Some("--full") => "full",
+        Some(other) => {
+            eprintln!("usage: perf_surrogate [--smoke | --full] (got `{other}`)");
+            std::process::exit(2);
+        }
+        None => "default",
+    };
+    // The record-cost sweep: smoke is the CI subset (seconds, still
+    // spanning the dense→truncated switchover), full extends to 10⁶ rows.
+    let sweep: &[usize] = match mode {
+        "smoke" => &[100, 1000, 10_000],
+        "full" => &[100, 500, 1000, 10_000, 100_000, 1_000_000],
+        _ => &[100, 500, 1000, 10_000, 100_000],
+    };
     dovado_bench::banner(
         "perf_surrogate — staged batch pipeline vs legacy serial loop",
-        "4 objectives, pop 64, M = 500; record cost at M in {100, 500, 1000}",
+        "4 objectives, pop 64, M = 500; record-cost sweep up to the mode's max M",
     );
 
     let gens = generation_stream(0xBEEF);
@@ -161,13 +179,15 @@ fn main() {
         .unwrap_or(1);
 
     let mut records = String::new();
+    let mut amortized_by_m: Vec<(usize, f64)> = Vec::new();
     println!();
     println!("record cost (one insert incl. Γ update; K = 25 amortized):");
-    for (i, m) in [100usize, 500, 1000].into_iter().enumerate() {
+    for (i, &m) in sweep.iter().enumerate() {
         let eager = record_cost_us(m, 1);
         let amortized = record_cost_us(m, 25);
+        amortized_by_m.push((m, amortized));
         println!(
-            "  M = {m:>5}: eager {eager:9.1} us/record, amortized {amortized:9.1} us/record ({:.1}x)",
+            "  M = {m:>7}: eager {eager:9.1} us/record, amortized {amortized:9.1} us/record ({:.1}x)",
             eager / amortized
         );
         if i > 0 {
@@ -183,7 +203,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"benchmark\": \"surrogate_batch_pipeline\",\n  \"config\": {{\"objectives\": 4, \"pop\": {POP}, \"pretrain_m\": {PRETRAIN_M}, \"generations\": {GENERATIONS}, \"reselect_every\": 25, \"threads\": {threads}}},\n  \"generation_eval_ms\": {{\"legacy_serial\": {}, \"staged_serial\": {}, \"staged_parallel\": {}, \"speedup_legacy_over_parallel\": {}}},\n  \"record_cost\": [{records}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"surrogate_batch_pipeline\",\n  \"mode\": \"{mode}\",\n  \"config\": {{\"objectives\": 4, \"pop\": {POP}, \"pretrain_m\": {PRETRAIN_M}, \"generations\": {GENERATIONS}, \"reselect_every\": 25, \"threads\": {threads}}},\n  \"generation_eval_ms\": {{\"legacy_serial\": {}, \"staged_serial\": {}, \"staged_parallel\": {}, \"speedup_legacy_over_parallel\": {}}},\n  \"record_cost\": [{records}\n  ]\n}}\n",
         json_f(legacy_ms),
         json_f(staged_serial_ms),
         json_f(staged_parallel_ms),
@@ -200,4 +220,22 @@ fn main() {
         speedup >= 1.0,
         "staged parallel pipeline slower than legacy serial loop"
     );
+    // The sub-quadratic acceptance gate: growing the dataset 10× (10⁴ →
+    // 10⁵ rows) must not cost anywhere near the 100× a quadratic hot path
+    // would. The truncated/incremental path is ~flat in M, so even a
+    // generous margin catches a regression to O(M²).
+    let cost_at = |m: usize| {
+        amortized_by_m
+            .iter()
+            .find(|&&(rows, _)| rows == m)
+            .map(|&(_, us)| us)
+    };
+    if let (Some(big), Some(small)) = (cost_at(100_000), cost_at(10_000)) {
+        let growth = big / small;
+        println!("amortized cost growth 10^4 -> 10^5 rows: {growth:.2}x");
+        assert!(
+            growth < 30.0,
+            "amortized record cost grew {growth:.1}x over a 10x dataset — hot path regressed toward quadratic"
+        );
+    }
 }

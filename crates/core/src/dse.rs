@@ -61,6 +61,11 @@ pub struct SurrogateConfig {
     /// phase, so amortization only changes *when* selection runs, not the
     /// data it sees.
     pub reselect_every: usize,
+    /// Neighborhood size for truncated Nadaraya-Watson prediction and
+    /// large-dataset LOO-CV (0 = exact all-points estimation, the legacy
+    /// quadratic path). The default keeps estimates within the truncation
+    /// error bound while holding per-query cost at O(k·log M).
+    pub neighbor_k: usize,
 }
 
 impl Default for SurrogateConfig {
@@ -71,6 +76,7 @@ impl Default for SurrogateConfig {
             kernel: Kernel::Gaussian,
             seed: 0x5EED,
             reselect_every: 25,
+            neighbor_k: dovado_surrogate::DEFAULT_NEIGHBOR_K,
         }
     }
 }
@@ -377,7 +383,7 @@ impl Dovado {
                 let dataset = Dataset::from_csv(&sj.dataset_csv).map_err(|e| {
                     DovadoError::Config(format!("journaled surrogate dataset unreadable: {e}"))
                 })?;
-                Some(SurrogateController::restore(
+                let mut restored = SurrogateController::restore(
                     dataset,
                     scfg.kernel,
                     sj.bandwidth,
@@ -386,7 +392,9 @@ impl Dovado {
                     sj.retrain_every,
                     sj.inserts_since_retrain,
                     sj.stats,
-                ))
+                );
+                restored.neighbor_k = scfg.neighbor_k;
+                Some(restored)
             }
             (None, None) => None,
             _ => {

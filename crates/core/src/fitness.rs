@@ -123,6 +123,7 @@ impl DseProblem {
             )
             .with_kernel(cfg.kernel);
             controller.retrain_every = cfg.reselect_every.max(1);
+            controller.neighbor_k = cfg.neighbor_k;
 
             if cfg.pretrain_samples > 0 {
                 let mut rng = StdRng::seed_from_u64(cfg.seed);

@@ -10,11 +10,18 @@
 
 use crate::dataset::{Bounds, Dataset};
 use crate::kernel::Kernel;
-use crate::loocv::select_bandwidth;
+use crate::loocv::BandwidthSelector;
 use crate::nw::NadarayaWatson;
 use crate::similarity::phi_n;
 use crate::threshold::ThresholdPolicy;
 use rayon::prelude::*;
+
+/// Default neighborhood size for truncated Nadaraya-Watson prediction.
+/// 64 neighbors keep the estimate within the truncation bound on every
+/// dataset the bench sweeps while making prediction cost O(k·log M)
+/// instead of O(M). Set [`SurrogateController::neighbor_k`] to 0 for the
+/// exact all-points estimator.
+pub const DEFAULT_NEIGHBOR_K: usize = 64;
 
 /// What the controller decided for a query point.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +100,13 @@ pub struct SurrogateController {
     pub stats: ControlStats,
     /// Undrained model-management events (retrains, Γ moves).
     events: Vec<ControlEvent>,
+    /// Neighborhood size for truncated prediction and large-dataset
+    /// LOO-CV (0 = exact, all points — the legacy quadratic path).
+    pub neighbor_k: usize,
+    /// Persistent LOO-CV state: the pairwise-distance scratch survives
+    /// across reselections and is *extended* by the rows recorded since,
+    /// instead of being rebuilt from scratch each time.
+    selector: BandwidthSelector,
 }
 
 impl SurrogateController {
@@ -112,6 +126,8 @@ impl SurrogateController {
             inserts_since_retrain: 0,
             stats: ControlStats::default(),
             events: Vec::new(),
+            neighbor_k: DEFAULT_NEIGHBOR_K,
+            selector: BandwidthSelector::new(),
         }
     }
 
@@ -131,6 +147,15 @@ impl SurrogateController {
     /// one. (A pretrain-based restore would reset the phase to zero and
     /// drift every later reselection by up to `retrain_every − 1`
     /// records.)
+    ///
+    /// Derived acceleration state is *not* journaled: the dataset's
+    /// KD-tree arrives already rebuilt (CSV load goes through the bulk
+    /// path) and the LOO-CV selector starts empty, so its distance
+    /// scratch is rebuilt on the first post-resume reselection. Both are
+    /// deterministic functions of the dataset and never leak into
+    /// answers, so a resumed run stays bitwise an uninterrupted one.
+    /// `neighbor_k` is config, not state — the caller re-applies it after
+    /// restore, exactly as at construction.
     #[allow(clippy::too_many_arguments)]
     pub fn restore(
         dataset: Dataset,
@@ -152,6 +177,8 @@ impl SurrogateController {
             inserts_since_retrain,
             stats,
             events: Vec::new(),
+            neighbor_k: DEFAULT_NEIGHBOR_K,
+            selector: BandwidthSelector::new(),
         }
     }
 
@@ -190,7 +217,10 @@ impl SurrogateController {
         }
         if let Some(phi) = phi_n(&self.dataset, point, 1) {
             if phi <= self.gamma {
-                if let Some(est) = self.model.predict(&self.dataset, point) {
+                if let Some(est) = self
+                    .model
+                    .predict_topk(&self.dataset, point, self.neighbor_k)
+                {
                     self.stats.estimated += 1;
                     return Decision::Estimate(est);
                 }
@@ -209,7 +239,10 @@ impl SurrogateController {
         }
         if let Some(phi) = phi_n(&self.dataset, point, 1) {
             if phi <= self.gamma {
-                if let Some(est) = self.model.predict(&self.dataset, point) {
+                if let Some(est) = self
+                    .model
+                    .predict_topk(&self.dataset, point, self.neighbor_k)
+                {
                     return Decision::Estimate(est);
                 }
             }
@@ -251,7 +284,12 @@ impl SurrogateController {
     /// selection cost once per generation instead of once per insert.
     pub fn refresh_model(&mut self) {
         if self.inserts_since_retrain > 0 {
-            self.model.bandwidth = select_bandwidth(&self.dataset, self.model.kernel, &self.grid);
+            self.model.bandwidth = self.selector.select(
+                &self.dataset,
+                self.model.kernel,
+                &self.grid,
+                self.neighbor_k,
+            );
             self.inserts_since_retrain = 0;
             self.events.push(ControlEvent::Reselected {
                 bandwidth: self.model.bandwidth,
@@ -277,7 +315,12 @@ impl SurrogateController {
         self.dataset.insert(point, outputs);
         self.inserts_since_retrain += 1;
         if self.inserts_since_retrain >= self.retrain_every {
-            self.model.bandwidth = select_bandwidth(&self.dataset, self.model.kernel, &self.grid);
+            self.model.bandwidth = self.selector.select(
+                &self.dataset,
+                self.model.kernel,
+                &self.grid,
+                self.neighbor_k,
+            );
             self.inserts_since_retrain = 0;
             self.events.push(ControlEvent::Reselected {
                 bandwidth: self.model.bandwidth,
@@ -293,13 +336,15 @@ impl SurrogateController {
     /// random Vivado calls before exploration starts). Pairs with
     /// non-credible outputs (see [`SurrogateController::record`]) are
     /// skipped.
-    pub fn pretrain(&mut self, pairs: Vec<(Vec<i64>, Vec<f64>)>) {
-        for (p, o) in pairs {
-            if credible(&o) {
-                self.dataset.insert(p, o);
-            }
-        }
-        self.model.bandwidth = select_bandwidth(&self.dataset, self.model.kernel, &self.grid);
+    pub fn pretrain(&mut self, mut pairs: Vec<(Vec<i64>, Vec<f64>)>) {
+        pairs.retain(|(_, o)| credible(o));
+        self.dataset.insert_bulk(pairs);
+        self.model.bandwidth = self.selector.select(
+            &self.dataset,
+            self.model.kernel,
+            &self.grid,
+            self.neighbor_k,
+        );
         self.gamma = self.policy.gamma(&self.dataset);
         self.inserts_since_retrain = 0;
         self.events.push(ControlEvent::Reselected {
@@ -310,9 +355,10 @@ impl SurrogateController {
     }
 
     /// Direct model prediction regardless of the control policy (used for
-    /// accuracy probes).
+    /// accuracy probes). Honors the configured truncation.
     pub fn predict(&self, point: &[i64]) -> Option<Vec<f64>> {
-        self.model.predict(&self.dataset, point)
+        self.model
+            .predict_topk(&self.dataset, point, self.neighbor_k)
     }
 }
 
@@ -609,6 +655,24 @@ mod tests {
         let h = c.model().bandwidth;
         c.refresh_model();
         assert_eq!(c.model().bandwidth, h);
+    }
+
+    #[test]
+    fn default_truncation_is_bitwise_exact_below_k_rows() {
+        // With fewer dataset rows than neighbor_k, the truncated
+        // estimator must reproduce the exact one bit for bit — the whole
+        // candidate set is kept and re-accumulated in row order.
+        let trunc = pretrained(ThresholdPolicy::paper_default());
+        let mut exact = pretrained(ThresholdPolicy::paper_default());
+        exact.neighbor_k = 0;
+        assert!(trunc.dataset().len() <= trunc.neighbor_k);
+        for x in (0..1000).step_by(37) {
+            let a = exact.predict(&[x]).unwrap();
+            let b = trunc.predict(&[x]).unwrap();
+            for (u, v) in a.iter().zip(&b) {
+                assert_eq!(u.to_bits(), v.to_bits(), "x = {x}");
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,15 @@
 //! meaningful across parameters with wildly different ranges — the
 //! "run-time information, i.e. the parameters' range" the paper says the
 //! threshold must depend on.
+//!
+//! Normalized coordinates live in one contiguous row-major buffer (no
+//! per-row `Vec`), and an exact lazily-rebuilt KD-tree
+//! ([`crate::neighbor::NeighborIndex`]) serves nearest-neighbour queries,
+//! so the per-decide similarity check and the truncated NW estimator stay
+//! sub-linear in the dataset size.
 
+use crate::kernel::dist2;
+use crate::neighbor::NeighborIndex;
 use std::collections::HashMap;
 
 /// Per-dimension integer bounds used for normalization.
@@ -32,7 +40,12 @@ impl Bounds {
         self.dims.len()
     }
 
-    /// Normalizes an integer point to `[0, 1]^d` (degenerate dims → 0.5).
+    /// Normalizes an integer point to `[0, 1]^d`.
+    ///
+    /// A degenerate axis (`lo == hi` — a parameter that never varies)
+    /// maps to exactly `0.0` rather than dividing by the zero range: the
+    /// axis carries no information, so every point must land on the same
+    /// coordinate and contribute zero to every distance.
     pub fn normalize(&self, point: &[i64]) -> Vec<f64> {
         debug_assert_eq!(point.len(), self.dims.len());
         point
@@ -40,7 +53,7 @@ impl Bounds {
             .zip(&self.dims)
             .map(|(&v, &(lo, hi))| {
                 if hi == lo {
-                    0.5
+                    0.0
                 } else {
                     (v - lo) as f64 / (hi - lo) as f64
                 }
@@ -54,7 +67,9 @@ impl Bounds {
 pub struct Dataset {
     bounds: Bounds,
     n_outputs: usize,
-    points: Vec<Vec<f64>>,
+    /// Flat row-major normalized coordinates: row `i` occupies
+    /// `coords[i*d .. (i+1)*d]`.
+    coords: Vec<f64>,
     raw_points: Vec<Vec<i64>>,
     outputs: Vec<Vec<f64>>,
     /// Exact-match index from raw point to row.
@@ -64,6 +79,9 @@ pub struct Dataset {
     /// incrementally on insertion — O(M·d) per insert — so the adaptive
     /// threshold Γ never needs the O(M²·d) all-pairs recomputation.
     nn2: Vec<f64>,
+    /// Exact KD-tree over the rows, rebuilt lazily; query answers are
+    /// bitwise those of a linear scan (see [`crate::neighbor`]).
+    tree: NeighborIndex,
 }
 
 impl Dataset {
@@ -73,22 +91,23 @@ impl Dataset {
         Dataset {
             bounds,
             n_outputs,
-            points: Vec::new(),
+            coords: Vec::new(),
             raw_points: Vec::new(),
             outputs: Vec::new(),
             index: HashMap::new(),
             nn2: Vec::new(),
+            tree: NeighborIndex::new(),
         }
     }
 
     /// Number of stored pairs.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.raw_points.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.raw_points.is_empty()
     }
 
     /// Dimensionality of points.
@@ -122,13 +141,10 @@ impl Dataset {
         // Fold the newcomer into the nearest-neighbour cache: one O(M·d)
         // sweep updates every existing row's minimum and derives the new
         // row's own nearest distance.
+        let d = self.dim();
         let mut own_nn2 = f64::INFINITY;
         for (i, cached) in self.nn2.iter_mut().enumerate() {
-            let d2 = self.points[i]
-                .iter()
-                .zip(&norm)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>();
+            let d2 = dist2(&self.coords[i * d..i * d + d], &norm);
             if d2 < *cached {
                 *cached = d2;
             }
@@ -137,10 +153,44 @@ impl Dataset {
             }
         }
         self.nn2.push(own_nn2);
-        self.index.insert(point.clone(), self.points.len());
-        self.points.push(norm);
+        self.index.insert(point.clone(), self.raw_points.len());
+        self.coords.extend_from_slice(&norm);
         self.raw_points.push(point);
         self.outputs.push(outputs);
+        self.tree.sync(&self.coords, d, self.raw_points.len());
+    }
+
+    /// Bulk insertion for pretraining and deserialization: identical
+    /// replace-on-duplicate semantics to repeated [`Dataset::insert`]
+    /// calls, but the nearest-neighbour cache is derived in one
+    /// tree-backed O(M·log M) pass instead of M incremental O(M·d)
+    /// sweeps. Each cached value is the minimum of the same
+    /// [`dist2`]-computed candidates either way, so the resulting dataset
+    /// is bitwise the sequential-insert one.
+    pub fn insert_bulk(&mut self, pairs: impl IntoIterator<Item = (Vec<i64>, Vec<f64>)>) {
+        let d = self.dim();
+        for (point, outputs) in pairs {
+            assert_eq!(point.len(), d, "point dimensionality mismatch");
+            assert_eq!(outputs.len(), self.n_outputs, "output arity mismatch");
+            if let Some(&row) = self.index.get(&point) {
+                self.outputs[row] = outputs;
+                continue;
+            }
+            let norm = self.bounds.normalize(&point);
+            self.index.insert(point.clone(), self.raw_points.len());
+            self.coords.extend_from_slice(&norm);
+            self.raw_points.push(point);
+            self.outputs.push(outputs);
+        }
+        let n = self.raw_points.len();
+        self.tree.rebuild(&self.coords, d, n);
+        self.nn2 = (0..n)
+            .map(|i| {
+                self.tree
+                    .nearest(&self.coords, d, n, &self.coords[i * d..i * d + d], Some(i))
+                    .map_or(f64::INFINITY, |(_, d2)| d2)
+            })
+            .collect();
     }
 
     /// Exact lookup by raw point.
@@ -155,9 +205,16 @@ impl Dataset {
         self.index.contains_key(point)
     }
 
-    /// Normalized points.
-    pub fn points(&self) -> &[Vec<f64>] {
-        &self.points
+    /// The normalized coordinates of row `i`.
+    pub fn point(&self, i: usize) -> &[f64] {
+        let d = self.dim();
+        &self.coords[i * d..i * d + d]
+    }
+
+    /// The whole flat row-major coordinate buffer (row `i` at
+    /// `coords()[i*dim()..(i+1)*dim()]`).
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
     }
 
     /// Raw integer points.
@@ -177,11 +234,7 @@ impl Dataset {
 
     /// Squared Euclidean distance between a normalized query and row `i`.
     pub fn dist2_to(&self, x_norm: &[f64], i: usize) -> f64 {
-        x_norm
-            .iter()
-            .zip(&self.points[i])
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum()
+        dist2(x_norm, self.point(i))
     }
 
     /// Squared normalized distance from row `i` to its nearest other row
@@ -192,17 +245,32 @@ impl Dataset {
     }
 
     /// Smallest squared distance from a normalized query to any row, with
-    /// the matching row index (first row on ties). `None` when empty.
-    /// A single O(M·d) scan — no allocation, no sort.
+    /// the matching row index (lowest row on ties). `None` when empty.
+    /// Served by the KD-tree in O(log M + tail) — bitwise the first-wins
+    /// linear scan's answer.
     pub fn min_dist2(&self, x_norm: &[f64]) -> Option<(usize, f64)> {
-        let mut best: Option<(usize, f64)> = None;
-        for i in 0..self.len() {
-            let d2 = self.dist2_to(x_norm, i);
-            if best.is_none_or(|(_, bd)| d2 < bd) {
-                best = Some((i, d2));
-            }
-        }
-        best
+        self.tree
+            .nearest(&self.coords, self.dim(), self.len(), x_norm, None)
+    }
+
+    /// The `k` nearest rows to a normalized query (excluding `exclude`),
+    /// written into `out` as `(d², row)` sorted ascending by `(d², row)`.
+    pub fn k_nearest(
+        &self,
+        x_norm: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+        out: &mut Vec<(f64, usize)>,
+    ) {
+        self.tree.k_nearest(
+            &self.coords,
+            self.dim(),
+            self.len(),
+            x_norm,
+            k,
+            exclude,
+            out,
+        );
     }
 
     /// Sorted squared distances from a normalized query to every row,
@@ -239,7 +307,9 @@ impl Dataset {
         out
     }
 
-    /// Deserializes a dataset written by [`Dataset::to_csv`].
+    /// Deserializes a dataset written by [`Dataset::to_csv`]. Rows load
+    /// through [`Dataset::insert_bulk`], so restoring a journaled
+    /// million-point dataset costs O(M·log M), not O(M²).
     pub fn from_csv(text: &str) -> Result<Dataset, String> {
         let mut lines = text.lines();
         let header = lines.next().ok_or("empty dataset file")?;
@@ -265,6 +335,7 @@ impl Dataset {
             .and_then(|s| s.parse().ok())
             .ok_or("malformed outputs= field")?;
         let mut ds = Dataset::new(Bounds::new(dims), n_outputs);
+        let mut rows = Vec::new();
         for (lineno, line) in lines.enumerate() {
             if line.trim().is_empty() {
                 continue;
@@ -285,8 +356,9 @@ impl Dataset {
             if point.len() != ds.dim() || outputs.len() != n_outputs {
                 return Err(format!("line {}: arity mismatch", lineno + 2));
             }
-            ds.insert(point, outputs);
+            rows.push((point, outputs));
         }
+        ds.insert_bulk(rows);
         Ok(ds)
     }
 }
@@ -301,10 +373,42 @@ mod tests {
 
     #[test]
     fn normalization() {
+        let b = Bounds::new(vec![(0, 100)]);
+        assert_eq!(b.normalize(&[50]), vec![0.5]);
+        assert_eq!(b.normalize(&[0]), vec![0.0]);
+        assert_eq!(b.normalize(&[100]), vec![1.0]);
+    }
+
+    #[test]
+    fn degenerate_axis_normalizes_to_zero() {
+        // A constant parameter (lo == hi) must yield exactly 0.0 — never
+        // NaN or ±inf from the zero range — so it contributes nothing to
+        // any distance.
         let b = Bounds::new(vec![(0, 100), (50, 50)]);
-        assert_eq!(b.normalize(&[50, 50]), vec![0.5, 0.5]);
-        assert_eq!(b.normalize(&[0, 50]), vec![0.0, 0.5]);
-        assert_eq!(b.normalize(&[100, 50]), vec![1.0, 0.5]);
+        assert_eq!(b.normalize(&[50, 50]), vec![0.5, 0.0]);
+        assert_eq!(b.normalize(&[0, 50]), vec![0.0, 0.0]);
+        // Even out-of-range values on the degenerate axis stay finite.
+        let n = b.normalize(&[100, 7]);
+        assert_eq!(n, vec![1.0, 0.0]);
+        assert!(n.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn degenerate_axis_dataset_stays_finite_end_to_end() {
+        // Regression for the constant-axis case: recording through a
+        // dataset whose second axis never varies must keep every distance
+        // and nearest-neighbour cache entry finite and NaN-free.
+        let mut d = Dataset::new(Bounds::new(vec![(0, 100), (7, 7)]), 1);
+        for (i, x) in [0i64, 30, 60, 90].iter().enumerate() {
+            d.insert(vec![*x, 7], vec![i as f64]);
+        }
+        for i in 0..d.len() {
+            assert!(d.nn_dist2(i).is_finite(), "row {i}: {}", d.nn_dist2(i));
+            assert!(d.point(i).iter().all(|v| v.is_finite()));
+        }
+        let q = d.normalize(&[45, 7]);
+        let (_, d2) = d.min_dist2(&q).unwrap();
+        assert!(d2.is_finite() && d2 > 0.0);
     }
 
     #[test]
@@ -397,10 +501,61 @@ mod tests {
             for i in 0..d.len() {
                 let brute = (0..d.len())
                     .filter(|&j| j != i)
-                    .map(|j| d.dist2_to(&d.points()[i].clone(), j))
+                    .map(|j| d.dist2_to(d.point(i).to_vec().as_slice(), j))
                     .fold(f64::INFINITY, f64::min);
                 assert_eq!(d.nn_dist2(i), brute, "row {i} after {k} inserts");
             }
+        }
+    }
+
+    #[test]
+    fn bulk_insert_matches_sequential_inserts_bitwise() {
+        let pairs: Vec<(Vec<i64>, Vec<f64>)> = (0..300)
+            .map(|i| {
+                let x = (i * 37) % 101;
+                let y = (i * 53) % 11;
+                (vec![x, y], vec![x as f64, y as f64])
+            })
+            .collect();
+        let mut seq = ds();
+        for (p, o) in pairs.clone() {
+            seq.insert(p, o);
+        }
+        let mut bulk = ds();
+        bulk.insert_bulk(pairs);
+        assert_eq!(seq.len(), bulk.len());
+        assert_eq!(seq.raw_points(), bulk.raw_points());
+        assert_eq!(seq.outputs(), bulk.outputs());
+        assert_eq!(seq.coords(), bulk.coords());
+        for i in 0..seq.len() {
+            assert_eq!(
+                seq.nn_dist2(i).to_bits(),
+                bulk.nn_dist2(i).to_bits(),
+                "nn2 diverged at row {i}"
+            );
+        }
+        // Replace-on-duplicate semantics match too.
+        let mut dup = ds();
+        dup.insert_bulk(vec![
+            (vec![1, 1], vec![0.0, 0.0]),
+            (vec![1, 1], vec![5.0, 6.0]),
+        ]);
+        assert_eq!(dup.len(), 1);
+        assert_eq!(dup.get(&[1, 1]), Some(&[5.0, 6.0][..]));
+    }
+
+    #[test]
+    fn k_nearest_matches_sorted_dist2_prefix() {
+        let mut d = ds();
+        for i in 0..40i64 {
+            d.insert(vec![(i * 7) % 101, (i * 3) % 11], vec![0.0, 0.0]);
+        }
+        let q = d.normalize(&[33, 4]);
+        let mut got = Vec::new();
+        d.k_nearest(&q, 5, None, &mut got);
+        let want = d.sorted_dist2(&q, None);
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.0.to_bits(), b.1.to_bits());
         }
     }
 

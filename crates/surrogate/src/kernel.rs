@@ -27,6 +27,30 @@ pub enum Kernel {
 /// `1.0 / (2.0 * PI).sqrt()` bit-for-bit (asserted in tests).
 const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
 
+/// Squared Euclidean distance between two flat coordinate slices.
+///
+/// This is *the* distance kernel of the whole surrogate: the dataset, the
+/// KD-tree, the NW estimator and LOO-CV all compute every pairwise
+/// distance through this one function, so any two call sites given the
+/// same pair of rows produce bit-identical values — the property the
+/// determinism suites lean on when the neighbor index reorders traversal.
+///
+/// The slices are contiguous row-major views into the dataset's flat
+/// coordinate buffer (no per-row `Vec`), which lets the compiler unroll
+/// and vectorize the loop; the accumulation itself stays a sequential
+/// dimension-order sum because floating-point reassociation would break
+/// bitwise reproducibility.
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
 impl Kernel {
     /// Kernel weight for squared distance `dist2` at bandwidth `h`.
     #[inline]
@@ -139,6 +163,17 @@ mod tests {
     fn larger_bandwidth_flattens() {
         let k = Kernel::Gaussian;
         assert!(k.weight(1.0, 2.0) > k.weight(1.0, 0.5));
+    }
+
+    #[test]
+    fn dist2_symmetric_to_the_bit() {
+        // (a−b)² and (b−a)² are IEEE-identical, so argument order can
+        // never leak into cached distances.
+        let a = [0.25, 0.75, 0.1];
+        let b = [0.5, 0.0, 0.9];
+        assert_eq!(dist2(&a, &b).to_bits(), dist2(&b, &a).to_bits());
+        assert_eq!(dist2(&a, &a), 0.0);
+        assert_eq!(dist2(&[], &[]), 0.0);
     }
 
     #[test]

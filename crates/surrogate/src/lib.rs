@@ -28,16 +28,18 @@ pub mod estimator;
 pub mod kernel;
 pub mod loocv;
 pub mod mse;
+pub mod neighbor;
 pub mod nw;
 pub mod similarity;
 pub mod threshold;
 
-pub use control::{ControlEvent, ControlStats, Decision, SurrogateController};
+pub use control::{ControlEvent, ControlStats, Decision, SurrogateController, DEFAULT_NEIGHBOR_K};
 pub use dataset::{Bounds, Dataset};
 pub use estimator::Estimator;
-pub use kernel::Kernel;
-pub use loocv::{default_bandwidth_grid, loo_mse, select_bandwidth};
+pub use kernel::{dist2, Kernel};
+pub use loocv::{default_bandwidth_grid, loo_mse, select_bandwidth, BandwidthSelector};
 pub use mse::{mse_per_output, ProbeSet};
+pub use neighbor::NeighborIndex;
 pub use nw::NadarayaWatson;
 pub use similarity::{phi_n, phi_within};
 pub use threshold::ThresholdPolicy;

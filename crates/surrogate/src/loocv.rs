@@ -5,9 +5,26 @@
 //! bandwidth is scored by predicting every dataset point from the others;
 //! the winner minimizes the summed per-output MSE (outputs are variance-
 //! normalized first so a large-magnitude metric cannot drown the rest).
+//!
+//! Selection cost is kept sub-quadratic in the dataset size M by a
+//! persistent [`BandwidthSelector`]:
+//!
+//! * **Small datasets** (≤ [`BandwidthSelector::dense_cap`] rows) keep the
+//!   full pairwise squared-distance matrix and *extend* it with the new
+//!   rows/columns on each reselect — O(ΔM·M·d) instead of the former
+//!   O(M²·d) rebuild — with every entry bitwise the recomputed one.
+//! * **Large datasets** switch to a truncated estimate: a deterministic
+//!   stride-sample of at most [`BandwidthSelector::sample_cap`] LOO rows,
+//!   each scored against only its `k` nearest neighbours (served by the
+//!   dataset's KD-tree), making a full grid selection
+//!   O(S·k·(log M + m·|grid|)) — independent of M up to the tree query.
+//!
+//! The one-shot [`loo_mse`] / [`select_bandwidth`] functions keep the
+//! legacy exact dense behavior for callers without a persistent selector
+//! (ablation benches, tests).
 
 use crate::dataset::Dataset;
-use crate::kernel::Kernel;
+use crate::kernel::{dist2, Kernel};
 use crate::nw::NadarayaWatson;
 
 /// Default candidate grid: log-spaced bandwidths in normalized units.
@@ -17,157 +34,408 @@ pub fn default_bandwidth_grid() -> Vec<f64> {
     ]
 }
 
-/// Shared scratch for scoring many bandwidths on one dataset: the
-/// per-output normalization, the full pairwise squared-distance matrix,
-/// and each row's nearest other row. Building it costs one O(M²·d) pass;
-/// every `(kernel, h)` score afterwards is O(M²·m) with zero allocation
-/// and zero distance recomputation — the old path re-derived all of this
-/// per grid candidate.
+/// Largest dataset scored through the dense incremental matrix.
+const DEFAULT_DENSE_CAP: usize = 512;
+
+/// LOO rows scored per selection in truncated mode.
+const DEFAULT_SAMPLE_CAP: usize = 512;
+
+/// Precomputed geometry shared across one selection's whole grid.
+#[derive(Debug, Clone)]
+enum Geometry {
+    /// Full pairwise matrix, extended incrementally as the dataset grows.
+    Dense {
+        /// Row-major `stride × stride` buffer; the valid block is
+        /// `rows × rows` (`d2[i * stride + j]`).
+        d2: Vec<f64>,
+        /// Allocated row length (`≥ rows`, grows by powers of two).
+        stride: usize,
+        /// Per-row index of the nearest other row (underflow fallback);
+        /// lowest index on distance ties.
+        nearest: Vec<u32>,
+    },
+    /// Stride-sampled truncated lists for large datasets, rebuilt from
+    /// the KD-tree on every selection (the sample and `k` change with M).
+    Truncated {
+        /// One scored row per entry.
+        lists: Vec<RowList>,
+    },
+}
+
+/// One sampled LOO row in truncated mode.
+#[derive(Debug, Clone)]
+struct RowList {
+    /// The held-out dataset row.
+    row: u32,
+    /// Its nearest other row (underflow fallback; lowest index on ties).
+    nearest: u32,
+    /// The k nearest `(row, d²)` neighbours, ascending by row index so
+    /// accumulation matches the exact path's iteration order.
+    pairs: Vec<(u32, f64)>,
+}
+
+/// Geometry plus per-output normalization for one dataset snapshot.
+#[derive(Debug, Clone)]
 struct LooScratch {
+    /// Dataset rows covered by `geometry`.
+    rows: usize,
     /// Per-output standard deviation (≥ 1e-12) for error normalization.
     sd: Vec<f64>,
-    /// Flattened M×M squared normalized distances (`d2[i * n + j]`).
-    d2: Vec<f64>,
-    /// Per-row index of the nearest other row (kernel-underflow fallback).
-    nearest: Vec<usize>,
+    geometry: Geometry,
+}
+
+/// Persistent LOO-CV state: owns the scratch across reselections so the
+/// distance matrix is extended, not recomputed. One selector pairs with
+/// one growing dataset (the controller owns both); feeding it a
+/// *different* dataset of the same size is not detected — call
+/// [`BandwidthSelector::invalidate`] when swapping datasets.
+#[derive(Debug, Clone)]
+pub struct BandwidthSelector {
+    scratch: Option<LooScratch>,
+    /// Largest dataset kept as a dense incremental matrix; beyond this
+    /// (and with a non-zero `neighbor_k`) selection goes truncated.
+    pub dense_cap: usize,
+    /// Maximum LOO rows scored per selection in truncated mode.
+    pub sample_cap: usize,
+}
+
+impl Default for BandwidthSelector {
+    fn default() -> Self {
+        BandwidthSelector {
+            scratch: None,
+            dense_cap: DEFAULT_DENSE_CAP,
+            sample_cap: DEFAULT_SAMPLE_CAP,
+        }
+    }
+}
+
+impl BandwidthSelector {
+    /// A selector with no cached geometry yet.
+    pub fn new() -> BandwidthSelector {
+        BandwidthSelector::default()
+    }
+
+    /// Drops the cached geometry; the next selection rebuilds from
+    /// scratch. Used on journal restore: rebuilding is a deterministic
+    /// function of the dataset, so a resumed run's selections stay
+    /// bitwise those of the uninterrupted one.
+    pub fn invalidate(&mut self) {
+        self.scratch = None;
+    }
+
+    /// Selects the bandwidth minimizing LOO-CV error over `grid` (the
+    /// default grid when empty), reusing and extending the cached
+    /// geometry. `neighbor_k` is the prediction-side truncation (0 =
+    /// exact); it also bounds the truncated-mode neighbourhoods.
+    pub fn select(
+        &mut self,
+        dataset: &Dataset,
+        kernel: Kernel,
+        grid: &[f64],
+        neighbor_k: usize,
+    ) -> f64 {
+        let grid_owned;
+        let grid = if grid.is_empty() {
+            grid_owned = default_bandwidth_grid();
+            &grid_owned[..]
+        } else {
+            grid
+        };
+        let mut best = NadarayaWatson::default().bandwidth;
+        self.sync(dataset, neighbor_k);
+        let Some(scratch) = &self.scratch else {
+            return best;
+        };
+        let mut best_err = f64::INFINITY;
+        for &h in grid {
+            if h <= 0.0 {
+                continue;
+            }
+            let err = scratch.score(dataset, kernel, h);
+            if err < best_err {
+                best_err = err;
+                best = h;
+            }
+        }
+        best
+    }
+
+    /// LOO-CV error of `(kernel, bandwidth)` through the persistent
+    /// scratch (`None` below 2 rows) — the testable core of
+    /// [`BandwidthSelector::select`], exposed so equivalence properties
+    /// can compare incremental against recomputed scoring.
+    pub fn loo_mse(
+        &mut self,
+        dataset: &Dataset,
+        kernel: Kernel,
+        bandwidth: f64,
+        neighbor_k: usize,
+    ) -> Option<f64> {
+        self.sync(dataset, neighbor_k);
+        self.scratch
+            .as_ref()
+            .map(|s| s.score(dataset, kernel, bandwidth))
+    }
+
+    /// Brings the scratch up to date with the dataset: recomputes the
+    /// output normalization (outputs can be replaced in place), extends
+    /// the dense matrix with any new rows, or rebuilds the truncated
+    /// sample. Normalization bounds are fixed per dataset, so cached
+    /// distances never go stale — only growth has to be folded in.
+    fn sync(&mut self, dataset: &Dataset, neighbor_k: usize) {
+        let n = dataset.len();
+        if n < 2 {
+            self.scratch = None;
+            return;
+        }
+        let want_dense = neighbor_k == 0 || n <= self.dense_cap;
+        let sd = output_sd(dataset);
+        // Decide reuse: dense scratch extends in place; truncated lists
+        // are cheap and depend on (n, k), so they rebuild each time.
+        let reusable = match &self.scratch {
+            Some(LooScratch {
+                rows,
+                geometry: Geometry::Dense { .. },
+                ..
+            }) => want_dense && *rows <= n,
+            _ => false,
+        };
+        if !reusable && want_dense {
+            self.scratch = Some(LooScratch {
+                rows: 0,
+                sd: Vec::new(),
+                geometry: Geometry::Dense {
+                    d2: Vec::new(),
+                    stride: 0,
+                    nearest: Vec::new(),
+                },
+            });
+        }
+        if want_dense {
+            let scratch = self.scratch.as_mut().expect("dense scratch installed");
+            scratch.sd = sd;
+            scratch.extend_dense(dataset, n);
+        } else {
+            let k = neighbor_k.max(2);
+            self.scratch = Some(LooScratch {
+                rows: n,
+                sd,
+                geometry: build_truncated(dataset, k, self.sample_cap),
+            });
+        }
+    }
 }
 
 impl LooScratch {
-    /// Builds the scratch; `None` for datasets with fewer than 2 points.
-    fn build(dataset: &Dataset) -> Option<LooScratch> {
-        let n = dataset.len();
-        if n < 2 {
-            return None;
+    /// Folds rows `self.rows..n` into the dense matrix: new distances are
+    /// computed once and mirrored, existing rows' nearest-neighbour
+    /// entries are updated where the newcomer is strictly closer (ties
+    /// keep the incumbent lower index). Every entry equals — bitwise —
+    /// what a from-scratch rebuild would produce, because each pair goes
+    /// through the same [`dist2`] kernel and `(a−b)²` is IEEE-symmetric.
+    fn extend_dense(&mut self, dataset: &Dataset, n: usize) {
+        let Geometry::Dense {
+            d2,
+            stride,
+            nearest,
+        } = &mut self.geometry
+        else {
+            unreachable!("extend_dense on non-dense geometry");
+        };
+        let r0 = self.rows;
+        if n == r0 {
+            return;
         }
-        let m = dataset.n_outputs();
-        let mut mean = vec![0.0f64; m];
-        for out in dataset.outputs() {
-            for (a, y) in mean.iter_mut().zip(out) {
-                *a += y;
+        if n > *stride {
+            let new_stride = n.next_power_of_two().max(8);
+            let mut grown = vec![0.0f64; new_stride * new_stride];
+            for i in 0..r0 {
+                grown[i * new_stride..i * new_stride + r0]
+                    .copy_from_slice(&d2[i * *stride..i * *stride + r0]);
             }
+            *d2 = grown;
+            *stride = new_stride;
         }
-        for a in &mut mean {
-            *a /= n as f64;
-        }
-        let mut var = vec![0.0f64; m];
-        for out in dataset.outputs() {
-            for ((v, y), mu) in var.iter_mut().zip(out).zip(&mean) {
-                *v += (y - mu) * (y - mu);
-            }
-        }
-        let sd: Vec<f64> = var
-            .iter()
-            .map(|v| (v / n as f64).sqrt().max(1e-12))
-            .collect();
-
-        // Pairwise distances: compute the upper triangle, mirror the rest
-        // (squared Euclidean distance is exactly symmetric).
-        let mut d2 = vec![0.0f64; n * n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let v = dataset.dist2_to(&dataset.points()[i], j);
-                d2[i * n + j] = v;
-                d2[j * n + i] = v;
-            }
-        }
-        let nearest: Vec<usize> = (0..n)
-            .map(|i| {
-                let row = &d2[i * n..(i + 1) * n];
-                let mut best = usize::MAX;
-                let mut best_d2 = f64::INFINITY;
-                for (j, &v) in row.iter().enumerate() {
-                    if j != i && v < best_d2 {
-                        best_d2 = v;
-                        best = j;
-                    }
+        let s = *stride;
+        nearest.resize(n, u32::MAX);
+        for i in r0..n {
+            let xi = dataset.point(i);
+            let mut best = u32::MAX;
+            let mut best_d2 = f64::INFINITY;
+            for j in 0..i {
+                let v = dist2(xi, dataset.point(j));
+                d2[i * s + j] = v;
+                d2[j * s + i] = v;
+                if v < best_d2 {
+                    best_d2 = v;
+                    best = j as u32;
                 }
-                best
-            })
-            .collect();
-        Some(LooScratch { sd, d2, nearest })
+                let jn = nearest[j];
+                if jn == u32::MAX || v < d2[j * s + jn as usize] {
+                    nearest[j] = i as u32;
+                }
+            }
+            d2[i * s + i] = 0.0;
+            nearest[i] = best;
+        }
+        self.rows = n;
     }
 
     /// LOO-CV error of `(kernel, h)` using the precomputed geometry. The
     /// arithmetic — accumulation order included — mirrors
     /// [`NadarayaWatson::predict_norm_into`] exactly, so scoring through
-    /// the scratch yields bit-identical errors to the direct path.
+    /// the scratch yields bit-identical errors to the direct path; the
+    /// truncated branch likewise mirrors the k-NN prediction path.
     fn score(&self, dataset: &Dataset, kernel: Kernel, bandwidth: f64) -> f64 {
-        let n = dataset.len();
+        let n = self.rows;
         let m = dataset.n_outputs();
         let mut num = vec![0.0f64; m];
         let mut total = 0.0f64;
-        for i in 0..n {
-            let row = &self.d2[i * n..(i + 1) * n];
-            num.fill(0.0);
-            let mut den = 0.0f64;
-            for (j, out) in dataset.outputs().iter().enumerate() {
-                if j == i {
-                    continue;
-                }
-                let w = kernel.weight(row[j], bandwidth);
-                den += w;
-                for (acc, y) in num.iter_mut().zip(out) {
-                    *acc += w * y;
+        let mut scored = 0usize;
+        match &self.geometry {
+            Geometry::Dense {
+                d2,
+                stride,
+                nearest,
+            } => {
+                for i in 0..n {
+                    let row = &d2[i * stride..i * stride + n];
+                    num.fill(0.0);
+                    let mut den = 0.0f64;
+                    for (j, out) in dataset.outputs()[..n].iter().enumerate() {
+                        if j == i {
+                            continue;
+                        }
+                        let w = kernel.weight(row[j], bandwidth);
+                        den += w;
+                        for (acc, y) in num.iter_mut().zip(out) {
+                            *acc += w * y;
+                        }
+                    }
+                    self.fold_row(dataset, i, nearest[i] as usize, &num, den, &mut total);
+                    scored += 1;
                 }
             }
-            let truth = &dataset.outputs()[i];
-            if den <= f64::MIN_POSITIVE * 1e3 {
-                // All weights vanished: nearest-neighbour fallback.
-                let fb = &dataset.outputs()[self.nearest[i]];
-                for ((p, t), s) in fb.iter().zip(truth).zip(&self.sd) {
-                    let e = (p - t) / s;
-                    total += e * e;
-                }
-            } else {
-                for ((p, t), s) in num.iter().zip(truth).zip(&self.sd) {
-                    let e = (p / den - t) / s;
-                    total += e * e;
+            Geometry::Truncated { lists } => {
+                for list in lists {
+                    num.fill(0.0);
+                    let mut den = 0.0f64;
+                    for &(j, d2v) in &list.pairs {
+                        let w = kernel.weight(d2v, bandwidth);
+                        den += w;
+                        for (acc, y) in num.iter_mut().zip(&dataset.outputs()[j as usize]) {
+                            *acc += w * y;
+                        }
+                    }
+                    self.fold_row(
+                        dataset,
+                        list.row as usize,
+                        list.nearest as usize,
+                        &num,
+                        den,
+                        &mut total,
+                    );
+                    scored += 1;
                 }
             }
         }
-        total / (n * m) as f64
+        total / (scored * m) as f64
     }
+
+    /// Accumulates one held-out row's normalized squared error, with the
+    /// all-weights-underflow nearest-neighbour fallback.
+    fn fold_row(
+        &self,
+        dataset: &Dataset,
+        row: usize,
+        nearest: usize,
+        num: &[f64],
+        den: f64,
+        total: &mut f64,
+    ) {
+        let truth = &dataset.outputs()[row];
+        if den <= f64::MIN_POSITIVE * 1e3 {
+            let fb = &dataset.outputs()[nearest];
+            for ((p, t), s) in fb.iter().zip(truth).zip(&self.sd) {
+                let e = (p - t) / s;
+                *total += e * e;
+            }
+        } else {
+            for ((p, t), s) in num.iter().zip(truth).zip(&self.sd) {
+                let e = (p / den - t) / s;
+                *total += e * e;
+            }
+        }
+    }
+}
+
+/// Per-output standard deviation (≥ 1e-12) over the whole dataset.
+fn output_sd(dataset: &Dataset) -> Vec<f64> {
+    let n = dataset.len();
+    let m = dataset.n_outputs();
+    let mut mean = vec![0.0f64; m];
+    for out in dataset.outputs() {
+        for (a, y) in mean.iter_mut().zip(out) {
+            *a += y;
+        }
+    }
+    for a in &mut mean {
+        *a /= n as f64;
+    }
+    let mut var = vec![0.0f64; m];
+    for out in dataset.outputs() {
+        for ((v, y), mu) in var.iter_mut().zip(out).zip(&mean) {
+            *v += (y - mu) * (y - mu);
+        }
+    }
+    var.iter()
+        .map(|v| (v / n as f64).sqrt().max(1e-12))
+        .collect()
+}
+
+/// Builds the truncated geometry: a deterministic stride-sample of LOO
+/// rows (`0, step, 2·step, …` — a pure function of M and the cap), each
+/// with its `k` nearest neighbours from the KD-tree. Nothing here depends
+/// on tree structure: the k-NN sets are exact and `(d², row)`-ordered.
+fn build_truncated(dataset: &Dataset, k: usize, sample_cap: usize) -> Geometry {
+    let n = dataset.len();
+    let step = n.div_ceil(sample_cap.max(1)).max(1);
+    let mut buf: Vec<(f64, usize)> = Vec::new();
+    let lists = (0..n)
+        .step_by(step)
+        .map(|i| {
+            dataset.k_nearest(dataset.point(i), k, Some(i), &mut buf);
+            let nearest = buf.first().map_or(0, |&(_, j)| j) as u32;
+            let mut pairs: Vec<(u32, f64)> = buf.iter().map(|&(d2v, j)| (j as u32, d2v)).collect();
+            pairs.sort_unstable_by_key(|&(j, _)| j);
+            RowList {
+                row: i as u32,
+                nearest,
+                pairs,
+            }
+        })
+        .collect();
+    Geometry::Truncated { lists }
 }
 
 /// LOO-CV mean squared error of `(kernel, h)` on the dataset, summed over
 /// variance-normalized outputs. Returns `None` for datasets with fewer
-/// than 2 points (no held-out prediction possible).
+/// than 2 points (no held-out prediction possible). One-shot and exact
+/// (dense, all rows) regardless of dataset size — the persistent
+/// [`BandwidthSelector`] is the sub-quadratic path.
 pub fn loo_mse(dataset: &Dataset, kernel: Kernel, bandwidth: f64) -> Option<f64> {
-    LooScratch::build(dataset).map(|s| s.score(dataset, kernel, bandwidth))
+    let mut sel = BandwidthSelector::new();
+    sel.loo_mse(dataset, kernel, bandwidth, 0)
 }
 
 /// Selects the bandwidth minimizing LOO-CV error over `grid` (the default
 /// grid when empty). Falls back to `NadarayaWatson::default().bandwidth`
-/// when the dataset is too small to validate.
-///
-/// The pairwise distance matrix and output normalization are computed
-/// once and shared across the whole grid, so selection costs
-/// O(M²·d + M²·m·|grid|) instead of the former O(M²·(d + m)·|grid|) with
-/// per-candidate re-normalization and allocation.
+/// when the dataset is too small to validate. One-shot and exact; the
+/// controller's persistent [`BandwidthSelector`] amortizes this across
+/// reselections instead.
 pub fn select_bandwidth(dataset: &Dataset, kernel: Kernel, grid: &[f64]) -> f64 {
-    let grid_owned;
-    let grid = if grid.is_empty() {
-        grid_owned = default_bandwidth_grid();
-        &grid_owned[..]
-    } else {
-        grid
-    };
-    let mut best = NadarayaWatson::default().bandwidth;
-    let Some(scratch) = LooScratch::build(dataset) else {
-        return best;
-    };
-    let mut best_err = f64::INFINITY;
-    for &h in grid {
-        if h <= 0.0 {
-            continue;
-        }
-        let err = scratch.score(dataset, kernel, h);
-        if err < best_err {
-            best_err = err;
-            best = h;
-        }
-    }
-    best
+    let mut sel = BandwidthSelector::new();
+    sel.select(dataset, kernel, grid, 0)
 }
 
 #[cfg(test)]
@@ -244,5 +512,75 @@ mod tests {
         let d = smooth_dataset(10);
         let h = select_bandwidth(&d, Kernel::Gaussian, &[-0.5, 0.0, 0.2]);
         assert_eq!(h, 0.2);
+    }
+
+    #[test]
+    fn incremental_extension_matches_fresh_build_bitwise() {
+        // Grow a dataset in uneven batches; a selector that extends its
+        // matrix across the growth must score every bandwidth bitwise
+        // like a freshly-built one.
+        let mut d = Dataset::new(Bounds::new(vec![(0, 1000), (0, 9)]), 2);
+        let mut persistent = BandwidthSelector::new();
+        let mut row = 0i64;
+        for batch in [2usize, 1, 7, 25, 3, 40] {
+            for _ in 0..batch {
+                let x = (row * 131) % 1001;
+                let y = (row * 17) % 10;
+                let xf = x as f64 / 1000.0;
+                d.insert(vec![x, y], vec![xf * xf, 1.0 - xf]);
+                row += 1;
+            }
+            for h in [0.02, 0.1, 0.6] {
+                let inc = persistent.loo_mse(&d, Kernel::Gaussian, h, 64);
+                let fresh = loo_mse(&d, Kernel::Gaussian, h);
+                assert_eq!(
+                    inc.map(f64::to_bits),
+                    fresh.map(f64::to_bits),
+                    "h={h} after {} rows",
+                    d.len()
+                );
+            }
+            assert_eq!(
+                persistent.select(&d, Kernel::Gaussian, &[], 64),
+                select_bandwidth(&d, Kernel::Gaussian, &[])
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_equals_dense_bitwise_when_unclipped() {
+        // With the sample covering every row and k ≥ M−1, the truncated
+        // score must reproduce the dense score bit for bit — the
+        // truncation only ever drops far-field terms, never reorders the
+        // kept ones.
+        let d = smooth_dataset(60);
+        let mut forced = BandwidthSelector::new();
+        forced.dense_cap = 0; // force truncated mode
+        for h in [0.02, 0.1, 0.6, 1.0] {
+            let trunc = forced.loo_mse(&d, Kernel::Gaussian, h, d.len()).unwrap();
+            let dense = loo_mse(&d, Kernel::Gaussian, h).unwrap();
+            assert_eq!(trunc.to_bits(), dense.to_bits(), "h={h}");
+        }
+    }
+
+    #[test]
+    fn truncated_mode_selects_sensible_bandwidth() {
+        // Past the dense cap the sampled/truncated selector must still
+        // recognize smooth data (no global averaging).
+        let d = smooth_dataset(700);
+        let mut sel = BandwidthSelector::new();
+        assert!(d.len() > sel.dense_cap);
+        let h = sel.select(&d, Kernel::Gaussian, &[], 64);
+        assert!(h < 0.5, "selected h = {h}");
+    }
+
+    #[test]
+    fn invalidate_forces_identical_rebuild() {
+        let d = smooth_dataset(30);
+        let mut sel = BandwidthSelector::new();
+        let before = sel.select(&d, Kernel::Gaussian, &[], 64);
+        sel.invalidate();
+        let after = sel.select(&d, Kernel::Gaussian, &[], 64);
+        assert_eq!(before.to_bits(), after.to_bits());
     }
 }

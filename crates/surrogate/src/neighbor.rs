@@ -1,0 +1,383 @@
+//! Exact k-nearest-neighbour index over the dataset's normalized rows.
+//!
+//! A KD-tree over the flat row-major coordinate buffer, rebuilt lazily:
+//! the tree covers a prefix of the rows and newly inserted rows accumulate
+//! in a linearly-scanned tail until the tail grows past a fraction of the
+//! built prefix, at which point the whole tree is rebuilt. This keeps
+//! insertion O(1) amortized-O(log²M) while queries stay O(log M + tail).
+//!
+//! **Determinism contract.** Queries are *exact*, not approximate: every
+//! candidate distance is computed by [`crate::kernel::dist2`] and
+//! candidates are ranked by the lexicographic `(d², row index)` order, so
+//! the answer is the same value-set minimum a brute-force linear scan
+//! would find — bitwise, regardless of how the tree happens to be split
+//! or how much of the data sits in the unindexed tail. Tree structure can
+//! therefore never leak into surrogate decisions, resumed runs, or
+//! parallel-vs-serial traces.
+
+use crate::kernel::dist2;
+
+/// Rows per leaf; below this a linear scan beats tree traversal.
+const LEAF_SIZE: usize = 16;
+
+/// The tail may grow to `max(TAIL_MIN, built/8)` rows before a rebuild.
+const TAIL_MIN: usize = 64;
+
+/// One KD-tree node. Leaves reference a range of `order`; splits carry the
+/// split axis and coordinate plus child node indices.
+#[derive(Debug, Clone)]
+enum Node {
+    /// `order[start..start + len]` scanned linearly.
+    Leaf {
+        /// First index into `order`.
+        start: u32,
+        /// Number of rows in the leaf.
+        len: u32,
+    },
+    /// Axis-aligned split: rows left of the plane in `left`, right in
+    /// `right` (rows exactly on the plane may sit on either side).
+    Split {
+        /// Split dimension.
+        axis: u32,
+        /// Split coordinate along `axis`.
+        value: f64,
+        /// Node index of the low side.
+        left: u32,
+        /// Node index of the high side.
+        right: u32,
+    },
+}
+
+/// Lazily rebuilt exact KD-tree over a flat coordinate buffer.
+///
+/// The index stores only row *indices* — the coordinates live in the
+/// dataset's buffer and are passed to every query, so the index never
+/// holds a stale copy of the geometry.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborIndex {
+    /// Permutation of the first `built` row indices, leaf-contiguous.
+    order: Vec<u32>,
+    /// Tree nodes; `nodes[root]` is the root when `built > 0`.
+    nodes: Vec<Node>,
+    /// Root node index.
+    root: u32,
+    /// Rows covered by the tree; rows `built..n` are the linear tail.
+    built: usize,
+}
+
+impl NeighborIndex {
+    /// An empty index (everything in the tail).
+    pub fn new() -> NeighborIndex {
+        NeighborIndex::default()
+    }
+
+    /// Number of rows covered by the tree (the rest are scanned).
+    pub fn covered(&self) -> usize {
+        self.built
+    }
+
+    /// Called after rows were appended: rebuilds the tree when the
+    /// unindexed tail outgrew `max(64, built/8)`. The decision depends
+    /// only on the number of rows, never on their values or on query
+    /// history, so identical insert sequences rebuild identically —
+    /// and even a divergent rebuild schedule could not change query
+    /// results (see the module-level determinism contract).
+    pub fn sync(&mut self, coords: &[f64], dim: usize, n: usize) {
+        debug_assert!(self.built <= n);
+        let tail = n - self.built;
+        if tail > TAIL_MIN.max(self.built / 8) {
+            self.rebuild(coords, dim, n);
+        }
+    }
+
+    /// Unconditionally rebuilds the tree over all `n` rows.
+    pub fn rebuild(&mut self, coords: &[f64], dim: usize, n: usize) {
+        self.nodes.clear();
+        self.order = (0..n as u32).collect();
+        self.built = n;
+        if dim == 0 || n == 0 {
+            // Degenerate geometry: leave everything to the tail scan.
+            self.built = 0;
+            self.order.clear();
+            return;
+        }
+        let root = build(coords, dim, &mut self.order, 0, n, &mut self.nodes);
+        self.root = root;
+    }
+
+    /// The nearest row to `x` (excluding `exclude`), as `(row, d²)`;
+    /// `None` when no candidate exists. Ties on distance resolve to the
+    /// lowest row index — the same answer as a first-wins linear scan.
+    pub fn nearest(
+        &self,
+        coords: &[f64],
+        dim: usize,
+        n: usize,
+        x: &[f64],
+        exclude: Option<usize>,
+    ) -> Option<(usize, f64)> {
+        let mut best = Vec::with_capacity(1);
+        self.k_nearest(coords, dim, n, x, 1, exclude, &mut best);
+        best.first().map(|&(d2, i)| (i, d2))
+    }
+
+    /// The `k` nearest rows to `x` (excluding `exclude`), written into
+    /// `out` as `(d², row)` sorted ascending by `(d², row)`. Fewer than
+    /// `k` entries when the dataset is smaller.
+    #[allow(clippy::too_many_arguments)]
+    pub fn k_nearest(
+        &self,
+        coords: &[f64],
+        dim: usize,
+        n: usize,
+        x: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+        out: &mut Vec<(f64, usize)>,
+    ) {
+        out.clear();
+        if k == 0 || n == 0 {
+            return;
+        }
+        debug_assert!(self.built <= n);
+        if self.built > 0 {
+            self.visit(self.root, coords, dim, x, k, exclude, out);
+        }
+        // Linear tail: rows appended since the last rebuild.
+        for i in self.built..n {
+            if Some(i) == exclude {
+                continue;
+            }
+            let d2 = dist2(&coords[i * dim..i * dim + dim], x);
+            consider(out, k, (d2, i));
+        }
+    }
+
+    /// Recursive traversal: near child first, far child only when the
+    /// split plane is not farther than the current k-th best (`<=`, so an
+    /// equidistant candidate with a smaller row index is still reached).
+    #[allow(clippy::too_many_arguments)]
+    fn visit(
+        &self,
+        node: u32,
+        coords: &[f64],
+        dim: usize,
+        x: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+        out: &mut Vec<(f64, usize)>,
+    ) {
+        match self.nodes[node as usize] {
+            Node::Leaf { start, len } => {
+                for &row in &self.order[start as usize..(start + len) as usize] {
+                    let i = row as usize;
+                    if Some(i) == exclude {
+                        continue;
+                    }
+                    let d2 = dist2(&coords[i * dim..i * dim + dim], x);
+                    consider(out, k, (d2, i));
+                }
+            }
+            Node::Split {
+                axis,
+                value,
+                left,
+                right,
+            } => {
+                let diff = x[axis as usize] - value;
+                let (near, far) = if diff < 0.0 {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
+                self.visit(near, coords, dim, x, k, exclude, out);
+                let bound = diff * diff;
+                if out.len() < k || bound <= out[out.len() - 1].0 {
+                    self.visit(far, coords, dim, x, k, exclude, out);
+                }
+            }
+        }
+    }
+}
+
+/// Inserts a candidate into the sorted top-k buffer (ascending by
+/// `(d², row)`), dropping the current worst when full. `k` is small (≤ a
+/// few hundred), so ordered insertion beats a heap.
+fn consider(out: &mut Vec<(f64, usize)>, k: usize, cand: (f64, usize)) {
+    let pos = out.partition_point(|&c| c < cand);
+    if out.len() == k {
+        if pos == k {
+            return;
+        }
+        out.pop();
+    }
+    out.insert(pos, cand);
+}
+
+/// Builds the subtree over `order[start..end]`, returning its node index.
+fn build(
+    coords: &[f64],
+    dim: usize,
+    order: &mut [u32],
+    start: usize,
+    end: usize,
+    nodes: &mut Vec<Node>,
+) -> u32 {
+    let len = end - start;
+    if len <= LEAF_SIZE {
+        nodes.push(Node::Leaf {
+            start: start as u32,
+            len: len as u32,
+        });
+        return (nodes.len() - 1) as u32;
+    }
+    // Split along the axis with the widest spread (lowest axis on ties).
+    let mut axis = 0usize;
+    let mut best_spread = f64::NEG_INFINITY;
+    for a in 0..dim {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &row in &order[start..end] {
+            let v = coords[row as usize * dim + a];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let spread = hi - lo;
+        if spread > best_spread {
+            best_spread = spread;
+            axis = a;
+        }
+    }
+    // Median split by (coordinate, row index): total, deterministic.
+    order[start..end].sort_unstable_by(|&a, &b| {
+        let ca = coords[a as usize * dim + axis];
+        let cb = coords[b as usize * dim + axis];
+        ca.total_cmp(&cb).then(a.cmp(&b))
+    });
+    let mid = start + len / 2;
+    let value = coords[order[mid] as usize * dim + axis];
+    // Reserve our slot before recursing so children get later indices.
+    let me = nodes.len() as u32;
+    nodes.push(Node::Leaf { start: 0, len: 0 });
+    let left = build(coords, dim, order, start, mid, nodes);
+    let right = build(coords, dim, order, mid, end, nodes);
+    nodes[me as usize] = Node::Split {
+        axis: axis as u32,
+        value,
+        left,
+        right,
+    };
+    me
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_k(
+        coords: &[f64],
+        dim: usize,
+        n: usize,
+        x: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Vec<(f64, usize)> {
+        let mut all: Vec<(f64, usize)> = (0..n)
+            .filter(|&i| Some(i) != exclude)
+            .map(|i| (dist2(&coords[i * dim..i * dim + dim], x), i))
+            .collect();
+        all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        all.truncate(k);
+        all
+    }
+
+    fn random_coords(n: usize, dim: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // A coarse grid so distance ties actually happen.
+        (0..n * dim)
+            .map(|_| rng.gen_range(0..8) as f64 / 7.0)
+            .collect()
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force_bitwise() {
+        for (n, dim, seed) in [
+            (1usize, 1usize, 1u64),
+            (17, 2, 2),
+            (300, 3, 3),
+            (1000, 2, 4),
+        ] {
+            let coords = random_coords(n, dim, seed);
+            let mut idx = NeighborIndex::new();
+            idx.rebuild(&coords, dim, n);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xFF);
+            let mut out = Vec::new();
+            for _ in 0..50 {
+                let x: Vec<f64> = (0..dim).map(|_| rng.gen_range(0..8) as f64 / 7.0).collect();
+                for k in [1usize, 3, 8, n + 5] {
+                    idx.k_nearest(&coords, dim, n, &x, k, None, &mut out);
+                    let want = brute_k(&coords, dim, n, &x, k, None);
+                    assert_eq!(out.len(), want.len());
+                    for (a, b) in out.iter().zip(&want) {
+                        assert_eq!(a.0.to_bits(), b.0.to_bits(), "n={n} k={k}");
+                        assert_eq!(a.1, b.1, "n={n} k={k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tail_rows_participate_without_rebuild() {
+        let dim = 2;
+        let mut coords = random_coords(100, dim, 9);
+        let mut idx = NeighborIndex::new();
+        idx.rebuild(&coords, dim, 100);
+        // Append 30 rows; sync must keep them in the tail (30 ≤ 64)...
+        coords.extend(random_coords(30, dim, 10));
+        idx.sync(&coords, dim, 130);
+        assert_eq!(idx.covered(), 100);
+        // ...and queries must still see them, identically to brute force.
+        let mut out = Vec::new();
+        idx.k_nearest(&coords, dim, 130, &[0.5, 0.5], 7, None, &mut out);
+        assert_eq!(out, brute_k(&coords, dim, 130, &[0.5, 0.5], 7, None));
+    }
+
+    #[test]
+    fn sync_rebuilds_once_tail_outgrows_threshold() {
+        let dim = 1;
+        let mut coords = random_coords(16, dim, 11);
+        let mut idx = NeighborIndex::new();
+        // 16 rows, never built: tail 16 ≤ 64 → still uncovered.
+        idx.sync(&coords, dim, 16);
+        assert_eq!(idx.covered(), 0);
+        coords.extend(random_coords(60, dim, 12));
+        idx.sync(&coords, dim, 76);
+        assert_eq!(idx.covered(), 76, "tail 76 > 64 must trigger a rebuild");
+    }
+
+    #[test]
+    fn distance_ties_resolve_to_lowest_row() {
+        // Rows 0 and 2 are coincident; row 1 is elsewhere.
+        let coords = vec![0.25, 0.9, 0.25];
+        let mut idx = NeighborIndex::new();
+        idx.rebuild(&coords, 1, 3);
+        let (i, d2) = idx.nearest(&coords, 1, 3, &[0.25], None).unwrap();
+        assert_eq!((i, d2), (0, 0.0));
+        // Excluding the winner promotes the equidistant higher row.
+        let (i, _) = idx.nearest(&coords, 1, 3, &[0.25], Some(0)).unwrap();
+        assert_eq!(i, 2);
+    }
+
+    #[test]
+    fn empty_and_excluded_sets_return_nothing() {
+        let idx = NeighborIndex::new();
+        assert!(idx.nearest(&[], 1, 0, &[0.5], None).is_none());
+        let coords = vec![0.5];
+        let mut one = NeighborIndex::new();
+        one.rebuild(&coords, 1, 1);
+        assert!(one.nearest(&coords, 1, 1, &[0.5], Some(0)).is_none());
+    }
+}

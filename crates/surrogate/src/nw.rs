@@ -38,6 +38,78 @@ impl NadarayaWatson {
         self.predict_excluding(dataset, point, None)
     }
 
+    /// Truncated prediction: sums only the `k` nearest dataset rows (by
+    /// normalized distance) instead of all M, turning the O(M·m) exact
+    /// estimate into O(k·(log M + m)) via the dataset's KD-tree. `k == 0`
+    /// requests the exact estimator.
+    ///
+    /// The truncation is *bitwise-exact* once `k ≥ M`: the candidate set
+    /// is then every row, candidates are accumulated in ascending row
+    /// order — the exact path's iteration order — and each distance comes
+    /// from the same [`crate::kernel::dist2`] kernel, so the sums agree
+    /// bit for bit. For `k < M` only the negligible far-field Gaussian
+    /// mass is dropped: the absolute error is bounded by
+    /// `(M−k)/M · output range` (the dropped weights are each no larger
+    /// than the smallest kept weight).
+    pub fn predict_topk(&self, dataset: &Dataset, point: &[i64], k: usize) -> Option<Vec<f64>> {
+        if k == 0 {
+            return self.predict(dataset, point);
+        }
+        let x = dataset.normalize(point);
+        let mut out = vec![0.0f64; dataset.n_outputs()];
+        let mut nbuf = Vec::new();
+        self.predict_norm_topk_into(dataset, &x, k, None, &mut out, &mut nbuf)
+            .then_some(out)
+    }
+
+    /// The allocation-reusing truncated-prediction core behind
+    /// [`NadarayaWatson::predict_topk`]: `nbuf` is the caller's neighbour
+    /// scratch buffer. See there for the exactness contract; the
+    /// all-weights-underflow fallback below picks the same nearest row —
+    /// lowest row index on distance ties — as the exact path, because the
+    /// KD-tree ranks candidates by `(d², row)` and the globally nearest
+    /// row is always among the k kept.
+    pub fn predict_norm_topk_into(
+        &self,
+        dataset: &Dataset,
+        x_norm: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+        out: &mut [f64],
+        nbuf: &mut Vec<(f64, usize)>,
+    ) -> bool {
+        debug_assert!(k > 0);
+        dataset.k_nearest(x_norm, k, exclude, nbuf);
+        if nbuf.is_empty() {
+            return false;
+        }
+        debug_assert_eq!(out.len(), dataset.n_outputs());
+        // The fallback row: minimum (d², row) — identical to the exact
+        // path's first-wins linear scan.
+        let fallback = nbuf[0].1;
+        // Accumulate in ascending row order so a full candidate set
+        // (k ≥ M) reproduces the exact path's sums bitwise.
+        nbuf.sort_unstable_by_key(|&(_, i)| i);
+        out.fill(0.0);
+        let mut den = 0.0f64;
+        for &(d2, i) in nbuf.iter() {
+            let w = self.kernel.weight(d2, self.bandwidth);
+            den += w;
+            for (acc, y) in out.iter_mut().zip(&dataset.outputs()[i]) {
+                *acc += w * y;
+            }
+        }
+        if den <= f64::MIN_POSITIVE * 1e3 {
+            // All weights vanished: nearest-neighbour fallback.
+            out.copy_from_slice(&dataset.outputs()[fallback]);
+            return true;
+        }
+        for v in out.iter_mut() {
+            *v /= den;
+        }
+        true
+    }
+
     /// Like [`NadarayaWatson::predict`], excluding dataset row `exclude`
     /// (used for leave-one-out validation).
     pub fn predict_excluding(
@@ -213,6 +285,91 @@ mod tests {
         let with = nw.predict(&d, &[5]).unwrap()[0];
         let without = nw.predict_excluding(&d, &[5], Some(1)).unwrap()[0];
         assert!(with > without, "{with} vs {without}");
+    }
+
+    #[test]
+    fn topk_with_full_candidate_set_is_bitwise_exact() {
+        let d = line_dataset();
+        for h in [0.01, 0.05, 0.2, 1.0] {
+            let nw = NadarayaWatson {
+                kernel: Kernel::Gaussian,
+                bandwidth: h,
+            };
+            for q in [0i64, 17, 52, 100] {
+                let exact = nw.predict(&d, &[q]).unwrap();
+                for k in [d.len(), d.len() + 10] {
+                    let trunc = nw.predict_topk(&d, &[q], k).unwrap();
+                    assert_eq!(exact[0].to_bits(), trunc[0].to_bits(), "h={h} q={q} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topk_zero_means_exact() {
+        let d = line_dataset();
+        let nw = NadarayaWatson::default();
+        assert_eq!(
+            nw.predict(&d, &[37]).unwrap()[0].to_bits(),
+            nw.predict_topk(&d, &[37], 0).unwrap()[0].to_bits()
+        );
+    }
+
+    #[test]
+    fn truncation_stays_close_to_exact() {
+        let d = line_dataset(); // 21 points
+        let nw = NadarayaWatson {
+            kernel: Kernel::Gaussian,
+            bandwidth: 0.1,
+        };
+        let exact = nw.predict(&d, &[52]).unwrap()[0];
+        let trunc = nw.predict_topk(&d, &[52], 8).unwrap()[0];
+        // 8 nearest of 21 at h = 0.1 hold almost all the Gaussian mass.
+        assert!((exact - trunc).abs() < 1.0, "{exact} vs {trunc}");
+    }
+
+    #[test]
+    fn underflow_fallback_breaks_ties_by_lowest_row_in_both_paths() {
+        // Two rows equidistant from the query; a compact kernel far from
+        // both underflows every weight, forcing the nearest-neighbour
+        // fallback. Insertion order puts the *larger* coordinate first,
+        // so "lowest row index" is distinguishable from "smallest value".
+        let mut d = Dataset::new(Bounds::new(vec![(0, 100)]), 1);
+        d.insert(vec![60], vec![7.0]); // row 0
+        d.insert(vec![40], vec![9.0]); // row 1 — same distance from 50
+        let nw = NadarayaWatson {
+            kernel: Kernel::Epanechnikov,
+            bandwidth: 0.05,
+        };
+        let exact = nw.predict(&d, &[50]).unwrap()[0];
+        assert_eq!(exact, 7.0, "exact path must fall back to row 0");
+        for k in [1, 2, 5] {
+            let trunc = nw.predict_topk(&d, &[50], k).unwrap()[0];
+            assert_eq!(trunc, 7.0, "truncated path (k={k}) must agree");
+        }
+    }
+
+    #[test]
+    fn duplicate_design_points_tie_break_deterministically() {
+        // A degenerate second axis makes two distinct raw points
+        // coincident in normalized space — duplicates at distance zero.
+        let mut d = Dataset::new(Bounds::new(vec![(0, 100), (3, 3)]), 1);
+        d.insert(vec![50, 3], vec![1.0]); // row 0
+        d.insert(vec![50, 9], vec![2.0]); // row 1, same normalized point
+        d.insert(vec![0, 3], vec![3.0]); // row 2, far away
+        let nw = NadarayaWatson {
+            kernel: Kernel::Uniform,
+            bandwidth: 0.01,
+        };
+        // Query far from everything: all weights vanish; both rows 0 and
+        // 1 are nearest at the same distance — row 0 must win, exact and
+        // truncated alike.
+        let exact = nw.predict(&d, &[80, 3]).unwrap()[0];
+        let trunc1 = nw.predict_topk(&d, &[80, 3], 1).unwrap()[0];
+        let trunc3 = nw.predict_topk(&d, &[80, 3], 3).unwrap()[0];
+        assert_eq!(exact, 1.0);
+        assert_eq!(trunc1, 1.0);
+        assert_eq!(trunc3, 1.0);
     }
 
     #[test]

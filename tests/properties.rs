@@ -5,7 +5,9 @@ use dovado::csv;
 use dovado::{fmax_mhz, DesignPoint, Domain, ParameterSpace};
 use dovado_eda::tcl::expr::eval_expr;
 use dovado_moo::{fast_non_dominated_sort, hypervolume, non_dominated_indices, Individual};
-use dovado_surrogate::{Bounds, Dataset, Kernel, NadarayaWatson, ThresholdPolicy};
+use dovado_surrogate::{
+    loo_mse, BandwidthSelector, Bounds, Dataset, Kernel, NadarayaWatson, ThresholdPolicy,
+};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------- space --
@@ -117,6 +119,91 @@ proptest! {
         } else {
             prop_assert!(phi > 0.0);
         }
+    }
+
+    #[test]
+    fn truncated_prediction_bitwise_exact_when_k_covers_dataset(
+        pts in proptest::collection::btree_map(0i64..1000, -100.0f64..100.0, 2..30),
+        query in 0i64..1000,
+        bw in 0.01f64..2.0,
+        extra in 0usize..4,
+    ) {
+        // With k ≥ M the truncated estimator keeps every candidate and
+        // re-accumulates them in row order — so it must reproduce the
+        // exact path bit for bit, not merely approximately.
+        let mut ds = Dataset::new(Bounds::new(vec![(0, 1000)]), 1);
+        for (x, y) in &pts {
+            ds.insert(vec![*x], vec![*y]);
+        }
+        let nw = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: bw };
+        let exact = nw.predict(&ds, &[query]).unwrap()[0];
+        let trunc = nw.predict_topk(&ds, &[query], ds.len() + extra).unwrap()[0];
+        prop_assert_eq!(exact.to_bits(), trunc.to_bits());
+    }
+
+    #[test]
+    fn truncated_prediction_within_truncation_bound(
+        pts in proptest::collection::btree_map(0i64..1000, -100.0f64..100.0, 4..40),
+        query in 0i64..1000,
+        bw in 0.05f64..2.0,
+        k in 1usize..12,
+    ) {
+        // Dropping the M−k farthest points can move a weighted average by
+        // at most range·(M−k)/M: every dropped weight is bounded by the
+        // smallest kept one (the kernel is monotone in distance). The
+        // bandwidth floor keeps the Gaussian weights far from the
+        // underflow fallback so the bound applies on both paths.
+        let mut ds = Dataset::new(Bounds::new(vec![(0, 1000)]), 1);
+        for (x, y) in &pts {
+            ds.insert(vec![*x], vec![*y]);
+        }
+        let m = ds.len();
+        let lo = pts.values().cloned().fold(f64::INFINITY, f64::min);
+        let hi = pts.values().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let nw = NadarayaWatson { kernel: Kernel::Gaussian, bandwidth: bw };
+        let exact = nw.predict(&ds, &[query]).unwrap()[0];
+        let trunc = nw.predict_topk(&ds, &[query], k).unwrap()[0];
+        let dropped = m.saturating_sub(k) as f64;
+        let bound = (hi - lo) * dropped / m as f64 + 1e-9;
+        prop_assert!(
+            (exact - trunc).abs() <= bound,
+            "|{exact} - {trunc}| > {bound} (M = {m}, k = {k})"
+        );
+    }
+
+    #[test]
+    fn incremental_loocv_matches_recomputed_bitwise(
+        pts in proptest::collection::btree_map(
+            (0i64..1000, 0i64..50), -100.0f64..100.0, 4..60),
+        splits in proptest::collection::vec(1usize..8, 1..6),
+        bw in 0.01f64..2.0,
+    ) {
+        // A selector that extends its distance matrix across arbitrary
+        // growth batches must score bandwidths bitwise like one built
+        // fresh from the final dataset at every step.
+        let mut ds = Dataset::new(Bounds::new(vec![(0, 1000), (0, 50)]), 1);
+        let mut persistent = BandwidthSelector::new();
+        let mut batch = Vec::new();
+        let mut sizes = splits.iter().cycle();
+        let mut pending = *sizes.next().unwrap();
+        for ((x, y), v) in &pts {
+            ds.insert(vec![*x, *y], vec![*v]);
+            pending -= 1;
+            if pending == 0 {
+                pending = *sizes.next().unwrap();
+                batch.push(ds.len());
+                let inc = persistent.loo_mse(&ds, Kernel::Gaussian, bw, 64);
+                let fresh = loo_mse(&ds, Kernel::Gaussian, bw);
+                prop_assert_eq!(
+                    inc.map(f64::to_bits),
+                    fresh.map(f64::to_bits),
+                    "diverged after batches {:?}", batch
+                );
+            }
+        }
+        let inc = persistent.loo_mse(&ds, Kernel::Gaussian, bw, 64);
+        let fresh = loo_mse(&ds, Kernel::Gaussian, bw);
+        prop_assert_eq!(inc.map(f64::to_bits), fresh.map(f64::to_bits));
     }
 }
 

@@ -262,6 +262,40 @@ fn surrogate_state_survives_crash_and_resume() {
 }
 
 #[test]
+fn crash_between_reselect_and_next_insert_matches_uninterrupted() {
+    // With `reselect_every: 1` every record reselects the bandwidth, so a
+    // crash at a generation boundary always lands *between* a reselection
+    // and the next insert — the exact window where the controller's
+    // incremental LOO-CV scratch and the dataset's neighbor index hold
+    // derived state that is NOT journaled. The restored controller starts
+    // with an empty selector and a tree rebuilt from the CSV; if either
+    // rebuild could diverge from the warm in-memory state, the next
+    // reselection's bandwidth bits (asserted below via the final
+    // journals) would catch it. Crash probability 1 exercises the window
+    // at every boundary.
+    let cfg = DseConfig {
+        surrogate: Some(SurrogateConfig {
+            pretrain_samples: 15,
+            reselect_every: 1,
+            ..Default::default()
+        }),
+        ..cfg(true, false)
+    };
+    let base_dir = fresh_dir("resel-base");
+    let (baseline, crashes) = run_until_complete(&tool(FaultPlan::none()), &cfg, &base_dir);
+    assert_eq!(crashes, 0);
+    assert!(baseline.estimates > 0, "surrogate must actually engage");
+
+    let crash_dir = fresh_dir("resel-crash");
+    let (resumed, crashes) = run_until_complete(&tool(crash_plan(1.0)), &cfg, &crash_dir);
+    assert_eq!(crashes, GENERATIONS, "one interruption per boundary");
+
+    assert_reports_bitwise(&baseline, &resumed);
+    assert_traces_match(&baseline, &resumed);
+    assert_final_journals_match(&base_dir, &crash_dir);
+}
+
+#[test]
 fn crash_resume_is_identical_under_one_and_four_jobs() {
     let cfg = cfg(false, true);
     let run_with_jobs = |jobs: usize, tag: &str| {
