@@ -46,6 +46,8 @@ fn bench_flow(c: &mut Criterion) {
                     surrogate: None,
                     parallel: false,
                     explorer: Default::default(),
+                    jobs: None,
+                    workers: None,
                 })
                 .unwrap();
             black_box(r.evaluations)

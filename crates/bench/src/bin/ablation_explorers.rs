@@ -76,6 +76,8 @@ fn main() {
                     surrogate: None,
                     parallel: true,
                     explorer: Default::default(),
+                    jobs: None,
+                    workers: None,
                 })
                 .unwrap();
             let front: Vec<Vec<f64>> = report

@@ -75,6 +75,8 @@ fn main() {
                 }),
                 parallel: false,
                 explorer: Default::default(),
+                jobs: None,
+                workers: None,
             })
             .expect("exploration runs");
         last_spine = Some(report.spine.clone());

@@ -1,0 +1,113 @@
+//! Distributed-evaluation performance: a thread-backed worker fleet
+//! speaking the real wire protocol, evaluating a tool-run-heavy batch
+//! with 1 worker vs 4 workers.
+//!
+//! The workload is the scripted mock backend with an artificial
+//! per-stage spin (`mock:SEED:spin=MS`), so every evaluation costs real
+//! wall-clock the way an actual tool run would, while metrics — and
+//! therefore traces — stay bit-deterministic. The bench asserts the two
+//! fleet sizes produce byte-identical traces and writes
+//! `results/BENCH_distributed.json` with the measured speedup.
+
+use dovado::{DesignPoint, EvalConfig, Evaluator, HdlSource, Schedule};
+use dovado_hdl::Language;
+use std::sync::Arc;
+use std::time::Instant;
+
+const FIFO_SV: &str = r#"
+module fifo_v3 #(
+    parameter DEPTH = 8,
+    parameter DATA_WIDTH = 32
+)(input logic clk_i, input logic [DATA_WIDTH-1:0] data_i);
+endmodule"#;
+
+const POINTS: usize = 24;
+const SPIN_MS: u64 = 40;
+const WORKERS_HI: usize = 4;
+
+fn evaluator_on_fleet(workers: usize, spin_ms: u64) -> Evaluator {
+    let config = EvalConfig::default();
+    let spec = format!("mock:{}:spin={spin_ms}", config.seed);
+    let fleet =
+        Arc::new(dovado::worker::thread_fleet(&spec, workers).expect("thread fleet must spawn"));
+    Evaluator::with_backend(
+        vec![HdlSource::new("fifo.sv", Language::SystemVerilog, FIFO_SV)],
+        "fifo_v3",
+        config,
+        fleet,
+    )
+    .expect("evaluator builds")
+}
+
+/// Evaluates the batch on a fresh fleet of `workers`, returning
+/// (wall-clock ms, canonical JSONL trace).
+fn timed_run(points: &[DesignPoint], workers: usize, spin_ms: u64) -> (f64, String) {
+    let evaluator = evaluator_on_fleet(workers, spin_ms);
+    let t0 = Instant::now();
+    let results = evaluator.evaluate_many_scheduled(points, Schedule::Distributed { workers });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    for r in results {
+        r.expect("bench evaluations are fault-free");
+    }
+    (
+        wall_ms,
+        dovado::obs::jsonl_string(&evaluator.spine().snapshot()),
+    )
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    dovado_bench::banner(
+        "perf_distributed — worker fleet, 1 vs 4 workers",
+        "24-point tool-run-heavy batch over the wire protocol (mock, 40 ms spin/stage)",
+    );
+
+    let points: Vec<DesignPoint> = (1..=POINTS as i64)
+        .map(|i| DesignPoint::from_pairs(&[("DEPTH", i * 16), ("DATA_WIDTH", 32)]))
+        .collect();
+
+    // Warm-up: one spin-free batch so first-touch costs (thread spawn,
+    // protocol handshake, allocator) land outside the timed runs.
+    let _ = timed_run(&points[..2], WORKERS_HI, 0);
+
+    let (one_ms, one_trace) = timed_run(&points, 1, SPIN_MS);
+    let (four_ms, four_trace) = timed_run(&points, WORKERS_HI, SPIN_MS);
+    let speedup = one_ms / four_ms;
+
+    println!("batch of {POINTS} evaluations, {SPIN_MS} ms spin per tool stage:");
+    println!("  1 worker                 : {one_ms:9.1} ms");
+    println!("  {WORKERS_HI} workers                : {four_ms:9.1} ms");
+    println!("  speedup (1 -> {WORKERS_HI} workers) : {speedup:9.2}x");
+
+    let identical = one_trace == four_trace;
+    assert!(
+        identical,
+        "fleet sizes produced different canonical traces — determinism broke"
+    );
+    println!("  traces                   : byte-identical");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"distributed_worker_fleet\",\n  \"config\": {{\"points\": {POINTS}, \"spin_ms\": {SPIN_MS}, \"workers_hi\": {WORKERS_HI}}},\n  \"wall_ms\": {{\"workers_1\": {}, \"workers_{WORKERS_HI}\": {}}},\n  \"speedup_1_to_{WORKERS_HI}\": {},\n  \"traces_identical\": {identical}\n}}\n",
+        json_f(one_ms),
+        json_f(four_ms),
+        json_f(speedup),
+    );
+    let path = dovado_bench::results_dir().join("BENCH_distributed.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    println!();
+    println!("wrote {}", path.display());
+
+    assert!(
+        speedup >= 2.5,
+        "distributed speedup {speedup:.2}x below the 2.5x acceptance floor"
+    );
+}

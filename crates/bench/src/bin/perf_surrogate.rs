@@ -65,7 +65,7 @@ fn problem(parallel: bool, reselect_every: usize) -> DseProblem {
         ..Default::default()
     };
     let mut p = DseProblem::new(evaluator, space, metrics, Some(&cfg)).expect("problem builds");
-    p.parallel = parallel;
+    p.schedule = dovado::Schedule::from_parallel_flag(parallel);
     p
 }
 

@@ -142,6 +142,8 @@ pub fn run_tirex(part: &str, figure: &str, csv_name: &str) -> dovado::DseReport 
         metrics: cs.metrics.clone(),
         surrogate: None,
         parallel: true,
+        jobs: None,
+        workers: None,
     };
     let report = tool.explore(&cfg).expect("exploration succeeds");
 

@@ -10,3 +10,4 @@
 //! level: no other core module may name concrete simulator types.
 
 pub use dovado_eda::backend::{MockBackend, SimBackend, ToolBackend, ToolSession};
+pub use dovado_eda::remote::{RemoteBackend, WorkerLifecycle};

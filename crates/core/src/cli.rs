@@ -51,6 +51,7 @@ fn run_inner(args: &[String], out: &mut String) -> Result<(), String> {
         Some("evaluate") => cmd_evaluate(&args[1..], out),
         Some("explore") => cmd_explore(&args[1..], out),
         Some("demo") => cmd_demo(&args[1..], out),
+        Some("worker") => cmd_worker(),
         Some(other) => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -66,19 +67,30 @@ USAGE:
   dovado evaluate --source <file>... --top <module> [--part <part>]
                   [--set NAME=VALUE]... [--period <ns>] [--step synth|impl]
                   [--synth-directive <d>] [--impl-directive <d>]
-                  [--jobs <n>] [--store <dir>] [--trace-out <file>]
+                  [--jobs <n>] [--workers <n>] [--store <dir>]
+                  [--trace-out <file>]
   dovado explore  --source <file>... --top <module> [--part <part>]
                   --param NAME=<spec>... [--metric <m>,<m>,...]
                   [--generations <n>] [--pop <n>] [--seed <n>]
                   [--surrogate <M>] [--deadline <simulated-s>] [--plot]
                   [--algorithm nsga2|random|weighted-sum|exhaustive]
-                  [--csv <file>] [--jobs <n>]
+                  [--csv <file>] [--jobs <n>] [--workers <n>]
                   [--store <dir>] [--resume <dir>] [--trace-out <file>]
   dovado demo <cv32e40p|corundum|neorv32|tirex>
+  dovado worker   (internal: serve the distributed-evaluation protocol
+                  over stdio; spawned by --workers, not run by hand)
 
   --jobs caps the worker threads used for parallel tool runs and batch
   surrogate decisions; the default is all available cores. Results are
   identical for any value — parallelism never changes answers.
+
+  --workers runs tool evaluations on a fleet of worker processes
+  speaking a length-prefixed frame protocol over stdio, with per-point
+  dispatch through a work-stealing queue. Store lookups stay on the
+  coordinator, so a warm store never spawns a worker. Like --jobs, the
+  fleet size never changes answers: traces are byte-identical to a
+  serial run, and a journal written under one fleet size resumes under
+  any other. --jobs and --workers are mutually exclusive.
 
   --store persists every successful tool run into a content-addressed
   on-disk store under <dir>; repeated evaluations of the same sources,
@@ -272,6 +284,81 @@ fn parse_jobs(value: &str) -> Result<usize, String> {
     crate::engine::validate_jobs(n).map_err(|e| e.to_string())
 }
 
+/// Parses a `--workers` value: the distributed fleet size. Shares the
+/// engine's pool-size validator with `--jobs`
+/// ([`crate::engine::validate_workers`]), so a zero-worker fleet is
+/// rejected with the same wording at every entry point.
+fn parse_workers(value: &str) -> Result<usize, String> {
+    let n: usize = value
+        .parse()
+        .map_err(|_| "--workers: not a number".to_string())?;
+    crate::engine::validate_workers(n).map_err(|e| e.to_string())
+}
+
+/// Builds a distributed worker fleet for `--workers`: `workers` child
+/// processes running `dovado worker` (or in-process serve threads with
+/// the internal `--worker-transport thread`, used by tests, which must
+/// not re-exec their own binary). The fault plan stays coordinator-side;
+/// workers are always clean.
+fn build_fleet(
+    eval: &EvalConfig,
+    workers: usize,
+    transport: &str,
+) -> Result<std::sync::Arc<crate::backend::RemoteBackend>, String> {
+    let kind = match std::env::var("DOVADO_BACKEND").ok().as_deref() {
+        Some("mock") => "mock",
+        None | Some("") | Some("sim") => "vivado-sim",
+        Some(other) => return Err(format!("DOVADO_BACKEND: unknown backend `{other}`")),
+    };
+    let spec = format!("{kind}:{}", eval.seed);
+    let remote = match transport {
+        "thread" => crate::worker::thread_fleet(&spec, workers),
+        "process" => {
+            let exe = std::env::current_exe().map_err(|e| format!("--workers: {e}"))?;
+            crate::worker::process_fleet(
+                vec![exe.to_string_lossy().into_owned(), "worker".into()],
+                &spec,
+                workers,
+            )
+        }
+        other => {
+            return Err(format!(
+                "--worker-transport: unknown transport `{other}` (want thread|process)"
+            ))
+        }
+    }
+    .map_err(|e| format!("--workers: {e}"))?;
+    Ok(std::sync::Arc::new(
+        remote.with_fault_plan(eval.faults.clone()),
+    ))
+}
+
+/// The `worker` subcommand: serve the distributed-evaluation frame
+/// protocol over this process's stdio until the coordinator shuts us
+/// down. Nothing human-readable is written to stdout — it carries only
+/// protocol frames.
+fn cmd_worker() -> Result<(), String> {
+    crate::worker::serve_stdio().map_err(|e| format!("worker: {e}"))
+}
+
+/// One summary line for the worker fleet's lifecycle side channel.
+fn worker_summary(bus: &crate::obs::EventBus, workers: usize) -> String {
+    let events = bus.worker_events();
+    let count = |k: &str| {
+        events
+            .iter()
+            .filter(|e| matches!(e, crate::obs::ObsEvent::Worker { kind, .. } if *kind == k))
+            .count()
+    };
+    format!(
+        "{workers} worker(s): {} spawned, {} steal(s), {} death(s), {} requeue(d)",
+        count("spawned"),
+        count("stole"),
+        count("died"),
+        count("requeued"),
+    )
+}
+
 /// Runs `op` under a scoped thread pool capped at `jobs` workers, or
 /// directly (all cores) when no cap was requested.
 fn run_with_jobs<R>(jobs: Option<usize>, op: impl FnOnce() -> R) -> Result<R, String> {
@@ -313,6 +400,8 @@ fn cmd_evaluate(args: &[String], out: &mut String) -> Result<(), String> {
     let (common, rest) = parse_common(args)?;
     let mut assignments: Vec<(String, i64)> = Vec::new();
     let mut jobs: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut transport = "process".to_string();
     let mut store_dir: Option<String> = None;
     let mut trace_out: Option<String> = None;
     for (flag, value) in &rest {
@@ -327,19 +416,35 @@ fn cmd_evaluate(args: &[String], out: &mut String) -> Result<(), String> {
                 assignments.push((k.to_string(), vi));
             }
             "--jobs" => jobs = Some(parse_jobs(value)?),
+            "--workers" => workers = Some(parse_workers(value)?),
+            "--worker-transport" => transport = value.clone(),
             "--store" => store_dir = Some(value.clone()),
             "--trace-out" => trace_out = Some(value.clone()),
             other => return Err(format!("evaluate: unknown flag `{other}`")),
         }
     }
+    if jobs.is_some() && workers.is_some() {
+        return Err("--jobs and --workers are mutually exclusive".into());
+    }
 
-    let mut evaluator = match backend_from_env(&common.eval)? {
-        Some(backend) => {
+    let remote = match workers {
+        Some(w) => Some(build_fleet(&common.eval, w, &transport)?),
+        None => None,
+    };
+    let mut evaluator = match (&remote, backend_from_env(&common.eval)?) {
+        (Some(fleet), _) => {
+            let backend: std::sync::Arc<dyn crate::backend::ToolBackend> = fleet.clone();
             crate::flow::Evaluator::with_backend(common.sources, &common.top, common.eval, backend)
         }
-        None => crate::flow::Evaluator::new(common.sources, &common.top, common.eval),
+        (None, Some(backend)) => {
+            crate::flow::Evaluator::with_backend(common.sources, &common.top, common.eval, backend)
+        }
+        (None, None) => crate::flow::Evaluator::new(common.sources, &common.top, common.eval),
     }
     .map_err(|e| e.to_string())?;
+    if let Some(fleet) = &remote {
+        crate::worker::attach_lifecycle(fleet, evaluator.spine());
+    }
     if let Some(dir) = &store_dir {
         let store =
             EvalStore::open(std::path::Path::new(dir)).map_err(|e| format!("--store: {e}"))?;
@@ -375,6 +480,14 @@ fn cmd_evaluate(args: &[String], out: &mut String) -> Result<(), String> {
         };
         let _ = writeln!(out, "{:<13}: {served}", "answered by");
     }
+    if let Some(w) = workers {
+        let _ = writeln!(
+            out,
+            "{:<13}: {}",
+            "fleet",
+            worker_summary(evaluator.spine(), w)
+        );
+    }
     if let Some(path) = &trace_out {
         write_trace_file(path, &evaluator.snapshot())?;
         let _ = writeln!(out, "wrote {path}");
@@ -395,6 +508,8 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
     let mut explorer = crate::dse::Explorer::Nsga2;
     let mut csv_path: Option<String> = None;
     let mut jobs: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut transport = "process".to_string();
     let mut store_dir: Option<String> = None;
     let mut resume_dir: Option<String> = None;
     let mut trace_out: Option<String> = None;
@@ -440,6 +555,8 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
             "--plot" => plot = true,
             "--csv" => csv_path = Some(value.clone()),
             "--jobs" => jobs = Some(parse_jobs(value)?),
+            "--workers" => workers = Some(parse_workers(value)?),
+            "--worker-transport" => transport = value.clone(),
             "--store" => store_dir = Some(value.clone()),
             "--resume" => resume_dir = Some(value.clone()),
             "--trace-out" => trace_out = Some(value.clone()),
@@ -458,6 +575,9 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
     if space.dim() == 0 {
         return Err("explore: at least one --param is required".into());
     }
+    if jobs.is_some() && workers.is_some() {
+        return Err("--jobs and --workers are mutually exclusive".into());
+    }
     let metrics = metrics.unwrap_or_else(MetricSet::area_frequency);
     let persist = match (&store_dir, &resume_dir) {
         (None, None) => None,
@@ -474,13 +594,24 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
         }
     };
 
-    let tool = match backend_from_env(&common.eval)? {
-        Some(backend) => {
+    let remote = match workers {
+        Some(w) => Some(build_fleet(&common.eval, w, &transport)?),
+        None => None,
+    };
+    let tool = match (&remote, backend_from_env(&common.eval)?) {
+        (Some(fleet), _) => {
+            let backend: std::sync::Arc<dyn crate::backend::ToolBackend> = fleet.clone();
             Dovado::with_backend(common.sources, &common.top, space, common.eval, backend)
         }
-        None => Dovado::new(common.sources, &common.top, space, common.eval),
+        (None, Some(backend)) => {
+            Dovado::with_backend(common.sources, &common.top, space, common.eval, backend)
+        }
+        (None, None) => Dovado::new(common.sources, &common.top, space, common.eval),
     }
     .map_err(|e| e.to_string())?;
+    if let Some(fleet) = &remote {
+        crate::worker::attach_lifecycle(fleet, tool.evaluator().spine());
+    }
     let termination = match deadline {
         Some(d) => Termination::Any(vec![
             Termination::Generations(generations),
@@ -503,6 +634,8 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
                 ..Default::default()
             }),
             parallel: true,
+            jobs: None,
+            workers,
         };
         match &persist {
             Some(p) => tool.explore_persistent(&cfg, p),
@@ -512,6 +645,13 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
 
     let _ = writeln!(out, "{}", report.summary());
+    if let Some(w) = workers {
+        let _ = writeln!(
+            out,
+            "fleet        : {}",
+            worker_summary(tool.evaluator().spine(), w)
+        );
+    }
     if persist.is_some() {
         let served = if report.trace.store_hits > 0 {
             format!(

@@ -2,6 +2,7 @@
 //! design space exploration (NSGA-II over a parameter space).
 
 use crate::backend::ToolBackend;
+use crate::engine::Schedule;
 use crate::error::{DovadoError, DovadoResult};
 use crate::fitness::{DseProblem, FitnessStats};
 use crate::flow::{EvalConfig, Evaluator, HdlSource};
@@ -99,6 +100,18 @@ pub struct DseConfig {
     pub surrogate: Option<SurrogateConfig>,
     /// Evaluate tool-only generations in parallel.
     pub parallel: bool,
+    /// Cap on rayon worker threads for parallel phases (`--jobs`).
+    /// `Some(n)` implies parallel batches under a pool of `n` threads;
+    /// validated by [`crate::engine::validate_jobs`], so `Some(0)` fails
+    /// with [`DovadoError::Config`] instead of hanging. Excluded from the
+    /// resume fingerprint: any jobs count is bitwise the same run.
+    pub jobs: Option<usize>,
+    /// Distributed evaluation: dispatch tool batches to this many worker
+    /// processes (`--workers`) instead of in-process rayon threads.
+    /// Validated by [`crate::engine::validate_workers`]; excluded from
+    /// the resume fingerprint like `parallel` and `jobs`, so a journal
+    /// written by a 4-worker fleet resumes under any fleet size.
+    pub workers: Option<usize>,
 }
 
 impl Default for DseConfig {
@@ -110,6 +123,8 @@ impl Default for DseConfig {
             metrics: MetricSet::area_frequency(),
             surrogate: None,
             parallel: false,
+            jobs: None,
+            workers: None,
         }
     }
 }
@@ -192,6 +207,25 @@ impl Dovado {
             .collect()
     }
 
+    /// Design automation under an explicit [`Schedule`]: like
+    /// [`Dovado::evaluate_points`], but the caller picks serial, rayon,
+    /// or a distributed worker fleet.
+    pub fn evaluate_points_scheduled(
+        &self,
+        points: &[DesignPoint],
+        schedule: Schedule,
+    ) -> Vec<PointResult> {
+        self.evaluator
+            .evaluate_many_scheduled(points, schedule)
+            .into_iter()
+            .zip(points)
+            .map(|(result, point)| PointResult {
+                point: point.clone(),
+                result,
+            })
+            .collect()
+    }
+
     /// Exact exploration: evaluates *every* point in the space (refuses
     /// when the volume exceeds `limit`).
     pub fn evaluate_exhaustive(&self, limit: u64, parallel: bool) -> Option<Vec<PointResult>> {
@@ -229,6 +263,24 @@ impl Dovado {
         cfg: &DseConfig,
         persist_cfg: Option<&PersistConfig>,
     ) -> DovadoResult<DseReport> {
+        // Validate both pool knobs up front so a programmatic `jobs: 0`
+        // or `workers: 0` fails fast, exactly like the CLI flags.
+        let schedule = Self::schedule_of(cfg)?;
+        if let Some(n) = cfg.jobs {
+            // Cap rayon for everything below (decide phases and parallel
+            // tool batches) by re-entering under a sized pool. `jobs` is
+            // not part of the fingerprint, so the inner run is untouched.
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .map_err(|e| DovadoError::Config(format!("jobs: {e}")))?;
+            let inner = DseConfig {
+                jobs: None,
+                parallel: true,
+                ..cfg.clone()
+            };
+            return pool.install(|| self.explore_inner(&inner, persist_cfg));
+        }
         let mut evaluator = self.evaluator.clone();
         if let Some(p) = persist_cfg {
             fs::create_dir_all(&p.dir).map_err(|e| {
@@ -257,7 +309,7 @@ impl Dovado {
             cfg.metrics.clone(),
             cfg.surrogate.as_ref(),
         )?;
-        problem.parallel = cfg.parallel;
+        problem.schedule = schedule;
 
         let result: OptResult = match &cfg.explorer {
             Explorer::Nsga2 => {
@@ -438,7 +490,7 @@ impl Dovado {
             controller,
             journal.stats,
         );
-        problem.parallel = cfg.parallel;
+        problem.schedule = Self::schedule_of(cfg)?;
         let engine = Nsga2Engine::resume(&problem, &cfg.algorithm, journal.snapshot);
         let result = if journal.complete {
             // The run had already terminated when the journal was
@@ -450,9 +502,27 @@ impl Dovado {
         self.assemble_report(cfg, &problem, result)
     }
 
+    /// The batch [`Schedule`] a configuration asks for, with both pool
+    /// knobs validated: `workers` wins over `jobs`/`parallel` (a
+    /// distributed run is already parallel), `jobs` implies a parallel
+    /// schedule under a sized pool, and otherwise the plain `parallel`
+    /// flag decides. Zero is rejected for either knob.
+    fn schedule_of(cfg: &DseConfig) -> DovadoResult<Schedule> {
+        if let Some(w) = cfg.workers {
+            crate::engine::validate_workers(w)?;
+            return Ok(Schedule::Distributed { workers: w });
+        }
+        if let Some(j) = cfg.jobs {
+            crate::engine::validate_jobs(j)?;
+            return Ok(Schedule::Parallel);
+        }
+        Ok(Schedule::from_parallel_flag(cfg.parallel))
+    }
+
     /// Everything that identifies one exploration run for resume
-    /// purposes. Deliberately excludes `parallel` (a parallel run is
-    /// bitwise a sequential one) and the journal cadence.
+    /// purposes. Deliberately excludes `parallel`, `jobs` and `workers`
+    /// (a parallel or distributed run is bitwise a sequential one) and
+    /// the journal cadence.
     fn persist_fingerprint(&self, cfg: &DseConfig) -> String {
         self.evaluator
             .content_key()
@@ -618,6 +688,8 @@ endmodule"#;
             surrogate: None,
             parallel: false,
             explorer: Default::default(),
+            jobs: None,
+            workers: None,
         };
         let report = d.explore(&cfg).unwrap();
         assert!(!report.pareto.is_empty());
@@ -645,6 +717,8 @@ endmodule"#;
             surrogate: None,
             parallel: false,
             explorer: Default::default(),
+            jobs: None,
+            workers: None,
         };
         let plain = d.explore(&base_cfg).unwrap();
 
@@ -762,6 +836,8 @@ endmodule"#;
             metrics: metrics(),
             surrogate: None,
             parallel: false,
+            jobs: None,
+            workers: None,
             explorer: Default::default(),
         }
     }
@@ -883,6 +959,8 @@ endmodule"#;
             surrogate: None,
             parallel: false,
             explorer: Default::default(),
+            jobs: None,
+            workers: None,
         };
         let report = d.explore(&cfg).unwrap();
         assert!(report.generations < 50, "deadline ignored: {report:?}");

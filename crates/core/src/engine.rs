@@ -49,6 +49,18 @@ pub enum Schedule {
     /// `--jobs`). Results are returned in input order and are bitwise
     /// those of a serial run.
     Parallel,
+    /// Work-stealing dispatch for a worker fleet: `workers` dispatcher
+    /// threads claim pending points through a shared atomic cursor, so an
+    /// idle dispatcher (and the remote worker it leases) always pulls the
+    /// next pending point — one straggling place-and-route run never
+    /// blocks the batch. Pairs with a
+    /// [`crate::backend::RemoteBackend`]-backed engine, whose session
+    /// pool holds the actual worker processes; results are returned in
+    /// input order and are bitwise those of a serial run.
+    Distributed {
+        /// Number of concurrent dispatchers (sized to the worker fleet).
+        workers: usize,
+    },
 }
 
 impl Schedule {
@@ -62,17 +74,31 @@ impl Schedule {
     }
 }
 
+/// Shared validator behind [`validate_jobs`] and [`validate_workers`]:
+/// zero-size pools are configuration errors, not panics.
+fn validate_pool_size(flag: &str, n: usize) -> DovadoResult<usize> {
+    if n == 0 {
+        return Err(DovadoError::Config(format!(
+            "{flag}: must be at least 1 (a zero-worker pool cannot run anything)"
+        )));
+    }
+    Ok(n)
+}
+
 /// Validates a worker-thread count before it reaches the thread-pool
 /// builder. Zero workers cannot make progress (and asks the vendored
 /// rayon shim for an empty pool), so it is a configuration error, not a
-/// panic.
+/// panic. Applied on every path that sizes a pool — CLI `--jobs` and
+/// programmatic `DseConfig::jobs` alike.
 pub fn validate_jobs(jobs: usize) -> DovadoResult<usize> {
-    if jobs == 0 {
-        return Err(DovadoError::Config(
-            "--jobs: must be at least 1 (a zero-worker pool cannot run anything)".into(),
-        ));
-    }
-    Ok(jobs)
+    validate_pool_size("--jobs", jobs)
+}
+
+/// Validates a distributed fleet size ([`Schedule::Distributed`], CLI
+/// `--workers`, programmatic `DseConfig::workers`) with the same rule as
+/// [`validate_jobs`].
+pub fn validate_workers(workers: usize) -> DovadoResult<usize> {
+    validate_pool_size("--workers", workers)
 }
 
 /// Everything an attempt needs to generate its scripts.
@@ -170,7 +196,12 @@ impl AttemptLayer {
 
         // Incremental flow: reuse the previous synthesis checkpoint when
         // one exists (Vivado reads it with `read_checkpoint -incremental`).
-        let incremental_line = if incremental && *self.ledger.has_checkpoint.lock() {
+        // `incremental` already folds in the checkpoint basis, which the
+        // dispatch layer snapshots *once per batch* — live ledger reads
+        // here would make the decision depend on which concurrently
+        // running point finished first, and the trace would no longer be
+        // byte-identical across serial, rayon, and distributed schedules.
+        let incremental_line = if incremental {
             // The checkpoint file must exist in this session's filesystem.
             session.write_file("post_synth.dcp", "dcp:incremental-basis".into());
             "read_checkpoint -incremental post_synth.dcp".to_string()
@@ -297,12 +328,18 @@ struct RetryLayer {
 }
 
 impl RetryLayer {
-    fn evaluate(&self, point: &DesignPoint, label: &str, seq: u64) -> DovadoResult<Evaluation> {
+    fn evaluate(
+        &self,
+        point: &DesignPoint,
+        label: &str,
+        seq: u64,
+        basis: bool,
+    ) -> DovadoResult<Evaluation> {
         let config = &self.next.ctx.config;
         let policy = &config.retry;
         let max_attempts = policy.max_attempts.max(1);
         let mut step = config.step;
-        let mut incremental = config.incremental;
+        let mut incremental = config.incremental && basis;
         let mut degrade = DegradePolicy::new(policy);
         let mut last_err: Option<DovadoError> = None;
 
@@ -402,7 +439,7 @@ struct StoreLayer {
 }
 
 impl StoreLayer {
-    fn evaluate(&self, point: &DesignPoint, seq: u64) -> DovadoResult<Evaluation> {
+    fn evaluate(&self, point: &DesignPoint, seq: u64, basis: bool) -> DovadoResult<Evaluation> {
         let label = point.as_assignments();
 
         // A hit is a bitwise substitute for the tool run (evaluations are
@@ -427,7 +464,7 @@ impl StoreLayer {
                 return Ok(eval);
             }
         }
-        let evaluation = self.next.evaluate(point, &label, seq)?;
+        let evaluation = self.next.evaluate(point, &label, seq, basis)?;
         if let Some((store, key)) = &store_key {
             // Best-effort: a failed write only costs a future re-run,
             // never a wrong answer. Failures are never stored.
@@ -640,7 +677,17 @@ impl EvalEngine {
     /// Evaluates one design point through the full pipeline.
     pub fn evaluate(&self, point: &DesignPoint) -> DovadoResult<Evaluation> {
         let seq = self.pipeline.bus.alloc(1);
-        self.pipeline.evaluate(point, seq)
+        let basis = self.checkpoint_basis();
+        self.pipeline.evaluate(point, seq, basis)
+    }
+
+    /// Snapshot of the incremental-flow checkpoint basis, taken once per
+    /// dispatch. Every point in a batch sees the same basis, so the
+    /// decision is a function of batch order — not of which concurrently
+    /// running evaluation happened to finish first — and the trace stays
+    /// byte-identical across serial, rayon, and distributed schedules.
+    fn checkpoint_basis(&self) -> bool {
+        *self.pipeline.next.ledger.has_checkpoint.lock()
     }
 
     /// Evaluates many points per `schedule` (each evaluation runs its own
@@ -657,6 +704,7 @@ impl EvalEngine {
         schedule: Schedule,
     ) -> Vec<DovadoResult<Evaluation>> {
         let start = self.pipeline.bus.alloc(points.len() as u64);
+        let basis = self.checkpoint_basis();
         let indexed: Vec<(u64, &DesignPoint)> = points
             .iter()
             .enumerate()
@@ -667,14 +715,57 @@ impl EvalEngine {
                 use rayon::prelude::*;
                 indexed
                     .par_iter()
-                    .map(|&(seq, p)| self.pipeline.evaluate(p, seq))
+                    .map(|&(seq, p)| self.pipeline.evaluate(p, seq, basis))
                     .collect()
             }
             Schedule::Serial => indexed
                 .iter()
-                .map(|&(seq, p)| self.pipeline.evaluate(p, seq))
+                .map(|&(seq, p)| self.pipeline.evaluate(p, seq, basis))
                 .collect(),
+            Schedule::Distributed { workers } => self.evaluate_stealing(&indexed, workers, basis),
         }
+    }
+
+    /// The work-stealing dispatch behind [`Schedule::Distributed`]: the
+    /// atomic cursor over the pre-sequenced points *is* the queue — each
+    /// of the `workers` dispatcher threads claims the next pending point
+    /// the moment it goes idle, and results land in their input-order
+    /// slots. Sequence numbers were allocated before fan-out, so the
+    /// canonical event stream is bitwise the serial one.
+    fn evaluate_stealing(
+        &self,
+        indexed: &[(u64, &DesignPoint)],
+        workers: usize,
+        basis: bool,
+    ) -> Vec<DovadoResult<Evaluation>> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = indexed.len();
+        let dispatchers = workers.max(1).min(n.max(1));
+        if dispatchers <= 1 {
+            return indexed
+                .iter()
+                .map(|&(seq, p)| self.pipeline.evaluate(p, seq, basis))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<DovadoResult<Evaluation>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..dispatchers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (seq, p) = indexed[i];
+                    *slots[i].lock() = Some(self.pipeline.evaluate(p, seq, basis));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every index claimed exactly once"))
+            .collect()
     }
 }
 

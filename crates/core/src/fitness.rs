@@ -15,6 +15,7 @@
 //! bitwise the same objective vectors, dataset and stats as a serial one.
 
 use crate::dse::SurrogateConfig;
+use crate::engine::Schedule;
 use crate::error::{DovadoResult, ErrorClass};
 use crate::flow::Evaluator;
 use crate::metrics::{Evaluation, MetricSet};
@@ -85,8 +86,10 @@ pub struct DseProblem {
     surrogate: Option<SurrogateController>,
     /// Worst-case objective values used to penalize failed evaluations.
     penalty: Vec<f64>,
-    /// Whether tool-only batches may run in parallel.
-    pub parallel: bool,
+    /// How tool-only batches are dispatched: serial, rayon-parallel, or
+    /// distributed across a worker fleet. All three yield bitwise the
+    /// same results per seed.
+    pub schedule: Schedule,
     /// Decision counters.
     pub stats: FitnessStats,
 }
@@ -111,7 +114,7 @@ impl DseProblem {
             surrogate: None,
             penalty: penalty_vector(&metrics),
             metrics,
-            parallel: false,
+            schedule: Schedule::Serial,
             stats: FitnessStats::default(),
         };
 
@@ -179,7 +182,7 @@ impl DseProblem {
             surrogate,
             penalty: penalty_vector(&metrics),
             metrics,
-            parallel: false,
+            schedule: Schedule::Serial,
             stats,
         }
     }
@@ -252,8 +255,8 @@ impl DseProblem {
     /// penalizes; penalty vectors must never look like measurements).
     ///
     /// Undecodable genomes are permanent failures and are not dispatched.
-    /// Tool runs go through [`Evaluator::evaluate_many`] (parallel when
-    /// `self.parallel`); all stats are tallied serially afterwards, in
+    /// Tool runs go through [`Evaluator::evaluate_many_scheduled`]
+    /// (under `self.schedule`); all stats are tallied serially afterwards, in
     /// first-occurrence order, so thread scheduling cannot reorder them.
     fn dispatch_unique(&mut self, genomes: &[Vec<i64>], unique: &[usize]) -> Vec<Option<Vec<f64>>> {
         let decoded: Vec<DovadoResult<DesignPoint>> = unique
@@ -266,7 +269,7 @@ impl DseProblem {
             .collect();
         let mut results = self
             .evaluator
-            .evaluate_many(&points, self.parallel)
+            .evaluate_many_scheduled(&points, self.schedule)
             .into_iter();
         decoded
             .into_iter()
@@ -306,7 +309,7 @@ impl DseProblem {
     ///
     /// 1. **Decide** — every genome is classified against an immutable
     ///    snapshot of the dataset as it stood when the generation started
-    ///    (read-only, parallel when `self.parallel`). Because the snapshot
+    ///    (read-only, parallel unless `self.schedule` is serial). Because the snapshot
     ///    is fixed and classification is pure, parallel and serial runs
     ///    produce bitwise-identical decisions.
     /// 2. **Evaluate** — the tool answers the non-estimated slots (exact
@@ -322,7 +325,7 @@ impl DseProblem {
             .surrogate
             .as_mut()
             .expect("surrogate enabled")
-            .decide_batch(genomes, self.parallel);
+            .decide_batch(genomes, self.schedule != Schedule::Serial);
 
         // The threshold decisions go on the spine, serially in slot order
         // (the decide phase is deterministic, so this stream is identical
@@ -572,7 +575,7 @@ endmodule"#;
     fn parallel_batch_matches_sequential() {
         let mut seq = DseProblem::new(evaluator(), space(), metrics(), None).unwrap();
         let mut par = DseProblem::new(evaluator(), space(), metrics(), None).unwrap();
-        par.parallel = true;
+        par.schedule = Schedule::Parallel;
         let genomes: Vec<Vec<i64>> = (0..6).map(|i| vec![i * 50]).collect();
         let a = seq.evaluate_batch(&genomes);
         let b = par.evaluate_batch(&genomes);
@@ -584,7 +587,7 @@ endmodule"#;
     #[test]
     fn batch_dedups_duplicate_genomes() {
         let mut p = DseProblem::new(evaluator(), space(), metrics(), None).unwrap();
-        p.parallel = true;
+        p.schedule = Schedule::Parallel;
         let genomes = vec![vec![30], vec![60], vec![30], vec![30], vec![60]];
         let out = p.evaluate_batch(&genomes);
         assert_eq!(out.len(), 5);
@@ -615,7 +618,7 @@ endmodule"#;
             ..Default::default()
         };
         let mut p = DseProblem::new(evaluator(), space(), metrics(), Some(&cfg)).unwrap();
-        p.parallel = parallel;
+        p.schedule = Schedule::from_parallel_flag(parallel);
         p
     }
 
@@ -668,7 +671,7 @@ endmodule"#;
     #[test]
     fn batch_retries_match_trace_summary() {
         let mut p = DseProblem::new(evaluator(), space(), metrics(), None).unwrap();
-        p.parallel = true;
+        p.schedule = Schedule::Parallel;
         let genomes: Vec<Vec<i64>> = (0..4).map(|i| vec![i * 40 + 2]).collect();
         let _ = p.evaluate_batch(&genomes);
         assert_eq!(p.stats.retries, p.evaluator().trace_summary().retries);

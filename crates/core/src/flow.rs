@@ -299,6 +299,17 @@ impl Evaluator {
         self.engine
             .evaluate_many(points, Schedule::from_parallel_flag(parallel))
     }
+
+    /// Evaluates many points under an explicit [`Schedule`] — serial,
+    /// rayon-parallel, or distributed across a worker fleet. All three
+    /// produce byte-identical traces; only wall-clock differs.
+    pub fn evaluate_many_scheduled(
+        &self,
+        points: &[DesignPoint],
+        schedule: Schedule,
+    ) -> Vec<DovadoResult<Evaluation>> {
+        self.engine.evaluate_many(points, schedule)
+    }
 }
 
 #[cfg(test)]

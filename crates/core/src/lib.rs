@@ -50,11 +50,14 @@ pub mod point;
 pub mod results;
 pub mod space;
 pub mod trace;
+pub mod worker;
 
-pub use backend::{MockBackend, SimBackend, ToolBackend, ToolSession};
+pub use backend::{
+    MockBackend, RemoteBackend, SimBackend, ToolBackend, ToolSession, WorkerLifecycle,
+};
 pub use boxing::{generate_box, BoxedDesign, BOX_CLOCK, BOX_INSTANCE, BOX_TOP};
 pub use dse::{Dovado, DseConfig, SurrogateConfig};
-pub use engine::{validate_jobs, EvalEngine, Schedule};
+pub use engine::{validate_jobs, validate_workers, EvalEngine, Schedule};
 pub use error::{DovadoError, DovadoResult, ErrorClass};
 pub use fitness::{DseProblem, FitnessStats};
 pub use flow::{EvalConfig, Evaluator, FlowStep, HdlSource, RetryPolicy};

@@ -117,6 +117,19 @@ pub enum ObsEvent {
         /// Stable fault-kind label.
         kind: String,
     },
+    /// A distributed-worker lifecycle transition (spawn, steal, death,
+    /// requeue). Scheduling facts, not evaluation facts: they ride the
+    /// bus on a side channel ([`EventBus::emit_worker`]) and never enter
+    /// the canonical stream, which is what keeps `--trace-out` files
+    /// byte-identical across serial, rayon, and distributed schedules.
+    Worker {
+        /// Fleet-unique worker id.
+        worker: u64,
+        /// Transition label: `spawned`, `stole`, `died`, or `requeued`.
+        kind: &'static str,
+        /// Transport-level detail for deaths, empty otherwise.
+        detail: String,
+    },
 }
 
 /// Exact whole-run totals, maintained incrementally by the bus and
@@ -177,7 +190,8 @@ impl Totals {
             | ObsEvent::SurrogateDecision { .. }
             | ObsEvent::Reselected { .. }
             | ObsEvent::GammaUpdated { .. }
-            | ObsEvent::Fault { .. } => {}
+            | ObsEvent::Fault { .. }
+            | ObsEvent::Worker { .. } => {}
         }
     }
 }
@@ -223,6 +237,10 @@ struct BusInner {
     totals: Totals,
     next_seq: u64,
     dropped: u64,
+    /// Worker lifecycle side channel, in arrival order. Kept out of
+    /// `events` (and the snapshot/JSONL stream) because lease order is
+    /// scheduling-dependent; capped like the canonical stream.
+    worker_events: Vec<ObsEvent>,
 }
 
 impl EventBus {
@@ -260,6 +278,21 @@ impl EventBus {
         };
         self.emit(key, event);
         key
+    }
+
+    /// Records a worker lifecycle event on the side channel (arrival
+    /// order; never part of the canonical stream).
+    pub fn emit_worker(&self, event: ObsEvent) {
+        debug_assert!(matches!(event, ObsEvent::Worker { .. }));
+        let mut inner = self.inner.lock();
+        if inner.worker_events.len() < MAX_RETAINED_EVENTS {
+            inner.worker_events.push(event);
+        }
+    }
+
+    /// The worker lifecycle side channel, in arrival order.
+    pub fn worker_events(&self) -> Vec<ObsEvent> {
+        self.inner.lock().worker_events.clone()
     }
 
     /// Exact whole-run totals (cover evicted events too).
@@ -450,6 +483,17 @@ fn event_json(key: EventKey, event: &ObsEvent) -> String {
             format!(
                 "{head},\"type\":\"fault\",\"kind\":\"{}\"}}",
                 json_escape(kind)
+            )
+        }
+        ObsEvent::Worker {
+            worker,
+            kind,
+            detail,
+        } => {
+            format!(
+                "{head},\"type\":\"worker\",\"worker\":{worker},\"kind\":\"{kind}\",\
+                 \"detail\":\"{}\"}}",
+                json_escape(detail)
             )
         }
     }

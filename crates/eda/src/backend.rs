@@ -55,6 +55,11 @@ pub trait ToolSession {
     /// checkpoint (the tool-level cache, distinct from the persistent
     /// evaluation store).
     fn used_exact_checkpoint(&self) -> bool;
+
+    /// Snapshot of the session's filesystem (path → content): sources
+    /// the caller wrote plus artifacts the tool produced. Remote
+    /// transports ship this across the wire so `read_file` stays local.
+    fn files(&self) -> Vec<(String, String)>;
 }
 
 /// A tool installation Dovado can drive: mints sessions and carries the
@@ -156,6 +161,10 @@ impl ToolSession for SimSession {
             .iter()
             .any(|l| l.contains("exact checkpoint reuse"))
     }
+
+    fn files(&self) -> Vec<(String, String)> {
+        self.sim.files()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -173,6 +182,7 @@ impl ToolSession for SimSession {
 pub struct MockBackend {
     seed: u64,
     injector: Option<FaultInjector>,
+    spin_ms: u64,
 }
 
 impl MockBackend {
@@ -181,6 +191,7 @@ impl MockBackend {
         MockBackend {
             seed,
             injector: None,
+            spin_ms: 0,
         }
     }
 
@@ -188,9 +199,18 @@ impl MockBackend {
     /// exactly like [`MockBackend::new`].
     pub fn with_faults(seed: u64, plan: FaultPlan) -> MockBackend {
         MockBackend {
-            seed,
             injector: plan.is_active().then(|| FaultInjector::new(plan)),
+            ..MockBackend::new(seed)
         }
+    }
+
+    /// Makes `synth_design` and `route_design` sleep `ms` wall-clock
+    /// milliseconds each, standing in for real tool runtime. Purely a
+    /// benchmarking knob: simulated costs, metrics, and reports are
+    /// bitwise unaffected.
+    pub fn with_spin_ms(mut self, ms: u64) -> MockBackend {
+        self.spin_ms = ms;
+        self
     }
 }
 
@@ -203,6 +223,7 @@ impl ToolBackend for MockBackend {
         Box::new(MockSession {
             seed: self.seed,
             injector: self.injector.clone(),
+            spin_ms: self.spin_ms,
             fs: BTreeMap::new(),
             elapsed_s: 0.0,
             part: None,
@@ -226,6 +247,8 @@ impl ToolBackend for MockBackend {
 struct MockSession {
     seed: u64,
     injector: Option<FaultInjector>,
+    /// Wall-clock sleep per synth/route call (benchmarking only).
+    spin_ms: u64,
     fs: BTreeMap<String, String>,
     elapsed_s: f64,
     part: Option<Part>,
@@ -348,6 +371,13 @@ impl MockSession {
         Ok(text)
     }
 
+    /// Burns real wall-clock time when the spin knob is set.
+    fn spin(&self) {
+        if self.spin_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(self.spin_ms));
+        }
+    }
+
     fn require_synthesized(&self, cmd: &str) -> EdaResult<()> {
         if self.synthesized {
             Ok(())
@@ -453,6 +483,7 @@ impl MockSession {
                 }
                 let factor = if self.incremental { 0.6 } else { 1.0 };
                 self.elapsed_s += (20.0 + size as f64 / 50.0) * factor;
+                self.spin();
                 self.synthesized = true;
                 Ok(String::new())
             }
@@ -489,6 +520,7 @@ impl MockSession {
                 }
                 let size = self.design_size();
                 self.elapsed_s += 10.0 + size as f64 / 80.0;
+                self.spin();
                 self.routed = true;
                 Ok(String::new())
             }
@@ -592,6 +624,13 @@ impl ToolSession for MockSession {
 
     fn used_exact_checkpoint(&self) -> bool {
         false
+    }
+
+    fn files(&self) -> Vec<(String, String)> {
+        self.fs
+            .iter()
+            .map(|(p, c)| (p.clone(), c.clone()))
+            .collect()
     }
 }
 

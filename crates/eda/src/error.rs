@@ -30,19 +30,26 @@ pub enum EdaError {
     ToolCrash(String),
     /// The tool exceeded its time budget and was killed.
     Timeout(String),
+    /// A remote worker died (or its transport broke) and the session
+    /// could not be recovered by replay. Environmental, like a crash.
+    WorkerLost(String),
 }
 
 impl EdaError {
     /// Whether a retry of the same run can plausibly succeed.
     ///
-    /// Crashes, timeouts, and checkpoint corruption are environmental:
-    /// the same design point may evaluate cleanly on the next attempt.
-    /// Everything else (parse errors, unknown parts, overflow, …) is a
-    /// property of the inputs and will fail identically every time.
+    /// Crashes, timeouts, lost workers, and checkpoint corruption are
+    /// environmental: the same design point may evaluate cleanly on the
+    /// next attempt. Everything else (parse errors, unknown parts,
+    /// overflow, …) is a property of the inputs and will fail identically
+    /// every time.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            EdaError::ToolCrash(_) | EdaError::Timeout(_) | EdaError::Checkpoint(_)
+            EdaError::ToolCrash(_)
+                | EdaError::Timeout(_)
+                | EdaError::Checkpoint(_)
+                | EdaError::WorkerLost(_)
         )
     }
 }
@@ -62,6 +69,7 @@ impl fmt::Display for EdaError {
             EdaError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
             EdaError::ToolCrash(m) => write!(f, "tool crashed: {m}"),
             EdaError::Timeout(m) => write!(f, "tool timed out: {m}"),
+            EdaError::WorkerLost(m) => write!(f, "worker lost: {m}"),
         }
     }
 }

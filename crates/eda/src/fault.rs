@@ -35,6 +35,10 @@ pub enum FaultKind {
     /// Drawn by the journaled exploration loop, never by the flow itself,
     /// so enabling it leaves every tool answer bitwise unchanged.
     HostCrash,
+    /// A remote worker process dies mid-dispatch. Drawn only by the
+    /// distributed coordinator ([`crate::remote::RemoteBackend`]), once
+    /// per dispatched eval; in-process backends never roll it.
+    WorkerDeath,
 }
 
 /// Per-occurrence fault probabilities plus the injector seed.
@@ -62,6 +66,11 @@ pub struct FaultPlan {
     pub checkpoint_corrupt: f64,
     /// P(host crash) per completed generation of a journaled exploration.
     pub host_crash: f64,
+    /// P(worker death) per eval dispatched to a remote worker. Like
+    /// `host_crash`, this is a scheduling-level fault: tool answers stay
+    /// bitwise unchanged because the dead worker's session replays onto a
+    /// fresh one.
+    pub worker_death: f64,
     /// Simulated seconds wasted by a crash before the process died.
     pub crash_cost_s: f64,
     /// Simulated seconds burned before a hung tool was killed.
@@ -80,6 +89,7 @@ impl Default for FaultPlan {
             report_garbled: 0.0,
             checkpoint_corrupt: 0.0,
             host_crash: 0.0,
+            worker_death: 0.0,
             crash_cost_s: 30.0,
             timeout_cost_s: 300.0,
         }
@@ -119,6 +129,7 @@ impl FaultPlan {
             self.report_garbled,
             self.checkpoint_corrupt,
             self.host_crash,
+            self.worker_death,
         ]
         .iter()
         .any(|&p| p > 0.0)
@@ -135,6 +146,7 @@ impl FaultPlan {
             FaultKind::ReportGarbled => self.report_garbled,
             FaultKind::CheckpointCorrupt => self.checkpoint_corrupt,
             FaultKind::HostCrash => self.host_crash,
+            FaultKind::WorkerDeath => self.worker_death,
         }
     }
 }

@@ -45,6 +45,7 @@ pub mod netlist;
 pub mod place_route;
 pub mod power;
 pub mod project;
+pub mod remote;
 pub mod report;
 pub mod store;
 pub mod synth;
@@ -59,6 +60,7 @@ pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use netlist::Netlist;
 pub use place_route::{ImplDirective, ImplResult};
 pub use project::{ClockConstraint, Project};
+pub use remote::{RemoteBackend, WorkerLifecycle, PROTOCOL_VERSION};
 pub use store::{EvalKey, EvalStore, STORE_FORMAT_VERSION};
 pub use synth::{SynthDirective, SynthResult};
 pub use vivado::{FlowState, VivadoSim};

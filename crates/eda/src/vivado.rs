@@ -145,6 +145,15 @@ impl VivadoSim {
         self.fs.get(path).map(String::as_str)
     }
 
+    /// Snapshot of the whole virtual filesystem (path → content), for
+    /// transports that mirror session files across a process boundary.
+    pub fn files(&self) -> Vec<(String, String)> {
+        self.fs
+            .iter()
+            .map(|(p, c)| (p.clone(), c.clone()))
+            .collect()
+    }
+
     /// Evaluates a TCL script against this session.
     pub fn eval(&mut self, script: &str) -> EdaResult<String> {
         let mut interp = Interp::new();

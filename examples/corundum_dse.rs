@@ -30,6 +30,8 @@ fn main() {
             // direct Vivado evaluations" (§IV-B)
             parallel: true,
             explorer: Default::default(),
+            jobs: None,
+            workers: None,
         })
         .expect("exploration runs");
 

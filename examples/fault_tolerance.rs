@@ -68,6 +68,8 @@ fn explore(tool: &Dovado) -> dovado::DseReport {
         surrogate: None,
         parallel: false,
         explorer: Default::default(),
+        jobs: None,
+        workers: None,
     })
     .expect("exploration runs")
 }

@@ -39,6 +39,8 @@ fn main() {
             surrogate: None,
             parallel: true,
             explorer: Default::default(),
+            jobs: None,
+            workers: None,
         })
         .expect("exploration runs");
     println!("{}", report.summary());

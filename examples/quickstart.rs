@@ -87,6 +87,8 @@ fn main() {
             surrogate: None,
             parallel: true,
             explorer: Default::default(),
+            jobs: None,
+            workers: None,
         })
         .expect("exploration runs");
 

@@ -36,6 +36,8 @@ fn main() {
             surrogate: None,
             parallel: false,
             explorer: Default::default(),
+            jobs: None,
+            workers: None,
         })
         .expect("exploration runs");
 
@@ -55,6 +57,8 @@ fn main() {
             }),
             parallel: false,
             explorer: Default::default(),
+            jobs: None,
+            workers: None,
         })
         .expect("exploration runs");
 

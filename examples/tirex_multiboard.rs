@@ -38,6 +38,8 @@ fn main() {
                 surrogate: None,
                 parallel: true,
                 explorer: Default::default(),
+                jobs: None,
+                workers: None,
             })
             .expect("exploration runs");
         println!("--- {part} ({node}) ---");

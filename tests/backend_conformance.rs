@@ -246,6 +246,161 @@ fn mock_parallel_batch_is_bitwise_serial() {
     }
 }
 
+/// One spine trace per schedule, on in-process and fleet-backed
+/// evaluators alike: evaluate `points` under `schedule`, return the
+/// JSONL trace and the unwrapped evaluations.
+fn traced_run(
+    backend: Arc<dyn ToolBackend>,
+    config: &EvalConfig,
+    points: &[dovado::DesignPoint],
+    schedule: dovado::Schedule,
+) -> (String, Vec<dovado::Evaluation>) {
+    let evaluator = evaluator_on(backend, config.clone());
+    let evals = evaluator
+        .evaluate_many_scheduled(points, schedule)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect::<Vec<_>>();
+    (
+        dovado::obs::jsonl_string(&evaluator.spine().snapshot()),
+        evals,
+    )
+}
+
+/// Thread-backed worker fleet speaking the real wire protocol, serving
+/// the same simulated backend the in-process evaluator uses.
+fn fleet_for(kind: &str, seed: u64, workers: usize) -> dovado::RemoteBackend {
+    dovado::worker::thread_fleet(&format!("{kind}:{seed}"), workers)
+        .expect("thread fleet must spawn")
+}
+
+#[test]
+fn serial_rayon_and_distributed_traces_are_byte_identical() {
+    let config = EvalConfig::default();
+    let points: Vec<DesignPoint> = (1..=8).map(|i| point(i * 16)).collect();
+    for idx in 0..backends(&config).len() {
+        // A fresh in-process backend per run: the simulated tool keeps a
+        // checkpoint store of its own, and reusing one instance would let
+        // the second run see the first run's checkpoints.
+        let name = backends(&config)[idx].0;
+        let (serial_trace, serial_evals) = traced_run(
+            backends(&config)[idx].1.clone(),
+            &config,
+            &points,
+            dovado::Schedule::Serial,
+        );
+        let (rayon_trace, rayon_evals) = traced_run(
+            backends(&config)[idx].1.clone(),
+            &config,
+            &points,
+            dovado::Schedule::Parallel,
+        );
+        let fleet = Arc::new(fleet_for(name, config.seed, 4));
+        let (dist_trace, dist_evals) = traced_run(
+            fleet,
+            &config,
+            &points,
+            dovado::Schedule::Distributed { workers: 4 },
+        );
+        assert_eq!(serial_trace, rayon_trace, "{name}: rayon trace diverged");
+        assert_eq!(
+            serial_trace, dist_trace,
+            "{name}: distributed trace diverged"
+        );
+        for ((a, b), c) in serial_evals.iter().zip(&rayon_evals).zip(&dist_evals) {
+            assert_eq!(a, b, "{name}");
+            assert_eq!(a, c, "{name}");
+            assert_eq!(a.fmax_mhz.to_bits(), c.fmax_mhz.to_bits(), "{name}");
+            assert_eq!(a.power_mw.to_bits(), c.power_mw.to_bits(), "{name}");
+        }
+    }
+}
+
+#[test]
+fn distributed_traces_survive_a_seeded_worker_kill_mid_batch() {
+    let config = EvalConfig::default();
+    let points: Vec<DesignPoint> = (1..=8).map(|i| point(i * 16)).collect();
+    for (name, backend) in backends(&config) {
+        let (serial_trace, serial_evals) =
+            traced_run(backend, &config, &points, dovado::Schedule::Serial);
+
+        let fleet = Arc::new(fleet_for(name, config.seed, 4));
+        // Sever the serving worker's link right before the third
+        // dispatched eval: the session replays its op log onto a fresh
+        // worker and the batch must come out bitwise unchanged.
+        fleet.kill_worker_before_eval(3);
+        let evaluator = evaluator_on(fleet.clone(), config.clone());
+        dovado::worker::attach_lifecycle(&fleet, evaluator.spine());
+        let evals = evaluator
+            .evaluate_many_scheduled(&points, dovado::Schedule::Distributed { workers: 4 })
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect::<Vec<_>>();
+
+        let trace = dovado::obs::jsonl_string(&evaluator.spine().snapshot());
+        assert_eq!(
+            serial_trace, trace,
+            "{name}: worker death leaked into the canonical trace"
+        );
+        for (a, c) in serial_evals.iter().zip(&evals) {
+            assert_eq!(a, c, "{name}");
+        }
+        // The death is visible where it belongs: on the lifecycle side
+        // channel, never in the canonical stream.
+        let kinds: Vec<&str> = evaluator
+            .spine()
+            .worker_events()
+            .iter()
+            .filter_map(|e| match e {
+                dovado::ObsEvent::Worker { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        assert!(kinds.contains(&"spawned"), "{name}: {kinds:?}");
+        assert!(kinds.contains(&"died"), "{name}: {kinds:?}");
+        assert!(kinds.contains(&"requeued"), "{name}: {kinds:?}");
+    }
+}
+
+#[test]
+fn distributed_and_serial_runs_share_one_store() {
+    let config = EvalConfig::default();
+    let points: Vec<DesignPoint> = (1..=4).map(|i| point(i * 16)).collect();
+    for (name, backend) in backends(&config) {
+        let dir = fresh_dir(&format!("dist-store-{name}"));
+
+        // Cold distributed run populates the store...
+        let fleet: Arc<dyn ToolBackend> = Arc::new(fleet_for(name, config.seed, 2));
+        let mut cold = evaluator_on(fleet, config.clone());
+        cold.attach_store(EvalStore::open(&dir).unwrap());
+        let cold_evals = cold
+            .evaluate_many_scheduled(&points, dovado::Schedule::Distributed { workers: 2 })
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect::<Vec<_>>();
+        assert_eq!(cold.trace_summary().store_hits, 0, "{name}");
+
+        // ...and a plain serial evaluator on the in-process backend is
+        // answered from disk with zero tool attempts: the fleet writes
+        // under the inner backend's name, so the content keys line up.
+        let mut warm = evaluator_on(backend, config.clone());
+        warm.attach_store(EvalStore::open(&dir).unwrap());
+        let warm_evals = warm
+            .evaluate_many_scheduled(&points, dovado::Schedule::Serial)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect::<Vec<_>>();
+        assert_eq!(warm.trace_summary().attempts, 0, "{name}: tool touched");
+        assert_eq!(
+            warm.trace_summary().store_hits,
+            points.len() as u64,
+            "{name}"
+        );
+        assert_eq!(cold_evals, warm_evals, "{name}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// Source files under `crates/core/src`, recursively.
 fn core_sources(dir: &Path, out: &mut Vec<PathBuf>) {
     for entry in std::fs::read_dir(dir).unwrap() {

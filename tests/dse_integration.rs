@@ -18,7 +18,36 @@ fn corundum_cfg(seed: u64, generations: u32) -> DseConfig {
         metrics: cs.metrics.clone(),
         surrogate: None,
         parallel: true,
+        jobs: None,
+        workers: None,
         explorer: Default::default(),
+    }
+}
+
+#[test]
+fn zero_jobs_or_workers_is_a_config_error_programmatically() {
+    // The CLI validates `--jobs`/`--workers` before the run starts; the
+    // programmatic path shares the same validator, so a hand-built
+    // `DseConfig` with a zero-sized pool fails identically instead of
+    // deadlocking an empty thread pool.
+    let cs = corundum::case_study();
+    let tool = cs.dovado().unwrap();
+    for bad in [
+        DseConfig {
+            jobs: Some(0),
+            ..corundum_cfg(3, 1)
+        },
+        DseConfig {
+            workers: Some(0),
+            ..corundum_cfg(3, 1)
+        },
+    ] {
+        match tool.explore(&bad) {
+            Err(dovado::DovadoError::Config(msg)) => {
+                assert!(msg.contains("at least 1"), "unexpected message: {msg}")
+            }
+            other => panic!("expected a Config error, got {other:?}"),
+        }
     }
 }
 
@@ -112,6 +141,8 @@ fn nsga2_beats_random_search_on_hypervolume_per_budget() {
             surrogate: None,
             parallel: true,
             explorer: Default::default(),
+            jobs: None,
+            workers: None,
         })
         .unwrap();
 
@@ -150,6 +181,8 @@ fn surrogate_and_plain_runs_agree_on_the_winning_region() {
         surrogate: None,
         parallel: false,
         explorer: Default::default(),
+        jobs: None,
+        workers: None,
     };
     let plain = cs.dovado().unwrap().explore(&cfg_base).unwrap();
     let with = cs
@@ -209,6 +242,8 @@ fn failures_do_not_crash_exploration() {
             surrogate: None,
             parallel: true,
             explorer: Default::default(),
+            jobs: None,
+            workers: None,
         })
         .unwrap();
     assert!(

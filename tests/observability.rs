@@ -373,6 +373,8 @@ fn explore_trace_bytes_are_identical_serial_and_parallel() {
                 }),
                 parallel,
                 explorer: Default::default(),
+                jobs: None,
+                workers: None,
             })
             .unwrap();
         jsonl_string(&report.spine)

@@ -71,7 +71,7 @@ fn surrogate_problem(
     };
     let mut p =
         DseProblem::new(evaluator(), space(depth_hi, widths), metrics(), Some(&cfg)).unwrap();
-    p.parallel = parallel;
+    p.schedule = dovado::Schedule::from_parallel_flag(parallel);
     p
 }
 
@@ -144,6 +144,8 @@ fn explore_parallel_equals_sequential_pareto() {
             }),
             parallel,
             explorer: Default::default(),
+            jobs: None,
+            workers: None,
         })
         .unwrap()
     };

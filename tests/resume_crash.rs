@@ -76,6 +76,45 @@ fn tool(faults: FaultPlan) -> Dovado {
     }
 }
 
+/// Optional distributed-fleet size for the whole harness; CI sweeps the
+/// crash tests across a worker fleet with `DOVADO_WORKERS=4`.
+fn env_workers() -> Option<usize> {
+    std::env::var("DOVADO_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+}
+
+/// A [`Dovado`] whose evaluations run on a thread-backed worker fleet
+/// speaking the real wire protocol (same simulated tool behind it).
+fn fleet_tool(faults: FaultPlan, workers: usize) -> Dovado {
+    let space = ParameterSpace::new()
+        .with(
+            "DEPTH",
+            Domain::Range {
+                lo: 2,
+                hi: 512,
+                step: 2,
+            },
+        )
+        .with("DATA_WIDTH", Domain::Explicit(vec![8, 16, 32]));
+    let sources = vec![HdlSource::new("fifo.sv", Language::SystemVerilog, FIFO_SV)];
+    let config = EvalConfig {
+        faults,
+        ..EvalConfig::default()
+    };
+    let kind = if std::env::var("DOVADO_BACKEND").as_deref() == Ok("mock") {
+        "mock"
+    } else {
+        "vivado-sim"
+    };
+    let backend = std::sync::Arc::new(
+        dovado::worker::thread_fleet(&format!("{kind}:{}", config.seed), workers)
+            .expect("thread fleet must spawn")
+            .with_fault_plan(config.faults.clone()),
+    );
+    Dovado::with_backend(sources, "fifo_v3", space, config, backend).unwrap()
+}
+
 fn cfg(surrogate: bool, parallel: bool) -> DseConfig {
     DseConfig {
         explorer: Default::default(),
@@ -95,6 +134,8 @@ fn cfg(surrogate: bool, parallel: bool) -> DseConfig {
             ..Default::default()
         }),
         parallel,
+        jobs: None,
+        workers: env_workers(),
     }
 }
 
@@ -316,6 +357,60 @@ fn crash_resume_is_identical_under_one_and_four_jobs() {
     assert_reports_bitwise(&baseline, &four);
     assert_traces_match(&one, &four);
     assert_final_journals_match(&one_dir, &four_dir);
+}
+
+#[test]
+fn resume_with_a_smaller_fleet_is_bitwise_identical() {
+    let plain = cfg(false, false);
+    let base_dir = fresh_dir("fleet-base");
+    let (baseline, _) = run_until_complete(&tool(FaultPlan::none()), &plain, &base_dir);
+
+    let dir = fresh_dir("fleet-crash");
+    let start = PersistConfig::new(&dir);
+    let resume = PersistConfig {
+        resume: true,
+        ..start.clone()
+    };
+    let four = DseConfig {
+        workers: Some(4),
+        ..plain.clone()
+    };
+    let one = DseConfig {
+        workers: Some(1),
+        ..plain.clone()
+    };
+
+    // Crash a 4-worker fleet at the first generation boundary...
+    match fleet_tool(crash_plan(1.0), 4).explore_persistent(&four, &start) {
+        Err(DovadoError::Interrupted { .. }) => {}
+        other => panic!("4-worker run must be interrupted first, got {other:?}"),
+    }
+
+    // ...and finish the exploration on a single worker, still crashing at
+    // every remaining boundary. The journal fingerprint deliberately
+    // excludes `workers` (like `parallel` and `jobs`), so the fleet-size
+    // change is accepted on resume — and because traces are
+    // schedule-independent, the completed run is bitwise the baseline.
+    let tool_one = fleet_tool(crash_plan(1.0), 1);
+    let mut crashes = 1u32;
+    let resumed = loop {
+        match tool_one.explore_persistent(&one, &resume) {
+            Ok(report) => break report,
+            Err(DovadoError::Interrupted { generation }) => {
+                crashes += 1;
+                assert!(
+                    crashes <= 4 * GENERATIONS,
+                    "crash/resume loop stuck at generation {generation}"
+                );
+            }
+            Err(e) => panic!("unexpected exploration error: {e}"),
+        }
+    };
+    assert_eq!(crashes, GENERATIONS, "one interruption per boundary");
+
+    assert_reports_bitwise(&baseline, &resumed);
+    assert_traces_match(&baseline, &resumed);
+    assert_final_journals_match(&base_dir, &dir);
 }
 
 #[test]
