@@ -52,6 +52,10 @@ fn run_inner(args: &[String], out: &mut String) -> Result<(), String> {
         Some("explore") => cmd_explore(&args[1..], out),
         Some("demo") => cmd_demo(&args[1..], out),
         Some("worker") => cmd_worker(),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..], out),
+        Some("status") => cmd_status(&args[1..], out),
+        Some("shutdown") => cmd_shutdown(&args[1..], out),
         Some(other) => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -79,6 +83,16 @@ USAGE:
   dovado demo <cv32e40p|corundum|neorv32|tirex>
   dovado worker   (internal: serve the distributed-evaluation protocol
                   over stdio; spawned by --workers, not run by hand)
+  dovado serve    [--listen <addr>] [--slots <n>] [--root <dir>]
+                  [--store-capacity <n>]
+  dovado submit   --addr <addr> --source <file>... --top <module>
+                  --param NAME=<spec>... [--tenant <name>] [--priority <n>]
+                  [--part <part>] [--period <ns>] [--metric <m>,...]
+                  [--generations <n>] [--pop <n>] [--seed <n>]
+                  [--surrogate <M>] [--backend <spec>] [--no-store]
+                  [--trace-out <file>]
+  dovado status   --addr <addr>
+  dovado shutdown --addr <addr>
 
   --jobs caps the worker threads used for parallel tool runs and batch
   surrogate decisions; the default is all available cores. Results are
@@ -106,6 +120,14 @@ USAGE:
 
   DOVADO_BACKEND=mock runs every tool call on the scripted mock
   backend instead of the simulated Vivado.
+
+  serve runs a multi-tenant exploration daemon on a TCP socket speaking
+  line-delimited JSON: submit jobs with `dovado submit` (or any client),
+  watch their trace v1 event stream live, and share one sharded,
+  capacity-bounded evaluation store across tenants (--root; eviction
+  under --store-capacity only ever causes re-computation, never wrong
+  answers). Slots are granted tenant-fairly by stride scheduling
+  weighted by --priority.
 
 PARAM SPECS:
   lo:hi          integer range            (e.g. DEPTH=2:1000)
@@ -293,6 +315,19 @@ fn parse_workers(value: &str) -> Result<usize, String> {
         .parse()
         .map_err(|_| "--workers: not a number".to_string())?;
     crate::engine::validate_workers(n).map_err(|e| e.to_string())
+}
+
+/// Parses a `--store-capacity` value: the entry-count bound on the
+/// persistent store. Shares the engine's validator
+/// ([`crate::engine::validate_store_capacity`]) with the programmatic
+/// path, so a zero-entry bound is rejected with the same wording at
+/// every entry point.
+fn parse_store_capacity(value: &str) -> Result<usize, String> {
+    let n: usize = value
+        .parse()
+        .map_err(|_| "--store-capacity: not a number".to_string())?;
+    crate::engine::validate_store_capacity(Some(n)).map_err(|e| e.to_string())?;
+    Ok(n)
 }
 
 /// Builds a distributed worker fleet for `--workers`: `workers` child
@@ -511,6 +546,7 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
     let mut workers: Option<usize> = None;
     let mut transport = "process".to_string();
     let mut store_dir: Option<String> = None;
+    let mut store_capacity: Option<usize> = None;
     let mut resume_dir: Option<String> = None;
     let mut trace_out: Option<String> = None;
 
@@ -558,6 +594,7 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
             "--workers" => workers = Some(parse_workers(value)?),
             "--worker-transport" => transport = value.clone(),
             "--store" => store_dir = Some(value.clone()),
+            "--store-capacity" => store_capacity = Some(parse_store_capacity(value)?),
             "--resume" => resume_dir = Some(value.clone()),
             "--trace-out" => trace_out = Some(value.clone()),
             "--algorithm" => {
@@ -579,6 +616,9 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
         return Err("--jobs and --workers are mutually exclusive".into());
     }
     let metrics = metrics.unwrap_or_else(MetricSet::area_frequency);
+    if store_capacity.is_some() && store_dir.is_none() && resume_dir.is_none() {
+        return Err("--store-capacity requires --store (or --resume)".into());
+    }
     let persist = match (&store_dir, &resume_dir) {
         (None, None) => None,
         (Some(s), Some(r)) if s != r => {
@@ -590,6 +630,7 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
                 dir: PathBuf::from(dir),
                 resume: resume_dir.is_some(),
                 journal_every: 1,
+                store_capacity,
             })
         }
     };
@@ -745,7 +786,238 @@ fn cmd_demo(args: &[String], out: &mut String) -> Result<(), String> {
     Ok(())
 }
 
-fn language_of(path: &str) -> Result<Language, String> {
+/// The `serve` subcommand: run the multi-tenant DSE daemon until a
+/// `shutdown` request arrives. The listening line goes straight to
+/// stdout (not the buffered writer) so wrappers can scrape the bound
+/// address before the daemon blocks.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut cfg = crate::serve::ServeConfig::default();
+    let mut i = 0usize;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag}: missing value"))?;
+        match flag {
+            "--listen" => cfg.addr = value.clone(),
+            "--slots" => {
+                cfg.slots = value
+                    .parse()
+                    .map_err(|_| "--slots: not a number".to_string())?;
+            }
+            "--root" => cfg.root = Some(PathBuf::from(value)),
+            "--store-capacity" => cfg.store_capacity = Some(parse_store_capacity(value)?),
+            other => return Err(format!("serve: unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+    if cfg.store_capacity.is_some() && cfg.root.is_none() {
+        return Err("serve: --store-capacity requires --root".into());
+    }
+    let mut server = crate::serve::Server::start(cfg).map_err(|e| e.to_string())?;
+    println!(
+        "dovado serve: listening on {} ({} slot(s))",
+        server.addr(),
+        server.slots()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait();
+    Ok(())
+}
+
+/// Parses the `--addr` flag shared by the client-side subcommands,
+/// returning `(addr, remaining args)`.
+fn split_addr(cmd: &str, args: &[String]) -> Result<(String, Vec<String>), String> {
+    let mut addr = None;
+    let mut rest = Vec::new();
+    let mut i = 0usize;
+    while i < args.len() {
+        if args[i] == "--addr" {
+            addr = Some(
+                args.get(i + 1)
+                    .ok_or_else(|| "--addr: missing value".to_string())?
+                    .clone(),
+            );
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let addr = addr.ok_or_else(|| format!("{cmd}: --addr is required"))?;
+    Ok((addr, rest))
+}
+
+/// The `submit` subcommand: send one job to a serve daemon, stream its
+/// events to completion, and report the outcome. With `--trace-out`,
+/// the streamed event lines are sorted into canonical key order and
+/// written as a trace v1 file byte-compatible with `explore
+/// --trace-out`.
+fn cmd_submit(args: &[String], out: &mut String) -> Result<(), String> {
+    use crate::serve::{protocol, Client, JobSpec, Json};
+    let (addr, rest) = split_addr("submit", args)?;
+    let mut spec = JobSpec::default();
+    let mut tenant = "anonymous".to_string();
+    let mut priority = 1u32;
+    let mut trace_out: Option<String> = None;
+    let mut i = 0usize;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        if flag == "--no-store" {
+            spec.use_store = false;
+            i += 1;
+            continue;
+        }
+        let value = rest
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag}: missing value"))?;
+        match flag {
+            "--source" => {
+                let text = std::fs::read_to_string(value).map_err(|e| format!("{value}: {e}"))?;
+                spec.sources.push((value.clone(), text));
+            }
+            "--top" => spec.top = value.clone(),
+            "--part" => spec.part = Some(value.clone()),
+            "--period" => {
+                spec.period_ns = Some(value.parse().map_err(|_| "--period: not a number")?);
+            }
+            "--param" => {
+                let (name, domain) = value
+                    .split_once('=')
+                    .ok_or_else(|| format!("--param: want NAME=SPEC, got `{value}`"))?;
+                parse_domain(domain)?;
+                spec.params.push((name.to_string(), domain.to_string()));
+            }
+            "--metric" => {
+                parse_metrics(value)?;
+                spec.metrics = Some(value.clone());
+            }
+            "--generations" => {
+                spec.generations = value.parse().map_err(|_| "--generations: not a number")?;
+            }
+            "--pop" => spec.pop = value.parse().map_err(|_| "--pop: not a number")?,
+            "--seed" => spec.seed = value.parse().map_err(|_| "--seed: not a number")?,
+            "--surrogate" => {
+                spec.surrogate = Some(value.parse().map_err(|_| "--surrogate: not a number")?);
+            }
+            "--backend" => spec.backend = value.clone(),
+            "--tenant" => tenant = value.clone(),
+            "--priority" => {
+                priority = value.parse().map_err(|_| "--priority: not a number")?;
+            }
+            "--trace-out" => trace_out = Some(value.clone()),
+            other => return Err(format!("submit: unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+    if spec.sources.is_empty() {
+        return Err("submit: at least one --source is required".into());
+    }
+    if spec.top.is_empty() {
+        return Err("submit: --top is required".into());
+    }
+    if spec.params.is_empty() {
+        return Err("submit: at least one --param is required".into());
+    }
+    let mut client = Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+    client.hello(&tenant)?;
+    let job = client.submit(&tenant, priority, &spec)?;
+    let _ = writeln!(out, "submitted {job} as {tenant}");
+    let outcome = client.stream_until_done()?;
+    if let Some(path) = trace_out {
+        let mut events: Vec<(crate::obs::EventKey, String)> = outcome
+            .lines
+            .iter()
+            .filter_map(|l| protocol::parse_event_line(l).map(|(k, _)| (k, l.clone())))
+            .collect();
+        events.sort_by_key(|(k, _)| *k);
+        let mut text = format!("{}\n", crate::obs::trace_header());
+        for (_, line) in events {
+            text.push_str(&line);
+            text.push('\n');
+        }
+        if let Some(summary) = outcome.lines.iter().rev().find(|l| {
+            Json::parse(l).is_some_and(|v| v.get("type").and_then(Json::as_str) == Some("summary"))
+        }) {
+            text.push_str(summary);
+            text.push('\n');
+        }
+        std::fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?;
+    }
+    let totals = protocol::fold_stream(outcome.lines.iter().map(String::as_str));
+    let _ = writeln!(
+        out,
+        "{job}: {} after {} generation(s), {} attempt(s), {} store hit(s), {:.1} simulated tool s",
+        outcome.status(),
+        outcome
+            .done
+            .get("generations")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        totals.summary.attempts,
+        totals.summary.store_hits,
+        totals.tool_time_s,
+    );
+    if let Some(error) = outcome.done.get("error").and_then(Json::as_str) {
+        let _ = writeln!(out, "{job}: error: {error}");
+    }
+    if let Some(pareto) = outcome.done.get("pareto").and_then(Json::as_arr) {
+        let _ = writeln!(out, "pareto front ({} point(s)):", pareto.len());
+        for entry in pareto {
+            let point = entry.get("point").and_then(Json::as_str).unwrap_or("?");
+            let values: Vec<String> = entry
+                .get("values")
+                .and_then(Json::as_arr)
+                .map(|vs| {
+                    vs.iter()
+                        .map(|v| match v.as_f64() {
+                            Some(n) => format!("{n:.3}"),
+                            None => "null".into(),
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            let _ = writeln!(out, "  {point} -> [{}]", values.join(", "));
+        }
+    }
+    if outcome.status() == "failed" {
+        return Err(format!("{job} failed"));
+    }
+    Ok(())
+}
+
+/// The `status` subcommand: print the daemon's one-line JSON status.
+fn cmd_status(args: &[String], out: &mut String) -> Result<(), String> {
+    let (addr, rest) = split_addr("status", args)?;
+    if let Some(extra) = rest.first() {
+        return Err(format!("status: unknown flag `{extra}`"));
+    }
+    let mut client = crate::serve::Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+    client
+        .send_line("{\"cmd\":\"status\"}")
+        .map_err(|e| format!("send: {e}"))?;
+    let line = client
+        .read_line()
+        .map_err(|e| format!("read: {e}"))?
+        .ok_or("server closed the connection")?;
+    let _ = writeln!(out, "{line}");
+    Ok(())
+}
+
+/// The `shutdown` subcommand: stop a running daemon.
+fn cmd_shutdown(args: &[String], out: &mut String) -> Result<(), String> {
+    let (addr, rest) = split_addr("shutdown", args)?;
+    if let Some(extra) = rest.first() {
+        return Err(format!("shutdown: unknown flag `{extra}`"));
+    }
+    let mut client = crate::serve::Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+    client.shutdown()?;
+    let _ = writeln!(out, "daemon at {addr} is shutting down");
+    Ok(())
+}
+
+pub(crate) fn language_of(path: &str) -> Result<Language, String> {
     path.rsplit('.')
         .next()
         .and_then(Language::from_extension)

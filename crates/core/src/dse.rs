@@ -129,6 +129,23 @@ impl Default for DseConfig {
     }
 }
 
+/// Observer of a running exploration with a veto: the serve scheduler's
+/// cancellation and live-streaming hook.
+///
+/// [`Dovado::explore_monitored`] calls [`on_generation`] after every
+/// completed NSGA-II generation (after the `Generation` event lands on
+/// the spine and after any journal write). Returning `false` stops the
+/// run with [`DovadoError::Cancelled`]. Implementations must not emit
+/// onto the spine — monitoring is observation, and a monitored run's
+/// trace stays byte-identical to an unmonitored one.
+///
+/// [`on_generation`]: ExploreMonitor::on_generation
+pub trait ExploreMonitor: Send + Sync {
+    /// One generation boundary: 1-based `generation`, cumulative fitness
+    /// `evaluations`. Return `true` to continue, `false` to cancel.
+    fn on_generation(&self, generation: u64, evaluations: u64) -> bool;
+}
+
 /// A configured Dovado instance for one module.
 pub struct Dovado {
     evaluator: Evaluator,
@@ -188,6 +205,15 @@ impl Dovado {
         &self.evaluator
     }
 
+    /// Mutable access to the underlying evaluator — e.g. to attach a
+    /// shared evaluation store before exploring (the serve scheduler
+    /// points every tenant's job at one sharded store this way). When a
+    /// store is already attached, persistent exploration reuses it
+    /// instead of opening a per-run store.
+    pub fn evaluator_mut(&mut self) -> &mut Evaluator {
+        &mut self.evaluator
+    }
+
     /// Design automation: evaluates one explicit design point.
     pub fn evaluate_point(&self, point: &DesignPoint) -> DovadoResult<Evaluation> {
         self.evaluator.evaluate(point)
@@ -236,7 +262,7 @@ impl Dovado {
     /// Design space exploration: runs the configured explorer (with or
     /// without the approximation model) and returns the non-dominated set.
     pub fn explore(&self, cfg: &DseConfig) -> DovadoResult<DseReport> {
-        self.explore_inner(cfg, None)
+        self.explore_inner(cfg, None, None)
     }
 
     /// Design space exploration with crash-safe persistence.
@@ -255,13 +281,31 @@ impl Dovado {
         cfg: &DseConfig,
         persist_cfg: &PersistConfig,
     ) -> DovadoResult<DseReport> {
-        self.explore_inner(cfg, Some(persist_cfg))
+        self.explore_inner(cfg, Some(persist_cfg), None)
+    }
+
+    /// Design space exploration under an [`ExploreMonitor`]: the monitor
+    /// sees every generation boundary and can cancel the run by
+    /// returning `false`, which surfaces as
+    /// [`DovadoError::Cancelled`]. With persistence on, the journal
+    /// written at the last boundary before the cancellation survives, so
+    /// a cancelled run is resumable like a crashed one. The monitor
+    /// never emits onto the spine, so a monitored run's trace is
+    /// byte-identical to an unmonitored one.
+    pub fn explore_monitored(
+        &self,
+        cfg: &DseConfig,
+        persist_cfg: Option<&PersistConfig>,
+        monitor: &dyn ExploreMonitor,
+    ) -> DovadoResult<DseReport> {
+        self.explore_inner(cfg, persist_cfg, Some(monitor))
     }
 
     fn explore_inner(
         &self,
         cfg: &DseConfig,
         persist_cfg: Option<&PersistConfig>,
+        monitor: Option<&dyn ExploreMonitor>,
     ) -> DovadoResult<DseReport> {
         // Validate both pool knobs up front so a programmatic `jobs: 0`
         // or `workers: 0` fails fast, exactly like the CLI flags.
@@ -279,20 +323,25 @@ impl Dovado {
                 parallel: true,
                 ..cfg.clone()
             };
-            return pool.install(|| self.explore_inner(&inner, persist_cfg));
+            return pool.install(|| self.explore_inner(&inner, persist_cfg, monitor));
         }
         let mut evaluator = self.evaluator.clone();
         if let Some(p) = persist_cfg {
             fs::create_dir_all(&p.dir).map_err(|e| {
                 DovadoError::Config(format!("cannot create {}: {e}", p.dir.display()))
             })?;
-            let store = EvalStore::open(&p.store_dir()).map_err(|e| {
-                DovadoError::Config(format!(
-                    "cannot open store {}: {e}",
-                    p.store_dir().display()
-                ))
-            })?;
-            evaluator.attach_store(store);
+            let capacity = crate::engine::validate_store_capacity(p.store_capacity)?;
+            // A pre-attached store (e.g. the serve scheduler's shared
+            // sharded store) takes precedence over the per-run one.
+            if evaluator.store().is_none() {
+                let store = EvalStore::open_bounded(&p.store_dir(), capacity).map_err(|e| {
+                    DovadoError::Config(format!(
+                        "cannot open store {}: {e}",
+                        p.store_dir().display()
+                    ))
+                })?;
+                evaluator.attach_store(store);
+            }
         }
         if let Some(p) = persist_cfg.filter(|p| p.resume) {
             if !matches!(cfg.explorer, Explorer::Nsga2) {
@@ -300,7 +349,7 @@ impl Dovado {
                     "resume is only supported for the NSGA-II explorer".into(),
                 ));
             }
-            return self.resume_nsga2(cfg, p, evaluator);
+            return self.resume_nsga2(cfg, p, evaluator, monitor);
         }
 
         let mut problem = DseProblem::new(
@@ -314,7 +363,7 @@ impl Dovado {
         let result: OptResult = match &cfg.explorer {
             Explorer::Nsga2 => {
                 let engine = Nsga2Engine::start(&mut problem, &cfg.algorithm);
-                self.run_nsga2(&mut problem, cfg, persist_cfg, engine)?
+                self.run_nsga2(&mut problem, cfg, persist_cfg, monitor, engine)?
             }
             Explorer::RandomSearch => random_search(
                 &mut problem,
@@ -372,6 +421,7 @@ impl Dovado {
         problem: &mut DseProblem,
         cfg: &DseConfig,
         persist_cfg: Option<&PersistConfig>,
+        monitor: Option<&dyn ExploreMonitor>,
         mut engine: Nsga2Engine,
     ) -> DovadoResult<OptResult> {
         let fingerprint = persist_cfg.map(|_| self.persist_fingerprint(cfg));
@@ -410,6 +460,16 @@ impl Dovado {
                     }
                 }
             }
+            // The cancellation point sits *after* the journal write, so a
+            // cancelled persistent run keeps its latest durable snapshot
+            // and resumes exactly like a crashed one.
+            if let Some(m) = monitor {
+                if !m.on_generation(engine.generation() as u64, engine.evaluations()) {
+                    return Err(DovadoError::Cancelled {
+                        generation: engine.generation(),
+                    });
+                }
+            }
         }
         Ok(engine.into_result())
     }
@@ -420,6 +480,7 @@ impl Dovado {
         cfg: &DseConfig,
         persist_cfg: &PersistConfig,
         evaluator: Evaluator,
+        monitor: Option<&dyn ExploreMonitor>,
     ) -> DovadoResult<DseReport> {
         let journal = persist::read_journal(&persist_cfg.journal_path())?;
         let fingerprint = self.persist_fingerprint(cfg);
@@ -497,7 +558,7 @@ impl Dovado {
             // written; re-deriving the result is pure.
             engine.into_result()
         } else {
-            self.run_nsga2(&mut problem, cfg, Some(persist_cfg), engine)?
+            self.run_nsga2(&mut problem, cfg, Some(persist_cfg), monitor, engine)?
         };
         self.assemble_report(cfg, &problem, result)
     }

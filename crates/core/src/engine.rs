@@ -101,6 +101,22 @@ pub fn validate_workers(workers: usize) -> DovadoResult<usize> {
     validate_pool_size("--workers", workers)
 }
 
+/// Validates an evaluation-store capacity bound (CLI `--store-capacity`,
+/// programmatic `PersistConfig::store_capacity`, serve config). `None`
+/// is the explicit unbounded default; `Some(0)` could cache nothing and
+/// is a configuration error under the same convention as
+/// [`validate_jobs`] / [`validate_workers`].
+pub fn validate_store_capacity(capacity: Option<usize>) -> DovadoResult<Option<usize>> {
+    if capacity == Some(0) {
+        return Err(DovadoError::Config(
+            "--store-capacity: must be at least 1 (a zero-entry store cannot cache anything; \
+             omit the flag for unbounded)"
+                .into(),
+        ));
+    }
+    Ok(capacity)
+}
+
 /// Everything an attempt needs to generate its scripts.
 struct FlowContext {
     sources: Arc<Vec<HdlSource>>,
@@ -566,8 +582,36 @@ impl EvalEngine {
     /// fresh success is written back. The key covers the sources, top
     /// module, full [`EvalConfig`] and the backend name, so any input
     /// change invalidates the store automatically.
+    ///
+    /// Evictions from a capacity-bounded store surface as
+    /// [`ObsEvent::StoreEvicted`] on the spine's side channel (never the
+    /// canonical stream — see [`EventBus::emit_store_evicted`]).
     pub fn attach_store(&mut self, store: EvalStore) {
         let base = self.content_key();
+        self.attach_store_with_base(store, base);
+    }
+
+    /// [`attach_store`](Self::attach_store) with the store identity
+    /// additionally scoped by an arbitrary string, folded into the
+    /// content key. A store owned by one run never needs this, but a
+    /// store *shared* across runs does when the backend name alone
+    /// under-identifies the answers: [`ToolBackend::name`] deliberately
+    /// omits the construction seed, so `mock:7` and `mock:8` collide on
+    /// the plain content key while producing different metrics. The
+    /// `dovado serve` daemon scopes every job's lookups by the full
+    /// backend spec for exactly this reason.
+    pub fn attach_store_scoped(&mut self, store: EvalStore, scope: &str) {
+        let base = EvalKey::from_parts(&[&self.content_key().hex(), scope]);
+        self.attach_store_with_base(store, base);
+    }
+
+    fn attach_store_with_base(&mut self, store: EvalStore, base: EvalKey) {
+        let bus = self.pipeline.bus.clone();
+        store.set_eviction_hook(std::sync::Arc::new(move |hex: &str| {
+            bus.emit_store_evicted(ObsEvent::StoreEvicted {
+                key: hex.to_string(),
+            });
+        }));
         self.pipeline.store = Some((store, base));
     }
 

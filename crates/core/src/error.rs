@@ -56,6 +56,17 @@ pub enum DovadoError {
         /// Last generation whose journal snapshot is durable.
         generation: u32,
     },
+    /// The exploration was cancelled on purpose (serve-job cancel, or an
+    /// `ExploreMonitor` returning `false`). Unlike [`Interrupted`], this
+    /// is deliberate and permanent: retrying would re-run work the caller
+    /// just asked to stop.
+    ///
+    /// [`Interrupted`]: DovadoError::Interrupted
+    Cancelled {
+        /// Last generation that completed before the cancellation took
+        /// effect (0 = none).
+        generation: u32,
+    },
 }
 
 impl DovadoError {
@@ -114,6 +125,9 @@ impl fmt::Display for DovadoError {
                      journal is resumable"
                 )
             }
+            DovadoError::Cancelled { generation } => {
+                write!(f, "exploration cancelled after generation {generation}")
+            }
         }
     }
 }
@@ -168,6 +182,7 @@ mod tests {
             DovadoError::Parse("bad HDL".into()),
             DovadoError::Config("bad part".into()),
             DovadoError::Space("empty".into()),
+            DovadoError::Cancelled { generation: 3 },
         ];
         for e in permanent {
             assert_eq!(e.class(), ErrorClass::Permanent, "{e}");

@@ -199,6 +199,14 @@ impl Evaluator {
         self.engine.attach_store(store);
     }
 
+    /// [`attach_store`](Self::attach_store) with the store identity
+    /// additionally scoped by an arbitrary string — see
+    /// [`EvalEngine::attach_store_scoped`](crate::engine::EvalEngine::attach_store_scoped)
+    /// for when a shared store needs this.
+    pub fn attach_store_scoped(&mut self, store: EvalStore, scope: &str) {
+        self.engine.attach_store_scoped(store, scope);
+    }
+
     /// The evaluator's 128-bit content identity: a stable hash of the
     /// sources, top module, full [`EvalConfig`] and backend name. Store
     /// keys and the journal fingerprint both build on it.

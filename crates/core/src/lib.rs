@@ -48,6 +48,7 @@ pub mod obs;
 pub mod persist;
 pub mod point;
 pub mod results;
+pub mod serve;
 pub mod space;
 pub mod trace;
 pub mod worker;
@@ -69,5 +70,6 @@ pub use obs::{
 pub use persist::{PersistConfig, JOURNAL_FORMAT_VERSION};
 pub use point::DesignPoint;
 pub use results::{ascii_scatter, point_label, DseReport, ParetoEntry, PointResult};
+pub use serve::{ServeConfig, Server};
 pub use space::{Domain, FreeParameter, ParameterSpace};
 pub use trace::{AttemptOutcome, FlowEvent, FlowTrace, TraceSummary};

@@ -130,6 +130,17 @@ pub enum ObsEvent {
         /// Transport-level detail for deaths, empty otherwise.
         detail: String,
     },
+    /// A capacity-bounded [`EvalStore`](dovado_eda::EvalStore) evicted an
+    /// entry. Cache-management facts, not evaluation facts: like
+    /// [`ObsEvent::Worker`] they ride a side channel
+    /// ([`EventBus::emit_store_evicted`]) and never enter the canonical
+    /// stream — eviction timing depends on cross-run store state, which
+    /// would break byte-identical `--trace-out` replays. An eviction can
+    /// only ever produce a future store *miss*, never a wrong answer.
+    StoreEvicted {
+        /// 32-hex-digit `EvalKey` of the evicted entry.
+        key: String,
+    },
 }
 
 /// Exact whole-run totals, maintained incrementally by the bus and
@@ -191,7 +202,8 @@ impl Totals {
             | ObsEvent::Reselected { .. }
             | ObsEvent::GammaUpdated { .. }
             | ObsEvent::Fault { .. }
-            | ObsEvent::Worker { .. } => {}
+            | ObsEvent::Worker { .. }
+            | ObsEvent::StoreEvicted { .. } => {}
         }
     }
 }
@@ -241,6 +253,10 @@ struct BusInner {
     /// `events` (and the snapshot/JSONL stream) because lease order is
     /// scheduling-dependent; capped like the canonical stream.
     worker_events: Vec<ObsEvent>,
+    /// Store-eviction side channel, in arrival order. Kept out of the
+    /// canonical stream because eviction timing depends on cross-run
+    /// store state; capped like the canonical stream.
+    store_events: Vec<ObsEvent>,
 }
 
 impl EventBus {
@@ -293,6 +309,21 @@ impl EventBus {
     /// The worker lifecycle side channel, in arrival order.
     pub fn worker_events(&self) -> Vec<ObsEvent> {
         self.inner.lock().worker_events.clone()
+    }
+
+    /// Records a store-eviction event on the side channel (arrival
+    /// order; never part of the canonical stream).
+    pub fn emit_store_evicted(&self, event: ObsEvent) {
+        debug_assert!(matches!(event, ObsEvent::StoreEvicted { .. }));
+        let mut inner = self.inner.lock();
+        if inner.store_events.len() < MAX_RETAINED_EVENTS {
+            inner.store_events.push(event);
+        }
+    }
+
+    /// The store-eviction side channel, in arrival order.
+    pub fn store_events(&self) -> Vec<ObsEvent> {
+        self.inner.lock().store_events.clone()
     }
 
     /// Exact whole-run totals (cover evicted events too).
@@ -375,7 +406,7 @@ fn json_escape(s: &str) -> String {
 
 /// Formats a float as a JSON number. Rust's shortest-roundtrip `Display`
 /// is deterministic and decimal; non-finite values become `null`.
-fn json_f64(v: f64) -> String {
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -390,7 +421,16 @@ fn step_name(step: FlowStep) -> &'static str {
     }
 }
 
-fn event_json(key: EventKey, event: &ObsEvent) -> String {
+/// The JSONL trace header line (no trailing newline). Streamed protocols
+/// reuse this so clients see exactly the `--trace-out` wire format.
+pub fn trace_header() -> String {
+    format!("{{\"schema\":\"dovado-trace\",\"version\":{EVENT_SCHEMA_VERSION}}}")
+}
+
+/// Renders one event as its canonical trace v1 JSON line (no trailing
+/// newline). [`write_jsonl`] uses this for every event line; the serve
+/// protocol reuses it to stream live events in the same wire format.
+pub fn event_json(key: EventKey, event: &ObsEvent) -> String {
     let head = format!("{{\"seq\":{},\"sub\":{}", key.seq, key.sub);
     match event {
         ObsEvent::Attempt(e) => {
@@ -496,6 +536,12 @@ fn event_json(key: EventKey, event: &ObsEvent) -> String {
                 json_escape(detail)
             )
         }
+        ObsEvent::StoreEvicted { key } => {
+            format!(
+                "{head},\"type\":\"store_evicted\",\"key\":\"{}\"}}",
+                json_escape(key)
+            )
+        }
     }
 }
 
@@ -505,30 +551,33 @@ fn event_json(key: EventKey, event: &ObsEvent) -> String {
 /// self-consistent; `dropped` reports how many events the retention cap
 /// evicted before the snapshot).
 pub fn write_jsonl(snapshot: &SpineSnapshot, out: &mut dyn io::Write) -> io::Result<()> {
-    writeln!(
-        out,
-        "{{\"schema\":\"dovado-trace\",\"version\":{EVENT_SCHEMA_VERSION}}}"
-    )?;
+    writeln!(out, "{}", trace_header())?;
     for (key, event) in &snapshot.events {
         writeln!(out, "{}", event_json(*key, event))?;
     }
     let t = fold_totals(snapshot.events.iter().map(|(_, e)| e));
-    writeln!(
-        out,
+    writeln!(out, "{}", summary_json(&t, snapshot.dropped))
+}
+
+/// Renders the trailing trace v1 summary object for `totals` (no
+/// trailing newline). Streamed protocols reuse this so a live session
+/// ends with exactly the line a `--trace-out` file would.
+pub fn summary_json(totals: &Totals, dropped: u64) -> String {
+    format!(
         "{{\"type\":\"summary\",\"attempts\":{},\"retries\":{},\
          \"transient_failures\":{},\"permanent_failures\":{},\
          \"cache_hits\":{},\"store_hits\":{},\"backoff_s\":{},\
          \"runs\":{},\"tool_time_s\":{},\"dropped\":{}}}",
-        t.summary.attempts,
-        t.summary.retries,
-        t.summary.transient_failures,
-        t.summary.permanent_failures,
-        t.summary.cache_hits,
-        t.summary.store_hits,
-        json_f64(t.summary.backoff_s),
-        t.runs,
-        json_f64(t.tool_time_s),
-        snapshot.dropped
+        totals.summary.attempts,
+        totals.summary.retries,
+        totals.summary.transient_failures,
+        totals.summary.permanent_failures,
+        totals.summary.cache_hits,
+        totals.summary.store_hits,
+        json_f64(totals.summary.backoff_s),
+        totals.runs,
+        json_f64(totals.tool_time_s),
+        dropped
     )
 }
 

@@ -53,16 +53,24 @@ pub struct PersistConfig {
     pub resume: bool,
     /// Journal every this many generations (1 = every boundary).
     pub journal_every: u32,
+    /// Entry-count bound for the evaluation store. `None` — the explicit
+    /// default — keeps the store unbounded; `Some(n)` evicts the
+    /// least-recently-touched entries past `n` (evictions only ever
+    /// produce misses, never wrong answers). `Some(0)` is rejected as a
+    /// configuration error. Not part of the journal fingerprint: like
+    /// `jobs`/`workers`, the bound changes *cost*, never *answers*.
+    pub store_capacity: Option<usize>,
 }
 
 impl PersistConfig {
     /// Persistence rooted at `dir`, starting fresh, journaling every
-    /// generation boundary.
+    /// generation boundary, with an unbounded store.
     pub fn new(dir: impl Into<PathBuf>) -> PersistConfig {
         PersistConfig {
             dir: dir.into(),
             resume: false,
             journal_every: 1,
+            store_capacity: None,
         }
     }
 

@@ -61,6 +61,9 @@ pub use netlist::Netlist;
 pub use place_route::{ImplDirective, ImplResult};
 pub use project::{ClockConstraint, Project};
 pub use remote::{RemoteBackend, WorkerLifecycle, PROTOCOL_VERSION};
-pub use store::{EvalKey, EvalStore, STORE_FORMAT_VERSION};
+pub use store::{
+    CompactStats, EvalKey, EvalStore, EvictionHook, SHARD_COUNT, SHARD_PREFIX_LEN,
+    STORE_FORMAT_VERSION,
+};
 pub use synth::{SynthDirective, SynthResult};
 pub use vivado::{FlowState, VivadoSim};

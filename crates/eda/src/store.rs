@@ -11,17 +11,47 @@
 //! Writes are atomic: payloads land in a unique temporary file first and are
 //! published with `rename`, so a crash mid-write can leave stray `.tmp`
 //! debris but never a half-written entry under a valid key.
+//!
+//! # Sharding, capacity, and compaction
+//!
+//! Entries are sharded into [`SHARD_COUNT`] subdirectories by the leading
+//! hex digits of their key, so a store serving millions of cached
+//! evaluations never funnels every lookup through one giant directory.
+//! A store may be opened with a **capacity bound**
+//! ([`EvalStore::open_bounded`]): once the bound is exceeded, the
+//! least-recently-touched entries are evicted (ties broken by key hex, so
+//! eviction order is deterministic). [`EvalStore::compact`] walks the whole
+//! store in one pass — deleting `.tmp` debris and corrupt entries,
+//! migrating legacy unsharded entries into their shards, and re-enforcing
+//! the capacity bound.
+//!
+//! The governing invariant for every one of those operations: **removing an
+//! entry can only ever produce a future miss, never a wrong answer.**
+//! Content addressing means a key is never reused for different data, and
+//! the checksum envelope means damaged data never decodes; eviction and
+//! compaction therefore only delete whole entries, which re-run the tool on
+//! the next request.
 
 use crate::hash::{fnv1a, fnv1a_with};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Version of the on-disk entry encoding. Bump whenever the serialized
 /// entry schema changes shape; old entries then read as misses instead of
 /// being misinterpreted.
 pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// Number of leading hex digits of the key used as the shard directory
+/// name (2 digits = 256 shards).
+pub const SHARD_PREFIX_LEN: usize = 2;
+
+/// Number of shard subdirectories a fully-populated store uses.
+pub const SHARD_COUNT: usize = 1 << (4 * SHARD_PREFIX_LEN);
 
 /// Independent second FNV basis (decimal digits of e, as FNV uses digits of
 /// a prime offset); running a second stream over the same bytes gives the
@@ -132,21 +162,134 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     }
 }
 
-/// A directory of checksummed evaluation entries.
-#[derive(Debug, Clone)]
+/// Observer of store evictions: called with the evicted key's hex once per
+/// entry removed by the capacity bound (on `put` or `compact`), after the
+/// entry file is gone. The core wires this to the observability spine.
+pub type EvictionHook = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// What one [`EvalStore::compact`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactStats {
+    /// Valid entries still present after the pass.
+    pub retained: usize,
+    /// Entries deleted because they failed envelope validation.
+    pub removed_corrupt: usize,
+    /// Stray `.tmp` files (crash debris) deleted.
+    pub removed_debris: usize,
+    /// Legacy unsharded entries moved into their shard directory.
+    pub migrated: usize,
+    /// Valid entries evicted to re-enforce the capacity bound.
+    pub evicted: usize,
+}
+
+/// Recency bookkeeping for the capacity bound: a per-handle view of which
+/// entries exist and when each was last touched. Ticks are unique, so the
+/// eviction order `(tick, hex)` is total and deterministic.
+#[derive(Default)]
+struct StoreIndex {
+    /// Key hex → last-touch tick.
+    ticks: HashMap<String, u64>,
+    /// `(tick, hex)` mirror of `ticks`: the first element is always the
+    /// coldest entry.
+    order: BTreeSet<(u64, String)>,
+    clock: u64,
+}
+
+impl StoreIndex {
+    fn touch(&mut self, hex: &str) {
+        let tick = self.clock;
+        self.clock += 1;
+        if let Some(old) = self.ticks.insert(hex.to_string(), tick) {
+            self.order.remove(&(old, hex.to_string()));
+        }
+        self.order.insert((tick, hex.to_string()));
+    }
+
+    fn forget(&mut self, hex: &str) {
+        if let Some(old) = self.ticks.remove(hex) {
+            self.order.remove(&(old, hex.to_string()));
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    fn coldest(&self) -> Option<String> {
+        self.order.iter().next().map(|(_, hex)| hex.clone())
+    }
+}
+
+/// A sharded directory of checksummed evaluation entries, optionally
+/// bounded in entry count.
+///
+/// Clones share the recency index, the capacity bound, and the eviction
+/// hook, so concurrent readers and writers cooperate on one bookkeeping
+/// view. Independently-opened handles over the same directory each keep
+/// their own view; [`EvalStore::compact`] resynchronizes a handle with the
+/// disk.
+#[derive(Clone)]
 pub struct EvalStore {
     dir: PathBuf,
+    /// Maximum entries to retain; `None` (the explicit default of
+    /// [`EvalStore::open`]) means unbounded.
+    capacity: Option<usize>,
+    index: Arc<Mutex<StoreIndex>>,
+    hook: Arc<Mutex<Option<EvictionHook>>>,
+}
+
+impl fmt::Debug for EvalStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EvalStore")
+            .field("dir", &self.dir)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
 }
 
 const ENTRY_TAG: &str = "dovado-store";
 
 impl EvalStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) an **unbounded** store rooted at `dir` —
+    /// unbounded is the explicit default; use [`EvalStore::open_bounded`]
+    /// to cap the on-disk entry count.
     pub fn open(dir: &Path) -> io::Result<EvalStore> {
+        Self::open_bounded(dir, None)
+    }
+
+    /// Opens (creating if needed) a store rooted at `dir` holding at most
+    /// `capacity` entries (`None` = unbounded). Once full, a `put` evicts
+    /// the least-recently-touched entries first, deterministic tie-break
+    /// by key hex. A zero capacity can cache nothing and is rejected.
+    pub fn open_bounded(dir: &Path, capacity: Option<usize>) -> io::Result<EvalStore> {
+        if capacity == Some(0) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "store capacity must be at least 1 entry (use None for unbounded)",
+            ));
+        }
         fs::create_dir_all(dir)?;
-        Ok(EvalStore {
+        let store = EvalStore {
             dir: dir.to_path_buf(),
-        })
+            capacity,
+            index: Arc::new(Mutex::new(StoreIndex::default())),
+            hook: Arc::new(Mutex::new(None)),
+        };
+        // Seed the recency index from disk in sorted-hex order, so a
+        // freshly-opened bounded store evicts deterministically even
+        // before any entry has been touched.
+        let mut hexes: Vec<String> = store
+            .scan_entries()
+            .into_iter()
+            .map(|(hex, _)| hex)
+            .collect();
+        hexes.sort();
+        let mut index = store.index.lock().expect("store index poisoned");
+        for hex in hexes {
+            index.touch(&hex);
+        }
+        drop(index);
+        Ok(store)
     }
 
     /// The directory this store lives in.
@@ -154,50 +297,309 @@ impl EvalStore {
         &self.dir
     }
 
-    /// The on-disk path an entry for `key` would occupy.
+    /// The capacity bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Installs the eviction observer (replacing any prior one). Shared
+    /// across clones of this handle.
+    pub fn set_eviction_hook(&self, hook: EvictionHook) {
+        *self.hook.lock().expect("store hook poisoned") = Some(hook);
+    }
+
+    /// The shard directory for a key hex.
+    fn shard_dir(&self, hex: &str) -> PathBuf {
+        self.dir.join(&hex[..SHARD_PREFIX_LEN])
+    }
+
+    /// The on-disk path an entry for `key` would occupy (inside its
+    /// shard).
     pub fn entry_path(&self, key: &EvalKey) -> PathBuf {
-        self.dir.join(format!("{}.entry", key.hex()))
+        let hex = key.hex();
+        self.shard_dir(&hex).join(format!("{hex}.entry"))
+    }
+
+    /// The pre-sharding (flat) path of an entry: where a store written by
+    /// an older layout would hold it. `get` falls back to this path and
+    /// migrates the entry into its shard.
+    fn legacy_entry_path(&self, hex: &str) -> PathBuf {
+        self.dir.join(format!("{hex}.entry"))
     }
 
     /// Looks up `key`, returning the stored payload on a clean hit.
     ///
     /// A missing file is a miss. A file that fails version or checksum
     /// validation is *also* a miss — and is deleted so the slot heals on
-    /// the next `put` instead of failing validation forever.
+    /// the next `put` instead of failing validation forever. A valid
+    /// entry found at the legacy unsharded path is served and migrated
+    /// into its shard.
     pub fn get(&self, key: &EvalKey) -> Option<String> {
+        let hex = key.hex();
         let path = self.entry_path(key);
-        // An I/O error (most commonly: no such entry) is a plain miss; a
-        // file that exists but is not valid UTF-8 is corruption and goes
-        // through the same delete-and-miss path as a checksum failure.
-        let bytes = fs::read(&path).ok()?;
-        let payload = String::from_utf8(bytes).ok().and_then(|text| {
-            decode_checked(ENTRY_TAG, STORE_FORMAT_VERSION, &text).map(str::to_string)
-        });
-        if payload.is_none() {
-            let _ = fs::remove_file(&path);
+        match read_valid_entry(&path) {
+            ReadOutcome::Valid(payload) => {
+                self.index.lock().expect("store index poisoned").touch(&hex);
+                return Some(payload);
+            }
+            ReadOutcome::Corrupt => {
+                let _ = fs::remove_file(&path);
+                self.index
+                    .lock()
+                    .expect("store index poisoned")
+                    .forget(&hex);
+                return None;
+            }
+            ReadOutcome::Absent => {}
         }
-        payload
+        // Legacy flat layout: serve and migrate into the shard.
+        let legacy = self.legacy_entry_path(&hex);
+        match read_valid_entry(&legacy) {
+            ReadOutcome::Valid(payload) => {
+                let _ = fs::create_dir_all(self.shard_dir(&hex));
+                let _ = fs::rename(&legacy, &path);
+                self.index.lock().expect("store index poisoned").touch(&hex);
+                Some(payload)
+            }
+            ReadOutcome::Corrupt => {
+                let _ = fs::remove_file(&legacy);
+                self.index
+                    .lock()
+                    .expect("store index poisoned")
+                    .forget(&hex);
+                None
+            }
+            ReadOutcome::Absent => {
+                self.index
+                    .lock()
+                    .expect("store index poisoned")
+                    .forget(&hex);
+                None
+            }
+        }
     }
 
-    /// Stores `payload` under `key` (atomic replace of any prior entry).
+    /// Stores `payload` under `key` (atomic replace of any prior entry),
+    /// then evicts the coldest entries if the capacity bound is exceeded.
     pub fn put(&self, key: &EvalKey, payload: &str) -> io::Result<()> {
+        let hex = key.hex();
         let text = encode_checked(ENTRY_TAG, STORE_FORMAT_VERSION, payload);
-        atomic_write(&self.entry_path(key), text.as_bytes())
+        fs::create_dir_all(self.shard_dir(&hex))?;
+        atomic_write(&self.entry_path(key), text.as_bytes())?;
+        let evicted = {
+            let mut index = self.index.lock().expect("store index poisoned");
+            index.touch(&hex);
+            self.evict_over_capacity(&mut index)
+        };
+        self.notify_evictions(&evicted);
+        Ok(())
     }
 
-    /// Number of valid-looking entry files currently on disk.
-    pub fn len(&self) -> usize {
-        let Ok(rd) = fs::read_dir(&self.dir) else {
-            return 0;
+    /// Removes coldest entries until the index fits the capacity bound.
+    /// Must run under the index lock; returns the evicted hexes (files
+    /// already deleted) for hook notification outside the lock.
+    fn evict_over_capacity(&self, index: &mut StoreIndex) -> Vec<String> {
+        let Some(cap) = self.capacity else {
+            return Vec::new();
         };
-        rd.filter_map(Result::ok)
-            .filter(|e| e.path().extension().is_some_and(|x| x == "entry"))
-            .count()
+        let mut evicted = Vec::new();
+        while index.len() > cap {
+            let Some(hex) = index.coldest() else { break };
+            let _ = fs::remove_file(self.shard_dir(&hex).join(format!("{hex}.entry")));
+            let _ = fs::remove_file(self.legacy_entry_path(&hex));
+            index.forget(&hex);
+            evicted.push(hex);
+        }
+        evicted
+    }
+
+    /// Calls the eviction hook once per evicted key (outside any lock the
+    /// hook could re-enter).
+    fn notify_evictions(&self, evicted: &[String]) {
+        if evicted.is_empty() {
+            return;
+        }
+        let hook = self.hook.lock().expect("store hook poisoned").clone();
+        if let Some(hook) = hook {
+            for hex in evicted {
+                hook(hex);
+            }
+        }
+    }
+
+    /// One full maintenance pass over the store directory:
+    ///
+    /// * deletes stray `.tmp` files (crash debris from interrupted atomic
+    ///   writes),
+    /// * deletes entries that fail envelope validation (they could only
+    ///   ever read as misses),
+    /// * migrates valid legacy unsharded entries into their shards,
+    /// * rebuilds this handle's recency index from the surviving entries
+    ///   (preserving known recency, discovering foreign writes), and
+    /// * re-enforces the capacity bound, evicting coldest-first.
+    ///
+    /// Like eviction, compaction can only produce future misses, never
+    /// wrong answers: it removes whole entries and never rewrites one.
+    pub fn compact(&self) -> io::Result<CompactStats> {
+        let mut stats = CompactStats::default();
+        let mut valid: Vec<String> = Vec::new();
+
+        for (hex, path) in self.scan_files()? {
+            match hex {
+                ScannedFile::Debris => {
+                    let _ = fs::remove_file(&path);
+                    stats.removed_debris += 1;
+                }
+                ScannedFile::Entry(hex) => match read_valid_entry(&path) {
+                    ReadOutcome::Valid(_) => {
+                        let sharded = self.shard_dir(&hex).join(format!("{hex}.entry"));
+                        if path != sharded {
+                            fs::create_dir_all(self.shard_dir(&hex))?;
+                            if fs::rename(&path, &sharded).is_ok() {
+                                stats.migrated += 1;
+                            }
+                        }
+                        valid.push(hex);
+                    }
+                    ReadOutcome::Corrupt => {
+                        let _ = fs::remove_file(&path);
+                        stats.removed_corrupt += 1;
+                    }
+                    // Deleted concurrently between scan and read.
+                    ReadOutcome::Absent => {}
+                },
+            }
+        }
+
+        valid.sort();
+        valid.dedup();
+        let evicted = {
+            let mut index = self.index.lock().expect("store index poisoned");
+            // Rebuild: keep the recency of entries this handle knew,
+            // enqueue discovered ones in sorted-hex order behind a fresh
+            // tick so the rebuilt order is deterministic.
+            let mut rebuilt = StoreIndex {
+                clock: index.clock,
+                ..StoreIndex::default()
+            };
+            let mut known: Vec<(u64, String)> = Vec::new();
+            let mut discovered: Vec<String> = Vec::new();
+            for hex in &valid {
+                match index.ticks.get(hex) {
+                    Some(&tick) => known.push((tick, hex.clone())),
+                    None => discovered.push(hex.clone()),
+                }
+            }
+            known.sort();
+            for (_, hex) in known {
+                rebuilt.touch(&hex);
+            }
+            for hex in discovered {
+                rebuilt.touch(&hex);
+            }
+            *index = rebuilt;
+            self.evict_over_capacity(&mut index)
+        };
+        stats.evicted = evicted.len();
+        stats.retained = valid.len() - stats.evicted;
+        self.notify_evictions(&evicted);
+        Ok(stats)
+    }
+
+    /// Number of valid-looking entry files currently on disk (root and
+    /// all shards).
+    pub fn len(&self) -> usize {
+        self.scan_entries().len()
     }
 
     /// Whether the store currently holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// All `.entry` files on disk as `(hex, path)`, root and shards.
+    fn scan_entries(&self) -> Vec<(String, PathBuf)> {
+        self.scan_files()
+            .unwrap_or_default()
+            .into_iter()
+            .filter_map(|(f, path)| match f {
+                ScannedFile::Entry(hex) => Some((hex, path)),
+                ScannedFile::Debris => None,
+            })
+            .collect()
+    }
+
+    /// Walks the store directory one level deep (root files + shard
+    /// directories), classifying each file as an entry or `.tmp` debris.
+    fn scan_files(&self) -> io::Result<Vec<(ScannedFile, PathBuf)>> {
+        let mut out = Vec::new();
+        let visit_dir = |dir: &Path, out: &mut Vec<(ScannedFile, PathBuf)>| {
+            let Ok(rd) = fs::read_dir(dir) else { return };
+            for entry in rd.filter_map(Result::ok) {
+                let path = entry.path();
+                if path.is_dir() {
+                    continue;
+                }
+                if let Some(f) = classify_file(&path) {
+                    out.push((f, path));
+                }
+            }
+        };
+        visit_dir(&self.dir, &mut out);
+        let rd = fs::read_dir(&self.dir)?;
+        for entry in rd.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.is_dir() && is_shard_dir_name(&path) {
+                visit_dir(&path, &mut out);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One file found by the store walk.
+enum ScannedFile {
+    /// A `<hex>.entry` file (hex stem attached).
+    Entry(String),
+    /// A stray `.tmp` file from an interrupted atomic write.
+    Debris,
+}
+
+fn classify_file(path: &Path) -> Option<ScannedFile> {
+    let name = path.file_name()?.to_str()?;
+    if name.ends_with(".tmp") {
+        return Some(ScannedFile::Debris);
+    }
+    let stem = name.strip_suffix(".entry")?;
+    Some(ScannedFile::Entry(stem.to_string()))
+}
+
+fn is_shard_dir_name(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.len() == SHARD_PREFIX_LEN && n.chars().all(|c| c.is_ascii_hexdigit()))
+}
+
+/// What reading one entry file yielded.
+enum ReadOutcome {
+    /// Decoded cleanly; payload attached.
+    Valid(String),
+    /// Present but failed UTF-8 or envelope validation.
+    Corrupt,
+    /// No file (or unreadable at the I/O level): a plain miss.
+    Absent,
+}
+
+fn read_valid_entry(path: &Path) -> ReadOutcome {
+    let Ok(bytes) = fs::read(path) else {
+        return ReadOutcome::Absent;
+    };
+    match String::from_utf8(bytes)
+        .ok()
+        .and_then(|text| decode_checked(ENTRY_TAG, STORE_FORMAT_VERSION, &text).map(str::to_string))
+    {
+        Some(payload) => ReadOutcome::Valid(payload),
+        None => ReadOutcome::Corrupt,
     }
 }
 
@@ -238,6 +640,39 @@ mod tests {
     }
 
     #[test]
+    fn entries_land_in_their_shard() {
+        let store = EvalStore::open(&tmpdir("shard")).unwrap();
+        let key = EvalKey::from_parts(&["sharded"]);
+        store.put(&key, "payload").unwrap();
+        let path = store.entry_path(&key);
+        assert!(path.exists());
+        let shard = path
+            .parent()
+            .unwrap()
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap();
+        assert_eq!(shard, &key.hex()[..SHARD_PREFIX_LEN]);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn legacy_flat_entries_are_served_and_migrated() {
+        let dir = tmpdir("legacy");
+        let store = EvalStore::open(&dir).unwrap();
+        let key = EvalKey::from_parts(&["old"]);
+        // Simulate a pre-sharding store: entry at the flat root path.
+        let text = encode_checked(ENTRY_TAG, STORE_FORMAT_VERSION, "vintage");
+        fs::write(dir.join(format!("{}.entry", key.hex())), text).unwrap();
+        assert_eq!(store.get(&key).unwrap(), "vintage");
+        // Migrated into the shard; the flat path is gone.
+        assert!(store.entry_path(&key).exists());
+        assert!(!dir.join(format!("{}.entry", key.hex())).exists());
+        assert_eq!(store.get(&key).unwrap(), "vintage");
+    }
+
+    #[test]
     fn truncation_is_a_miss() {
         let store = EvalStore::open(&tmpdir("trunc")).unwrap();
         let key = EvalKey::from_parts(&["x"]);
@@ -272,6 +707,7 @@ mod tests {
         let store = EvalStore::open(&tmpdir("ver")).unwrap();
         let key = EvalKey::from_parts(&["z"]);
         let stale = encode_checked(ENTRY_TAG, STORE_FORMAT_VERSION + 1, "payload");
+        fs::create_dir_all(store.entry_path(&key).parent().unwrap()).unwrap();
         fs::write(store.entry_path(&key), stale).unwrap();
         assert!(store.get(&key).is_none());
     }
@@ -284,5 +720,125 @@ mod tests {
         assert_eq!(decode_checked("gat", 3, &enc), None);
         assert_eq!(decode_checked("tag", 3, &enc.replace('o', "0")), None);
         assert_eq!(decode_checked("tag", 3, "garbage"), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        let err = EvalStore::open_bounded(&tmpdir("zero"), Some(0)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn bounded_store_evicts_least_recently_touched_first() {
+        let store = EvalStore::open_bounded(&tmpdir("lru"), Some(2)).unwrap();
+        let evicted: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let log = evicted.clone();
+        store.set_eviction_hook(Arc::new(move |hex| {
+            log.lock().unwrap().push(hex.to_string())
+        }));
+
+        let a = EvalKey::from_parts(&["a"]);
+        let b = EvalKey::from_parts(&["b"]);
+        let c = EvalKey::from_parts(&["c"]);
+        store.put(&a, "A").unwrap();
+        store.put(&b, "B").unwrap();
+        // Touch `a` so `b` is now the coldest entry.
+        assert_eq!(store.get(&a).unwrap(), "A");
+        store.put(&c, "C").unwrap();
+
+        assert_eq!(store.len(), 2);
+        assert_eq!(evicted.lock().unwrap().as_slice(), &[b.hex()]);
+        assert!(store.get(&b).is_none(), "evicted entry is a miss");
+        assert_eq!(store.get(&a).unwrap(), "A", "touched entry survives");
+        assert_eq!(store.get(&c).unwrap(), "C");
+    }
+
+    #[test]
+    fn eviction_is_only_ever_a_miss() {
+        let store = EvalStore::open_bounded(&tmpdir("missonly"), Some(3)).unwrap();
+        let keys: Vec<EvalKey> = (0..10)
+            .map(|i| EvalKey::from_parts(&["k", &i.to_string()]))
+            .collect();
+        for (i, key) in keys.iter().enumerate() {
+            store.put(key, &format!("payload-{i}")).unwrap();
+        }
+        assert_eq!(store.len(), 3);
+        for (i, key) in keys.iter().enumerate() {
+            match store.get(key) {
+                None => {}
+                Some(p) => assert_eq!(p, format!("payload-{i}"), "never a wrong answer"),
+            }
+        }
+    }
+
+    #[test]
+    fn compact_removes_debris_and_corruption_and_migrates() {
+        let dir = tmpdir("compact");
+        let store = EvalStore::open(&dir).unwrap();
+        let good = EvalKey::from_parts(&["good"]);
+        let bad = EvalKey::from_parts(&["bad"]);
+        store.put(&good, "kept").unwrap();
+        store.put(&bad, "doomed").unwrap();
+        // Corrupt one entry in place.
+        let bad_path = store.entry_path(&bad);
+        fs::write(&bad_path, "garbage").unwrap();
+        // Crash debris in the root and in a shard.
+        fs::write(dir.join("stale.0.0.tmp"), "half-written").unwrap();
+        fs::write(
+            store.entry_path(&good).parent().unwrap().join("x.1.2.tmp"),
+            "more",
+        )
+        .unwrap();
+        // A valid legacy flat entry.
+        let old = EvalKey::from_parts(&["old"]);
+        let text = encode_checked(ENTRY_TAG, STORE_FORMAT_VERSION, "vintage");
+        fs::write(dir.join(format!("{}.entry", old.hex())), text).unwrap();
+
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.removed_corrupt, 1);
+        assert_eq!(stats.removed_debris, 2);
+        assert_eq!(stats.migrated, 1);
+        assert_eq!(stats.evicted, 0);
+        assert_eq!(stats.retained, 2);
+        assert!(!bad_path.exists());
+        assert_eq!(store.get(&good).unwrap(), "kept");
+        assert_eq!(store.get(&old).unwrap(), "vintage");
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn compact_enforces_capacity_and_reports_evictions() {
+        let dir = tmpdir("compact-cap");
+        // Fill beyond the bound through an unbounded handle, then compact
+        // through a bounded one (a handle that never saw the puts).
+        let unbounded = EvalStore::open(&dir).unwrap();
+        for i in 0..6 {
+            unbounded
+                .put(&EvalKey::from_parts(&["n", &i.to_string()]), "v")
+                .unwrap();
+        }
+        let bounded = EvalStore::open_bounded(&dir, Some(2)).unwrap();
+        let stats = bounded.compact().unwrap();
+        assert_eq!(stats.evicted, 4);
+        assert_eq!(stats.retained, 2);
+        assert_eq!(bounded.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_recency_view() {
+        let store = EvalStore::open_bounded(&tmpdir("clone"), Some(1)).unwrap();
+        let twin = store.clone();
+        let a = EvalKey::from_parts(&["a"]);
+        let b = EvalKey::from_parts(&["b"]);
+        store.put(&a, "A").unwrap();
+        twin.put(&b, "B").unwrap();
+        assert_eq!(
+            store.len(),
+            1,
+            "the clone's put evicted through the shared index"
+        );
+        assert!(store.get(&a).is_none());
+        assert_eq!(store.get(&b).unwrap(), "B");
     }
 }

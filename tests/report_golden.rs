@@ -140,7 +140,9 @@ fn store_entry_format_is_pinned_to_version() {
         "028c2189016c471072a9e3a36a448370",
         "key fn drifted"
     );
-    fs::write(store.entry_path(&key), &text).unwrap();
+    let entry = store.entry_path(&key);
+    fs::create_dir_all(entry.parent().unwrap()).unwrap();
+    fs::write(&entry, &text).unwrap();
     let e = decode_evaluation(&store.get(&key).unwrap()).unwrap();
     let g = golden_evaluation();
     assert_eq!(e.utilization, g.utilization);

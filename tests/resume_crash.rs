@@ -139,11 +139,29 @@ fn cfg(surrogate: bool, parallel: bool) -> DseConfig {
     }
 }
 
+/// Optional entry-count bound on the crash harness's evaluation store;
+/// CI sweeps the bounded-store crash test via `DOVADO_STORE_CAPACITY`.
+fn env_store_capacity() -> usize {
+    std::env::var("DOVADO_STORE_CAPACITY")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+}
+
 /// Runs a persistent exploration to completion, resuming from the journal
 /// after every simulated host crash. Returns the final report and the
 /// number of interruptions survived.
 fn run_until_complete(tool: &Dovado, cfg: &DseConfig, dir: &Path) -> (DseReport, u32) {
-    let start = PersistConfig::new(dir);
+    run_until_complete_with(tool, cfg, PersistConfig::new(dir))
+}
+
+/// [`run_until_complete`] with an explicit persistence config (e.g. a
+/// capacity-bounded store).
+fn run_until_complete_with(
+    tool: &Dovado,
+    cfg: &DseConfig,
+    start: PersistConfig,
+) -> (DseReport, u32) {
     let resume = PersistConfig {
         resume: true,
         ..start.clone()
@@ -410,6 +428,39 @@ fn resume_with_a_smaller_fleet_is_bitwise_identical() {
 
     assert_reports_bitwise(&baseline, &resumed);
     assert_traces_match(&baseline, &resumed);
+    assert_final_journals_match(&base_dir, &dir);
+}
+
+#[test]
+fn capacity_bounded_store_crash_resume_stays_correct() {
+    // Crash/resume against a store that is too small to hold the whole
+    // run (`DOVADO_STORE_CAPACITY`, default 8 entries for ~60 distinct
+    // points). Evictions turn resume-time store hits back into tool
+    // runs, so the flow counters legitimately diverge from the
+    // unbounded baseline — but an eviction is only ever a *miss*: the
+    // Pareto front, the optimizer trajectory, and the final journal
+    // must stay bitwise those of the uninterrupted unbounded run.
+    let cfg = cfg(false, false);
+    let base_dir = fresh_dir("cap-base");
+    let (baseline, _) = run_until_complete(&tool(FaultPlan::none()), &cfg, &base_dir);
+
+    let dir = fresh_dir("cap-crash");
+    let start = PersistConfig {
+        store_capacity: Some(env_store_capacity()),
+        ..PersistConfig::new(&dir)
+    };
+    let (resumed, crashes) = run_until_complete_with(&tool(crash_plan(1.0)), &cfg, start);
+    assert_eq!(crashes, GENERATIONS, "one interruption per boundary");
+
+    assert_eq!(baseline.pareto.len(), resumed.pareto.len());
+    for (x, y) in baseline.pareto.iter().zip(&resumed.pareto) {
+        assert_eq!(x.point, y.point);
+        for (u, v) in x.values.iter().zip(&y.values) {
+            assert_eq!(u.to_bits(), v.to_bits(), "objective bits diverged");
+        }
+    }
+    assert_eq!(baseline.generations, resumed.generations);
+    assert_eq!(baseline.evaluations, resumed.evaluations);
     assert_final_journals_match(&base_dir, &dir);
 }
 

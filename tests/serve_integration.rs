@@ -1,0 +1,469 @@
+//! Service-level harness for `dovado serve`: boots the daemon
+//! in-process, drives it over real sockets with the line-delimited JSON
+//! protocol, and pins the core service contracts:
+//!
+//! * concurrent tenants' streamed event lines each fold to exactly the
+//!   totals (and the bitwise-identical Pareto front) of a standalone
+//!   `explore` run of the same job;
+//! * a warm shared store answers a repeated job with zero tool
+//!   attempts;
+//! * a capacity-bounded store under forced eviction still completes
+//!   correctly — eviction costs recomputation, never answers;
+//! * cancellation lands at a generation boundary and releases the slot;
+//! * a client that drops mid-stream can reconnect and `attach` to
+//!   replay the stream, deduplicating by event key.
+
+use dovado::serve::{fold_stream, parse_event_line, Client, JobSpec, Json, ServeConfig, Server};
+use dovado::worker::backend_from_spec;
+use dovado::{
+    fold_totals, Dovado, DseConfig, DseReport, EvalConfig, HdlSource, MetricSet, ParameterSpace,
+    Totals,
+};
+use dovado_eda::EvalStore;
+use dovado_hdl::Language;
+use dovado_moo::{Nsga2Config, Termination};
+use std::sync::Arc;
+
+const FIFO_SV: &str = r#"
+module fifo_v3 #(
+    parameter DEPTH = 8,
+    parameter DATA_WIDTH = 32
+)(input logic clk_i, input logic [DATA_WIDTH-1:0] data_i);
+endmodule"#;
+
+const DEPTH_SPEC: &str = "2:512:2";
+const WIDTH_SPEC: &str = "8,16,32";
+
+/// The wire-side job: same sources, space, and optimizer settings as
+/// [`direct_report`] builds in-process.
+fn fifo_spec(seed: u64, generations: u32, use_store: bool) -> JobSpec {
+    JobSpec {
+        sources: vec![("fifo.sv".into(), FIFO_SV.into())],
+        top: "fifo_v3".into(),
+        params: vec![
+            ("DEPTH".into(), DEPTH_SPEC.into()),
+            ("DATA_WIDTH".into(), WIDTH_SPEC.into()),
+        ],
+        generations,
+        pop: 6,
+        seed,
+        backend: format!("mock:{seed}"),
+        use_store,
+        ..JobSpec::default()
+    }
+}
+
+/// The same job executed standalone, without the daemon: the oracle the
+/// streamed results must match.
+fn direct_report(seed: u64, generations: u32) -> DseReport {
+    let backend: Arc<dyn dovado::ToolBackend> =
+        Arc::from(backend_from_spec(&format!("mock:{seed}")).expect("mock spec"));
+    let space = ParameterSpace::new()
+        .with("DEPTH", dovado::cli::parse_domain(DEPTH_SPEC).unwrap())
+        .with("DATA_WIDTH", dovado::cli::parse_domain(WIDTH_SPEC).unwrap());
+    let tool = Dovado::with_backend(
+        vec![HdlSource::new("fifo.sv", Language::SystemVerilog, FIFO_SV)],
+        "fifo_v3",
+        space,
+        EvalConfig::default(),
+        backend,
+    )
+    .unwrap();
+    tool.explore(&DseConfig {
+        algorithm: Nsga2Config {
+            pop_size: 6,
+            seed,
+            ..Nsga2Config::default()
+        },
+        termination: Termination::Generations(generations),
+        metrics: MetricSet::area_frequency(),
+        ..DseConfig::default()
+    })
+    .unwrap()
+}
+
+fn pareto_bits(report: &DseReport) -> Vec<Vec<u64>> {
+    report
+        .pareto
+        .iter()
+        .map(|e| e.values.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+fn done_pareto_bits(done: &Json) -> Vec<Vec<u64>> {
+    done.get("pareto")
+        .and_then(Json::as_arr)
+        .expect("done carries a pareto array")
+        .iter()
+        .map(|entry| {
+            entry
+                .get("bits")
+                .and_then(Json::as_arr)
+                .expect("pareto entry carries bits")
+                .iter()
+                .map(|b| u64::from_str_radix(b.as_str().unwrap(), 16).unwrap())
+                .collect()
+        })
+        .collect()
+}
+
+fn connect(server: &Server, tenant: &str) -> Client {
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    client.hello(tenant).expect("hello");
+    client
+}
+
+#[test]
+fn concurrent_tenants_fold_to_their_standalone_runs() {
+    let mut server = Server::start(ServeConfig {
+        slots: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    // Two tenants, two different jobs, submitted concurrently over
+    // separate connections; storeless so each run is self-contained.
+    let jobs = [(11u64, "alice"), (23u64, "bob")];
+    let handles: Vec<_> = jobs
+        .map(|(seed, tenant)| {
+            let addr = server.addr().to_string();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                client.hello(tenant).unwrap();
+                let spec = fifo_spec(seed, 4, false);
+                let job = client.submit(tenant, 1, &spec).unwrap();
+                let outcome = client.stream_until_done().unwrap();
+                (job, outcome)
+            })
+        })
+        .into_iter()
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for ((seed, _), (job, outcome)) in jobs.iter().zip(&outcomes) {
+        assert_eq!(outcome.status(), "done", "{job}");
+        let direct = direct_report(*seed, 4);
+        let streamed = fold_stream(outcome.lines.iter().map(String::as_str));
+        let oracle = fold_totals(direct.spine.events.iter().map(|(_, e)| e));
+        assert_eq!(
+            streamed, oracle,
+            "{job}: streamed events must fold to the standalone run's totals"
+        );
+        assert_eq!(
+            done_pareto_bits(&outcome.done),
+            pareto_bits(&direct),
+            "{job}: Pareto front must be bitwise identical to the standalone run"
+        );
+        // The canonical stream never carries side-channel events.
+        assert!(
+            !outcome
+                .lines
+                .iter()
+                .any(|l| l.contains("\"store_evicted\"") || l.contains("\"type\":\"worker\"")),
+            "{job}: side-channel events leaked into the canonical stream"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn warm_shared_store_answers_a_repeat_job_with_zero_tool_runs() {
+    let root = tempdir("serve-warm");
+    let mut server = Server::start(ServeConfig {
+        root: Some(root.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    let spec = fifo_spec(7, 3, true);
+    let mut client = connect(&server, "alice");
+    let job = client.submit("alice", 1, &spec).unwrap();
+    let cold = client.stream_until_done().unwrap();
+    assert_eq!(cold.status(), "done", "{job}");
+    let cold_totals = fold_stream(cold.lines.iter().map(String::as_str));
+    assert!(cold_totals.summary.attempts > 0, "cold run calls the tool");
+
+    // Same job, different tenant: every evaluation is a store hit.
+    let mut client = connect(&server, "bob");
+    let job = client.submit("bob", 1, &spec).unwrap();
+    let warm = client.stream_until_done().unwrap();
+    assert_eq!(warm.status(), "done", "{job}");
+    let warm_totals = fold_stream(warm.lines.iter().map(String::as_str));
+    assert_eq!(
+        warm_totals.summary.attempts, 0,
+        "warm run must make zero tool attempts"
+    );
+    assert!(warm_totals.summary.store_hits > 0);
+    assert_eq!(
+        done_pareto_bits(&warm.done),
+        done_pareto_bits(&cold.done),
+        "store answers must reproduce the cold run bit-for-bit"
+    );
+    server.shutdown();
+    rm(&root);
+}
+
+#[test]
+fn differently_seeded_backends_never_share_store_answers() {
+    // `ToolBackend::name` omits the construction seed, so a shared
+    // multi-tenant store must scope its keys by the full backend spec:
+    // a `mock:8` job after a `mock:7` job over the same design must
+    // recompute everything and reproduce its *own* standalone answers.
+    let root = tempdir("serve-seeds");
+    let mut server = Server::start(ServeConfig {
+        root: Some(root.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    let mut client = connect(&server, "alice");
+    client.submit("alice", 1, &fifo_spec(7, 3, true)).unwrap();
+    assert_eq!(client.stream_until_done().unwrap().status(), "done");
+
+    let mut client = connect(&server, "bob");
+    client.submit("bob", 1, &fifo_spec(8, 3, true)).unwrap();
+    let other = client.stream_until_done().unwrap();
+    assert_eq!(other.status(), "done");
+    let totals = fold_stream(other.lines.iter().map(String::as_str));
+    assert_eq!(
+        totals.summary.store_hits, 0,
+        "a differently-seeded backend must never hit the other's entries"
+    );
+    assert!(totals.summary.attempts > 0);
+    assert_eq!(
+        done_pareto_bits(&other.done),
+        pareto_bits(&direct_report(8, 3)),
+        "the seed-8 job must reproduce its own standalone run bit-for-bit"
+    );
+    server.shutdown();
+    rm(&root);
+}
+
+#[test]
+fn forced_eviction_costs_recomputation_never_answers() {
+    let root = tempdir("serve-evict");
+    // A store this small evicts constantly under a multi-generation run.
+    let mut server = Server::start(ServeConfig {
+        root: Some(root.clone()),
+        store_capacity: Some(2),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    let spec = fifo_spec(5, 4, true);
+    let mut client = connect(&server, "alice");
+    client.submit("alice", 1, &spec).unwrap();
+    let bounded = client.stream_until_done().unwrap();
+    assert_eq!(bounded.status(), "done");
+
+    // The run completes with the same answers as a standalone run —
+    // eviction may only ever force recomputation.
+    let direct = direct_report(5, 4);
+    assert_eq!(
+        done_pareto_bits(&bounded.done),
+        pareto_bits(&direct),
+        "eviction must never change answers"
+    );
+    // Evictions happened (side channel), but never entered the stream.
+    let retained = server
+        .store()
+        .map(EvalStore::len)
+        .expect("daemon has a store");
+    assert!(retained <= 2, "store stayed within its bound");
+    assert!(
+        !bounded
+            .lines
+            .iter()
+            .any(|l| l.contains("\"store_evicted\"")),
+        "eviction events must stay out of the canonical stream"
+    );
+    server.shutdown();
+    rm(&root);
+}
+
+#[test]
+fn zero_capacity_store_is_a_config_error() {
+    let root = tempdir("serve-zero");
+    let err = Server::start(ServeConfig {
+        root: Some(root.clone()),
+        store_capacity: Some(0),
+        ..ServeConfig::default()
+    })
+    .err()
+    .expect("Some(0) capacity must be rejected");
+    assert!(
+        err.to_string().contains("store-capacity"),
+        "unexpected error: {err}"
+    );
+    // A rootless daemon fails store-using jobs with a config error.
+    let mut server = Server::start(ServeConfig::default()).unwrap();
+    let mut client = connect(&server, "alice");
+    client.submit("alice", 1, &fifo_spec(1, 2, true)).unwrap();
+    let outcome = client.stream_until_done().unwrap();
+    assert_eq!(outcome.status(), "failed");
+    assert!(
+        outcome
+            .done
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .contains("store"),
+        "failure names the missing store"
+    );
+    server.shutdown();
+    rm(&root);
+}
+
+#[test]
+fn cancellation_lands_at_a_generation_boundary_and_frees_the_slot() {
+    let mut server = Server::start(ServeConfig {
+        slots: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    // A long, slow job: spin keeps each generation long enough that the
+    // cancel lands mid-run.
+    let mut spec = fifo_spec(3, 200, false);
+    spec.backend = "mock:3:spin=2".into();
+    let mut streaming = connect(&server, "alice");
+    let job = streaming.submit("alice", 1, &spec).unwrap();
+
+    // Wait until the run demonstrably makes progress, then cancel from
+    // a second connection.
+    let mut seen_generation = false;
+    let mut lines = Vec::new();
+    while !seen_generation {
+        let line = streaming.read_line().unwrap().expect("stream open");
+        seen_generation = line.contains("\"type\":\"generation\"");
+        lines.push(line);
+    }
+    let mut admin = connect(&server, "admin");
+    admin.cancel(&job).unwrap();
+
+    // The stream ends with a cancelled outcome, well short of the
+    // requested 200 generations.
+    let outcome = streaming.stream_until_done().unwrap();
+    assert_eq!(outcome.status(), "cancelled");
+    let generations = outcome
+        .done
+        .get("generations")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(
+        (1..200).contains(&generations),
+        "cancelled after {generations} generations"
+    );
+
+    // The slot is free again: a short follow-up job completes.
+    let mut next = connect(&server, "bob");
+    next.submit("bob", 1, &fifo_spec(9, 2, false)).unwrap();
+    assert_eq!(next.stream_until_done().unwrap().status(), "done");
+    server.shutdown();
+}
+
+#[test]
+fn reconnect_attaches_and_replays_the_stream() {
+    let mut server = Server::start(ServeConfig::default()).unwrap();
+    let spec = fifo_spec(17, 4, false);
+
+    // First connection submits, reads a few lines, and vanishes.
+    let mut first = connect(&server, "alice");
+    let job = first.submit("alice", 1, &spec).unwrap();
+    let mut early = Vec::new();
+    let mut cut_seq = 0u64;
+    for _ in 0..5 {
+        let line = first.read_line().unwrap().expect("stream open");
+        if let Some((key, _)) = parse_event_line(&line) {
+            cut_seq = cut_seq.max(key.seq);
+        }
+        early.push(line);
+    }
+    drop(first);
+
+    // Reconnect and replay everything; the union of both streams —
+    // dedup'd by key, which fold_stream does — matches the standalone
+    // oracle exactly.
+    let mut second = connect(&server, "alice");
+    second.attach(&job, 0).unwrap();
+    let replay = second.stream_until_done().unwrap();
+    assert_eq!(replay.status(), "done");
+    let all: Vec<&str> = early
+        .iter()
+        .map(String::as_str)
+        .chain(replay.lines.iter().map(String::as_str))
+        .collect();
+    let direct = direct_report(17, 4);
+    let oracle = fold_totals(direct.spine.events.iter().map(|(_, e)| e));
+    assert_eq!(fold_stream(all), oracle);
+    assert_eq!(done_pareto_bits(&replay.done), pareto_bits(&direct));
+
+    // A partial attach honors from_seq: no replayed event sits below it.
+    let mut partial = connect(&server, "alice");
+    partial.attach(&job, cut_seq).unwrap();
+    let tail = partial.stream_until_done().unwrap();
+    for line in &tail.lines {
+        if let Some((key, _)) = parse_event_line(line) {
+            assert!(
+                key.seq >= cut_seq,
+                "attach from_seq={cut_seq} replayed seq {}",
+                key.seq
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn status_reports_jobs_and_tenant_ledgers() {
+    let mut server = Server::start(ServeConfig::default()).unwrap();
+    for (tenant, seed) in [("alice", 2u64), ("bob", 4u64)] {
+        let mut client = connect(&server, tenant);
+        client
+            .submit(tenant, 1, &fifo_spec(seed, 2, false))
+            .unwrap();
+        assert_eq!(client.stream_until_done().unwrap().status(), "done");
+    }
+    let mut admin = connect(&server, "admin");
+    let status = admin.status().unwrap();
+    let jobs = status.get("jobs").and_then(Json::as_arr).unwrap();
+    assert_eq!(jobs.len(), 2);
+    assert!(jobs
+        .iter()
+        .all(|j| j.get("state").and_then(Json::as_str) == Some("done")));
+    let tenants = status.get("tenants").and_then(Json::as_arr).unwrap();
+    let names: Vec<&str> = tenants
+        .iter()
+        .filter_map(|t| t.get("tenant").and_then(Json::as_str))
+        .collect();
+    assert_eq!(names, ["alice", "bob"], "ledger is sorted by tenant");
+    for t in tenants {
+        assert!(t.get("runs").and_then(Json::as_u64).unwrap() > 0);
+        assert!(t.get("tool_time_s").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+    server.shutdown();
+}
+
+/// The totals type re-exported by the crate is what `fold_stream`
+/// returns — this pins the client-side contract at compile time.
+#[allow(dead_code)]
+fn _fold_stream_returns_totals(lines: &[&str]) -> Totals {
+    fold_stream(lines.iter().copied())
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dovado-{tag}-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn rm(dir: &std::path::Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,7 +1,11 @@
 //! Property tests for the persistent evaluation store: a store hit is
 //! bitwise-equivalent to a cold evaluation, serialization round-trips
 //! arbitrary bit patterns exactly, and corruption of any kind reads as a
-//! *miss* — never as a wrong answer.
+//! *miss* — never as a wrong answer. The sharded layout carries the
+//! same contract: legacy flat entries read bitwise-equal to sharded
+//! ones, arbitrary interleavings of puts, gets, compactions, and
+//! capacity evictions can only ever produce misses, and concurrent
+//! readers and writers sharing one store round-trip exactly.
 
 use dovado::persist::{decode_evaluation, encode_evaluation};
 use dovado::{DesignPoint, EvalConfig, Evaluation, Evaluator, HdlSource};
@@ -30,13 +34,17 @@ fn evaluator() -> Evaluator {
     .unwrap()
 }
 
-fn store_in(tag: &str, case: u64) -> EvalStore {
+fn store_dir(tag: &str, case: u64) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "dovado-store-prop-{tag}-{case}-{}",
         std::process::id()
     ));
     let _ = fs::remove_dir_all(&dir);
-    EvalStore::open(&dir).unwrap()
+    dir
+}
+
+fn store_in(tag: &str, case: u64) -> EvalStore {
+    EvalStore::open(&store_dir(tag, case)).unwrap()
 }
 
 /// An evaluation whose every float is an arbitrary 64-bit pattern —
@@ -146,4 +154,173 @@ proptest! {
         let healed = decode_evaluation(&store.get(&key).unwrap()).unwrap();
         prop_assert_eq!(bits_of(&healed), bits_of(&e));
     }
+
+    /// A store whose entries sit in the legacy flat (unsharded) layout
+    /// answers bitwise-identically to the sharded layout, and every
+    /// flat entry a lookup touches is migrated into its shard.
+    #[test]
+    fn legacy_flat_entries_read_bitwise_equal_to_sharded(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dir = store_dir("flat", seed);
+        let store = EvalStore::open(&dir).unwrap();
+        let mut written = Vec::new();
+        for i in 0..4u64 {
+            let key = EvalKey::from_parts(&["flat", &seed.to_string(), &i.to_string()]);
+            let payload = encode_evaluation(&arbitrary_evaluation(&mut rng));
+            store.put(&key, &payload).unwrap();
+            written.push((key, payload));
+        }
+        // Demote every other entry to the pre-shard flat layout.
+        for (key, _) in written.iter().step_by(2) {
+            let sharded = store.entry_path(key);
+            let flat = dir.join(format!("{}.entry", key.hex()));
+            fs::rename(&sharded, &flat).unwrap();
+        }
+        // A fresh open serves both layouts with identical bytes…
+        let reopened = EvalStore::open(&dir).unwrap();
+        for (key, payload) in &written {
+            let found = reopened.get(key);
+            prop_assert_eq!(found.as_ref(), Some(payload));
+        }
+        // …and the flat entries have been migrated into their shards.
+        for (key, _) in &written {
+            prop_assert!(reopened.entry_path(key).exists());
+            prop_assert!(!dir.join(format!("{}.entry", key.hex())).exists());
+        }
+    }
+
+    /// Arbitrary interleavings of puts, gets, compactions, and capacity
+    /// evictions over a tightly bounded store: every lookup is either a
+    /// miss or the exact latest payload written for that key — never a
+    /// wrong answer — and the bound holds throughout.
+    #[test]
+    fn bounded_interleavings_only_ever_miss(seed in 0u64..300) {
+        const CAPACITY: usize = 3;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dir = store_dir("interleave", seed);
+        let store = EvalStore::open_bounded(&dir, Some(CAPACITY)).unwrap();
+        let keys: Vec<EvalKey> = (0..6u64)
+            .map(|i| EvalKey::from_parts(&["mix", &seed.to_string(), &i.to_string()]))
+            .collect();
+        let mut model: Vec<Option<String>> = vec![None; keys.len()];
+        for _ in 0..40 {
+            let k = rng.gen_range(0usize..keys.len());
+            match rng.gen_range(0u32..10) {
+                0..=4 => {
+                    let payload = encode_evaluation(&arbitrary_evaluation(&mut rng));
+                    store.put(&keys[k], &payload).unwrap();
+                    model[k] = Some(payload);
+                }
+                5..=8 => match store.get(&keys[k]) {
+                    // Eviction and capacity pressure may cost a hit…
+                    None => {}
+                    // …but can never change an answer.
+                    Some(found) => {
+                        prop_assert_eq!(Some(&found), model[k].as_ref(),
+                            "lookup returned a value that was never the latest write");
+                    }
+                },
+                _ => {
+                    store.compact().unwrap();
+                }
+            }
+            prop_assert!(store.len() <= CAPACITY, "capacity bound violated");
+        }
+    }
+}
+
+/// Concurrent writers and readers sharing one (unbounded) store: every
+/// read-back is the exact payload its writer stored — shard-level
+/// concurrency never tears or crosses entries.
+#[test]
+fn concurrent_readers_and_writers_round_trip() {
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 25;
+    let dir = store_dir("concurrent", 0);
+    let store = EvalStore::open(&dir).unwrap();
+    let key_of = |t: u64, i: u64| EvalKey::from_parts(&["cc", &t.to_string(), &i.to_string()]);
+    let payload_of = |t: u64, i: u64| {
+        encode_evaluation(&arbitrary_evaluation(&mut StdRng::seed_from_u64(
+            t * 1000 + i,
+        )))
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    store.put(&key_of(t, i), &payload_of(t, i)).unwrap();
+                }
+            })
+        })
+        .collect();
+    // Readers race the writers: a miss means "not written yet", a hit
+    // must be exact.
+    let readers: Vec<_> = (0..2u64)
+        .map(|r| {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(r);
+                for _ in 0..200 {
+                    let t = rng.gen_range(0u64..WRITERS);
+                    let i = rng.gen_range(0u64..PER_WRITER);
+                    if let Some(found) = store.get(&key_of(t, i)) {
+                        assert_eq!(found, payload_of(t, i), "racing read returned wrong bytes");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in writers.into_iter().chain(readers) {
+        h.join().unwrap();
+    }
+    // Quiesced and unbounded: every write is now a hit, bit for bit.
+    for t in 0..WRITERS {
+        for i in 0..PER_WRITER {
+            assert_eq!(store.get(&key_of(t, i)), Some(payload_of(t, i)));
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Concurrent writers against a tightly bounded store: the capacity
+/// bound holds under racing puts, and a post-quiescence compaction pass
+/// leaves only exact answers behind.
+#[test]
+fn concurrent_bounded_writers_never_corrupt() {
+    const CAPACITY: usize = 10;
+    let dir = store_dir("concurrent-bounded", 0);
+    let store = EvalStore::open_bounded(&dir, Some(CAPACITY)).unwrap();
+    let key_of = |t: u64, i: u64| EvalKey::from_parts(&["cb", &t.to_string(), &i.to_string()]);
+    let payload_of = |t: u64, i: u64| {
+        encode_evaluation(&arbitrary_evaluation(&mut StdRng::seed_from_u64(
+            7_000 + t * 1000 + i,
+        )))
+    };
+    let writers: Vec<_> = (0..4u64)
+        .map(|t| {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                for i in 0..25 {
+                    store.put(&key_of(t, i), &payload_of(t, i)).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in writers {
+        h.join().unwrap();
+    }
+    assert!(store.len() <= CAPACITY, "bound violated under racing puts");
+    store.compact().unwrap();
+    assert!(store.len() <= CAPACITY);
+    for t in 0..4u64 {
+        for i in 0..25 {
+            match store.get(&key_of(t, i)) {
+                None => {} // evicted: a miss, which is always allowed
+                Some(found) => assert_eq!(found, payload_of(t, i)),
+            }
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
 }
