@@ -77,7 +77,7 @@ USAGE:
                   --param NAME=<spec>... [--metric <m>,<m>,...]
                   [--generations <n>] [--pop <n>] [--seed <n>]
                   [--surrogate <M>] [--deadline <simulated-s>] [--plot]
-                  [--algorithm nsga2|random|weighted-sum|exhaustive]
+                  [--explorer nsga2|random|wsga|exhaustive|sa|bayes|auto]
                   [--csv <file>] [--jobs <n>] [--workers <n>]
                   [--store <dir>] [--resume <dir>] [--trace-out <file>]
   dovado demo <cv32e40p|corundum|neorv32|tirex>
@@ -90,6 +90,7 @@ USAGE:
                   [--part <part>] [--period <ns>] [--metric <m>,...]
                   [--generations <n>] [--pop <n>] [--seed <n>]
                   [--surrogate <M>] [--backend <spec>] [--no-store]
+                  [--explorer nsga2|random|wsga|exhaustive|sa|bayes|auto]
                   [--trace-out <file>]
   dovado status   --addr <addr>
   dovado shutdown --addr <addr>
@@ -115,15 +116,23 @@ USAGE:
 
   --trace-out writes the run's observability spine — every attempt,
   store hit, generation boundary, and surrogate decision in canonical
-  order — as versioned JSON Lines (schema `dovado-trace` v1). The
+  order — as versioned JSON Lines (schema `dovado-trace` v2). The
   stream is byte-identical for any --jobs value.
+
+  --explorer picks the exploration strategy (--algorithm is an alias):
+  nsga2 (default), random sampling, wsga (weighted-sum GA; aliases
+  weighted-sum, ws), exhaustive enumeration, sa (simulated annealing;
+  alias annealing), bayes (acquisition over the NW surrogate), or auto —
+  portfolio selection that races the candidates on a cheap
+  synthesis-only budget, commits to the winner, and journals the
+  decision so --resume replays it instead of re-racing.
 
   DOVADO_BACKEND=mock runs every tool call on the scripted mock
   backend instead of the simulated Vivado.
 
   serve runs a multi-tenant exploration daemon on a TCP socket speaking
   line-delimited JSON: submit jobs with `dovado submit` (or any client),
-  watch their trace v1 event stream live, and share one sharded,
+  watch their trace v2 event stream live, and share one sharded,
   capacity-bounded evaluation store across tenants (--root; eviction
   under --store-capacity only ever causes re-computation, never wrong
   answers). Slots are granted tenant-fairly by stride scheduling
@@ -597,14 +606,10 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
             "--store-capacity" => store_capacity = Some(parse_store_capacity(value)?),
             "--resume" => resume_dir = Some(value.clone()),
             "--trace-out" => trace_out = Some(value.clone()),
-            "--algorithm" => {
-                explorer = match value.as_str() {
-                    "nsga2" => crate::dse::Explorer::Nsga2,
-                    "random" => crate::dse::Explorer::RandomSearch,
-                    "weighted-sum" | "ws" => crate::dse::Explorer::WeightedSum(None),
-                    "exhaustive" => crate::dse::Explorer::Exhaustive { limit: 100_000 },
-                    other => return Err(format!("--algorithm: unknown explorer `{other}`")),
-                }
+            // `--algorithm` predates the portfolio and stays as an alias.
+            "--explorer" | "--algorithm" => {
+                explorer = crate::dse::Explorer::parse_token(value)
+                    .ok_or_else(|| format!("{flag}: unknown explorer `{value}`"))?
             }
             other => return Err(format!("explore: unknown flag `{other}`")),
         }
@@ -686,6 +691,17 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
 
     let _ = writeln!(out, "{}", report.summary());
+    if let Some(sel) = &report.selection {
+        let race = if sel.candidates.is_empty() {
+            "no race needed".to_string()
+        } else {
+            format!(
+                "{} low-fidelity run(s), {:.1}s",
+                sel.lowfi_runs, sel.lowfi_time_s
+            )
+        };
+        let _ = writeln!(out, "explorer     : {} (auto: {race})", sel.explorer);
+    }
     if let Some(w) = workers {
         let _ = writeln!(
             out,
@@ -852,7 +868,7 @@ fn split_addr(cmd: &str, args: &[String]) -> Result<(String, Vec<String>), Strin
 /// The `submit` subcommand: send one job to a serve daemon, stream its
 /// events to completion, and report the outcome. With `--trace-out`,
 /// the streamed event lines are sorted into canonical key order and
-/// written as a trace v1 file byte-compatible with `explore
+/// written as a trace v2 file byte-compatible with `explore
 /// --trace-out`.
 fn cmd_submit(args: &[String], out: &mut String) -> Result<(), String> {
     use crate::serve::{protocol, Client, JobSpec, Json};
@@ -900,6 +916,11 @@ fn cmd_submit(args: &[String], out: &mut String) -> Result<(), String> {
             "--seed" => spec.seed = value.parse().map_err(|_| "--seed: not a number")?,
             "--surrogate" => {
                 spec.surrogate = Some(value.parse().map_err(|_| "--surrogate: not a number")?);
+            }
+            "--explorer" | "--algorithm" => {
+                crate::dse::Explorer::parse_token(value)
+                    .ok_or_else(|| format!("{flag}: unknown explorer `{value}`"))?;
+                spec.explorer = value.clone();
             }
             "--backend" => spec.backend = value.clone(),
             "--tenant" => tenant = value.clone(),
@@ -1389,7 +1410,7 @@ mod tests {
         let text = std::fs::read_to_string(&eval_trace).unwrap();
         let first = text.lines().next().unwrap();
         assert!(first.contains("\"schema\":\"dovado-trace\""), "{first}");
-        assert!(first.contains("\"version\":1"), "{first}");
+        assert!(first.contains("\"version\":2"), "{first}");
         assert!(text.contains("\"type\":\"attempt\""), "{text}");
 
         let explore_trace = dir.join("explore.jsonl");

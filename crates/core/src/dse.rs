@@ -1,30 +1,56 @@
 //! The Dovado front door: design automation (evaluate given points) and
-//! design space exploration (NSGA-II over a parameter space).
+//! design space exploration (a portfolio of stepwise explorers over a
+//! parameter space).
+//!
+//! Every strategy — NSGA-II, random, weighted-sum GA, exhaustive,
+//! simulated annealing, the Bayesian acquisition loop — implements the
+//! same [`dovado_moo::Explorer`] trait, so one driver loop gives each of
+//! them journaling, generation events, cancellation, `--jobs`/`--workers`
+//! schedules, and `dovado serve`. `--explorer auto` adds learned
+//! selection: problem features decide trivial cases, and otherwise the
+//! candidates race on a cheap synthesis-only budget before the winner is
+//! committed (and journaled, so `--resume` replays the decision bitwise
+//! instead of re-racing).
 
 use crate::backend::ToolBackend;
 use crate::engine::Schedule;
 use crate::error::{DovadoError, DovadoResult};
 use crate::fitness::{DseProblem, FitnessStats};
-use crate::flow::{EvalConfig, Evaluator, HdlSource};
+use crate::flow::{EvalConfig, Evaluator, FlowStep, HdlSource};
 use crate::metrics::{Evaluation, MetricSet};
+use crate::obs::CandidateScore;
 use crate::persist::{self, Journal, PersistConfig, SurrogateJournal};
 use crate::point::DesignPoint;
 use crate::results::{DseReport, ParetoEntry, PointResult};
 use crate::space::ParameterSpace;
 use dovado_eda::{EvalStore, FaultKind};
 use dovado_moo::{
-    exhaustive_search, random_search, weighted_sum_ga, Nsga2Config, Nsga2Engine, OptResult,
-    Termination,
+    AnnealingExplorer, ExhaustiveExplorer, Explorer as EngineExplorer, ExplorerSnapshot,
+    Individual, Nsga2Config, Nsga2Explorer, OptResult, RandomExplorer, Termination, WsgaExplorer,
 };
 use dovado_surrogate::{Dataset, Kernel, SurrogateController, ThresholdPolicy};
 use std::fs;
 use std::sync::Arc;
 
+/// Spaces at most this big are enumerated exactly by `--explorer auto`
+/// instead of racing sampling-based candidates.
+pub const EXHAUSTIVE_AUTO_LIMIT: u64 = 64;
+
+/// Generations each portfolio candidate gets on the low-fidelity budget.
+const RACE_GENERATIONS: u32 = 3;
+
+/// Population/batch size of each portfolio candidate during the race.
+const RACE_POP: usize = 8;
+
+/// Candidate set raced by `--explorer auto`, in canonical order.
+const RACE_CANDIDATES: [&str; 4] = ["nsga2", "random", "sa", "bayes"];
+
 /// Which exploration strategy drives the search.
 ///
 /// The paper uses NSGA-II and surveys alternatives via Panerati et al.
 /// \[12\], planning "an investigation on a run-time choice among various
-/// algorithms" (§V) — this knob is that choice point.
+/// algorithms" (§V) — this knob is that choice point, and
+/// [`Explorer::Auto`] is the run-time choice itself.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub enum Explorer {
     /// NSGA-II (the paper's solver; uses [`DseConfig::algorithm`]).
@@ -41,6 +67,88 @@ pub enum Explorer {
         /// Maximum space volume to accept.
         limit: u64,
     },
+    /// Simulated annealing on the mean of the minimization-space
+    /// objectives, with a geometric cooling schedule.
+    SimulatedAnnealing,
+    /// Bayesian-style acquisition loop over the Nadaraya-Watson
+    /// surrogate ([`crate::bayes::BayesExplorer`]).
+    Bayes,
+    /// Portfolio selection: commit to one of the concrete explorers
+    /// using problem features and a low-fidelity race (see
+    /// [`SelectionRecord`]).
+    Auto,
+}
+
+impl Explorer {
+    /// The canonical name used by the CLI, the journal, and
+    /// [`SelectionRecord::explorer`].
+    pub fn canonical_name(&self) -> &'static str {
+        match self {
+            Explorer::Nsga2 => "nsga2",
+            Explorer::RandomSearch => "random",
+            Explorer::WeightedSum(_) => "wsga",
+            Explorer::Exhaustive { .. } => "exhaustive",
+            Explorer::SimulatedAnnealing => "sa",
+            Explorer::Bayes => "bayes",
+            Explorer::Auto => "auto",
+        }
+    }
+
+    /// Parses a CLI `--explorer` token (aliases included); `None` for an
+    /// unknown token.
+    pub fn parse_token(token: &str) -> Option<Explorer> {
+        Some(match token {
+            "nsga2" => Explorer::Nsga2,
+            "random" => Explorer::RandomSearch,
+            "weighted-sum" | "ws" | "wsga" => Explorer::WeightedSum(None),
+            "exhaustive" => Explorer::Exhaustive { limit: 100_000 },
+            "sa" | "annealing" => Explorer::SimulatedAnnealing,
+            "bayes" => Explorer::Bayes,
+            "auto" => Explorer::Auto,
+            _ => return None,
+        })
+    }
+
+    /// The concrete explorer a journaled selection name maps back to.
+    /// Names are the [`Explorer::canonical_name`]s of non-`Auto`
+    /// variants; `None` for anything else.
+    fn of_selection_name(name: &str) -> Option<Explorer> {
+        Some(match name {
+            "nsga2" => Explorer::Nsga2,
+            "random" => Explorer::RandomSearch,
+            "wsga" => Explorer::WeightedSum(None),
+            "exhaustive" => Explorer::Exhaustive {
+                limit: EXHAUSTIVE_AUTO_LIMIT,
+            },
+            "sa" => Explorer::SimulatedAnnealing,
+            "bayes" => Explorer::Bayes,
+            _ => return None,
+        })
+    }
+}
+
+/// The journaled outcome of one portfolio selection (`--explorer auto`):
+/// which explorer was committed, the problem features that decided it,
+/// the low-fidelity spend, and the per-candidate race scores. Written
+/// into every journal snapshot of an `auto` run so `--resume` replays
+/// the decision instead of re-racing, and emitted onto the spine as
+/// exactly one [`crate::obs::ObsEvent::SelectorDecision`] per run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionRecord {
+    /// Canonical name of the committed explorer.
+    pub explorer: String,
+    /// Parameter-space volume at selection time.
+    pub space_volume: u64,
+    /// Number of optimization objectives.
+    pub objectives: u32,
+    /// Successful low-fidelity (synthesis-only) runs the race spent.
+    pub lowfi_runs: u64,
+    /// Simulated tool seconds the race spent; ledgered separately from
+    /// full-flow spend, so soft deadlines budget only the real flow.
+    pub lowfi_time_s: f64,
+    /// Per-candidate race scores, in canonical race order (empty when a
+    /// problem-feature shortcut decided without racing).
+    pub candidates: Vec<CandidateScore>,
 }
 
 /// Configuration of the fitness-approximation model.
@@ -133,7 +241,7 @@ impl Default for DseConfig {
 /// cancellation and live-streaming hook.
 ///
 /// [`Dovado::explore_monitored`] calls [`on_generation`] after every
-/// completed NSGA-II generation (after the `Generation` event lands on
+/// completed exploration generation (after the `Generation` event lands on
 /// the spine and after any journal write). Returning `false` stops the
 /// run with [`DovadoError::Cancelled`]. Implementations must not emit
 /// onto the spine — monitoring is observation, and a monitored run's
@@ -269,13 +377,14 @@ impl Dovado {
     ///
     /// Evaluations go through the content-addressed store under
     /// `persist.dir/store/` (a warm store answers repeats with zero tool
-    /// runs), and — for the NSGA-II explorer — the full exploration
-    /// state is journaled to `persist.dir/journal.dovado` at every
-    /// `persist.journal_every`-th generation boundary with atomic rename
-    /// and a checksum. With `persist.resume` set, the run restarts from
-    /// the journal and continues bitwise-identically to an uninterrupted
-    /// run (same Pareto front, dataset and fitness counters; only
-    /// wall-clock accounting of already-stored evaluations differs).
+    /// runs), and the full exploration state — whichever explorer runs,
+    /// portfolio selection included — is journaled to
+    /// `persist.dir/journal.dovado` at every `persist.journal_every`-th
+    /// generation boundary with atomic rename and a checksum. With
+    /// `persist.resume` set, the run restarts from the journal and
+    /// continues bitwise-identically to an uninterrupted run (same
+    /// Pareto front, dataset and fitness counters; only wall-clock
+    /// accounting of already-stored evaluations differs).
     pub fn explore_persistent(
         &self,
         cfg: &DseConfig,
@@ -344,12 +453,22 @@ impl Dovado {
             }
         }
         if let Some(p) = persist_cfg.filter(|p| p.resume) {
-            if !matches!(cfg.explorer, Explorer::Nsga2) {
-                return Err(DovadoError::Config(
-                    "resume is only supported for the NSGA-II explorer".into(),
-                ));
+            return self.resume_explore(cfg, p, evaluator, monitor);
+        }
+
+        // Resolve `auto` before anything evaluates: the decision is made
+        // on the low-fidelity budget and lands on the spine (and in
+        // every journal write) so resume never re-races.
+        let (kind, selection) = match &cfg.explorer {
+            Explorer::Auto => {
+                let (kind, record) =
+                    self.select_explorer(cfg, &evaluator, persist_cfg.is_some())?;
+                (kind, Some(record))
             }
-            return self.resume_nsga2(cfg, p, evaluator, monitor);
+            other => (other.clone(), None),
+        };
+        if let Some(record) = &selection {
+            Self::emit_selection(&evaluator, record);
         }
 
         let mut problem = DseProblem::new(
@@ -359,76 +478,301 @@ impl Dovado {
             cfg.surrogate.as_ref(),
         )?;
         problem.schedule = schedule;
+        let engine = self.build_explorer(&kind, cfg, &mut problem)?;
+        let result = self.run_explorer(
+            &mut problem,
+            cfg,
+            &Self::effective_termination(&kind, &cfg.termination),
+            persist_cfg,
+            monitor,
+            selection.as_ref(),
+            engine,
+        )?;
+        self.assemble_report(cfg, &problem, result, selection)
+    }
 
-        let result: OptResult = match &cfg.explorer {
-            Explorer::Nsga2 => {
-                let engine = Nsga2Engine::start(&mut problem, &cfg.algorithm);
-                self.run_nsga2(&mut problem, cfg, persist_cfg, monitor, engine)?
-            }
-            Explorer::RandomSearch => random_search(
-                &mut problem,
-                &cfg.termination,
-                cfg.algorithm.pop_size,
-                cfg.algorithm.seed,
-            ),
+    /// Starts a fresh engine for one concrete explorer kind. The batch
+    /// size (and population size, where the algorithm has one) is
+    /// [`Nsga2Config::pop_size`]; the seed is [`Nsga2Config::seed`].
+    fn build_explorer(
+        &self,
+        kind: &Explorer,
+        cfg: &DseConfig,
+        problem: &mut DseProblem,
+    ) -> DovadoResult<Box<dyn EngineExplorer>> {
+        let batch = cfg.algorithm.pop_size;
+        let seed = cfg.algorithm.seed;
+        Ok(match kind {
+            Explorer::Nsga2 => Box::new(Nsga2Explorer::start(problem, &cfg.algorithm)),
+            Explorer::RandomSearch => Box::new(RandomExplorer::start(&*problem, batch, seed)),
             Explorer::WeightedSum(weights) => {
-                let n = cfg.metrics.len();
-                let w = match weights {
-                    Some(w) => {
-                        if w.len() != n {
-                            return Err(crate::error::DovadoError::Config(format!(
-                                "weighted-sum wants {n} weights, got {}",
-                                w.len()
-                            )));
-                        }
-                        w.clone()
-                    }
-                    None => vec![1.0 / n as f64; n],
-                };
-                weighted_sum_ga(
-                    &mut problem,
-                    &w,
-                    &cfg.termination,
-                    cfg.algorithm.pop_size,
-                    cfg.algorithm.seed,
-                )
+                let w = Self::resolve_weights(weights.as_deref(), cfg.metrics.len())?;
+                Box::new(WsgaExplorer::start(problem, w, batch, seed))
             }
-            Explorer::Exhaustive { limit } => {
-                exhaustive_search(&mut problem, *limit).ok_or_else(|| {
-                    crate::error::DovadoError::Config(format!(
+            Explorer::Exhaustive { limit } => Box::new(
+                ExhaustiveExplorer::start(&*problem, *limit, batch).ok_or_else(|| {
+                    DovadoError::Config(format!(
                         "space volume {} exceeds the exhaustive limit {limit}",
                         self.space.volume()
                     ))
-                })?
+                })?,
+            ),
+            Explorer::SimulatedAnnealing => {
+                Box::new(AnnealingExplorer::start(problem, batch, seed))
             }
-        };
-        self.assemble_report(cfg, &problem, result)
+            Explorer::Bayes => Box::new(crate::bayes::BayesExplorer::start(problem, batch, seed)),
+            Explorer::Auto => {
+                return Err(DovadoError::Config(
+                    "auto must resolve to a concrete explorer before the engine starts".into(),
+                ))
+            }
+        })
     }
 
-    /// The single stepwise NSGA-II driver behind both [`Dovado::explore`]
-    /// and [`Dovado::explore_persistent`]: one start/step loop, with the
-    /// write-ahead journal as optional configuration rather than a
-    /// separate code path. When persistence is on, the full exploration
-    /// state is snapshotted at generation boundaries; the simulated host
-    /// crash is drawn only *after* a snapshot lands durably, so an
-    /// interrupted run always resumes with at least one generation of
-    /// progress — a crash/resume loop terminates even when every boundary
-    /// re-crashes. Without persistence no journal is written and no crash
-    /// is drawn, so the fault stream is consumed identically to earlier
-    /// unjournaled runs.
-    fn run_nsga2(
+    /// Rebuilds an engine from its journaled snapshot. The fingerprint
+    /// already pins the configuration, so a kind mismatch here means a
+    /// hand-edited or cross-wired journal — refuse it.
+    fn resume_explorer(
+        kind: &Explorer,
+        cfg: &DseConfig,
+        problem: &DseProblem,
+        snap: ExplorerSnapshot,
+    ) -> DovadoResult<Box<dyn EngineExplorer>> {
+        let batch = cfg.algorithm.pop_size;
+        Ok(match (kind, snap) {
+            (Explorer::Nsga2, ExplorerSnapshot::Nsga2(s)) => {
+                Box::new(Nsga2Explorer::resume(problem, &cfg.algorithm, s))
+            }
+            (Explorer::RandomSearch, ExplorerSnapshot::Random(s)) => {
+                Box::new(RandomExplorer::resume(problem, batch, s))
+            }
+            (Explorer::WeightedSum(weights), ExplorerSnapshot::WeightedSum(s)) => {
+                let w = Self::resolve_weights(weights.as_deref(), cfg.metrics.len())?;
+                Box::new(WsgaExplorer::resume(problem, w, batch, s))
+            }
+            (Explorer::Exhaustive { .. }, ExplorerSnapshot::Exhaustive(s)) => {
+                Box::new(ExhaustiveExplorer::resume(problem, batch, s))
+            }
+            (Explorer::SimulatedAnnealing, ExplorerSnapshot::Annealing(s)) => {
+                Box::new(AnnealingExplorer::resume(problem, batch, s))
+            }
+            (Explorer::Bayes, ExplorerSnapshot::Bayes(s)) => {
+                Box::new(crate::bayes::BayesExplorer::resume(problem, batch, s))
+            }
+            (kind, snap) => {
+                return Err(DovadoError::Config(format!(
+                    "journal holds `{}` explorer state but the configuration asks for \
+                     `{}`; refusing to resume",
+                    snap.kind(),
+                    kind.canonical_name()
+                )))
+            }
+        })
+    }
+
+    /// Weighted-sum weights with arity validation (`None` = equal).
+    fn resolve_weights(weights: Option<&[f64]>, n: usize) -> DovadoResult<Vec<f64>> {
+        match weights {
+            Some(w) if w.len() != n => Err(DovadoError::Config(format!(
+                "weighted-sum wants {n} weights, got {}",
+                w.len()
+            ))),
+            Some(w) => Ok(w.to_vec()),
+            None => Ok(vec![1.0 / n as f64; n]),
+        }
+    }
+
+    /// Exhaustive runs ignore the configured stop condition: the space
+    /// is enumerated exactly once and exhaustion is the only terminator,
+    /// matching the pre-portfolio `exhaustive_search` semantics.
+    fn effective_termination(kind: &Explorer, termination: &Termination) -> Termination {
+        match kind {
+            Explorer::Exhaustive { .. } => Termination::Generations(u32::MAX),
+            _ => termination.clone(),
+        }
+    }
+
+    /// Emits the portfolio decision onto the main spine.
+    fn emit_selection(evaluator: &Evaluator, record: &SelectionRecord) {
+        evaluator
+            .spine()
+            .emit_next(crate::obs::ObsEvent::SelectorDecision {
+                explorer: record.explorer.clone(),
+                space_volume: record.space_volume,
+                objectives: record.objectives,
+                lowfi_runs: record.lowfi_runs,
+                lowfi_time_s: record.lowfi_time_s,
+                candidates: record.candidates.clone(),
+            });
+    }
+
+    /// Portfolio selection for `--explorer auto`.
+    ///
+    /// Problem features decide the trivial cases: a space no bigger than
+    /// [`EXHAUSTIVE_AUTO_LIMIT`] is enumerated exactly, and a single
+    /// objective goes to the scalarizing GA. Otherwise the candidates in
+    /// [`RACE_CANDIDATES`] race serially for [`RACE_GENERATIONS`]
+    /// generations each on a *low-fidelity* evaluator — the synthesis-only
+    /// degraded flow with a fresh ledger and no store — and the winner by
+    /// common-reference hypervolume (early-slope tie-break) is committed.
+    ///
+    /// The race-window host crash is drawn *before* any probe leg runs:
+    /// a crashed selection leaves the backend exactly as cold as a fresh
+    /// process, so the re-run re-races bitwise. (Drawn only for
+    /// persistent runs, like the generation-boundary crash.)
+    fn select_explorer(
+        &self,
+        cfg: &DseConfig,
+        evaluator: &Evaluator,
+        persistent: bool,
+    ) -> DovadoResult<(Explorer, SelectionRecord)> {
+        let space_volume = self.space.volume();
+        let objectives = cfg.metrics.len() as u32;
+        let shortcut = |name: &str| SelectionRecord {
+            explorer: name.to_string(),
+            space_volume,
+            objectives,
+            lowfi_runs: 0,
+            lowfi_time_s: 0.0,
+            candidates: Vec::new(),
+        };
+        if space_volume <= EXHAUSTIVE_AUTO_LIMIT {
+            return Ok((
+                Explorer::Exhaustive {
+                    limit: EXHAUSTIVE_AUTO_LIMIT,
+                },
+                shortcut("exhaustive"),
+            ));
+        }
+        if objectives == 1 {
+            return Ok((Explorer::WeightedSum(None), shortcut("wsga")));
+        }
+        if persistent {
+            if let Some(injector) = evaluator.injector() {
+                if injector.fires(FaultKind::HostCrash) {
+                    evaluator.spine().emit_next(crate::obs::ObsEvent::Fault {
+                        kind: "host_crash".to_string(),
+                    });
+                    return Err(DovadoError::Interrupted { generation: 0 });
+                }
+            }
+        }
+
+        let probe = evaluator.probe_with_step(FlowStep::Synthesis);
+        let race_cfg = Nsga2Config {
+            pop_size: RACE_POP,
+            ..cfg.algorithm.clone()
+        };
+        let term = Termination::Generations(RACE_GENERATIONS);
+        let mut legs: Vec<(&'static str, u64, Vec<Vec<Individual>>)> = Vec::new();
+        for name in RACE_CANDIDATES {
+            // Each leg gets a fresh problem over the shared probe
+            // evaluator (serial schedule: the race is always bitwise,
+            // whatever `--jobs`/`--workers` the main run uses).
+            let mut p =
+                DseProblem::new(probe.clone(), self.space.clone(), cfg.metrics.clone(), None)?;
+            let mut engine: Box<dyn EngineExplorer> = match name {
+                "nsga2" => Box::new(Nsga2Explorer::start(&mut p, &race_cfg)),
+                "random" => Box::new(RandomExplorer::start(&p, RACE_POP, race_cfg.seed)),
+                "sa" => Box::new(AnnealingExplorer::start(&mut p, RACE_POP, race_cfg.seed)),
+                _ => Box::new(crate::bayes::BayesExplorer::start(
+                    &mut p,
+                    RACE_POP,
+                    race_cfg.seed,
+                )),
+            };
+            let mut fronts = vec![engine.front()];
+            while !engine.should_stop(&p, &term) {
+                engine.step(&mut p);
+                fronts.push(engine.front());
+            }
+            legs.push((name, engine.evaluations(), fronts));
+        }
+
+        // One reference point dominated by every probed objective vector
+        // makes the hypervolumes comparable across candidates.
+        let mut reference = vec![f64::NEG_INFINITY; cfg.metrics.len()];
+        for (_, _, fronts) in &legs {
+            for ind in fronts.iter().flatten() {
+                for (r, v) in reference.iter_mut().zip(&ind.min_objs) {
+                    *r = r.max(*v);
+                }
+            }
+        }
+        for r in &mut reference {
+            *r = if r.is_finite() { *r + 1.0 } else { 1.0 };
+        }
+        let candidates: Vec<CandidateScore> = legs
+            .iter()
+            .map(|(name, evaluations, fronts)| {
+                let hv: Vec<f64> = fronts
+                    .iter()
+                    .map(|f| dovado_moo::metrics::hypervolume_of(f, &reference))
+                    .collect();
+                let first = hv.first().copied().unwrap_or(0.0);
+                let last = hv.last().copied().unwrap_or(0.0);
+                let slope = if hv.len() > 1 {
+                    (last - first) / (hv.len() - 1) as f64
+                } else {
+                    0.0
+                };
+                CandidateScore {
+                    name: name.to_string(),
+                    evaluations: *evaluations,
+                    hypervolume: last,
+                    slope,
+                }
+            })
+            .collect();
+        let mut best = 0;
+        for (i, c) in candidates.iter().enumerate().skip(1) {
+            let b = &candidates[best];
+            if c.hypervolume > b.hypervolume
+                || (c.hypervolume == b.hypervolume && c.slope > b.slope)
+            {
+                best = i;
+            }
+        }
+        let chosen = candidates[best].name.clone();
+        let kind = Explorer::of_selection_name(&chosen).expect("race candidates are canonical");
+        let record = SelectionRecord {
+            explorer: chosen,
+            space_volume,
+            objectives,
+            lowfi_runs: probe.total_runs(),
+            lowfi_time_s: probe.total_tool_time(),
+            candidates,
+        };
+        Ok((kind, record))
+    }
+
+    /// The single stepwise driver behind every explorer and both
+    /// [`Dovado::explore`] and [`Dovado::explore_persistent`]: one
+    /// start/step loop, with the write-ahead journal as optional
+    /// configuration rather than a separate code path. When persistence
+    /// is on, the full exploration state is snapshotted at generation
+    /// boundaries; the simulated host crash is drawn only *after* a
+    /// snapshot lands durably, so an interrupted run always resumes with
+    /// at least one generation of progress — a crash/resume loop
+    /// terminates even when every boundary re-crashes. Without
+    /// persistence no journal is written and no crash is drawn, so the
+    /// fault stream is consumed identically to earlier unjournaled runs.
+    #[allow(clippy::too_many_arguments)]
+    fn run_explorer(
         &self,
         problem: &mut DseProblem,
         cfg: &DseConfig,
+        termination: &Termination,
         persist_cfg: Option<&PersistConfig>,
         monitor: Option<&dyn ExploreMonitor>,
-        mut engine: Nsga2Engine,
+        selection: Option<&SelectionRecord>,
+        mut engine: Box<dyn EngineExplorer>,
     ) -> DovadoResult<OptResult> {
         let fingerprint = persist_cfg.map(|_| self.persist_fingerprint(cfg));
         loop {
-            if engine.should_stop(&*problem, &cfg.termination) {
+            if engine.should_stop(&*problem, termination) {
                 if let (Some(p), Some(f)) = (persist_cfg, &fingerprint) {
-                    let journal = Self::journal_of(problem, &engine, f, true);
+                    let journal = Self::journal_of(problem, engine.as_ref(), selection, f, true);
                     persist::write_journal(&p.journal_path(), &journal)?;
                 }
                 break;
@@ -443,7 +787,7 @@ impl Dovado {
                 });
             if let (Some(p), Some(f)) = (persist_cfg, &fingerprint) {
                 if engine.generation().is_multiple_of(p.journal_every.max(1)) {
-                    let journal = Self::journal_of(problem, &engine, f, false);
+                    let journal = Self::journal_of(problem, engine.as_ref(), selection, f, false);
                     persist::write_journal(&p.journal_path(), &journal)?;
                     if let Some(injector) = problem.evaluator().injector() {
                         if injector.fires(FaultKind::HostCrash) {
@@ -474,8 +818,12 @@ impl Dovado {
         Ok(engine.into_result())
     }
 
-    /// Restarts an NSGA-II run from its journal.
-    fn resume_nsga2(
+    /// Restarts any explorer's run from its journal. An `auto` run's
+    /// journaled [`SelectionRecord`] replays the portfolio decision —
+    /// the resumed process commits to the same explorer without
+    /// re-racing, and re-emits the decision event (with its low-fidelity
+    /// spend) exactly when this spine hasn't already seen one.
+    fn resume_explore(
         &self,
         cfg: &DseConfig,
         persist_cfg: &PersistConfig,
@@ -516,6 +864,28 @@ impl Dovado {
                 ))
             }
         };
+        let (kind, selection) = match &cfg.explorer {
+            Explorer::Auto => {
+                let record = journal.selection.clone().ok_or_else(|| {
+                    DovadoError::Config(
+                        "auto journal carries no selection record; cannot resume".into(),
+                    )
+                })?;
+                let kind = Explorer::of_selection_name(&record.explorer).ok_or_else(|| {
+                    DovadoError::Config(format!(
+                        "journaled selection names unknown explorer `{}`",
+                        record.explorer
+                    ))
+                })?;
+                (kind, Some(record))
+            }
+            other => (other.clone(), journal.selection.clone()),
+        };
+        if let Some(record) = &selection {
+            if evaluator.spine().totals().decisions == 0 {
+                Self::emit_selection(&evaluator, record);
+            }
+        }
         // Splice the journaled spend into this process's spine as one
         // `Resume` event carrying only the *deficit* per counter, so a
         // soft deadline keeps meaning "whole run", not "since restart",
@@ -552,15 +922,23 @@ impl Dovado {
             journal.stats,
         );
         problem.schedule = Self::schedule_of(cfg)?;
-        let engine = Nsga2Engine::resume(&problem, &cfg.algorithm, journal.snapshot);
+        let engine = Self::resume_explorer(&kind, cfg, &problem, journal.snapshot)?;
         let result = if journal.complete {
             // The run had already terminated when the journal was
             // written; re-deriving the result is pure.
             engine.into_result()
         } else {
-            self.run_nsga2(&mut problem, cfg, Some(persist_cfg), monitor, engine)?
+            self.run_explorer(
+                &mut problem,
+                cfg,
+                &Self::effective_termination(&kind, &cfg.termination),
+                Some(persist_cfg),
+                monitor,
+                selection.as_ref(),
+                engine,
+            )?
         };
-        self.assemble_report(cfg, &problem, result)
+        self.assemble_report(cfg, &problem, result, selection)
     }
 
     /// The batch [`Schedule`] a configuration asks for, with both pool
@@ -601,7 +979,8 @@ impl Dovado {
     /// Captures the whole exploration state at a generation boundary.
     fn journal_of(
         problem: &DseProblem,
-        engine: &Nsga2Engine,
+        engine: &dyn EngineExplorer,
+        selection: Option<&SelectionRecord>,
         fingerprint: &str,
         complete: bool,
     ) -> Journal {
@@ -621,6 +1000,7 @@ impl Dovado {
             runs: problem.evaluator().total_runs(),
             stats: problem.stats,
             snapshot: engine.snapshot(),
+            selection: selection.cloned(),
             surrogate,
         }
     }
@@ -630,6 +1010,7 @@ impl Dovado {
         cfg: &DseConfig,
         problem: &DseProblem,
         result: OptResult,
+        selection: Option<SelectionRecord>,
     ) -> DovadoResult<DseReport> {
         let mut pareto = Vec::with_capacity(result.pareto.len());
         for ind in result.sorted_pareto() {
@@ -662,6 +1043,7 @@ impl Dovado {
             spine,
             tool_time_s: self.evaluator.total_tool_time(),
             history: result.history,
+            selection,
         })
     }
 }
@@ -877,9 +1259,158 @@ endmodule"#;
         assert!(d
             .explore(&DseConfig {
                 explorer: Explorer::Exhaustive { limit: 10 },
-                ..base
+                ..base.clone()
             })
             .is_err());
+        // Simulated annealing.
+        let sa = d
+            .explore(&DseConfig {
+                explorer: Explorer::SimulatedAnnealing,
+                ..base.clone()
+            })
+            .unwrap();
+        assert!(!sa.pareto.is_empty());
+        assert!(sa.evaluations >= 30);
+        // Bayesian acquisition.
+        let bayes = d
+            .explore(&DseConfig {
+                explorer: Explorer::Bayes,
+                ..base
+            })
+            .unwrap();
+        assert!(!bayes.pareto.is_empty());
+        assert!(bayes.evaluations >= 30);
+    }
+
+    #[test]
+    fn every_concrete_explorer_journals_and_resumes_bitwise() {
+        for explorer in [
+            Explorer::Nsga2,
+            Explorer::RandomSearch,
+            Explorer::WeightedSum(None),
+            Explorer::Exhaustive { limit: 200 },
+            Explorer::SimulatedAnnealing,
+            Explorer::Bayes,
+        ] {
+            let tag = format!("kind-{}", explorer.canonical_name());
+            let dir = persist_dir(&tag);
+            let cfg = DseConfig {
+                explorer,
+                ..small_cfg()
+            };
+            let persist_cfg = PersistConfig::new(&dir);
+            let cold = dovado().explore_persistent(&cfg, &persist_cfg).unwrap();
+            let resume_cfg = PersistConfig {
+                resume: true,
+                ..PersistConfig::new(&dir)
+            };
+            let resumed = dovado().explore_persistent(&cfg, &resume_cfg).unwrap();
+            assert_eq!(resumed.generations, cold.generations, "{cfg:?}");
+            assert_eq!(resumed.evaluations, cold.evaluations, "{cfg:?}");
+            assert_eq!(resumed.pareto.len(), cold.pareto.len(), "{cfg:?}");
+            for (a, b) in cold.pareto.iter().zip(&resumed.pareto) {
+                assert_eq!(a.point, b.point);
+                for (x, y) in a.values.iter().zip(&b.values) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn auto_races_commits_and_replays_without_re_racing() {
+        // The 128-point space with 3 objectives is past both shortcuts,
+        // so `auto` runs the low-fidelity race.
+        let dir = persist_dir("auto");
+        let cfg = DseConfig {
+            explorer: Explorer::Auto,
+            ..small_cfg()
+        };
+        let persist_cfg = PersistConfig::new(&dir);
+        let cold = dovado().explore_persistent(&cfg, &persist_cfg).unwrap();
+        let sel = cold.selection.clone().expect("auto must record a decision");
+        assert_eq!(sel.space_volume, 128);
+        assert_eq!(sel.objectives, 3);
+        assert_eq!(sel.candidates.len(), 4, "all candidates raced");
+        assert!(sel.lowfi_runs > 0, "race must spend low-fidelity runs");
+        assert!(sel.lowfi_time_s > 0.0);
+        assert!(
+            sel.candidates.iter().any(|c| c.name == sel.explorer),
+            "winner comes from the raced set"
+        );
+        // The decision landed on the spine exactly once, with the race
+        // charged to the low-fidelity ledger, not the full-flow one.
+        assert_eq!(cold.spine.lowfi_runs, sel.lowfi_runs);
+        assert_eq!(
+            cold.spine.lowfi_time_s.to_bits(),
+            sel.lowfi_time_s.to_bits()
+        );
+
+        // Resume replays the journaled decision: identical record, and
+        // not a single extra low-fidelity run.
+        let resume_cfg = PersistConfig {
+            resume: true,
+            ..PersistConfig::new(&dir)
+        };
+        let resumed = dovado().explore_persistent(&cfg, &resume_cfg).unwrap();
+        assert_eq!(resumed.selection.as_ref(), Some(&sel));
+        assert_eq!(resumed.spine.lowfi_runs, sel.lowfi_runs, "no re-race");
+        assert_eq!(resumed.generations, cold.generations);
+        assert_eq!(resumed.pareto.len(), cold.pareto.len());
+        for (a, b) in cold.pareto.iter().zip(&resumed.pareto) {
+            assert_eq!(a.point, b.point);
+            for (x, y) in a.values.iter().zip(&b.values) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn auto_shortcuts_small_spaces_and_single_objectives() {
+        // 32 points ≤ EXHAUSTIVE_AUTO_LIMIT → exact enumeration, no race.
+        let small = Dovado::new(
+            vec![HdlSource::new(
+                "fifo.sv",
+                dovado_hdl::Language::SystemVerilog,
+                FIFO_SV,
+            )],
+            "fifo_v3",
+            ParameterSpace::new().with(
+                "DEPTH",
+                Domain::Range {
+                    lo: 2,
+                    hi: 64,
+                    step: 2,
+                },
+            ),
+            EvalConfig::default(),
+        )
+        .unwrap();
+        let r = small
+            .explore(&DseConfig {
+                explorer: Explorer::Auto,
+                ..small_cfg()
+            })
+            .unwrap();
+        let sel = r.selection.unwrap();
+        assert_eq!(sel.explorer, "exhaustive");
+        assert_eq!(sel.lowfi_runs, 0, "shortcuts never race");
+        assert!(sel.candidates.is_empty());
+        assert_eq!(r.evaluations, 32, "the whole space is enumerated");
+
+        // One objective → the scalarizing GA, no race.
+        let r1 = dovado()
+            .explore(&DseConfig {
+                explorer: Explorer::Auto,
+                metrics: MetricSet::new(vec![Metric::Fmax]),
+                ..small_cfg()
+            })
+            .unwrap();
+        let sel1 = r1.selection.unwrap();
+        assert_eq!(sel1.explorer, "wsga");
+        assert_eq!(sel1.lowfi_runs, 0);
     }
 
     fn persist_dir(tag: &str) -> std::path::PathBuf {
@@ -987,7 +1518,7 @@ endmodule"#;
             .unwrap_err();
         assert!(err.to_string().contains("fingerprint"), "{err}");
 
-        // Resume is NSGA-II only.
+        // A different explorer → different fingerprint → refuse.
         let rs = DseConfig {
             explorer: Explorer::RandomSearch,
             ..small_cfg()

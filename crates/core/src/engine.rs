@@ -575,6 +575,46 @@ impl EvalEngine {
         })
     }
 
+    /// Builds a low-fidelity sibling engine for portfolio racing: the same
+    /// parsed sources, module and *backend instance*, but with the flow
+    /// truncated to `step` (synthesis-only is the simulator's degraded
+    /// mode — cheap, correlated signal before paying for full
+    /// place-and-route). The probe gets a fresh event spine and a fresh
+    /// incremental-flow ledger and never attaches a store, so probe
+    /// evaluations are invisible to the parent's canonical trace and
+    /// persistent store; the caller decides what (if anything) to charge
+    /// back — the portfolio selector folds the probe totals into one
+    /// `SelectorDecision` event.
+    pub fn probe_with_step(&self, step: FlowStep) -> EvalEngine {
+        let ctx = &self.pipeline.next.next.ctx;
+        let probe_ctx = Arc::new(FlowContext {
+            sources: ctx.sources.clone(),
+            package_flags: ctx.package_flags.clone(),
+            module: ctx.module.clone(),
+            config: EvalConfig {
+                step,
+                ..ctx.config.clone()
+            },
+        });
+        let ledger = Ledger::new();
+        let bus = EventBus::new();
+        EvalEngine {
+            pipeline: StoreLayer {
+                store: None,
+                bus: bus.clone(),
+                next: RetryLayer {
+                    bus,
+                    ledger: ledger.clone(),
+                    next: AttemptLayer {
+                        ctx: probe_ctx,
+                        backend: self.pipeline.next.next.backend.clone(),
+                        ledger,
+                    },
+                },
+            },
+        }
+    }
+
     /// Attaches a persistent evaluation store as the pipeline's outermost
     /// layer. Subsequent evaluations first look up the point's
     /// content-addressed key — a hit returns the stored metrics bitwise,

@@ -189,6 +189,15 @@ impl Evaluator {
         &self.engine
     }
 
+    /// A low-fidelity sibling evaluator with the flow truncated to `step`
+    /// — same backend instance, fresh trace spine, no store. See
+    /// [`EvalEngine::probe_with_step`](crate::engine::EvalEngine::probe_with_step).
+    pub fn probe_with_step(&self, step: FlowStep) -> Evaluator {
+        Evaluator {
+            engine: self.engine.probe_with_step(step),
+        }
+    }
+
     /// Attaches a persistent evaluation store. Subsequent evaluations
     /// first look up the point's content-addressed key — a hit returns
     /// the stored metrics bitwise, with zero tool runs, zero attempts

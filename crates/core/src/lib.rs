@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod bayes;
 pub mod boxing;
 pub mod casestudies;
 pub mod cli;
@@ -56,16 +57,17 @@ pub mod worker;
 pub use backend::{
     MockBackend, RemoteBackend, SimBackend, ToolBackend, ToolSession, WorkerLifecycle,
 };
+pub use bayes::BayesExplorer;
 pub use boxing::{generate_box, BoxedDesign, BOX_CLOCK, BOX_INSTANCE, BOX_TOP};
-pub use dse::{Dovado, DseConfig, SurrogateConfig};
+pub use dse::{Dovado, DseConfig, SelectionRecord, SurrogateConfig, EXHAUSTIVE_AUTO_LIMIT};
 pub use engine::{validate_jobs, validate_workers, EvalEngine, Schedule};
 pub use error::{DovadoError, DovadoResult, ErrorClass};
 pub use fitness::{DseProblem, FitnessStats};
 pub use flow::{EvalConfig, Evaluator, FlowStep, HdlSource, RetryPolicy};
 pub use metrics::{fmax_mhz, Evaluation, Metric, MetricSet};
 pub use obs::{
-    fold_totals, write_jsonl, EventBus, EventKey, EventSink, MemorySink, ObsEvent, SpineSnapshot,
-    Totals, EVENT_SCHEMA_VERSION,
+    fold_totals, write_jsonl, CandidateScore, EventBus, EventKey, EventSink, MemorySink, ObsEvent,
+    SpineSnapshot, Totals, EVENT_SCHEMA_VERSION,
 };
 pub use persist::{PersistConfig, JOURNAL_FORMAT_VERSION};
 pub use point::DesignPoint;

@@ -37,7 +37,11 @@ use std::sync::Arc;
 
 /// Version tag written in the JSONL header line. Bump on any change to
 /// the event wire format (field names, event types, value encodings).
-pub const EVENT_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: added the `selector_decision` event (portfolio selection) and the
+/// `lowfi_runs`/`lowfi_time_s` summary fields (low-fidelity race spend,
+/// ledgered separately from full-flow tool time).
+pub const EVENT_SCHEMA_VERSION: u32 = 2;
 
 /// Cap on retained events per bus. Totals keep counting past it; the
 /// canonically-largest keys are dropped first so serial and parallel
@@ -87,12 +91,33 @@ pub enum ObsEvent {
         /// Simulated tool seconds carried over.
         tool_time_s: f64,
     },
-    /// An NSGA-II generation boundary.
+    /// An exploration generation boundary (any explorer).
     Generation {
         /// 1-based index of the generation just completed.
         generation: u64,
         /// Cumulative fitness evaluations after this generation.
         evaluations: u64,
+    },
+    /// The portfolio selector committed to an explorer (`--explorer
+    /// auto`): problem features, the low-fidelity race spend, and every
+    /// candidate's score. Exactly one per auto run; `--resume` re-emits
+    /// the journaled decision instead of re-racing, so replayed traces
+    /// stay bitwise-identical.
+    SelectorDecision {
+        /// The committed explorer (`nsga2`, `random`, …).
+        explorer: String,
+        /// Design-space volume feature (product of cardinalities).
+        space_volume: u64,
+        /// Objective-count feature.
+        objectives: u32,
+        /// Successful low-fidelity (synthesis-only) tool runs spent on
+        /// the race, across all candidates.
+        lowfi_runs: u64,
+        /// Simulated tool seconds spent on the race, ledgered separately
+        /// from full-flow `tool_time_s`.
+        lowfi_time_s: f64,
+        /// Per-candidate race outcomes, in race order.
+        candidates: Vec<CandidateScore>,
     },
     /// A surrogate control decision for one batch slot.
     SurrogateDecision {
@@ -143,6 +168,21 @@ pub enum ObsEvent {
     },
 }
 
+/// One candidate's outcome in a portfolio-selection race.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateScore {
+    /// Explorer name (`nsga2`, `random`, `sa`, `bayes`).
+    pub name: String,
+    /// Low-fidelity evaluations the candidate spent on its race budget.
+    pub evaluations: u64,
+    /// Hypervolume of the candidate's final race front against the
+    /// common reference point.
+    pub hypervolume: f64,
+    /// Early hypervolume slope: mean per-generation hypervolume gain
+    /// over the race (the learned-selection feature).
+    pub slope: f64,
+}
+
 /// Exact whole-run totals, maintained incrementally by the bus and
 /// recomputable from scratch with [`fold_totals`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -154,6 +194,16 @@ pub struct Totals {
     /// Cumulative simulated tool seconds: attempts (failed ones too),
     /// retry backoff, charged time, and resume splices.
     pub tool_time_s: f64,
+    /// Successful low-fidelity (synthesis-only) tool runs spent by the
+    /// portfolio selector's race; ledgered separately from `runs`.
+    pub lowfi_runs: u64,
+    /// Simulated tool seconds spent by the race; ledgered separately from
+    /// `tool_time_s` so a soft deadline budgets only full-flow spend.
+    pub lowfi_time_s: f64,
+    /// Portfolio-selection decisions seen by this spine. A resumed run
+    /// re-emits its journaled decision only when this is still zero, so
+    /// the decision lands exactly once per run, process restarts included.
+    pub decisions: u64,
 }
 
 impl Totals {
@@ -197,6 +247,15 @@ impl Totals {
                 self.runs += runs;
                 self.tool_time_s += tool_time_s;
             }
+            ObsEvent::SelectorDecision {
+                lowfi_runs,
+                lowfi_time_s,
+                ..
+            } => {
+                self.lowfi_runs += lowfi_runs;
+                self.lowfi_time_s += lowfi_time_s;
+                self.decisions += 1;
+            }
             ObsEvent::Generation { .. }
             | ObsEvent::SurrogateDecision { .. }
             | ObsEvent::Reselected { .. }
@@ -232,6 +291,11 @@ pub struct SpineSnapshot {
     pub runs: u64,
     /// Exact whole-run simulated tool seconds.
     pub tool_time_s: f64,
+    /// Exact whole-run low-fidelity race runs (see [`Totals::lowfi_runs`]).
+    pub lowfi_runs: u64,
+    /// Exact whole-run low-fidelity race seconds (see
+    /// [`Totals::lowfi_time_s`]).
+    pub lowfi_time_s: f64,
     /// Events evicted by the retention cap (counted, not retained).
     pub dropped: u64,
 }
@@ -354,6 +418,8 @@ impl EventBus {
             summary: inner.totals.summary,
             runs: inner.totals.runs,
             tool_time_s: inner.totals.tool_time_s,
+            lowfi_runs: inner.totals.lowfi_runs,
+            lowfi_time_s: inner.totals.lowfi_time_s,
             dropped: inner.dropped,
         }
     }
@@ -427,7 +493,7 @@ pub fn trace_header() -> String {
     format!("{{\"schema\":\"dovado-trace\",\"version\":{EVENT_SCHEMA_VERSION}}}")
 }
 
-/// Renders one event as its canonical trace v1 JSON line (no trailing
+/// Renders one event as its canonical trace v2 JSON line (no trailing
 /// newline). [`write_jsonl`] uses this for every event line; the serve
 /// protocol reuses it to stream live events in the same wire format.
 pub fn event_json(key: EventKey, event: &ObsEvent) -> String {
@@ -501,6 +567,36 @@ pub fn event_json(key: EventKey, event: &ObsEvent) -> String {
                  \"evaluations\":{evaluations}}}"
             )
         }
+        ObsEvent::SelectorDecision {
+            explorer,
+            space_volume,
+            objectives,
+            lowfi_runs,
+            lowfi_time_s,
+            candidates,
+        } => {
+            let cands: Vec<String> = candidates
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{{\"name\":\"{}\",\"evaluations\":{},\"hypervolume\":{},\"slope\":{}}}",
+                        json_escape(&c.name),
+                        c.evaluations,
+                        json_f64(c.hypervolume),
+                        json_f64(c.slope)
+                    )
+                })
+                .collect();
+            format!(
+                "{head},\"type\":\"selector_decision\",\"explorer\":\"{}\",\
+                 \"space_volume\":{space_volume},\"objectives\":{objectives},\
+                 \"lowfi_runs\":{lowfi_runs},\"lowfi_time_s\":{},\
+                 \"candidates\":[{}]}}",
+                json_escape(explorer),
+                json_f64(*lowfi_time_s),
+                cands.join(",")
+            )
+        }
         ObsEvent::SurrogateDecision { point, choice } => {
             format!(
                 "{head},\"type\":\"surrogate_decision\",\"point\":\"{}\",\"choice\":\"{choice}\"}}",
@@ -559,7 +655,7 @@ pub fn write_jsonl(snapshot: &SpineSnapshot, out: &mut dyn io::Write) -> io::Res
     writeln!(out, "{}", summary_json(&t, snapshot.dropped))
 }
 
-/// Renders the trailing trace v1 summary object for `totals` (no
+/// Renders the trailing trace v2 summary object for `totals` (no
 /// trailing newline). Streamed protocols reuse this so a live session
 /// ends with exactly the line a `--trace-out` file would.
 pub fn summary_json(totals: &Totals, dropped: u64) -> String {
@@ -567,7 +663,8 @@ pub fn summary_json(totals: &Totals, dropped: u64) -> String {
         "{{\"type\":\"summary\",\"attempts\":{},\"retries\":{},\
          \"transient_failures\":{},\"permanent_failures\":{},\
          \"cache_hits\":{},\"store_hits\":{},\"backoff_s\":{},\
-         \"runs\":{},\"tool_time_s\":{},\"dropped\":{}}}",
+         \"runs\":{},\"tool_time_s\":{},\"lowfi_runs\":{},\
+         \"lowfi_time_s\":{},\"dropped\":{}}}",
         totals.summary.attempts,
         totals.summary.retries,
         totals.summary.transient_failures,
@@ -577,6 +674,8 @@ pub fn summary_json(totals: &Totals, dropped: u64) -> String {
         json_f64(totals.summary.backoff_s),
         totals.runs,
         json_f64(totals.tool_time_s),
+        totals.lowfi_runs,
+        json_f64(totals.lowfi_time_s),
         dropped
     )
 }
@@ -687,7 +786,7 @@ mod tests {
         let text = jsonl_string(&bus.snapshot());
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3, "{text}");
-        assert_eq!(lines[0], "{\"schema\":\"dovado-trace\",\"version\":1}");
+        assert_eq!(lines[0], "{\"schema\":\"dovado-trace\",\"version\":2}");
         assert!(lines[1].contains("\\\"q\\\""), "{}", lines[1]);
         assert!(lines[1].contains("tool\\ncrashed"), "{}", lines[1]);
         assert!(
@@ -698,6 +797,44 @@ mod tests {
         for line in &lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn selector_decision_feeds_the_lowfi_ledger() {
+        let bus = EventBus::new();
+        bus.emit_next(ObsEvent::SelectorDecision {
+            explorer: "nsga2".into(),
+            space_volume: 128,
+            objectives: 3,
+            lowfi_runs: 96,
+            lowfi_time_s: 42.5,
+            candidates: vec![CandidateScore {
+                name: "nsga2".into(),
+                evaluations: 32,
+                hypervolume: 1.5,
+                slope: 0.25,
+            }],
+        });
+        let t = bus.totals();
+        // Charged separately: the race never touches the full-flow ledger.
+        assert_eq!(t.runs, 0);
+        assert_eq!(t.tool_time_s, 0.0);
+        assert_eq!(t.lowfi_runs, 96);
+        assert_eq!(t.lowfi_time_s, 42.5);
+        let snap = bus.snapshot();
+        assert_eq!(snap.lowfi_runs, 96);
+        let text = jsonl_string(&snap);
+        let line = text.lines().nth(1).unwrap();
+        assert!(line.contains("\"type\":\"selector_decision\""), "{line}");
+        assert!(line.contains("\"explorer\":\"nsga2\""), "{line}");
+        assert!(line.contains("\"space_volume\":128"), "{line}");
+        assert!(
+            line.contains("\"candidates\":[{\"name\":\"nsga2\""),
+            "{line}"
+        );
+        let summary = text.lines().last().unwrap();
+        assert!(summary.contains("\"lowfi_runs\":96"), "{summary}");
+        assert!(summary.contains("\"lowfi_time_s\":42.5"), "{summary}");
     }
 
     #[test]

@@ -11,12 +11,14 @@
 //!   a single tool run; a corrupt or version-mismatched entry reads as a
 //!   *miss*, never as a wrong answer.
 //! * `journal.dovado` — a snapshot of the whole exploration state at a
-//!   generation boundary: NSGA-II engine (population, archive, history,
-//!   raw RNG state), fitness counters, the simulated-time ledger, and —
-//!   when the approximation model is on — the surrogate dataset,
-//!   selected bandwidth, Γ, and the amortized-reselection phase.
-//!   `explore --resume` rebuilds the run from this snapshot and
-//!   continues bitwise-identically.
+//!   generation boundary: the explorer engine (a tagged
+//!   [`ExplorerSnapshot`]: population/archive/history, raw RNG state,
+//!   enumeration cursor or annealing temperature as the kind demands),
+//!   fitness counters, the simulated-time ledger, the portfolio
+//!   selection of an `--explorer auto` run, and — when the approximation
+//!   model is on — the surrogate dataset, selected bandwidth, Γ, and the
+//!   amortized-reselection phase. `explore --resume` rebuilds the run
+//!   from this snapshot and continues bitwise-identically.
 //!
 //! Both artifacts use the checksummed envelope and atomic-rename
 //! discipline of [`dovado_eda::store`]; floats are serialized as exact
@@ -30,7 +32,10 @@ use crate::metrics::Evaluation;
 use dovado_eda::store::{atomic_write, decode_checked, encode_checked};
 use dovado_eda::EvalKey;
 use dovado_fpga::{ResourceKind, ResourceSet};
-use dovado_moo::{GenStats, Individual, Nsga2Snapshot};
+use dovado_moo::{
+    AnnealingSnapshot, BayesSnapshot, ExhaustiveSnapshot, ExplorerSnapshot, GenStats, Individual,
+    Nsga2Snapshot, RandomSnapshot, WsgaSnapshot,
+};
 use dovado_surrogate::ControlStats;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -38,8 +43,10 @@ use std::path::{Path, PathBuf};
 /// Journal format version. Bump on any change to the journal payload
 /// layout; old journals then refuse to resume instead of misparsing.
 /// (v2 added the `trace` line: trace counters + successful runs, so
-/// resume can splice whole-run totals onto the observability spine.)
-pub const JOURNAL_FORMAT_VERSION: u32 = 2;
+/// resume can splice whole-run totals onto the observability spine.
+/// v3 made the engine snapshot a tagged per-explorer section and added
+/// the `selection` block recording an `auto` run's portfolio decision.)
+pub const JOURNAL_FORMAT_VERSION: u32 = 3;
 
 /// Envelope tag of the exploration journal.
 const JOURNAL_TAG: &str = "dovado-journal";
@@ -212,8 +219,11 @@ pub struct Journal {
     pub trace: crate::trace::TraceSummary,
     /// Successful tool invocations so far.
     pub runs: u64,
-    /// The NSGA-II engine state.
-    pub snapshot: Nsga2Snapshot,
+    /// The explorer engine state (tagged by kind).
+    pub snapshot: ExplorerSnapshot,
+    /// The portfolio decision of an `--explorer auto` run; resume
+    /// commits to the recorded explorer instead of re-racing.
+    pub selection: Option<crate::dse::SelectionRecord>,
     /// Surrogate state, when the approximation model is on.
     pub surrogate: Option<SurrogateJournal>,
 }
@@ -262,8 +272,94 @@ fn parse_individual(line: &str) -> Option<Individual> {
     })
 }
 
+fn push_counters(out: &mut String, generation: u32, evaluations: u64) {
+    out.push_str(&format!("generation {generation}\n"));
+    out.push_str(&format!("evaluations {evaluations}\n"));
+}
+
+fn push_rng(out: &mut String, state: &[u64; 4]) {
+    out.push_str(&format!(
+        "rng {:016x} {:016x} {:016x} {:016x}\n",
+        state[0], state[1], state[2], state[3]
+    ));
+}
+
+fn push_history(out: &mut String, history: &[GenStats]) {
+    out.push_str(&format!("history {}\n", history.len()));
+    for g in history {
+        out.push_str(&format!(
+            "{} {} {} {}\n",
+            g.generation,
+            g.evaluations,
+            g.front_size,
+            f64_hex(g.external_cost)
+        ));
+    }
+}
+
+fn push_individuals(out: &mut String, tag: &str, inds: &[Individual]) {
+    out.push_str(&format!("{tag} {}\n", inds.len()));
+    for ind in inds {
+        out.push_str(&individual_line(ind));
+        out.push('\n');
+    }
+}
+
+fn serialize_snapshot(out: &mut String, snap: &ExplorerSnapshot) {
+    out.push_str(&format!("explorer {}\n", snap.kind()));
+    match snap {
+        ExplorerSnapshot::Nsga2(s) => {
+            push_counters(out, s.generation, s.evaluations);
+            push_rng(out, &s.rng_state);
+            push_history(out, &s.history);
+            push_individuals(out, "population", &s.population);
+            push_individuals(out, "archive", &s.archive);
+        }
+        ExplorerSnapshot::Random(s) => {
+            push_counters(out, s.generation, s.evaluations);
+            push_rng(out, &s.rng_state);
+            push_history(out, &s.history);
+            push_individuals(out, "archive", &s.archive);
+        }
+        ExplorerSnapshot::Exhaustive(s) => {
+            push_counters(out, s.generation, s.evaluations);
+            match &s.cursor {
+                None => out.push_str("cursor 0\n"),
+                Some(c) => {
+                    let toks: Vec<String> = c.iter().map(|x| x.to_string()).collect();
+                    out.push_str(&format!("cursor 1 {}\n", toks.join(" ")));
+                }
+            }
+            push_history(out, &s.history);
+            push_individuals(out, "archive", &s.archive);
+        }
+        ExplorerSnapshot::WeightedSum(s) => {
+            push_counters(out, s.generation, s.evaluations);
+            push_rng(out, &s.rng_state);
+            push_history(out, &s.history);
+            push_individuals(out, "population", &s.population);
+            push_individuals(out, "archive", &s.archive);
+        }
+        ExplorerSnapshot::Annealing(s) => {
+            push_counters(out, s.generation, s.evaluations);
+            push_rng(out, &s.rng_state);
+            let toks: Vec<String> = s.current.iter().map(|x| x.to_string()).collect();
+            out.push_str(&format!("current {}\n", toks.join(" ")));
+            out.push_str(&format!("energy {}\n", f64_hex(s.energy)));
+            out.push_str(&format!("temperature {}\n", f64_hex(s.temperature)));
+            push_history(out, &s.history);
+            push_individuals(out, "archive", &s.archive);
+        }
+        ExplorerSnapshot::Bayes(s) => {
+            push_counters(out, s.generation, s.evaluations);
+            push_rng(out, &s.rng_state);
+            push_history(out, &s.history);
+            push_individuals(out, "archive", &s.archive);
+        }
+    }
+}
+
 fn serialize_journal(j: &Journal) -> String {
-    let snap = &j.snapshot;
     let s = &j.stats;
     let mut out = String::new();
     out.push_str(&format!("fingerprint {}\n", j.fingerprint));
@@ -291,31 +387,32 @@ fn serialize_journal(j: &Journal) -> String {
         f64_hex(t.backoff_s),
         j.runs
     ));
-    out.push_str(&format!("generation {}\n", snap.generation));
-    out.push_str(&format!("evaluations {}\n", snap.evaluations));
-    out.push_str(&format!(
-        "rng {:016x} {:016x} {:016x} {:016x}\n",
-        snap.rng_state[0], snap.rng_state[1], snap.rng_state[2], snap.rng_state[3]
-    ));
-    out.push_str(&format!("history {}\n", snap.history.len()));
-    for g in &snap.history {
-        out.push_str(&format!(
-            "{} {} {} {}\n",
-            g.generation,
-            g.evaluations,
-            g.front_size,
-            f64_hex(g.external_cost)
-        ));
-    }
-    out.push_str(&format!("population {}\n", snap.population.len()));
-    for ind in &snap.population {
-        out.push_str(&individual_line(ind));
-        out.push('\n');
-    }
-    out.push_str(&format!("archive {}\n", snap.archive.len()));
-    for ind in &snap.archive {
-        out.push_str(&individual_line(ind));
-        out.push('\n');
+    serialize_snapshot(&mut out, &j.snapshot);
+    match &j.selection {
+        None => out.push_str("selection 0\n"),
+        Some(rec) => {
+            out.push_str("selection 1\n");
+            out.push_str(&format!("chosen {}\n", rec.explorer));
+            out.push_str(&format!(
+                "context {} {}\n",
+                rec.space_volume, rec.objectives
+            ));
+            out.push_str(&format!(
+                "lowfi {} {}\n",
+                rec.lowfi_runs,
+                f64_hex(rec.lowfi_time_s)
+            ));
+            out.push_str(&format!("candidates {}\n", rec.candidates.len()));
+            for c in &rec.candidates {
+                out.push_str(&format!(
+                    "{} {} {} {}\n",
+                    c.name,
+                    c.evaluations,
+                    f64_hex(c.hypervolume),
+                    f64_hex(c.slope)
+                ));
+            }
+        }
     }
     match &j.surrogate {
         None => out.push_str("surrogate 0\n"),
@@ -403,40 +500,41 @@ fn parse_journal(payload: &str) -> Option<Journal> {
         backoff_s: f64_from_hex(tr[6])?,
     };
     let runs: u64 = tr[7].parse().ok()?;
-    let generation: u32 = c.tagged("generation")?.parse().ok()?;
-    let evaluations: u64 = c.tagged("evaluations")?.parse().ok()?;
-    let rng: Vec<u64> = c
-        .tagged("rng")?
-        .split_whitespace()
-        .map(|t| u64::from_str_radix(t, 16).ok())
-        .collect::<Option<_>>()?;
-    if rng.len() != 4 {
-        return None;
-    }
-    let n_history: usize = c.tagged("history")?.parse().ok()?;
-    let mut history = Vec::with_capacity(n_history);
-    for _ in 0..n_history {
-        let toks: Vec<&str> = c.next()?.split_whitespace().collect();
-        if toks.len() != 4 {
-            return None;
+    let snapshot = parse_snapshot(&mut c)?;
+    let selection = match c.tagged("selection")? {
+        "0" => None,
+        "1" => {
+            let explorer = c.tagged("chosen")?.to_string();
+            let ctx = c.tagged_u64s("context", 2)?;
+            let lowfi: Vec<&str> = c.tagged("lowfi")?.split_whitespace().collect();
+            if lowfi.len() != 2 {
+                return None;
+            }
+            let n_cand: usize = c.tagged("candidates")?.parse().ok()?;
+            let mut candidates = Vec::with_capacity(n_cand);
+            for _ in 0..n_cand {
+                let toks: Vec<&str> = c.next()?.split_whitespace().collect();
+                if toks.len() != 4 {
+                    return None;
+                }
+                candidates.push(crate::obs::CandidateScore {
+                    name: toks[0].to_string(),
+                    evaluations: toks[1].parse().ok()?,
+                    hypervolume: f64_from_hex(toks[2])?,
+                    slope: f64_from_hex(toks[3])?,
+                });
+            }
+            Some(crate::dse::SelectionRecord {
+                explorer,
+                space_volume: ctx[0],
+                objectives: ctx[1] as u32,
+                lowfi_runs: lowfi[0].parse().ok()?,
+                lowfi_time_s: f64_from_hex(lowfi[1])?,
+                candidates,
+            })
         }
-        history.push(GenStats {
-            generation: toks[0].parse().ok()?,
-            evaluations: toks[1].parse().ok()?,
-            front_size: toks[2].parse().ok()?,
-            external_cost: f64_from_hex(toks[3])?,
-        });
-    }
-    let n_pop: usize = c.tagged("population")?.parse().ok()?;
-    let mut population = Vec::with_capacity(n_pop);
-    for _ in 0..n_pop {
-        population.push(parse_individual(c.next()?)?);
-    }
-    let n_arch: usize = c.tagged("archive")?.parse().ok()?;
-    let mut archive = Vec::with_capacity(n_arch);
-    for _ in 0..n_arch {
-        archive.push(parse_individual(c.next()?)?);
-    }
+        _ => return None,
+    };
     let surrogate = match c.tagged("surrogate")? {
         "0" => None,
         "1" => {
@@ -472,15 +570,162 @@ fn parse_journal(payload: &str) -> Option<Journal> {
         stats,
         trace,
         runs,
-        snapshot: Nsga2Snapshot {
-            generation,
-            evaluations,
-            rng_state: [rng[0], rng[1], rng[2], rng[3]],
-            population,
-            archive,
-            history,
-        },
+        snapshot,
+        selection,
         surrogate,
+    })
+}
+
+fn parse_counters(c: &mut Cursor) -> Option<(u32, u64)> {
+    let generation: u32 = c.tagged("generation")?.parse().ok()?;
+    let evaluations: u64 = c.tagged("evaluations")?.parse().ok()?;
+    Some((generation, evaluations))
+}
+
+fn parse_rng(c: &mut Cursor) -> Option<[u64; 4]> {
+    let rng: Vec<u64> = c
+        .tagged("rng")?
+        .split_whitespace()
+        .map(|t| u64::from_str_radix(t, 16).ok())
+        .collect::<Option<_>>()?;
+    (rng.len() == 4).then(|| [rng[0], rng[1], rng[2], rng[3]])
+}
+
+fn parse_history(c: &mut Cursor) -> Option<Vec<GenStats>> {
+    let n_history: usize = c.tagged("history")?.parse().ok()?;
+    let mut history = Vec::with_capacity(n_history);
+    for _ in 0..n_history {
+        let toks: Vec<&str> = c.next()?.split_whitespace().collect();
+        if toks.len() != 4 {
+            return None;
+        }
+        history.push(GenStats {
+            generation: toks[0].parse().ok()?,
+            evaluations: toks[1].parse().ok()?,
+            front_size: toks[2].parse().ok()?,
+            external_cost: f64_from_hex(toks[3])?,
+        });
+    }
+    Some(history)
+}
+
+fn parse_individuals(c: &mut Cursor, tag: &str) -> Option<Vec<Individual>> {
+    let n: usize = c.tagged(tag)?.parse().ok()?;
+    let mut inds = Vec::with_capacity(n);
+    for _ in 0..n {
+        inds.push(parse_individual(c.next()?)?);
+    }
+    Some(inds)
+}
+
+fn parse_snapshot(c: &mut Cursor) -> Option<ExplorerSnapshot> {
+    let kind = c.tagged("explorer")?;
+    Some(match kind {
+        "nsga2" => {
+            let (generation, evaluations) = parse_counters(c)?;
+            let rng_state = parse_rng(c)?;
+            let history = parse_history(c)?;
+            let population = parse_individuals(c, "population")?;
+            let archive = parse_individuals(c, "archive")?;
+            ExplorerSnapshot::Nsga2(Nsga2Snapshot {
+                generation,
+                evaluations,
+                rng_state,
+                population,
+                archive,
+                history,
+            })
+        }
+        "random" => {
+            let (generation, evaluations) = parse_counters(c)?;
+            let rng_state = parse_rng(c)?;
+            let history = parse_history(c)?;
+            let archive = parse_individuals(c, "archive")?;
+            ExplorerSnapshot::Random(RandomSnapshot {
+                generation,
+                evaluations,
+                rng_state,
+                archive,
+                history,
+            })
+        }
+        "exhaustive" => {
+            let (generation, evaluations) = parse_counters(c)?;
+            let cursor_line = c.tagged("cursor")?;
+            let cursor = match cursor_line
+                .split_once(' ')
+                .map_or((cursor_line, ""), |(a, b)| (a, b))
+            {
+                ("0", "") => None,
+                ("1", rest) => Some(
+                    rest.split_whitespace()
+                        .map(|t| t.parse().ok())
+                        .collect::<Option<Vec<i64>>>()?,
+                ),
+                _ => return None,
+            };
+            let history = parse_history(c)?;
+            let archive = parse_individuals(c, "archive")?;
+            ExplorerSnapshot::Exhaustive(ExhaustiveSnapshot {
+                generation,
+                evaluations,
+                cursor,
+                archive,
+                history,
+            })
+        }
+        "wsga" => {
+            let (generation, evaluations) = parse_counters(c)?;
+            let rng_state = parse_rng(c)?;
+            let history = parse_history(c)?;
+            let population = parse_individuals(c, "population")?;
+            let archive = parse_individuals(c, "archive")?;
+            ExplorerSnapshot::WeightedSum(WsgaSnapshot {
+                generation,
+                evaluations,
+                rng_state,
+                population,
+                archive,
+                history,
+            })
+        }
+        "sa" => {
+            let (generation, evaluations) = parse_counters(c)?;
+            let rng_state = parse_rng(c)?;
+            let current: Vec<i64> = c
+                .tagged("current")?
+                .split_whitespace()
+                .map(|t| t.parse().ok())
+                .collect::<Option<_>>()?;
+            let energy = f64_from_hex(c.tagged("energy")?)?;
+            let temperature = f64_from_hex(c.tagged("temperature")?)?;
+            let history = parse_history(c)?;
+            let archive = parse_individuals(c, "archive")?;
+            ExplorerSnapshot::Annealing(AnnealingSnapshot {
+                generation,
+                evaluations,
+                rng_state,
+                current,
+                energy,
+                temperature,
+                archive,
+                history,
+            })
+        }
+        "bayes" => {
+            let (generation, evaluations) = parse_counters(c)?;
+            let rng_state = parse_rng(c)?;
+            let history = parse_history(c)?;
+            let archive = parse_individuals(c, "archive")?;
+            ExplorerSnapshot::Bayes(BayesSnapshot {
+                generation,
+                evaluations,
+                rng_state,
+                archive,
+                history,
+            })
+        }
+        _ => return None,
     })
 }
 
@@ -596,7 +841,7 @@ mod tests {
                 backoff_s: 210.0,
             },
             runs: 10,
-            snapshot: Nsga2Snapshot {
+            snapshot: ExplorerSnapshot::Nsga2(Nsga2Snapshot {
                 generation: 5,
                 evaluations: 60,
                 rng_state: [1, u64::MAX, 0xDEAD_BEEF, 42],
@@ -617,7 +862,28 @@ mod tests {
                     front_size: 4,
                     external_cost: 99.5,
                 }],
-            },
+            }),
+            selection: surrogate.then(|| crate::dse::SelectionRecord {
+                explorer: "bayes".into(),
+                space_volume: 4096,
+                objectives: 3,
+                lowfi_runs: 96,
+                lowfi_time_s: 512.25,
+                candidates: vec![
+                    crate::obs::CandidateScore {
+                        name: "nsga2".into(),
+                        evaluations: 32,
+                        hypervolume: 10.5,
+                        slope: -0.0,
+                    },
+                    crate::obs::CandidateScore {
+                        name: "bayes".into(),
+                        evaluations: 32,
+                        hypervolume: 12.0,
+                        slope: 1.5,
+                    },
+                ],
+            }),
             surrogate: surrogate.then(|| SurrogateJournal {
                 bandwidth: 0.173,
                 gamma: 0.05,
@@ -646,11 +912,95 @@ mod tests {
             // -0.0 must survive with its sign bit (PartialEq would pass
             // for +0.0 too, so check explicitly).
             if !surrogate {
-                assert_eq!(
-                    back.snapshot.archive[1].raw[1].to_bits(),
-                    (-0.0f64).to_bits()
-                );
+                let ExplorerSnapshot::Nsga2(snap) = &back.snapshot else {
+                    panic!("kind changed in roundtrip");
+                };
+                assert_eq!(snap.archive[1].raw[1].to_bits(), (-0.0f64).to_bits());
+            } else {
+                let sel = back.selection.as_ref().unwrap();
+                assert_eq!(sel.candidates[0].slope.to_bits(), (-0.0f64).to_bits());
             }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_roundtrip_covers_every_explorer_kind() {
+        use dovado_moo::{
+            AnnealingSnapshot, BayesSnapshot, ExhaustiveSnapshot, RandomSnapshot, WsgaSnapshot,
+        };
+        let ind = Individual {
+            genome: vec![4, 9],
+            raw: vec![2.0],
+            min_objs: vec![-2.0],
+            rank: 0,
+            crowding: 0.5,
+        };
+        let history = vec![GenStats {
+            generation: 1,
+            evaluations: 8,
+            front_size: 1,
+            external_cost: 10.0,
+        }];
+        let snapshots = vec![
+            ExplorerSnapshot::Random(RandomSnapshot {
+                generation: 1,
+                evaluations: 8,
+                rng_state: [9, 8, 7, 6],
+                archive: vec![ind.clone()],
+                history: history.clone(),
+            }),
+            ExplorerSnapshot::Exhaustive(ExhaustiveSnapshot {
+                generation: 2,
+                evaluations: 16,
+                cursor: Some(vec![-3, 11]),
+                archive: vec![ind.clone()],
+                history: history.clone(),
+            }),
+            ExplorerSnapshot::Exhaustive(ExhaustiveSnapshot {
+                generation: 3,
+                evaluations: 24,
+                cursor: None,
+                archive: vec![ind.clone()],
+                history: history.clone(),
+            }),
+            ExplorerSnapshot::WeightedSum(WsgaSnapshot {
+                generation: 4,
+                evaluations: 32,
+                rng_state: [1, 2, 3, 4],
+                population: vec![ind.clone()],
+                archive: vec![ind.clone()],
+                history: history.clone(),
+            }),
+            ExplorerSnapshot::Annealing(AnnealingSnapshot {
+                generation: 5,
+                evaluations: 40,
+                rng_state: [5, 6, 7, 8],
+                current: vec![12, -1],
+                energy: -3.5,
+                temperature: 0.8,
+                archive: vec![ind.clone()],
+                history: history.clone(),
+            }),
+            ExplorerSnapshot::Bayes(BayesSnapshot {
+                generation: 6,
+                evaluations: 48,
+                rng_state: [11, 12, 13, 14],
+                archive: vec![ind],
+                history,
+            }),
+        ];
+        let dir = std::env::temp_dir().join(format!("dovado-journal-kinds-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        for (i, snapshot) in snapshots.into_iter().enumerate() {
+            let j = Journal {
+                snapshot,
+                selection: None,
+                ..sample_journal(false)
+            };
+            let path = dir.join(format!("k{i}.dovado"));
+            write_journal(&path, &j).unwrap();
+            assert_eq!(read_journal(&path).unwrap(), j);
         }
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -68,6 +68,9 @@ pub struct DseReport {
     pub tool_time_s: f64,
     /// Per-generation statistics.
     pub history: Vec<GenStats>,
+    /// The portfolio decision, when `--explorer auto` ran (journaled and
+    /// replayed on resume).
+    pub selection: Option<crate::dse::SelectionRecord>,
 }
 
 /// Labels design points like the paper's tables: A, B, …, Z, AA, AB, …
@@ -307,6 +310,7 @@ mod tests {
             spine: Default::default(),
             tool_time_s: 3600.0,
             history: Vec::new(),
+            selection: None,
         }
     }
 

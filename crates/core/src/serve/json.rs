@@ -2,7 +2,7 @@
 //!
 //! Dovado vendors no serialization framework, and the serve protocol
 //! only needs to *read* small, line-delimited JSON objects (requests
-//! from clients, trace v1 event lines on the client side). This module
+//! from clients, trace v2 event lines on the client side). This module
 //! is a strict-enough recursive-descent parser over one line of JSON
 //! producing a [`Json`] tree, plus the string-escape helper the writer
 //! side shares with `obs`'s hand-rolled emitters.

@@ -4,7 +4,7 @@
 //! line-delimited JSON protocol ([`protocol`]): clients submit
 //! exploration jobs, the fair-share scheduler ([`scheduler`]) decides
 //! which tenant's job gets each of the daemon's slots, and every job's
-//! observability spine streams back live in the **trace v1 wire
+//! observability spine streams back live in the **trace v2 wire
 //! format** — the same lines `explore --trace-out` writes, so the same
 //! fold and the same `jq` recipes apply to a live stream and a file.
 //!
@@ -17,7 +17,7 @@
 //! | Module | What lives there |
 //! |---|---|
 //! | [`json`] | minimal JSON reader + string escaping |
-//! | [`protocol`] | request/response shapes, trace v1 event line parser |
+//! | [`protocol`] | request/response shapes, trace v2 event line parser |
 //! | [`scheduler`] | stride fair-share queue, slot permits, cancel tokens |
 //! | [`session`] | the daemon: listener, job runner, streaming |
 //! | [`client`] | synchronous client used by the CLI and tests |

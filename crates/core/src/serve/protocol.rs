@@ -2,12 +2,12 @@
 //!
 //! A connection carries one JSON object per line in each direction.
 //! Client → server lines are **requests** ([`Request`]); server →
-//! client lines are acknowledgements, streamed **trace v1 event lines**
+//! client lines are acknowledgements, streamed **trace v2 event lines**
 //! (the exact [`crate::obs::event_json`] wire format `--trace-out`
 //! writes, bracketed by the same header and summary lines), and a final
 //! `done` object per job.
 //!
-//! Because the event lines reuse the trace v1 format verbatim, a client
+//! Because the event lines reuse the trace v2 format verbatim, a client
 //! that folds them with [`Totals::fold`] reconstructs the same counters
 //! a standalone run would report, and the same `jq` recipes work on a
 //! live stream and on a `--trace-out` file.
@@ -26,7 +26,7 @@
 
 use super::json::{escape, Json};
 use crate::flow::FlowStep;
-use crate::obs::{EventKey, ObsEvent, Totals};
+use crate::obs::{CandidateScore, EventKey, ObsEvent, Totals};
 use crate::trace::{AttemptOutcome, FlowEvent, TraceSummary};
 
 /// Version of the serve request/response framing. Bump on any change to
@@ -61,6 +61,9 @@ pub struct JobSpec {
     pub seed: u64,
     /// Surrogate pretrain-sample count (`None` = no approximation).
     pub surrogate: Option<usize>,
+    /// Explorer token in the CLI `--explorer` grammar (`nsga2`,
+    /// `random`, `wsga`, `exhaustive`, `sa`, `bayes`, `auto`).
+    pub explorer: String,
     /// Backend spec in the worker grammar (`mock:SEED[:spin=MS]`,
     /// `vivado-sim:SEED`).
     pub backend: String,
@@ -82,6 +85,7 @@ impl Default for JobSpec {
             pop: 8,
             seed: 0,
             surrogate: None,
+            explorer: "nsga2".into(),
             backend: "mock:1".into(),
             use_store: true,
         }
@@ -141,6 +145,9 @@ impl JobSpec {
             .get("surrogate")
             .and_then(Json::as_u64)
             .map(|n| n as usize);
+        if let Some(e) = v.get("explorer").and_then(Json::as_str) {
+            spec.explorer = e.to_string();
+        }
         if let Some(b) = v.get("backend").and_then(Json::as_str) {
             spec.backend = b.to_string();
         }
@@ -198,7 +205,8 @@ impl JobSpec {
             out.push_str(&format!(",\"surrogate\":{s}"));
         }
         out.push_str(&format!(
-            ",\"backend\":\"{}\",\"store\":{}}}",
+            ",\"explorer\":\"{}\",\"backend\":\"{}\",\"store\":{}}}",
+            escape(&self.explorer),
             escape(&self.backend),
             self.use_store
         ));
@@ -223,8 +231,8 @@ pub enum Request {
         tenant: String,
         /// Fair-share weight (higher = larger slot share; min 1).
         priority: u32,
-        /// The job.
-        spec: JobSpec,
+        /// The job (boxed: `JobSpec` dwarfs every other request variant).
+        spec: Box<JobSpec>,
     },
     /// (Re-)attach to a job's event stream.
     Attach {
@@ -271,7 +279,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .unwrap_or("anonymous")
                 .to_string(),
             priority: v.get("priority").and_then(Json::as_u64).unwrap_or(1).max(1) as u32,
-            spec: JobSpec::from_json(v.get("job").ok_or("submit.job: missing")?)?,
+            spec: Box::new(JobSpec::from_json(
+                v.get("job").ok_or("submit.job: missing")?,
+            )?),
         }),
         "attach" => Ok(Request::Attach {
             job: v
@@ -321,7 +331,7 @@ fn step_of(s: &str) -> Option<FlowStep> {
     }
 }
 
-/// Parses one trace v1 event line back into its key and event — the
+/// Parses one trace v2 event line back into its key and event — the
 /// inverse of [`crate::obs::event_json`]. `None` for non-event lines
 /// (the header, the summary, protocol acks) and malformed input.
 /// Folding the parsed events with [`Totals::fold`] reconstructs the
@@ -384,6 +394,25 @@ pub fn parse_event(v: &Json) -> Option<(EventKey, ObsEvent)> {
             generation: v.get("generation")?.as_u64()?,
             evaluations: v.get("evaluations")?.as_u64()?,
         },
+        "selector_decision" => {
+            let mut candidates = Vec::new();
+            for c in v.get("candidates")?.as_arr()? {
+                candidates.push(CandidateScore {
+                    name: c.get("name")?.as_str()?.to_string(),
+                    evaluations: c.get("evaluations")?.as_u64()?,
+                    hypervolume: c.get("hypervolume")?.as_f64()?,
+                    slope: c.get("slope")?.as_f64()?,
+                });
+            }
+            ObsEvent::SelectorDecision {
+                explorer: v.get("explorer")?.as_str()?.to_string(),
+                space_volume: v.get("space_volume")?.as_u64()?,
+                objectives: v.get("objectives")?.as_u64()? as u32,
+                lowfi_runs: v.get("lowfi_runs")?.as_u64()?,
+                lowfi_time_s: v.get("lowfi_time_s")?.as_f64()?,
+                candidates,
+            }
+        }
         "surrogate_decision" => ObsEvent::SurrogateDecision {
             point: v.get("point")?.as_str()?.to_string(),
             choice: surrogate_choice(v.get("choice")?.as_str()?)?,
@@ -487,6 +516,35 @@ mod tests {
             generation: 7,
             evaluations: 140,
         });
+        roundtrip(ObsEvent::SelectorDecision {
+            explorer: "sa".into(),
+            space_volume: 4096,
+            objectives: 3,
+            lowfi_runs: 96,
+            lowfi_time_s: 512.25,
+            candidates: vec![
+                CandidateScore {
+                    name: "nsga2".into(),
+                    evaluations: 32,
+                    hypervolume: 10.5,
+                    slope: -0.25,
+                },
+                CandidateScore {
+                    name: "sa".into(),
+                    evaluations: 32,
+                    hypervolume: 12.0,
+                    slope: 1.5,
+                },
+            ],
+        });
+        roundtrip(ObsEvent::SelectorDecision {
+            explorer: "exhaustive".into(),
+            space_volume: 16,
+            objectives: 2,
+            lowfi_runs: 0,
+            lowfi_time_s: 0.0,
+            candidates: Vec::new(),
+        });
         roundtrip(ObsEvent::SurrogateDecision {
             point: "DEPTH=4".into(),
             choice: "estimated",
@@ -508,7 +566,7 @@ mod tests {
 
     #[test]
     fn non_event_lines_parse_to_none() {
-        assert!(parse_event_line("{\"schema\":\"dovado-trace\",\"version\":1}").is_none());
+        assert!(parse_event_line("{\"schema\":\"dovado-trace\",\"version\":2}").is_none());
         assert!(parse_event_line("{\"type\":\"summary\",\"attempts\":0}").is_none());
         assert!(parse_event_line("{\"ok\":true}").is_none());
         assert!(parse_event_line("not json").is_none());
@@ -546,6 +604,7 @@ mod tests {
             pop: 12,
             seed: 99,
             surrogate: Some(40),
+            explorer: "auto".into(),
             backend: "mock:7".into(),
             use_store: false,
         };
@@ -582,7 +641,7 @@ mod tests {
             } => {
                 assert_eq!(tenant, "alice");
                 assert_eq!(priority, 1, "default priority");
-                assert_eq!(parsed, spec);
+                assert_eq!(*parsed, spec);
             }
             other => panic!("wrong request: {other:?}"),
         }

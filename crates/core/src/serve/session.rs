@@ -1,6 +1,6 @@
 //! The serve daemon itself: TCP listener, per-connection request
 //! dispatch, thread-per-job execution gated by the fair-share
-//! scheduler, and live trace v1 event streaming.
+//! scheduler, and live trace v2 event streaming.
 //!
 //! # Lifecycle of a job
 //!
@@ -21,7 +21,7 @@
 //! # Streaming
 //!
 //! A connection that submitted (or `attach`ed to) a job receives the
-//! trace v1 header, then every retained spine event with `seq >=
+//! trace v2 header, then every retained spine event with `seq >=
 //! from_seq` as it appears (dedup'd per connection by `(seq, sub)`
 //! key), then a `summary` line folding exactly the event lines this
 //! stream carried, then one `done` object with the job's outcome and
@@ -163,6 +163,10 @@ struct JobHandle {
 struct TenantLedger {
     tool_time_s: f64,
     runs: u64,
+    /// Low-fidelity (synthesis-only) race spend, ledgered separately
+    /// from full-flow time so `--explorer auto` jobs stay auditable.
+    lowfi_time_s: f64,
+    lowfi_runs: u64,
     jobs: u64,
 }
 
@@ -346,7 +350,7 @@ fn handle_connection(inner: Arc<ServerInner>, stream: TcpStream) -> std::io::Res
                     )?;
                     continue;
                 }
-                let job = submit_job(&inner, tenant, priority, spec);
+                let job = submit_job(&inner, tenant, priority, *spec);
                 writeln!(
                     out,
                     "{{\"ok\":true,\"type\":\"submitted\",\"job\":\"{}\",\"tenant\":\"{}\"}}",
@@ -513,8 +517,10 @@ fn execute_job(inner: &Arc<ServerInner>, job: &Arc<JobHandle>) -> DovadoResult<D
         Some(m) => cli::parse_metrics(m).map_err(DovadoError::Config)?,
         None => MetricSet::area_frequency(),
     };
+    let explorer = Explorer::parse_token(&spec.explorer)
+        .ok_or_else(|| DovadoError::Config(format!("unknown explorer `{}`", spec.explorer)))?;
     let cfg = DseConfig {
-        explorer: Explorer::Nsga2,
+        explorer,
         algorithm: Nsga2Config {
             pop_size: spec.pop,
             seed: spec.seed,
@@ -564,6 +570,8 @@ fn finish_job(
     if let Some(t) = totals {
         entry.tool_time_s += t.tool_time_s;
         entry.runs += t.runs;
+        entry.lowfi_time_s += t.lowfi_time_s;
+        entry.lowfi_runs += t.lowfi_runs;
     }
     entry.jobs += 1;
 }
@@ -675,10 +683,13 @@ fn status_line(inner: &Arc<ServerInner>) -> String {
         .into_iter()
         .map(|(name, ledger)| {
             format!(
-                "{{\"tenant\":\"{}\",\"tool_time_s\":{},\"runs\":{},\"jobs\":{}}}",
+                "{{\"tenant\":\"{}\",\"tool_time_s\":{},\"runs\":{},\
+                 \"lowfi_time_s\":{},\"lowfi_runs\":{},\"jobs\":{}}}",
                 escape(name),
                 json_f64(ledger.tool_time_s),
                 ledger.runs,
+                json_f64(ledger.lowfi_time_s),
+                ledger.lowfi_runs,
                 ledger.jobs
             )
         })

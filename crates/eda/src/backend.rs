@@ -711,6 +711,41 @@ report_power -file power.rpt
     }
 
     #[test]
+    fn synthesis_only_session_warms_a_subsequent_full_run() {
+        // The multi-fidelity contract behind `--explorer auto`: a
+        // synthesis-only probe leaves a synth checkpoint behind, and a
+        // later full (synth + implementation) run on the same backend
+        // resumes from it instead of re-synthesizing.
+        let full_script = format!(
+            "{SCRIPT}write_checkpoint -force post_synth.dcp\n\
+             opt_design\nplace_design\nroute_design -directive Default\n"
+        );
+        let full_run = |backend: &SimBackend| {
+            let mut s = session_with_source(backend, 64);
+            s.eval(&full_script).unwrap();
+            (s.elapsed_s(), s.used_exact_checkpoint())
+        };
+        let (cold_full, reused_cold) = full_run(&SimBackend::new(42));
+        assert!(!reused_cold);
+
+        let warmed = SimBackend::new(42);
+        let mut probe = session_with_source(&warmed, 64);
+        probe
+            .eval(&format!("{SCRIPT}write_checkpoint -force post_synth.dcp\n"))
+            .unwrap();
+        assert!(!probe.used_exact_checkpoint(), "probe ran cold");
+        let (warm_full, reused_warm) = full_run(&warmed);
+        assert!(
+            reused_warm,
+            "full run must reuse the probe's synth checkpoint"
+        );
+        assert!(
+            warm_full < cold_full,
+            "warmed full run ({warm_full}s) must beat cold ({cold_full}s)"
+        );
+    }
+
+    #[test]
     fn sim_backend_sessions_share_checkpoints() {
         let backend = SimBackend::new(42);
         let run = || {

@@ -6,35 +6,16 @@
 //! enumeration (exact for small spaces — Dovado's "exact exploration of a
 //! given set of parameters" mode), and a single-objective weighted-sum GA
 //! (the classic scalarization NSGA-II supersedes).
+//!
+//! Since the explorer-portfolio refactor these are thin run-to-completion
+//! wrappers over the stepwise engines in [`crate::explorer`]; wrapper and
+//! engine share the RNG call order, so both produce bitwise-identical
+//! results for the same seed.
 
-use crate::individual::{non_dominated_indices, Individual};
+use crate::explorer::{DynProblem, ExhaustiveExplorer, Explorer, RandomExplorer, WsgaExplorer};
 use crate::nsga2::OptResult;
-use crate::ops::sampling::random_population;
-use crate::ops::{GaussianIntegerMutation, IntegerSbx};
-use crate::problem::{to_min_space, Problem};
-use crate::termination::{EngineState, Termination};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-fn finish(mut archive: Vec<Individual>, generations: u32, evaluations: u64) -> OptResult {
-    let idx = non_dominated_indices(&archive);
-    let mut pareto: Vec<Individual> = idx.into_iter().map(|i| archive[i].clone()).collect();
-    pareto.sort_by(|a, b| a.genome.cmp(&b.genome));
-    pareto.dedup_by(|a, b| a.genome == b.genome);
-    for p in &mut pareto {
-        p.rank = 0;
-    }
-    for a in &mut archive {
-        a.rank = 0;
-    }
-    OptResult {
-        population: archive,
-        pareto,
-        generations,
-        evaluations,
-        history: Vec::new(),
-    }
-}
+use crate::problem::Problem;
+use crate::termination::Termination;
 
 /// Uniform random search: sample, evaluate, keep the non-dominated set.
 pub fn random_search<P: Problem + ?Sized>(
@@ -43,66 +24,28 @@ pub fn random_search<P: Problem + ?Sized>(
     batch: usize,
     seed: u64,
 ) -> OptResult {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let vars = problem.variables().to_vec();
-    let objectives = problem.objectives().to_vec();
-    let mut archive: Vec<Individual> = Vec::new();
-    let mut evaluations = 0u64;
-    let mut generation = 0u32;
-    loop {
-        let state = EngineState {
-            generation,
-            evaluations,
-            external_cost: problem.external_cost(),
-        };
-        if termination.should_stop(&state) {
-            break;
-        }
-        let genomes = random_population(&vars, batch.max(1), &mut rng);
-        let raws = problem.evaluate_batch(&genomes);
-        evaluations += genomes.len() as u64;
-        archive.extend(genomes.into_iter().zip(raws).map(|(g, raw)| {
-            let m = to_min_space(&objectives, &raw);
-            Individual::new(g, raw, m)
-        }));
-        generation += 1;
+    let mut dp = DynProblem(problem);
+    let mut engine = RandomExplorer::start(&dp, batch, seed);
+    while !engine.should_stop(&dp, termination) {
+        engine.step(&mut dp);
     }
-    finish(archive, generation, evaluations)
+    Box::new(engine).into_result()
 }
 
 /// Exhaustive enumeration of the whole space.
 ///
 /// Returns `None` when the volume exceeds `limit` (the time cost the paper
-/// calls "prohibitive … for a good DSE").
+/// calls "prohibitive … for a good DSE"). Runs as a single batch, so the
+/// result reports one generation.
 pub fn exhaustive_search<P: Problem + ?Sized>(problem: &mut P, limit: u64) -> Option<OptResult> {
-    let vars = problem.variables().to_vec();
-    let objectives = problem.objectives().to_vec();
-    let volume = problem.volume();
-    if volume > limit {
-        return None;
+    let mut dp = DynProblem(problem);
+    let batch = dp.volume().min(usize::MAX as u64).max(1) as usize;
+    let mut engine = ExhaustiveExplorer::start(&dp, limit, batch)?;
+    let never = Termination::Generations(u32::MAX);
+    while !engine.should_stop(&dp, &never) {
+        engine.step(&mut dp);
     }
-    let mut archive = Vec::with_capacity(volume as usize);
-    let mut genome: Vec<i64> = vars.iter().map(|v| v.lo).collect();
-    let mut evaluations = 0u64;
-    loop {
-        let raw = problem.evaluate(&genome);
-        evaluations += 1;
-        let m = to_min_space(&objectives, &raw);
-        archive.push(Individual::new(genome.clone(), raw, m));
-        // Odometer increment.
-        let mut i = 0usize;
-        loop {
-            if i == vars.len() {
-                return Some(finish(archive, 1, evaluations));
-            }
-            genome[i] += 1;
-            if genome[i] <= vars[i].hi {
-                break;
-            }
-            genome[i] = vars[i].lo;
-            i += 1;
-        }
-    }
+    Some(Box::new(engine).into_result())
 }
 
 /// Single-objective GA on a fixed weighted sum of the (minimization-space)
@@ -114,83 +57,12 @@ pub fn weighted_sum_ga<P: Problem + ?Sized>(
     pop_size: usize,
     seed: u64,
 ) -> OptResult {
-    assert_eq!(weights.len(), problem.objectives().len());
-    let mut rng = StdRng::seed_from_u64(seed);
-    let vars = problem.variables().to_vec();
-    let objectives = problem.objectives().to_vec();
-    let crossover = IntegerSbx::default();
-    let mutation = GaussianIntegerMutation::default();
-
-    let scalar =
-        |min_objs: &[f64]| -> f64 { min_objs.iter().zip(weights).map(|(v, w)| v * w).sum() };
-
-    let mut evaluations = 0u64;
-    let genomes = random_population(&vars, pop_size, &mut rng);
-    let raws = problem.evaluate_batch(&genomes);
-    evaluations += genomes.len() as u64;
-    let mut pop: Vec<Individual> = genomes
-        .into_iter()
-        .zip(raws)
-        .map(|(g, raw)| {
-            let m = to_min_space(&objectives, &raw);
-            Individual::new(g, raw, m)
-        })
-        .collect();
-    let mut archive = pop.clone();
-
-    let mut generation = 0u32;
-    loop {
-        let state = EngineState {
-            generation,
-            evaluations,
-            external_cost: problem.external_cost(),
-        };
-        if termination.should_stop(&state) {
-            break;
-        }
-        generation += 1;
-        let mut offspring = Vec::with_capacity(pop_size);
-        while offspring.len() < pop_size {
-            let pick = |rng: &mut StdRng| {
-                let a = rng.gen_range(0..pop.len());
-                let b = rng.gen_range(0..pop.len());
-                if scalar(&pop[a].min_objs) <= scalar(&pop[b].min_objs) {
-                    a
-                } else {
-                    b
-                }
-            };
-            let (p1, p2) = (pick(&mut rng), pick(&mut rng));
-            let (mut c1, mut c2) =
-                crossover.cross(&vars, &pop[p1].genome, &pop[p2].genome, &mut rng);
-            mutation.mutate(&vars, &mut c1, &mut rng);
-            mutation.mutate(&vars, &mut c2, &mut rng);
-            offspring.push(c1);
-            if offspring.len() < pop_size {
-                offspring.push(c2);
-            }
-        }
-        let raws = problem.evaluate_batch(&offspring);
-        evaluations += offspring.len() as u64;
-        let kids: Vec<Individual> = offspring
-            .into_iter()
-            .zip(raws)
-            .map(|(g, raw)| {
-                let m = to_min_space(&objectives, &raw);
-                Individual::new(g, raw, m)
-            })
-            .collect();
-        archive.extend(kids.iter().cloned());
-        // (μ+λ) truncation by scalar fitness.
-        pop.extend(kids);
-        pop.sort_by(|a, b| {
-            scalar(&a.min_objs)
-                .partial_cmp(&scalar(&b.min_objs))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        pop.truncate(pop_size);
+    let mut dp = DynProblem(problem);
+    let mut engine = WsgaExplorer::start(&mut dp, weights.to_vec(), pop_size, seed);
+    while !engine.should_stop(&dp, termination) {
+        engine.step(&mut dp);
     }
-    finish(archive, generation, evaluations)
+    Box::new(engine).into_result()
 }
 
 #[cfg(test)]
@@ -232,6 +104,7 @@ mod tests {
         );
         let r = exhaustive_search(&mut p, 10_000).unwrap();
         assert_eq!(r.evaluations, 21);
+        assert_eq!(r.generations, 1);
         // Exact Pareto set: x ∈ {0, 1, 2}.
         let mut xs: Vec<i64> = r.pareto.iter().map(|i| i.genome[0]).collect();
         xs.sort();
@@ -259,6 +132,37 @@ mod tests {
             })
             .unwrap();
         assert!((0..=2).contains(&best.genome[0]), "best {:?}", best.genome);
+    }
+
+    #[test]
+    fn weighted_sum_deterministic_under_duplicate_fitness() {
+        // Every genome scores the same scalar fitness, so survival is pure
+        // tie-breaking; two identical runs must still agree exactly (the
+        // old fitness-only sort left survivor choice to insertion order).
+        struct Flat(Vec<crate::problem::IntVar>, Vec<crate::problem::Objective>);
+        impl Problem for Flat {
+            fn variables(&self) -> &[crate::problem::IntVar] {
+                &self.0
+            }
+            fn objectives(&self) -> &[crate::problem::Objective] {
+                &self.1
+            }
+            fn evaluate(&mut self, _: &[i64]) -> Vec<f64> {
+                vec![0.0]
+            }
+        }
+        let run = || {
+            let mut p = Flat(
+                vec![crate::problem::IntVar::new("x", 0, 500)],
+                vec![crate::problem::Objective::minimize("f")],
+            );
+            let r = weighted_sum_ga(&mut p, &[1.0], &Termination::Generations(5), 12, 9);
+            r.population
+                .iter()
+                .map(|i| i.genome.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 pub mod baselines;
 pub mod benchmarks;
 pub mod crowding;
+pub mod explorer;
 pub mod individual;
 pub mod metrics;
 pub mod nsga2;
@@ -32,6 +33,11 @@ pub mod termination;
 pub use baselines::{exhaustive_search, random_search, weighted_sum_ga};
 pub use benchmarks::{Zdt1, Zdt2, Zdt3};
 pub use crowding::assign_crowding;
+pub use explorer::{
+    AnnealingExplorer, AnnealingSnapshot, BayesSnapshot, ExhaustiveExplorer, ExhaustiveSnapshot,
+    Explorer, ExplorerSnapshot, Nsga2Explorer, RandomExplorer, RandomSnapshot, WsgaExplorer,
+    WsgaSnapshot,
+};
 pub use individual::{non_dominated_indices, Individual};
 pub use metrics::{hypervolume, hypervolume_of, igd, spread};
 pub use nsga2::{nsga2, GenStats, Nsga2Config, Nsga2Engine, Nsga2Snapshot, OptResult};

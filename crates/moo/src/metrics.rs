@@ -4,11 +4,17 @@
 use crate::individual::Individual;
 
 /// Keeps only points strictly better than `reference` in every coordinate
-/// and mutually non-dominated (minimization space).
+/// and mutually non-dominated (minimization space). Points of the wrong
+/// dimensionality or with non-finite coordinates are dropped rather than
+/// allowed to panic the recursion.
 fn clean_front(points: &[Vec<f64>], reference: &[f64]) -> Vec<Vec<f64>> {
     let inside: Vec<Vec<f64>> = points
         .iter()
-        .filter(|p| p.iter().zip(reference).all(|(a, r)| a < r))
+        .filter(|p| {
+            p.len() == reference.len()
+                && p.iter().all(|a| a.is_finite())
+                && p.iter().zip(reference).all(|(a, r)| a < r)
+        })
         .cloned()
         .collect();
     let mut keep = Vec::new();
@@ -31,7 +37,15 @@ fn clean_front(points: &[Vec<f64>], reference: &[f64]) -> Vec<Vec<f64>> {
 /// Hypervolume (minimization space) dominated by `points` against
 /// `reference`. Exact recursive slicing — fine for the front sizes DSE
 /// produces (tens of points, ≤ ~5 objectives).
+///
+/// Degenerate inputs never panic: an empty or non-finite reference, an
+/// empty front, dimension-mismatched points, or points with non-finite
+/// coordinates all contribute zero volume. The portfolio selector's
+/// feature extractor relies on this when a race leg produces no front.
 pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    if reference.is_empty() || reference.iter().any(|r| !r.is_finite()) {
+        return 0.0;
+    }
     let front = clean_front(points, reference);
     hv_recurse(&front, reference)
 }
@@ -164,6 +178,48 @@ mod tests {
     #[test]
     fn hv_empty_is_zero() {
         assert_eq!(hypervolume(&[], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn hv_empty_reference_is_zero() {
+        // Zero-dimensional reference used to underflow the recursion.
+        assert_eq!(hypervolume(&[vec![1.0]], &[]), 0.0);
+        assert_eq!(hypervolume(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn hv_non_finite_reference_is_zero() {
+        assert_eq!(hypervolume(&[vec![1.0]], &[f64::NAN]), 0.0);
+        assert_eq!(hypervolume(&[vec![1.0, 1.0]], &[3.0, f64::INFINITY]), 0.0);
+    }
+
+    #[test]
+    fn hv_dimension_mismatched_points_are_dropped() {
+        // A 1-d point against a 2-d reference used to pass the zip-based
+        // filter and then index out of bounds inside the recursion.
+        let pts = vec![vec![1.0], vec![1.0, 1.0], vec![1.0, 1.0, 1.0]];
+        assert!((hypervolume(&pts, &[3.0, 3.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv_non_finite_points_are_dropped() {
+        let pts = vec![vec![f64::NAN, 1.0], vec![1.0, f64::NEG_INFINITY]];
+        assert_eq!(hypervolume(&pts, &[3.0, 3.0]), 0.0);
+        let mixed = vec![vec![f64::NAN, 1.0], vec![1.0, 1.0]];
+        assert!((hypervolume(&mixed, &[3.0, 3.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv_degenerate_front_on_reference_is_zero() {
+        // Points sitting exactly on (or outside) the reference dominate
+        // nothing.
+        let pts = vec![vec![3.0, 3.0], vec![3.0, 1.0], vec![5.0, 5.0]];
+        assert_eq!(hypervolume(&pts, &[3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn hv_single_objective() {
+        assert!((hypervolume(&[vec![1.0]], &[3.0]) - 2.0).abs() < 1e-12);
     }
 
     #[test]

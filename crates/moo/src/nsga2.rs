@@ -265,6 +265,11 @@ impl Nsga2Engine {
         self.evaluations
     }
 
+    /// Everything evaluated so far, in insertion order.
+    pub fn archive(&self) -> &[Individual] {
+        &self.archive
+    }
+
     /// Whether `termination` says the run is finished.
     pub fn should_stop<P: Problem + ?Sized>(&self, problem: &P, termination: &Termination) -> bool {
         let state = EngineState {

@@ -7,9 +7,9 @@
 
 use dovado::obs::jsonl_string;
 use dovado::{
-    fold_totals, AttemptOutcome, DesignPoint, Domain, Dovado, DseConfig, EvalConfig, Evaluator,
-    EventBus, EventKey, FlowEvent, FlowStep, HdlSource, Metric, MetricSet, ObsEvent,
-    ParameterSpace, SurrogateConfig, TraceSummary,
+    fold_totals, AttemptOutcome, CandidateScore, DesignPoint, Domain, Dovado, DseConfig,
+    EvalConfig, Evaluator, EventBus, EventKey, FlowEvent, FlowStep, HdlSource, Metric, MetricSet,
+    ObsEvent, ParameterSpace, SurrogateConfig, TraceSummary,
 };
 use dovado_eda::FaultPlan;
 use dovado_fpga::ResourceKind;
@@ -164,16 +164,40 @@ fn golden_snapshot() -> dovado::SpineSnapshot {
             kind: "host_crash".into(),
         },
     );
+    bus.emit(
+        EventKey { seq: 9, sub: 0 },
+        ObsEvent::SelectorDecision {
+            explorer: "bayes".into(),
+            space_volume: 768,
+            objectives: 3,
+            lowfi_runs: 24,
+            lowfi_time_s: 96.25,
+            candidates: vec![
+                CandidateScore {
+                    name: "nsga2".into(),
+                    evaluations: 12,
+                    hypervolume: 0.5,
+                    slope: -0.125,
+                },
+                CandidateScore {
+                    name: "bayes".into(),
+                    evaluations: 12,
+                    hypervolume: 0.75,
+                    slope: 0.0,
+                },
+            ],
+        },
+    );
     bus.snapshot()
 }
 
-/// Schema v1 is byte-pinned: any change to field names, event types or
+/// Schema v2 is byte-pinned: any change to field names, event types or
 /// value encodings breaks this test and forces an `EVENT_SCHEMA_VERSION`
 /// bump plus a fixture regeneration (run once with `DOVADO_BLESS=1`).
 #[test]
-fn jsonl_wire_format_is_byte_pinned_to_schema_v1() {
+fn jsonl_wire_format_is_byte_pinned_to_schema_v2() {
     let text = jsonl_string(&golden_snapshot());
-    let path = fixture_path("trace_v1.jsonl");
+    let path = fixture_path("trace_v2.jsonl");
     if std::env::var("DOVADO_BLESS").is_ok() {
         std::fs::write(&path, &text).unwrap();
     }
@@ -181,7 +205,7 @@ fn jsonl_wire_format_is_byte_pinned_to_schema_v1() {
         std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
     assert_eq!(
         text, golden,
-        "JSONL trace drifted from schema v1; bump EVENT_SCHEMA_VERSION \
+        "JSONL trace drifted from schema v2; bump EVENT_SCHEMA_VERSION \
          and regenerate the fixture together"
     );
 }
@@ -191,7 +215,7 @@ fn jsonl_wire_format_is_byte_pinned_to_schema_v1() {
 // ---------------------------------------------------------------------------
 
 fn random_event(rng: &mut StdRng) -> ObsEvent {
-    match rng.gen_range(0u32..9) {
+    match rng.gen_range(0u32..10) {
         0..=3 => {
             let attempt = rng.gen_range(1u32..4);
             let outcome = match rng.gen_range(0u32..4) {
@@ -240,6 +264,14 @@ fn random_event(rng: &mut StdRng) -> ObsEvent {
         7 => ObsEvent::Generation {
             generation: rng.gen_range(1u64..50),
             evaluations: rng.gen_range(1u64..500),
+        },
+        8 => ObsEvent::SelectorDecision {
+            explorer: "sa".into(),
+            space_volume: rng.gen_range(1u64..1000),
+            objectives: rng.gen_range(1u32..4),
+            lowfi_runs: rng.gen_range(0u64..50),
+            lowfi_time_s: rng.gen_range(0.0..500.0),
+            candidates: Vec::new(),
         },
         _ => ObsEvent::Reselected {
             bandwidth: rng.gen_range(0.01..1.0),

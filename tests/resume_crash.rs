@@ -204,6 +204,7 @@ fn assert_reports_bitwise(a: &DseReport, b: &DseReport) {
     assert_eq!(a.transient_failures, b.transient_failures);
     assert_eq!(a.permanent_failures, b.permanent_failures);
     assert_eq!(a.retries, b.retries);
+    assert_eq!(a.selection, b.selection, "selection records diverged");
 }
 
 /// Whole-run observability totals: every counter the spine folds must be
@@ -237,11 +238,30 @@ fn assert_final_journals_match(baseline_dir: &Path, crashed_dir: &Path) {
     let b = read_journal(&PersistConfig::new(crashed_dir).journal_path()).unwrap();
     assert!(a.complete && b.complete);
     assert_eq!(a.stats, b.stats, "fitness counters diverged");
-    assert_eq!(a.snapshot.generation, b.snapshot.generation);
-    assert_eq!(a.snapshot.evaluations, b.snapshot.evaluations);
-    assert_eq!(a.snapshot.rng_state, b.snapshot.rng_state, "RNG diverged");
-    assert_eq!(a.snapshot.population, b.snapshot.population);
-    assert_eq!(a.snapshot.archive, b.snapshot.archive);
+    assert_eq!(
+        a.snapshot.kind(),
+        b.snapshot.kind(),
+        "explorer kind diverged"
+    );
+    assert_eq!(a.snapshot.generation(), b.snapshot.generation());
+    assert_eq!(a.snapshot.evaluations(), b.snapshot.evaluations());
+    // The tagged snapshot carries the explorer's full state (RNG,
+    // population, archive, …); one comparison covers every variant.
+    // External costs in the history are the exception: they track tool
+    // spend, which legitimately varies with store capacity and repeated
+    // post-crash work, so they are zeroed before comparing.
+    let sans_cost = |mut s: dovado_moo::ExplorerSnapshot| {
+        for h in s.history_mut() {
+            h.external_cost = 0.0;
+        }
+        s
+    };
+    assert_eq!(
+        sans_cost(a.snapshot),
+        sans_cost(b.snapshot),
+        "explorer state diverged"
+    );
+    assert_eq!(a.selection, b.selection, "selection records diverged");
     match (&a.surrogate, &b.surrogate) {
         (None, None) => {}
         (Some(sa), Some(sb)) => {
@@ -264,6 +284,106 @@ fn crash_plan(host_crash: f64) -> FaultPlan {
         host_crash,
         ..FaultPlan::none()
     }
+}
+
+/// [`run_until_complete`] for `--explorer auto`, where a crash can land
+/// *inside the selection race* — before any journal exists. Such an
+/// attempt leaves no journal behind, so the retry must start fresh (and
+/// re-race); once a journal exists, retries resume from it (and must
+/// replay the journaled decision instead of re-racing). Returns the
+/// report, total interruptions, and how many landed inside the race.
+fn run_until_complete_auto(tool: &Dovado, cfg: &DseConfig, dir: &Path) -> (DseReport, u32, u32) {
+    let start = PersistConfig::new(dir);
+    let resume = PersistConfig {
+        resume: true,
+        ..start.clone()
+    };
+    let mut crashes = 0u32;
+    let mut race_crashes = 0u32;
+    loop {
+        let journaled = start.journal_path().exists();
+        let outcome = tool.explore_persistent(cfg, if journaled { &resume } else { &start });
+        match outcome {
+            Ok(report) => return (report, crashes, race_crashes),
+            Err(DovadoError::Interrupted { generation }) => {
+                crashes += 1;
+                // A boundary crash is drawn only after the snapshot is
+                // durable, so "interrupted with no journal on disk" is
+                // exactly a crash inside the selection race.
+                if !journaled && !start.journal_path().exists() {
+                    assert_eq!(generation, 0, "race crashes happen before generation 1");
+                    race_crashes += 1;
+                }
+                assert!(
+                    crashes <= 8 * GENERATIONS,
+                    "crash/resume loop failed to make progress (last crash at \
+                     generation {generation})"
+                );
+            }
+            Err(e) => panic!("unexpected exploration error: {e}"),
+        }
+    }
+}
+
+fn auto_cfg() -> DseConfig {
+    DseConfig {
+        explorer: dovado::dse::Explorer::Auto,
+        ..cfg(false, false)
+    }
+}
+
+#[test]
+fn crash_inside_the_selection_race_replays_the_journaled_decision() {
+    let cfg = auto_cfg();
+    let base_dir = fresh_dir("race-base");
+    let (baseline, crashes) = run_until_complete(&tool(FaultPlan::none()), &cfg, &base_dir);
+    assert_eq!(crashes, 0, "fault-free baseline must not be interrupted");
+    let sel = baseline
+        .selection
+        .clone()
+        .expect("auto must journal its decision");
+    assert!(sel.lowfi_runs > 0, "a 768-point 3-objective space races");
+
+    // A fixed seed whose first host-crash draw fires: the very first
+    // persistent attempt dies inside the race, before any journal or
+    // probe checkpoint exists, so the retry re-races from a cold
+    // backend and must land on the same decision bitwise.
+    let plan = FaultPlan {
+        seed: 1,
+        host_crash: 0.75,
+        ..FaultPlan::none()
+    };
+    let crash_dir = fresh_dir("race-crash");
+    let (resumed, crashes, race_crashes) = run_until_complete_auto(&tool(plan), &cfg, &crash_dir);
+    assert!(
+        race_crashes >= 1,
+        "the fixed seed must crash at least once inside the race"
+    );
+    assert!(crashes >= race_crashes);
+    assert_eq!(
+        resumed.spine.lowfi_runs, sel.lowfi_runs,
+        "resumed run re-raced instead of replaying the journaled decision"
+    );
+    assert_reports_bitwise(&baseline, &resumed);
+    assert_traces_match(&baseline, &resumed);
+    assert_final_journals_match(&base_dir, &crash_dir);
+}
+
+#[test]
+fn randomized_selection_race_crashes_converge_bitwise() {
+    // The env-seeded sweep companion: wherever `DOVADO_CRASH_SEED`
+    // lands the interruptions — inside the race, at boundaries, or
+    // nowhere — the completed auto run is bitwise the fault-free one.
+    let cfg = auto_cfg();
+    let base_dir = fresh_dir("race-rand-base");
+    let (baseline, _) = run_until_complete(&tool(FaultPlan::none()), &cfg, &base_dir);
+
+    let crash_dir = fresh_dir("race-rand-crash");
+    let (resumed, _, _) = run_until_complete_auto(&tool(crash_plan(0.5)), &cfg, &crash_dir);
+
+    assert_reports_bitwise(&baseline, &resumed);
+    assert_traces_match(&baseline, &resumed);
+    assert_final_journals_match(&base_dir, &crash_dir);
 }
 
 #[test]
