@@ -7,9 +7,9 @@
 //! occupation together with the maximum achievable frequency (~200 MHz).
 
 use super::CaseStudy;
-use crate::flow::HdlSource;
 use crate::metrics::MetricSet;
 use crate::space::{Domain, ParameterSpace};
+use dovado_hdl::catalog::CatalogSource;
 use dovado_hdl::Language;
 
 /// The completion-queue-manager source (interface-faithful to Corundum).
@@ -121,23 +121,22 @@ endmodule
 
 /// The packaged case study on the Kintex-7.
 pub fn case_study() -> CaseStudy {
-    CaseStudy {
-        name: "corundum-cpl-queue-manager",
-        sources: vec![HdlSource::new(
+    CaseStudy::from_tree(
+        "corundum-cpl-queue-manager",
+        vec![CatalogSource::new(
             "cpl_queue_manager.v",
             Language::Verilog,
             CPL_QUEUE_MANAGER_V,
         )],
-        top: "cpl_queue_manager",
         // Ranges covering Table I's reported configurations:
         // ops outstanding 8..35, queues (log2) 4..7, pipeline 2..5.
-        space: ParameterSpace::new()
+        ParameterSpace::new()
             .with("OP_TABLE_SIZE", Domain::range(8, 64))
             .with("QUEUE_INDEX_WIDTH", Domain::range(4, 10))
             .with("PIPELINE", Domain::range(1, 6)),
-        part: "xc7k70tfbv676-1",
-        metrics: MetricSet::area_frequency(),
-    }
+        "xc7k70tfbv676-1",
+        MetricSet::area_frequency(),
+    )
 }
 
 #[cfg(test)]

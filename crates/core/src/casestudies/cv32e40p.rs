@@ -7,10 +7,10 @@
 //! XC7K70TFBV676-1 with FF, LUT, and frequency as the reported metrics.
 
 use super::CaseStudy;
-use crate::flow::HdlSource;
 use crate::metrics::{Metric, MetricSet};
 use crate::space::{Domain, ParameterSpace};
 use dovado_fpga::ResourceKind;
+use dovado_hdl::catalog::CatalogSource;
 use dovado_hdl::Language;
 
 /// The FIFO source, modelled on the cv32e40p `fifo_v3` interface.
@@ -74,16 +74,15 @@ endmodule : fifo_v3
 
 /// The packaged case study: depth over 500 possible values on the K7.
 pub fn case_study() -> CaseStudy {
-    CaseStudy {
-        name: "cv32e40p-fifo",
-        sources: vec![HdlSource::new(
+    CaseStudy::from_tree(
+        "cv32e40p-fifo",
+        vec![CatalogSource::new(
             "fifo_v3.sv",
             Language::SystemVerilog,
             FIFO_SV,
         )],
-        top: "fifo_v3",
         // 500 possible values, as in the paper.
-        space: ParameterSpace::new().with(
+        ParameterSpace::new().with(
             "DEPTH",
             Domain::Range {
                 lo: 2,
@@ -91,13 +90,13 @@ pub fn case_study() -> CaseStudy {
                 step: 2,
             },
         ),
-        part: "xc7k70tfbv676-1",
-        metrics: MetricSet::new(vec![
+        "xc7k70tfbv676-1",
+        MetricSet::new(vec![
             Metric::Utilization(ResourceKind::Register),
             Metric::Utilization(ResourceKind::Lut),
             Metric::Fmax,
         ]),
-    }
+    )
 }
 
 #[cfg(test)]

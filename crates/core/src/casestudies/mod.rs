@@ -19,16 +19,22 @@ use crate::error::DovadoResult;
 use crate::flow::{EvalConfig, HdlSource};
 use crate::metrics::MetricSet;
 use crate::space::ParameterSpace;
+use dovado_hdl::catalog::{CatalogSource, SourceCatalog};
 
 /// A packaged case study.
+///
+/// Built from a cataloged source tree ([`CaseStudy::from_tree`]): the
+/// compile order and the top module are *derived* from the unit-level
+/// dependency graph, exactly like a user tree handed to `--project` —
+/// the case studies are catalog instances, not hand-wired source lists.
 #[derive(Debug, Clone)]
 pub struct CaseStudy {
     /// Human-readable name.
     pub name: &'static str,
-    /// HDL sources.
+    /// HDL sources in catalog compile order.
     pub sources: Vec<HdlSource>,
-    /// The module under exploration.
-    pub top: &'static str,
+    /// The module under exploration (graph-inferred from the tree).
+    pub top: String,
     /// The explored space.
     pub space: ParameterSpace,
     /// Default target part.
@@ -38,6 +44,42 @@ pub struct CaseStudy {
 }
 
 impl CaseStudy {
+    /// Packages a source tree as a case study: catalogs the files,
+    /// derives the compile order from the dependency graph, and infers
+    /// the top module from it. Panics on a malformed tree — the embedded
+    /// case-study sources are compile-time constants, so failure here is
+    /// a programmer error, not user input.
+    pub fn from_tree(
+        name: &'static str,
+        tree: Vec<CatalogSource>,
+        space: ParameterSpace,
+        part: &'static str,
+        metrics: MetricSet,
+    ) -> CaseStudy {
+        let catalog =
+            SourceCatalog::from_sources(tree).unwrap_or_else(|e| panic!("case study {name}: {e}"));
+        let top = catalog
+            .infer_top()
+            .unwrap_or_else(|e| panic!("case study {name}: {e}"));
+        let sources = catalog
+            .compile_order()
+            .map(|f| HdlSource {
+                name: f.path.clone(),
+                language: f.language,
+                content: f.text.clone(),
+                library: f.library.clone(),
+            })
+            .collect();
+        CaseStudy {
+            name,
+            sources,
+            top,
+            space,
+            part,
+            metrics,
+        }
+    }
+
     /// Builds a [`Dovado`] instance targeting the default part.
     pub fn dovado(&self) -> DovadoResult<Dovado> {
         self.dovado_on(self.part)
@@ -55,7 +97,7 @@ impl CaseStudy {
 
     /// Builds a [`Dovado`] instance with a custom evaluation config.
     pub fn dovado_with(&self, config: EvalConfig) -> DovadoResult<Dovado> {
-        Dovado::new(self.sources.clone(), self.top, self.space.clone(), config)
+        Dovado::new(self.sources.clone(), &self.top, self.space.clone(), config)
     }
 }
 
@@ -89,6 +131,20 @@ mod tests {
         assert!(langs.contains(&Language::SystemVerilog));
         assert!(langs.contains(&Language::Verilog));
         assert!(langs.contains(&Language::Vhdl));
+    }
+
+    #[test]
+    fn tops_are_graph_inferred_not_hand_wired() {
+        let expected = [
+            ("cv32e40p-fifo", "fifo_v3"),
+            ("corundum-cpl-queue-manager", "cpl_queue_manager"),
+            ("neorv32", "neorv32_top"),
+            ("tirex", "tirex_top"),
+        ];
+        for (cs, (name, top)) in all().iter().zip(expected) {
+            assert_eq!(cs.name, name);
+            assert_eq!(cs.top, top, "{name}: catalog must infer the paper's top");
+        }
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! same Kintex-7 without the approximation model.
 
 use super::CaseStudy;
-use crate::flow::HdlSource;
 use crate::metrics::MetricSet;
 use crate::space::{Domain, ParameterSpace};
+use dovado_hdl::catalog::CatalogSource;
 use dovado_hdl::Language;
 
 /// The Neorv32 top source (interface-faithful subset).
@@ -69,15 +69,14 @@ end architecture neorv32_top_rtl;
 
 /// The packaged case study: memory sizes restricted to powers of two.
 pub fn case_study() -> CaseStudy {
-    CaseStudy {
-        name: "neorv32",
-        sources: vec![HdlSource::new(
+    CaseStudy::from_tree(
+        "neorv32",
+        vec![CatalogSource::new(
             "neorv32_top.vhd",
             Language::Vhdl,
             NEORV32_TOP_VHD,
         )],
-        top: "neorv32_top",
-        space: ParameterSpace::new()
+        ParameterSpace::new()
             .with(
                 "MEM_INT_IMEM_SIZE",
                 Domain::PowerOfTwo {
@@ -92,9 +91,9 @@ pub fn case_study() -> CaseStudy {
                     max_exp: 16,
                 },
             ),
-        part: "xc7k70tfbv676-1",
-        metrics: MetricSet::area_frequency(),
-    }
+        "xc7k70tfbv676-1",
+        MetricSet::area_frequency(),
+    )
 }
 
 #[cfg(test)]

@@ -9,9 +9,9 @@
 //! (~550 vs ~190 MHz).
 
 use super::CaseStudy;
-use crate::flow::HdlSource;
 use crate::metrics::MetricSet;
 use crate::space::{Domain, ParameterSpace};
+use dovado_hdl::catalog::CatalogSource;
 use dovado_hdl::Language;
 
 /// TiReX top source (interface-faithful subset).
@@ -65,15 +65,14 @@ end architecture rtl;
 
 /// The packaged case study (default part: the paper's ZU3EG target).
 pub fn case_study() -> CaseStudy {
-    CaseStudy {
-        name: "tirex",
-        sources: vec![HdlSource::new(
+    CaseStudy::from_tree(
+        "tirex",
+        vec![CatalogSource::new(
             "tirex_top.vhd",
             Language::Vhdl,
             TIREX_TOP_VHD,
         )],
-        top: "tirex_top",
-        space: ParameterSpace::new()
+        ParameterSpace::new()
             .with(
                 "NCLUSTER",
                 Domain::PowerOfTwo {
@@ -102,9 +101,9 @@ pub fn case_study() -> CaseStudy {
                     max_exp: 6,
                 },
             ),
-        part: "xczu3eg-sbva484-1-e",
-        metrics: MetricSet::area_frequency(),
-    }
+        "xczu3eg-sbva484-1-e",
+        MetricSet::area_frequency(),
+    )
 }
 
 /// The Kintex-7 part used for the paper's second TiReX run (Fig. 7).

@@ -68,12 +68,14 @@ dovado — design automation and design space exploration for RTL modules
 USAGE:
   dovado parse <file>...
   dovado parts
-  dovado evaluate --source <file>... --top <module> [--part <part>]
+  dovado evaluate (--source <file>... --top <module> | --project <dir> [--top <module>])
+                  [--part <part>]
                   [--set NAME=VALUE]... [--period <ns>] [--step synth|impl]
                   [--synth-directive <d>] [--impl-directive <d>]
                   [--jobs <n>] [--workers <n>] [--store <dir>]
                   [--trace-out <file>]
-  dovado explore  --source <file>... --top <module> [--part <part>]
+  dovado explore  (--source <file>... --top <module> | --project <dir> [--top <module>])
+                  [--part <part>]
                   --param NAME=<spec>... [--metric <m>,<m>,...]
                   [--generations <n>] [--pop <n>] [--seed <n>]
                   [--surrogate <M>] [--deadline <simulated-s>] [--plot]
@@ -85,7 +87,8 @@ USAGE:
                   over stdio; spawned by --workers, not run by hand)
   dovado serve    [--listen <addr>] [--slots <n>] [--root <dir>]
                   [--store-capacity <n>]
-  dovado submit   --addr <addr> --source <file>... --top <module>
+  dovado submit   --addr <addr>
+                  (--source <file>... --top <module> | --project <dir> [--top <module>])
                   --param NAME=<spec>... [--tenant <name>] [--priority <n>]
                   [--part <part>] [--period <ns>] [--metric <m>,...]
                   [--generations <n>] [--pop <n>] [--seed <n>]
@@ -94,6 +97,14 @@ USAGE:
                   [--trace-out <file>]
   dovado status   --addr <addr>
   dovado shutdown --addr <addr>
+
+  --project catalogs every HDL file under <dir> (recursively;
+  .vhd/.vhdl/.v/.vh/.sv/.svh), identifies the primary and secondary
+  design units in each, and compiles them in dependency order — package
+  bodies after their packages, architectures after their entities,
+  instantiated modules before instantiators. The top module is inferred
+  from the dependency graph (the unique uninstantiated module); pass
+  --top to pick one when several roots exist.
 
   --jobs caps the worker threads used for parallel tool runs and batch
   surrogate decisions; the default is all available cores. Results are
@@ -225,6 +236,7 @@ struct CommonArgs {
 fn parse_common(args: &[String]) -> Result<(CommonArgs, Vec<(String, String)>), String> {
     let mut sources = Vec::new();
     let mut top = None;
+    let mut project: Option<String> = None;
     let mut eval = EvalConfig::default();
     let mut rest: Vec<(String, String)> = Vec::new();
 
@@ -243,6 +255,10 @@ fn parse_common(args: &[String]) -> Result<(CommonArgs, Vec<(String, String)>), 
                 let lang = language_of(&path)?;
                 let name = path.rsplit('/').next().unwrap_or(&path).to_string();
                 sources.push(HdlSource::new(name, lang, text));
+                i += 2;
+            }
+            "--project" => {
+                project = Some(value(i)?);
                 i += 2;
             }
             "--top" => {
@@ -295,8 +311,21 @@ fn parse_common(args: &[String]) -> Result<(CommonArgs, Vec<(String, String)>), 
             }
         }
     }
+    if let Some(dir) = &project {
+        // A project tree is a complete source set: catalog it, take the
+        // dependency-ordered sources, and let the graph infer the top
+        // unless --top overrides it.
+        if !sources.is_empty() {
+            return Err("--project and --source are mutually exclusive".into());
+        }
+        let (tree_sources, tree_top) =
+            crate::flow::load_project_tree(std::path::Path::new(dir), top.as_deref())
+                .map_err(|e| format!("--project: {e}"))?;
+        sources = tree_sources;
+        top = Some(tree_top);
+    }
     if sources.is_empty() {
-        return Err("missing --source".into());
+        return Err("missing --source (or --project)".into());
     }
     let top = top.ok_or_else(|| "missing --top".to_string())?;
     Ok((CommonArgs { sources, top, eval }, rest))
@@ -876,6 +905,7 @@ fn cmd_submit(args: &[String], out: &mut String) -> Result<(), String> {
     let mut spec = JobSpec::default();
     let mut tenant = "anonymous".to_string();
     let mut priority = 1u32;
+    let mut project: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut i = 0usize;
     while i < rest.len() {
@@ -893,6 +923,7 @@ fn cmd_submit(args: &[String], out: &mut String) -> Result<(), String> {
                 let text = std::fs::read_to_string(value).map_err(|e| format!("{value}: {e}"))?;
                 spec.sources.push((value.clone(), text));
             }
+            "--project" => project = Some(value.clone()),
             "--top" => spec.top = value.clone(),
             "--part" => spec.part = Some(value.clone()),
             "--period" => {
@@ -932,8 +963,23 @@ fn cmd_submit(args: &[String], out: &mut String) -> Result<(), String> {
         }
         i += 2;
     }
+    if let Some(dir) = &project {
+        // Ship the whole cataloged tree to the daemon in compile order;
+        // the graph supplies the top unless --top overrode it.
+        if !spec.sources.is_empty() {
+            return Err("submit: --project and --source are mutually exclusive".into());
+        }
+        let cat = dovado_hdl::catalog::SourceCatalog::walk(std::path::Path::new(dir))
+            .map_err(|e| format!("--project: {e}"))?;
+        for f in cat.compile_order() {
+            spec.sources.push((f.path.clone(), f.text.clone()));
+        }
+        if spec.top.is_empty() {
+            spec.top = cat.infer_top().map_err(|e| format!("--project: {e}"))?;
+        }
+    }
     if spec.sources.is_empty() {
-        return Err("submit: at least one --source is required".into());
+        return Err("submit: at least one --source (or --project) is required".into());
     }
     if spec.top.is_empty() {
         return Err("submit: --top is required".into());
@@ -1537,6 +1583,141 @@ mod tests {
         assert!(parse_metrics("lut,lut").is_err());
         assert!(parse_metrics("warp-cores").is_err());
         assert!(parse_metrics("").is_err());
+    }
+
+    /// The committed multi-file fixture tree (VHDL package + body, an
+    /// entity with two architectures, a Verilog top) at the repo root.
+    fn fixture_tree() -> String {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/fixtures/project_tree"
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn evaluate_project_tree_end_to_end() {
+        let tree = fixture_tree();
+        let mut out = String::new();
+        let code = run(
+            &args(&["evaluate", "--project", &tree, "--set", "DEPTH=64"]),
+            &mut out,
+        );
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("Fmax"), "{out}");
+        assert!(out.contains("DEPTH=64"), "{out}");
+    }
+
+    #[test]
+    fn explore_project_tree_with_explicit_top() {
+        let tree = fixture_tree();
+        let mut out = String::new();
+        let code = run(
+            &args(&[
+                "explore",
+                "--project",
+                &tree,
+                "--top",
+                "prj_top",
+                "--param",
+                "DEPTH=2:64:2",
+                "--generations",
+                "2",
+                "--pop",
+                "6",
+            ]),
+            &mut out,
+        );
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("non-dominated"), "{out}");
+    }
+
+    #[test]
+    fn project_and_source_are_mutually_exclusive() {
+        let path = write_temp("ps.sv", FIFO);
+        let tree = fixture_tree();
+        let mut out = String::new();
+        let code = run(
+            &args(&["evaluate", "--project", &tree, "--source", &path]),
+            &mut out,
+        );
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("mutually exclusive"), "{out}");
+    }
+
+    #[test]
+    fn project_ambiguous_top_names_candidates() {
+        // Two unrelated modules in one tree: inference must fail with a
+        // sorted candidate list and a --top hint.
+        let dir = std::env::temp_dir().join(format!("dovado-cli-ambig-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("z.v"), "module zeta(input wire c); endmodule").unwrap();
+        std::fs::write(dir.join("a.v"), "module alpha(input wire c); endmodule").unwrap();
+        let mut out = String::new();
+        let code = run(
+            &args(&["evaluate", "--project", dir.to_str().unwrap()]),
+            &mut out,
+        );
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("ambiguous top module"), "{out}");
+        assert!(out.contains("alpha, zeta"), "{out}");
+        assert!(out.contains("--top"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn project_store_hits_on_rerun_and_misses_after_dependency_edit() {
+        // Copy the fixture tree so we can mutate the package body.
+        let src = fixture_tree();
+        let dir = std::env::temp_dir().join(format!("dovado-cli-prj-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for sub in ["pkg", "rtl"] {
+            std::fs::create_dir_all(dir.join(sub)).unwrap();
+        }
+        for rel in [
+            "pkg/prj_pkg.vhd",
+            "pkg/prj_pkg_body.vhd",
+            "rtl/prj_core.vhd",
+            "rtl/prj_core_rtl.vhd",
+            "rtl/prj_core_fast.vhd",
+            "rtl/prj_top.v",
+        ] {
+            std::fs::copy(format!("{src}/{rel}"), dir.join(rel)).unwrap();
+        }
+        let store = temp_store("prj-evalstore");
+        let eval = || {
+            let mut out = String::new();
+            let code = run(
+                &args(&[
+                    "evaluate",
+                    "--project",
+                    dir.to_str().unwrap(),
+                    "--set",
+                    "DEPTH=32",
+                    "--store",
+                    &store,
+                ]),
+                &mut out,
+            );
+            assert_eq!(code, 0, "{out}");
+            out
+        };
+        let cold = eval();
+        assert!(cold.contains("stored for reuse"), "{cold}");
+        let warm = eval();
+        assert!(warm.contains("persistent store (no tool run)"), "{warm}");
+        // Edit a file the top only reaches through the dependency graph
+        // (the package body): the store must *miss* and rerun the tool.
+        let body = dir.join("pkg/prj_pkg_body.vhd");
+        let text = std::fs::read_to_string(&body).unwrap();
+        std::fs::write(&body, text.replace("deferred constant", "changed constant")).unwrap();
+        let edited = eval();
+        assert!(
+            edited.contains("stored for reuse"),
+            "dependency edit must miss the store: {edited}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -42,6 +42,47 @@ impl HdlSource {
     }
 }
 
+/// Loads an RTL project tree for evaluation: catalogs every HDL file
+/// under `dir`, returns the sources in dependency-respecting compile
+/// order, and resolves the top module — `top` if given, the catalog's
+/// graph inference otherwise.
+///
+/// This is the `--project <dir>` entry point: any user source tree flows
+/// from here through boxing, the explorer portfolio, `--jobs/--workers`
+/// and the daemon exactly like the embedded case studies.
+pub fn load_project_tree(
+    dir: &std::path::Path,
+    top: Option<&str>,
+) -> DovadoResult<(Vec<HdlSource>, String)> {
+    use crate::error::DovadoError;
+    use dovado_hdl::catalog::{CatalogError, SourceCatalog};
+    let to_err = |e: CatalogError| match e {
+        CatalogError::Parse(m) => DovadoError::Parse(m),
+        other => DovadoError::Config(other.to_string()),
+    };
+    let catalog = SourceCatalog::walk(dir).map_err(to_err)?;
+    if catalog.files().is_empty() {
+        return Err(DovadoError::Config(format!(
+            "no HDL sources (.vhd/.vhdl/.v/.sv) found under {}",
+            dir.display()
+        )));
+    }
+    let top = match top {
+        Some(t) => t.to_string(),
+        None => catalog.infer_top().map_err(to_err)?,
+    };
+    let sources = catalog
+        .compile_order()
+        .map(|f| HdlSource {
+            name: f.path.clone(),
+            language: f.language,
+            content: f.text.clone(),
+            library: f.library.clone(),
+        })
+        .collect();
+    Ok((sources, top))
+}
+
 /// Which flow step produces the metrics (paper §III-A: "one of the typical
 /// design steps, synthesis or implementation").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -161,23 +161,51 @@ pub fn decode_evaluation(text: &str) -> Option<Evaluation> {
 /// evaluation's outcome except the design point itself — sources, top
 /// module, configuration, and which tool backend answers. The per-point
 /// store key extends this with the point's assignments.
+///
+/// Besides the raw per-file identity, the key folds in the source set's
+/// catalog fingerprint, which covers the unit-level dependency graph —
+/// so an edit to *any* file a design unit depends on (a package body the
+/// top only reaches transitively, say) changes the key and correctly
+/// misses the EvalStore.
 pub fn evaluator_key(
     sources: &[HdlSource],
     top: &str,
     config: &EvalConfig,
     backend: &str,
 ) -> EvalKey {
-    let mut parts: Vec<String> = Vec::with_capacity(sources.len() * 4 + 3);
+    let mut parts: Vec<String> = Vec::with_capacity(sources.len() * 4 + 4);
     for s in sources {
         parts.push(s.name.clone());
         parts.push(format!("{:?}", s.language));
         parts.push(s.library.clone().unwrap_or_default());
         parts.push(s.content.clone());
     }
+    parts.push(catalog_fingerprint(sources));
     parts.push(top.to_string());
     parts.push(format!("{config:?}"));
     parts.push(backend.to_string());
     EvalKey::from_parts(&parts)
+}
+
+/// The sources' catalog fingerprint: content plus dependency-graph
+/// structure. A source set the catalog cannot order (an instantiation
+/// cycle split across files) keys on a deterministic marker instead —
+/// the raw per-file parts above still cover its content.
+fn catalog_fingerprint(sources: &[HdlSource]) -> String {
+    use dovado_hdl::catalog::{CatalogSource, SourceCatalog};
+    let catalog_sources = sources
+        .iter()
+        .map(|s| CatalogSource {
+            path: s.name.clone(),
+            language: s.language,
+            library: s.library.clone(),
+            text: s.content.clone(),
+        })
+        .collect();
+    match SourceCatalog::from_sources(catalog_sources) {
+        Ok(cat) => cat.fingerprint().to_string(),
+        Err(e) => format!("catalog-unavailable:{e}"),
+    }
 }
 
 // ---- journal -----------------------------------------------------------

@@ -10,6 +10,7 @@ use crate::archmodel::{bind_parameters, ElabContext, ModelRegistry};
 use crate::error::{EdaError, EdaResult};
 use crate::netlist::Netlist;
 use dovado_fpga::Part;
+use dovado_hdl::catalog::{CatalogError, SourceCatalog};
 use dovado_hdl::{Instantiation, Language, ModuleInterface, SourceFile};
 use std::collections::BTreeMap;
 
@@ -66,6 +67,57 @@ impl Project {
             generics: BTreeMap::new(),
             clocks: Vec::new(),
         }
+    }
+
+    /// Builds a project from a cataloged source tree: sources are
+    /// registered in the catalog's topological compile order (packages
+    /// before their bodies and users, entities before architectures and
+    /// instantiators), and the top module comes from `top` or, failing
+    /// that, the catalog's graph-based inference.
+    ///
+    /// This replaces ad-hoc `add_source` call ordering: the caller hands
+    /// over the whole tree and the dependency graph decides.
+    pub fn from_catalog(
+        name: impl Into<String>,
+        part: Part,
+        catalog: &SourceCatalog,
+        top: Option<&str>,
+    ) -> EdaResult<Project> {
+        let mut p = Project::new(name, part);
+        for f in catalog.compile_order() {
+            p.sources.push(SourceUnit {
+                path: f.path.clone(),
+                language: f.language,
+                file: f.file.clone(),
+                library: f.library.clone().unwrap_or_else(|| "work".to_string()),
+            });
+        }
+        p.top = Some(match top {
+            Some(t) => t.to_string(),
+            None => catalog.infer_top().map_err(catalog_err)?,
+        });
+        Ok(p)
+    }
+
+    /// The project's sources as a unit-level dependency catalog
+    /// (structure only — no source text, so no content fingerprint).
+    /// This is the graph behind [`Project::infer_top`] and compile-order
+    /// queries.
+    pub fn catalog(&self) -> EdaResult<SourceCatalog> {
+        SourceCatalog::from_parsed(
+            self.sources
+                .iter()
+                .map(|s| {
+                    (
+                        s.path.clone(),
+                        s.language,
+                        Some(s.library.clone()),
+                        s.file.clone(),
+                    )
+                })
+                .collect(),
+        )
+        .map_err(catalog_err)
     }
 
     /// Parses and registers a source buffer.
@@ -129,30 +181,13 @@ impl Project {
             .collect()
     }
 
-    /// Infers the top module: the unique module never instantiated by
-    /// another. Errors when ambiguous.
+    /// Infers the top module by dependency-graph query: the unique
+    /// module/entity no instantiation or configuration refers to. With
+    /// zero or several roots the error is deterministic — ambiguity lists
+    /// every candidate sorted by name, so the same project always
+    /// produces the same message regardless of source registration order.
     pub fn infer_top(&self) -> EdaResult<String> {
-        let instantiated: Vec<String> = self
-            .sources
-            .iter()
-            .flat_map(|s| s.file.instantiations.iter())
-            .map(|i| i.target_simple().to_ascii_lowercase())
-            .collect();
-        let candidates: Vec<&ModuleInterface> = self
-            .modules()
-            .filter(|m| !instantiated.contains(&m.name.to_ascii_lowercase()))
-            .collect();
-        match candidates.as_slice() {
-            [only] => Ok(only.name.clone()),
-            [] => Err(EdaError::Elaboration("no top-level module found".into())),
-            many => Err(EdaError::Elaboration(format!(
-                "ambiguous top module: {}",
-                many.iter()
-                    .map(|m| m.name.as_str())
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ))),
-        }
+        self.catalog()?.infer_top().map_err(catalog_err)
     }
 
     /// The effective top module name.
@@ -247,6 +282,16 @@ impl Project {
     }
 }
 
+/// Maps a catalog error onto the EDA error space: parse problems stay
+/// parse errors; graph problems (cycles, top inference) are elaboration
+/// errors with the catalog's deterministic message.
+fn catalog_err(e: CatalogError) -> EdaError {
+    match e {
+        CatalogError::Parse(m) => EdaError::Parse(m),
+        other => EdaError::Elaboration(other.to_string()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,23 +352,76 @@ endmodule"#;
     }
 
     #[test]
-    fn infer_top_ambiguous_errors() {
+    fn infer_top_ambiguous_errors_deterministically() {
+        // Register in reverse-alphabetical order: the error must still
+        // list candidates sorted by name.
         let mut p = Project::new("t", k7());
-        p.add_source(
-            "a.sv",
-            Language::SystemVerilog,
-            "module a(input wire c); endmodule",
-            None,
-        )
-        .unwrap();
         p.add_source(
             "b.sv",
             Language::SystemVerilog,
-            "module b(input wire c); endmodule",
+            "module zeta(input wire c); endmodule",
             None,
         )
         .unwrap();
-        assert!(p.infer_top().is_err());
+        p.add_source(
+            "a.sv",
+            Language::SystemVerilog,
+            "module alpha(input wire c); endmodule",
+            None,
+        )
+        .unwrap();
+        let msg = p.infer_top().unwrap_err().to_string();
+        assert!(msg.contains("ambiguous top module"), "{msg}");
+        assert!(msg.contains("alpha, zeta"), "{msg}");
+        assert!(msg.contains("--top"), "{msg}");
+    }
+
+    #[test]
+    fn from_catalog_orders_sources_and_infers_top() {
+        use dovado_hdl::catalog::CatalogSource;
+        // Hand the catalog the files in the *wrong* order; the project
+        // must come out compile-ordered with the graph-inferred top.
+        let cat = SourceCatalog::from_sources(vec![
+            CatalogSource::new("box.sv", Language::SystemVerilog, BOX_SV),
+            CatalogSource::new("fifo.sv", Language::SystemVerilog, FIFO_SV),
+        ])
+        .unwrap();
+        let p = Project::from_catalog("t", k7(), &cat, None).unwrap();
+        let paths: Vec<&str> = p.sources.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["fifo.sv", "box.sv"]);
+        assert_eq!(p.top.as_deref(), Some("box"));
+        assert!(p.check_ordering().is_empty());
+
+        // An explicit top overrides inference.
+        let p2 = Project::from_catalog("t", k7(), &cat, Some("fifo_v3")).unwrap();
+        assert_eq!(p2.top.as_deref(), Some("fifo_v3"));
+
+        // And the catalog-built project elaborates like the add_source one.
+        let reg = ModelRegistry::with_builtin_models();
+        let via_catalog = p.elaborate(&reg).unwrap();
+        let mut legacy = Project::new("t", k7());
+        legacy
+            .add_source("fifo.sv", Language::SystemVerilog, FIFO_SV, None)
+            .unwrap();
+        legacy
+            .add_source("box.sv", Language::SystemVerilog, BOX_SV, None)
+            .unwrap();
+        legacy.top = Some("box".into());
+        let via_legacy = legacy.elaborate(&reg).unwrap();
+        assert_eq!(via_catalog.luts(), via_legacy.luts());
+        assert_eq!(via_catalog.registers(), via_legacy.registers());
+    }
+
+    #[test]
+    fn project_catalog_exposes_graph_queries() {
+        let mut p = Project::new("t", k7());
+        p.add_source("fifo.sv", Language::SystemVerilog, FIFO_SV, None)
+            .unwrap();
+        p.add_source("box.sv", Language::SystemVerilog, BOX_SV, None)
+            .unwrap();
+        let cat = p.catalog().unwrap();
+        assert_eq!(cat.dependencies_of("box.sv"), vec!["fifo.sv"]);
+        assert_eq!(cat.infer_top().unwrap(), "box");
     }
 
     #[test]

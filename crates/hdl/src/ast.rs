@@ -566,6 +566,17 @@ pub struct PackageDecl {
     pub name: String,
 }
 
+/// A VHDL `configuration NAME of ENTITY is … end;` declaration: a primary
+/// design unit binding architectures to an entity. Dovado records the pair
+/// so the catalog can order configurations after the entity they configure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigurationDecl {
+    /// Configuration name.
+    pub name: String,
+    /// The configured entity (library prefix stripped).
+    pub entity: String,
+}
+
 /// A module/entity instantiation found while scanning a body.
 ///
 /// The parsers collect these opportunistically (they do not build full
@@ -611,6 +622,12 @@ pub struct SourceFile {
     pub modules: Vec<ModuleInterface>,
     /// Names of architectures found (VHDL), as `(architecture, entity)`.
     pub architectures: Vec<(String, String)>,
+    /// Names of packages whose *body* is declared in the file (VHDL
+    /// `package body NAME`). A body is a secondary unit: it has no name of
+    /// its own, only the package it completes.
+    pub package_bodies: Vec<String>,
+    /// Configuration declarations (VHDL).
+    pub configurations: Vec<ConfigurationDecl>,
     /// Instantiations found while scanning bodies.
     pub instantiations: Vec<Instantiation>,
 }

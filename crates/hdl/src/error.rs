@@ -33,11 +33,30 @@ pub struct Diagnostic {
     pub message: String,
     /// Location in the source buffer.
     pub span: Span,
+    /// Originating source file, when known. Spans are file-relative, so
+    /// multi-file front-ends (the project catalog) stamp the path here to
+    /// keep diagnostics actionable.
+    pub file: Option<String>,
+}
+
+impl Diagnostic {
+    /// Returns the diagnostic with its originating file set.
+    pub fn in_file(mut self, file: impl Into<String>) -> Diagnostic {
+        self.file = Some(file.into());
+        self
+    }
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at {}: {}", self.severity, self.span, self.message)
+        match &self.file {
+            Some(file) => write!(
+                f,
+                "{} at {file}:{}: {}",
+                self.severity, self.span, self.message
+            ),
+            None => write!(f, "{} at {}: {}", self.severity, self.span, self.message),
+        }
     }
 }
 
@@ -59,6 +78,7 @@ impl Diagnostics {
             severity: Severity::Note,
             message: message.into(),
             span,
+            file: None,
         });
     }
 
@@ -68,6 +88,7 @@ impl Diagnostics {
             severity: Severity::Warning,
             message: message.into(),
             span,
+            file: None,
         });
     }
 
@@ -77,7 +98,19 @@ impl Diagnostics {
             severity: Severity::Error,
             message: message.into(),
             span,
+            file: None,
         });
+    }
+
+    /// Stamps every diagnostic that does not yet name a file with `file`.
+    /// Parsers work on one buffer at a time and leave the field empty;
+    /// multi-file callers set it once per parsed file.
+    pub fn set_file(&mut self, file: &str) {
+        for d in &mut self.items {
+            if d.file.is_none() {
+                d.file = Some(file.to_string());
+            }
+        }
     }
 
     /// All recorded diagnostics, in emission order.
@@ -114,6 +147,8 @@ pub struct ParseError {
     pub message: String,
     /// Where it went wrong.
     pub span: Span,
+    /// Originating source file, when known (see [`Diagnostic::file`]).
+    pub file: Option<String>,
 }
 
 impl ParseError {
@@ -122,13 +157,23 @@ impl ParseError {
         ParseError {
             message: message.into(),
             span,
+            file: None,
         }
+    }
+
+    /// Returns the error with its originating file set.
+    pub fn in_file(mut self, file: impl Into<String>) -> ParseError {
+        self.file = Some(file.into());
+        self
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}: {}", self.span, self.message)
+        match &self.file {
+            Some(file) => write!(f, "parse error at {file}:{}: {}", self.span, self.message),
+            None => write!(f, "parse error at {}: {}", self.span, self.message),
+        }
     }
 }
 
@@ -186,6 +231,23 @@ mod tests {
     fn parse_error_display() {
         let e = ParseError::new("unexpected token", Span::new(0, 1, 3, 4));
         assert_eq!(e.to_string(), "parse error at 3:4: unexpected token");
+        let in_file = e.in_file("rtl/core.vhd");
+        assert_eq!(
+            in_file.to_string(),
+            "parse error at rtl/core.vhd:3:4: unexpected token"
+        );
+    }
+
+    #[test]
+    fn diagnostics_carry_the_originating_file() {
+        let mut d = Diagnostics::new();
+        d.error("bad token", Span::new(0, 1, 2, 5));
+        d.set_file("rtl/top.sv");
+        let rendered: Vec<String> = d.iter().map(|x| x.to_string()).collect();
+        assert_eq!(rendered, vec!["error at rtl/top.sv:2:5: bad token"]);
+        // Already-stamped diagnostics keep their file on a second pass.
+        d.set_file("other.sv");
+        assert_eq!(d.iter().next().unwrap().file.as_deref(), Some("rtl/top.sv"));
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //! non-ANSI Verilog headers, all VHDL entity `end` spellings, shared
 //! declarations, based literals, and symbolic width expressions.
 //!
+//! Beyond single buffers, the [`catalog`] module scales the front-end to
+//! whole repositories: it identifies primary/secondary design units across a
+//! source tree, orders files topologically by their dependency graph, and
+//! infers the top-level module from the graph.
+//!
 //! ## Example
 //!
 //! ```
@@ -28,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod catalog;
 pub mod error;
 pub mod lexer;
 pub mod span;
@@ -35,9 +41,10 @@ pub mod verilog;
 pub mod vhdl;
 
 pub use ast::{
-    clog2, BinOp, ContextClause, Direction, EvalError, Expr, Instantiation, Language,
-    ModuleInterface, PackageDecl, Parameter, Port, Range, RangeDir, SourceFile, TypeSpec,
+    clog2, BinOp, ConfigurationDecl, ContextClause, Direction, EvalError, Expr, Instantiation,
+    Language, ModuleInterface, PackageDecl, Parameter, Port, Range, RangeDir, SourceFile, TypeSpec,
 };
+pub use catalog::{CatalogError, CatalogSource, CatalogedFile, DesignUnit, SourceCatalog};
 pub use error::{Diagnostic, Diagnostics, ParseError, ParseResult, Severity};
 pub use span::Span;
 

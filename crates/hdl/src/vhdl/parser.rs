@@ -8,8 +8,8 @@
 //! for its ANTLR-based step.
 
 use crate::ast::{
-    BinOp, ContextClause, Direction, Expr, Instantiation, ModuleInterface, PackageDecl, Parameter,
-    Port, Range, RangeDir, SourceFile, TypeSpec,
+    BinOp, ConfigurationDecl, ContextClause, Direction, Expr, Instantiation, ModuleInterface,
+    PackageDecl, Parameter, Port, Range, RangeDir, SourceFile, TypeSpec,
 };
 use crate::error::{Diagnostics, ParseError, ParseResult};
 use crate::lexer::{TokenKind, TokenStream};
@@ -89,7 +89,9 @@ impl Parser {
                 let name = self.ts.expect_ident()?.text;
                 self.ts.expect_kw_ci("is")?;
                 self.skip_body(&name, if body { "body" } else { "package" })?;
-                if !body {
+                if body {
+                    file.package_bodies.push(name);
+                } else {
                     file.packages.push(PackageDecl { name });
                 }
             } else if t.is_kw_ci("context") {
@@ -106,9 +108,14 @@ impl Parser {
                 self.ts.next_tok();
                 let name = self.ts.expect_ident()?.text;
                 self.ts.expect_kw_ci("of")?;
-                let _ent = self.selected_name()?;
+                let ent = self.selected_name()?;
                 self.ts.expect_kw_ci("is")?;
                 self.skip_body(&name, "configuration")?;
+                let ent_simple = ent.rsplit('.').next().unwrap_or(&ent).to_string();
+                file.configurations.push(ConfigurationDecl {
+                    name,
+                    entity: ent_simple,
+                });
             } else {
                 self.diags
                     .warn(format!("skipping unexpected token `{t}`"), t.span);

@@ -144,7 +144,7 @@ fn neorv32_vhdl_library_flow() {
     sources[0].library = Some("neorv32".into());
     let tool = dovado::Dovado::new(
         sources,
-        cs.top,
+        &cs.top,
         cs.space.clone(),
         EvalConfig {
             part: cs.part.into(),

@@ -1,0 +1,4 @@
+-- Shared constants for the fixture project.
+package prj_pkg is
+  constant PRJ_DATA_WIDTH : natural := 32;
+end package prj_pkg;

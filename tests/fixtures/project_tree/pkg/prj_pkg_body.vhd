@@ -1,0 +1,5 @@
+-- Deferred details of prj_pkg live here: editing this file must change
+-- the catalog fingerprint and miss the evaluation store.
+package body prj_pkg is
+  -- deferred constant bodies would go here
+end package body prj_pkg;

@@ -1,0 +1,18 @@
+-- Fixture core: VHDL entity with an explorable depth generic. Its two
+-- architectures live in separate files (rtl/prj_core_rtl.vhd and
+-- rtl/prj_core_fast.vhd) to exercise secondary-unit cataloging.
+library ieee;
+use ieee.std_logic_1164.all;
+use work.prj_pkg.all;
+
+entity prj_core is
+  generic (
+    DEPTH : natural := 8
+  );
+  port (
+    clk_i  : in  std_logic;
+    rst_ni : in  std_logic;
+    data_i : in  std_logic_vector(31 downto 0);
+    data_o : out std_logic_vector(31 downto 0)
+  );
+end entity prj_core;

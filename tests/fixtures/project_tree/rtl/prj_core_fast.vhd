@@ -1,0 +1,6 @@
+-- Second architecture of the same entity: the catalog must record both
+-- secondary units and order each after the entity declaration.
+architecture fast of prj_core is
+begin
+  data_o <= data_i;
+end architecture fast;

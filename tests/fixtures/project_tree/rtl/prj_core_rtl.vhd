@@ -1,0 +1,12 @@
+-- Default architecture of prj_core.
+architecture rtl of prj_core is
+  signal stage : std_logic_vector(31 downto 0);
+begin
+  hold: process (clk_i)
+  begin
+    if rising_edge(clk_i) then
+      stage <= data_i;
+    end if;
+  end process hold;
+  data_o <= stage;
+end architecture rtl;

@@ -1,0 +1,21 @@
+// Fixture top: plain Verilog instantiating the VHDL core — the catalog
+// orders this file after rtl/prj_core.vhd and infers it as the top.
+module prj_top #(
+    parameter DEPTH = 8
+) (
+    input  wire        clk,
+    input  wire        rst_n,
+    input  wire [31:0] data_i,
+    output wire [31:0] data_o
+);
+
+  prj_core #(
+      .DEPTH(DEPTH)
+  ) u_core (
+      .clk_i (clk),
+      .rst_ni(rst_n),
+      .data_i(data_i),
+      .data_o(data_o)
+  );
+
+endmodule
